@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! hysteretic vs plain Q-learning, the minimal-bias thresholds, and the
+//! ε-greedy exploration rate. Each variant runs the same adversarial
+//! mini-workload; Criterion reports the wall time, and the measured
+//! throughput is printed once per variant so the quality impact is visible
+//! alongside the cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::QAdaptiveParams;
+
+fn run_variant(params: QAdaptiveParams) -> (u64, f64) {
+    let report = SimulationBuilder::new(DragonflyConfig::tiny())
+        .routing(RoutingSpec::QAdaptive(params))
+        .traffic(TrafficSpec::Adversarial { shift: 1 })
+        .offered_load(0.35)
+        .warmup_ns(40_000)
+        .measure_ns(20_000)
+        .seed(11)
+        .run();
+    (report.packets_delivered, report.throughput)
+}
+
+fn bench_learning_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/learning_rule");
+    group.sample_size(10);
+    let variants = [
+        ("hysteretic_paper", QAdaptiveParams::paper_1056()),
+        ("plain_q_alpha0.2", QAdaptiveParams::plain_q_learning(0.2)),
+        (
+            "aggressive_beta",
+            QAdaptiveParams {
+                beta: 0.2,
+                ..QAdaptiveParams::paper_1056()
+            },
+        ),
+    ];
+    for (name, params) in variants {
+        let (_, tput) = run_variant(params);
+        println!("ablation/learning_rule/{name}: throughput = {tput:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            b.iter(|| black_box(run_variant(*p).0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/minimal_bias_thresholds");
+    group.sample_size(10);
+    for thld in [0.0, 0.2, 0.5] {
+        let params = QAdaptiveParams {
+            q_thld1: thld,
+            q_thld2: (thld + 0.15).min(1.0),
+            ..QAdaptiveParams::paper_1056()
+        };
+        let (_, tput) = run_variant(params);
+        println!("ablation/thresholds/q_thld1={thld}: throughput = {tput:.3}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("q_thld1_{thld}")),
+            &params,
+            |b, p| b.iter(|| black_box(run_variant(*p).0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/epsilon");
+    group.sample_size(10);
+    for epsilon in [0.0, 0.001, 0.01] {
+        let params = QAdaptiveParams {
+            epsilon,
+            ..QAdaptiveParams::paper_1056()
+        };
+        let (_, tput) = run_variant(params);
+        println!("ablation/epsilon={epsilon}: throughput = {tput:.3}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("epsilon_{epsilon}")),
+            &params,
+            |b, p| b.iter(|| black_box(run_variant(*p).0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning_rule, bench_thresholds, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark of raw simulator throughput: simulated events per
+//! second for a short uniform-random run on the 1,056-node system under
+//! minimal routing (the cheapest agent, so this measures the engine itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/simulated_events");
+    group.sample_size(10);
+    group.bench_function("min_ur_0.3_10us_1056", |b| {
+        b.iter(|| {
+            let report = SimulationBuilder::new(DragonflyConfig::paper_1056())
+                .routing(RoutingSpec::Minimal)
+                .traffic(TrafficSpec::UniformRandom)
+                .offered_load(0.3)
+                .warmup_ns(0)
+                .measure_ns(10_000)
+                .seed(1)
+                .run();
+            black_box(report.events_processed)
+        })
+    });
+    group.bench_function("qadp_ur_0.3_10us_tiny", |b| {
+        b.iter(|| {
+            let report = SimulationBuilder::new(DragonflyConfig::tiny())
+                .routing(RoutingSpec::QAdaptive(Default::default()))
+                .traffic(TrafficSpec::UniformRandom)
+                .offered_load(0.3)
+                .warmup_ns(0)
+                .measure_ns(10_000)
+                .seed(1)
+                .run();
+            black_box(report.events_processed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

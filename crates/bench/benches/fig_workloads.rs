@@ -1,0 +1,169 @@
+//! Criterion benchmarks mirroring the paper's figure workloads in
+//! miniature: one bench per table/figure, running a scaled-down version of
+//! the corresponding experiment on the tiny system so that `cargo bench`
+//! exercises every experiment path quickly and tracks performance
+//! regressions of the full harness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_sim::convergence::run_convergence;
+use dragonfly_sim::sweep::LoadSweep;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::schedule::LoadSchedule;
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::QAdaptiveParams;
+
+/// Figure 5 in miniature: a two-load sweep of the full algorithm lineup
+/// under each traffic pattern.
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig5_sweep");
+    group.sample_size(10);
+    for traffic in [
+        TrafficSpec::UniformRandom,
+        TrafficSpec::Adversarial { shift: 1 },
+        TrafficSpec::Adversarial { shift: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(traffic.label()),
+            &traffic,
+            |b, traffic| {
+                b.iter(|| {
+                    let sweep = LoadSweep {
+                        topology: DragonflyConfig::tiny(),
+                        traffic: *traffic,
+                        routings: RoutingSpec::paper_lineup(),
+                        loads: vec![0.2, 0.4],
+                        warmup_ns: 5_000,
+                        measure_ns: 10_000,
+                        seed: 1,
+                    };
+                    black_box(sweep.run_parallel(0).reports.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 6 in miniature: tail-latency measurement of the lineup at one
+/// operating point.
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig6_tail_latency");
+    group.sample_size(10);
+    group.bench_function("adv1_0.35", |b| {
+        b.iter(|| {
+            let sweep = LoadSweep {
+                topology: DragonflyConfig::tiny(),
+                traffic: TrafficSpec::Adversarial { shift: 1 },
+                routings: RoutingSpec::paper_lineup(),
+                loads: vec![0.35],
+                warmup_ns: 10_000,
+                measure_ns: 10_000,
+                seed: 2,
+            };
+            let result = sweep.run_parallel(0);
+            black_box(result.reports.iter().map(|r| r.p99_latency_us).sum::<f64>())
+        })
+    });
+    group.finish();
+}
+
+/// Figures 7 and 8 in miniature: convergence and a load step with a time
+/// series.
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig7_fig8_timeseries");
+    group.sample_size(10);
+    group.bench_function("fig7_convergence", |b| {
+        b.iter(|| {
+            let result = run_convergence(
+                DragonflyConfig::tiny(),
+                RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+                TrafficSpec::Adversarial { shift: 1 },
+                LoadSchedule::constant(0.3),
+                60_000,
+                10_000,
+                20_000,
+                3,
+            );
+            black_box(result.latency_curve().len())
+        })
+    });
+    group.bench_function("fig8_load_step", |b| {
+        b.iter(|| {
+            let result = run_convergence(
+                DragonflyConfig::tiny(),
+                RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+                TrafficSpec::UniformRandom,
+                LoadSchedule::step(0.2, 0.5, 30_000),
+                60_000,
+                10_000,
+                20_000,
+                3,
+            );
+            black_box(result.throughput_curve().len())
+        })
+    });
+    group.finish();
+}
+
+/// Figure 9 in miniature: the five case-study patterns with the 2,550-node
+/// hyper-parameters (on the tiny topology).
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig9_case_study");
+    group.sample_size(10);
+    for traffic in TrafficSpec::paper_case_study() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(traffic.label()),
+            &traffic,
+            |b, traffic| {
+                b.iter(|| {
+                    let report = SimulationBuilder::new(DragonflyConfig::tiny())
+                        .routing(RoutingSpec::QAdaptive(QAdaptiveParams::paper_2550()))
+                        .traffic(*traffic)
+                        .offered_load(0.3)
+                        .warmup_ns(10_000)
+                        .measure_ns(10_000)
+                        .seed(4)
+                        .run();
+                    black_box(report.mean_latency_us)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 1 / memory table in miniature: topology construction and Q-table
+/// initialisation for both paper systems.
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/table1_table_memory");
+    for (name, cfg) in [
+        ("1056", DragonflyConfig::paper_1056()),
+        ("2550", DragonflyConfig::paper_2550()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let topo = dragonfly_topology::Dragonfly::new(*cfg);
+                let ecfg = dragonfly_engine::config::EngineConfig::paper(5);
+                let table = qadaptive_core::init::init_two_level_table(
+                    &topo,
+                    &ecfg,
+                    dragonfly_topology::ids::RouterId(0),
+                );
+                black_box(qadaptive_core::table::QValueTable::memory_bytes(&table))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7_fig8,
+    bench_fig9,
+    bench_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the Q-table data structures: lookup, best-in-row
+//! and hysteretic update throughput for both the original and the two-level
+//! table (the per-packet computational cost the paper argues is small
+//! enough for router hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::ids::GroupId;
+use qadaptive_core::hysteretic::HystereticLearner;
+use qadaptive_core::table::QValueTable;
+use qadaptive_core::{QTable, TwoLevelQTable};
+
+fn tables() -> (QTable, TwoLevelQTable) {
+    let cfg = DragonflyConfig::paper_1056();
+    (
+        QTable::new(cfg.routers(), cfg.fabric_ports(), 700.0),
+        TwoLevelQTable::new(cfg.groups(), cfg.p, cfg.fabric_ports(), 700.0),
+    )
+}
+
+fn bench_best_in_row(c: &mut Criterion) {
+    let (original, two_level) = tables();
+    let mut group = c.benchmark_group("qtable/best_in_row");
+    group.bench_function("original_mx11", |b| {
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % original.rows();
+            black_box(original.best_in_row(black_box(row)))
+        })
+    });
+    group.bench_function("two_level_gp_x11", |b| {
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % two_level.rows();
+            black_box(two_level.best_in_row(black_box(row)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hysteretic_update(c: &mut Criterion) {
+    let (_, mut two_level) = tables();
+    let learner = HystereticLearner::new(0.2, 0.04);
+    c.bench_function("qtable/hysteretic_update", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let row = i % two_level.rows();
+            let col = i % two_level.columns();
+            i += 1;
+            let current = two_level.get(row, col);
+            let updated = learner.update(current, black_box(450.0), black_box(900.0));
+            two_level.set(row, col, updated);
+            black_box(updated)
+        })
+    });
+}
+
+fn bench_row_addressing(c: &mut Criterion) {
+    let (_, two_level) = tables();
+    c.bench_function("qtable/two_level_row_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let group = GroupId(i % 33);
+            let slot = (i % 4) as u8;
+            i = i.wrapping_add(1);
+            black_box(two_level.row(black_box(group), black_box(slot)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_best_in_row,
+    bench_hysteretic_update,
+    bench_row_addressing
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark of the per-packet routing-decision cost of each
+//! algorithm, measured end-to-end as simulated-time-per-wall-time on a tiny
+//! system (so the decision logic, not the topology size, dominates).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::QAdaptiveParams;
+
+fn bench_decision_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/decision_cost");
+    group.sample_size(10);
+    let algorithms = [
+        RoutingSpec::Minimal,
+        RoutingSpec::ValiantNode,
+        RoutingSpec::UgalG,
+        RoutingSpec::UgalN,
+        RoutingSpec::Par,
+        RoutingSpec::QRouting { max_q: 2 },
+        RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+    ];
+    for spec in algorithms {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.label()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let report = SimulationBuilder::new(DragonflyConfig::tiny())
+                        .routing(*spec)
+                        .traffic(TrafficSpec::UniformRandom)
+                        .offered_load(0.4)
+                        .warmup_ns(0)
+                        .measure_ns(20_000)
+                        .seed(7)
+                        .run();
+                    black_box(report.packets_delivered)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_cost);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for topology queries: minimal-port lookup,
+//! full minimal-route enumeration, and gateway resolution on both paper
+//! systems. These sit on the simulator's hottest path (one lookup per
+//! routed packet per hop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::ids::RouterId;
+use dragonfly_topology::Dragonfly;
+
+fn bench_minimal_port(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/minimal_port");
+    for (name, cfg) in [
+        ("1056", DragonflyConfig::paper_1056()),
+        ("2550", DragonflyConfig::paper_2550()),
+    ] {
+        let topo = Dragonfly::new(cfg);
+        let m = topo.num_routers() as u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &topo, |b, topo| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let src = RouterId(i % m);
+                let dst = RouterId((i.wrapping_mul(2654435761)) % m);
+                i = i.wrapping_add(1);
+                black_box(topo.minimal_port(black_box(src), black_box(dst)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimal_route(c: &mut Criterion) {
+    let topo = Dragonfly::new(DragonflyConfig::paper_1056());
+    let m = topo.num_routers() as u32;
+    c.bench_function("topology/minimal_route_1056", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = RouterId(i % m);
+            let dst = RouterId((i.wrapping_mul(40503)) % m);
+            i = i.wrapping_add(1);
+            black_box(topo.minimal_route(black_box(src), black_box(dst)))
+        })
+    });
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    let topo = Dragonfly::new(DragonflyConfig::paper_2550());
+    let g = topo.num_groups() as u32;
+    c.bench_function("topology/gateway_2550", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let a = dragonfly_topology::ids::GroupId(i % g);
+            let bb = dragonfly_topology::ids::GroupId((i + 1 + i % (g - 1)) % g);
+            i = i.wrapping_add(1);
+            if a == bb {
+                return;
+            }
+            black_box(topo.gateway(black_box(a), black_box(bb)));
+        })
+    });
+}
+
+criterion_group!(benches, bench_minimal_port, bench_minimal_route, bench_gateway);
+criterion_main!(benches);

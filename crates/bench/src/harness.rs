@@ -1,0 +1,203 @@
+//! Shared command-line handling and table formatting for the figure
+//! binaries.
+
+use dragonfly_engine::time::SimTime;
+
+/// How much simulated time to spend per point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Reduced windows / fewer points; finishes in minutes on a laptop.
+    Quick,
+    /// Paper-scale measurement windows (the paper averages over 100 µs
+    /// after stabilisation).
+    Full,
+}
+
+/// Parsed command-line arguments shared by all figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Quick or full windows.
+    pub mode: RunMode,
+    /// Worker threads for parallel sweeps (0 = all CPUs).
+    pub threads: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`; unknown flags are ignored so the
+    /// binaries stay forgiving.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parse from an explicit argument list (testable).
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut mode = RunMode::Quick;
+        let mut threads = 0usize;
+        let mut seed = 1u64;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => mode = RunMode::Full,
+                "--quick" => mode = RunMode::Quick,
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        threads = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Self {
+            mode,
+            threads,
+            seed,
+        }
+    }
+
+    /// Warmup time per simulation point. Q-adaptive needs a learning period
+    /// before the measurement window (the paper observes convergence within
+    /// 200–500 µs), so even quick mode warms up for 120 µs.
+    pub fn warmup_ns(&self) -> SimTime {
+        match self.mode {
+            RunMode::Quick => 120_000,
+            RunMode::Full => 300_000,
+        }
+    }
+
+    /// Measurement window per simulation point.
+    pub fn measure_ns(&self) -> SimTime {
+        match self.mode {
+            RunMode::Quick => 40_000,
+            RunMode::Full => 100_000,
+        }
+    }
+
+    /// Offered-load grid for uniform-random sweeps (Figure 5 top row).
+    pub fn ur_loads(&self) -> Vec<f64> {
+        match self.mode {
+            RunMode::Quick => vec![0.2, 0.4, 0.6, 0.8, 0.95],
+            RunMode::Full => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0],
+        }
+    }
+
+    /// Offered-load grid for adversarial sweeps (Figure 5 rows 2–3).
+    pub fn adv_loads(&self) -> Vec<f64> {
+        match self.mode {
+            RunMode::Quick => vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            RunMode::Full => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5],
+        }
+    }
+
+    /// A one-line banner describing the run.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "== {} | mode={:?} warmup={} µs measure={} µs threads={} seed={} ==",
+            what,
+            self.mode,
+            self.warmup_ns() / 1_000,
+            self.measure_ns() / 1_000,
+            if self.threads == 0 {
+                "auto".to_string()
+            } else {
+                self.threads.to_string()
+            },
+            self.seed
+        )
+    }
+}
+
+/// Render a markdown-style table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let mut out = fmt_row(&header_cells);
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep));
+    for row in rows {
+        out.push('\n');
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn default_args_are_quick_mode() {
+        let a = BenchArgs::from_slice(&s(&["prog"]));
+        assert_eq!(a.mode, RunMode::Quick);
+        assert_eq!(a.threads, 0);
+        assert_eq!(a.seed, 1);
+        assert!(a.warmup_ns() < 300_000);
+    }
+
+    #[test]
+    fn full_mode_and_options_parse() {
+        let a = BenchArgs::from_slice(&s(&["prog", "--full", "--threads", "8", "--seed", "9"]));
+        assert_eq!(a.mode, RunMode::Full);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.measure_ns(), 100_000);
+        assert!(a.ur_loads().len() > a.adv_loads().len());
+        assert!(a.banner("fig5").contains("fig5"));
+    }
+
+    #[test]
+    fn load_grids_are_sorted_and_in_range() {
+        for args in [
+            BenchArgs::from_slice(&s(&["p"])),
+            BenchArgs::from_slice(&s(&["p", "--full"])),
+        ] {
+            for grid in [args.ur_loads(), args.adv_loads()] {
+                assert!(grid.windows(2).all(|w| w[0] < w[1]));
+                assert!(grid.iter().all(|l| *l > 0.0 && *l <= 1.0));
+            }
+            assert!(args.adv_loads().iter().all(|l| *l <= 0.5));
+        }
+    }
+
+    #[test]
+    fn markdown_table_aligns_columns() {
+        let t = markdown_table(
+            &["a", "metric"],
+            &[s(&["x", "1.0"]), s(&["longer", "2.5"])],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+}

@@ -1,0 +1,26 @@
+//! # dragonfly-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! Q-adaptive paper, plus Criterion micro-benchmarks of the building
+//! blocks.
+//!
+//! ## Figure / table binaries
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — Dragonfly configurations |
+//! | `fig5` | Figure 5 — latency / throughput / hops vs offered load (1,056 nodes) |
+//! | `fig6` | Figure 6 — packet-latency distribution and tail latency (1,056 nodes) |
+//! | `fig7` | Figure 7 — convergence from an empty network |
+//! | `fig8` | Figure 8 — dynamic offered loads |
+//! | `fig9` | Figure 9 — 2,550-node case study (UR, ADV+1, Stencil, Many-to-Many, Random Neighbors) |
+//! | `ablation_maxq` | Section 2.3.2 — why naive Q-routing needs a per-pattern maxQ |
+//! | `table_memory` | Section 4 — two-level Q-table memory claim |
+//!
+//! Every binary accepts `--quick` (default: reduced simulated time, fewer
+//! load points) and `--full` (paper-scale measurement windows), plus
+//! `--threads N` to bound the sweep parallelism.
+
+pub mod harness;
+
+pub use harness::{BenchArgs, RunMode};

@@ -1,0 +1,443 @@
+//! The Q-adaptive routing algorithm (Figure 4 of the paper).
+//!
+//! Each router is an independent agent holding one two-level Q-table.
+//! A packet is routed as follows:
+//!
+//! 1. routers in the packet's **destination group** forward minimally;
+//! 2. the **source router** compares the minimal-path port against the best
+//!    port of the Q-table row using the relative gap ΔV and the threshold
+//!    `q_thld1`, then applies ε-greedy exploration;
+//! 3. the **first router visited in an intermediate group** forwards
+//!    minimally when it owns a direct global link to the destination group;
+//!    otherwise it compares the minimal forwarding port against a *random
+//!    local* port (the Valiant-node style reroute that sidesteps local-link
+//!    congestion) using `q_thld2`, then applies ε-greedy exploration;
+//! 4. every other router forwards minimally.
+//!
+//! Q-values are updated with hysteretic Q-learning from the per-hop
+//! feedback the engine delivers (reward = per-hop delay, bootstrap = the
+//! downstream router's own estimate).
+
+use crate::hysteretic::HystereticLearner;
+use crate::init::init_two_level_table;
+use crate::params::QAdaptiveParams;
+use crate::policy::{epsilon_greedy, select_with_bias};
+use crate::table::QValueTable;
+use crate::two_level::TwoLevelQTable;
+use dragonfly_engine::config::EngineConfig;
+use dragonfly_engine::packet::{Packet, RouteMode};
+use dragonfly_engine::routing::{
+    vc_for_next_hop, Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm,
+};
+use dragonfly_topology::ids::{GroupId, Port, RouterId};
+use dragonfly_topology::Dragonfly;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of virtual channels Q-adaptive requires (paper Section 4:
+/// packets are delivered within five hops and increment their VC per hop).
+pub const QADAPTIVE_VCS: usize = 5;
+
+/// Factory for Q-adaptive router agents.
+#[derive(Debug, Clone, Copy)]
+pub struct QAdaptiveRouting {
+    /// Hyper-parameters shared by every agent.
+    pub params: QAdaptiveParams,
+}
+
+impl QAdaptiveRouting {
+    /// Q-adaptive with the given hyper-parameters.
+    pub fn new(params: QAdaptiveParams) -> Self {
+        params
+            .validate()
+            .expect("invalid Q-adaptive hyper-parameters");
+        Self { params }
+    }
+
+    /// Q-adaptive with the paper's 1,056-node hyper-parameters.
+    pub fn paper_1056() -> Self {
+        Self::new(QAdaptiveParams::paper_1056())
+    }
+
+    /// Q-adaptive with the paper's 2,550-node hyper-parameters.
+    pub fn paper_2550() -> Self {
+        Self::new(QAdaptiveParams::paper_2550())
+    }
+}
+
+impl Default for QAdaptiveRouting {
+    fn default() -> Self {
+        Self::paper_1056()
+    }
+}
+
+impl RoutingAlgorithm for QAdaptiveRouting {
+    fn name(&self) -> String {
+        "Q-adaptive".to_string()
+    }
+
+    fn num_vcs(&self) -> usize {
+        QADAPTIVE_VCS
+    }
+
+    fn make_agent(
+        &self,
+        topology: &Dragonfly,
+        config: &EngineConfig,
+        router: RouterId,
+        seed: u64,
+    ) -> Box<dyn RouterAgent> {
+        Box::new(QAdaptiveAgent::new(topology, config, router, self.params, seed))
+    }
+}
+
+/// The per-router Q-adaptive agent.
+pub struct QAdaptiveAgent {
+    router: RouterId,
+    group: GroupId,
+    params: QAdaptiveParams,
+    learner: HystereticLearner,
+    table: TwoLevelQTable,
+    rng: StdRng,
+    exploration_ports: Vec<Port>,
+    /// Statistics: feedback messages applied (useful for convergence
+    /// analyses and tests).
+    updates_applied: u64,
+    /// Statistics: decisions taken at this router.
+    decisions_made: u64,
+    /// Statistics: decisions that deviated from the minimal port.
+    nonminimal_decisions: u64,
+}
+
+impl QAdaptiveAgent {
+    /// Build an agent with a Q-table initialised to congestion-free
+    /// minimal delivery times.
+    pub fn new(
+        topo: &Dragonfly,
+        cfg: &EngineConfig,
+        router: RouterId,
+        params: QAdaptiveParams,
+        seed: u64,
+    ) -> Self {
+        Self {
+            router,
+            group: topo.group_of_router(router),
+            params,
+            learner: HystereticLearner::new(params.alpha, params.beta),
+            table: init_two_level_table(topo, cfg, router),
+            rng: StdRng::seed_from_u64(seed),
+            exploration_ports: topo.exploration_ports(None),
+            updates_applied: 0,
+            decisions_made: 0,
+            nonminimal_decisions: 0,
+        }
+    }
+
+    /// Read-only access to the learned two-level table.
+    pub fn table(&self) -> &TwoLevelQTable {
+        &self.table
+    }
+
+    /// Number of hysteretic updates applied so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Number of routing decisions made so far.
+    pub fn decisions_made(&self) -> u64 {
+        self.decisions_made
+    }
+
+    /// Fraction of decisions that deviated from the minimal port.
+    pub fn nonminimal_fraction(&self) -> f64 {
+        if self.decisions_made == 0 {
+            0.0
+        } else {
+            self.nonminimal_decisions as f64 / self.decisions_made as f64
+        }
+    }
+
+    /// The best column of `row`, with randomized tie-breaking: all columns
+    /// whose value is within `NEAR_TIE_TOLERANCE` (relative) of the row
+    /// minimum are considered equivalent and one is picked uniformly at
+    /// random. Under heavy congestion many escape ports have statistically
+    /// indistinguishable Q-values; a deterministic argmin would herd every
+    /// packet onto a single port and oscillate, while randomized
+    /// tie-breaking spreads the load the way the paper's results imply.
+    fn best_column_randomized(&mut self, row: usize) -> (usize, f64) {
+        const NEAR_TIE_TOLERANCE: f64 = 0.10;
+        let (best_col, best_val) = self.table.best_in_row(row);
+        if !best_val.is_finite() || best_val <= 0.0 {
+            return (best_col, best_val);
+        }
+        let cutoff = best_val * (1.0 + NEAR_TIE_TOLERANCE);
+        let near: Vec<usize> = (0..self.table.columns())
+            .filter(|c| self.table.get(row, *c) <= cutoff)
+            .collect();
+        if near.len() <= 1 {
+            return (best_col, best_val);
+        }
+        let pick = near[self.rng.gen_range(0..near.len())];
+        (pick, self.table.get(row, pick))
+    }
+
+    fn minimal_decision(&self, ctx: &RouterCtx<'_>, packet: &Packet) -> Decision {
+        let port = ctx
+            .topology
+            .minimal_port(self.router, packet.dst_router)
+            .expect("decide() is never called at the destination router");
+        Decision {
+            port,
+            vc: vc_for_next_hop(packet, ctx.num_vcs()),
+        }
+    }
+
+    fn column_of(&self, ctx: &RouterCtx<'_>, port: Port) -> usize {
+        ctx.topology
+            .layout()
+            .qtable_column(port)
+            .expect("routing ports are always fabric ports")
+    }
+}
+
+impl RouterAgent for QAdaptiveAgent {
+    fn decide(&mut self, ctx: &RouterCtx<'_>, packet: &mut Packet) -> Decision {
+        self.decisions_made += 1;
+        let topo = ctx.topology;
+        let dst_group = packet.dst_group;
+
+        // (1) Destination-group routers forward minimally.
+        if self.group == dst_group {
+            return self.minimal_decision(ctx, packet);
+        }
+
+        let row = self.table.row(dst_group, packet.src_slot);
+        let min_port = topo
+            .minimal_port(self.router, packet.dst_router)
+            .expect("non-destination router always has a minimal port");
+        let min_col = self.column_of(ctx, min_port);
+        let q_min = self.table.get(row, min_col);
+
+        // (2) Source router: best-of-table vs minimal with q_thld1.
+        if packet.at_source_router(self.router) {
+            let (best_col, q_best) = self.best_column_randomized(row);
+            let best_port = topo.layout().port_for_column(best_col);
+            let temp = select_with_bias(q_min, q_best, min_port, best_port, self.params.q_thld1);
+            let port = epsilon_greedy(
+                &mut self.rng,
+                self.params.epsilon,
+                temp,
+                &self.exploration_ports,
+            );
+            if port != min_port {
+                self.nonminimal_decisions += 1;
+                packet.route.mode = RouteMode::Valiant;
+            }
+            return Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            };
+        }
+
+        // (3) First router visited in an intermediate group.
+        if packet.is_intermediate_group(self.group) && !packet.route.int_group_decision_done {
+            packet.route.int_group_decision_done = true;
+            if let Some(direct) = topo.global_port_to(self.router, dst_group) {
+                // Direct connection to the destination group: take it.
+                return Decision {
+                    port: direct,
+                    vc: vc_for_next_hop(packet, ctx.num_vcs()),
+                };
+            }
+            let rand_local = topo.random_local_port(&mut self.rng);
+            let q_rand = self.table.get(row, self.column_of(ctx, rand_local));
+            let temp = select_with_bias(q_min, q_rand, min_port, rand_local, self.params.q_thld2);
+            let port = epsilon_greedy(
+                &mut self.rng,
+                self.params.epsilon,
+                temp,
+                &self.exploration_ports,
+            );
+            if port != min_port {
+                self.nonminimal_decisions += 1;
+            }
+            return Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            };
+        }
+
+        // (4) Everybody else forwards minimally.
+        self.minimal_decision(ctx, packet)
+    }
+
+    fn estimate(&self, _ctx: &RouterCtx<'_>, packet: &Packet) -> f64 {
+        let row = self.table.row(packet.dst_group, packet.src_slot);
+        self.table.min_in_row(row)
+    }
+
+    fn estimate_after_decision(
+        &self,
+        ctx: &RouterCtx<'_>,
+        packet: &Packet,
+        decision: Decision,
+    ) -> f64 {
+        // SARSA-style bootstrap: report the value of the port this router is
+        // actually using for the packet. Most routers on a path are forced
+        // to forward minimally, so the row minimum would hide congestion on
+        // the minimal leg from upstream routers.
+        let row = self.table.row(packet.dst_group, packet.src_slot);
+        match ctx.topology.layout().qtable_column(decision.port) {
+            Some(col) => self.table.get(row, col),
+            None => self.table.min_in_row(row),
+        }
+    }
+
+    fn feedback(&mut self, msg: &FeedbackMsg) {
+        let row = self.table.row(msg.dst_group, msg.src_slot);
+        let col = msg.port.index();
+        // The feedback port is a fabric port of this router; translate to a
+        // table column (columns start at the first non-host port).
+        let col = col - (self.table.columns_offset());
+        let current = self.table.get(row, col);
+        let updated = self
+            .learner
+            .update(current, msg.reward_ns, msg.downstream_estimate_ns);
+        self.table.set(row, col, updated);
+        self.updates_applied += 1;
+    }
+}
+
+impl TwoLevelQTable {
+    /// The port index of the first table column (the number of host ports),
+    /// derived from the table shape. Used to translate a fabric [`Port`]
+    /// into a column without needing the topology.
+    pub fn columns_offset(&self) -> usize {
+        self.nodes_per_router()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_engine::injector::{Injection, ScriptedInjector};
+    use dragonfly_engine::observer::CountingObserver;
+    use dragonfly_engine::Engine;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::ids::NodeId;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn factory_reports_five_vcs_and_name() {
+        let algo = QAdaptiveRouting::default();
+        assert_eq!(algo.num_vcs(), 5);
+        assert_eq!(algo.name(), "Q-adaptive");
+    }
+
+    #[test]
+    fn untrained_agent_prefers_the_minimal_path() {
+        let t = topo();
+        let cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let algo = QAdaptiveRouting::new(QAdaptiveParams {
+            epsilon: 0.0,
+            ..QAdaptiveParams::paper_1056()
+        });
+        // End-to-end check through the engine: a handful of packets routed
+        // by an untrained table must follow minimal (<= 3 hop) paths.
+        let script: Vec<Injection> = (0..50)
+            .map(|i| Injection {
+                time: i * 200,
+                src: NodeId((i % 16) as u32),
+                dst: NodeId(((i * 7 + 31) % 72) as u32),
+            })
+            .collect();
+        let mut engine = Engine::new(
+            t,
+            cfg,
+            &algo,
+            Box::new(ScriptedInjector::new(script)),
+            CountingObserver::default(),
+            11,
+        );
+        engine.run_to_drain(10_000_000);
+        let obs = engine.observer();
+        assert_eq!(obs.delivered, 50);
+        assert!(obs.mean_hops() <= 3.0 + 1e-9, "untrained Q-adaptive must look minimal");
+    }
+
+    #[test]
+    fn feedback_updates_the_expected_cell() {
+        let t = topo();
+        let cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let mut agent = QAdaptiveAgent::new(&t, &cfg, RouterId(0), QAdaptiveParams::default(), 1);
+        let port = t.layout().local_port(0);
+        let row = agent.table.row(GroupId(3), 1);
+        let col = t.layout().qtable_column(port).unwrap();
+        let before = agent.table.get(row, col);
+        let msg = FeedbackMsg {
+            src: NodeId(1),
+            dst: NodeId(30),
+            dst_router: RouterId(15),
+            dst_group: GroupId(3),
+            src_slot: 1,
+            port,
+            reward_ns: 50.0,
+            downstream_estimate_ns: 100.0,
+        };
+        agent.feedback(&msg);
+        let after = agent.table.get(row, col);
+        assert_ne!(before, after);
+        assert_eq!(agent.updates_applied(), 1);
+        // delta = 150 - before < 0 (before is ~700+), so the fast rate
+        // applies and the estimate falls.
+        assert!(after < before);
+        // Unrelated cells untouched.
+        assert_eq!(
+            agent.table.get(agent.table.row(GroupId(2), 0), col),
+            init_two_level_table(&t, &cfg, RouterId(0)).get(agent.table.row(GroupId(2), 0), col)
+        );
+    }
+
+    #[test]
+    fn repeated_bad_news_slowly_raises_the_estimate() {
+        let t = topo();
+        let cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let mut agent = QAdaptiveAgent::new(&t, &cfg, RouterId(0), QAdaptiveParams::default(), 1);
+        let port = t.layout().global_port(0);
+        let row = agent.table.row(GroupId(5), 0);
+        let col = t.layout().qtable_column(port).unwrap();
+        let before = agent.table.get(row, col);
+        for _ in 0..10 {
+            agent.feedback(&FeedbackMsg {
+                src: NodeId(0),
+                dst: NodeId(50),
+                dst_router: RouterId(25),
+                dst_group: GroupId(5),
+                src_slot: 0,
+                port,
+                reward_ns: 5_000.0,
+                downstream_estimate_ns: 2_000.0,
+            });
+        }
+        let after = agent.table.get(row, col);
+        assert!(after > before, "congestion news must raise the estimate");
+        // ... but far less than a plain learner with alpha=0.2 would.
+        assert!(after < 7_000.0 - 1.0);
+    }
+
+    #[test]
+    fn estimate_returns_the_row_minimum() {
+        let t = topo();
+        let cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let agent = QAdaptiveAgent::new(&t, &cfg, RouterId(4), QAdaptiveParams::default(), 1);
+        let packet_row = agent.table.row(GroupId(2), 1);
+        let expected = agent.table.min_in_row(packet_row);
+        // The estimate used as the feedback bootstrap is the row minimum of
+        // the (destination group, source slot) row.
+        assert!(expected > 0.0);
+        assert_eq!(agent.table.best_for(GroupId(2), 1).1, expected);
+    }
+}

@@ -1,0 +1,109 @@
+//! Hysteretic Q-learning updates (Equation 3 of the paper).
+//!
+//! The temporal-difference error for a forwarded packet is
+//! `δ = r + Q_y − Q_x`, where `r` is the per-hop travelling time (the
+//! reward), `Q_y` is the downstream router's own estimate of the remaining
+//! delivery time, and `Q_x` is the current estimate being updated. Because
+//! Q-values are delivery *times*, lower is better: a negative `δ` is good
+//! news and is learned with the fast rate `α`, a non-negative `δ` is bad
+//! news and is learned with the slow rate `β` (the hysteresis that keeps
+//! hundreds of simultaneously learning agents stable).
+
+use serde::{Deserialize, Serialize};
+
+/// The hysteretic update rule with its two learning rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HystereticLearner {
+    /// Fast learning rate, applied when the estimate decreases.
+    pub alpha: f64,
+    /// Slow learning rate, applied when the estimate increases.
+    pub beta: f64,
+}
+
+impl HystereticLearner {
+    /// Create a learner; `alpha` is used for decreases, `beta` for
+    /// increases.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Self { alpha, beta }
+    }
+
+    /// A plain Q-learning rule (no hysteresis): both rates equal.
+    pub fn plain(alpha: f64) -> Self {
+        Self {
+            alpha,
+            beta: alpha,
+        }
+    }
+
+    /// The temporal-difference error `δ = r + q_downstream − q_current`.
+    #[inline]
+    pub fn td_error(&self, q_current: f64, reward: f64, q_downstream: f64) -> f64 {
+        reward + q_downstream - q_current
+    }
+
+    /// Apply Equation 3 and return the updated Q-value.
+    #[inline]
+    pub fn update(&self, q_current: f64, reward: f64, q_downstream: f64) -> f64 {
+        let delta = self.td_error(q_current, reward, q_downstream);
+        let rate = if delta < 0.0 { self.alpha } else { self.beta };
+        q_current + rate * delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_news_uses_alpha() {
+        let l = HystereticLearner::new(0.2, 0.04);
+        // Current estimate 1000 ns, but reward 100 + downstream 400 = 500:
+        // the path is better than thought, delta = -500.
+        let updated = l.update(1000.0, 100.0, 400.0);
+        assert!((updated - (1000.0 + 0.2 * -500.0)).abs() < 1e-12);
+        assert!(updated < 1000.0);
+    }
+
+    #[test]
+    fn bad_news_uses_beta() {
+        let l = HystereticLearner::new(0.2, 0.04);
+        // Congestion: observed 700 + 900 = 1600 > 1000, delta = +600.
+        let updated = l.update(1000.0, 700.0, 900.0);
+        assert!((updated - (1000.0 + 0.04 * 600.0)).abs() < 1e-12);
+        assert!(updated > 1000.0);
+        // The increase is much smaller than a symmetric learner would make.
+        let plain = HystereticLearner::plain(0.2).update(1000.0, 700.0, 900.0);
+        assert!(plain > updated);
+    }
+
+    #[test]
+    fn zero_delta_is_a_fixed_point() {
+        let l = HystereticLearner::new(0.2, 0.04);
+        let updated = l.update(500.0, 200.0, 300.0);
+        assert_eq!(updated, 500.0);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_the_true_value() {
+        // With a stationary reward + downstream value the estimate converges
+        // to r + q_downstream regardless of its starting point.
+        let l = HystereticLearner::new(0.2, 0.04);
+        let target = 150.0 + 420.0;
+        for start in [10.0_f64, 10_000.0] {
+            let mut q = start;
+            for _ in 0..2_000 {
+                q = l.update(q, 150.0, 420.0);
+            }
+            assert!((q - target).abs() < 1.0, "start={start}, q={q}");
+        }
+    }
+
+    #[test]
+    fn plain_learner_is_symmetric() {
+        let l = HystereticLearner::plain(0.5);
+        let up = l.update(100.0, 50.0, 100.0); // delta = +50
+        let down = l.update(100.0, 10.0, 40.0); // delta = -50
+        assert!((up - 125.0).abs() < 1e-12);
+        assert!((down - 75.0).abs() < 1e-12);
+    }
+}

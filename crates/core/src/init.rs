@@ -1,0 +1,197 @@
+//! Q-value initialisation.
+//!
+//! The paper initialises Q-values "to the theoretical packet delivery time
+//! without any congestion through a minimal routing path". We refine this
+//! per column: the value of (row, port) is the congestion-free time of the
+//! first hop through that port plus the congestion-free minimal delivery
+//! time from the neighbouring router onwards. This makes the initial
+//! `argmin` of every row coincide with the minimal path, so an untrained
+//! Q-adaptive router behaves like minimal routing (exactly what the paper's
+//! convergence plots show at t = 0 under low load).
+
+use dragonfly_engine::config::EngineConfig;
+use dragonfly_topology::ids::{GroupId, Port, RouterId};
+use dragonfly_topology::paths::HopKind;
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::Dragonfly;
+
+use crate::qtable::QTable;
+use crate::two_level::TwoLevelQTable;
+
+/// Congestion-free delivery-time estimate from `router` to *some* node in
+/// `group` (assuming one local hop inside the destination group, the common
+/// case).
+pub fn theoretical_to_group(
+    topo: &Dragonfly,
+    cfg: &EngineConfig,
+    router: RouterId,
+    group: GroupId,
+) -> f64 {
+    let my_group = topo.group_of_router(router);
+    let mut kinds: Vec<HopKind> = Vec::with_capacity(3);
+    if my_group == group {
+        kinds.push(HopKind::Local);
+    } else {
+        let (gateway, _) = topo.gateway(my_group, group);
+        if gateway != router {
+            kinds.push(HopKind::Local);
+        }
+        kinds.push(HopKind::Global);
+        kinds.push(HopKind::Local);
+    }
+    cfg.theoretical_delivery_ns(&kinds) as f64
+}
+
+/// Congestion-free delivery-time estimate from `router` to a specific
+/// destination router.
+pub fn theoretical_to_router(
+    topo: &Dragonfly,
+    cfg: &EngineConfig,
+    router: RouterId,
+    dest: RouterId,
+) -> f64 {
+    let kinds = topo.minimal_hop_kinds(router, dest);
+    cfg.theoretical_delivery_ns(&kinds) as f64
+}
+
+/// The congestion-free cost of leaving `router` through fabric `port` and
+/// then minimally reaching `group`.
+pub fn port_then_group_estimate(
+    topo: &Dragonfly,
+    cfg: &EngineConfig,
+    router: RouterId,
+    port: Port,
+    group: GroupId,
+) -> f64 {
+    let kind = match topo.port_kind(port) {
+        PortKind::Local => HopKind::Local,
+        PortKind::Global => HopKind::Global,
+        PortKind::Host => unreachable!("host ports never appear in Q-tables"),
+    };
+    let neighbor = topo.neighbor_router(router, port);
+    if topo.group_of_router(neighbor) == group && neighbor != router {
+        // The next router is already in the destination group; only the
+        // ejection (plus possibly one more local hop, averaged away) is
+        // left. Use the exact remaining estimate of zero further hops.
+        return cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64;
+    }
+    cfg.hop_ns(kind) as f64 + theoretical_to_group(topo, cfg, neighbor, group)
+}
+
+/// Build a fully initialised two-level Q-table for one router.
+pub fn init_two_level_table(
+    topo: &Dragonfly,
+    cfg: &EngineConfig,
+    router: RouterId,
+) -> TwoLevelQTable {
+    let dcfg = topo.config();
+    TwoLevelQTable::from_fn(dcfg.groups(), dcfg.p, dcfg.fabric_ports(), |group, _slot, col| {
+        let port = topo.layout().port_for_column(col);
+        port_then_group_estimate(topo, cfg, router, port, group)
+    })
+}
+
+/// Build a fully initialised original (destination-router indexed) Q-table
+/// for one router.
+pub fn init_qtable(topo: &Dragonfly, cfg: &EngineConfig, router: RouterId) -> QTable {
+    let dcfg = topo.config();
+    QTable::from_fn(dcfg.routers(), dcfg.fabric_ports(), |dest, col| {
+        let port = topo.layout().port_for_column(col);
+        let kind = match topo.port_kind(port) {
+            PortKind::Local => HopKind::Local,
+            PortKind::Global => HopKind::Global,
+            PortKind::Host => unreachable!(),
+        };
+        let neighbor = topo.neighbor_router(router, port);
+        if neighbor == dest {
+            cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64
+        } else {
+            cfg.hop_ns(kind) as f64 + theoretical_to_router(topo, cfg, neighbor, dest)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::QValueTable;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    fn setup() -> (Dragonfly, EngineConfig) {
+        (
+            Dragonfly::new(DragonflyConfig::tiny()),
+            EngineConfig::paper(5),
+        )
+    }
+
+    #[test]
+    fn initial_argmin_matches_the_minimal_path_across_groups() {
+        let (topo, cfg) = setup();
+        let router = RouterId(0);
+        let table = init_two_level_table(&topo, &cfg, router);
+        for group in topo.groups() {
+            if group == topo.group_of_router(router) {
+                continue;
+            }
+            // The minimal path towards any router of `group` starts either
+            // at our own global link to it or at the local link towards the
+            // gateway router.
+            let (gateway, gport) = topo.gateway(topo.group_of_router(router), group);
+            let expected_port = if gateway == router {
+                gport
+            } else {
+                topo.local_port_to(router, gateway)
+            };
+            let expected_col = topo.layout().qtable_column(expected_port).unwrap();
+            let (best_col, _) = table.best_for(group, 0);
+            assert_eq!(
+                best_col, expected_col,
+                "group {group:?}: initial best port should be the minimal one"
+            );
+        }
+    }
+
+    #[test]
+    fn init_values_are_positive_and_bounded() {
+        let (topo, cfg) = setup();
+        let table = init_two_level_table(&topo, &cfg, RouterId(5));
+        for row in 0..table.rows() {
+            for col in 0..table.columns() {
+                let v = table.get(row, col);
+                assert!(v > 0.0);
+                // Worst initial estimate: a hop plus a full 3-hop minimal
+                // route plus ejection — well under 10 µs with paper timing.
+                assert!(v < 10_000.0, "row {row} col {col}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn qtable_init_matches_direct_theoretical_time_for_neighbors() {
+        let (topo, cfg) = setup();
+        let router = RouterId(0);
+        let table = init_qtable(&topo, &cfg, router);
+        // For a directly connected destination, the init through the direct
+        // port equals one hop plus ejection.
+        for port in topo.layout().fabric_port_iter() {
+            let neighbor = topo.neighbor_router(router, port);
+            let col = topo.layout().qtable_column(port).unwrap();
+            let v = table.value(neighbor, col);
+            let kind = match topo.port_kind(port) {
+                PortKind::Local => HopKind::Local,
+                PortKind::Global => HopKind::Global,
+                PortKind::Host => unreachable!(),
+            };
+            assert_eq!(v, (cfg.hop_ns(kind) + cfg.ejection_ns()) as f64);
+        }
+    }
+
+    #[test]
+    fn theoretical_to_group_is_cheaper_inside_own_group() {
+        let (topo, cfg) = setup();
+        let router = RouterId(0);
+        let own = theoretical_to_group(&topo, &cfg, router, topo.group_of_router(router));
+        let other = theoretical_to_group(&topo, &cfg, router, GroupId(3));
+        assert!(own < other);
+    }
+}

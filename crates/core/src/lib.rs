@@ -1,0 +1,47 @@
+//! # qadaptive-core
+//!
+//! The primary contribution of the paper: **Q-adaptive routing**, a fully
+//! distributed multi-agent reinforcement-learning routing scheme for
+//! Dragonfly networks (Kang, Wang, Lan — HPDC 2021).
+//!
+//! The crate provides the three components described in Section 4 of the
+//! paper:
+//!
+//! 1. **The two-level Q-table** ([`two_level::TwoLevelQTable`]) — a
+//!    `(g·p) × (k−p)` table indexed by *(destination group, source-node
+//!    slot)* instead of the original Q-routing table's `m × (k−p)`
+//!    destination-router indexing. For a balanced Dragonfly (`a = 2p`) this
+//!    halves the memory footprint and mitigates the stale-value problem,
+//!    because updates for any destination router of a group land in the
+//!    same row.
+//! 2. **Routing with the two-level Q-table** ([`agent::QAdaptiveAgent`]) —
+//!    the decision flow chart of Figure 4: destination-group routers
+//!    forward minimally; the source router and the first router visited in
+//!    an intermediate group compare the minimal path against the best (or a
+//!    random local) alternative using the relative value gap ΔV and the
+//!    thresholds `q_thld1` / `q_thld2`, with ε-greedy exploration on top.
+//! 3. **Q-value updates** ([`hysteretic`]) — hysteretic Q-learning
+//!    (Equation 3) with a fast learning rate `α` for good news (the
+//!    estimate shrinks) and a slow learning rate `β` for bad news, which
+//!    keeps the multi-agent system stable without requiring optimistic
+//!    initialisation.
+//!
+//! The original Q-routing table ([`qtable::QTable`]) is also implemented so
+//! that the memory claim of the paper (Section 4) and the Q-routing
+//! baseline (Section 2.3.2) can be reproduced.
+
+pub mod agent;
+pub mod hysteretic;
+pub mod init;
+pub mod params;
+pub mod policy;
+pub mod qtable;
+pub mod table;
+pub mod two_level;
+
+pub use agent::{QAdaptiveAgent, QAdaptiveRouting};
+pub use hysteretic::HystereticLearner;
+pub use params::QAdaptiveParams;
+pub use qtable::QTable;
+pub use table::QValueTable;
+pub use two_level::TwoLevelQTable;

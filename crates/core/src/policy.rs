@@ -1,0 +1,139 @@
+//! Decision policies: the ΔV minimal-bias rule (Equation 2) and ε-greedy
+//! exploration.
+
+use dragonfly_topology::ids::Port;
+use rand::Rng;
+
+/// Equation 2 of the paper: the relative advantage of the best path over
+/// the minimal path, `ΔV = (Q_min − Q_best) / Q_min`.
+///
+/// When `Q_min` is not positive (degenerate or fully decayed estimates) the
+/// minimal path is preferred, which matches the intent of the bias.
+#[inline]
+pub fn delta_v(q_min_path: f64, q_best_path: f64) -> f64 {
+    if q_min_path <= f64::EPSILON {
+        return 0.0;
+    }
+    (q_min_path - q_best_path) / q_min_path
+}
+
+/// Equation 2's port selection: prefer the minimal-path port unless the
+/// alternative is more than `threshold` (relative) cheaper.
+#[inline]
+pub fn select_with_bias(
+    q_min_path: f64,
+    q_best_path: f64,
+    min_path_port: Port,
+    best_path_port: Port,
+    threshold: f64,
+) -> Port {
+    if delta_v(q_min_path, q_best_path) < threshold {
+        min_path_port
+    } else {
+        best_path_port
+    }
+}
+
+/// ε-greedy exploration: with probability `epsilon` pick a uniformly random
+/// port from `candidates`, otherwise keep `preferred`.
+#[inline]
+pub fn epsilon_greedy<R: Rng + ?Sized>(
+    rng: &mut R,
+    epsilon: f64,
+    preferred: Port,
+    candidates: &[Port],
+) -> Port {
+    if epsilon > 0.0 && !candidates.is_empty() && rng.gen::<f64>() < epsilon {
+        candidates[rng.gen_range(0..candidates.len())]
+    } else {
+        preferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delta_v_measures_relative_advantage() {
+        assert!((delta_v(100.0, 60.0) - 0.4).abs() < 1e-12);
+        assert!((delta_v(100.0, 100.0)).abs() < 1e-12);
+        assert!(delta_v(100.0, 140.0) < 0.0);
+        // Degenerate minimal estimate prefers minimal.
+        assert_eq!(delta_v(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn bias_prefers_minimal_until_threshold() {
+        let min_port = Port(4);
+        let best_port = Port(9);
+        // 20% advantage, threshold 0.35 -> stay minimal.
+        assert_eq!(
+            select_with_bias(100.0, 80.0, min_port, best_port, 0.35),
+            min_port
+        );
+        // 50% advantage, threshold 0.35 -> switch to the best path.
+        assert_eq!(
+            select_with_bias(100.0, 50.0, min_port, best_port, 0.35),
+            best_port
+        );
+        // Zero threshold means any advantage switches.
+        assert_eq!(
+            select_with_bias(100.0, 99.0, min_port, best_port, 0.0),
+            best_port
+        );
+        // With a zero threshold a tie selects the best-path port
+        // (ΔV = 0 is not < 0), matching Equation 2 literally.
+        assert_eq!(
+            select_with_bias(100.0, 100.0, min_port, best_port, 0.0),
+            best_port
+        );
+        // Any positive threshold keeps the tie on the minimal path.
+        assert_eq!(
+            select_with_bias(100.0, 100.0, min_port, best_port, 0.05),
+            min_port
+        );
+    }
+
+    #[test]
+    fn epsilon_zero_never_explores() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let candidates = [Port(5), Port(6), Port(7)];
+        for _ in 0..1_000 {
+            assert_eq!(
+                epsilon_greedy(&mut rng, 0.0, Port(4), &candidates),
+                Port(4)
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_one_always_explores() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let candidates = [Port(5), Port(6), Port(7)];
+        for _ in 0..100 {
+            let p = epsilon_greedy(&mut rng, 1.0, Port(4), &candidates);
+            assert!(candidates.contains(&p));
+        }
+    }
+
+    #[test]
+    fn exploration_rate_is_approximately_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let candidates = [Port(9)];
+        let trials = 200_000;
+        let explored = (0..trials)
+            .filter(|_| epsilon_greedy(&mut rng, 0.01, Port(4), &candidates) == Port(9))
+            .count();
+        let rate = explored as f64 / trials as f64;
+        assert!((rate - 0.01).abs() < 0.003, "rate={rate}");
+    }
+
+    #[test]
+    fn empty_candidates_fall_back_to_preferred() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(epsilon_greedy(&mut rng, 1.0, Port(2), &[]), Port(2));
+    }
+}

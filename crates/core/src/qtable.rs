@@ -1,0 +1,122 @@
+//! The original Q-routing table (Boyan & Littman, 1993).
+//!
+//! One row per *destination router* in the system (`m = g·a` rows), one
+//! column per non-host port (`k − p` columns). Each entry estimates the
+//! delivery time from this router to the destination router when the packet
+//! leaves through the corresponding port.
+//!
+//! This table is kept for two reasons: (a) the Q-routing baseline of
+//! Section 2.3.2, and (b) the memory comparison against the two-level table
+//! (the two-level table needs half the rows on a balanced Dragonfly).
+
+use crate::table::QValueTable;
+use dragonfly_topology::ids::RouterId;
+use serde::{Deserialize, Serialize};
+
+/// Destination-router-indexed Q-table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    rows: usize,
+    columns: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// Create a table with every entry set to `initial`.
+    pub fn new(num_routers: usize, fabric_ports: usize, initial: f64) -> Self {
+        Self {
+            rows: num_routers,
+            columns: fabric_ports,
+            values: vec![initial; num_routers * fabric_ports],
+        }
+    }
+
+    /// Create a table whose entries are produced by `init(dest_router,
+    /// column)` — used to seed theoretical congestion-free delivery times.
+    pub fn from_fn(
+        num_routers: usize,
+        fabric_ports: usize,
+        mut init: impl FnMut(RouterId, usize) -> f64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(num_routers * fabric_ports);
+        for r in 0..num_routers {
+            for c in 0..fabric_ports {
+                values.push(init(RouterId::from_index(r), c));
+            }
+        }
+        Self {
+            rows: num_routers,
+            columns: fabric_ports,
+            values,
+        }
+    }
+
+    /// Row index of a destination router.
+    #[inline]
+    pub fn row(&self, dest: RouterId) -> usize {
+        dest.index()
+    }
+
+    /// Convenience wrapper over [`QValueTable::get`] keyed by router.
+    pub fn value(&self, dest: RouterId, column: usize) -> f64 {
+        self.get(self.row(dest), column)
+    }
+
+    /// Convenience wrapper over [`QValueTable::best_in_row`] keyed by router.
+    pub fn best_for(&self, dest: RouterId) -> (usize, f64) {
+        self.best_in_row(self.row(dest))
+    }
+}
+
+impl QValueTable for QTable {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn columns(&self) -> usize {
+        self.columns
+    }
+
+    #[inline]
+    fn get(&self, row: usize, column: usize) -> f64 {
+        self.values[row * self.columns + column]
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, column: usize, value: f64) {
+        self.values[row * self.columns + column] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_1056() {
+        // 264 routers, radix 15, 4 host ports -> 11 fabric ports.
+        let t = QTable::new(264, 11, 100.0);
+        assert_eq!(t.rows(), 264);
+        assert_eq!(t.columns(), 11);
+        assert_eq!(t.len(), 264 * 11);
+        assert_eq!(t.memory_bytes(), 264 * 11 * 8);
+        assert_eq!(t.get(0, 0), 100.0);
+        assert_eq!(t.value(RouterId(263), 10), 100.0);
+    }
+
+    #[test]
+    fn from_fn_seeds_per_destination_values() {
+        let t = QTable::from_fn(4, 3, |r, c| (r.index() * 10 + c) as f64);
+        assert_eq!(t.value(RouterId(2), 1), 21.0);
+        assert_eq!(t.best_for(RouterId(3)), (0, 30.0));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = QTable::new(5, 4, 1.0);
+        t.set(3, 2, 42.5);
+        assert_eq!(t.get(3, 2), 42.5);
+        assert_eq!(t.get(3, 1), 1.0);
+        assert_eq!(t.best_in_row(3), (0, 1.0));
+    }
+}

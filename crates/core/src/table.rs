@@ -1,0 +1,109 @@
+//! The common interface of Q-value tables.
+//!
+//! Both the original destination-router-indexed table ([`crate::QTable`])
+//! and the paper's two-level table ([`crate::TwoLevelQTable`]) implement
+//! this trait, which lets the routing agent, the ablation benches and the
+//! memory-comparison experiment treat them interchangeably.
+
+/// A dense `rows × columns` table of Q-values (estimated delivery times in
+/// nanoseconds — *lower is better*).
+pub trait QValueTable {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns (one per non-host port).
+    fn columns(&self) -> usize;
+
+    /// Read one value.
+    fn get(&self, row: usize, column: usize) -> f64;
+
+    /// Overwrite one value.
+    fn set(&mut self, row: usize, column: usize, value: f64);
+
+    /// The column with the smallest value in `row` and that value.
+    /// Ties are broken towards the lowest column index, which makes the
+    /// lookup deterministic.
+    fn best_in_row(&self, row: usize) -> (usize, f64) {
+        let mut best_col = 0;
+        let mut best_val = f64::INFINITY;
+        for c in 0..self.columns() {
+            let v = self.get(row, c);
+            if v < best_val {
+                best_val = v;
+                best_col = c;
+            }
+        }
+        (best_col, best_val)
+    }
+
+    /// The smallest value in `row`.
+    fn min_in_row(&self, row: usize) -> f64 {
+        self.best_in_row(row).1
+    }
+
+    /// Memory footprint of the value storage in bytes (the paper's
+    /// router-memory comparison).
+    fn memory_bytes(&self) -> usize {
+        self.rows() * self.columns() * std::mem::size_of::<f64>()
+    }
+
+    /// Number of stored Q-values.
+    fn len(&self) -> usize {
+        self.rows() * self.columns()
+    }
+
+    /// Whether the table is empty (degenerate configuration).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal in-memory implementation used to test the default methods.
+    struct Dense {
+        rows: usize,
+        cols: usize,
+        v: Vec<f64>,
+    }
+
+    impl QValueTable for Dense {
+        fn rows(&self) -> usize {
+            self.rows
+        }
+        fn columns(&self) -> usize {
+            self.cols
+        }
+        fn get(&self, row: usize, column: usize) -> f64 {
+            self.v[row * self.cols + column]
+        }
+        fn set(&mut self, row: usize, column: usize, value: f64) {
+            self.v[row * self.cols + column] = value;
+        }
+    }
+
+    #[test]
+    fn best_in_row_breaks_ties_towards_low_columns() {
+        let t = Dense {
+            rows: 1,
+            cols: 4,
+            v: vec![5.0, 3.0, 3.0, 9.0],
+        };
+        assert_eq!(t.best_in_row(0), (1, 3.0));
+        assert_eq!(t.min_in_row(0), 3.0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let t = Dense {
+            rows: 10,
+            cols: 4,
+            v: vec![0.0; 40],
+        };
+        assert_eq!(t.len(), 40);
+        assert!(!t.is_empty());
+        assert_eq!(t.memory_bytes(), 40 * 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! The two-level Q-table (Table 3 of the paper).
+//!
+//! One row per *(destination group, source-node slot)* pair — `g · p` rows —
+//! and one column per non-host port (`k − p` columns). Compared with the
+//! original destination-router-indexed table (`g · a` rows) this is half
+//! the size on a balanced Dragonfly (`a = 2p`), and every update for any
+//! destination router of a group refreshes the same row, which mitigates the
+//! stale-value problem of rarely visited destinations.
+
+use crate::table::QValueTable;
+use dragonfly_topology::ids::GroupId;
+use serde::{Deserialize, Serialize};
+
+/// The `(g·p) × (k−p)` two-level Q-table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelQTable {
+    groups: usize,
+    nodes_per_router: usize,
+    columns: usize,
+    values: Vec<f64>,
+}
+
+impl TwoLevelQTable {
+    /// Create a table with every entry set to `initial`.
+    pub fn new(groups: usize, nodes_per_router: usize, fabric_ports: usize, initial: f64) -> Self {
+        let rows = groups * nodes_per_router;
+        Self {
+            groups,
+            nodes_per_router,
+            columns: fabric_ports,
+            values: vec![initial; rows * fabric_ports],
+        }
+    }
+
+    /// Create a table whose entries are produced by
+    /// `init(destination_group, source_slot, column)`.
+    pub fn from_fn(
+        groups: usize,
+        nodes_per_router: usize,
+        fabric_ports: usize,
+        mut init: impl FnMut(GroupId, usize, usize) -> f64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(groups * nodes_per_router * fabric_ports);
+        for g in 0..groups {
+            for slot in 0..nodes_per_router {
+                for c in 0..fabric_ports {
+                    values.push(init(GroupId::from_index(g), slot, c));
+                }
+            }
+        }
+        Self {
+            groups,
+            nodes_per_router,
+            columns: fabric_ports,
+            values,
+        }
+    }
+
+    /// Number of groups the table covers.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Nodes per router (`p`).
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// The row used for a packet generated on source slot `src_slot`
+    /// (0..p) and destined for `dst_group` — the paper's `j·p + n`.
+    #[inline]
+    pub fn row(&self, dst_group: GroupId, src_slot: u8) -> usize {
+        debug_assert!((src_slot as usize) < self.nodes_per_router);
+        debug_assert!(dst_group.index() < self.groups);
+        dst_group.index() * self.nodes_per_router + src_slot as usize
+    }
+
+    /// Convenience accessor keyed by (group, slot).
+    pub fn value(&self, dst_group: GroupId, src_slot: u8, column: usize) -> f64 {
+        self.get(self.row(dst_group, src_slot), column)
+    }
+
+    /// Best column and value for a (group, slot) pair.
+    pub fn best_for(&self, dst_group: GroupId, src_slot: u8) -> (usize, f64) {
+        self.best_in_row(self.row(dst_group, src_slot))
+    }
+}
+
+impl QValueTable for TwoLevelQTable {
+    fn rows(&self) -> usize {
+        self.groups * self.nodes_per_router
+    }
+
+    fn columns(&self) -> usize {
+        self.columns
+    }
+
+    #[inline]
+    fn get(&self, row: usize, column: usize) -> f64 {
+        self.values[row * self.columns + column]
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, column: usize, value: f64) {
+        self.values[row * self.columns + column] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qtable::QTable;
+
+    #[test]
+    fn paper_dimensions_and_memory_claim_1056() {
+        // 1,056-node system: g=33, p=4, a=8, fabric ports = 11.
+        let two_level = TwoLevelQTable::new(33, 4, 11, 0.0);
+        let original = QTable::new(264, 11, 0.0);
+        assert_eq!(two_level.rows(), 33 * 4);
+        assert_eq!(original.rows(), 264);
+        // Balanced dragonfly (a = 2p): exactly half the memory.
+        assert_eq!(two_level.memory_bytes() * 2, original.memory_bytes());
+    }
+
+    #[test]
+    fn paper_dimensions_and_memory_claim_2550() {
+        // 2,550-node system: g=51, p=5, a=10, fabric ports = 14.
+        let two_level = TwoLevelQTable::new(51, 5, 14, 0.0);
+        let original = QTable::new(510, 14, 0.0);
+        assert_eq!(two_level.memory_bytes() * 2, original.memory_bytes());
+    }
+
+    #[test]
+    fn row_indexing_follows_j_times_p_plus_n() {
+        let t = TwoLevelQTable::new(5, 4, 3, 0.0);
+        assert_eq!(t.row(GroupId(0), 0), 0);
+        assert_eq!(t.row(GroupId(0), 3), 3);
+        assert_eq!(t.row(GroupId(2), 1), 9);
+        assert_eq!(t.row(GroupId(4), 3), 19);
+        assert_eq!(t.rows(), 20);
+    }
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let t = TwoLevelQTable::from_fn(3, 2, 4, |g, slot, c| {
+            (g.index() * 100 + slot * 10 + c) as f64
+        });
+        assert_eq!(t.value(GroupId(2), 1, 3), 213.0);
+        assert_eq!(t.best_for(GroupId(1), 0), (0, 100.0));
+    }
+
+    #[test]
+    fn set_updates_only_the_target_cell() {
+        let mut t = TwoLevelQTable::new(3, 2, 4, 7.0);
+        let row = t.row(GroupId(1), 1);
+        t.set(row, 2, 1.0);
+        assert_eq!(t.get(row, 2), 1.0);
+        assert_eq!(t.get(row, 1), 7.0);
+        assert_eq!(t.best_in_row(row), (2, 1.0));
+        // Other rows untouched.
+        assert_eq!(t.get(t.row(GroupId(0), 0), 2), 7.0);
+    }
+}

@@ -1,0 +1,747 @@
+//! The event-driven simulation loop.
+//!
+//! See the crate-level documentation for the model. The engine is generic
+//! over the [`SimObserver`] so that callers can retrieve their metric
+//! collectors by value after the run.
+
+use crate::config::EngineConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::injector::TrafficInjector;
+use crate::nic::NicState;
+use crate::observer::SimObserver;
+use crate::packet::{Packet, RouteInfo};
+use crate::router::{RouterState, Waiter};
+use crate::routing::{Decision, FeedbackMsg, RouterCtx, RoutingAlgorithm};
+use crate::time::SimTime;
+use dragonfly_topology::ids::{NodeId, Port, RouterId};
+use dragonfly_topology::paths::HopKind;
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::topology::Neighbor;
+use dragonfly_topology::Dragonfly;
+
+/// Aggregate counters maintained by the engine itself (independent of the
+/// observer, so they are always available).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Messages generated at NICs.
+    pub generated: u64,
+    /// Packets injected into the router fabric.
+    pub injected: u64,
+    /// Packets delivered to their destination node.
+    pub delivered: u64,
+    /// Events processed so far.
+    pub events: u64,
+}
+
+impl EngineStats {
+    /// Packets generated but not yet delivered (in NIC queues or in the
+    /// fabric).
+    pub fn outstanding(&self) -> u64 {
+        self.generated - self.delivered
+    }
+}
+
+/// The flit-level Dragonfly simulator.
+pub struct Engine<O: SimObserver> {
+    topo: Dragonfly,
+    cfg: EngineConfig,
+    routers: Vec<RouterState>,
+    agents: Vec<Box<dyn crate::routing::RouterAgent>>,
+    nics: Vec<NicState>,
+    queue: EventQueue,
+    injector: Box<dyn TrafficInjector>,
+    pending_injection: Option<crate::injector::Injection>,
+    observer: O,
+    now: SimTime,
+    next_packet_id: u64,
+    stats: EngineStats,
+}
+
+impl<O: SimObserver> Engine<O> {
+    /// Build a simulator: one router state and one routing agent per router,
+    /// one NIC per node.
+    pub fn new(
+        topo: Dragonfly,
+        cfg: EngineConfig,
+        algorithm: &dyn RoutingAlgorithm,
+        injector: Box<dyn TrafficInjector>,
+        observer: O,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            cfg.num_vcs,
+            algorithm.num_vcs(),
+            "EngineConfig::num_vcs must match the routing algorithm's VC requirement"
+        );
+        let routers: Vec<RouterState> = topo
+            .routers()
+            .map(|_| RouterState::new(&topo, &cfg))
+            .collect();
+        let agents: Vec<Box<dyn crate::routing::RouterAgent>> = topo
+            .routers()
+            .map(|r| {
+                // Derive a distinct, deterministic seed per router.
+                let router_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(r.index() as u64);
+                algorithm.make_agent(&topo, &cfg, r, router_seed)
+            })
+            .collect();
+        let nics = topo.nodes().map(|_| NicState::new(&cfg)).collect();
+        let mut engine = Self {
+            topo,
+            cfg,
+            routers,
+            agents,
+            nics,
+            queue: EventQueue::new(),
+            injector,
+            pending_injection: None,
+            observer,
+            now: 0,
+            next_packet_id: 0,
+            stats: EngineStats::default(),
+        };
+        engine.pull_next_injection();
+        engine
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors
+    // ------------------------------------------------------------------
+
+    /// Current simulation time (ns).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.events = self.queue.processed();
+        s
+    }
+
+    /// Borrow the observer (metric collector).
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutably borrow the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consume the engine and return the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Borrow the routing agent of one router (useful for inspecting
+    /// learned state in tests and analyses).
+    pub fn agent(&self, router: RouterId) -> &dyn crate::routing::RouterAgent {
+        self.agents[router.index()].as_ref()
+    }
+
+    /// Total packets currently buffered inside the router fabric.
+    pub fn fabric_occupancy(&self) -> usize {
+        self.routers.iter().map(|r| r.buffered_packets()).sum()
+    }
+
+    /// Total packets waiting in NIC source queues.
+    pub fn nic_backlog(&self) -> usize {
+        self.nics.iter().map(|n| n.backlog()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Run the simulation until (and including) simulated time `t_end`.
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(event.time >= self.now, "time must not go backwards");
+            self.now = event.time;
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        self.now = self.now.max(t_end);
+        processed
+    }
+
+    /// Run until there are no more events (traffic exhausted and all packets
+    /// drained) or until `t_max` is reached. Returns the finishing time.
+    pub fn run_to_drain(&mut self, t_max: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > t_max {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            self.now = event.time;
+            self.dispatch(event.kind);
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TrafficArrival => self.handle_traffic_arrival(),
+            EventKind::NicTryInject { node } => {
+                self.nics[node.index()].retry_pending = false;
+                self.try_nic_inject(node);
+            }
+            EventKind::NicCredit { node } => {
+                let nic = &mut self.nics[node.index()];
+                nic.credits += 1;
+                debug_assert!(nic.credits <= self.cfg.vc_buffer_packets);
+                self.try_nic_inject(node);
+            }
+            EventKind::RouterArrive {
+                router,
+                port,
+                vc,
+                packet,
+            } => self.handle_router_arrive(router, port, vc, *packet),
+            EventKind::SwitchAttempt { router, port, vc } => {
+                self.handle_switch_attempt(router, port, vc)
+            }
+            EventKind::OutputAttempt { router, port } => {
+                self.handle_output_attempt(router, port)
+            }
+            EventKind::CreditArrive { router, port, vc } => {
+                self.routers[router.index()].return_credit(port, vc, &self.cfg);
+                self.schedule_output_attempt(router, port, self.now);
+            }
+            EventKind::RlFeedback { router, msg } => {
+                self.agents[router.index()].feedback(&msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic generation and injection
+    // ------------------------------------------------------------------
+
+    fn pull_next_injection(&mut self) {
+        if let Some(inj) = self.injector.next_injection() {
+            debug_assert!(
+                inj.time >= self.now,
+                "injector produced an injection in the past"
+            );
+            self.queue.push(inj.time.max(self.now), EventKind::TrafficArrival);
+            self.pending_injection = Some(inj);
+        } else {
+            self.pending_injection = None;
+        }
+    }
+
+    fn handle_traffic_arrival(&mut self) {
+        let inj = match self.pending_injection.take() {
+            Some(i) => i,
+            None => return,
+        };
+        let packet = self.make_packet(inj.src, inj.dst, self.now);
+        self.observer.packet_generated(&packet, self.now);
+        self.stats.generated += 1;
+        self.nics[inj.src.index()].generated += 1;
+        self.nics[inj.src.index()].source_queue.push_back(packet);
+        self.try_nic_inject(inj.src);
+        self.pull_next_injection();
+    }
+
+    fn make_packet(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> Packet {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let src_router = self.topo.router_of_node(src);
+        let dst_router = self.topo.router_of_node(dst);
+        Packet {
+            id,
+            src,
+            dst,
+            src_router,
+            dst_router,
+            dst_group: self.topo.group_of_router(dst_router),
+            src_group: self.topo.group_of_router(src_router),
+            src_slot: self.topo.node_slot(src) as u8,
+            size_bytes: self.cfg.packet_bytes,
+            created_ns: now,
+            injected_ns: now,
+            hops: 0,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: now,
+            pending_decision: None,
+        }
+    }
+
+    fn try_nic_inject(&mut self, node: NodeId) {
+        let ser = self.cfg.serialization_ns();
+        let host_lat = self.cfg.host_latency_ns;
+        let nic = &mut self.nics[node.index()];
+        if nic.source_queue.is_empty() || nic.credits == 0 {
+            // A NicCredit event (or new traffic) will retry later.
+            return;
+        }
+        if nic.link_free_at > self.now {
+            if !nic.retry_pending {
+                nic.retry_pending = true;
+                let at = nic.link_free_at;
+                self.queue.push(at, EventKind::NicTryInject { node });
+            }
+            return;
+        }
+        let mut packet = nic.source_queue.pop_front().expect("checked non-empty");
+        packet.injected_ns = self.now;
+        packet.last_decision_ns = self.now;
+        nic.credits -= 1;
+        nic.injected += 1;
+        nic.link_free_at = self.now + ser;
+        let more = !nic.source_queue.is_empty() && nic.credits > 0 && !nic.retry_pending;
+        if more {
+            nic.retry_pending = true;
+            let at = nic.link_free_at;
+            self.queue.push(at, EventKind::NicTryInject { node });
+        }
+        self.observer.packet_injected(&packet, self.now);
+        self.stats.injected += 1;
+        let router = self.topo.router_of_node(node);
+        let port = self.topo.ejection_port(node);
+        self.queue.push(
+            self.now + ser + host_lat,
+            EventKind::RouterArrive {
+                router,
+                port,
+                vc: 0,
+                packet: Box::new(packet),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Router pipeline
+    // ------------------------------------------------------------------
+
+    fn handle_router_arrive(&mut self, router: RouterId, port: Port, vc: u8, packet: Packet) {
+        let state = &mut self.routers[router.index()];
+        let len = state.push_input(port, vc, packet, &self.cfg);
+        if len == 1 {
+            self.queue.push(
+                self.now + self.cfg.router_latency_ns,
+                EventKind::SwitchAttempt { router, port, vc },
+            );
+        }
+    }
+
+    fn handle_switch_attempt(&mut self, router: RouterId, port: Port, vc: u8) {
+        let r = router.index();
+        // Temporarily remove the head-of-line packet so that the agent can
+        // mutate it while the router state stays immutably borrowable.
+        let mut packet = match self.routers[r].pop_input(port, vc) {
+            Some(p) => p,
+            None => return,
+        };
+
+        let decision = match packet.pending_decision {
+            Some((p, v)) => Decision { port: p, vc: v },
+            None => {
+                if packet.dst_router == router {
+                    Decision {
+                        port: self.topo.ejection_port(packet.dst),
+                        vc: packet.vc,
+                    }
+                } else {
+                    let ctx = RouterCtx {
+                        router,
+                        topology: &self.topo,
+                        config: &self.cfg,
+                        now: self.now,
+                        state: &self.routers[r],
+                    };
+                    let d = self.agents[r].decide(&ctx, &mut packet);
+                    debug_assert_ne!(
+                        self.topo.port_kind(d.port),
+                        PortKind::Host,
+                        "agents must not route to host ports (ejection is engine-handled)"
+                    );
+                    debug_assert!(
+                        (d.vc as usize) < self.cfg.num_vcs,
+                        "agent selected VC {} but only {} exist",
+                        d.vc,
+                        self.cfg.num_vcs
+                    );
+                    d
+                }
+            }
+        };
+
+        if !self.routers[r].output_has_space(decision.port, decision.vc, &self.cfg) {
+            // Blocked: remember the decision, restore head-of-line position
+            // and wait for the output queue to drain.
+            packet.pending_decision = Some((decision.port, decision.vc));
+            self.routers[r].push_input_front(port, vc, packet);
+            self.routers[r].add_waiter(decision.port, Waiter { in_port: port, vc });
+            return;
+        }
+
+        // --- Committed: the packet leaves the input buffer. ---
+
+        // 1. Return a credit upstream for the freed input slot.
+        self.send_credit_upstream(router, port, vc);
+
+        // 2. Deliver RL feedback to the router that forwarded the packet to
+        //    us (the per-hop delay is the reward; our own estimate of the
+        //    remaining time is the bootstrap value).
+        if let (Some(up_router), Some(up_port)) = (packet.last_router, packet.last_out_port) {
+            let reward_ns = (self.now - packet.last_decision_ns) as f64;
+            let downstream_estimate_ns = if packet.dst_router == router {
+                self.cfg.ejection_ns() as f64
+            } else {
+                let ctx = RouterCtx {
+                    router,
+                    topology: &self.topo,
+                    config: &self.cfg,
+                    now: self.now,
+                    state: &self.routers[r],
+                };
+                self.agents[r].estimate_after_decision(&ctx, &packet, decision)
+            };
+            let msg = FeedbackMsg {
+                src: packet.src,
+                dst: packet.dst,
+                dst_router: packet.dst_router,
+                dst_group: packet.dst_group,
+                src_slot: packet.src_slot,
+                port: up_port,
+                reward_ns,
+                downstream_estimate_ns,
+            };
+            let latency = self.input_link_latency(router, port);
+            self.queue.push(
+                self.now + latency,
+                EventKind::RlFeedback {
+                    router: up_router,
+                    msg,
+                },
+            );
+        }
+
+        // 3. Update per-packet bookkeeping and enqueue on the output side.
+        let ejecting = self.topo.port_kind(decision.port) == PortKind::Host;
+        if !ejecting {
+            packet.hops += 1;
+            packet.last_router = Some(router);
+            packet.last_out_port = Some(decision.port);
+            packet.last_decision_ns = self.now;
+            packet.vc = decision.vc;
+        }
+        packet.pending_decision = None;
+        self.routers[r].push_output(decision.port, decision.vc, packet);
+        self.schedule_output_attempt(router, decision.port, self.now);
+
+        // 4. The next packet in this input VC (if any) can now attempt the
+        //    switch; it has already been charged the router latency while
+        //    waiting behind the head-of-line packet.
+        if self.routers[r].input_buffer_len(port, vc) > 0 {
+            self.queue
+                .push(self.now, EventKind::SwitchAttempt { router, port, vc });
+        }
+    }
+
+    fn handle_output_attempt(&mut self, router: RouterId, port: Port) {
+        let r = router.index();
+        self.routers[r].set_output_event_pending(port, false);
+
+        if self.routers[r].link_free_at(port) > self.now {
+            let at = self.routers[r].link_free_at(port);
+            self.schedule_output_attempt(router, port, at);
+            return;
+        }
+        let vc = match self.routers[r].select_output_vc(port) {
+            Some(vc) => vc,
+            // Nothing sendable: either all queues empty or no credits.
+            // A credit arrival or a new enqueue will reschedule us.
+            None => return,
+        };
+        let packet = self.routers[r]
+            .pop_output(port, vc)
+            .expect("select_output_vc returned a non-empty queue");
+        let ser = self.cfg.serialization_ns();
+        self.routers[r].set_link_busy_until(port, self.now + ser);
+
+        // A slot was freed in this port's output queues: wake every blocked
+        // input VC waiting on it (they re-register if still blocked).
+        while let Some(w) = self.routers[r].pop_waiter(port) {
+            self.queue.push(
+                self.now,
+                EventKind::SwitchAttempt {
+                    router,
+                    port: w.in_port,
+                    vc: w.vc,
+                },
+            );
+        }
+
+        match self.topo.port_kind(port) {
+            PortKind::Host => {
+                // Ejection: deliver to the attached node.
+                let delivery = self.now + ser + self.cfg.host_latency_ns;
+                debug_assert_eq!(self.topo.ejection_port(packet.dst), port);
+                self.observer.packet_delivered(&packet, delivery);
+                self.stats.delivered += 1;
+            }
+            PortKind::Local | PortKind::Global => {
+                self.routers[r].consume_credit(port, vc);
+                let (down_router, down_port) = match self.topo.neighbor(router, port) {
+                    Neighbor::Router { router, port } => (router, port),
+                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
+                };
+                let latency = self.output_link_latency(port);
+                self.queue.push(
+                    self.now + ser + latency,
+                    EventKind::RouterArrive {
+                        router: down_router,
+                        port: down_port,
+                        vc,
+                        packet: Box::new(packet),
+                    },
+                );
+            }
+        }
+
+        if self.routers[r].output_queue_len(port) > 0 {
+            self.schedule_output_attempt(router, port, self.now + ser);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn schedule_output_attempt(&mut self, router: RouterId, port: Port, at: SimTime) {
+        let state = &mut self.routers[router.index()];
+        if state.output_event_pending(port) {
+            return;
+        }
+        state.set_output_event_pending(port, true);
+        self.queue
+            .push(at.max(self.now), EventKind::OutputAttempt { router, port });
+    }
+
+    /// Latency of the link feeding input `port` of `router` (used for
+    /// credit returns and feedback messages travelling upstream).
+    fn input_link_latency(&self, _router: RouterId, port: Port) -> SimTime {
+        match self.topo.port_kind(port) {
+            PortKind::Host => self.cfg.host_latency_ns,
+            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
+            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
+        }
+    }
+
+    /// Latency of the link driven by output `port`.
+    fn output_link_latency(&self, port: Port) -> SimTime {
+        match self.topo.port_kind(port) {
+            PortKind::Host => self.cfg.host_latency_ns,
+            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
+            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
+        }
+    }
+
+    fn send_credit_upstream(&mut self, router: RouterId, port: Port, vc: u8) {
+        match self.topo.port_kind(port) {
+            PortKind::Host => {
+                // The packet came from a NIC: give the NIC its credit back.
+                let node = match self.topo.neighbor(router, port) {
+                    Neighbor::Node(n) => n,
+                    Neighbor::Router { .. } => unreachable!("host port resolved to a router"),
+                };
+                self.queue.push(
+                    self.now + self.cfg.host_latency_ns,
+                    EventKind::NicCredit { node },
+                );
+            }
+            PortKind::Local | PortKind::Global => {
+                let (up_router, up_port) = match self.topo.neighbor(router, port) {
+                    Neighbor::Router { router, port } => (router, port),
+                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
+                };
+                let latency = self.input_link_latency(router, port);
+                self.queue.push(
+                    self.now + latency,
+                    EventKind::CreditArrive {
+                        router: up_router,
+                        port: up_port,
+                        vc,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::{Injection, ScriptedInjector};
+    use crate::observer::CountingObserver;
+    use crate::testing::MinimalTestRouting;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    fn run_scripted(injections: Vec<Injection>, t_end: SimTime) -> (EngineStats, CountingObserver) {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let algo = MinimalTestRouting;
+        let cfg = EngineConfig::paper(algo.num_vcs());
+        let mut engine = Engine::new(
+            topo,
+            cfg,
+            &algo,
+            Box::new(ScriptedInjector::new(injections)),
+            CountingObserver::default(),
+            42,
+        );
+        engine.run_to_drain(t_end);
+        (engine.stats(), *engine.observer())
+    }
+
+    #[test]
+    fn single_packet_same_router_is_delivered() {
+        // Nodes 0 and 1 share router 0 in the tiny config (p = 2).
+        let (stats, obs) = run_scripted(
+            vec![Injection {
+                time: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+            }],
+            1_000_000,
+        );
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(obs.delivered, 1);
+        assert_eq!(obs.total_hops, 0, "same-router delivery takes no fabric hop");
+    }
+
+    #[test]
+    fn single_packet_cross_group_takes_at_most_three_hops() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        // Pick a destination in a different group from node 0.
+        let dst = topo
+            .nodes()
+            .find(|n| topo.group_of_node(*n) != topo.group_of_node(NodeId(0)))
+            .unwrap();
+        let (stats, obs) = run_scripted(
+            vec![Injection {
+                time: 0,
+                src: NodeId(0),
+                dst,
+            }],
+            1_000_000,
+        );
+        assert_eq!(stats.delivered, 1);
+        assert!(obs.total_hops >= 1 && obs.total_hops <= 3);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_theory() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let dst = topo
+            .nodes()
+            .find(|n| topo.group_of_node(*n) != topo.group_of_node(NodeId(0)))
+            .unwrap();
+        let algo = MinimalTestRouting;
+        let cfg = EngineConfig::paper(algo.num_vcs());
+        let kinds = topo.minimal_hop_kinds(topo.router_of_node(NodeId(0)), topo.router_of_node(dst));
+        let expected = cfg.theoretical_latency_ns(&kinds);
+        let (_stats, obs) = run_scripted(
+            vec![Injection {
+                time: 0,
+                src: NodeId(0),
+                dst,
+            }],
+            1_000_000,
+        );
+        assert_eq!(obs.delivered, 1);
+        assert_eq!(obs.total_latency_ns as u64, expected);
+    }
+
+    #[test]
+    fn all_packets_eventually_delivered_under_light_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = topo.num_nodes();
+        let mut script = Vec::new();
+        for i in 0..2_000u64 {
+            let src = NodeId::from_index(rng.gen_range(0..n));
+            let mut dst = NodeId::from_index(rng.gen_range(0..n));
+            while dst == src {
+                dst = NodeId::from_index(rng.gen_range(0..n));
+            }
+            // roughly 20% offered load spread over all nodes
+            script.push(Injection {
+                time: i * 80,
+                src,
+                dst,
+            });
+        }
+        let (stats, obs) = run_scripted(script, 50_000_000);
+        assert_eq!(stats.generated, 2_000);
+        assert_eq!(stats.delivered, 2_000, "lossless network must deliver everything");
+        assert!(obs.mean_hops() <= 3.0 + 1e-9);
+        assert!(obs.mean_latency_ns() > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let n = topo.num_nodes();
+        let mut rng = StdRng::seed_from_u64(9);
+        let script: Vec<Injection> = (0..500u64)
+            .map(|i| Injection {
+                time: i * 40,
+                src: NodeId::from_index(rng.gen_range(0..n)),
+                dst: NodeId::from_index(rng.gen_range(0..n)),
+            })
+            .collect();
+        let (s1, o1) = run_scripted(script.clone(), 10_000_000);
+        let (s2, o2) = run_scripted(script, 10_000_000);
+        assert_eq!(s1, s2);
+        assert_eq!(o1.total_latency_ns, o2.total_latency_ns);
+        assert_eq!(o1.total_hops, o2.total_hops);
+    }
+
+    #[test]
+    fn stats_outstanding_counts_undelivered() {
+        let (stats, _obs) = run_scripted(
+            vec![Injection {
+                time: 0,
+                src: NodeId(0),
+                dst: NodeId(70),
+            }],
+            // Stop the clock before the packet can possibly arrive.
+            10,
+        );
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.outstanding(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is a
+//! monotonically increasing counter assigned at push time. The sequence
+//! tie-break makes the simulation fully deterministic: two events scheduled
+//! for the same nanosecond are processed in the order they were scheduled.
+
+use crate::packet::Packet;
+use crate::routing::FeedbackMsg;
+use crate::time::SimTime;
+use dragonfly_topology::ids::{NodeId, Port, RouterId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// The next scheduled traffic injection is due: materialise the packet
+    /// at its source NIC and pull the following injection from the
+    /// [`crate::injector::TrafficInjector`].
+    TrafficArrival,
+    /// A NIC should (re)try pushing the head of its source queue into its
+    /// router's host input buffer.
+    NicTryInject { node: NodeId },
+    /// A credit for the host input buffer came back to the NIC.
+    NicCredit { node: NodeId },
+    /// A packet finished traversing a link and lands in the input buffer
+    /// `(port, vc)` of `router`.
+    RouterArrive {
+        router: RouterId,
+        port: Port,
+        vc: u8,
+        packet: Box<Packet>,
+    },
+    /// The head packet of input buffer `(port, vc)` of `router` attempts
+    /// switch traversal (routing decision + move to an output queue).
+    SwitchAttempt {
+        router: RouterId,
+        port: Port,
+        vc: u8,
+    },
+    /// Output port `port` of `router` attempts to serialise a packet onto
+    /// its outgoing link.
+    OutputAttempt { router: RouterId, port: Port },
+    /// A credit for `(port, vc)` returned to `router` from its downstream
+    /// neighbour.
+    CreditArrive {
+        router: RouterId,
+        port: Port,
+        vc: u8,
+    },
+    /// Reinforcement-learning feedback delivered to the agent of `router`.
+    RlFeedback {
+        router: RouterId,
+        msg: FeedbackMsg,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// Firing time in ns.
+    pub time: SimTime,
+    /// Scheduling order tie-break.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        let e = self.heap.pop();
+        if e.is_some() {
+            self.popped += 1;
+        }
+        e
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far (for performance reporting).
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(50, EventKind::TrafficArrival);
+        q.push(10, EventKind::TrafficArrival);
+        q.push(30, EventKind::TrafficArrival);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().time, 10);
+        assert_eq!(q.pop().unwrap().time, 30);
+        assert_eq!(q.pop().unwrap().time, 50);
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn equal_times_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.push(
+            5,
+            EventKind::NicTryInject {
+                node: NodeId(1),
+            },
+        );
+        q.push(
+            5,
+            EventKind::NicTryInject {
+                node: NodeId(2),
+            },
+        );
+        q.push(
+            5,
+            EventKind::NicTryInject {
+                node: NodeId(3),
+            },
+        );
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::NicTryInject { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, EventKind::TrafficArrival);
+        q.push(7, EventKind::TrafficArrival);
+        assert_eq!(q.peek_time(), Some(7));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(42));
+    }
+}

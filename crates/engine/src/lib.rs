@@ -1,0 +1,65 @@
+//! # dragonfly-engine
+//!
+//! A flit-level, event-driven Dragonfly network simulator — the substrate
+//! the Q-adaptive paper builds on (the paper uses SST/Merlin; this crate is
+//! a from-scratch Rust equivalent at the same modelling granularity).
+//!
+//! ## Model
+//!
+//! * **Packets** are single 128 B flits (the paper's configuration), so the
+//!   flit and packet level coincide. Serialisation over a 4 GB/s link takes
+//!   32 ns per packet.
+//! * **Routers** are input-output queued: every port has per-virtual-channel
+//!   input buffers (20 packets each) and per-virtual-channel output queues.
+//!   A packet arriving on an input buffer waits one router traversal
+//!   latency, asks the router's [`routing::RouterAgent`] for an output port,
+//!   moves to the corresponding output queue when it has space, and is then
+//!   serialised onto the link when a credit for the downstream buffer is
+//!   available.
+//! * **Credit-based flow control**: a router may only send a packet to a
+//!   neighbour when the neighbour's input buffer for the chosen virtual
+//!   channel has a free slot; credits travel back with one link latency.
+//!   The network is lossless.
+//! * **Links** have 30 ns (local) / 300 ns (global) latency and 4 GB/s
+//!   bandwidth, matching the paper's experimental setup.
+//! * **NICs** hold an unbounded source queue per compute node (offered load
+//!   beyond what the network accepts accumulates there, which is what lets
+//!   the measured throughput saturate below the offered load).
+//! * **Reinforcement-learning feedback**: whenever router *y* forwards a
+//!   packet it received from router *x*, the engine delivers the per-hop
+//!   delay (the RL reward) and *y*'s own remaining-time estimate back to
+//!   *x*'s agent after one link latency, modelling the paper's piggy-backing
+//!   of rewards on credit/control traffic.
+//!
+//! The engine is deterministic for a fixed seed, traffic injector and
+//! routing algorithm.
+//!
+//! ## Who plugs in what
+//!
+//! * Routing algorithms implement [`routing::RoutingAlgorithm`] /
+//!   [`routing::RouterAgent`] (see `dragonfly-routing` and
+//!   `qadaptive-core`).
+//! * Workloads implement [`injector::TrafficInjector`]
+//!   (see `dragonfly-sim`, which adapts `dragonfly-traffic` patterns).
+//! * Measurement code implements [`observer::SimObserver`]
+//!   (see `dragonfly-metrics` collectors in `dragonfly-sim`).
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod injector;
+pub mod nic;
+pub mod observer;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod testing;
+pub mod time;
+
+pub use config::EngineConfig;
+pub use engine::Engine;
+pub use injector::{Injection, TrafficInjector};
+pub use observer::SimObserver;
+pub use packet::{Packet, RouteInfo};
+pub use routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
+pub use time::SimTime;

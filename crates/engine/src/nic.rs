@@ -1,0 +1,104 @@
+//! Network-interface state for each compute node.
+//!
+//! A NIC holds an unbounded source queue (generated messages that have not
+//! yet entered the network) and the credit/serialisation state of the
+//! host link into its router. Offered load beyond what the network can
+//! absorb accumulates in the source queue; system throughput (the paper's
+//! metric) therefore saturates below the offered load under congestion.
+
+use crate::config::EngineConfig;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Per-node injection state.
+#[derive(Debug)]
+pub struct NicState {
+    /// Generated but not yet injected packets.
+    pub source_queue: VecDeque<Packet>,
+    /// Free slots in the router's host-port input buffer (VC 0).
+    pub credits: usize,
+    /// When the node-to-router link finishes serialising its current packet.
+    pub link_free_at: SimTime,
+    /// Whether a retry event is already scheduled for this NIC.
+    pub retry_pending: bool,
+    /// Total packets handed to this NIC by the traffic generator.
+    pub generated: u64,
+    /// Total packets injected into the fabric.
+    pub injected: u64,
+}
+
+impl NicState {
+    /// Create an idle NIC with a full credit allowance.
+    pub fn new(cfg: &EngineConfig) -> Self {
+        Self {
+            source_queue: VecDeque::new(),
+            credits: cfg.vc_buffer_packets,
+            link_free_at: 0,
+            retry_pending: false,
+            generated: 0,
+            injected: 0,
+        }
+    }
+
+    /// Whether the NIC can inject a packet right now.
+    pub fn can_inject(&self, now: SimTime) -> bool {
+        !self.source_queue.is_empty() && self.credits > 0 && self.link_free_at <= now
+    }
+
+    /// Packets waiting in the source queue.
+    pub fn backlog(&self) -> usize {
+        self.source_queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RouteInfo;
+    use dragonfly_topology::ids::{GroupId, NodeId, RouterId};
+
+    fn packet() -> Packet {
+        Packet {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_router: RouterId(0),
+            dst_router: RouterId(0),
+            dst_group: GroupId(0),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: 0,
+            injected_ns: 0,
+            hops: 0,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+
+    #[test]
+    fn fresh_nic_cannot_inject_without_packets() {
+        let nic = NicState::new(&EngineConfig::default());
+        assert!(!nic.can_inject(0));
+        assert_eq!(nic.backlog(), 0);
+    }
+
+    #[test]
+    fn injection_requires_credits_and_free_link() {
+        let cfg = EngineConfig::default();
+        let mut nic = NicState::new(&cfg);
+        nic.source_queue.push_back(packet());
+        assert!(nic.can_inject(0));
+        nic.credits = 0;
+        assert!(!nic.can_inject(0));
+        nic.credits = 1;
+        nic.link_free_at = 100;
+        assert!(!nic.can_inject(50));
+        assert!(nic.can_inject(100));
+    }
+}

@@ -1,0 +1,182 @@
+//! Packets (single-flit messages) and their in-flight routing state.
+
+use crate::time::SimTime;
+use dragonfly_topology::ids::{GroupId, NodeId, Port, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// Which routing mode a packet is currently committed to.
+///
+/// Minimal/non-minimal selection happens at the source router (and, for
+/// PAR and Q-adaptive, possibly at one more router); afterwards the mode is
+/// recorded here so downstream routers know how to forward the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteMode {
+    /// Forward along the unique minimal path to the destination.
+    Minimal,
+    /// Valiant-style non-minimal: first reach an intermediate group (and
+    /// optionally a specific intermediate router), then route minimally.
+    Valiant,
+}
+
+/// Adaptive/Valiant routing bookkeeping carried by each packet.
+///
+/// Routing agents read and update this state; the engine itself never
+/// interprets it (except for debug assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteInfo {
+    /// Minimal or Valiant.
+    pub mode: RouteMode,
+    /// Valiant intermediate group (for VALg/UGALg-style paths and
+    /// Q-adaptive packets that left their source group non-minimally).
+    pub intermediate_group: Option<GroupId>,
+    /// Valiant intermediate router (for VALn/UGALn/PAR-style paths).
+    pub intermediate_router: Option<RouterId>,
+    /// Set once the packet has reached its intermediate group/router and
+    /// switched to the minimal leg.
+    pub reached_intermediate: bool,
+    /// Q-adaptive: the first router visited in an intermediate group has
+    /// already made its (possibly rerouting) decision.
+    pub int_group_decision_done: bool,
+    /// PAR: a source-group router has already re-evaluated the minimal
+    /// decision (PAR only allows one such re-evaluation).
+    pub par_reevaluated: bool,
+}
+
+impl Default for RouteInfo {
+    fn default() -> Self {
+        Self {
+            mode: RouteMode::Minimal,
+            intermediate_group: None,
+            intermediate_router: None,
+            reached_intermediate: false,
+            int_group_decision_done: false,
+            par_reevaluated: false,
+        }
+    }
+}
+
+/// A single-flit packet travelling through the network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique, monotonically increasing id.
+    pub id: u64,
+    /// Generating compute node.
+    pub src: NodeId,
+    /// Destination compute node.
+    pub dst: NodeId,
+    /// Router the source node is attached to.
+    pub src_router: RouterId,
+    /// Router the destination node is attached to.
+    pub dst_router: RouterId,
+    /// Group of the destination node (first index of the two-level Q-table).
+    pub dst_group: GroupId,
+    /// Group of the source node.
+    pub src_group: GroupId,
+    /// Host-port slot of the source node on its router, in `0..p`
+    /// (second index of the two-level Q-table).
+    pub src_slot: u8,
+    /// Packet size in bytes.
+    pub size_bytes: u32,
+    /// Time the message was generated at the node.
+    pub created_ns: SimTime,
+    /// Time the packet left the NIC and entered the router fabric.
+    pub injected_ns: SimTime,
+    /// Router-to-router hops taken so far.
+    pub hops: u8,
+    /// Current virtual channel.
+    pub vc: u8,
+    /// Adaptive/Valiant routing state.
+    pub route: RouteInfo,
+    /// The previous router on the path (None while at the source router).
+    pub last_router: Option<RouterId>,
+    /// The output port the previous router used to forward this packet
+    /// (i.e. the Q-table column the feedback should update).
+    pub last_out_port: Option<Port>,
+    /// The time the previous router made its forwarding decision; the
+    /// per-hop RL reward is `now - last_decision_ns`.
+    pub last_decision_ns: SimTime,
+    /// Routing decision cached at the current router so that a blocked
+    /// packet retries the same output port instead of re-rolling.
+    pub pending_decision: Option<(Port, u8)>,
+}
+
+impl Packet {
+    /// End-to-end latency if the packet is delivered at `now`.
+    #[inline]
+    pub fn latency_ns(&self, now: SimTime) -> SimTime {
+        now.saturating_sub(self.created_ns)
+    }
+
+    /// Whether the packet is still at its source router (no fabric hop yet).
+    #[inline]
+    pub fn at_source_router(&self, current: RouterId) -> bool {
+        self.hops == 0 && current == self.src_router
+    }
+
+    /// Whether `group` is neither the packet's source nor destination group
+    /// (i.e. an intermediate group).
+    #[inline]
+    pub fn is_intermediate_group(&self, group: GroupId) -> bool {
+        group != self.src_group && group != self.dst_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet() -> Packet {
+        Packet {
+            id: 1,
+            src: NodeId(0),
+            dst: NodeId(10),
+            src_router: RouterId(0),
+            dst_router: RouterId(5),
+            dst_group: GroupId(1),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: 100,
+            injected_ns: 150,
+            hops: 0,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+
+    #[test]
+    fn latency_is_measured_from_generation() {
+        let p = packet();
+        assert_eq!(p.latency_ns(600), 500);
+        assert_eq!(p.latency_ns(50), 0, "saturates instead of underflowing");
+    }
+
+    #[test]
+    fn source_router_detection() {
+        let mut p = packet();
+        assert!(p.at_source_router(RouterId(0)));
+        assert!(!p.at_source_router(RouterId(1)));
+        p.hops = 1;
+        assert!(!p.at_source_router(RouterId(0)));
+    }
+
+    #[test]
+    fn intermediate_group_detection() {
+        let p = packet();
+        assert!(!p.is_intermediate_group(GroupId(0)));
+        assert!(!p.is_intermediate_group(GroupId(1)));
+        assert!(p.is_intermediate_group(GroupId(2)));
+    }
+
+    #[test]
+    fn default_route_info_is_minimal() {
+        let r = RouteInfo::default();
+        assert_eq!(r.mode, RouteMode::Minimal);
+        assert!(r.intermediate_group.is_none());
+        assert!(!r.reached_intermediate);
+    }
+}

@@ -1,0 +1,224 @@
+//! The interface between the engine and routing algorithms.
+//!
+//! Every router in the simulated system owns one [`RouterAgent`]. The engine
+//! consults the agent whenever a packet needs an output port, and delivers
+//! per-hop reinforcement-learning feedback to it. The agent only ever sees
+//! *local* information — its own router's output-queue occupancy and credit
+//! counters, exposed through [`RouterCtx`] — which mirrors the paper's fully
+//! distributed setting (no shared state between routers).
+
+use crate::config::EngineConfig;
+use crate::packet::Packet;
+use crate::router::RouterState;
+use crate::time::SimTime;
+use dragonfly_topology::ids::{GroupId, NodeId, Port, RouterId};
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::Dragonfly;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a routing decision: which output port to use and which
+/// virtual channel the packet should occupy on the next link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Output port of the current router.
+    pub port: Port,
+    /// Virtual channel for the next hop.
+    pub vc: u8,
+}
+
+/// Per-hop reinforcement-learning feedback, sent from a router back to the
+/// upstream router that forwarded the packet to it.
+///
+/// In hardware this information would be piggy-backed on credit/flow-control
+/// flits; in the simulator it is delivered as an event after one link
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackMsg {
+    /// Source node of the packet the feedback refers to.
+    pub src: NodeId,
+    /// Destination node of the packet.
+    pub dst: NodeId,
+    /// Destination router of the packet (row of the original Q-table).
+    pub dst_router: RouterId,
+    /// Destination group (first index of the two-level Q-table row).
+    pub dst_group: GroupId,
+    /// Source-node slot in `0..p` (second index of the two-level Q-table
+    /// row).
+    pub src_slot: u8,
+    /// The output port the *upstream* router used for this packet — the
+    /// Q-table column to update.
+    pub port: Port,
+    /// The reward: packet travelling time between the two routers
+    /// (decision-to-decision), in ns.
+    pub reward_ns: f64,
+    /// The downstream router's own estimate of the remaining delivery time
+    /// (its minimum Q-value for this packet, or the ejection time if the
+    /// downstream router is the destination), in ns.
+    pub downstream_estimate_ns: f64,
+}
+
+/// Read-only view of a router's local state, handed to agents when they
+/// make decisions.
+pub struct RouterCtx<'a> {
+    /// The router this context describes.
+    pub router: RouterId,
+    /// The topology (shared, immutable).
+    pub topology: &'a Dragonfly,
+    /// Engine configuration (timing constants, buffer sizes).
+    pub config: &'a EngineConfig,
+    /// Current simulation time.
+    pub now: SimTime,
+    pub(crate) state: &'a RouterState,
+}
+
+impl<'a> RouterCtx<'a> {
+    /// Total output-queue occupancy (packets) of a port, summed over VCs.
+    pub fn output_queue_len(&self, port: Port) -> usize {
+        self.state.output_queue_len(port)
+    }
+
+    /// Credits currently held for `(port, vc)` — i.e. free slots in the
+    /// downstream input buffer.
+    pub fn credits(&self, port: Port, vc: u8) -> usize {
+        self.state.credits(port, vc)
+    }
+
+    /// Credits already consumed on a port (summed over VCs): the number of
+    /// packets in flight to, or buffered at, the downstream router.
+    pub fn used_credits(&self, port: Port) -> usize {
+        self.state.used_credits(port, self.config)
+    }
+
+    /// The congestion estimate the paper's adaptive baselines use: local
+    /// output-queue occupancy plus used credit count.
+    pub fn congestion(&self, port: Port) -> usize {
+        if self.topology.port_kind(port) == PortKind::Host {
+            return self.output_queue_len(port);
+        }
+        self.output_queue_len(port) + self.used_credits(port)
+    }
+
+    /// Input-buffer occupancy of `(port, vc)` (mostly useful for tests and
+    /// debugging; the paper's algorithms only use output-side state).
+    pub fn input_buffer_len(&self, port: Port, vc: u8) -> usize {
+        self.state.input_buffer_len(port, vc)
+    }
+
+    /// Group of this router.
+    pub fn group(&self) -> GroupId {
+        self.topology.group_of_router(self.router)
+    }
+
+    /// Number of virtual channels available.
+    pub fn num_vcs(&self) -> usize {
+        self.config.num_vcs
+    }
+}
+
+/// The default virtual-channel assignment used by all algorithms in this
+/// repository: the VC index equals the number of hops already taken, capped
+/// at the algorithm's VC budget. Incrementing the VC every hop breaks
+/// channel-dependency cycles for the bounded-length paths all implemented
+/// algorithms produce.
+#[inline]
+pub fn vc_for_next_hop(packet: &Packet, num_vcs: usize) -> u8 {
+    (packet.hops as usize).min(num_vcs.saturating_sub(1)) as u8
+}
+
+/// A per-router routing agent.
+///
+/// Agents are created once per router by a [`RoutingAlgorithm`] and live for
+/// the whole simulation. They may keep arbitrary private state (Q-tables,
+/// RNGs, counters) but must not share state with other agents.
+pub trait RouterAgent: Send {
+    /// Choose an output port (and next-hop VC) for `packet`, currently at
+    /// the head of an input buffer of this router. The engine only calls
+    /// this when the packet's destination router is *not* this router
+    /// (ejection is handled by the engine).
+    fn decide(&mut self, ctx: &RouterCtx<'_>, packet: &mut Packet) -> Decision;
+
+    /// This router's own estimate (in ns) of the remaining delivery time of
+    /// `packet` from here, used as the bootstrap value in the feedback sent
+    /// to the upstream router. Non-learning algorithms may return 0.
+    fn estimate(&self, ctx: &RouterCtx<'_>, packet: &Packet) -> f64;
+
+    /// Like [`RouterAgent::estimate`], but called right after this router
+    /// has chosen `decision` for the packet. Learning agents should return
+    /// the value of the action they are actually taking (a SARSA-style
+    /// on-policy bootstrap): downstream routers are usually *forced* to
+    /// forward minimally, so reporting the row minimum would overestimate
+    /// their options and hide congestion from upstream routers.
+    fn estimate_after_decision(
+        &self,
+        ctx: &RouterCtx<'_>,
+        packet: &Packet,
+        decision: Decision,
+    ) -> f64 {
+        let _ = decision;
+        self.estimate(ctx, packet)
+    }
+
+    /// Reinforcement-learning feedback from a downstream router about a
+    /// packet this router forwarded earlier. Non-learning algorithms ignore
+    /// it.
+    fn feedback(&mut self, msg: &FeedbackMsg) {
+        let _ = msg;
+    }
+}
+
+/// Factory for router agents — one implementation per routing algorithm.
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Human-readable algorithm name (used in reports and plots).
+    fn name(&self) -> String;
+
+    /// The number of virtual channels the algorithm requires
+    /// (MIN 2, VALg 3, VALn/UGALn 4, PAR 5, Q-adaptive 5, ...).
+    fn num_vcs(&self) -> usize;
+
+    /// Create the agent for one router.
+    fn make_agent(
+        &self,
+        topology: &Dragonfly,
+        config: &EngineConfig,
+        router: RouterId,
+        seed: u64,
+    ) -> Box<dyn RouterAgent>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RouteInfo;
+
+    fn dummy_packet(hops: u8) -> Packet {
+        Packet {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(4),
+            src_router: RouterId(0),
+            dst_router: RouterId(2),
+            dst_group: GroupId(0),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: 0,
+            injected_ns: 0,
+            hops,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+
+    #[test]
+    fn vc_assignment_increments_and_caps() {
+        assert_eq!(vc_for_next_hop(&dummy_packet(0), 5), 0);
+        assert_eq!(vc_for_next_hop(&dummy_packet(3), 5), 3);
+        assert_eq!(vc_for_next_hop(&dummy_packet(9), 5), 4);
+        assert_eq!(vc_for_next_hop(&dummy_packet(9), 2), 1);
+        assert_eq!(vc_for_next_hop(&dummy_packet(0), 1), 0);
+    }
+}

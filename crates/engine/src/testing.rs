@@ -1,0 +1,80 @@
+//! Minimal helpers for engine-level tests and micro-benchmarks.
+//!
+//! `dragonfly-routing` contains the real algorithm implementations; this
+//! module only provides a bare-bones minimal-routing agent so the engine
+//! can be exercised without a dependency cycle.
+
+use crate::config::EngineConfig;
+use crate::packet::Packet;
+use crate::routing::{vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm};
+use dragonfly_topology::ids::RouterId;
+use dragonfly_topology::Dragonfly;
+
+/// Dimension-order style minimal routing used only for tests: every router
+/// forwards along the unique minimal path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimalTestRouting;
+
+impl RoutingAlgorithm for MinimalTestRouting {
+    fn name(&self) -> String {
+        "MIN(test)".to_string()
+    }
+
+    fn num_vcs(&self) -> usize {
+        3
+    }
+
+    fn make_agent(
+        &self,
+        _topology: &Dragonfly,
+        _config: &EngineConfig,
+        router: RouterId,
+        _seed: u64,
+    ) -> Box<dyn RouterAgent> {
+        Box::new(MinimalTestAgent { router })
+    }
+}
+
+/// The per-router agent of [`MinimalTestRouting`].
+#[derive(Debug, Clone, Copy)]
+pub struct MinimalTestAgent {
+    router: RouterId,
+}
+
+impl RouterAgent for MinimalTestAgent {
+    fn decide(&mut self, ctx: &RouterCtx<'_>, packet: &mut Packet) -> Decision {
+        let port = ctx
+            .topology
+            .minimal_port(self.router, packet.dst_router)
+            .expect("decide is never called at the destination router");
+        Decision {
+            port,
+            vc: vc_for_next_hop(packet, ctx.num_vcs()),
+        }
+    }
+
+    fn estimate(&self, ctx: &RouterCtx<'_>, packet: &Packet) -> f64 {
+        let kinds = ctx
+            .topology
+            .minimal_hop_kinds(self.router, packet.dst_router);
+        ctx.config.theoretical_delivery_ns(&kinds) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    #[test]
+    fn factory_produces_agents_for_every_router() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let algo = MinimalTestRouting;
+        let cfg = EngineConfig::paper(algo.num_vcs());
+        assert_eq!(algo.num_vcs(), 3);
+        assert!(algo.name().contains("MIN"));
+        for r in topo.routers() {
+            let _agent = algo.make_agent(&topo, &cfg, r, 0);
+        }
+    }
+}

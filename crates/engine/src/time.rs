@@ -1,0 +1,46 @@
+//! Simulation time.
+//!
+//! All times are integer nanoseconds since the start of the simulation.
+//! With the paper's constants (32 ns serialisation, 30/300 ns link latency)
+//! every event lands on an integer nanosecond, so no fractional time is
+//! needed, and `u64` nanoseconds cover ~584 years of simulated time.
+
+/// Simulation time in nanoseconds.
+pub type SimTime = u64;
+
+/// One microsecond in [`SimTime`] units.
+pub const MICROSECOND: SimTime = 1_000;
+
+/// One millisecond in [`SimTime`] units.
+pub const MILLISECOND: SimTime = 1_000_000;
+
+/// Convert a [`SimTime`] to microseconds as `f64` (handy for reporting —
+/// the paper reports latency in microseconds).
+#[inline]
+pub fn ns_to_us(t: SimTime) -> f64 {
+    t as f64 / 1_000.0
+}
+
+/// Convert microseconds to [`SimTime`] nanoseconds.
+#[inline]
+pub fn us_to_ns(us: f64) -> SimTime {
+    (us * 1_000.0).round() as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MICROSECOND, 1_000);
+        assert_eq!(MILLISECOND, 1_000_000);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(ns_to_us(1_500), 1.5);
+        assert_eq!(us_to_ns(1.5), 1_500);
+        assert_eq!(us_to_ns(ns_to_us(123_456)), 123_456);
+    }
+}

@@ -1,0 +1,115 @@
+//! A small fixed-bin histogram, used for hop-count distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over non-negative integer values with unit-width bins
+/// `[0, max]`; values above `max` land in the overflow bin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    weighted_sum: u128,
+}
+
+impl Histogram {
+    /// Create a histogram covering `0..=max`.
+    pub fn new(max: usize) -> Self {
+        Self {
+            bins: vec![0; max + 1],
+            overflow: 0,
+            total: 0,
+            weighted_sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: usize) {
+        if value < self.bins.len() {
+            self.bins[value] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.weighted_sum += value as u128;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations equal to `value` (0 for values beyond the range).
+    pub fn bin(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Observations above the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.weighted_sum as f64 / self.total as f64
+        }
+    }
+
+    /// The largest value with a non-empty bin, ignoring overflow
+    /// (`None` when empty).
+    pub fn max_observed(&self) -> Option<usize> {
+        self.bins.iter().rposition(|&c| c > 0)
+    }
+
+    /// Fraction of observations equal to `value`.
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bin(value) as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new(8);
+        for v in [3, 3, 4, 5, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bin(3), 3);
+        assert_eq!(h.bin(4), 1);
+        assert_eq!(h.bin(7), 0);
+        assert_eq!(h.mean(), 3.6);
+        assert_eq!(h.max_observed(), Some(5));
+        assert_eq!(h.fraction(3), 0.6);
+    }
+
+    #[test]
+    fn overflow_is_tracked_separately() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(9);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        // The mean still uses the true values.
+        assert_eq!(h.mean(), 5.5);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_observed(), None);
+        assert_eq!(h.fraction(0), 0.0);
+    }
+}

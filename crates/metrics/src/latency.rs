@@ -1,0 +1,198 @@
+//! Packet-latency statistics.
+//!
+//! The paper reports the mean, the quartiles (box plots of Figures 6 and 9)
+//! and the 95th/99th percentiles. Samples are stored in nanoseconds and a
+//! sorted copy is built lazily when a quantile is first requested.
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of latency samples (nanoseconds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: Option<Vec<u64>>,
+    sum: u128,
+}
+
+impl LatencyStats {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in nanoseconds.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.samples.push(latency_ns);
+        self.sum += latency_ns as u128;
+        self.sorted = None;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Mean latency in microseconds (the paper's unit).
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1_000.0
+    }
+
+    fn sorted(&mut self) -> &[u64] {
+        if self.sorted.is_none() {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            self.sorted = Some(v);
+        }
+        self.sorted.as_deref().unwrap()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank interpolation;
+    /// 0 when empty.
+    pub fn quantile_ns(&mut self, q: f64) -> u64 {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median (50th percentile) in nanoseconds.
+    pub fn median_ns(&mut self) -> u64 {
+        self.quantile_ns(0.5)
+    }
+
+    /// First quartile in nanoseconds.
+    pub fn q1_ns(&mut self) -> u64 {
+        self.quantile_ns(0.25)
+    }
+
+    /// Third quartile in nanoseconds.
+    pub fn q3_ns(&mut self) -> u64 {
+        self.quantile_ns(0.75)
+    }
+
+    /// 95th percentile in nanoseconds.
+    pub fn p95_ns(&mut self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99_ns(&mut self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max_ns(&mut self) -> u64 {
+        self.sorted().last().copied().unwrap_or(0)
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min_ns(&mut self) -> u64 {
+        self.sorted().first().copied().unwrap_or(0)
+    }
+
+    /// Fraction of samples strictly below `threshold_ns`
+    /// (e.g. the paper's "80.99 % of packets below 2 µs").
+    pub fn fraction_below(&mut self, threshold_ns: u64) -> f64 {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let below = sorted.partition_point(|&x| x < threshold_ns);
+        below as f64 / sorted.len() as f64
+    }
+
+    /// Merge another collection into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(values: &[u64]) -> LatencyStats {
+        let mut s = LatencyStats::new();
+        for v in values {
+            s.record(*v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_stats_report_zeroes() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.p99_ns(), 0);
+        assert_eq!(s.fraction_below(100), 0.0);
+    }
+
+    #[test]
+    fn mean_and_units() {
+        let s = stats(&[1_000, 2_000, 3_000]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean_ns(), 2_000.0);
+        assert_eq!(s.mean_us(), 2.0);
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let values: Vec<u64> = (1..=100).collect();
+        let mut s = stats(&values);
+        assert_eq!(s.min_ns(), 1);
+        assert_eq!(s.max_ns(), 100);
+        assert_eq!(s.median_ns(), 51);
+        assert_eq!(s.q1_ns(), 26);
+        assert_eq!(s.q3_ns(), 75);
+        assert_eq!(s.p95_ns(), 95);
+        assert_eq!(s.p99_ns(), 99);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly_less() {
+        let mut s = stats(&[1, 2, 2, 3, 10]);
+        assert_eq!(s.fraction_below(2), 0.2);
+        assert_eq!(s.fraction_below(3), 0.6);
+        assert_eq!(s.fraction_below(100), 1.0);
+    }
+
+    #[test]
+    fn recording_after_a_quantile_query_invalidates_the_cache() {
+        let mut s = stats(&[10, 20, 30]);
+        assert_eq!(s.max_ns(), 30);
+        s.record(100);
+        assert_eq!(s.max_ns(), 100);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a = stats(&[1, 2, 3]);
+        let b = stats(&[10, 20]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.mean_ns(), 7.2);
+        assert_eq!(a.max_ns(), 20);
+    }
+}

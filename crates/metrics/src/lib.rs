@@ -1,0 +1,22 @@
+//! # dragonfly-metrics
+//!
+//! Measurement primitives for the network simulations: packet-latency
+//! statistics (mean, quartiles, tail percentiles), hop-count statistics,
+//! throughput accounting normalised by injection bandwidth, binned time
+//! series for convergence/dynamic-load plots, and the
+//! [`report::SimulationReport`] record that the experiment harness and the
+//! figure-reproduction binaries consume.
+//!
+//! The crate is deliberately free of any simulator dependency so it can be
+//! unit-tested in isolation and reused by other tools.
+
+pub mod histogram;
+pub mod latency;
+pub mod report;
+pub mod throughput;
+pub mod timeseries;
+
+pub use latency::LatencyStats;
+pub use report::SimulationReport;
+pub use throughput::ThroughputMeter;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,155 @@
+//! The per-simulation result record consumed by the experiment harness,
+//! the examples and the figure-reproduction binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything measured in one simulation run (one routing algorithm, one
+/// traffic pattern, one offered load).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Routing algorithm label (e.g. "Q-adp").
+    pub routing: String,
+    /// Traffic pattern label (e.g. "ADV+1").
+    pub traffic: String,
+    /// Offered load in `[0, 1]`.
+    pub offered_load: f64,
+    /// Measurement-window length in ns.
+    pub window_ns: u64,
+    /// Packets generated during the measurement window.
+    pub packets_generated: u64,
+    /// Packets delivered during the measurement window.
+    pub packets_delivered: u64,
+    /// Normalised system throughput in `[0, 1]`.
+    pub throughput: f64,
+    /// Mean packet latency (µs).
+    pub mean_latency_us: f64,
+    /// Median packet latency (µs).
+    pub median_latency_us: f64,
+    /// First-quartile latency (µs).
+    pub q1_latency_us: f64,
+    /// Third-quartile latency (µs).
+    pub q3_latency_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_latency_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_latency_us: f64,
+    /// Maximum observed latency (µs).
+    pub max_latency_us: f64,
+    /// Mean hop count of delivered packets.
+    pub mean_hops: f64,
+    /// Fraction of delivered packets with latency below 2 µs (the paper's
+    /// Figure 6(c) discussion).
+    pub fraction_below_2us: f64,
+    /// Wall-clock seconds the simulation took (for performance reporting).
+    pub wall_seconds: f64,
+    /// Simulated events processed.
+    pub events_processed: u64,
+}
+
+impl SimulationReport {
+    /// The CSV header matching [`SimulationReport::csv_row`].
+    pub fn csv_header() -> String {
+        "routing,traffic,offered_load,throughput,mean_latency_us,median_latency_us,\
+         q1_latency_us,q3_latency_us,p95_latency_us,p99_latency_us,mean_hops,\
+         packets_delivered,packets_generated"
+            .to_string()
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}",
+            self.routing,
+            self.traffic,
+            self.offered_load,
+            self.throughput,
+            self.mean_latency_us,
+            self.median_latency_us,
+            self.q1_latency_us,
+            self.q3_latency_us,
+            self.p95_latency_us,
+            self.p99_latency_us,
+            self.mean_hops,
+            self.packets_delivered,
+            self.packets_generated,
+        )
+    }
+
+    /// A compact single-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<14} load={:.2}  tput={:.3}  lat(mean/p95/p99)={:.2}/{:.2}/{:.2} us  hops={:.2}",
+            self.routing,
+            self.traffic,
+            self.offered_load,
+            self.throughput,
+            self.mean_latency_us,
+            self.p95_latency_us,
+            self.p99_latency_us,
+            self.mean_hops
+        )
+    }
+
+    /// Delivered-to-generated ratio of the measurement window (1.0 means
+    /// the network kept up with the offered load).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_generated == 0 {
+            0.0
+        } else {
+            self.packets_delivered as f64 / self.packets_generated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            routing: "Q-adp".to_string(),
+            traffic: "UR".to_string(),
+            offered_load: 0.8,
+            window_ns: 100_000,
+            packets_generated: 1_000,
+            packets_delivered: 990,
+            throughput: 0.79,
+            mean_latency_us: 0.76,
+            median_latency_us: 0.7,
+            q1_latency_us: 0.6,
+            q3_latency_us: 0.9,
+            p95_latency_us: 1.2,
+            p99_latency_us: 1.42,
+            max_latency_us: 3.0,
+            mean_hops: 2.9,
+            fraction_below_2us: 0.99,
+            wall_seconds: 0.5,
+            events_processed: 12345,
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_fields = SimulationReport::csv_header()
+            .split(',')
+            .count();
+        let row_fields = report().csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn summary_contains_the_key_numbers() {
+        let s = report().summary();
+        assert!(s.contains("Q-adp"));
+        assert!(s.contains("UR"));
+        assert!(s.contains("0.80") || s.contains("0.8"));
+        assert!(s.contains("1.42"));
+    }
+
+    #[test]
+    fn delivery_ratio() {
+        assert!((report().delivery_ratio() - 0.99).abs() < 1e-12);
+        let empty = SimulationReport::default();
+        assert_eq!(empty.delivery_ratio(), 0.0);
+    }
+}

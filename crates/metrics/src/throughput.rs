@@ -1,0 +1,113 @@
+//! System-throughput accounting.
+//!
+//! The paper defines system throughput as the aggregated message receiving
+//! rate across the system, normalised so it is directly comparable with the
+//! offered load: delivered bytes per nanosecond divided by the total
+//! injection bandwidth (nodes × per-node injection bandwidth). A value of
+//! 0.88 therefore means "88 % of the full injection bandwidth was
+//! delivered".
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates delivered bytes over a measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    delivered_bytes: u128,
+    delivered_packets: u64,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a delivered packet of `bytes` bytes.
+    pub fn record(&mut self, bytes: u32) {
+        self.delivered_bytes += bytes as u128;
+        self.delivered_packets += 1;
+    }
+
+    /// Total delivered packets.
+    pub fn packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Total delivered bytes.
+    pub fn bytes(&self) -> u128 {
+        self.delivered_bytes
+    }
+
+    /// Delivered bytes per nanosecond over a window of `window_ns`.
+    pub fn bytes_per_ns(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 / window_ns as f64
+    }
+
+    /// Normalised system throughput in `[0, 1]`: delivered bandwidth over
+    /// the total injection bandwidth (`nodes × injection_bytes_per_ns`).
+    pub fn normalized(&self, window_ns: u64, nodes: usize, injection_bytes_per_ns: f64) -> f64 {
+        let capacity = nodes as f64 * injection_bytes_per_ns;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_per_ns(window_ns) / capacity
+    }
+
+    /// Merge another meter into this one.
+    pub fn merge(&mut self, other: &ThroughputMeter) {
+        self.delivered_bytes += other.delivered_bytes;
+        self.delivered_packets += other.delivered_packets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_bytes_and_packets() {
+        let mut m = ThroughputMeter::new();
+        m.record(128);
+        m.record(128);
+        m.record(64);
+        assert_eq!(m.packets(), 3);
+        assert_eq!(m.bytes(), 320);
+    }
+
+    #[test]
+    fn normalisation_matches_the_paper_definition() {
+        // 72 nodes at 4 B/ns injection bandwidth, 100 us window.
+        let mut m = ThroughputMeter::new();
+        // Deliver exactly half the system capacity: 72 * 4 * 100_000 / 2.
+        let target_bytes = 72u64 * 4 * 100_000 / 2;
+        let packets = target_bytes / 128;
+        for _ in 0..packets {
+            m.record(128);
+        }
+        let tp = m.normalized(100_000, 72, 4.0);
+        assert!((tp - 0.5).abs() < 1e-9, "throughput = {tp}");
+    }
+
+    #[test]
+    fn degenerate_windows_and_capacities_yield_zero() {
+        let mut m = ThroughputMeter::new();
+        m.record(128);
+        assert_eq!(m.bytes_per_ns(0), 0.0);
+        assert_eq!(m.normalized(100, 0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_both_meters() {
+        let mut a = ThroughputMeter::new();
+        let mut b = ThroughputMeter::new();
+        a.record(128);
+        b.record(128);
+        b.record(128);
+        a.merge(&b);
+        assert_eq!(a.packets(), 3);
+        assert_eq!(a.bytes(), 384);
+    }
+}

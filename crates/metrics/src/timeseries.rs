@@ -1,0 +1,188 @@
+//! Binned time series used for the convergence (Figure 7) and dynamic-load
+//! (Figure 8) plots: packet latency and delivered bytes are aggregated into
+//! fixed-width time bins.
+
+use serde::{Deserialize, Serialize};
+
+/// One bin of the time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Number of packets delivered in the bin.
+    pub packets: u64,
+    /// Sum of their latencies (ns).
+    pub latency_sum_ns: u128,
+    /// Sum of their sizes (bytes).
+    pub bytes: u128,
+}
+
+impl Bin {
+    /// Mean latency of the bin in microseconds (0 when empty).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.packets as f64 / 1_000.0
+        }
+    }
+}
+
+/// A time series with fixed-width bins starting at t = 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_width_ns: u64,
+    bins: Vec<Bin>,
+}
+
+impl TimeSeries {
+    /// Create a series with the given bin width (e.g. 10 µs = 10_000 ns).
+    pub fn new(bin_width_ns: u64) -> Self {
+        assert!(bin_width_ns > 0);
+        Self {
+            bin_width_ns,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Bin width in nanoseconds.
+    pub fn bin_width_ns(&self) -> u64 {
+        self.bin_width_ns
+    }
+
+    /// Record one delivered packet.
+    pub fn record(&mut self, delivered_at_ns: u64, latency_ns: u64, bytes: u32) {
+        let idx = (delivered_at_ns / self.bin_width_ns) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, Bin::default());
+        }
+        let bin = &mut self.bins[idx];
+        bin.packets += 1;
+        bin.latency_sum_ns += latency_ns as u128;
+        bin.bytes += bytes as u128;
+    }
+
+    /// Number of bins (up to the latest recorded delivery).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Access a bin (empty default if out of range).
+    pub fn bin(&self, idx: usize) -> Bin {
+        self.bins.get(idx).copied().unwrap_or_default()
+    }
+
+    /// Iterate `(bin_start_ns, bin)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Bin)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (i as u64 * self.bin_width_ns, b))
+    }
+
+    /// Per-bin mean latency in µs, as `(time_us, latency_us)` points.
+    pub fn latency_curve_us(&self) -> Vec<(f64, f64)> {
+        self.iter()
+            .map(|(t, b)| (t as f64 / 1_000.0, b.mean_latency_us()))
+            .collect()
+    }
+
+    /// Per-bin normalised throughput, as `(time_us, throughput)` points.
+    pub fn throughput_curve(&self, nodes: usize, injection_bytes_per_ns: f64) -> Vec<(f64, f64)> {
+        let capacity = nodes as f64 * injection_bytes_per_ns * self.bin_width_ns as f64;
+        self.iter()
+            .map(|(t, b)| {
+                let tp = if capacity > 0.0 {
+                    b.bytes as f64 / capacity
+                } else {
+                    0.0
+                };
+                (t as f64 / 1_000.0, tp)
+            })
+            .collect()
+    }
+
+    /// The first bin index (if any) from which the mean latency stays
+    /// within `tolerance` (relative) of the mean latency over the last
+    /// `tail_bins` bins — a simple convergence-time detector used for the
+    /// Figure 7 analysis.
+    pub fn convergence_bin(&self, tail_bins: usize, tolerance: f64) -> Option<usize> {
+        if self.bins.len() < tail_bins.max(1) {
+            return None;
+        }
+        let tail: Vec<&Bin> = self.bins.iter().rev().take(tail_bins).collect();
+        let (packets, latency): (u64, u128) = tail
+            .iter()
+            .fold((0, 0), |(p, l), b| (p + b.packets, l + b.latency_sum_ns));
+        if packets == 0 {
+            return None;
+        }
+        let target = latency as f64 / packets as f64;
+        for start in 0..self.bins.len() {
+            let ok = self.bins[start..].iter().all(|b| {
+                b.packets == 0 || {
+                    let m = b.latency_sum_ns as f64 / b.packets as f64;
+                    (m - target).abs() <= tolerance * target
+                }
+            });
+            if ok {
+                return Some(start);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bins() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(500, 100, 128);
+        ts.record(1_500, 300, 128);
+        ts.record(1_999, 500, 128);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.bin(0).packets, 1);
+        assert_eq!(ts.bin(1).packets, 2);
+        assert_eq!(ts.bin(1).mean_latency_us(), 0.4);
+        assert_eq!(ts.bin(7).packets, 0);
+    }
+
+    #[test]
+    fn curves_report_time_in_microseconds() {
+        let mut ts = TimeSeries::new(10_000);
+        ts.record(25_000, 2_000, 128);
+        let lat = ts.latency_curve_us();
+        assert_eq!(lat.len(), 3);
+        assert_eq!(lat[2], (20.0, 2.0));
+        // One 128-byte packet in a 10 us bin of a 1-node system at 4 B/ns:
+        // 128 / 40_000.
+        let tp = ts.throughput_curve(1, 4.0);
+        assert!((tp[2].1 - 128.0 / 40_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_detector_finds_the_settling_point() {
+        let mut ts = TimeSeries::new(1_000);
+        // 5 noisy bins then 15 stable bins at ~100 ns.
+        for i in 0..5u64 {
+            ts.record(i * 1_000 + 10, 1_000 + i * 500, 128);
+        }
+        for i in 5..20u64 {
+            ts.record(i * 1_000 + 10, 100, 128);
+        }
+        let c = ts.convergence_bin(5, 0.1).unwrap();
+        assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn convergence_detector_handles_empty_series() {
+        let ts = TimeSeries::new(1_000);
+        assert_eq!(ts.convergence_bin(5, 0.1), None);
+    }
+}

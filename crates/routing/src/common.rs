@@ -1,0 +1,185 @@
+//! Helpers shared by the baseline routing algorithms: forwarding towards a
+//! group/router, the Valiant-leg state machine, and the UGAL congestion
+//! comparison.
+
+use dragonfly_engine::packet::{Packet, RouteMode};
+use dragonfly_engine::routing::RouterCtx;
+use dragonfly_topology::ids::{GroupId, Port, RouterId};
+use dragonfly_topology::Dragonfly;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive (UGAL/PAR) decision rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Additive bias (in queue-occupancy units) in favour of the minimal
+    /// path. The paper's experiments use 0.
+    pub minimal_bias: usize,
+    /// Number of random non-minimal candidates sampled per decision
+    /// (the Cray-style implementation the paper cites samples two).
+    pub nonminimal_candidates: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            minimal_bias: 0,
+            nonminimal_candidates: 2,
+        }
+    }
+}
+
+/// The UGAL rule quoted in Section 2.2 of the paper: forward minimally when
+/// the congestion of the minimal candidate is at most twice the congestion
+/// of the non-minimal candidate (plus an optional bias). The `<=` keeps an
+/// idle network on minimal paths.
+#[inline]
+pub fn prefer_minimal(minimal_congestion: usize, nonminimal_congestion: usize, bias: usize) -> bool {
+    minimal_congestion <= 2 * nonminimal_congestion + bias
+}
+
+/// The output port that makes progress towards `group` (the router must not
+/// already be a member of `group`): the router's own global link when it
+/// has one, otherwise the local link towards the gateway router.
+pub fn port_toward_group(topo: &Dragonfly, router: RouterId, group: GroupId) -> Port {
+    debug_assert_ne!(topo.group_of_router(router), group);
+    if let Some(direct) = topo.global_port_to(router, group) {
+        return direct;
+    }
+    let (gateway, _) = topo.gateway(topo.group_of_router(router), group);
+    topo.local_port_to(router, gateway)
+}
+
+/// Advance the Valiant state machine of a packet at `router` and return the
+/// next output port:
+///
+/// * while the intermediate target (router or group) has not been reached,
+///   forward minimally towards it;
+/// * once reached, clear the Valiant leg and forward minimally towards the
+///   destination.
+pub fn valiant_port(ctx: &RouterCtx<'_>, router: RouterId, packet: &mut Packet) -> Port {
+    let topo = ctx.topology;
+    debug_assert_eq!(packet.route.mode, RouteMode::Valiant);
+
+    if !packet.route.reached_intermediate {
+        let reached = match (packet.route.intermediate_router, packet.route.intermediate_group) {
+            (Some(ir), _) => router == ir,
+            (None, Some(ig)) => topo.group_of_router(router) == ig,
+            (None, None) => true,
+        };
+        if reached {
+            packet.route.reached_intermediate = true;
+        }
+    }
+
+    if packet.route.reached_intermediate {
+        return topo
+            .minimal_port(router, packet.dst_router)
+            .expect("valiant_port is never called at the destination router");
+    }
+
+    if let Some(ir) = packet.route.intermediate_router {
+        return topo
+            .minimal_port(router, ir)
+            .expect("intermediate router differs from the current router");
+    }
+    let ig = packet
+        .route
+        .intermediate_group
+        .expect("a Valiant packet must carry an intermediate target");
+    port_toward_group(topo, router, ig)
+}
+
+/// Commit a packet to a Valiant leg through an intermediate *group*.
+pub fn commit_valiant_group(packet: &mut Packet, group: GroupId) {
+    packet.route.mode = RouteMode::Valiant;
+    packet.route.intermediate_group = Some(group);
+    packet.route.intermediate_router = None;
+    packet.route.reached_intermediate = false;
+}
+
+/// Commit a packet to a Valiant leg through an intermediate *router*.
+pub fn commit_valiant_router(packet: &mut Packet, router: RouterId) {
+    packet.route.mode = RouteMode::Valiant;
+    packet.route.intermediate_router = Some(router);
+    packet.route.intermediate_group = None;
+    packet.route.reached_intermediate = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::ports::PortKind;
+
+    #[test]
+    fn ugal_rule_matches_the_paper_description() {
+        // Idle network: stay minimal.
+        assert!(prefer_minimal(0, 0, 0));
+        // Minimal slightly congested but still under twice the non-minimal.
+        assert!(prefer_minimal(4, 2, 0));
+        // Minimal clearly worse than twice the alternative: go non-minimal.
+        assert!(!prefer_minimal(9, 4, 0));
+        // A bias keeps traffic on the minimal path longer.
+        assert!(prefer_minimal(9, 4, 1));
+    }
+
+    #[test]
+    fn port_toward_group_uses_direct_links_when_available() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        for router in topo.routers() {
+            let my_group = topo.group_of_router(router);
+            for group in topo.groups() {
+                if group == my_group {
+                    continue;
+                }
+                let port = port_toward_group(&topo, router, group);
+                match topo.port_kind(port) {
+                    PortKind::Global => {
+                        assert_eq!(topo.global_neighbor_group(router, port), group);
+                    }
+                    PortKind::Local => {
+                        let (gateway, _) = topo.gateway(my_group, group);
+                        assert_eq!(topo.local_neighbor(router, port), gateway);
+                    }
+                    PortKind::Host => panic!("host port can never lead to another group"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_helpers_set_the_expected_targets() {
+        let mut p = dummy_packet();
+        commit_valiant_group(&mut p, GroupId(5));
+        assert_eq!(p.route.mode, RouteMode::Valiant);
+        assert_eq!(p.route.intermediate_group, Some(GroupId(5)));
+        assert_eq!(p.route.intermediate_router, None);
+        commit_valiant_router(&mut p, RouterId(17));
+        assert_eq!(p.route.intermediate_router, Some(RouterId(17)));
+        assert_eq!(p.route.intermediate_group, None);
+    }
+
+    fn dummy_packet() -> Packet {
+        use dragonfly_topology::ids::NodeId;
+        Packet {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(40),
+            src_router: RouterId(0),
+            dst_router: RouterId(20),
+            dst_group: GroupId(5),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: 0,
+            injected_ns: 0,
+            hops: 0,
+            vc: 0,
+            route: Default::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+}

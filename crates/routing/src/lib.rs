@@ -1,0 +1,36 @@
+//! # dragonfly-routing
+//!
+//! Every routing algorithm evaluated by the Q-adaptive paper:
+//!
+//! | Algorithm | Kind | VCs | Module |
+//! |---|---|---|---|
+//! | MIN | minimal, non-adaptive | 2 | [`minimal`] |
+//! | VALg | Valiant-global, non-adaptive | 3 | [`valiant`] |
+//! | VALn | Valiant-node, non-adaptive | 4 | [`valiant`] |
+//! | UGALg | adaptive (source router) | 3 | [`ugal`] |
+//! | UGALn | adaptive (source router) | 4 | [`ugal`] |
+//! | PAR | progressive adaptive | 5 | [`par`] |
+//! | Q-routing (maxQ) | MARL baseline (Section 2.3.2) | maxQ+3 | [`qrouting`] |
+//! | Q-adaptive | the paper's contribution | 5 | re-exported from `qadaptive-core` |
+//!
+//! All adaptive baselines estimate path congestion from local information
+//! only — output-queue occupancy plus used credits — exactly as described in
+//! Section 5.1 of the paper, and use a zero bias towards minimal paths by
+//! default.
+
+pub mod common;
+pub mod minimal;
+pub mod par;
+pub mod qrouting;
+pub mod spec;
+pub mod ugal;
+pub mod valiant;
+
+pub use common::AdaptiveConfig;
+pub use minimal::MinRouting;
+pub use par::ParRouting;
+pub use qadaptive_core::{QAdaptiveParams, QAdaptiveRouting};
+pub use qrouting::QRoutingMaxQ;
+pub use spec::RoutingSpec;
+pub use ugal::{UgalG, UgalN};
+pub use valiant::{ValiantGlobal, ValiantNode};

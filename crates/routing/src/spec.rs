@@ -1,0 +1,153 @@
+//! A serialisable description of "which routing algorithm to run", used by
+//! the experiment harness, the examples and the figure-reproduction
+//! binaries to parameterise simulations.
+
+use crate::minimal::MinRouting;
+use crate::par::ParRouting;
+use crate::qrouting::{QRoutingConfig, QRoutingMaxQ};
+use crate::ugal::{UgalG, UgalN};
+use crate::valiant::{ValiantGlobal, ValiantNode};
+use dragonfly_engine::routing::RoutingAlgorithm;
+use qadaptive_core::{QAdaptiveParams, QAdaptiveRouting};
+use serde::{Deserialize, Serialize};
+
+/// Every routing algorithm evaluated in the paper, with its tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingSpec {
+    /// Minimal routing.
+    Minimal,
+    /// Valiant-global non-minimal routing.
+    ValiantGlobal,
+    /// Valiant-node non-minimal routing.
+    ValiantNode,
+    /// UGAL with Valiant-global candidates.
+    UgalG,
+    /// UGAL with Valiant-node candidates.
+    UgalN,
+    /// Progressive Adaptive Routing.
+    Par,
+    /// The naive Q-routing baseline with a maxQ hop threshold.
+    QRouting {
+        /// Hop threshold after which the packet is forced minimal.
+        max_q: usize,
+    },
+    /// The paper's Q-adaptive routing.
+    QAdaptive(QAdaptiveParams),
+}
+
+impl RoutingSpec {
+    /// The six algorithms compared in Figures 5, 6 and 9 of the paper, in
+    /// plot order.
+    pub fn paper_lineup() -> Vec<RoutingSpec> {
+        vec![
+            RoutingSpec::Minimal,
+            RoutingSpec::ValiantNode,
+            RoutingSpec::UgalG,
+            RoutingSpec::UgalN,
+            RoutingSpec::Par,
+            RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+        ]
+    }
+
+    /// Same lineup, but with the 2,550-node Q-adaptive hyper-parameters
+    /// (used by Figure 9).
+    pub fn paper_lineup_2550() -> Vec<RoutingSpec> {
+        let mut lineup = Self::paper_lineup();
+        *lineup.last_mut().unwrap() = RoutingSpec::QAdaptive(QAdaptiveParams::paper_2550());
+        lineup
+    }
+
+    /// Instantiate the routing algorithm.
+    pub fn build(&self) -> Box<dyn RoutingAlgorithm> {
+        match *self {
+            RoutingSpec::Minimal => Box::new(MinRouting),
+            RoutingSpec::ValiantGlobal => Box::new(ValiantGlobal),
+            RoutingSpec::ValiantNode => Box::new(ValiantNode),
+            RoutingSpec::UgalG => Box::new(UgalG::default()),
+            RoutingSpec::UgalN => Box::new(UgalN::default()),
+            RoutingSpec::Par => Box::new(ParRouting::default()),
+            RoutingSpec::QRouting { max_q } => Box::new(QRoutingMaxQ {
+                config: QRoutingConfig {
+                    max_q,
+                    ..QRoutingConfig::default()
+                },
+            }),
+            RoutingSpec::QAdaptive(params) => Box::new(QAdaptiveRouting::new(params)),
+        }
+    }
+
+    /// The short label used in tables and plots (matches the paper's
+    /// legends).
+    pub fn label(&self) -> String {
+        match self {
+            RoutingSpec::Minimal => "MIN".to_string(),
+            RoutingSpec::ValiantGlobal => "VALg".to_string(),
+            RoutingSpec::ValiantNode => "VALn".to_string(),
+            RoutingSpec::UgalG => "UGALg".to_string(),
+            RoutingSpec::UgalN => "UGALn".to_string(),
+            RoutingSpec::Par => "PAR".to_string(),
+            RoutingSpec::QRouting { max_q } => format!("Q-routing(maxQ={max_q})"),
+            RoutingSpec::QAdaptive(_) => "Q-adp".to_string(),
+        }
+    }
+
+    /// Number of virtual channels the algorithm requires.
+    pub fn num_vcs(&self) -> usize {
+        self.build().num_vcs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lineup_matches_the_figures() {
+        let labels: Vec<String> = RoutingSpec::paper_lineup()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(labels, vec!["MIN", "VALn", "UGALg", "UGALn", "PAR", "Q-adp"]);
+    }
+
+    #[test]
+    fn build_produces_consistent_vc_counts() {
+        assert_eq!(RoutingSpec::Minimal.num_vcs(), 2);
+        assert_eq!(RoutingSpec::ValiantGlobal.num_vcs(), 3);
+        assert_eq!(RoutingSpec::ValiantNode.num_vcs(), 5);
+        assert_eq!(RoutingSpec::UgalG.num_vcs(), 3);
+        assert_eq!(RoutingSpec::UgalN.num_vcs(), 5);
+        assert_eq!(RoutingSpec::Par.num_vcs(), 5);
+        assert_eq!(RoutingSpec::QRouting { max_q: 2 }.num_vcs(), 5);
+        assert_eq!(
+            RoutingSpec::QAdaptive(QAdaptiveParams::default()).num_vcs(),
+            5
+        );
+    }
+
+    #[test]
+    fn labels_and_names_agree() {
+        for spec in RoutingSpec::paper_lineup() {
+            let algo = spec.build();
+            // The algorithm self-description should contain the label root
+            // (e.g. "UGALg" / "Q-adaptive" vs "Q-adp").
+            let label = spec.label();
+            let root = label.trim_end_matches("-adp");
+            assert!(
+                algo.name().starts_with(root) || algo.name().starts_with("Q-adaptive"),
+                "label {} vs name {}",
+                label,
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_equality_and_copy_semantics() {
+        let a = RoutingSpec::QAdaptive(QAdaptiveParams::paper_2550());
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()));
+        assert_ne!(RoutingSpec::UgalG, RoutingSpec::UgalN);
+    }
+}

@@ -1,0 +1,155 @@
+//! The measurement observer: applies the warmup/measurement-window
+//! methodology of the paper and feeds the metric primitives.
+
+use dragonfly_engine::observer::SimObserver;
+use dragonfly_engine::packet::Packet;
+use dragonfly_engine::time::SimTime;
+use dragonfly_metrics::histogram::Histogram;
+use dragonfly_metrics::latency::LatencyStats;
+use dragonfly_metrics::throughput::ThroughputMeter;
+use dragonfly_metrics::timeseries::TimeSeries;
+
+/// Collects latency, hop and throughput statistics over a measurement
+/// window, plus an optional whole-run time series.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    /// Packets delivered before this time are ignored (warmup).
+    pub window_start_ns: SimTime,
+    /// Packets delivered at or after this time are ignored.
+    pub window_end_ns: SimTime,
+    /// Latency samples within the window.
+    pub latency: LatencyStats,
+    /// Hop-count histogram within the window.
+    pub hops: Histogram,
+    /// Delivered bytes within the window.
+    pub throughput: ThroughputMeter,
+    /// Messages generated within the window.
+    pub generated_in_window: u64,
+    /// Messages generated in total.
+    pub generated_total: u64,
+    /// Packets delivered in total (any time).
+    pub delivered_total: u64,
+    /// Optional binned time series over the whole run.
+    pub series: Option<TimeSeries>,
+}
+
+impl MetricsCollector {
+    /// Collect over `[window_start_ns, window_end_ns)`.
+    pub fn new(window_start_ns: SimTime, window_end_ns: SimTime) -> Self {
+        Self {
+            window_start_ns,
+            window_end_ns,
+            latency: LatencyStats::new(),
+            hops: Histogram::new(16),
+            throughput: ThroughputMeter::new(),
+            generated_in_window: 0,
+            generated_total: 0,
+            delivered_total: 0,
+            series: None,
+        }
+    }
+
+    /// Also record a time series with the given bin width.
+    pub fn with_series(mut self, bin_width_ns: u64) -> Self {
+        self.series = Some(TimeSeries::new(bin_width_ns));
+        self
+    }
+
+    /// Length of the measurement window in ns.
+    pub fn window_ns(&self) -> SimTime {
+        self.window_end_ns.saturating_sub(self.window_start_ns)
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.window_start_ns && t < self.window_end_ns
+    }
+}
+
+impl SimObserver for MetricsCollector {
+    fn packet_generated(&mut self, _packet: &Packet, now: SimTime) {
+        self.generated_total += 1;
+        if self.in_window(now) {
+            self.generated_in_window += 1;
+        }
+    }
+
+    fn packet_delivered(&mut self, packet: &Packet, now: SimTime) {
+        self.delivered_total += 1;
+        let latency = packet.latency_ns(now);
+        if let Some(series) = &mut self.series {
+            series.record(now, latency, packet.size_bytes);
+        }
+        if self.in_window(now) {
+            self.latency.record(latency);
+            self.hops.record(packet.hops as usize);
+            self.throughput.record(packet.size_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_engine::packet::RouteInfo;
+    use dragonfly_topology::ids::{GroupId, NodeId, RouterId};
+
+    fn packet(created: SimTime, hops: u8) -> Packet {
+        Packet {
+            id: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_router: RouterId(0),
+            dst_router: RouterId(0),
+            dst_group: GroupId(0),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: created,
+            injected_ns: created,
+            hops,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+
+    #[test]
+    fn warmup_deliveries_are_excluded_from_the_window() {
+        let mut c = MetricsCollector::new(1_000, 2_000);
+        c.packet_delivered(&packet(0, 3), 500); // warmup
+        c.packet_delivered(&packet(900, 3), 1_500); // in window
+        c.packet_delivered(&packet(1_900, 3), 2_500); // after window
+        assert_eq!(c.delivered_total, 3);
+        assert_eq!(c.latency.count(), 1);
+        assert_eq!(c.latency.mean_ns(), 600.0);
+        assert_eq!(c.throughput.packets(), 1);
+        assert_eq!(c.hops.count(), 1);
+    }
+
+    #[test]
+    fn generation_counting_respects_the_window() {
+        let mut c = MetricsCollector::new(100, 200);
+        c.packet_generated(&packet(0, 0), 0);
+        c.packet_generated(&packet(150, 0), 150);
+        c.packet_generated(&packet(250, 0), 250);
+        assert_eq!(c.generated_total, 3);
+        assert_eq!(c.generated_in_window, 1);
+    }
+
+    #[test]
+    fn time_series_covers_the_whole_run() {
+        let mut c = MetricsCollector::new(1_000, 2_000).with_series(500);
+        c.packet_delivered(&packet(0, 2), 400);
+        c.packet_delivered(&packet(0, 2), 1_200);
+        c.packet_delivered(&packet(0, 2), 2_600);
+        let s = c.series.as_ref().unwrap();
+        assert_eq!(s.bin(0).packets, 1);
+        assert_eq!(s.bin(2).packets, 1);
+        assert_eq!(s.bin(5).packets, 1);
+        // Window stats still only include the middle delivery.
+        assert_eq!(c.latency.count(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dragonfly-sim
+//!
+//! The experiment harness: glues the topology, the flit-level engine, the
+//! routing algorithms, the traffic patterns and the metric collectors into
+//! runnable experiments.
+//!
+//! * [`injector::PatternInjector`] — converts a traffic pattern plus an
+//!   offered-load schedule into the time-ordered injection stream the
+//!   engine consumes (deterministic inter-arrival interval per node, with a
+//!   random per-node phase).
+//! * [`collector::MetricsCollector`] — a [`dragonfly_engine::SimObserver`]
+//!   that applies the paper's measurement methodology: ignore a warmup
+//!   period, then collect latency/hop/throughput statistics over the
+//!   measurement window (the paper averages over 100 µs after the system
+//!   stabilises) and optionally a binned time series.
+//! * [`builder::SimulationBuilder`] — one-stop construction and execution
+//!   of a single simulation point, returning a
+//!   [`dragonfly_metrics::SimulationReport`].
+//! * [`sweep`] — load sweeps across several routing algorithms, executed in
+//!   parallel with crossbeam scoped threads (each point is an independent
+//!   simulation).
+//! * [`convergence`] — helpers for the convergence and dynamic-load studies
+//!   (Figures 7 and 8).
+
+pub mod builder;
+pub mod collector;
+pub mod convergence;
+pub mod injector;
+pub mod sweep;
+
+pub use builder::SimulationBuilder;
+pub use collector::MetricsCollector;
+pub use injector::PatternInjector;
+pub use sweep::{LoadSweep, SweepResult};

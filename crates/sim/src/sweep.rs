@@ -1,0 +1,223 @@
+//! Load sweeps across several routing algorithms, executed in parallel.
+//!
+//! Each `(routing, load)` point is an independent simulation, so the sweep
+//! is embarrassingly parallel: a crossbeam scope spawns one worker per CPU
+//! (bounded by the number of jobs) and the workers pull jobs from a shared
+//! queue.
+
+use crate::builder::SimulationBuilder;
+use dragonfly_engine::time::SimTime;
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_routing::RoutingSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The result of a sweep: one report per `(routing, load)` point, in the
+/// order the points were defined.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// All reports, sorted by routing then by load.
+    pub reports: Vec<SimulationReport>,
+}
+
+impl SweepResult {
+    /// Reports for one routing label, sorted by offered load.
+    pub fn for_routing(&self, label: &str) -> Vec<&SimulationReport> {
+        let mut v: Vec<&SimulationReport> = self
+            .reports
+            .iter()
+            .filter(|r| r.routing == label)
+            .collect();
+        v.sort_by(|a, b| a.offered_load.total_cmp(&b.offered_load));
+        v
+    }
+
+    /// The saturation throughput (maximum observed throughput) of a routing
+    /// label across the sweep.
+    pub fn saturation_throughput(&self, label: &str) -> f64 {
+        self.for_routing(label)
+            .iter()
+            .map(|r| r.throughput)
+            .fold(0.0, f64::max)
+    }
+
+    /// CSV rendering of the whole sweep.
+    pub fn to_csv(&self) -> String {
+        let mut out = SimulationReport::csv_header();
+        for r in &self.reports {
+            out.push('\n');
+            out.push_str(&r.csv_row());
+        }
+        out
+    }
+}
+
+/// A sweep definition: the cartesian product of routings and offered loads
+/// under one traffic pattern.
+#[derive(Debug, Clone)]
+pub struct LoadSweep {
+    /// Dragonfly configuration.
+    pub topology: DragonflyConfig,
+    /// Traffic pattern.
+    pub traffic: TrafficSpec,
+    /// Routing algorithms to compare.
+    pub routings: Vec<RoutingSpec>,
+    /// Offered loads to evaluate.
+    pub loads: Vec<f64>,
+    /// Warmup time per point (ns).
+    pub warmup_ns: SimTime,
+    /// Measurement window per point (ns).
+    pub measure_ns: SimTime,
+    /// Base RNG seed (each point derives its own).
+    pub seed: u64,
+}
+
+impl LoadSweep {
+    /// A sweep with the paper's six-algorithm lineup.
+    pub fn paper_lineup(
+        topology: DragonflyConfig,
+        traffic: TrafficSpec,
+        loads: Vec<f64>,
+        warmup_ns: SimTime,
+        measure_ns: SimTime,
+    ) -> Self {
+        Self {
+            topology,
+            traffic,
+            routings: RoutingSpec::paper_lineup(),
+            loads,
+            warmup_ns,
+            measure_ns,
+            seed: 1,
+        }
+    }
+
+    /// Number of simulation points in the sweep.
+    pub fn len(&self) -> usize {
+        self.routings.len() * self.loads.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn builder_for(&self, routing: RoutingSpec, load: f64, index: usize) -> SimulationBuilder {
+        SimulationBuilder::new(self.topology)
+            .routing(routing)
+            .traffic(self.traffic)
+            .offered_load(load)
+            .warmup_ns(self.warmup_ns)
+            .measure_ns(self.measure_ns)
+            .seed(self.seed.wrapping_add(index as u64 * 7919))
+    }
+
+    /// Run every point sequentially (useful for tests and debugging).
+    pub fn run_sequential(&self) -> SweepResult {
+        let mut reports = Vec::with_capacity(self.len());
+        let mut index = 0;
+        for routing in &self.routings {
+            for &load in &self.loads {
+                reports.push(self.builder_for(*routing, load, index).run());
+                index += 1;
+            }
+        }
+        SweepResult { reports }
+    }
+
+    /// Run every point in parallel across `threads` workers
+    /// (0 = one per available CPU).
+    pub fn run_parallel(&self, threads: usize) -> SweepResult {
+        let jobs: Vec<(usize, RoutingSpec, f64)> = self
+            .routings
+            .iter()
+            .flat_map(|r| self.loads.iter().map(move |l| (*r, *l)))
+            .enumerate()
+            .map(|(i, (r, l))| (i, r, l))
+            .collect();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        }
+        .min(jobs.len().max(1));
+
+        let next_job = Mutex::new(0usize);
+        let results: Mutex<Vec<Option<SimulationReport>>> = Mutex::new(vec![None; jobs.len()]);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let job_index = {
+                        let mut guard = next_job.lock();
+                        let i = *guard;
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        *guard += 1;
+                        i
+                    };
+                    let (index, routing, load) = jobs[job_index];
+                    let report = self.builder_for(routing, load, index).run();
+                    results.lock()[index] = Some(report);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+
+        let reports = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every job produces a report"))
+            .collect();
+        SweepResult { reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> LoadSweep {
+        LoadSweep {
+            topology: DragonflyConfig::tiny(),
+            traffic: TrafficSpec::UniformRandom,
+            routings: vec![RoutingSpec::Minimal, RoutingSpec::UgalG],
+            loads: vec![0.1, 0.3],
+            warmup_ns: 5_000,
+            measure_ns: 10_000,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sweep = tiny_sweep();
+        assert_eq!(sweep.len(), 4);
+        let seq = sweep.run_sequential();
+        let par = sweep.run_parallel(2);
+        assert_eq!(seq.reports.len(), 4);
+        assert_eq!(par.reports.len(), 4);
+        for (a, b) in seq.reports.iter().zip(par.reports.iter()) {
+            assert_eq!(a.routing, b.routing);
+            assert_eq!(a.offered_load, b.offered_load);
+            assert_eq!(a.packets_delivered, b.packets_delivered);
+            assert_eq!(a.mean_latency_us, b.mean_latency_us);
+        }
+    }
+
+    #[test]
+    fn result_queries_group_by_routing() {
+        let result = tiny_sweep().run_parallel(0);
+        let min_points = result.for_routing("MIN");
+        assert_eq!(min_points.len(), 2);
+        assert!(min_points[0].offered_load < min_points[1].offered_load);
+        assert!(result.saturation_throughput("MIN") > 0.0);
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+    }
+}

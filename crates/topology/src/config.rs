@@ -1,0 +1,252 @@
+//! Dragonfly configuration parameters.
+//!
+//! The paper (Table 1) parameterises a Dragonfly by three numbers:
+//!
+//! * `p` — compute nodes per router,
+//! * `a` — routers per group,
+//! * `h` — global links per router,
+//!
+//! from which everything else follows:
+//!
+//! * router radix `k = p + h + a - 1`,
+//! * number of groups `g = a * h + 1` (one global link between every pair
+//!   of groups),
+//! * routers in the system `m = g * a`,
+//! * compute nodes in the system `N = m * p`.
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a Dragonfly configuration is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// One of `p`, `a`, `h` was zero.
+    ZeroParameter,
+    /// A group must contain at least two routers so that local ports exist.
+    TooFewRoutersPerGroup,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroParameter => {
+                write!(f, "p, a and h must all be at least 1")
+            }
+            ConfigError::TooFewRoutersPerGroup => {
+                write!(f, "a dragonfly group needs at least 2 routers (a >= 2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The `(p, a, h)` parameterisation of a fully connected Dragonfly.
+///
+/// The two systems evaluated in the paper are available as
+/// [`DragonflyConfig::paper_1056`] and [`DragonflyConfig::paper_2550`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DragonflyConfig {
+    /// Compute nodes attached to each router.
+    pub p: usize,
+    /// Routers per group.
+    pub a: usize,
+    /// Global links per router.
+    pub h: usize,
+}
+
+impl DragonflyConfig {
+    /// Create a configuration, validating the structural constraints.
+    pub fn new(p: usize, a: usize, h: usize) -> Result<Self, ConfigError> {
+        if p == 0 || a == 0 || h == 0 {
+            return Err(ConfigError::ZeroParameter);
+        }
+        if a < 2 {
+            return Err(ConfigError::TooFewRoutersPerGroup);
+        }
+        Ok(Self { p, a, h })
+    }
+
+    /// The 1,056-node system of the paper: `p=4, a=8, h=4` → 33 groups,
+    /// 264 routers.
+    pub fn paper_1056() -> Self {
+        Self { p: 4, a: 8, h: 4 }
+    }
+
+    /// The 2,550-node system of the paper: `p=5, a=10, h=5` → 51 groups,
+    /// 510 routers.
+    pub fn paper_2550() -> Self {
+        Self { p: 5, a: 10, h: 5 }
+    }
+
+    /// A tiny system (`p=2, a=4, h=2` → 9 groups, 36 routers, 72 nodes)
+    /// convenient for unit tests and examples.
+    pub fn tiny() -> Self {
+        Self { p: 2, a: 4, h: 2 }
+    }
+
+    /// A small-but-not-tiny system (`p=3, a=6, h=3` → 19 groups,
+    /// 114 routers, 342 nodes) used in integration tests where a bit of
+    /// path diversity matters.
+    pub fn small() -> Self {
+        Self { p: 3, a: 6, h: 3 }
+    }
+
+    /// Whether the configuration is "balanced" in the sense of Kim et al.:
+    /// `a = 2p = 2h`. Both paper systems are balanced.
+    pub fn is_balanced(&self) -> bool {
+        self.a == 2 * self.p && self.a == 2 * self.h
+    }
+
+    /// Router radix `k = p + h + a - 1`.
+    pub fn radix(&self) -> usize {
+        self.p + self.h + self.a - 1
+    }
+
+    /// Number of groups `g = a*h + 1`.
+    pub fn groups(&self) -> usize {
+        self.a * self.h + 1
+    }
+
+    /// Routers in the whole system, `m = g * a`.
+    pub fn routers(&self) -> usize {
+        self.groups() * self.a
+    }
+
+    /// Compute nodes in the whole system, `N = m * p`.
+    pub fn nodes(&self) -> usize {
+        self.routers() * self.p
+    }
+
+    /// Number of local ports per router (`a - 1`).
+    pub fn local_ports(&self) -> usize {
+        self.a - 1
+    }
+
+    /// Number of non-host ports per router (`k - p = a - 1 + h`), i.e. the
+    /// number of columns of a Q-table.
+    pub fn fabric_ports(&self) -> usize {
+        self.local_ports() + self.h
+    }
+
+    /// Number of global links in the whole system (each counted once).
+    pub fn global_links(&self) -> usize {
+        self.groups() * (self.groups() - 1) / 2
+    }
+
+    /// Number of local (intra-group) links in the whole system
+    /// (each counted once).
+    pub fn local_links(&self) -> usize {
+        self.groups() * self.a * (self.a - 1) / 2
+    }
+}
+
+impl Default for DragonflyConfig {
+    fn default() -> Self {
+        Self::paper_1056()
+    }
+}
+
+impl std::fmt::Display for DragonflyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dragonfly(p={}, a={}, h={}, k={}, g={}, m={}, N={})",
+            self.p,
+            self.a,
+            self.h,
+            self.radix(),
+            self.groups(),
+            self.routers(),
+            self.nodes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_1056_matches_table1() {
+        let c = DragonflyConfig::paper_1056();
+        assert_eq!(c.p, 4);
+        assert_eq!(c.a, 8);
+        assert_eq!(c.h, 4);
+        assert_eq!(c.radix(), 15);
+        assert_eq!(c.groups(), 33);
+        assert_eq!(c.routers(), 264);
+        assert_eq!(c.nodes(), 1056);
+        assert!(c.is_balanced());
+    }
+
+    #[test]
+    fn paper_2550_matches_table1() {
+        let c = DragonflyConfig::paper_2550();
+        assert_eq!(c.p, 5);
+        assert_eq!(c.a, 10);
+        assert_eq!(c.h, 5);
+        assert_eq!(c.radix(), 19);
+        assert_eq!(c.groups(), 51);
+        assert_eq!(c.routers(), 510);
+        assert_eq!(c.nodes(), 2550);
+        assert!(c.is_balanced());
+    }
+
+    #[test]
+    fn tiny_is_balanced_and_small() {
+        let c = DragonflyConfig::tiny();
+        assert!(c.is_balanced());
+        assert_eq!(c.groups(), 9);
+        assert_eq!(c.routers(), 36);
+        assert_eq!(c.nodes(), 72);
+        assert_eq!(c.fabric_ports(), 5);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert_eq!(
+            DragonflyConfig::new(0, 4, 2).unwrap_err(),
+            ConfigError::ZeroParameter
+        );
+        assert_eq!(
+            DragonflyConfig::new(2, 0, 2).unwrap_err(),
+            ConfigError::ZeroParameter
+        );
+        assert_eq!(
+            DragonflyConfig::new(2, 4, 0).unwrap_err(),
+            ConfigError::ZeroParameter
+        );
+    }
+
+    #[test]
+    fn single_router_group_rejected() {
+        assert_eq!(
+            DragonflyConfig::new(2, 1, 2).unwrap_err(),
+            ConfigError::TooFewRoutersPerGroup
+        );
+    }
+
+    #[test]
+    fn unbalanced_config_allowed_but_flagged() {
+        let c = DragonflyConfig::new(2, 4, 3).unwrap();
+        assert!(!c.is_balanced());
+        assert_eq!(c.groups(), 13);
+    }
+
+    #[test]
+    fn link_counts_consistent() {
+        let c = DragonflyConfig::paper_1056();
+        // Each group has a*h = g-1 outgoing global link endpoints; every
+        // link has two endpoints.
+        assert_eq!(c.global_links() * 2, c.groups() * (c.groups() - 1));
+        // Each group is a clique of `a` routers.
+        assert_eq!(c.local_links(), 33 * (8 * 7 / 2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = DragonflyConfig::paper_1056().to_string();
+        assert!(s.contains("N=1056"));
+        assert!(s.contains("g=33"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Strongly typed identifiers for topology entities.
+//!
+//! Using newtypes instead of raw `usize` prevents accidentally indexing a
+//! router table with a node id (or vice versa), which is an easy mistake in
+//! a simulator that juggles four different index spaces.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index as a `usize`, for indexing into vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(i as u32)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                Self::from_index(i)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A compute node. Node `n` attaches to router `n / p` on host port `n % p`.
+    NodeId
+);
+id_newtype!(
+    /// A router. Router `r` belongs to group `r / a` with local index `r % a`.
+    RouterId
+);
+id_newtype!(
+    /// A group of `a` routers.
+    GroupId
+);
+
+/// A router port index in `0..k`.
+///
+/// Ports are laid out as: `[0, p)` host ports, `[p, p + a - 1)` local ports,
+/// `[p + a - 1, k)` global ports (see [`crate::ports`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u16);
+
+impl Port {
+    /// The raw port index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(i as u16)
+    }
+}
+
+impl From<usize> for Port {
+    #[inline]
+    fn from(i: usize) -> Self {
+        Self::from_index(i)
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(NodeId::from_index(17).index(), 17);
+        assert_eq!(RouterId::from_index(3).index(), 3);
+        assert_eq!(GroupId::from_index(0).index(), 0);
+        assert_eq!(Port::from_index(11).index(), 11);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(RouterId(1));
+        set.insert(RouterId(2));
+        set.insert(RouterId(1));
+        assert_eq!(set.len(), 2);
+        assert!(RouterId(1) < RouterId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(5).to_string(), "NodeId5");
+        assert_eq!(Port(3).to_string(), "port3");
+    }
+
+    #[test]
+    fn from_usize_conversions() {
+        let n: NodeId = 42usize.into();
+        assert_eq!(n, NodeId(42));
+        let p: Port = 7usize.into();
+        assert_eq!(p, Port(7));
+    }
+}

@@ -1,0 +1,33 @@
+//! # dragonfly-topology
+//!
+//! A model of the Dragonfly interconnect topology used by the Q-adaptive
+//! paper (Kim et al., ISCA'08 single-dimension Dragonfly with all-to-all
+//! intra-group and all-to-all inter-group connectivity).
+//!
+//! The crate provides:
+//!
+//! * [`config::DragonflyConfig`] — the `(p, a, h)` parameterisation and the
+//!   derived quantities of Table 1 of the paper (`k`, `g`, `m`, `N`).
+//! * Strongly typed identifiers ([`ids::NodeId`], [`ids::RouterId`],
+//!   [`ids::GroupId`], [`ids::Port`]) so that node, router and port indices
+//!   cannot be confused.
+//! * [`Dragonfly`] — the wiring: which port of which router connects to
+//!   which node/router, the global-link map between groups, and helpers for
+//!   minimal and Valiant routing.
+//! * [`paths`] — minimal path computation (diameter 3), Valiant-global and
+//!   Valiant-node intermediate selection, and hop-kind enumeration used to
+//!   initialise Q-values to the theoretical congestion-free delivery time.
+//!
+//! The topology is purely combinatorial: it knows nothing about time,
+//! buffers or congestion. Those live in `dragonfly-engine`.
+
+pub mod config;
+pub mod ids;
+pub mod paths;
+pub mod ports;
+pub mod topology;
+
+pub use config::DragonflyConfig;
+pub use ids::{GroupId, NodeId, Port, RouterId};
+pub use ports::PortKind;
+pub use topology::{Dragonfly, Neighbor};

@@ -1,0 +1,263 @@
+//! Path computation on the Dragonfly: minimal routes, Valiant intermediate
+//! selection, and hop-kind enumeration.
+//!
+//! The all-to-all Dragonfly is a diameter-3 topology: a minimal route uses
+//! at most one local hop in the source group, one global hop, and one local
+//! hop in the destination group. Because `g = a*h + 1` there is exactly one
+//! global link between any two groups, so the minimal route between two
+//! routers is unique.
+
+use crate::ids::{GroupId, NodeId, Port, RouterId};
+use crate::ports::PortKind;
+use crate::topology::Dragonfly;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The physical type of a single router-to-router hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HopKind {
+    /// An intra-group link.
+    Local,
+    /// An inter-group link.
+    Global,
+}
+
+impl Dragonfly {
+    /// The output port on `current` for the *unique minimal route* towards
+    /// `dest` router. Returns `None` when `current == dest` (the packet
+    /// should be ejected to its host port).
+    pub fn minimal_port(&self, current: RouterId, dest: RouterId) -> Option<Port> {
+        if current == dest {
+            return None;
+        }
+        let cg = self.group_of_router(current);
+        let dg = self.group_of_router(dest);
+        if cg == dg {
+            // One local hop.
+            return Some(self.local_port_to(current, dest));
+        }
+        // Different group: use own global link if we have one, otherwise hop
+        // to the gateway router of our group.
+        if let Some(gp) = self.global_port_to(current, dg) {
+            return Some(gp);
+        }
+        let (gw, _) = self.gateway(cg, dg);
+        debug_assert_ne!(gw, current);
+        Some(self.local_port_to(current, gw))
+    }
+
+    /// The output port on `current` for the minimal route towards the router
+    /// of `dest_node`, or the ejection host port when `current` already is
+    /// that router.
+    pub fn minimal_port_to_node(&self, current: RouterId, dest_node: NodeId) -> Port {
+        let dest_router = self.router_of_node(dest_node);
+        match self.minimal_port(current, dest_router) {
+            Some(p) => p,
+            None => self.ejection_port(dest_node),
+        }
+    }
+
+    /// Number of router-to-router hops of the minimal route.
+    pub fn minimal_hops(&self, src: RouterId, dst: RouterId) -> usize {
+        self.minimal_hop_kinds(src, dst).len()
+    }
+
+    /// The sequence of hop kinds along the minimal route, used to compute
+    /// the theoretical congestion-free delivery time that initialises the
+    /// Q-tables.
+    pub fn minimal_hop_kinds(&self, src: RouterId, dst: RouterId) -> Vec<HopKind> {
+        let mut kinds = Vec::with_capacity(3);
+        let mut current = src;
+        while current != dst {
+            let port = self
+                .minimal_port(current, dst)
+                .expect("non-equal routers must have a minimal port");
+            match self.port_kind(port) {
+                PortKind::Local => kinds.push(HopKind::Local),
+                PortKind::Global => kinds.push(HopKind::Global),
+                PortKind::Host => unreachable!("minimal_port never returns a host port"),
+            }
+            current = self.neighbor_router(current, port);
+            debug_assert!(kinds.len() <= 3, "minimal route exceeded the diameter");
+        }
+        kinds
+    }
+
+    /// The full minimal route as the list of routers visited
+    /// (starting with `src`, ending with `dst`).
+    pub fn minimal_route(&self, src: RouterId, dst: RouterId) -> Vec<RouterId> {
+        let mut route = vec![src];
+        let mut current = src;
+        while current != dst {
+            let port = self.minimal_port(current, dst).unwrap();
+            current = self.neighbor_router(current, port);
+            route.push(current);
+            assert!(route.len() <= 4, "minimal route exceeded the diameter");
+        }
+        route
+    }
+
+    /// Pick a uniformly random intermediate *group* for Valiant-global
+    /// routing: any group other than the source and destination groups.
+    pub fn random_intermediate_group<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        src_group: GroupId,
+        dst_group: GroupId,
+    ) -> GroupId {
+        let g = self.num_groups();
+        debug_assert!(g > 2, "valiant needs at least three groups");
+        loop {
+            let candidate = GroupId::from_index(rng.gen_range(0..g));
+            if candidate != src_group && candidate != dst_group {
+                return candidate;
+            }
+        }
+    }
+
+    /// Pick a uniformly random intermediate *router* for Valiant-node
+    /// routing: any router outside the source and destination groups.
+    pub fn random_intermediate_router<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        src_group: GroupId,
+        dst_group: GroupId,
+    ) -> RouterId {
+        let group = self.random_intermediate_group(rng, src_group, dst_group);
+        let local = rng.gen_range(0..self.config().a);
+        self.router_in_group(group, local)
+    }
+
+    /// A uniformly random local port of a router (used by Q-adaptive in the
+    /// first intermediate-group router and by VALn rerouting).
+    pub fn random_local_port<R: Rng + ?Sized>(&self, rng: &mut R) -> Port {
+        let slot = rng.gen_range(0..self.config().a - 1);
+        self.layout().local_port(slot)
+    }
+
+    /// All fabric ports of a router that do not immediately return the
+    /// packet to the router it came from. Used by ε-greedy exploration.
+    pub fn exploration_ports(&self, exclude: Option<Port>) -> Vec<Port> {
+        self.layout()
+            .fabric_port_iter()
+            .filter(|p| Some(*p) != exclude)
+            .collect()
+    }
+
+    /// The theoretical number of local/global hops of a minimal route
+    /// between two *groups* (ignoring the exact routers): `(locals, globals)`.
+    pub fn minimal_group_hops(&self, src: GroupId, dst: GroupId) -> (usize, usize) {
+        if src == dst {
+            (1, 0)
+        } else {
+            (2, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn minimal_route_is_within_diameter() {
+        let t = topo();
+        for src in t.routers() {
+            for dst in t.routers() {
+                let hops = t.minimal_hops(src, dst);
+                if src == dst {
+                    assert_eq!(hops, 0);
+                } else if t.group_of_router(src) == t.group_of_router(dst) {
+                    assert_eq!(hops, 1);
+                } else {
+                    assert!(hops >= 1 && hops <= 3, "{src} -> {dst}: {hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_route_reaches_destination() {
+        let t = topo();
+        for src in t.routers() {
+            for dst in t.routers() {
+                let route = t.minimal_route(src, dst);
+                assert_eq!(*route.first().unwrap(), src);
+                assert_eq!(*route.last().unwrap(), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_hop_kinds_have_at_most_one_global() {
+        let t = topo();
+        for src in t.routers() {
+            for dst in t.routers() {
+                let kinds = t.minimal_hop_kinds(src, dst);
+                let globals = kinds.iter().filter(|k| **k == HopKind::Global).count();
+                if t.group_of_router(src) == t.group_of_router(dst) {
+                    assert_eq!(globals, 0);
+                } else {
+                    assert_eq!(globals, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_port_to_node_ejects_at_destination_router() {
+        let t = topo();
+        let node = NodeId(13);
+        let router = t.router_of_node(node);
+        let port = t.minimal_port_to_node(router, node);
+        assert_eq!(t.port_kind(port), PortKind::Host);
+        assert_eq!(port, t.ejection_port(node));
+    }
+
+    #[test]
+    fn random_intermediates_avoid_src_and_dst_groups() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = GroupId(0);
+        let dst = GroupId(3);
+        for _ in 0..500 {
+            let g = t.random_intermediate_group(&mut rng, src, dst);
+            assert_ne!(g, src);
+            assert_ne!(g, dst);
+            let r = t.random_intermediate_router(&mut rng, src, dst);
+            assert_ne!(t.group_of_router(r), src);
+            assert_ne!(t.group_of_router(r), dst);
+        }
+    }
+
+    #[test]
+    fn exploration_ports_exclude_requested_port() {
+        let t = topo();
+        let all = t.exploration_ports(None);
+        assert_eq!(all.len(), t.layout().fabric_ports());
+        let some = t.exploration_ports(Some(all[0]));
+        assert_eq!(some.len(), all.len() - 1);
+        assert!(!some.contains(&all[0]));
+    }
+
+    #[test]
+    fn paper_system_minimal_routes_spot_check() {
+        let t = Dragonfly::new(DragonflyConfig::paper_1056());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let src = RouterId(rng.gen_range(0..t.num_routers() as u32));
+            let dst = RouterId(rng.gen_range(0..t.num_routers() as u32));
+            let hops = t.minimal_hops(src, dst);
+            assert!(hops <= 3);
+            let route = t.minimal_route(src, dst);
+            assert_eq!(route.len(), hops + 1);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Router port layout and classification.
+//!
+//! Every router has radix `k = p + (a-1) + h`. Ports are laid out in three
+//! contiguous ranges:
+//!
+//! * **host ports** `[0, p)` — one per attached compute node;
+//! * **local ports** `[p, p + a - 1)` — one per other router in the same
+//!   group (all-to-all intra-group);
+//! * **global ports** `[p + a - 1, k)` — `h` links to other groups.
+//!
+//! The Q-tables of the paper only cover the `k - p` non-host ports (a packet
+//! is never *routed* to a host port except for final ejection), so this
+//! module also provides the mapping between a fabric port and its "column"
+//! index in a Q-table.
+
+use crate::config::DragonflyConfig;
+use crate::ids::Port;
+use serde::{Deserialize, Serialize};
+
+/// The role a port plays in the topology hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortKind {
+    /// Connects the router to one of its `p` compute nodes.
+    Host,
+    /// Connects the router to another router in the same group.
+    Local,
+    /// Connects the router to a router in another group.
+    Global,
+}
+
+/// Port layout helper derived from a [`DragonflyConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortLayout {
+    p: usize,
+    a: usize,
+    h: usize,
+}
+
+impl PortLayout {
+    /// Build the layout for a configuration.
+    pub fn new(cfg: &DragonflyConfig) -> Self {
+        Self {
+            p: cfg.p,
+            a: cfg.a,
+            h: cfg.h,
+        }
+    }
+
+    /// Router radix `k`.
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.p + self.a - 1 + self.h
+    }
+
+    /// Number of non-host ("fabric") ports, `k - p`.
+    #[inline]
+    pub fn fabric_ports(&self) -> usize {
+        self.a - 1 + self.h
+    }
+
+    /// Classify a port.
+    #[inline]
+    pub fn kind(&self, port: Port) -> PortKind {
+        let i = port.index();
+        if i < self.p {
+            PortKind::Host
+        } else if i < self.p + self.a - 1 {
+            PortKind::Local
+        } else {
+            debug_assert!(i < self.radix(), "port {} out of range", i);
+            PortKind::Global
+        }
+    }
+
+    /// The host port attached to the `slot`-th node of a router
+    /// (`slot` in `0..p`).
+    #[inline]
+    pub fn host_port(&self, slot: usize) -> Port {
+        debug_assert!(slot < self.p);
+        Port::from_index(slot)
+    }
+
+    /// The `l`-th local port (`l` in `0..a-1`).
+    #[inline]
+    pub fn local_port(&self, l: usize) -> Port {
+        debug_assert!(l < self.a - 1);
+        Port::from_index(self.p + l)
+    }
+
+    /// The `j`-th global port (`j` in `0..h`).
+    #[inline]
+    pub fn global_port(&self, j: usize) -> Port {
+        debug_assert!(j < self.h);
+        Port::from_index(self.p + self.a - 1 + j)
+    }
+
+    /// Inverse of [`PortLayout::local_port`]: local slot of a local port.
+    #[inline]
+    pub fn local_slot(&self, port: Port) -> usize {
+        debug_assert_eq!(self.kind(port), PortKind::Local);
+        port.index() - self.p
+    }
+
+    /// Inverse of [`PortLayout::global_port`]: global slot of a global port.
+    #[inline]
+    pub fn global_slot(&self, port: Port) -> usize {
+        debug_assert_eq!(self.kind(port), PortKind::Global);
+        port.index() - self.p - (self.a - 1)
+    }
+
+    /// Column index of a fabric (non-host) port in a Q-table
+    /// (`0..k-p`). Host ports have no column.
+    #[inline]
+    pub fn qtable_column(&self, port: Port) -> Option<usize> {
+        if self.kind(port) == PortKind::Host {
+            None
+        } else {
+            Some(port.index() - self.p)
+        }
+    }
+
+    /// The fabric port for a Q-table column index.
+    #[inline]
+    pub fn port_for_column(&self, column: usize) -> Port {
+        debug_assert!(column < self.fabric_ports());
+        Port::from_index(self.p + column)
+    }
+
+    /// Iterator over all host ports.
+    pub fn host_ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.p).map(Port::from_index)
+    }
+
+    /// Iterator over all local ports.
+    pub fn local_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        (0..self.a - 1).map(|l| self.local_port(l))
+    }
+
+    /// Iterator over all global ports.
+    pub fn global_ports(&self) -> impl Iterator<Item = Port> + '_ {
+        (0..self.h).map(|j| self.global_port(j))
+    }
+
+    /// Iterator over all non-host ports (local then global).
+    pub fn fabric_port_iter(&self) -> impl Iterator<Item = Port> + '_ {
+        (self.p..self.radix()).map(Port::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> PortLayout {
+        PortLayout::new(&DragonflyConfig::paper_1056())
+    }
+
+    #[test]
+    fn ranges_partition_the_radix() {
+        let l = layout();
+        assert_eq!(l.radix(), 15);
+        let hosts: Vec<_> = l.host_ports().collect();
+        let locals: Vec<_> = l.local_ports().collect();
+        let globals: Vec<_> = l.global_ports().collect();
+        assert_eq!(hosts.len(), 4);
+        assert_eq!(locals.len(), 7);
+        assert_eq!(globals.len(), 4);
+        assert_eq!(hosts.len() + locals.len() + globals.len(), l.radix());
+        for p in hosts {
+            assert_eq!(l.kind(p), PortKind::Host);
+        }
+        for p in locals {
+            assert_eq!(l.kind(p), PortKind::Local);
+        }
+        for p in globals {
+            assert_eq!(l.kind(p), PortKind::Global);
+        }
+    }
+
+    #[test]
+    fn qtable_columns_cover_fabric_ports() {
+        let l = layout();
+        assert_eq!(l.qtable_column(Port(0)), None);
+        assert_eq!(l.qtable_column(Port(4)), Some(0));
+        assert_eq!(l.qtable_column(Port(14)), Some(10));
+        for (i, port) in l.fabric_port_iter().enumerate() {
+            assert_eq!(l.qtable_column(port), Some(i));
+            assert_eq!(l.port_for_column(i), port);
+        }
+        assert_eq!(l.fabric_ports(), 11);
+    }
+
+    #[test]
+    fn slot_inverses() {
+        let l = layout();
+        for j in 0..4 {
+            assert_eq!(l.global_slot(l.global_port(j)), j);
+        }
+        for s in 0..7 {
+            assert_eq!(l.local_slot(l.local_port(s)), s);
+        }
+        for s in 0..4 {
+            assert_eq!(l.host_port(s).index(), s);
+        }
+    }
+
+    #[test]
+    fn fabric_iter_matches_counts() {
+        let l = PortLayout::new(&DragonflyConfig::tiny());
+        assert_eq!(l.fabric_port_iter().count(), l.fabric_ports());
+        assert_eq!(l.fabric_ports(), 5);
+    }
+}

@@ -1,0 +1,399 @@
+//! The Dragonfly wiring: which port connects to what.
+//!
+//! The topology uses the "absolute" global-link arrangement: within a group,
+//! router with local index `r` owns the global links to the other-group
+//! indices `r*h .. r*h + h` (other groups are numbered by skipping the
+//! router's own group). Because `g = a*h + 1`, every group has exactly one
+//! global link to every other group, and the mapping is symmetric: the link
+//! between groups `G1` and `G2` connects the router in `G1` that owns `G2`
+//! with the router in `G2` that owns `G1`.
+
+use crate::config::DragonflyConfig;
+use crate::ids::{GroupId, NodeId, Port, RouterId};
+use crate::ports::{PortKind, PortLayout};
+use serde::{Deserialize, Serialize};
+
+/// What sits on the far side of a router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Neighbor {
+    /// A compute node (host port).
+    Node(NodeId),
+    /// Another router; `port` is the input port on the far router that this
+    /// link feeds (needed for credit accounting).
+    Router { router: RouterId, port: Port },
+}
+
+/// A fully wired Dragonfly topology.
+///
+/// All queries are O(1) arithmetic; nothing is materialised besides the
+/// configuration and the port layout, so cloning is cheap and a 10k-router
+/// topology costs nothing to "build".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dragonfly {
+    cfg: DragonflyConfig,
+    layout: PortLayout,
+}
+
+impl Dragonfly {
+    /// Build the topology for a configuration.
+    pub fn new(cfg: DragonflyConfig) -> Self {
+        let layout = PortLayout::new(&cfg);
+        Self { cfg, layout }
+    }
+
+    /// The configuration this topology was built from.
+    #[inline]
+    pub fn config(&self) -> &DragonflyConfig {
+        &self.cfg
+    }
+
+    /// The port layout helper.
+    #[inline]
+    pub fn layout(&self) -> &PortLayout {
+        &self.layout
+    }
+
+    /// Number of routers in the system.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.cfg.routers()
+    }
+
+    /// Number of compute nodes in the system.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.nodes()
+    }
+
+    /// Number of groups in the system.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.cfg.groups()
+    }
+
+    /// Router radix.
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.layout.radix()
+    }
+
+    // ------------------------------------------------------------------
+    // Entity relationships
+    // ------------------------------------------------------------------
+
+    /// The router a node is attached to.
+    #[inline]
+    pub fn router_of_node(&self, node: NodeId) -> RouterId {
+        RouterId::from_index(node.index() / self.cfg.p)
+    }
+
+    /// The host-port slot (0..p) a node occupies on its router.
+    #[inline]
+    pub fn node_slot(&self, node: NodeId) -> usize {
+        node.index() % self.cfg.p
+    }
+
+    /// The host port on `router_of_node(node)` that ejects to `node`.
+    #[inline]
+    pub fn ejection_port(&self, node: NodeId) -> Port {
+        self.layout.host_port(self.node_slot(node))
+    }
+
+    /// The nodes attached to a router.
+    pub fn nodes_of_router(&self, router: RouterId) -> impl Iterator<Item = NodeId> {
+        let base = router.index() * self.cfg.p;
+        (base..base + self.cfg.p).map(NodeId::from_index)
+    }
+
+    /// The group a router belongs to.
+    #[inline]
+    pub fn group_of_router(&self, router: RouterId) -> GroupId {
+        GroupId::from_index(router.index() / self.cfg.a)
+    }
+
+    /// The group a node belongs to.
+    #[inline]
+    pub fn group_of_node(&self, node: NodeId) -> GroupId {
+        self.group_of_router(self.router_of_node(node))
+    }
+
+    /// The local index (0..a) of a router within its group.
+    #[inline]
+    pub fn local_index(&self, router: RouterId) -> usize {
+        router.index() % self.cfg.a
+    }
+
+    /// The router with a given local index inside a group.
+    #[inline]
+    pub fn router_in_group(&self, group: GroupId, local_index: usize) -> RouterId {
+        debug_assert!(local_index < self.cfg.a);
+        RouterId::from_index(group.index() * self.cfg.a + local_index)
+    }
+
+    /// Iterator over all routers of a group.
+    pub fn routers_of_group(&self, group: GroupId) -> impl Iterator<Item = RouterId> {
+        let base = group.index() * self.cfg.a;
+        (base..base + self.cfg.a).map(RouterId::from_index)
+    }
+
+    /// Iterator over all routers in the system.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> {
+        (0..self.num_routers()).map(RouterId::from_index)
+    }
+
+    /// Iterator over all nodes in the system.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all groups in the system.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.num_groups()).map(GroupId::from_index)
+    }
+
+    // ------------------------------------------------------------------
+    // Wiring
+    // ------------------------------------------------------------------
+
+    /// The local port on `router` that reaches `other` (same group,
+    /// different router).
+    pub fn local_port_to(&self, router: RouterId, other: RouterId) -> Port {
+        debug_assert_eq!(self.group_of_router(router), self.group_of_router(other));
+        debug_assert_ne!(router, other);
+        let me = self.local_index(router);
+        let them = self.local_index(other);
+        // Skip-self numbering: slot l connects to local index l if l < me,
+        // otherwise l + 1.
+        let slot = if them < me { them } else { them - 1 };
+        self.layout.local_port(slot)
+    }
+
+    /// The router reached by a local port.
+    pub fn local_neighbor(&self, router: RouterId, port: Port) -> RouterId {
+        debug_assert_eq!(self.layout.kind(port), PortKind::Local);
+        let me = self.local_index(router);
+        let slot = self.layout.local_slot(port);
+        let them = if slot < me { slot } else { slot + 1 };
+        self.router_in_group(self.group_of_router(router), them)
+    }
+
+    /// The destination group of a global port on a router.
+    pub fn global_neighbor_group(&self, router: RouterId, port: Port) -> GroupId {
+        debug_assert_eq!(self.layout.kind(port), PortKind::Global);
+        let my_group = self.group_of_router(router).index();
+        let slot = self.layout.global_slot(port);
+        let other_index = self.local_index(router) * self.cfg.h + slot;
+        // Other groups are numbered by skipping the router's own group.
+        let target = if other_index < my_group {
+            other_index
+        } else {
+            other_index + 1
+        };
+        GroupId::from_index(target)
+    }
+
+    /// The router within `group` that owns the (unique) global link towards
+    /// `target_group`, along with the global port it uses.
+    pub fn gateway(&self, group: GroupId, target_group: GroupId) -> (RouterId, Port) {
+        debug_assert_ne!(group, target_group);
+        let g = group.index();
+        let t = target_group.index();
+        let other_index = if t < g { t } else { t - 1 };
+        let local_index = other_index / self.cfg.h;
+        let slot = other_index % self.cfg.h;
+        (
+            self.router_in_group(group, local_index),
+            self.layout.global_port(slot),
+        )
+    }
+
+    /// If `router` has a direct global link to `target_group`, the global
+    /// port that reaches it.
+    pub fn global_port_to(&self, router: RouterId, target_group: GroupId) -> Option<Port> {
+        let my_group = self.group_of_router(router);
+        if my_group == target_group {
+            return None;
+        }
+        let (gw, port) = self.gateway(my_group, target_group);
+        (gw == router).then_some(port)
+    }
+
+    /// Full neighbour resolution: what does `port` of `router` connect to?
+    pub fn neighbor(&self, router: RouterId, port: Port) -> Neighbor {
+        match self.layout.kind(port) {
+            PortKind::Host => {
+                let node = NodeId::from_index(router.index() * self.cfg.p + port.index());
+                Neighbor::Node(node)
+            }
+            PortKind::Local => {
+                let other = self.local_neighbor(router, port);
+                Neighbor::Router {
+                    router: other,
+                    port: self.local_port_to(other, router),
+                }
+            }
+            PortKind::Global => {
+                let target_group = self.global_neighbor_group(router, port);
+                let my_group = self.group_of_router(router);
+                let (remote, remote_port) = self.gateway(target_group, my_group);
+                Neighbor::Router {
+                    router: remote,
+                    port: remote_port,
+                }
+            }
+        }
+    }
+
+    /// The router on the far side of a fabric port (panics on host ports).
+    pub fn neighbor_router(&self, router: RouterId, port: Port) -> RouterId {
+        match self.neighbor(router, port) {
+            Neighbor::Router { router, .. } => router,
+            Neighbor::Node(_) => panic!("neighbor_router called on a host port"),
+        }
+    }
+
+    /// Classify a port of any router (layout is identical for all routers).
+    #[inline]
+    pub fn port_kind(&self, port: Port) -> PortKind {
+        self.layout.kind(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn node_router_group_relationships() {
+        let t = topo();
+        // tiny: p=2, a=4, h=2, g=9
+        assert_eq!(t.router_of_node(NodeId(0)), RouterId(0));
+        assert_eq!(t.router_of_node(NodeId(1)), RouterId(0));
+        assert_eq!(t.router_of_node(NodeId(2)), RouterId(1));
+        assert_eq!(t.group_of_router(RouterId(0)), GroupId(0));
+        assert_eq!(t.group_of_router(RouterId(4)), GroupId(1));
+        assert_eq!(t.local_index(RouterId(5)), 1);
+        assert_eq!(t.node_slot(NodeId(3)), 1);
+        let nodes: Vec<_> = t.nodes_of_router(RouterId(3)).collect();
+        assert_eq!(nodes, vec![NodeId(6), NodeId(7)]);
+    }
+
+    #[test]
+    fn local_links_are_symmetric() {
+        let t = topo();
+        for g in t.groups() {
+            for r1 in t.routers_of_group(g) {
+                for r2 in t.routers_of_group(g) {
+                    if r1 == r2 {
+                        continue;
+                    }
+                    let p12 = t.local_port_to(r1, r2);
+                    assert_eq!(t.local_neighbor(r1, p12), r2);
+                    match t.neighbor(r1, p12) {
+                        Neighbor::Router { router, port } => {
+                            assert_eq!(router, r2);
+                            assert_eq!(t.local_neighbor(r2, port), r1);
+                        }
+                        _ => panic!("local port resolved to a node"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_group_pair_has_exactly_one_global_link() {
+        let t = topo();
+        let g = t.num_groups();
+        let mut count = vec![vec![0usize; g]; g];
+        for r in t.routers() {
+            for port in t.layout().global_ports() {
+                let dst = t.global_neighbor_group(r, port);
+                let src = t.group_of_router(r);
+                assert_ne!(src, dst, "global link must leave the group");
+                count[src.index()][dst.index()] += 1;
+            }
+        }
+        for a in 0..g {
+            for b in 0..g {
+                if a == b {
+                    assert_eq!(count[a][b], 0);
+                } else {
+                    assert_eq!(count[a][b], 1, "groups {a} and {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_links_are_symmetric() {
+        let t = topo();
+        for r in t.routers() {
+            for port in t.layout().global_ports() {
+                match t.neighbor(r, port) {
+                    Neighbor::Router {
+                        router: remote,
+                        port: remote_port,
+                    } => {
+                        // The reverse link must come straight back.
+                        match t.neighbor(remote, remote_port) {
+                            Neighbor::Router { router, port } => {
+                                assert_eq!(router, r);
+                                assert_eq!(port, port);
+                            }
+                            _ => panic!("global reverse resolved to a node"),
+                        }
+                        assert_ne!(t.group_of_router(remote), t.group_of_router(r));
+                    }
+                    _ => panic!("global port resolved to a node"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_agrees_with_global_ports() {
+        let t = topo();
+        for g1 in t.groups() {
+            for g2 in t.groups() {
+                if g1 == g2 {
+                    continue;
+                }
+                let (gw, port) = t.gateway(g1, g2);
+                assert_eq!(t.group_of_router(gw), g1);
+                assert_eq!(t.global_neighbor_group(gw, port), g2);
+                assert_eq!(t.global_port_to(gw, g2), Some(port));
+            }
+        }
+    }
+
+    #[test]
+    fn host_ports_map_to_attached_nodes() {
+        let t = topo();
+        for r in t.routers() {
+            for (slot, node) in t.nodes_of_router(r).enumerate() {
+                let port = t.layout().host_port(slot);
+                assert_eq!(t.neighbor(r, port), Neighbor::Node(node));
+                assert_eq!(t.ejection_port(node), port);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_topology_is_consistent() {
+        let t = Dragonfly::new(DragonflyConfig::paper_1056());
+        assert_eq!(t.num_routers(), 264);
+        assert_eq!(t.num_nodes(), 1056);
+        // Spot-check symmetry on the larger system.
+        let r = RouterId(100);
+        for port in t.layout().fabric_port_iter() {
+            if let Neighbor::Router { router, port: back } = t.neighbor(r, port) {
+                assert_eq!(t.neighbor_router(router, back), r);
+            }
+        }
+    }
+}

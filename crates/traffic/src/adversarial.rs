@@ -1,0 +1,109 @@
+//! Adversarial traffic (ADV+i): every node in group `G` sends to a random
+//! node in group `(G + i) mod g`. The single global link between the two
+//! groups becomes the bottleneck, so minimal routing collapses and Valiant
+//! / adaptive routing is required.
+//!
+//! The shift `i` also controls how much *local-link* congestion appears in
+//! intermediate groups when packets are routed non-minimally: on the
+//! 1,056-node system ADV+1 causes the least and ADV+4 the most
+//! (paper Figure 3).
+
+use crate::pattern::TrafficPattern;
+use dragonfly_topology::ids::{GroupId, NodeId};
+use dragonfly_topology::Dragonfly;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// ADV+shift destination selection.
+#[derive(Debug, Clone)]
+pub struct Adversarial {
+    shift: usize,
+    num_groups: usize,
+    nodes_per_group: usize,
+}
+
+impl Adversarial {
+    /// Create ADV+`shift` for the given topology.
+    pub fn new(topo: &Dragonfly, shift: usize) -> Self {
+        let g = topo.num_groups();
+        assert!(g >= 2, "adversarial traffic needs at least two groups");
+        assert!(
+            shift % g != 0,
+            "a shift that is a multiple of the group count would target the sender's own group"
+        );
+        Self {
+            shift: shift % g,
+            num_groups: g,
+            nodes_per_group: topo.config().a * topo.config().p,
+        }
+    }
+
+    /// The group targeted by nodes of `group`.
+    pub fn target_group(&self, group: GroupId) -> GroupId {
+        GroupId::from_index((group.index() + self.shift) % self.num_groups)
+    }
+
+    fn group_of(&self, node: NodeId) -> GroupId {
+        GroupId::from_index(node.index() / self.nodes_per_group)
+    }
+}
+
+impl TrafficPattern for Adversarial {
+    fn name(&self) -> String {
+        format!("ADV+{}", self.shift)
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let target = self.target_group(self.group_of(src));
+        let offset = rng.gen_range(0..self.nodes_per_group);
+        NodeId::from_index(target.index() * self.nodes_per_group + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use dragonfly_topology::config::DragonflyConfig;
+    use rand::SeedableRng;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn basic_invariants() {
+        let t = topo();
+        let mut p = Adversarial::new(&t, 1);
+        check_basic_invariants(&mut p, t.num_nodes(), 10);
+        assert_eq!(p.name(), "ADV+1");
+    }
+
+    #[test]
+    fn every_destination_lands_in_the_shifted_group() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(5);
+        for shift in [1usize, 4] {
+            let mut p = Adversarial::new(&t, shift);
+            for node in t.nodes() {
+                let dst = p.destination(node, &mut rng);
+                let expected =
+                    (t.group_of_node(node).index() + shift) % t.num_groups();
+                assert_eq!(t.group_of_node(dst).index(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_wraps_around_the_group_count() {
+        let t = topo();
+        let p = Adversarial::new(&t, t.num_groups() + 2);
+        assert_eq!(p.target_group(GroupId(0)), GroupId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the group count")]
+    fn zero_shift_is_rejected() {
+        Adversarial::new(&topo(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The 3-D logical grid used by the HPC communication patterns of
+//! Section 6 of the paper.
+//!
+//! The paper arranges the 2,550-node system as a 5 × 10 × 51 grid. That is
+//! exactly `(p, a, g)` — one grid "column" per host slot, one "row" per
+//! router of a group, one "plane" per group — so the same construction
+//! generalises to any Dragonfly configuration (the 1,056-node system
+//! becomes 4 × 8 × 33).
+//!
+//! Node `n` maps to coordinates `(x, y, z)` with `x = n mod X`,
+//! `y = (n / X) mod Y`, `z = n / (X·Y)`; because `X·Y = p·a` equals the
+//! number of nodes per group, the `z` coordinate is the node's group.
+
+use dragonfly_topology::ids::NodeId;
+use dragonfly_topology::Dragonfly;
+use serde::{Deserialize, Serialize};
+
+/// A 3-D grid over the node identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3D {
+    /// Size along X (fastest varying).
+    pub x: usize,
+    /// Size along Y.
+    pub y: usize,
+    /// Size along Z (slowest varying).
+    pub z: usize,
+}
+
+impl Grid3D {
+    /// Build a grid with explicit dimensions; `x*y*z` must equal the node
+    /// count it is used with.
+    pub fn new(x: usize, y: usize, z: usize) -> Self {
+        assert!(x >= 1 && y >= 1 && z >= 1);
+        Self { x, y, z }
+    }
+
+    /// The paper's construction: `(p, a, g)`.
+    pub fn for_system(topo: &Dragonfly) -> Self {
+        let cfg = topo.config();
+        let grid = Self::new(cfg.p, cfg.a, cfg.groups());
+        assert_eq!(grid.len(), topo.num_nodes());
+        grid
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Whether the grid is empty (never true for valid dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coordinates of a node.
+    pub fn coords(&self, node: NodeId) -> (usize, usize, usize) {
+        let n = node.index();
+        debug_assert!(n < self.len());
+        (n % self.x, (n / self.x) % self.y, n / (self.x * self.y))
+    }
+
+    /// Node at the given coordinates.
+    pub fn node(&self, x: usize, y: usize, z: usize) -> NodeId {
+        debug_assert!(x < self.x && y < self.y && z < self.z);
+        NodeId::from_index(x + self.x * (y + self.y * z))
+    }
+
+    /// The six (wrap-around) nearest neighbours of a node along the three
+    /// axes, excluding the node itself and with duplicates removed (which
+    /// matters for dimensions of size 1 or 2).
+    pub fn stencil_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y, z) = self.coords(node);
+        let mut out = Vec::with_capacity(6);
+        let candidates = [
+            self.node((x + 1) % self.x, y, z),
+            self.node((x + self.x - 1) % self.x, y, z),
+            self.node(x, (y + 1) % self.y, z),
+            self.node(x, (y + self.y - 1) % self.y, z),
+            self.node(x, y, (z + 1) % self.z),
+            self.node(x, y, (z + self.z - 1) % self.z),
+        ];
+        for c in candidates {
+            if c != node && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// All members of a node's Z-axis communicator (same `(x, y)`, every
+    /// `z`) — the Many-to-Many communicator of the paper, `g` nodes long.
+    pub fn z_communicator(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y, _) = self.coords(node);
+        (0..self.z).map(|z| self.node(x, y, z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let t2550 = Dragonfly::new(DragonflyConfig::paper_2550());
+        let g = Grid3D::for_system(&t2550);
+        assert_eq!((g.x, g.y, g.z), (5, 10, 51));
+        let t1056 = Dragonfly::new(DragonflyConfig::paper_1056());
+        let g = Grid3D::for_system(&t1056);
+        assert_eq!((g.x, g.y, g.z), (4, 8, 33));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid3D::new(4, 8, 33);
+        for n in 0..g.len() {
+            let node = NodeId::from_index(n);
+            let (x, y, z) = g.coords(node);
+            assert_eq!(g.node(x, y, z), node);
+        }
+    }
+
+    #[test]
+    fn z_coordinate_is_the_group() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let g = Grid3D::for_system(&topo);
+        for node in topo.nodes() {
+            let (_, _, z) = g.coords(node);
+            assert_eq!(z, topo.group_of_node(node).index());
+        }
+    }
+
+    #[test]
+    fn stencil_neighbors_are_six_distinct_nodes_on_large_grids() {
+        let g = Grid3D::new(5, 10, 51);
+        let n = g.node(2, 3, 7);
+        let neigh = g.stencil_neighbors(n);
+        assert_eq!(neigh.len(), 6);
+        assert!(!neigh.contains(&n));
+    }
+
+    #[test]
+    fn stencil_neighbors_deduplicate_on_small_dimensions() {
+        // x dimension of size 2: +1 and -1 wrap to the same node.
+        let g = Grid3D::new(2, 4, 9);
+        let n = g.node(0, 0, 0);
+        let neigh = g.stencil_neighbors(n);
+        assert_eq!(neigh.len(), 5);
+    }
+
+    #[test]
+    fn z_communicator_spans_all_groups() {
+        let g = Grid3D::new(4, 8, 33);
+        let comm = g.z_communicator(g.node(1, 2, 5));
+        assert_eq!(comm.len(), 33);
+        let zs: std::collections::HashSet<usize> =
+            comm.iter().map(|n| g.coords(*n).2).collect();
+        assert_eq!(zs.len(), 33);
+    }
+}

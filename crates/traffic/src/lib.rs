@@ -1,0 +1,33 @@
+//! # dragonfly-traffic
+//!
+//! The traffic patterns used in the Q-adaptive paper's evaluation:
+//!
+//! * **UR** — uniform random (best case for Dragonfly, Section 2.2);
+//! * **ADV+i** — adversarial shift-by-i (worst case; ADV+1 has the least
+//!   local-link congestion on the 1,056-node system, ADV+4 the most);
+//! * **3D Stencil** — nearest-neighbour exchange on a 3-D grid
+//!   (Section 6);
+//! * **Many-to-Many** — all-to-all inside 51-node communicators laid out
+//!   along the grid's Z axis (Section 6);
+//! * **Random Neighbors** — each node talks to a fixed random set of 6–20
+//!   peers (Section 6);
+//! * plus piecewise-constant **dynamic load schedules** for the paper's
+//!   Figure 8.
+//!
+//! A pattern only answers one question — *"node `n` wants to send a
+//! message; to whom?"* — while message timing (offered load) is handled by
+//! the [`schedule`] module and the injector in `dragonfly-sim`.
+
+pub mod adversarial;
+pub mod grid;
+pub mod neighbors;
+pub mod pattern;
+pub mod schedule;
+pub mod spec;
+pub mod stencil;
+pub mod synthetic;
+pub mod uniform;
+
+pub use pattern::TrafficPattern;
+pub use schedule::LoadSchedule;
+pub use spec::TrafficSpec;

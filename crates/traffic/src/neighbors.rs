@@ -1,0 +1,122 @@
+//! Random Neighbors: each node spreads its communication uniformly over a
+//! fixed random set of 6–20 peers, mimicking the computation-aware
+//! load-balancing phase of applications such as NAMD (Section 6 of the
+//! paper).
+
+use crate::pattern::TrafficPattern;
+use dragonfly_topology::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-neighbour destination selection with per-node fixed peer sets.
+#[derive(Debug, Clone)]
+pub struct RandomNeighbors {
+    peers: Vec<Vec<NodeId>>,
+}
+
+impl RandomNeighbors {
+    /// Build peer sets for `num_nodes` nodes: each node gets between
+    /// `min_peers` and `max_peers` (inclusive) distinct random peers.
+    /// The construction is deterministic in `seed`.
+    pub fn new(num_nodes: usize, min_peers: usize, max_peers: usize, seed: u64) -> Self {
+        assert!(num_nodes >= 2);
+        assert!(min_peers >= 1 && min_peers <= max_peers);
+        assert!(
+            max_peers < num_nodes,
+            "cannot pick {max_peers} distinct peers out of {num_nodes} nodes"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peers = (0..num_nodes)
+            .map(|n| {
+                let count = rng.gen_range(min_peers..=max_peers);
+                let mut set = Vec::with_capacity(count);
+                while set.len() < count {
+                    let peer = NodeId::from_index(rng.gen_range(0..num_nodes));
+                    if peer.index() != n && !set.contains(&peer) {
+                        set.push(peer);
+                    }
+                }
+                set
+            })
+            .collect();
+        Self { peers }
+    }
+
+    /// The paper's parameters: 6–20 targets per node.
+    pub fn paper(num_nodes: usize, seed: u64) -> Self {
+        Self::new(num_nodes, 6, 20, seed)
+    }
+
+    /// The peer set of one node.
+    pub fn peers_of(&self, node: NodeId) -> &[NodeId] {
+        &self.peers[node.index()]
+    }
+}
+
+impl TrafficPattern for RandomNeighbors {
+    fn name(&self) -> String {
+        "Random Neighbors".to_string()
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let peers = &self.peers[src.index()];
+        peers[rng.gen_range(0..peers.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_invariants() {
+        let mut p = RandomNeighbors::paper(72, 1);
+        check_basic_invariants(&mut p, 72, 10);
+        assert_eq!(p.name(), "Random Neighbors");
+    }
+
+    #[test]
+    fn peer_counts_are_in_range_and_distinct() {
+        let p = RandomNeighbors::paper(200, 9);
+        for n in 0..200 {
+            let peers = p.peers_of(NodeId::from_index(n));
+            assert!(peers.len() >= 6 && peers.len() <= 20);
+            let distinct: std::collections::HashSet<_> = peers.iter().collect();
+            assert_eq!(distinct.len(), peers.len());
+            assert!(!peers.contains(&NodeId::from_index(n)));
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_in_the_seed() {
+        let a = RandomNeighbors::paper(100, 5);
+        let b = RandomNeighbors::paper(100, 5);
+        let c = RandomNeighbors::paper(100, 6);
+        assert_eq!(a.peers_of(NodeId(3)), b.peers_of(NodeId(3)));
+        assert_ne!(
+            a.peers.iter().flatten().collect::<Vec<_>>(),
+            c.peers.iter().flatten().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn destinations_only_come_from_the_peer_set() {
+        let mut p = RandomNeighbors::paper(64, 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 0..64 {
+            let src = NodeId::from_index(n);
+            let allowed: Vec<NodeId> = p.peers_of(src).to_vec();
+            for _ in 0..30 {
+                assert!(allowed.contains(&p.destination(src, &mut rng)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct peers")]
+    fn too_many_peers_rejected() {
+        RandomNeighbors::new(10, 6, 10, 0);
+    }
+}

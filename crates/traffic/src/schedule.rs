@@ -1,0 +1,117 @@
+//! Offered-load schedules.
+//!
+//! Most experiments use a constant offered load; the dynamic-load study
+//! (paper Figure 8) switches the load at a given time. A schedule is a
+//! piecewise-constant function of time returning the offered load in
+//! `[0, 1]` (fraction of each node's injection bandwidth).
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant offered-load schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSchedule {
+    /// `(start_time_ns, offered_load)` segments sorted by start time; the
+    /// first segment must start at 0.
+    segments: Vec<(u64, f64)>,
+}
+
+impl LoadSchedule {
+    /// A constant offered load.
+    pub fn constant(load: f64) -> Self {
+        assert!(load >= 0.0 && load <= 1.0, "load must be in [0, 1]");
+        Self {
+            segments: vec![(0, load)],
+        }
+    }
+
+    /// A single step: `before` until `switch_at_ns`, then `after`.
+    /// This is the shape used in the paper's Figure 8.
+    pub fn step(before: f64, after: f64, switch_at_ns: u64) -> Self {
+        assert!(before >= 0.0 && before <= 1.0 && after >= 0.0 && after <= 1.0);
+        Self {
+            segments: vec![(0, before), (switch_at_ns, after)],
+        }
+    }
+
+    /// An arbitrary piecewise-constant schedule. Segments are sorted by
+    /// start time; the earliest segment is shifted to start at 0 if needed.
+    pub fn piecewise(mut segments: Vec<(u64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "schedule needs at least one segment");
+        segments.sort_by_key(|(t, _)| *t);
+        segments[0].0 = 0;
+        for (_, load) in &segments {
+            assert!(*load >= 0.0 && *load <= 1.0, "load must be in [0, 1]");
+        }
+        Self { segments }
+    }
+
+    /// The offered load at time `now_ns`.
+    pub fn load_at(&self, now_ns: u64) -> f64 {
+        let mut current = self.segments[0].1;
+        for (start, load) in &self.segments {
+            if *start <= now_ns {
+                current = *load;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The largest load anywhere in the schedule (used for sizing
+    /// warmup heuristics).
+    pub fn peak_load(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(0.0, f64::max)
+    }
+
+    /// The time of the next load change strictly after `now_ns`, if any.
+    pub fn next_change_after(&self, now_ns: u64) -> Option<u64> {
+        self.segments
+            .iter()
+            .map(|(t, _)| *t)
+            .find(|t| *t > now_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let s = LoadSchedule::constant(0.8);
+        assert_eq!(s.load_at(0), 0.8);
+        assert_eq!(s.load_at(10_000_000), 0.8);
+        assert_eq!(s.peak_load(), 0.8);
+        assert_eq!(s.next_change_after(0), None);
+    }
+
+    #[test]
+    fn step_switches_at_the_given_time() {
+        // Figure 8(a): UR 0.4 -> 0.8 at 1600 us.
+        let s = LoadSchedule::step(0.4, 0.8, 1_600_000);
+        assert_eq!(s.load_at(0), 0.4);
+        assert_eq!(s.load_at(1_599_999), 0.4);
+        assert_eq!(s.load_at(1_600_000), 0.8);
+        assert_eq!(s.peak_load(), 0.8);
+        assert_eq!(s.next_change_after(0), Some(1_600_000));
+        assert_eq!(s.next_change_after(1_600_000), None);
+    }
+
+    #[test]
+    fn piecewise_sorts_and_anchors_at_zero() {
+        let s = LoadSchedule::piecewise(vec![(500, 0.2), (100, 0.6), (900, 0.1)]);
+        assert_eq!(s.load_at(0), 0.6);
+        assert_eq!(s.load_at(600), 0.2);
+        assert_eq!(s.load_at(2_000), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in [0, 1]")]
+    fn out_of_range_load_rejected() {
+        LoadSchedule::constant(1.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! A serialisable description of "which traffic pattern to run".
+
+use crate::adversarial::Adversarial;
+use crate::neighbors::RandomNeighbors;
+use crate::pattern::TrafficPattern;
+use crate::stencil::{ManyToMany, Stencil3D};
+use crate::uniform::UniformRandom;
+use dragonfly_topology::Dragonfly;
+use serde::{Deserialize, Serialize};
+
+/// The traffic patterns evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// Uniform random.
+    UniformRandom,
+    /// Adversarial shift-by-`shift`.
+    Adversarial {
+        /// The group shift (ADV+shift).
+        shift: usize,
+    },
+    /// 3D Stencil on the `(p, a, g)` grid.
+    Stencil3D,
+    /// Many-to-Many over Z-axis communicators of the `(p, a, g)` grid.
+    ManyToMany,
+    /// Random Neighbors with the paper's 6–20 peers per node.
+    RandomNeighbors,
+}
+
+impl TrafficSpec {
+    /// The five patterns of the 2,550-node case study (Figure 9), in plot
+    /// order.
+    pub fn paper_case_study() -> Vec<TrafficSpec> {
+        vec![
+            TrafficSpec::UniformRandom,
+            TrafficSpec::Adversarial { shift: 1 },
+            TrafficSpec::Stencil3D,
+            TrafficSpec::ManyToMany,
+            TrafficSpec::RandomNeighbors,
+        ]
+    }
+
+    /// Instantiate the pattern for a topology. `seed` only matters for
+    /// patterns with frozen random structure (Random Neighbors).
+    pub fn build(&self, topo: &Dragonfly, seed: u64) -> Box<dyn TrafficPattern> {
+        match *self {
+            TrafficSpec::UniformRandom => Box::new(UniformRandom::new(topo.num_nodes())),
+            TrafficSpec::Adversarial { shift } => Box::new(Adversarial::new(topo, shift)),
+            TrafficSpec::Stencil3D => Box::new(Stencil3D::new(topo)),
+            TrafficSpec::ManyToMany => Box::new(ManyToMany::new(topo)),
+            TrafficSpec::RandomNeighbors => {
+                Box::new(RandomNeighbors::paper(topo.num_nodes(), seed))
+            }
+        }
+    }
+
+    /// The label used in reports and figure output.
+    pub fn label(&self) -> String {
+        match self {
+            TrafficSpec::UniformRandom => "UR".to_string(),
+            TrafficSpec::Adversarial { shift } => format!("ADV+{shift}"),
+            TrafficSpec::Stencil3D => "3D Stencil".to_string(),
+            TrafficSpec::ManyToMany => "Many to Many".to_string(),
+            TrafficSpec::RandomNeighbors => "Random Neighbors".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    #[test]
+    fn every_spec_builds_and_satisfies_invariants() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let mut specs = TrafficSpec::paper_case_study();
+        specs.push(TrafficSpec::Adversarial { shift: 4 });
+        for spec in specs {
+            let mut pattern = spec.build(&topo, 99);
+            check_basic_invariants(pattern.as_mut(), topo.num_nodes(), 5);
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        let labels: Vec<String> = TrafficSpec::paper_case_study()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "UR",
+                "ADV+1",
+                "3D Stencil",
+                "Many to Many",
+                "Random Neighbors"
+            ]
+        );
+    }
+
+    #[test]
+    fn case_study_has_five_patterns() {
+        assert_eq!(TrafficSpec::paper_case_study().len(), 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! The 3D Stencil and Many-to-Many HPC communication patterns (Section 6).
+
+use crate::grid::Grid3D;
+use crate::pattern::TrafficPattern;
+use dragonfly_topology::ids::NodeId;
+use dragonfly_topology::Dragonfly;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// 3D Stencil: each node exchanges messages with its six wrap-around grid
+/// neighbours (±x, ±y, ±z), a representative one-to-many pattern for
+/// finite-difference style scientific codes.
+#[derive(Debug, Clone)]
+pub struct Stencil3D {
+    grid: Grid3D,
+    /// Pre-computed neighbour lists, one per node.
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Stencil3D {
+    /// Build the stencil on the paper's `(p, a, g)` grid for `topo`.
+    pub fn new(topo: &Dragonfly) -> Self {
+        Self::with_grid(Grid3D::for_system(topo))
+    }
+
+    /// Build the stencil on an explicit grid.
+    pub fn with_grid(grid: Grid3D) -> Self {
+        let neighbors = (0..grid.len())
+            .map(|n| grid.stencil_neighbors(NodeId::from_index(n)))
+            .collect();
+        Self { grid, neighbors }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> Grid3D {
+        self.grid
+    }
+}
+
+impl TrafficPattern for Stencil3D {
+    fn name(&self) -> String {
+        format!("3D Stencil {}x{}x{}", self.grid.x, self.grid.y, self.grid.z)
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let neigh = &self.neighbors[src.index()];
+        neigh[rng.gen_range(0..neigh.len())]
+    }
+}
+
+/// Many-to-Many: nodes sharing an `(x, y)` grid column form a communicator
+/// of `g` members (51 on the 2,550-node system) that performs all-to-all
+/// exchanges, representative of parallel FFT codes (pF3D, NAMD, VASP).
+#[derive(Debug, Clone)]
+pub struct ManyToMany {
+    grid: Grid3D,
+    communicators: Vec<Vec<NodeId>>,
+}
+
+impl ManyToMany {
+    /// Build the pattern on the paper's `(p, a, g)` grid for `topo`.
+    pub fn new(topo: &Dragonfly) -> Self {
+        Self::with_grid(Grid3D::for_system(topo))
+    }
+
+    /// Build the pattern on an explicit grid.
+    pub fn with_grid(grid: Grid3D) -> Self {
+        let communicators = (0..grid.len())
+            .map(|n| grid.z_communicator(NodeId::from_index(n)))
+            .collect();
+        Self {
+            grid,
+            communicators,
+        }
+    }
+
+    /// Number of members of each communicator.
+    pub fn communicator_size(&self) -> usize {
+        self.grid.z
+    }
+}
+
+impl TrafficPattern for ManyToMany {
+    fn name(&self) -> String {
+        format!("Many to Many ({} per comm)", self.grid.z)
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let comm = &self.communicators[src.index()];
+        loop {
+            let dst = comm[rng.gen_range(0..comm.len())];
+            if dst != src {
+                return dst;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use dragonfly_topology::config::DragonflyConfig;
+    use rand::SeedableRng;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn stencil_basic_invariants() {
+        let t = topo();
+        let mut p = Stencil3D::new(&t);
+        check_basic_invariants(&mut p, t.num_nodes(), 10);
+        assert!(p.name().contains("Stencil"));
+    }
+
+    #[test]
+    fn stencil_only_targets_grid_neighbors() {
+        let t = topo();
+        let grid = Grid3D::for_system(&t);
+        let mut p = Stencil3D::new(&t);
+        let mut rng = StdRng::seed_from_u64(2);
+        for node in t.nodes() {
+            let allowed = grid.stencil_neighbors(node);
+            for _ in 0..20 {
+                let dst = p.destination(node, &mut rng);
+                assert!(allowed.contains(&dst));
+            }
+        }
+    }
+
+    #[test]
+    fn many_to_many_stays_in_the_communicator() {
+        let t = topo();
+        let grid = Grid3D::for_system(&t);
+        let mut p = ManyToMany::new(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(p.communicator_size(), t.num_groups());
+        for node in t.nodes() {
+            let comm = grid.z_communicator(node);
+            for _ in 0..20 {
+                let dst = p.destination(node, &mut rng);
+                assert!(comm.contains(&dst));
+                assert_ne!(dst, node);
+            }
+        }
+    }
+
+    #[test]
+    fn many_to_many_basic_invariants() {
+        let t = topo();
+        let mut p = ManyToMany::new(&t);
+        check_basic_invariants(&mut p, t.num_nodes(), 10);
+    }
+}

@@ -1,0 +1,282 @@
+//! Additional synthetic traffic patterns commonly used in interconnect
+//! routing studies.
+//!
+//! The paper evaluates the two extremes (UR and ADV+i) plus three HPC
+//! patterns, and notes that "in reality, system-scale traffic patterns can
+//! be any case between these two extremes". The patterns in this module
+//! populate that middle ground and are used by the extended examples and
+//! ablation studies:
+//!
+//! * **Bit complement** — node `i` sends to node `N-1-i`; a classic
+//!   permutation that pairs distant nodes and loads global links evenly.
+//! * **Transpose** — the system is viewed as a `√N × √N` matrix (rounded),
+//!   node `(r, c)` sends to `(c, r)`; half of the pairs cross groups.
+//! * **Hotspot** — a configurable fraction of traffic targets a small set
+//!   of hot nodes (e.g. I/O or metadata servers), the rest is uniform.
+//! * **Group-local** — every node picks destinations inside its own group,
+//!   exercising only local links (a sanity extreme where minimal routing is
+//!   unbeatable and non-minimal detours are pure waste).
+
+use crate::pattern::TrafficPattern;
+use dragonfly_topology::ids::NodeId;
+use dragonfly_topology::Dragonfly;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Bit-complement permutation: node `i` → node `N − 1 − i`.
+#[derive(Debug, Clone, Copy)]
+pub struct BitComplement {
+    num_nodes: usize,
+}
+
+impl BitComplement {
+    /// Create the pattern for a system with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 2);
+        Self { num_nodes }
+    }
+
+    /// The fixed partner of a node.
+    pub fn partner(&self, node: NodeId) -> NodeId {
+        NodeId::from_index(self.num_nodes - 1 - node.index())
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> String {
+        "Bit Complement".to_string()
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let partner = self.partner(src);
+        if partner == src {
+            // The middle node of an odd-sized system has no complement;
+            // fall back to a uniform destination.
+            loop {
+                let dst = NodeId::from_index(rng.gen_range(0..self.num_nodes));
+                if dst != src {
+                    return dst;
+                }
+            }
+        }
+        partner
+    }
+}
+
+/// Matrix-transpose permutation on a `side × side` arrangement of the
+/// nodes (nodes beyond the square fall back to uniform destinations).
+#[derive(Debug, Clone, Copy)]
+pub struct Transpose {
+    num_nodes: usize,
+    side: usize,
+}
+
+impl Transpose {
+    /// Create the pattern for a system with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 4);
+        let side = (num_nodes as f64).sqrt().floor() as usize;
+        Self { num_nodes, side }
+    }
+
+    /// The transposed partner, if the node lies inside the square.
+    pub fn partner(&self, node: NodeId) -> Option<NodeId> {
+        let n = node.index();
+        if n >= self.side * self.side {
+            return None;
+        }
+        let (r, c) = (n / self.side, n % self.side);
+        Some(NodeId::from_index(c * self.side + r))
+    }
+}
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> String {
+        format!("Transpose {}x{}", self.side, self.side)
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        match self.partner(src) {
+            Some(dst) if dst != src => dst,
+            _ => loop {
+                let dst = NodeId::from_index(rng.gen_range(0..self.num_nodes));
+                if dst != src {
+                    return dst;
+                }
+            },
+        }
+    }
+}
+
+/// Hotspot traffic: with probability `hot_fraction` the destination is one
+/// of `hot_nodes` (chosen uniformly), otherwise uniform random.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    num_nodes: usize,
+    hot_nodes: Vec<NodeId>,
+    hot_fraction: f64,
+}
+
+impl Hotspot {
+    /// Create a hotspot pattern. `hot_nodes` must be non-empty and
+    /// `hot_fraction` in `[0, 1]`.
+    pub fn new(num_nodes: usize, hot_nodes: Vec<NodeId>, hot_fraction: f64) -> Self {
+        assert!(num_nodes >= 2);
+        assert!(!hot_nodes.is_empty(), "hotspot needs at least one hot node");
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(hot_nodes.iter().all(|n| n.index() < num_nodes));
+        Self {
+            num_nodes,
+            hot_nodes,
+            hot_fraction,
+        }
+    }
+
+    /// A convenient default: the first node of every fourth group is hot and
+    /// receives 20 % of all traffic.
+    pub fn default_for(topo: &Dragonfly) -> Self {
+        let nodes_per_group = topo.config().a * topo.config().p;
+        let hot = (0..topo.num_groups())
+            .step_by(4)
+            .map(|g| NodeId::from_index(g * nodes_per_group))
+            .collect();
+        Self::new(topo.num_nodes(), hot, 0.2)
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> String {
+        format!(
+            "Hotspot ({} hot nodes, {:.0}%)",
+            self.hot_nodes.len(),
+            self.hot_fraction * 100.0
+        )
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        if rng.gen::<f64>() < self.hot_fraction {
+            let dst = self.hot_nodes[rng.gen_range(0..self.hot_nodes.len())];
+            if dst != src {
+                return dst;
+            }
+        }
+        loop {
+            let dst = NodeId::from_index(rng.gen_range(0..self.num_nodes));
+            if dst != src {
+                return dst;
+            }
+        }
+    }
+}
+
+/// Group-local traffic: destinations are uniform within the sender's group.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupLocal {
+    nodes_per_group: usize,
+}
+
+impl GroupLocal {
+    /// Create the pattern for a topology.
+    pub fn new(topo: &Dragonfly) -> Self {
+        let nodes_per_group = topo.config().a * topo.config().p;
+        assert!(nodes_per_group >= 2);
+        Self { nodes_per_group }
+    }
+}
+
+impl TrafficPattern for GroupLocal {
+    fn name(&self) -> String {
+        "Group Local".to_string()
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let base = (src.index() / self.nodes_per_group) * self.nodes_per_group;
+        loop {
+            let dst = NodeId::from_index(base + rng.gen_range(0..self.nodes_per_group));
+            if dst != src {
+                return dst;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use dragonfly_topology::config::DragonflyConfig;
+    use rand::SeedableRng;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyConfig::tiny())
+    }
+
+    #[test]
+    fn bit_complement_pairs_mirror_nodes() {
+        let t = topo();
+        let mut p = BitComplement::new(t.num_nodes());
+        check_basic_invariants(&mut p, t.num_nodes(), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.destination(NodeId(0), &mut rng), NodeId(71));
+        assert_eq!(p.destination(NodeId(71), &mut rng), NodeId(0));
+        assert_eq!(p.partner(NodeId(10)), NodeId(61));
+    }
+
+    #[test]
+    fn bit_complement_middle_node_of_odd_system_falls_back() {
+        let mut p = BitComplement::new(9);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert_ne!(p.destination(NodeId(4), &mut rng), NodeId(4));
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_rows_and_columns() {
+        let mut p = Transpose::new(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        // (1, 2) -> (2, 1): node 10 -> node 17 on an 8x8 arrangement.
+        assert_eq!(p.destination(NodeId(10), &mut rng), NodeId(17));
+        // Diagonal nodes have themselves as partner and must fall back.
+        for _ in 0..20 {
+            assert_ne!(p.destination(NodeId(9), &mut rng), NodeId(9));
+        }
+        check_basic_invariants(&mut p, 64, 4);
+    }
+
+    #[test]
+    fn hotspot_concentrates_the_requested_fraction() {
+        let hot = vec![NodeId(5)];
+        let mut p = Hotspot::new(72, hot, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| p.destination(NodeId(0), &mut rng) == NodeId(5))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.03, "rate = {rate}");
+        check_basic_invariants(&mut p, 72, 4);
+    }
+
+    #[test]
+    fn hotspot_default_builds_from_topology() {
+        let t = topo();
+        let p = Hotspot::default_for(&t);
+        assert!(p.name().contains("Hotspot"));
+        assert!(!p.hot_nodes.is_empty());
+    }
+
+    #[test]
+    fn group_local_never_leaves_the_group() {
+        let t = topo();
+        let mut p = GroupLocal::new(&t);
+        let mut rng = StdRng::seed_from_u64(5);
+        for node in t.nodes() {
+            for _ in 0..10 {
+                let dst = p.destination(node, &mut rng);
+                assert_eq!(t.group_of_node(dst), t.group_of_node(node));
+                assert_ne!(dst, node);
+            }
+        }
+    }
+}

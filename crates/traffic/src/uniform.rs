@@ -1,0 +1,69 @@
+//! Uniform random traffic (UR): every message targets a uniformly random
+//! node other than the sender. The benign, load-balanced best case for
+//! Dragonfly, where minimal routing is optimal.
+
+use crate::pattern::TrafficPattern;
+use dragonfly_topology::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform-random destination selection over `num_nodes` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRandom {
+    num_nodes: usize,
+}
+
+impl UniformRandom {
+    /// Create the pattern for a system with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 2, "uniform random needs at least two nodes");
+        Self { num_nodes }
+    }
+}
+
+impl TrafficPattern for UniformRandom {
+    fn name(&self) -> String {
+        "UR".to_string()
+    }
+
+    fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
+        loop {
+            let dst = NodeId::from_index(rng.gen_range(0..self.num_nodes));
+            if dst != src {
+                return dst;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::test_util::check_basic_invariants;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_invariants() {
+        let mut p = UniformRandom::new(72);
+        check_basic_invariants(&mut p, 72, 20);
+        assert_eq!(p.name(), "UR");
+    }
+
+    #[test]
+    fn destinations_cover_the_whole_system() {
+        let mut p = UniformRandom::new(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(p.destination(NodeId(0), &mut rng));
+        }
+        // All 63 possible destinations should appear.
+        assert_eq!(seen.len(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_system_is_rejected() {
+        UniformRandom::new(1);
+    }
+}

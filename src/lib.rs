@@ -1,0 +1,62 @@
+//! # qadaptive — facade crate
+//!
+//! A from-scratch Rust reproduction of *"Q-adaptive: A Multi-Agent
+//! Reinforcement Learning Based Routing on Dragonfly Network"* (HPDC 2021).
+//!
+//! This crate re-exports the whole workspace under a single name so that
+//! examples, integration tests and downstream users can depend on one
+//! crate:
+//!
+//! * [`topology`] — the Dragonfly topology (groups, routers, ports, minimal
+//!   and Valiant paths).
+//! * [`engine`] — the flit-level, event-driven network simulator substrate
+//!   (routers with virtual channels, credit-based flow control, links).
+//! * [`core`] — the paper's contribution: the two-level Q-table, hysteretic
+//!   Q-learning, and the Q-adaptive routing agent.
+//! * [`routing`] — every routing algorithm evaluated by the paper
+//!   (MIN, VALg, VALn, UGALg, UGALn, PAR, Q-routing, Q-adaptive).
+//! * [`traffic`] — traffic patterns (UR, ADV+i, 3D Stencil, Many-to-Many,
+//!   Random Neighbors) and dynamic load schedules.
+//! * [`metrics`] — latency/throughput/hop statistics and time series.
+//! * [`sim`] — the experiment harness used to regenerate the paper's tables
+//!   and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qadaptive::prelude::*;
+//!
+//! // A small Dragonfly (p=2, a=4, h=2 → 72 nodes) under uniform-random
+//! // traffic, routed by Q-adaptive.
+//! let report = SimulationBuilder::new(DragonflyConfig::new(2, 4, 2).unwrap())
+//!     .routing(RoutingSpec::QAdaptive(QAdaptiveParams::default()))
+//!     .traffic(TrafficSpec::UniformRandom)
+//!     .offered_load(0.3)
+//!     .warmup_ns(20_000)
+//!     .measure_ns(20_000)
+//!     .seed(7)
+//!     .run();
+//! assert!(report.packets_delivered > 0);
+//! ```
+
+pub use dragonfly_engine as engine;
+pub use dragonfly_metrics as metrics;
+pub use dragonfly_routing as routing;
+pub use dragonfly_sim as sim;
+pub use dragonfly_topology as topology;
+pub use dragonfly_traffic as traffic;
+pub use qadaptive_core as core;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use dragonfly_engine::config::EngineConfig;
+    pub use dragonfly_metrics::latency::LatencyStats;
+    pub use dragonfly_metrics::report::SimulationReport;
+    pub use dragonfly_routing::RoutingSpec;
+    pub use dragonfly_sim::builder::SimulationBuilder;
+    pub use dragonfly_sim::sweep::{LoadSweep, SweepResult};
+    pub use dragonfly_topology::config::DragonflyConfig;
+    pub use dragonfly_topology::Dragonfly;
+    pub use dragonfly_traffic::TrafficSpec;
+    pub use qadaptive_core::params::QAdaptiveParams;
+}
