@@ -87,5 +87,10 @@ fn bench_exploration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_learning_rule, bench_thresholds, bench_exploration);
+criterion_group!(
+    benches,
+    bench_learning_rule,
+    bench_thresholds,
+    bench_exploration
+);
 criterion_main!(benches);

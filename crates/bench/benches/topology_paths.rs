@@ -60,5 +60,10 @@ fn bench_gateway(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_minimal_port, bench_minimal_route, bench_gateway);
+criterion_group!(
+    benches,
+    bench_minimal_port,
+    bench_minimal_route,
+    bench_gateway
+);
 criterion_main!(benches);

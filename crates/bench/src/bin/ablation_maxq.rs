@@ -7,67 +7,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin ablation_maxq -- [--quick|--full] [--threads N]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs};
-use dragonfly_routing::RoutingSpec;
-use dragonfly_sim::sweep::LoadSweep;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::TrafficSpec;
-use qadaptive_core::QAdaptiveParams;
+//!
+//! The experiment grids live in [`dragonfly_bench::figures`]; the same runs
+//! are available (with CSV/JSON export) via `qadaptive-cli figure maxq`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!(
-        "{}",
-        args.banner("Section 2.3.2 ablation: Q-routing maxQ threshold")
-    );
-
-    let routings: Vec<RoutingSpec> = vec![
-        RoutingSpec::QRouting { max_q: 0 },
-        RoutingSpec::QRouting { max_q: 1 },
-        RoutingSpec::QRouting { max_q: 2 },
-        RoutingSpec::QRouting { max_q: 4 },
-        RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
-    ];
-
-    let scenarios = [
-        (TrafficSpec::UniformRandom, 0.8),
-        (TrafficSpec::Adversarial { shift: 1 }, 0.4),
-        (TrafficSpec::Adversarial { shift: 4 }, 0.4),
-    ];
-
-    for (traffic, load) in scenarios {
-        let sweep = LoadSweep {
-            topology: DragonflyConfig::paper_1056(),
-            traffic,
-            routings: routings.clone(),
-            loads: vec![load],
-            warmup_ns: args.warmup_ns(),
-            measure_ns: args.measure_ns(),
-            seed: args.seed,
-        };
-        println!("\n{} @ load {:.2} ({} simulations)...", traffic.label(), load, sweep.len());
-        let result = sweep.run_parallel(args.threads);
-        let mut rows = Vec::new();
-        for r in &result.reports {
-            rows.push(vec![
-                r.routing.clone(),
-                format!("{:.3}", r.throughput),
-                format!("{:.2}", r.mean_latency_us),
-                format!("{:.2}", r.mean_hops),
-            ]);
-        }
-        println!(
-            "{}",
-            markdown_table(
-                &["routing", "throughput", "mean latency (us)", "mean hops"],
-                &rows
-            )
-        );
-    }
-    println!(
-        "\nExpected shape (paper): small maxQ is best under UR and poor under ADV+i; \
-         larger maxQ helps ADV+1 but never fixes ADV+4 (local-link congestion); \
-         Q-adaptive handles all three with one configuration."
-    );
+    dragonfly_bench::figures::main_for("maxq");
 }

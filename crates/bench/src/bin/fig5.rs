@@ -5,93 +5,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin fig5 -- [--quick|--full] [--threads N]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs};
-use dragonfly_sim::sweep::LoadSweep;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::TrafficSpec;
+//!
+//! The experiment grids live in [`dragonfly_bench::figures`]; the same runs
+//! are available (with CSV/JSON export) via `qadaptive-cli figure 5`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!("{}", args.banner("Figure 5: 1,056-node Dragonfly, load sweeps"));
-
-    let patterns = [
-        (TrafficSpec::UniformRandom, args.ur_loads(), "Figure 5(a-c)"),
-        (
-            TrafficSpec::Adversarial { shift: 1 },
-            args.adv_loads(),
-            "Figure 5(d-f)",
-        ),
-        (
-            TrafficSpec::Adversarial { shift: 4 },
-            args.adv_loads(),
-            "Figure 5(g-i)",
-        ),
-    ];
-
-    for (traffic, loads, figure) in patterns {
-        let sweep = LoadSweep {
-            topology: DragonflyConfig::paper_1056(),
-            traffic,
-            routings: dragonfly_routing::RoutingSpec::paper_lineup(),
-            loads: loads.clone(),
-            warmup_ns: args.warmup_ns(),
-            measure_ns: args.measure_ns(),
-            seed: args.seed,
-        };
-        println!(
-            "\n{} — {} ({} points)...",
-            figure,
-            traffic.label(),
-            sweep.len()
-        );
-        let result = sweep.run_parallel(args.threads);
-
-        let mut rows = Vec::new();
-        for report in &result.reports {
-            rows.push(vec![
-                report.routing.clone(),
-                format!("{:.2}", report.offered_load),
-                format!("{:.3}", report.throughput),
-                format!("{:.2}", report.mean_latency_us),
-                format!("{:.2}", report.p99_latency_us),
-                format!("{:.2}", report.mean_hops),
-            ]);
-        }
-        println!(
-            "{}",
-            markdown_table(
-                &[
-                    "routing",
-                    "offered load",
-                    "throughput",
-                    "mean latency (us)",
-                    "p99 latency (us)",
-                    "mean hops"
-                ],
-                &rows
-            )
-        );
-
-        // Paper-shape summary: saturation throughput per algorithm.
-        let mut summary = Vec::new();
-        for spec in dragonfly_routing::RoutingSpec::paper_lineup() {
-            let label = spec.label();
-            summary.push(vec![
-                label.clone(),
-                format!("{:.3}", result.saturation_throughput(&label)),
-            ]);
-        }
-        println!("\nSaturation throughput ({}):", traffic.label());
-        println!(
-            "{}",
-            markdown_table(&["routing", "max throughput"], &summary)
-        );
-    }
-    println!(
-        "\nPaper reference points: UR max load — Q-adaptive 88.25% throughput \
-         (+6.6%/+10.5%/+8.3% vs UGALg/UGALn/PAR, −3.3% vs MIN); \
-         ADV+1 — Q-adaptive 48.2% (beats VALn by 3%); ADV+4 — Q-adaptive 44.9% \
-         (1.7% below VALn), mean hops 4.27 at load 0.5 vs 3.06 under ADV+1."
-    );
+    dragonfly_bench::figures::main_for("fig5");
 }

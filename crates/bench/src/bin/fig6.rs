@@ -5,79 +5,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin fig6 -- [--quick|--full] [--threads N]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs};
-use dragonfly_sim::sweep::LoadSweep;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::TrafficSpec;
+//!
+//! The experiment grids live in [`dragonfly_bench::figures`]; the same runs
+//! are available (with CSV/JSON export) via `qadaptive-cli figure 6`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!(
-        "{}",
-        args.banner("Figure 6: latency distribution on the 1,056-node Dragonfly")
-    );
-
-    let scenarios = [
-        (TrafficSpec::UniformRandom, 0.8, "Figure 6(a) UR @ 0.8"),
-        (
-            TrafficSpec::Adversarial { shift: 1 },
-            0.45,
-            "Figure 6(b) ADV+1 @ 0.45",
-        ),
-        (
-            TrafficSpec::Adversarial { shift: 4 },
-            0.45,
-            "Figure 6(c) ADV+4 @ 0.45",
-        ),
-    ];
-
-    for (traffic, load, title) in scenarios {
-        let sweep = LoadSweep {
-            topology: DragonflyConfig::paper_1056(),
-            traffic,
-            routings: dragonfly_routing::RoutingSpec::paper_lineup(),
-            loads: vec![load],
-            warmup_ns: args.warmup_ns(),
-            measure_ns: args.measure_ns(),
-            seed: args.seed,
-        };
-        println!("\n{title} ({} simulations)...", sweep.len());
-        let result = sweep.run_parallel(args.threads);
-
-        let mut rows = Vec::new();
-        for r in &result.reports {
-            rows.push(vec![
-                r.routing.clone(),
-                format!("{:.2}", r.q1_latency_us),
-                format!("{:.2}", r.median_latency_us),
-                format!("{:.2}", r.q3_latency_us),
-                format!("{:.2}", r.mean_latency_us),
-                format!("{:.2}", r.p95_latency_us),
-                format!("{:.2}", r.p99_latency_us),
-                format!("{:.1}%", 100.0 * r.fraction_below_2us),
-            ]);
-        }
-        println!(
-            "{}",
-            markdown_table(
-                &[
-                    "routing",
-                    "Q1 (us)",
-                    "median (us)",
-                    "Q3 (us)",
-                    "mean (us)",
-                    "p95 (us)",
-                    "p99 (us)",
-                    "< 2 us"
-                ],
-                &rows
-            )
-        );
-    }
-    println!(
-        "\nPaper reference points: UR — Q-adaptive p99 = 1.42 us (5.9x / 3.8x / 18.2x \
-         below UGALg / UGALn / PAR); ADV+1 — Q-adaptive p99 = 5.10 us; ADV+4 — \
-         Q-adaptive p99 = 8.08 us and 81% of packets under 2 us vs 64% for PAR."
-    );
+    dragonfly_bench::figures::main_for("fig6");
 }

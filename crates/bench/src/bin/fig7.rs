@@ -5,63 +5,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin fig7 -- [--quick|--full]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs, RunMode};
-use dragonfly_routing::RoutingSpec;
-use dragonfly_sim::convergence::run_convergence;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::schedule::LoadSchedule;
-use dragonfly_traffic::TrafficSpec;
-use qadaptive_core::QAdaptiveParams;
+//!
+//! The runs live in [`dragonfly_bench::figures`]; the same study is
+//! available (with CSV/JSON export) via `qadaptive-cli figure 7`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!("{}", args.banner("Figure 7: Q-adaptive convergence from an empty network"));
-
-    // The paper simulates ~750 us; quick mode uses 300 us which is enough to
-    // see the latency surge and the settling.
-    let (duration_ns, bin_ns) = match args.mode {
-        RunMode::Quick => (300_000u64, 10_000u64),
-        RunMode::Full => (750_000, 10_000),
-    };
-
-    let scenarios = [
-        ("Fig 7(a) UR load 0.4", TrafficSpec::UniformRandom, 0.4),
-        ("Fig 7(a) UR load 0.8", TrafficSpec::UniformRandom, 0.8),
-        ("Fig 7(b) ADV+1 load 0.2", TrafficSpec::Adversarial { shift: 1 }, 0.2),
-        ("Fig 7(b) ADV+4 load 0.2", TrafficSpec::Adversarial { shift: 4 }, 0.2),
-        ("Fig 7(b) ADV+1 load 0.4", TrafficSpec::Adversarial { shift: 1 }, 0.4),
-        ("Fig 7(b) ADV+4 load 0.4", TrafficSpec::Adversarial { shift: 4 }, 0.4),
-    ];
-
-    for (title, traffic, load) in scenarios {
-        println!("\n{title} (simulating {} us)...", duration_ns / 1_000);
-        let result = run_convergence(
-            DragonflyConfig::paper_1056(),
-            RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
-            traffic,
-            LoadSchedule::constant(load),
-            duration_ns,
-            bin_ns,
-            100_000.min(duration_ns / 3),
-            args.seed,
-        );
-        // Print the latency curve at a 30 us granularity to keep the table
-        // readable (the full series is available programmatically).
-        let curve = result.latency_curve();
-        let rows: Vec<Vec<String>> = curve
-            .iter()
-            .step_by(3)
-            .map(|(t, lat)| vec![format!("{t:.0}"), format!("{lat:.2}")])
-            .collect();
-        println!(
-            "{}",
-            markdown_table(&["time (us)", "mean latency (us)"], &rows)
-        );
-        match result.convergence_us {
-            Some(t) => println!("converged after ~{t:.0} us (paper: within 500 us)"),
-            None => println!("not yet settled within the simulated window"),
-        }
-        println!("converged-window summary: {}", result.report.summary());
-    }
+    dragonfly_bench::figures::main_for("fig7");
 }

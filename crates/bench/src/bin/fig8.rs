@@ -5,82 +5,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin fig8 -- [--quick|--full]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs, RunMode};
-use dragonfly_routing::RoutingSpec;
-use dragonfly_sim::convergence::run_convergence;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::schedule::LoadSchedule;
-use dragonfly_traffic::TrafficSpec;
-use qadaptive_core::QAdaptiveParams;
+//!
+//! The runs live in [`dragonfly_bench::figures`]; the same study is
+//! available (with CSV/JSON export) via `qadaptive-cli figure 8`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!("{}", args.banner("Figure 8: Q-adaptive under varying offered loads"));
-
-    // The paper switches the UR load at 1600 us (up) / 1280 us (down) and the
-    // ADV+4 load at 3215 us / 2610 us into multi-millisecond runs. Quick mode
-    // compresses the timeline while keeping the step shape.
-    let scale = match args.mode {
-        RunMode::Quick => 1u64,
-        RunMode::Full => 4,
-    };
-    let bin_ns = 20_000u64;
-
-    let scenarios = [
-        (
-            "Fig 8(a) UR 0.4 -> 0.8",
-            TrafficSpec::UniformRandom,
-            LoadSchedule::step(0.4, 0.8, 200_000 * scale),
-            400_000 * scale,
-        ),
-        (
-            "Fig 8(a) UR 0.8 -> 0.4",
-            TrafficSpec::UniformRandom,
-            LoadSchedule::step(0.8, 0.4, 200_000 * scale),
-            400_000 * scale,
-        ),
-        (
-            "Fig 8(b) ADV+4 0.2 -> 0.4",
-            TrafficSpec::Adversarial { shift: 4 },
-            LoadSchedule::step(0.2, 0.4, 300_000 * scale),
-            600_000 * scale,
-        ),
-        (
-            "Fig 8(b) ADV+4 0.4 -> 0.2",
-            TrafficSpec::Adversarial { shift: 4 },
-            LoadSchedule::step(0.4, 0.2, 300_000 * scale),
-            600_000 * scale,
-        ),
-    ];
-
-    for (title, traffic, schedule, duration_ns) in scenarios {
-        println!("\n{title} (simulating {} us)...", duration_ns / 1_000);
-        let result = run_convergence(
-            DragonflyConfig::paper_1056(),
-            RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
-            traffic,
-            schedule,
-            duration_ns,
-            bin_ns,
-            100_000,
-            args.seed,
-        );
-        let curve = result.throughput_curve();
-        let rows: Vec<Vec<String>> = curve
-            .iter()
-            .step_by(2)
-            .map(|(t, tp)| vec![format!("{t:.0}"), format!("{tp:.3}")])
-            .collect();
-        println!(
-            "{}",
-            markdown_table(&["time (us)", "system throughput"], &rows)
-        );
-        println!("final-window summary: {}", result.report.summary());
-    }
-    println!(
-        "\nPaper reference points: after the UR 0.4->0.8 step Q-adaptive re-converges \
-         in ~156 us (faster than the 200 us cold start); load decreases are followed \
-         almost instantly; ADV+4 steps take ~440-455 us."
-    );
+    dragonfly_bench::figures::main_for("fig8");
 }

@@ -6,80 +6,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin fig9 -- [--quick|--full] [--threads N]
 //! ```
-
-use dragonfly_bench::harness::{markdown_table, BenchArgs, RunMode};
-use dragonfly_sim::sweep::LoadSweep;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_traffic::TrafficSpec;
+//!
+//! The experiment grids live in [`dragonfly_bench::figures`]; the same runs
+//! are available (with CSV/JSON export) via `qadaptive-cli figure 9`.
 
 fn main() {
-    let args = BenchArgs::from_env();
-    println!("{}", args.banner("Figure 9: 2,550-node Dragonfly case study"));
-
-    // The paper plots latency distributions at a fixed operating point per
-    // pattern; we use a moderate load for the HPC patterns and the Figure 6
-    // loads for UR / ADV+1.
-    let load_for = |spec: &TrafficSpec| match spec {
-        TrafficSpec::UniformRandom => 0.8,
-        TrafficSpec::Adversarial { .. } => 0.45,
-        _ => 0.5,
-    };
-    // The 2,550-node system is ~2.4x larger; quick mode trims the windows.
-    let (warmup_ns, measure_ns) = match args.mode {
-        RunMode::Quick => (60_000u64, 30_000u64),
-        RunMode::Full => (args.warmup_ns(), args.measure_ns()),
-    };
-
-    for traffic in TrafficSpec::paper_case_study() {
-        let sweep = LoadSweep {
-            topology: DragonflyConfig::paper_2550(),
-            traffic,
-            routings: dragonfly_routing::RoutingSpec::paper_lineup_2550(),
-            loads: vec![load_for(&traffic)],
-            warmup_ns,
-            measure_ns,
-            seed: args.seed,
-        };
-        println!(
-            "\nFigure 9 — {} @ load {:.2} ({} simulations)...",
-            traffic.label(),
-            load_for(&traffic),
-            sweep.len()
-        );
-        let result = sweep.run_parallel(args.threads);
-
-        let mut rows = Vec::new();
-        for r in &result.reports {
-            rows.push(vec![
-                r.routing.clone(),
-                format!("{:.2}", r.mean_latency_us),
-                format!("{:.2}", r.median_latency_us),
-                format!("{:.2}", r.p95_latency_us),
-                format!("{:.2}", r.p99_latency_us),
-                format!("{:.3}", r.throughput),
-                format!("{:.2}", r.mean_hops),
-            ]);
-        }
-        println!(
-            "{}",
-            markdown_table(
-                &[
-                    "routing",
-                    "mean (us)",
-                    "median (us)",
-                    "p95 (us)",
-                    "p99 (us)",
-                    "throughput",
-                    "hops"
-                ],
-                &rows
-            )
-        );
-    }
-    println!(
-        "\nPaper reference points: UR — Q-adaptive mean 0.84 us / p99 1.67 us (near the \
-         MIN optimum); ADV+1 — mean 0.96 us, beating VALn (1.75 us); 3D Stencil — mean \
-         0.62 us (1.77x below UGALg); Many-to-Many — mean 1.15 us; Random Neighbors — \
-         near-optimal 1.04 us vs MIN 1.01 us."
-    );
+    dragonfly_bench::figures::main_for("fig9");
 }

@@ -4,43 +4,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin table1
 //! ```
-
-use dragonfly_bench::harness::markdown_table;
-use dragonfly_topology::config::DragonflyConfig;
+//!
+//! The table is computed by [`dragonfly_bench::figures`]; the same output
+//! (with CSV export) is available via `qadaptive-cli figure table1`.
 
 fn main() {
-    let systems = [
-        ("1,056-node", DragonflyConfig::paper_1056()),
-        ("2,550-node", DragonflyConfig::paper_2550()),
-    ];
-
-    let rows: Vec<Vec<String>> = [
-        ("N (nodes)", systems.map(|(_, c)| c.nodes().to_string())),
-        ("p (nodes per router)", systems.map(|(_, c)| c.p.to_string())),
-        ("a (routers per group)", systems.map(|(_, c)| c.a.to_string())),
-        ("h (global links per router)", systems.map(|(_, c)| c.h.to_string())),
-        ("k = p+h+a-1 (ports per router)", systems.map(|(_, c)| c.radix().to_string())),
-        ("g = a*h+1 (groups)", systems.map(|(_, c)| c.groups().to_string())),
-        ("m = g*a (routers)", systems.map(|(_, c)| c.routers().to_string())),
-        ("balanced (a = 2p = 2h)", systems.map(|(_, c)| c.is_balanced().to_string())),
-        ("global links (total)", systems.map(|(_, c)| c.global_links().to_string())),
-        ("local links (total)", systems.map(|(_, c)| c.local_links().to_string())),
-    ]
-    .into_iter()
-    .map(|(name, vals)| {
-        let mut row = vec![name.to_string()];
-        row.extend(vals);
-        row
-    })
-    .collect();
-
-    println!("Table 1: Dragonfly configurations\n");
-    println!(
-        "{}",
-        markdown_table(&["parameter", systems[0].0, systems[1].0], &rows)
-    );
-    println!(
-        "\nPaper values: 1,056-node (p=4, a=8, h=4, k=15, g=33, m=264) and \
-         2,550-node (p=5, a=10, h=5, k=19, g=51, m=510)."
-    );
+    dragonfly_bench::figures::main_for("table1");
 }

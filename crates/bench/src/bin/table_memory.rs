@@ -5,48 +5,10 @@
 //! ```text
 //! cargo run --release -p dragonfly-bench --bin table_memory
 //! ```
-
-use dragonfly_bench::harness::markdown_table;
-use dragonfly_topology::config::DragonflyConfig;
-use qadaptive_core::table::QValueTable;
-use qadaptive_core::{QTable, TwoLevelQTable};
+//!
+//! The table is computed by [`dragonfly_bench::figures`]; the same output
+//! (with CSV export) is available via `qadaptive-cli figure memory`.
 
 fn main() {
-    let systems = [
-        ("1,056-node", DragonflyConfig::paper_1056()),
-        ("2,550-node", DragonflyConfig::paper_2550()),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, cfg) in systems {
-        let original = QTable::new(cfg.routers(), cfg.fabric_ports(), 0.0);
-        let two_level = TwoLevelQTable::new(cfg.groups(), cfg.p, cfg.fabric_ports(), 0.0);
-        rows.push(vec![
-            name.to_string(),
-            format!("{} x {}", original.rows(), original.columns()),
-            format!("{}", original.memory_bytes()),
-            format!("{} x {}", two_level.rows(), two_level.columns()),
-            format!("{}", two_level.memory_bytes()),
-            format!(
-                "{:.1}%",
-                100.0 * (1.0 - two_level.memory_bytes() as f64 / original.memory_bytes() as f64)
-            ),
-        ]);
-    }
-
-    println!("Per-router Q-table memory (Section 4 claim: the two-level table saves 50%)\n");
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "system",
-                "Q-routing table (rows x cols)",
-                "bytes",
-                "two-level table (rows x cols)",
-                "bytes",
-                "savings"
-            ],
-            &rows
-        )
-    );
+    dragonfly_bench::figures::main_for("memory");
 }

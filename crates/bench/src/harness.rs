@@ -191,10 +191,7 @@ mod tests {
 
     #[test]
     fn markdown_table_aligns_columns() {
-        let t = markdown_table(
-            &["a", "metric"],
-            &[s(&["x", "1.0"]), s(&["longer", "2.5"])],
-        );
+        let t = markdown_table(&["a", "metric"], &[s(&["x", "1.0"]), s(&["longer", "2.5"])]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));

@@ -19,8 +19,16 @@
 //!
 //! Every binary accepts `--quick` (default: reduced simulated time, fewer
 //! load points) and `--full` (paper-scale measurement windows), plus
-//! `--threads N` to bound the sweep parallelism.
+//! `--threads N` to bound the sweep parallelism and `--seed S`.
+//!
+//! All of them are thin wrappers over the [`figures`] registry, which
+//! expresses every artefact as data — serialisable
+//! [`dragonfly_sim::spec::SweepSpec`] / [`dragonfly_sim::spec::ExperimentSpec`]
+//! values — plus shared rendering. The `qadaptive-cli figure` subcommand
+//! drives the same registry and can export CSV/JSON.
 
+pub mod figures;
 pub mod harness;
 
+pub use figures::{run_figure, FigurePlan, FigureResult};
 pub use harness::{BenchArgs, RunMode};

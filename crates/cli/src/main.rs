@@ -1,0 +1,341 @@
+//! `qadaptive-cli` — the data-driven experiment runner.
+//!
+//! Every experiment in this repository is described by a serialisable spec
+//! (see `dragonfly_sim::spec`); this binary loads those specs from TOML or
+//! JSON scenario files and runs them:
+//!
+//! ```text
+//! qadaptive-cli run   scenarios/adv1_qadaptive.toml [--seed S] [--format text|csv|json] [--out FILE]
+//! qadaptive-cli sweep scenarios/adv_shift_sweep.toml [--threads N] [--format text|csv|json] [--out FILE]
+//! qadaptive-cli figure <5|6|7|8|9|table1|memory|maxq> [--quick|--full] [--threads N] [--seed S]
+//!                      [--format text|csv|json] [--out FILE]
+//! qadaptive-cli list
+//! qadaptive-cli show  scenarios/adv1_qadaptive.toml     # parse, validate, echo as TOML + JSON
+//! ```
+
+use dragonfly_bench::figures;
+use dragonfly_bench::harness::{markdown_table, BenchArgs};
+use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
+use std::process::ExitCode;
+
+/// Output format for results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+/// Flags shared by all subcommands.
+struct CommonFlags {
+    threads: usize,
+    format: Format,
+    out: Option<String>,
+    quick_full: Option<bool>, // Some(false) = --quick, Some(true) = --full
+    seed: Option<u64>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
+    let mut flags = CommonFlags {
+        threads: 0,
+        format: Format::Text,
+        out: None,
+        quick_full: None,
+        seed: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                flags.threads = next_value(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                flags.seed = Some(
+                    next_value(args, &mut i, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--format" => {
+                flags.format = match next_value(args, &mut i, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--out" => flags.out = Some(next_value(args, &mut i, "--out")?),
+            "--quick" => flags.quick_full = Some(false),
+            "--full" => flags.quick_full = Some(true),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => flags.positional.push(positional.to_string()),
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+fn next_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Write to `--out` or stdout.
+fn emit(flags: &CommonFlags, content: &str) -> Result<(), String> {
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn usage() -> String {
+    let figure_ids: Vec<&str> = figures::catalog().iter().map(|f| f.id).collect();
+    format!(
+        "qadaptive-cli — data-driven Dragonfly experiment runner\n\
+         \n\
+         USAGE:\n\
+         \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
+         \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
+         \n\
+         FIGURE IDS: {}\n\
+         \n\
+         `run` takes a single-experiment spec, `sweep` a grid spec — see\n\
+         scenarios/README.md for the file format.",
+        figure_ids.join(", ")
+    )
+}
+
+/// Reject accepted-but-ignored flags: an unknown flag already errors, so a
+/// silently dropped one would wrongly look like it took effect.
+fn reject_mode_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
+    if flags.quick_full.is_some() {
+        return Err(format!(
+            "--quick/--full only apply to `figure`; `{command}` takes its windows from the spec file"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
+    reject_mode_flags(flags, "run")?;
+    if flags.threads != 0 {
+        return Err(
+            "--threads only applies to `sweep` and `figure` (a `run` is one simulation)"
+                .to_string(),
+        );
+    }
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| format!("`run` needs a scenario file\n\n{}", usage()))?;
+    let mut spec = ExperimentSpec::from_path(path).map_err(|e| {
+        if SweepSpec::from_path(path).is_ok() {
+            format!("{path} is a sweep spec — use `qadaptive-cli sweep {path}`")
+        } else {
+            e.to_string()
+        }
+    })?;
+    if let Some(seed) = flags.seed {
+        spec.seed = Some(seed);
+    }
+    eprintln!("running: {}", spec.label());
+    let report = spec.run();
+    match flags.format {
+        Format::Text => emit(flags, &report.summary()),
+        Format::Csv => emit(
+            flags,
+            &format!(
+                "{}\n{}",
+                dragonfly_metrics::report::SimulationReport::csv_header(),
+                report.csv_row()
+            ),
+        ),
+        Format::Json => emit(
+            flags,
+            &serde_json::to_string_pretty(&report).expect("reports always serialise"),
+        ),
+    }
+}
+
+fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
+    reject_mode_flags(flags, "sweep")?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| format!("`sweep` needs a scenario file\n\n{}", usage()))?;
+    let mut sweep = SweepSpec::from_path(path).map_err(|e| {
+        if ExperimentSpec::from_path(path).is_ok() {
+            format!("{path} is a single-experiment spec — use `qadaptive-cli run {path}`")
+        } else {
+            e.to_string()
+        }
+    })?;
+    if let Some(seed) = flags.seed {
+        sweep.seed = Some(seed);
+    }
+    eprintln!(
+        "sweeping: {} ({} points)",
+        if sweep.name.is_empty() {
+            path.as_str()
+        } else {
+            &sweep.name
+        },
+        sweep.len()
+    );
+    let result = sweep.run_parallel(flags.threads);
+    match flags.format {
+        Format::Text => {
+            let rows: Vec<Vec<String>> = result
+                .reports
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.routing.clone(),
+                        r.traffic.clone(),
+                        format!("{:.2}", r.offered_load),
+                        format!("{:.3}", r.throughput),
+                        format!("{:.2}", r.mean_latency_us),
+                        format!("{:.2}", r.p99_latency_us),
+                        format!("{:.2}", r.mean_hops),
+                    ]
+                })
+                .collect();
+            emit(
+                flags,
+                &markdown_table(
+                    &[
+                        "routing",
+                        "traffic",
+                        "load",
+                        "throughput",
+                        "mean (us)",
+                        "p99 (us)",
+                        "hops",
+                    ],
+                    &rows,
+                ),
+            )
+        }
+        Format::Csv => emit(flags, &result.to_csv()),
+        Format::Json => emit(
+            flags,
+            &serde_json::to_string_pretty(&result).expect("results always serialise"),
+        ),
+    }
+}
+
+fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
+    let id = flags
+        .positional
+        .first()
+        .ok_or_else(|| format!("`figure` needs an id\n\n{}", usage()))?;
+    let mut bench_args = BenchArgs::from_slice(&[]);
+    if let Some(full) = flags.quick_full {
+        bench_args.mode = if full {
+            dragonfly_bench::RunMode::Full
+        } else {
+            dragonfly_bench::RunMode::Quick
+        };
+    }
+    bench_args.threads = flags.threads;
+    if let Some(seed) = flags.seed {
+        bench_args.seed = seed;
+    }
+    if flags.format == Format::Text && flags.out.is_some() {
+        // Text output streams to stdout as the figure runs; silently
+        // producing no file would look like success.
+        return Err(
+            "`figure --out` needs `--format csv` or `--format json` (text streams to stdout)"
+                .to_string(),
+        );
+    }
+    let result = figures::run_figure(id, &bench_args)?;
+    match flags.format {
+        Format::Text => Ok(()), // already streamed to stdout by run_figure
+        Format::Csv => emit(flags, &result.to_csv()),
+        Format::Json => emit(flags, &result.to_json()),
+    }
+}
+
+fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| format!("`show` needs a scenario file\n\n{}", usage()))?;
+    // A scenario file is either a single experiment or a sweep; try both.
+    match ExperimentSpec::from_path(path) {
+        Ok(spec) => {
+            println!("# valid single-experiment spec: {}\n", spec.label());
+            println!("# --- TOML ---\n{}", spec.to_toml());
+            println!("# --- JSON ---\n{}", spec.to_json());
+            Ok(())
+        }
+        Err(experiment_error) => match SweepSpec::from_path(path) {
+            Ok(sweep) => {
+                println!("# valid sweep spec ({} points)\n", sweep.len());
+                println!("# --- TOML ---\n{}", sweep.to_toml());
+                println!("# --- JSON ---\n{}", sweep.to_json());
+                Ok(())
+            }
+            Err(sweep_error) => Err(format!(
+                "not a valid spec:\n  as experiment: {experiment_error}\n  as sweep: {sweep_error}"
+            )),
+        },
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let rows: Vec<Vec<String>> = figures::catalog()
+        .iter()
+        .map(|f| vec![f.id.to_string(), f.title.to_string()])
+        .collect();
+    println!("{}", markdown_table(&["id", "title"], &rows));
+    println!("\nrun one with: qadaptive-cli figure <id> [--quick|--full]");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let outcome = match parse_flags(rest) {
+        Err(e) => Err(e),
+        Ok(flags) => match command.as_str() {
+            "run" => cmd_run(&flags),
+            "sweep" => cmd_sweep(&flags),
+            "figure" => cmd_figure(&flags),
+            "show" => cmd_show(&flags),
+            "list" => cmd_list(),
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+        },
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

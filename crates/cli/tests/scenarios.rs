@@ -1,0 +1,104 @@
+//! End-to-end tests over the checked-in scenario library: every file under
+//! `scenarios/` must parse, validate and round-trip through both
+//! encodings, and the quickstart scenario must run through the actual
+//! `qadaptive-cli` binary.
+
+use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "the scenario library went missing");
+    files
+}
+
+/// Each scenario parses as exactly one of the two spec kinds and
+/// round-trips through TOML and JSON.
+#[test]
+fn every_scenario_parses_and_round_trips() {
+    for path in scenario_files() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        match ExperimentSpec::from_path(&path) {
+            Ok(spec) => {
+                assert_eq!(
+                    ExperimentSpec::from_toml(&spec.to_toml()).unwrap(),
+                    spec,
+                    "{name}: TOML round trip"
+                );
+                assert_eq!(
+                    ExperimentSpec::from_json(&spec.to_json()).unwrap(),
+                    spec,
+                    "{name}: JSON round trip"
+                );
+            }
+            Err(as_experiment) => {
+                let sweep = SweepSpec::from_path(&path).unwrap_or_else(|as_sweep| {
+                    panic!("{name}: not a spec ({as_experiment} / {as_sweep})")
+                });
+                assert_eq!(
+                    SweepSpec::from_toml(&sweep.to_toml()).unwrap(),
+                    sweep,
+                    "{name}: TOML round trip"
+                );
+                assert_eq!(
+                    SweepSpec::from_json(&sweep.to_json()).unwrap(),
+                    sweep,
+                    "{name}: JSON round trip"
+                );
+            }
+        }
+    }
+}
+
+/// The quickstart scenario runs end to end through the real binary and
+/// produces a parseable JSON report.
+#[test]
+fn quickstart_scenario_runs_through_the_cli_binary() {
+    let output = Command::new(env!("CARGO_BIN_EXE_qadaptive-cli"))
+        .args([
+            "run",
+            scenarios_dir()
+                .join("quickstart_tiny.toml")
+                .to_str()
+                .unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report: dragonfly_metrics::report::SimulationReport =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).expect("valid JSON report");
+    assert_eq!(report.routing, "Q-adp");
+    assert_eq!(report.traffic, "UR");
+    assert!(report.packets_delivered > 100);
+    assert!(report.throughput > 0.1);
+}
+
+/// `figure` ids resolve and the static ones execute through the binary.
+#[test]
+fn static_figures_run_through_the_cli_binary() {
+    for id in ["table1", "memory"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_qadaptive-cli"))
+            .args(["figure", id, "--format", "csv"])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "figure {id} failed");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("1,056-node"), "figure {id}: {stdout}");
+    }
+}

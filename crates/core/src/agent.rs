@@ -87,7 +87,13 @@ impl RoutingAlgorithm for QAdaptiveRouting {
         router: RouterId,
         seed: u64,
     ) -> Box<dyn RouterAgent> {
-        Box::new(QAdaptiveAgent::new(topology, config, router, self.params, seed))
+        Box::new(QAdaptiveAgent::new(
+            topology,
+            config,
+            router,
+            self.params,
+            seed,
+        ))
     }
 }
 
@@ -365,7 +371,10 @@ mod tests {
         engine.run_to_drain(10_000_000);
         let obs = engine.observer();
         assert_eq!(obs.delivered, 50);
-        assert!(obs.mean_hops() <= 3.0 + 1e-9, "untrained Q-adaptive must look minimal");
+        assert!(
+            obs.mean_hops() <= 3.0 + 1e-9,
+            "untrained Q-adaptive must look minimal"
+        );
     }
 
     #[test]

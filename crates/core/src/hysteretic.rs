@@ -29,10 +29,7 @@ impl HystereticLearner {
 
     /// A plain Q-learning rule (no hysteresis): both rates equal.
     pub fn plain(alpha: f64) -> Self {
-        Self {
-            alpha,
-            beta: alpha,
-        }
+        Self { alpha, beta: alpha }
     }
 
     /// The temporal-difference error `δ = r + q_downstream − q_current`.

@@ -85,10 +85,15 @@ pub fn init_two_level_table(
     router: RouterId,
 ) -> TwoLevelQTable {
     let dcfg = topo.config();
-    TwoLevelQTable::from_fn(dcfg.groups(), dcfg.p, dcfg.fabric_ports(), |group, _slot, col| {
-        let port = topo.layout().port_for_column(col);
-        port_then_group_estimate(topo, cfg, router, port, group)
-    })
+    TwoLevelQTable::from_fn(
+        dcfg.groups(),
+        dcfg.p,
+        dcfg.fabric_ports(),
+        |group, _slot, col| {
+            let port = topo.layout().port_for_column(col);
+            port_then_group_estimate(topo, cfg, router, port, group)
+        },
+    )
 }
 
 /// Build a fully initialised original (destination-router indexed) Q-table

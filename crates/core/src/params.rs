@@ -122,14 +122,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_out_of_range() {
-        let mut p = QAdaptiveParams::default();
-        p.alpha = 1.5;
+        let p = QAdaptiveParams {
+            alpha: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = QAdaptiveParams::default();
-        p.epsilon = -0.1;
+        let p = QAdaptiveParams {
+            epsilon: -0.1,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = QAdaptiveParams::default();
-        p.q_thld2 = -1.0;
+        let p = QAdaptiveParams {
+            q_thld2: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 }

@@ -102,10 +102,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let candidates = [Port(5), Port(6), Port(7)];
         for _ in 0..1_000 {
-            assert_eq!(
-                epsilon_greedy(&mut rng, 0.0, Port(4), &candidates),
-                Port(4)
-            );
+            assert_eq!(epsilon_greedy(&mut rng, 0.0, Port(4), &candidates), Port(4));
         }
     }
 

@@ -221,9 +221,7 @@ impl<O: SimObserver> Engine<O> {
             EventKind::SwitchAttempt { router, port, vc } => {
                 self.handle_switch_attempt(router, port, vc)
             }
-            EventKind::OutputAttempt { router, port } => {
-                self.handle_output_attempt(router, port)
-            }
+            EventKind::OutputAttempt { router, port } => self.handle_output_attempt(router, port),
             EventKind::CreditArrive { router, port, vc } => {
                 self.routers[router.index()].return_credit(port, vc, &self.cfg);
                 self.schedule_output_attempt(router, port, self.now);
@@ -244,7 +242,8 @@ impl<O: SimObserver> Engine<O> {
                 inj.time >= self.now,
                 "injector produced an injection in the past"
             );
-            self.queue.push(inj.time.max(self.now), EventKind::TrafficArrival);
+            self.queue
+                .push(inj.time.max(self.now), EventKind::TrafficArrival);
             self.pending_injection = Some(inj);
         } else {
             self.pending_injection = None;
@@ -634,7 +633,10 @@ mod tests {
         assert_eq!(stats.generated, 1);
         assert_eq!(stats.delivered, 1);
         assert_eq!(obs.delivered, 1);
-        assert_eq!(obs.total_hops, 0, "same-router delivery takes no fabric hop");
+        assert_eq!(
+            obs.total_hops, 0,
+            "same-router delivery takes no fabric hop"
+        );
     }
 
     #[test]
@@ -666,7 +668,8 @@ mod tests {
             .unwrap();
         let algo = MinimalTestRouting;
         let cfg = EngineConfig::paper(algo.num_vcs());
-        let kinds = topo.minimal_hop_kinds(topo.router_of_node(NodeId(0)), topo.router_of_node(dst));
+        let kinds =
+            topo.minimal_hop_kinds(topo.router_of_node(NodeId(0)), topo.router_of_node(dst));
         let expected = cfg.theoretical_latency_ns(&kinds);
         let (_stats, obs) = run_scripted(
             vec![Injection {
@@ -703,7 +706,10 @@ mod tests {
         }
         let (stats, obs) = run_scripted(script, 50_000_000);
         assert_eq!(stats.generated, 2_000);
-        assert_eq!(stats.delivered, 2_000, "lossless network must deliver everything");
+        assert_eq!(
+            stats.delivered, 2_000,
+            "lossless network must deliver everything"
+        );
         assert!(obs.mean_hops() <= 3.0 + 1e-9);
         assert!(obs.mean_latency_ns() > 0.0);
     }

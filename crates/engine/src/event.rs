@@ -50,10 +50,7 @@ pub enum EventKind {
         vc: u8,
     },
     /// Reinforcement-learning feedback delivered to the agent of `router`.
-    RlFeedback {
-        router: RouterId,
-        msg: FeedbackMsg,
-    },
+    RlFeedback { router: RouterId, msg: FeedbackMsg },
 }
 
 /// A scheduled event.
@@ -164,24 +161,9 @@ mod tests {
     #[test]
     fn equal_times_pop_in_scheduling_order() {
         let mut q = EventQueue::new();
-        q.push(
-            5,
-            EventKind::NicTryInject {
-                node: NodeId(1),
-            },
-        );
-        q.push(
-            5,
-            EventKind::NicTryInject {
-                node: NodeId(2),
-            },
-        );
-        q.push(
-            5,
-            EventKind::NicTryInject {
-                node: NodeId(3),
-            },
-        );
+        q.push(5, EventKind::NicTryInject { node: NodeId(1) });
+        q.push(5, EventKind::NicTryInject { node: NodeId(2) });
+        q.push(5, EventKind::NicTryInject { node: NodeId(3) });
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::NicTryInject { node } => node.0,

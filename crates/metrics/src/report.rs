@@ -130,9 +130,7 @@ mod tests {
 
     #[test]
     fn csv_row_matches_header_arity() {
-        let header_fields = SimulationReport::csv_header()
-            .split(',')
-            .count();
+        let header_fields = SimulationReport::csv_header().split(',').count();
         let row_fields = report().csv_row().split(',').count();
         assert_eq!(header_fields, row_fields);
     }

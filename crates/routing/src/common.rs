@@ -33,7 +33,11 @@ impl Default for AdaptiveConfig {
 /// of the non-minimal candidate (plus an optional bias). The `<=` keeps an
 /// idle network on minimal paths.
 #[inline]
-pub fn prefer_minimal(minimal_congestion: usize, nonminimal_congestion: usize, bias: usize) -> bool {
+pub fn prefer_minimal(
+    minimal_congestion: usize,
+    nonminimal_congestion: usize,
+    bias: usize,
+) -> bool {
     minimal_congestion <= 2 * nonminimal_congestion + bias
 }
 
@@ -61,7 +65,10 @@ pub fn valiant_port(ctx: &RouterCtx<'_>, router: RouterId, packet: &mut Packet) 
     debug_assert_eq!(packet.route.mode, RouteMode::Valiant);
 
     if !packet.route.reached_intermediate {
-        let reached = match (packet.route.intermediate_router, packet.route.intermediate_group) {
+        let reached = match (
+            packet.route.intermediate_router,
+            packet.route.intermediate_group,
+        ) {
             (Some(ir), _) => router == ir,
             (None, Some(ig)) => topo.group_of_router(router) == ig,
             (None, None) => true,

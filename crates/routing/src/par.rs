@@ -8,9 +8,7 @@
 //! local hop, which is why PAR needs five virtual channels (up to seven
 //! hops).
 
-use crate::common::{
-    commit_valiant_router, prefer_minimal, valiant_port, AdaptiveConfig,
-};
+use crate::common::{commit_valiant_router, prefer_minimal, valiant_port, AdaptiveConfig};
 use crate::ugal::{best_nonminimal_candidate, UgalMode};
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
@@ -26,18 +24,10 @@ use rand::SeedableRng;
 pub const PAR_VCS: usize = 5;
 
 /// Factory for PAR agents.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ParRouting {
     /// Bias / candidate-count configuration shared with UGAL.
     pub config: AdaptiveConfig,
-}
-
-impl Default for ParRouting {
-    fn default() -> Self {
-        Self {
-            config: AdaptiveConfig::default(),
-        }
-    }
 }
 
 impl RoutingAlgorithm for ParRouting {

@@ -53,7 +53,7 @@ impl Default for QRoutingConfig {
 }
 
 /// Factory for Q-routing agents.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QRoutingMaxQ {
     /// Baseline configuration.
     pub config: QRoutingConfig,
@@ -68,14 +68,6 @@ impl QRoutingMaxQ {
                 max_q,
                 ..QRoutingConfig::default()
             },
-        }
-    }
-}
-
-impl Default for QRoutingMaxQ {
-    fn default() -> Self {
-        Self {
-            config: QRoutingConfig::default(),
         }
     }
 }

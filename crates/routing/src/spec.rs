@@ -92,8 +92,33 @@ impl RoutingSpec {
     }
 
     /// Number of virtual channels the algorithm requires.
+    ///
+    /// A direct match on the per-algorithm constants — boxing a full
+    /// routing algorithm just to read this would be wasteful, and the
+    /// experiment specs call it for every point of a sweep. The
+    /// `build_produces_consistent_vc_counts` test pins these to the values
+    /// reported by the instantiated algorithms.
     pub fn num_vcs(&self) -> usize {
-        self.build().num_vcs()
+        match *self {
+            RoutingSpec::Minimal => crate::minimal::MIN_VCS,
+            RoutingSpec::ValiantGlobal => crate::valiant::VALG_VCS,
+            RoutingSpec::ValiantNode => crate::valiant::VALN_VCS,
+            RoutingSpec::UgalG => crate::ugal::UGALG_VCS,
+            RoutingSpec::UgalN => crate::ugal::UGALN_VCS,
+            RoutingSpec::Par => crate::par::PAR_VCS,
+            // A packet takes at most maxQ free hops plus a 3-hop minimal
+            // tail (see `QRoutingMaxQ::num_vcs`).
+            RoutingSpec::QRouting { max_q } => max_q + 3,
+            RoutingSpec::QAdaptive(_) => qadaptive_core::agent::QADAPTIVE_VCS,
+        }
+    }
+}
+
+/// The default algorithm is plain minimal routing (used when an experiment
+/// spec omits the `routing` field).
+impl Default for RoutingSpec {
+    fn default() -> Self {
+        RoutingSpec::Minimal
     }
 }
 
@@ -107,7 +132,26 @@ mod tests {
             .iter()
             .map(|s| s.label())
             .collect();
-        assert_eq!(labels, vec!["MIN", "VALn", "UGALg", "UGALn", "PAR", "Q-adp"]);
+        assert_eq!(
+            labels,
+            vec!["MIN", "VALn", "UGALg", "UGALn", "PAR", "Q-adp"]
+        );
+    }
+
+    #[test]
+    fn num_vcs_matches_the_built_algorithms() {
+        let mut specs = RoutingSpec::paper_lineup();
+        specs.push(RoutingSpec::ValiantGlobal);
+        for max_q in 0..=4 {
+            specs.push(RoutingSpec::QRouting { max_q });
+        }
+        for spec in specs {
+            assert_eq!(
+                spec.num_vcs(),
+                spec.build().num_vcs(),
+                "num_vcs out of sync for {spec:?}"
+            );
+        }
     }
 
     #[test]

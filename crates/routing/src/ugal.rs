@@ -45,18 +45,10 @@ pub enum UgalMode {
 }
 
 /// UGAL with Valiant-global non-minimal candidates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct UgalG {
     /// Bias / candidate-count configuration.
     pub config: AdaptiveConfig,
-}
-
-impl Default for UgalG {
-    fn default() -> Self {
-        Self {
-            config: AdaptiveConfig::default(),
-        }
-    }
 }
 
 impl RoutingAlgorithm for UgalG {
@@ -85,18 +77,10 @@ impl RoutingAlgorithm for UgalG {
 }
 
 /// UGAL with Valiant-node non-minimal candidates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct UgalN {
     /// Bias / candidate-count configuration.
     pub config: AdaptiveConfig,
-}
-
-impl Default for UgalN {
-    fn default() -> Self {
-        Self {
-            config: AdaptiveConfig::default(),
-        }
-    }
 }
 
 impl RoutingAlgorithm for UgalN {
@@ -150,8 +134,7 @@ pub(crate) fn best_nonminimal_candidate(
     for _ in 0..count.max(1) {
         let candidate = match mode {
             UgalMode::Global => {
-                let ig =
-                    topo.random_intermediate_group(rng, packet.src_group, packet.dst_group);
+                let ig = topo.random_intermediate_group(rng, packet.src_group, packet.dst_group);
                 let first_port = port_toward_group(topo, router, ig);
                 NonMinimalCandidate {
                     first_port,
@@ -161,8 +144,7 @@ pub(crate) fn best_nonminimal_candidate(
                 }
             }
             UgalMode::Node => {
-                let ir =
-                    topo.random_intermediate_router(rng, packet.src_group, packet.dst_group);
+                let ir = topo.random_intermediate_router(rng, packet.src_group, packet.dst_group);
                 let first_port = topo
                     .minimal_port(router, ir)
                     .expect("intermediate router is never the current router");

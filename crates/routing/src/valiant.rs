@@ -106,23 +106,25 @@ impl RouterAgent for ValiantAgent {
         // The source router commits the packet to its Valiant leg (unless
         // the destination is in the same group, where the direct local hop
         // is already congestion-free by construction of the pattern).
-        if packet.at_source_router(self.router) && packet.route.mode == RouteMode::Minimal {
-            if packet.src_group != packet.dst_group && topo.num_groups() > 2 {
-                if self.node_level {
-                    let ir = topo.random_intermediate_router(
-                        &mut self.rng,
-                        packet.src_group,
-                        packet.dst_group,
-                    );
-                    commit_valiant_router(packet, ir);
-                } else {
-                    let ig = topo.random_intermediate_group(
-                        &mut self.rng,
-                        packet.src_group,
-                        packet.dst_group,
-                    );
-                    commit_valiant_group(packet, ig);
-                }
+        if packet.at_source_router(self.router)
+            && packet.route.mode == RouteMode::Minimal
+            && packet.src_group != packet.dst_group
+            && topo.num_groups() > 2
+        {
+            if self.node_level {
+                let ir = topo.random_intermediate_router(
+                    &mut self.rng,
+                    packet.src_group,
+                    packet.dst_group,
+                );
+                commit_valiant_router(packet, ir);
+            } else {
+                let ig = topo.random_intermediate_group(
+                    &mut self.rng,
+                    packet.src_group,
+                    packet.dst_group,
+                );
+                commit_valiant_group(packet, ig);
             }
         }
 

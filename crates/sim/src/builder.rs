@@ -110,6 +110,13 @@ impl SimulationBuilder {
         self
     }
 
+    /// Unmeasured tail after the measurement window: traffic keeps flowing
+    /// so the window is not biased by an emptying network.
+    pub fn tail_ns(mut self, tail_ns: SimTime) -> Self {
+        self.tail_ns = tail_ns;
+        self
+    }
+
     /// Record a time series with the given bin width (enables
     /// [`SimulationBuilder::run_with_series`]).
     pub fn series_bin_ns(mut self, bin_ns: u64) -> Self {
@@ -129,6 +136,26 @@ impl SimulationBuilder {
         self.warmup_ns + self.measure_ns + self.tail_ns
     }
 
+    /// Capture the builder as a serialisable [`crate::spec::ExperimentSpec`]
+    /// (the reverse of [`crate::spec::ExperimentSpec::to_builder`]), e.g. to
+    /// save a programmatically built experiment as a scenario file.
+    pub fn to_spec(&self, name: &str) -> crate::spec::ExperimentSpec {
+        crate::spec::ExperimentSpec {
+            name: name.to_string(),
+            topology: self.topology,
+            routing: self.routing,
+            traffic: self.traffic,
+            load: None,
+            schedule: Some(self.schedule.clone()),
+            warmup_ns: self.warmup_ns,
+            measure_ns: self.measure_ns,
+            tail_ns: self.tail_ns,
+            seed: Some(self.seed),
+            series_bin_ns: self.series_bin_ns,
+            engine: self.engine_config,
+        }
+    }
+
     fn build_engine(&self) -> Engine<MetricsCollector> {
         let topo = Dragonfly::new(self.topology);
         let algorithm = self.routing.build();
@@ -143,8 +170,7 @@ impl SimulationBuilder {
             end,
             self.seed,
         );
-        let mut collector =
-            MetricsCollector::new(self.warmup_ns, self.warmup_ns + self.measure_ns);
+        let mut collector = MetricsCollector::new(self.warmup_ns, self.warmup_ns + self.measure_ns);
         if let Some(bin) = self.series_bin_ns {
             collector = collector.with_series(bin);
         }
@@ -158,7 +184,11 @@ impl SimulationBuilder {
         )
     }
 
-    fn report_from(&self, engine: &mut Engine<MetricsCollector>, wall_seconds: f64) -> SimulationReport {
+    fn report_from(
+        &self,
+        engine: &mut Engine<MetricsCollector>,
+        wall_seconds: f64,
+    ) -> SimulationReport {
         let stats = engine.stats();
         let cfg = *engine.config();
         let nodes = engine.topology().num_nodes();

@@ -3,7 +3,7 @@
 //! Both boil down to running one simulation with a whole-run time series
 //! and reporting the per-bin latency or throughput curve.
 
-use crate::builder::SimulationBuilder;
+use crate::spec::ExperimentSpec;
 use dragonfly_engine::time::SimTime;
 use dragonfly_metrics::report::SimulationReport;
 use dragonfly_metrics::timeseries::TimeSeries;
@@ -11,9 +11,10 @@ use dragonfly_routing::RoutingSpec;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
+use serde::{Deserialize, Serialize};
 
 /// The outcome of a convergence / dynamic-load run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConvergenceResult {
     /// The aggregate report over the measurement window (the tail of the
     /// run, once converged).
@@ -42,8 +43,34 @@ impl ConvergenceResult {
     }
 }
 
+/// Run a convergence study described by an [`ExperimentSpec`]: start from
+/// an empty network and record how the latency evolves over the whole run.
+/// The spec's warmup/measure windows play their usual roles (the aggregate
+/// report covers the tail once converged); `series_bin_ns` defaults to
+/// 10 µs when unset.
+pub fn run_convergence_spec(spec: &ExperimentSpec) -> ConvergenceResult {
+    let bin_ns = spec.series_bin_ns.unwrap_or(10_000);
+    let mut spec = spec.clone();
+    spec.series_bin_ns = Some(bin_ns);
+    let (report, series) = spec.run_with_series();
+    let convergence_us = series
+        .convergence_bin(5, 0.25)
+        .map(|bin| bin as f64 * bin_ns as f64 / 1_000.0);
+    let nodes = dragonfly_topology::Dragonfly::new(spec.topology).num_nodes();
+    ConvergenceResult {
+        report,
+        series,
+        convergence_us,
+        nodes,
+        injection_bytes_per_ns: spec.engine.unwrap_or_default().injection_bytes_per_ns(),
+    }
+}
+
 /// Run a convergence study: start from an empty network under a constant
 /// (or scheduled) load and record how the latency evolves.
+///
+/// Thin wrapper over [`run_convergence_spec`], kept for the examples and
+/// any code predating [`ExperimentSpec`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_convergence(
     topology: DragonflyConfig,
@@ -55,27 +82,20 @@ pub fn run_convergence(
     measure_tail_ns: SimTime,
     seed: u64,
 ) -> ConvergenceResult {
-    let warmup = duration_ns.saturating_sub(measure_tail_ns);
-    let (report, series) = SimulationBuilder::new(topology)
-        .routing(routing)
-        .traffic(traffic)
-        .schedule(schedule)
-        .warmup_ns(warmup)
-        .measure_ns(measure_tail_ns)
-        .series_bin_ns(bin_ns)
-        .seed(seed)
-        .run_with_series();
-    let convergence_us = series
-        .convergence_bin(5, 0.25)
-        .map(|bin| bin as f64 * bin_ns as f64 / 1_000.0);
-    let nodes = dragonfly_topology::Dragonfly::new(topology).num_nodes();
-    ConvergenceResult {
-        report,
-        series,
-        convergence_us,
-        nodes,
-        injection_bytes_per_ns: 4.0,
-    }
+    run_convergence_spec(&ExperimentSpec {
+        name: String::new(),
+        topology,
+        routing,
+        traffic,
+        load: None,
+        schedule: Some(schedule),
+        warmup_ns: duration_ns.saturating_sub(measure_tail_ns),
+        measure_ns: measure_tail_ns.min(duration_ns),
+        tail_ns: 0,
+        seed: Some(seed),
+        series_bin_ns: Some(bin_ns),
+        engine: None,
+    })
 }
 
 #[cfg(test)]
@@ -120,9 +140,6 @@ mod tests {
         // Average throughput before the step must be clearly below after.
         let before: f64 = curve[1..4].iter().map(|(_, v)| v).sum::<f64>() / 3.0;
         let after: f64 = curve[5..8].iter().map(|(_, v)| v).sum::<f64>() / 3.0;
-        assert!(
-            after > before * 2.0,
-            "before={before:.3} after={after:.3}"
-        );
+        assert!(after > before * 2.0, "before={before:.3} after={after:.3}");
     }
 }

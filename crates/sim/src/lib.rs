@@ -16,6 +16,11 @@
 //! * [`builder::SimulationBuilder`] — one-stop construction and execution
 //!   of a single simulation point, returning a
 //!   [`dragonfly_metrics::SimulationReport`].
+//! * [`spec`] — **the serialisable experiment API**:
+//!   [`spec::ExperimentSpec`] (one run, loadable from TOML/JSON scenario
+//!   files) and [`spec::SweepSpec`] (cartesian grids of runs). Every
+//!   figure/table of the paper and every scenario file in `scenarios/` is
+//!   expressed as one of these two values.
 //! * [`sweep`] — load sweeps across several routing algorithms, executed in
 //!   parallel with crossbeam scoped threads (each point is an independent
 //!   simulation).
@@ -26,9 +31,11 @@ pub mod builder;
 pub mod collector;
 pub mod convergence;
 pub mod injector;
+pub mod spec;
 pub mod sweep;
 
 pub use builder::SimulationBuilder;
 pub use collector::MetricsCollector;
 pub use injector::PatternInjector;
+pub use spec::{ExperimentSpec, SweepSpec};
 pub use sweep::{LoadSweep, SweepResult};

@@ -1,0 +1,746 @@
+//! Serializable experiment descriptions — the single source of truth for
+//! *every* experiment this repository can run.
+//!
+//! * [`ExperimentSpec`] — one simulation point: topology, routing, traffic,
+//!   load (constant or scheduled), measurement windows, seed, optional
+//!   engine (hardware) overrides and time-series collection. Loadable from
+//!   TOML or JSON scenario files, convertible to/from
+//!   [`SimulationBuilder`], runnable directly.
+//! * [`SweepSpec`] — a cartesian grid (traffics × routings × loads ×
+//!   seeds-per-point) of experiment points, subsuming the older
+//!   [`LoadSweep`](crate::sweep::LoadSweep). The per-point seed derivation
+//!   matches `LoadSweep` exactly, so spec-driven runs reproduce legacy runs
+//!   bit for bit.
+//!
+//! ```
+//! use dragonfly_sim::spec::ExperimentSpec;
+//!
+//! let spec: ExperimentSpec = toml::from_str(r#"
+//!     name = "quick look"
+//!     load = 0.2
+//!     warmup_ns = 10000
+//!     measure_ns = 10000
+//!     routing = "UgalG"
+//!     traffic = { Adversarial = { shift = 1 } }
+//!
+//!     [topology]
+//!     p = 2
+//!     a = 4
+//!     h = 2
+//! "#).unwrap();
+//! let report = spec.run();
+//! assert!(report.packets_delivered > 0);
+//! ```
+
+use crate::builder::SimulationBuilder;
+use crate::sweep::{run_builders_parallel, SweepResult};
+use dragonfly_engine::config::EngineConfig;
+use dragonfly_engine::time::SimTime;
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_metrics::timeseries::TimeSeries;
+use dragonfly_routing::RoutingSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::schedule::LoadSchedule;
+use dragonfly_traffic::TrafficSpec;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Error produced when loading or validating a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<serde::Error> for SpecError {
+    fn from(e: serde::Error) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+/// The default base seed used when a spec omits `seed`.
+pub const DEFAULT_SEED: u64 = 1;
+
+/// A complete, serialisable description of one simulation run.
+///
+/// Optional fields and their defaults:
+///
+/// | field | default |
+/// |---|---|
+/// | `name` | `""` |
+/// | `routing` | `"Minimal"` |
+/// | `traffic` | `"UniformRandom"` |
+/// | `load` / `schedule` | exactly one must be present |
+/// | `tail_ns` | `0` |
+/// | `seed` | `1` |
+/// | `series_bin_ns` | none (no time series) |
+/// | `engine` | paper hardware parameters |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name (free-form, used in output headers).
+    #[serde(default)]
+    pub name: String,
+    /// Dragonfly configuration.
+    pub topology: DragonflyConfig,
+    /// Routing algorithm.
+    #[serde(default)]
+    pub routing: RoutingSpec,
+    /// Traffic pattern.
+    #[serde(default)]
+    pub traffic: TrafficSpec,
+    /// Constant offered load in `[0, 1]` — shorthand for a single-segment
+    /// schedule. Mutually exclusive with `schedule`.
+    #[serde(default)]
+    pub load: Option<f64>,
+    /// Piecewise-constant offered-load schedule (dynamic-load studies).
+    /// Mutually exclusive with `load`.
+    #[serde(default)]
+    pub schedule: Option<LoadSchedule>,
+    /// Warmup time excluded from measurement (ns).
+    pub warmup_ns: SimTime,
+    /// Measurement-window length (ns).
+    pub measure_ns: SimTime,
+    /// Unmeasured tail after the window (keeps the window unbiased by an
+    /// emptying network).
+    #[serde(default)]
+    pub tail_ns: SimTime,
+    /// Base RNG seed (default 1).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Record a whole-run time series with this bin width (ns).
+    #[serde(default)]
+    pub series_bin_ns: Option<u64>,
+    /// Hardware overrides (link latencies, buffers, packet size). The
+    /// number of virtual channels is still forced to the routing
+    /// algorithm's requirement.
+    #[serde(default)]
+    pub engine: Option<EngineConfig>,
+}
+
+impl ExperimentSpec {
+    /// A spec with the same defaults as [`SimulationBuilder::new`]:
+    /// minimal routing, uniform-random traffic at 10 % load, 20 µs warmup,
+    /// 100 µs measurement.
+    pub fn new(topology: DragonflyConfig) -> Self {
+        Self {
+            name: String::new(),
+            topology,
+            routing: RoutingSpec::default(),
+            traffic: TrafficSpec::default(),
+            load: Some(0.1),
+            schedule: None,
+            warmup_ns: 20_000,
+            measure_ns: 100_000,
+            tail_ns: 0,
+            seed: None,
+            series_bin_ns: None,
+            engine: None,
+        }
+    }
+
+    /// The effective offered-load schedule.
+    pub fn effective_schedule(&self) -> LoadSchedule {
+        match (&self.schedule, self.load) {
+            (Some(schedule), _) => schedule.clone(),
+            (None, Some(load)) => LoadSchedule::constant(load),
+            (None, None) => LoadSchedule::constant(0.1),
+        }
+    }
+
+    /// The effective base seed.
+    pub fn effective_seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SEED)
+    }
+
+    /// Total simulated time of the run.
+    pub fn total_ns(&self) -> SimTime {
+        self.warmup_ns + self.measure_ns + self.tail_ns
+    }
+
+    /// Check the spec for structural problems (bad topology, out-of-range
+    /// loads, contradictory fields, empty windows).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        DragonflyConfig::new(self.topology.p, self.topology.a, self.topology.h)
+            .map_err(|e| SpecError(format!("topology: {e}")))?;
+        if self.load.is_some() && self.schedule.is_some() {
+            return Err(SpecError(
+                "specify either `load` or `schedule`, not both".to_string(),
+            ));
+        }
+        if self.load.is_none() && self.schedule.is_none() {
+            return Err(SpecError(
+                "an experiment needs a `load` or a `schedule`".to_string(),
+            ));
+        }
+        if let Some(load) = self.load {
+            if !(0.0..=1.0).contains(&load) {
+                return Err(SpecError(format!("load {load} must be in [0, 1]")));
+            }
+        }
+        if let Some(schedule) = &self.schedule {
+            schedule.validate().map_err(SpecError)?;
+        }
+        if self.measure_ns == 0 {
+            return Err(SpecError("measure_ns must be positive".to_string()));
+        }
+        if let Some(bin) = self.series_bin_ns {
+            if bin == 0 {
+                return Err(SpecError("series_bin_ns must be positive".to_string()));
+            }
+        }
+        validate_traffic(&self.traffic, &self.topology)?;
+        if let Some(params) = self.qadaptive_params() {
+            params.validate().map_err(SpecError)?;
+        }
+        Ok(())
+    }
+
+    fn qadaptive_params(&self) -> Option<qadaptive_core::QAdaptiveParams> {
+        match self.routing {
+            RoutingSpec::QAdaptive(params) => Some(params),
+            _ => None,
+        }
+    }
+
+    /// Convert to a [`SimulationBuilder`] (the reverse of
+    /// [`SimulationBuilder::to_spec`]).
+    pub fn to_builder(&self) -> SimulationBuilder {
+        let mut builder = SimulationBuilder::new(self.topology)
+            .routing(self.routing)
+            .traffic(self.traffic)
+            .schedule(self.effective_schedule())
+            .warmup_ns(self.warmup_ns)
+            .measure_ns(self.measure_ns)
+            .tail_ns(self.tail_ns)
+            .seed(self.effective_seed());
+        if let Some(bin) = self.series_bin_ns {
+            builder = builder.series_bin_ns(bin);
+        }
+        if let Some(engine) = self.engine {
+            builder = builder.engine_config(engine);
+        }
+        builder
+    }
+
+    /// Run, returning the measurement report.
+    pub fn run(&self) -> SimulationReport {
+        self.to_builder().run()
+    }
+
+    /// Run with a whole-run time series (a default 10 µs bin width is used
+    /// when `series_bin_ns` is unset).
+    pub fn run_with_series(&self) -> (SimulationReport, TimeSeries) {
+        self.to_builder().run_with_series()
+    }
+
+    /// A one-line description used in output headers.
+    pub fn label(&self) -> String {
+        let base = format!(
+            "{} over {} on {} @ {}",
+            self.routing.label(),
+            self.traffic.label(),
+            self.topology,
+            match (&self.schedule, self.load) {
+                (Some(s), _) => format!("peak load {:.2}", s.peak_load()),
+                (None, Some(l)) => format!("load {l:.2}"),
+                (None, None) => "load 0.10".to_string(),
+            }
+        );
+        if self.name.is_empty() {
+            base
+        } else {
+            format!("{} ({base})", self.name)
+        }
+    }
+
+    // -- serialisation front-ends -------------------------------------------
+
+    /// Parse from TOML text and validate.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let spec: Self = toml::from_str(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse from JSON text and validate.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: Self = serde_json::from_str(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Load from a `.toml` or `.json` file (dispatching on the extension).
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let (text, is_json) = read_spec_file(path.as_ref())?;
+        if is_json {
+            Self::from_json(&text)
+        } else {
+            Self::from_toml(&text)
+        }
+    }
+
+    /// Render as a TOML scenario file.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(self).expect("experiment specs are always maps")
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialisation is infallible")
+    }
+}
+
+impl From<ExperimentSpec> for SimulationBuilder {
+    fn from(spec: ExperimentSpec) -> Self {
+        spec.to_builder()
+    }
+}
+
+/// A cartesian experiment grid: every traffic × routing × load × seed
+/// combination becomes one [`ExperimentSpec`] point.
+///
+/// The legacy [`LoadSweep`](crate::sweep::LoadSweep) is the special case of
+/// one traffic pattern and one seed per point; [`SweepSpec::points`]
+/// derives per-point seeds exactly the way `LoadSweep` does, so results are
+/// identical for identical definitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable sweep name.
+    #[serde(default)]
+    pub name: String,
+    /// Dragonfly configuration shared by all points.
+    pub topology: DragonflyConfig,
+    /// Traffic patterns (empty → uniform random only).
+    #[serde(default)]
+    pub traffics: Vec<TrafficSpec>,
+    /// Routing algorithms (empty → the paper's six-algorithm lineup).
+    #[serde(default)]
+    pub routings: Vec<RoutingSpec>,
+    /// Offered loads to evaluate.
+    pub loads: Vec<f64>,
+    /// Warmup time per point (ns).
+    pub warmup_ns: SimTime,
+    /// Measurement window per point (ns).
+    pub measure_ns: SimTime,
+    /// Base RNG seed (default 1); each point derives its own.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Independent repetitions per point with distinct seeds (default 1).
+    #[serde(default)]
+    pub seeds_per_point: Option<usize>,
+    /// Hardware overrides shared by all points.
+    #[serde(default)]
+    pub engine: Option<EngineConfig>,
+}
+
+/// Seed stride between consecutive points (matches `LoadSweep`).
+const POINT_SEED_STRIDE: u64 = 7919;
+/// Seed stride between repetitions of the same point.
+const REPEAT_SEED_STRIDE: u64 = 15_485_863;
+
+impl SweepSpec {
+    /// A sweep with the paper's six-algorithm lineup under one pattern.
+    pub fn paper_lineup(
+        topology: DragonflyConfig,
+        traffic: TrafficSpec,
+        loads: Vec<f64>,
+        warmup_ns: SimTime,
+        measure_ns: SimTime,
+    ) -> Self {
+        Self {
+            name: String::new(),
+            topology,
+            traffics: vec![traffic],
+            routings: RoutingSpec::paper_lineup(),
+            loads,
+            warmup_ns,
+            measure_ns,
+            seed: None,
+            seeds_per_point: None,
+            engine: None,
+        }
+    }
+
+    /// The effective traffic list.
+    pub fn effective_traffics(&self) -> Vec<TrafficSpec> {
+        if self.traffics.is_empty() {
+            vec![TrafficSpec::default()]
+        } else {
+            self.traffics.clone()
+        }
+    }
+
+    /// The effective routing list.
+    pub fn effective_routings(&self) -> Vec<RoutingSpec> {
+        if self.routings.is_empty() {
+            RoutingSpec::paper_lineup()
+        } else {
+            self.routings.clone()
+        }
+    }
+
+    /// The effective repetition count.
+    pub fn effective_seeds_per_point(&self) -> usize {
+        self.seeds_per_point.unwrap_or(1).max(1)
+    }
+
+    /// Number of simulation points in the grid.
+    pub fn len(&self) -> usize {
+        self.effective_traffics().len()
+            * self.effective_routings().len()
+            * self.loads.len()
+            * self.effective_seeds_per_point()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check the grid for structural problems.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        DragonflyConfig::new(self.topology.p, self.topology.a, self.topology.h)
+            .map_err(|e| SpecError(format!("topology: {e}")))?;
+        if self.loads.is_empty() {
+            return Err(SpecError("a sweep needs at least one load".to_string()));
+        }
+        for load in &self.loads {
+            if !(0.0..=1.0).contains(load) {
+                return Err(SpecError(format!("load {load} must be in [0, 1]")));
+            }
+        }
+        if self.measure_ns == 0 {
+            return Err(SpecError("measure_ns must be positive".to_string()));
+        }
+        for traffic in self.effective_traffics() {
+            validate_traffic(&traffic, &self.topology)?;
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into concrete experiment points.
+    ///
+    /// Point order is: traffic-major, then routing, then load, then
+    /// repetition — and within one traffic block the `(routing, load)`
+    /// enumeration and seed derivation are identical to
+    /// [`LoadSweep`](crate::sweep::LoadSweep), which is what makes legacy
+    /// and spec-driven runs bit-for-bit comparable.
+    pub fn points(&self) -> Vec<ExperimentSpec> {
+        let base_seed = self.seed.unwrap_or(DEFAULT_SEED);
+        let repeats = self.effective_seeds_per_point();
+        let mut points = Vec::with_capacity(self.len());
+        for traffic in self.effective_traffics() {
+            let mut index: u64 = 0;
+            for routing in self.effective_routings() {
+                for &load in &self.loads {
+                    for repeat in 0..repeats {
+                        points.push(ExperimentSpec {
+                            name: self.name.clone(),
+                            topology: self.topology,
+                            routing,
+                            traffic,
+                            load: Some(load),
+                            schedule: None,
+                            warmup_ns: self.warmup_ns,
+                            measure_ns: self.measure_ns,
+                            tail_ns: 0,
+                            seed: Some(
+                                base_seed
+                                    .wrapping_add(index * POINT_SEED_STRIDE)
+                                    .wrapping_add(repeat as u64 * REPEAT_SEED_STRIDE),
+                            ),
+                            series_bin_ns: None,
+                            engine: self.engine,
+                        });
+                    }
+                    index += 1;
+                }
+            }
+        }
+        points
+    }
+
+    /// Run every point sequentially.
+    pub fn run_sequential(&self) -> SweepResult {
+        let reports = self.points().iter().map(|p| p.to_builder().run()).collect();
+        SweepResult { reports }
+    }
+
+    /// Run every point in parallel across `threads` workers
+    /// (0 = one per available CPU).
+    pub fn run_parallel(&self, threads: usize) -> SweepResult {
+        let builders: Vec<SimulationBuilder> = self
+            .points()
+            .iter()
+            .map(ExperimentSpec::to_builder)
+            .collect();
+        SweepResult {
+            reports: run_builders_parallel(builders, threads),
+        }
+    }
+
+    // -- serialisation front-ends -------------------------------------------
+
+    /// Parse from TOML text and validate.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let spec: Self = toml::from_str(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parse from JSON text and validate.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: Self = serde_json::from_str(text)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Load from a `.toml` or `.json` file (dispatching on the extension).
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let (text, is_json) = read_spec_file(path.as_ref())?;
+        if is_json {
+            Self::from_json(&text)
+        } else {
+            Self::from_toml(&text)
+        }
+    }
+
+    /// Render as a TOML scenario file.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(self).expect("sweep specs are always maps")
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialisation is infallible")
+    }
+}
+
+/// Catch traffic/topology combinations whose pattern constructor would
+/// panic mid-run (after validation has nominally passed).
+fn validate_traffic(traffic: &TrafficSpec, topology: &DragonflyConfig) -> Result<(), SpecError> {
+    if let TrafficSpec::Adversarial { shift } = *traffic {
+        let groups = topology.groups();
+        if shift % groups == 0 {
+            return Err(SpecError(format!(
+                "adversarial shift {shift} is a multiple of the group count {groups}, \
+                 so every node would target its own group"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn read_spec_file(path: &Path) -> Result<(String, bool), SpecError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SpecError(format!("cannot read {}: {e}", path.display())))?;
+    let is_json = path
+        .extension()
+        .map(|ext| ext.eq_ignore_ascii_case("json"))
+        .unwrap_or(false);
+    Ok((text, is_json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::LoadSweep;
+    use qadaptive_core::QAdaptiveParams;
+
+    fn sample_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "adv1".to_string(),
+            topology: DragonflyConfig::tiny(),
+            routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+            traffic: TrafficSpec::Adversarial { shift: 1 },
+            load: Some(0.25),
+            schedule: None,
+            warmup_ns: 10_000,
+            measure_ns: 20_000,
+            tail_ns: 5_000,
+            seed: Some(9),
+            series_bin_ns: Some(5_000),
+            engine: Some(EngineConfig::default()),
+        }
+    }
+
+    #[test]
+    fn toml_and_json_round_trip() {
+        let spec = sample_spec();
+        let toml_text = spec.to_toml();
+        let json_text = spec.to_json();
+        assert_eq!(ExperimentSpec::from_toml(&toml_text).unwrap(), spec);
+        assert_eq!(ExperimentSpec::from_json(&json_text).unwrap(), spec);
+    }
+
+    #[test]
+    fn minimal_toml_uses_defaults() {
+        let spec = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n[topology]\np = 2\na = 4\nh = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.routing, RoutingSpec::Minimal);
+        assert_eq!(spec.traffic, TrafficSpec::UniformRandom);
+        assert_eq!(spec.effective_seed(), DEFAULT_SEED);
+        assert_eq!(spec.tail_ns, 0);
+        assert_eq!(spec.effective_schedule(), LoadSchedule::constant(0.2));
+    }
+
+    #[test]
+    fn validation_rejects_contradictions() {
+        let mut spec = sample_spec();
+        spec.schedule = Some(LoadSchedule::constant(0.4));
+        assert!(spec.validate().unwrap_err().0.contains("not both"));
+        spec.schedule = None;
+        spec.load = None;
+        assert!(spec.validate().is_err());
+        let mut bad_load = sample_spec();
+        bad_load.load = Some(1.5);
+        assert!(bad_load.validate().is_err());
+        let mut bad_window = sample_spec();
+        bad_window.measure_ns = 0;
+        assert!(bad_window.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_schedule_loads() {
+        // Deserialisation bypasses the LoadSchedule constructor asserts, so
+        // validate() must catch what `load = 1.7` would catch.
+        let spec = ExperimentSpec::from_toml(
+            "warmup_ns = 1000\nmeasure_ns = 1000\n[schedule]\nsegments = [[0, 1.7]]\n\
+             [topology]\np = 2\na = 4\nh = 2\n",
+        );
+        assert!(spec.unwrap_err().0.contains("must be in [0, 1]"));
+        let unsorted = ExperimentSpec::from_toml(
+            "warmup_ns = 1000\nmeasure_ns = 1000\n[schedule]\nsegments = [[5000, 0.2], [0, 0.4]]\n\
+             [topology]\np = 2\na = 4\nh = 2\n",
+        );
+        assert!(unsorted.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_self_targeting_adversarial_shift() {
+        // tiny() has 9 groups; shift 9 (or 0) would make every node target
+        // its own group and panic inside the pattern constructor mid-run.
+        let mut spec = sample_spec();
+        spec.traffic = TrafficSpec::Adversarial { shift: 9 };
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .0
+            .contains("multiple of the group count"));
+        spec.traffic = TrafficSpec::Adversarial { shift: 10 };
+        assert!(spec.validate().is_ok());
+        let mut sweep = sample_sweep();
+        sweep.traffics = vec![TrafficSpec::Adversarial { shift: 0 }];
+        assert!(sweep.validate().is_err());
+    }
+
+    #[test]
+    fn spec_and_builder_convert_both_ways() {
+        let spec = sample_spec();
+        let back = spec.to_builder().to_spec(&spec.name);
+        // `load` is canonicalised into a schedule by the builder.
+        assert_eq!(back.effective_schedule(), spec.effective_schedule());
+        assert_eq!(back.topology, spec.topology);
+        assert_eq!(back.routing, spec.routing);
+        assert_eq!(back.traffic, spec.traffic);
+        assert_eq!(back.warmup_ns, spec.warmup_ns);
+        assert_eq!(back.measure_ns, spec.measure_ns);
+        assert_eq!(back.tail_ns, spec.tail_ns);
+        assert_eq!(back.effective_seed(), spec.effective_seed());
+        assert_eq!(back.series_bin_ns, spec.series_bin_ns);
+        assert_eq!(back.engine, spec.engine);
+    }
+
+    #[test]
+    fn spec_run_equals_builder_run() {
+        let mut spec = sample_spec();
+        spec.series_bin_ns = None;
+        spec.engine = None;
+        spec.tail_ns = 0;
+        let from_spec = spec.run();
+        let from_builder = SimulationBuilder::new(spec.topology)
+            .routing(spec.routing)
+            .traffic(spec.traffic)
+            .offered_load(0.25)
+            .warmup_ns(spec.warmup_ns)
+            .measure_ns(spec.measure_ns)
+            .seed(9)
+            .run();
+        assert_eq!(from_spec.packets_delivered, from_builder.packets_delivered);
+        assert_eq!(from_spec.mean_latency_us, from_builder.mean_latency_us);
+        assert_eq!(from_spec.throughput, from_builder.throughput);
+    }
+
+    fn sample_sweep() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".to_string(),
+            topology: DragonflyConfig::tiny(),
+            traffics: vec![TrafficSpec::UniformRandom],
+            routings: vec![RoutingSpec::Minimal, RoutingSpec::UgalG],
+            loads: vec![0.1, 0.3],
+            warmup_ns: 5_000,
+            measure_ns: 10_000,
+            seed: Some(2),
+            seeds_per_point: None,
+            engine: None,
+        }
+    }
+
+    #[test]
+    fn sweep_round_trips_and_counts_points() {
+        let sweep = sample_sweep();
+        assert_eq!(SweepSpec::from_toml(&sweep.to_toml()).unwrap(), sweep);
+        assert_eq!(SweepSpec::from_json(&sweep.to_json()).unwrap(), sweep);
+        assert_eq!(sweep.len(), 4);
+        let mut repeated = sweep.clone();
+        repeated.seeds_per_point = Some(3);
+        assert_eq!(repeated.len(), 12);
+        // Repetitions of a point share everything but the seed.
+        let points = repeated.points();
+        assert_eq!(points[0].routing, points[1].routing);
+        assert_eq!(points[0].load, points[1].load);
+        assert_ne!(points[0].seed, points[1].seed);
+    }
+
+    #[test]
+    fn sweep_spec_reproduces_load_sweep_exactly() {
+        let sweep = sample_sweep();
+        let legacy = LoadSweep {
+            topology: sweep.topology,
+            traffic: sweep.traffics[0],
+            routings: sweep.routings.clone(),
+            loads: sweep.loads.clone(),
+            warmup_ns: sweep.warmup_ns,
+            measure_ns: sweep.measure_ns,
+            seed: 2,
+        };
+        let new = sweep.run_parallel(2);
+        let old = legacy.run_parallel(2);
+        assert_eq!(new.reports.len(), old.reports.len());
+        for (a, b) in new.reports.iter().zip(old.reports.iter()) {
+            assert_eq!(a.routing, b.routing);
+            assert_eq!(a.offered_load, b.offered_load);
+            assert_eq!(a.packets_delivered, b.packets_delivered);
+            assert_eq!(a.mean_latency_us, b.mean_latency_us);
+            assert_eq!(a.throughput, b.throughput);
+        }
+    }
+
+    #[test]
+    fn empty_lists_fall_back_to_paper_defaults() {
+        let sweep = SweepSpec::from_toml(
+            "loads = [0.2]\nwarmup_ns = 1000\nmeasure_ns = 1000\n[topology]\np = 2\na = 4\nh = 2\n",
+        )
+        .unwrap();
+        assert_eq!(sweep.effective_routings(), RoutingSpec::paper_lineup());
+        assert_eq!(sweep.effective_traffics(), vec![TrafficSpec::UniformRandom]);
+        assert_eq!(sweep.len(), 6);
+    }
+}

@@ -25,11 +25,8 @@ pub struct SweepResult {
 impl SweepResult {
     /// Reports for one routing label, sorted by offered load.
     pub fn for_routing(&self, label: &str) -> Vec<&SimulationReport> {
-        let mut v: Vec<&SimulationReport> = self
-            .reports
-            .iter()
-            .filter(|r| r.routing == label)
-            .collect();
+        let mut v: Vec<&SimulationReport> =
+            self.reports.iter().filter(|r| r.routing == label).collect();
         v.sort_by(|a, b| a.offered_load.total_cmp(&b.offered_load));
         v
     }
@@ -54,9 +51,62 @@ impl SweepResult {
     }
 }
 
+/// Run a batch of prepared simulations in parallel across `threads`
+/// workers (0 = one per available CPU), preserving input order. This is the
+/// shared execution engine behind [`LoadSweep::run_parallel`] and
+/// [`crate::spec::SweepSpec::run_parallel`].
+pub fn run_builders_parallel(
+    builders: Vec<SimulationBuilder>,
+    threads: usize,
+) -> Vec<SimulationReport> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(builders.len().max(1));
+
+    let jobs: Vec<(usize, SimulationBuilder)> = builders.into_iter().enumerate().collect();
+    let next_job = Mutex::new(0usize);
+    let results: Mutex<Vec<Option<SimulationReport>>> = Mutex::new(vec![None; jobs.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job_index = {
+                    let mut guard = next_job.lock();
+                    let i = *guard;
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let (index, builder) = &jobs[job_index];
+                let report = builder.clone().run();
+                results.lock()[*index] = Some(report);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job produces a report"))
+        .collect()
+}
+
 /// A sweep definition: the cartesian product of routings and offered loads
 /// under one traffic pattern.
-#[derive(Debug, Clone)]
+///
+/// This is the legacy single-traffic grid; the serialisable
+/// [`crate::spec::SweepSpec`] subsumes it (multiple traffics, repeated
+/// seeds, scenario files) and the two produce identical results for
+/// identical definitions.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadSweep {
     /// Dragonfly configuration.
     pub topology: DragonflyConfig,
@@ -130,51 +180,34 @@ impl LoadSweep {
     /// Run every point in parallel across `threads` workers
     /// (0 = one per available CPU).
     pub fn run_parallel(&self, threads: usize) -> SweepResult {
-        let jobs: Vec<(usize, RoutingSpec, f64)> = self
+        let builders: Vec<SimulationBuilder> = self
             .routings
             .iter()
             .flat_map(|r| self.loads.iter().map(move |l| (*r, *l)))
             .enumerate()
-            .map(|(i, (r, l))| (i, r, l))
+            .map(|(i, (r, l))| self.builder_for(r, l, i))
             .collect();
-        let workers = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        } else {
-            threads
+        SweepResult {
+            reports: run_builders_parallel(builders, threads),
         }
-        .min(jobs.len().max(1));
+    }
+}
 
-        let next_job = Mutex::new(0usize);
-        let results: Mutex<Vec<Option<SimulationReport>>> = Mutex::new(vec![None; jobs.len()]);
-
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let job_index = {
-                        let mut guard = next_job.lock();
-                        let i = *guard;
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        *guard += 1;
-                        i
-                    };
-                    let (index, routing, load) = jobs[job_index];
-                    let report = self.builder_for(routing, load, index).run();
-                    results.lock()[index] = Some(report);
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-
-        let reports = results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("every job produces a report"))
-            .collect();
-        SweepResult { reports }
+/// Every `LoadSweep` is expressible as a (single-traffic) [`SweepSpec`].
+impl From<LoadSweep> for crate::spec::SweepSpec {
+    fn from(sweep: LoadSweep) -> Self {
+        crate::spec::SweepSpec {
+            name: String::new(),
+            topology: sweep.topology,
+            traffics: vec![sweep.traffic],
+            routings: sweep.routings,
+            loads: sweep.loads,
+            warmup_ns: sweep.warmup_ns,
+            measure_ns: sweep.measure_ns,
+            seed: Some(sweep.seed),
+            seeds_per_point: None,
+            engine: None,
+        }
     }
 }
 

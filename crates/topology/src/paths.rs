@@ -177,7 +177,7 @@ mod tests {
                 } else if t.group_of_router(src) == t.group_of_router(dst) {
                     assert_eq!(hops, 1);
                 } else {
-                    assert!(hops >= 1 && hops <= 3, "{src} -> {dst}: {hops}");
+                    assert!((1..=3).contains(&hops), "{src} -> {dst}: {hops}");
                 }
             }
         }

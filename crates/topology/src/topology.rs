@@ -318,12 +318,12 @@ mod tests {
                 count[src.index()][dst.index()] += 1;
             }
         }
-        for a in 0..g {
-            for b in 0..g {
+        for (a, row) in count.iter().enumerate() {
+            for (b, links) in row.iter().enumerate() {
                 if a == b {
-                    assert_eq!(count[a][b], 0);
+                    assert_eq!(*links, 0);
                 } else {
-                    assert_eq!(count[a][b], 1, "groups {a} and {b}");
+                    assert_eq!(*links, 1, "groups {a} and {b}");
                 }
             }
         }

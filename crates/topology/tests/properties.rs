@@ -1,97 +1,128 @@
-//! Property-based tests for the Dragonfly topology.
+//! Property-style tests for the Dragonfly topology, exercised over a full
+//! grid of small valid configurations plus seeded random selections (the
+//! offline build has no proptest, so the strategies are materialised as
+//! deterministic loops — strictly more cases than the old 64-case runs).
 
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_topology::ids::{GroupId, NodeId, Port, RouterId};
 use dragonfly_topology::ports::PortKind;
 use dragonfly_topology::topology::Neighbor;
 use dragonfly_topology::Dragonfly;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy producing a modest range of valid configurations.
-fn config_strategy() -> impl Strategy<Value = DragonflyConfig> {
-    (1usize..=4, 2usize..=8, 1usize..=4)
-        .prop_map(|(p, a, h)| DragonflyConfig::new(p, a, h).unwrap())
+/// Every valid configuration in the modest range the old proptest strategy
+/// produced: `p ∈ 1..=4`, `a ∈ 2..=8`, `h ∈ 1..=4`.
+fn all_small_configs() -> Vec<DragonflyConfig> {
+    let mut configs = Vec::new();
+    for p in 1..=4 {
+        for a in 2..=8 {
+            for h in 1..=4 {
+                configs.push(DragonflyConfig::new(p, a, h).unwrap());
+            }
+        }
+    }
+    configs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Derived quantities satisfy the defining identities of Table 1.
-    #[test]
-    fn derived_quantities_consistent(cfg in config_strategy()) {
-        prop_assert_eq!(cfg.radix(), cfg.p + cfg.h + cfg.a - 1);
-        prop_assert_eq!(cfg.groups(), cfg.a * cfg.h + 1);
-        prop_assert_eq!(cfg.routers(), cfg.groups() * cfg.a);
-        prop_assert_eq!(cfg.nodes(), cfg.routers() * cfg.p);
-        prop_assert_eq!(cfg.fabric_ports(), cfg.radix() - cfg.p);
+/// Derived quantities satisfy the defining identities of Table 1.
+#[test]
+fn derived_quantities_consistent() {
+    for cfg in all_small_configs() {
+        assert_eq!(cfg.radix(), cfg.p + cfg.h + cfg.a - 1);
+        assert_eq!(cfg.groups(), cfg.a * cfg.h + 1);
+        assert_eq!(cfg.routers(), cfg.groups() * cfg.a);
+        assert_eq!(cfg.nodes(), cfg.routers() * cfg.p);
+        assert_eq!(cfg.fabric_ports(), cfg.radix() - cfg.p);
     }
+}
 
-    /// Every fabric link is symmetric: following a port and then the
-    /// reported reverse port returns to the origin.
-    #[test]
-    fn links_are_symmetric(cfg in config_strategy(), rsel in 0usize..64, psel in 0usize..32) {
+/// Every fabric link is symmetric: following a port and then the reported
+/// reverse port returns to the origin.
+#[test]
+fn links_are_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for cfg in all_small_configs() {
         let t = Dragonfly::new(cfg);
-        let r = RouterId::from_index(rsel % t.num_routers());
         let ports: Vec<Port> = t.layout().fabric_port_iter().collect();
-        let port = ports[psel % ports.len()];
-        match t.neighbor(r, port) {
-            Neighbor::Router { router, port: back } => {
-                match t.neighbor(router, back) {
-                    Neighbor::Router { router: r2, port: p2 } => {
-                        prop_assert_eq!(r2, r);
-                        prop_assert_eq!(p2, port);
+        for _ in 0..16 {
+            let r = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let port = ports[rng.gen_range(0..ports.len())];
+            match t.neighbor(r, port) {
+                Neighbor::Router { router, port: back } => match t.neighbor(router, back) {
+                    Neighbor::Router {
+                        router: r2,
+                        port: p2,
+                    } => {
+                        assert_eq!(r2, r);
+                        assert_eq!(p2, port);
                     }
-                    _ => prop_assert!(false, "reverse of a fabric link was a node"),
-                }
+                    _ => panic!("reverse of a fabric link was a node"),
+                },
+                Neighbor::Node(_) => panic!("fabric port resolved to a node"),
             }
-            Neighbor::Node(_) => prop_assert!(false, "fabric port resolved to a node"),
         }
     }
+}
 
-    /// The minimal route between any two routers is within the diameter and
-    /// crosses at most one global link.
-    #[test]
-    fn minimal_routes_within_diameter(cfg in config_strategy(), a in 0usize..4096, b in 0usize..4096) {
+/// The minimal route between any two routers is within the diameter and
+/// crosses at most one global link.
+#[test]
+fn minimal_routes_within_diameter() {
+    let mut rng = StdRng::seed_from_u64(0xD1A);
+    for cfg in all_small_configs() {
         let t = Dragonfly::new(cfg);
-        let src = RouterId::from_index(a % t.num_routers());
-        let dst = RouterId::from_index(b % t.num_routers());
-        let kinds = t.minimal_hop_kinds(src, dst);
-        prop_assert!(kinds.len() <= 3);
-        let globals = kinds
-            .iter()
-            .filter(|k| matches!(k, dragonfly_topology::paths::HopKind::Global))
-            .count();
-        prop_assert!(globals <= 1);
-        if t.group_of_router(src) != t.group_of_router(dst) {
-            prop_assert_eq!(globals, 1);
+        for _ in 0..32 {
+            let src = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let dst = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let kinds = t.minimal_hop_kinds(src, dst);
+            assert!(kinds.len() <= 3);
+            let globals = kinds
+                .iter()
+                .filter(|k| matches!(k, dragonfly_topology::paths::HopKind::Global))
+                .count();
+            assert!(globals <= 1);
+            if t.group_of_router(src) != t.group_of_router(dst) {
+                assert_eq!(globals, 1);
+            }
         }
     }
+}
 
-    /// Every node belongs to exactly one router and the ejection port kind
-    /// is always a host port.
-    #[test]
-    fn node_attachment(cfg in config_strategy(), n in 0usize..8192) {
+/// Every node belongs to exactly one router and the ejection port kind is
+/// always a host port.
+#[test]
+fn node_attachment() {
+    let mut rng = StdRng::seed_from_u64(0x0DE);
+    for cfg in all_small_configs() {
         let t = Dragonfly::new(cfg);
-        let node = NodeId::from_index(n % t.num_nodes());
-        let router = t.router_of_node(node);
-        prop_assert!(t.nodes_of_router(router).any(|x| x == node));
-        prop_assert_eq!(t.port_kind(t.ejection_port(node)), PortKind::Host);
+        for _ in 0..16 {
+            let node = NodeId::from_index(rng.gen_range(0..t.num_nodes()));
+            let router = t.router_of_node(node);
+            assert!(t.nodes_of_router(router).any(|x| x == node));
+            assert_eq!(t.port_kind(t.ejection_port(node)), PortKind::Host);
+        }
     }
+}
 
-    /// The gateway map is a bijection between "other groups" and
-    /// (router, global port) pairs within each group.
-    #[test]
-    fn gateway_bijection(cfg in config_strategy(), gsel in 0usize..64) {
+/// The gateway map is a bijection between "other groups" and
+/// (router, global port) pairs within each group.
+#[test]
+fn gateway_bijection() {
+    let mut rng = StdRng::seed_from_u64(0x6A7E);
+    for cfg in all_small_configs() {
         let t = Dragonfly::new(cfg);
-        let group = GroupId::from_index(gsel % t.num_groups());
+        let group = GroupId::from_index(rng.gen_range(0..t.num_groups()));
         let mut seen = std::collections::HashSet::new();
         for other in t.groups() {
-            if other == group { continue; }
+            if other == group {
+                continue;
+            }
             let (router, port) = t.gateway(group, other);
-            prop_assert_eq!(t.group_of_router(router), group);
-            prop_assert!(seen.insert((router, port)), "gateway reused a port");
-            prop_assert_eq!(t.global_neighbor_group(router, port), other);
+            assert_eq!(t.group_of_router(router), group);
+            assert!(seen.insert((router, port)), "gateway reused a port");
+            assert_eq!(t.global_neighbor_group(router, port), other);
         }
-        prop_assert_eq!(seen.len(), t.num_groups() - 1);
+        assert_eq!(seen.len(), t.num_groups() - 1);
     }
 }

@@ -28,7 +28,7 @@ impl Adversarial {
         let g = topo.num_groups();
         assert!(g >= 2, "adversarial traffic needs at least two groups");
         assert!(
-            shift % g != 0,
+            !shift.is_multiple_of(g),
             "a shift that is a multiple of the group count would target the sender's own group"
         );
         Self {
@@ -87,8 +87,7 @@ mod tests {
             let mut p = Adversarial::new(&t, shift);
             for node in t.nodes() {
                 let dst = p.destination(node, &mut rng);
-                let expected =
-                    (t.group_of_node(node).index() + shift) % t.num_groups();
+                let expected = (t.group_of_node(node).index() + shift) % t.num_groups();
                 assert_eq!(t.group_of_node(dst).index(), expected);
             }
         }

@@ -153,8 +153,7 @@ mod tests {
         let g = Grid3D::new(4, 8, 33);
         let comm = g.z_communicator(g.node(1, 2, 5));
         assert_eq!(comm.len(), 33);
-        let zs: std::collections::HashSet<usize> =
-            comm.iter().map(|n| g.coords(*n).2).collect();
+        let zs: std::collections::HashSet<usize> = comm.iter().map(|n| g.coords(*n).2).collect();
         assert_eq!(zs.len(), 33);
     }
 }

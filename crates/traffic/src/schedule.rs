@@ -18,7 +18,7 @@ pub struct LoadSchedule {
 impl LoadSchedule {
     /// A constant offered load.
     pub fn constant(load: f64) -> Self {
-        assert!(load >= 0.0 && load <= 1.0, "load must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&load), "load must be in [0, 1]");
         Self {
             segments: vec![(0, load)],
         }
@@ -27,7 +27,7 @@ impl LoadSchedule {
     /// A single step: `before` until `switch_at_ns`, then `after`.
     /// This is the shape used in the paper's Figure 8.
     pub fn step(before: f64, after: f64, switch_at_ns: u64) -> Self {
-        assert!(before >= 0.0 && before <= 1.0 && after >= 0.0 && after <= 1.0);
+        assert!((0.0..=1.0).contains(&before) && (0.0..=1.0).contains(&after));
         Self {
             segments: vec![(0, before), (switch_at_ns, after)],
         }
@@ -61,18 +61,43 @@ impl LoadSchedule {
     /// The largest load anywhere in the schedule (used for sizing
     /// warmup heuristics).
     pub fn peak_load(&self) -> f64 {
-        self.segments
-            .iter()
-            .map(|(_, l)| *l)
-            .fold(0.0, f64::max)
+        self.segments.iter().map(|(_, l)| *l).fold(0.0, f64::max)
+    }
+
+    /// Check a schedule that may have been built by deserialisation
+    /// (which bypasses the constructor asserts): segments must exist,
+    /// start at 0, be sorted, and carry loads in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err("schedule needs at least one segment".to_string());
+        }
+        if self.segments[0].0 != 0 {
+            return Err(format!(
+                "the first schedule segment must start at 0, not {}",
+                self.segments[0].0
+            ));
+        }
+        for window in self.segments.windows(2) {
+            if window[0].0 > window[1].0 {
+                return Err(format!(
+                    "schedule segments must be sorted by start time ({} after {})",
+                    window[1].0, window[0].0
+                ));
+            }
+        }
+        for (start, load) in &self.segments {
+            if !(0.0..=1.0).contains(load) {
+                return Err(format!(
+                    "schedule load {load} at {start} ns must be in [0, 1]"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The time of the next load change strictly after `now_ns`, if any.
     pub fn next_change_after(&self, now_ns: u64) -> Option<u64> {
-        self.segments
-            .iter()
-            .map(|(t, _)| *t)
-            .find(|t| *t > now_ns)
+        self.segments.iter().map(|(t, _)| *t).find(|t| *t > now_ns)
     }
 }
 

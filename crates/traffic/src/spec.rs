@@ -26,6 +26,14 @@ pub enum TrafficSpec {
     RandomNeighbors,
 }
 
+/// The default pattern is uniform random (used when an experiment spec
+/// omits the `traffic` field).
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec::UniformRandom
+    }
+}
+
 impl TrafficSpec {
     /// The five patterns of the 2,550-node case study (Figure 9), in plot
     /// order.

@@ -27,8 +27,13 @@ fn run(routing: Spec, load: f64) -> SimulationReport {
 
 fn main() {
     let load = 0.40;
-    println!("ADV+1 adversarial traffic at offered load {load} on {}", DragonflyConfig::small());
-    println!("(paper: MIN collapses, VALn is the classic fix, Q-adaptive should match or beat it)\n");
+    println!(
+        "ADV+1 adversarial traffic at offered load {load} on {}",
+        DragonflyConfig::small()
+    );
+    println!(
+        "(paper: MIN collapses, VALn is the classic fix, Q-adaptive should match or beat it)\n"
+    );
 
     let lineup = [
         Spec::Minimal,

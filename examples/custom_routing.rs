@@ -12,16 +12,16 @@
 //! ```
 
 use qadaptive::engine::config::EngineConfig;
+use qadaptive::engine::injector::{Injection, TrafficInjector};
+use qadaptive::engine::observer::CountingObserver;
 use qadaptive::engine::packet::{Packet, RouteMode};
 use qadaptive::engine::routing::{
     vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
-use qadaptive::engine::injector::{Injection, TrafficInjector};
-use qadaptive::engine::observer::CountingObserver;
 use qadaptive::engine::Engine;
+use qadaptive::prelude::*;
 use qadaptive::topology::ids::{NodeId, RouterId};
 use qadaptive::topology::Dragonfly;
-use qadaptive::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,7 +65,8 @@ impl RouterAgent for CoinFlipAgent {
             && packet.src_group != packet.dst_group
             && self.rng.gen_bool(0.5)
         {
-            let ig = topo.random_intermediate_group(&mut self.rng, packet.src_group, packet.dst_group);
+            let ig =
+                topo.random_intermediate_group(&mut self.rng, packet.src_group, packet.dst_group);
             packet.route.mode = RouteMode::Valiant;
             packet.route.intermediate_group = Some(ig);
         }
@@ -134,7 +135,10 @@ fn main() {
     for (label, algo) in [
         ("CoinFlip", &CoinFlipValiant as &dyn RoutingAlgorithm),
         ("MIN", &qadaptive::routing::MinRouting),
-        ("Q-adaptive", &qadaptive::core::QAdaptiveRouting::paper_1056()),
+        (
+            "Q-adaptive",
+            &qadaptive::core::QAdaptiveRouting::paper_1056(),
+        ),
     ] {
         let obs = evaluate(algo);
         println!(

@@ -12,7 +12,11 @@ use qadaptive::traffic::TrafficSpec as Traffic;
 
 fn main() {
     let config = DragonflyConfig::small();
-    let patterns = [Traffic::Stencil3D, Traffic::ManyToMany, Traffic::RandomNeighbors];
+    let patterns = [
+        Traffic::Stencil3D,
+        Traffic::ManyToMany,
+        Traffic::RandomNeighbors,
+    ];
     let routings = [
         ("MIN", Spec::Minimal),
         ("UGALg", Spec::UgalG),

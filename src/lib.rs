@@ -18,16 +18,46 @@
 //! * [`traffic`] — traffic patterns (UR, ADV+i, 3D Stencil, Many-to-Many,
 //!   Random Neighbors) and dynamic load schedules.
 //! * [`metrics`] — latency/throughput/hop statistics and time series.
-//! * [`sim`] — the experiment harness used to regenerate the paper's tables
-//!   and figures.
+//! * [`sim`] — the experiment harness: the **serializable experiment API**
+//!   ([`sim::spec::ExperimentSpec`] / [`sim::spec::SweepSpec`], loadable
+//!   from the TOML/JSON scenario files under `scenarios/`), the
+//!   [`sim::builder::SimulationBuilder`] it wraps, parallel sweeps and
+//!   convergence studies.
 //!
 //! ## Quickstart
+//!
+//! Experiments are *data*: one [`ExperimentSpec`] value describes the
+//! topology, routing, traffic, load and measurement windows of a run, and
+//! the same value round-trips through TOML/JSON scenario files (see
+//! `scenarios/README.md`) and the `qadaptive-cli` binary.
 //!
 //! ```
 //! use qadaptive::prelude::*;
 //!
 //! // A small Dragonfly (p=2, a=4, h=2 → 72 nodes) under uniform-random
 //! // traffic, routed by Q-adaptive.
+//! let mut spec = ExperimentSpec::new(DragonflyConfig::new(2, 4, 2).unwrap());
+//! spec.routing = RoutingSpec::QAdaptive(QAdaptiveParams::default());
+//! spec.load = Some(0.3);
+//! spec.warmup_ns = 20_000;
+//! spec.measure_ns = 20_000;
+//! spec.seed = Some(7);
+//!
+//! let report = spec.run();
+//! assert!(report.packets_delivered > 0);
+//!
+//! // The exact same experiment as a scenario file:
+//! let round_tripped = ExperimentSpec::from_toml(&spec.to_toml()).unwrap();
+//! assert_eq!(round_tripped, spec);
+//! ```
+//!
+//! The fluent [`SimulationBuilder`] is equivalent (and convertible both
+//! ways via [`ExperimentSpec::to_builder`] /
+//! [`SimulationBuilder::to_spec`]):
+//!
+//! ```
+//! use qadaptive::prelude::*;
+//!
 //! let report = SimulationBuilder::new(DragonflyConfig::new(2, 4, 2).unwrap())
 //!     .routing(RoutingSpec::QAdaptive(QAdaptiveParams::default()))
 //!     .traffic(TrafficSpec::UniformRandom)
@@ -37,6 +67,22 @@
 //!     .seed(7)
 //!     .run();
 //! assert!(report.packets_delivered > 0);
+//! ```
+//!
+//! Grids over routings × loads × traffics × seeds are [`SweepSpec`]s:
+//!
+//! ```no_run
+//! use qadaptive::prelude::*;
+//!
+//! let sweep = SweepSpec::paper_lineup(
+//!     DragonflyConfig::paper_1056(),
+//!     TrafficSpec::Adversarial { shift: 1 },
+//!     vec![0.1, 0.2, 0.3, 0.4, 0.5],
+//!     120_000,
+//!     40_000,
+//! );
+//! let result = sweep.run_parallel(0); // one worker per CPU
+//! println!("{}", result.to_csv());
 //! ```
 
 pub use dragonfly_engine as engine;
@@ -54,6 +100,7 @@ pub mod prelude {
     pub use dragonfly_metrics::report::SimulationReport;
     pub use dragonfly_routing::RoutingSpec;
     pub use dragonfly_sim::builder::SimulationBuilder;
+    pub use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
     pub use dragonfly_sim::sweep::{LoadSweep, SweepResult};
     pub use dragonfly_topology::config::DragonflyConfig;
     pub use dragonfly_topology::Dragonfly;

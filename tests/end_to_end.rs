@@ -49,7 +49,14 @@ fn every_algorithm_delivers_uniform_traffic() {
 
 #[test]
 fn minimal_routing_is_optimal_under_light_uniform_traffic() {
-    let min = run(RoutingSpec::Minimal, TrafficSpec::UniformRandom, 0.2, 20_000, 30_000, 5);
+    let min = run(
+        RoutingSpec::Minimal,
+        TrafficSpec::UniformRandom,
+        0.2,
+        20_000,
+        30_000,
+        5,
+    );
     let valn = run(
         RoutingSpec::ValiantNode,
         TrafficSpec::UniformRandom,
@@ -120,7 +127,14 @@ fn qadaptive_beats_minimal_under_adversarial_traffic() {
 
 #[test]
 fn qadaptive_stays_near_minimal_under_uniform_traffic() {
-    let min = run(RoutingSpec::Minimal, TrafficSpec::UniformRandom, 0.4, 40_000, 40_000, 13);
+    let min = run(
+        RoutingSpec::Minimal,
+        TrafficSpec::UniformRandom,
+        0.4,
+        40_000,
+        40_000,
+        13,
+    );
     let qadp = run(
         RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
         TrafficSpec::UniformRandom,
@@ -171,8 +185,22 @@ fn throughput_never_exceeds_offered_load() {
 
 #[test]
 fn reports_are_reproducible_across_identical_runs() {
-    let a = run(RoutingSpec::Par, TrafficSpec::Adversarial { shift: 2 }, 0.3, 20_000, 20_000, 23);
-    let b = run(RoutingSpec::Par, TrafficSpec::Adversarial { shift: 2 }, 0.3, 20_000, 20_000, 23);
+    let a = run(
+        RoutingSpec::Par,
+        TrafficSpec::Adversarial { shift: 2 },
+        0.3,
+        20_000,
+        20_000,
+        23,
+    );
+    let b = run(
+        RoutingSpec::Par,
+        TrafficSpec::Adversarial { shift: 2 },
+        0.3,
+        20_000,
+        20_000,
+        23,
+    );
     assert_eq!(a.packets_delivered, b.packets_delivered);
     assert_eq!(a.mean_latency_us, b.mean_latency_us);
     assert_eq!(a.p99_latency_us, b.p99_latency_us);

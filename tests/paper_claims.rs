@@ -10,12 +10,28 @@ use qadaptive::topology::Dragonfly;
 fn table1_configurations_match_the_paper() {
     let c1 = DragonflyConfig::paper_1056();
     assert_eq!(
-        (c1.p, c1.a, c1.h, c1.radix(), c1.groups(), c1.routers(), c1.nodes()),
+        (
+            c1.p,
+            c1.a,
+            c1.h,
+            c1.radix(),
+            c1.groups(),
+            c1.routers(),
+            c1.nodes()
+        ),
         (4, 8, 4, 15, 33, 264, 1056)
     );
     let c2 = DragonflyConfig::paper_2550();
     assert_eq!(
-        (c2.p, c2.a, c2.h, c2.radix(), c2.groups(), c2.routers(), c2.nodes()),
+        (
+            c2.p,
+            c2.a,
+            c2.h,
+            c2.radix(),
+            c2.groups(),
+            c2.routers(),
+            c2.nodes()
+        ),
         (5, 10, 5, 19, 51, 510, 2550)
     );
 }

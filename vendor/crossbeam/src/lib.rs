@@ -1,0 +1,62 @@
+//! Vendored stand-in for `crossbeam::scope`, implemented on top of
+//! `std::thread::scope` (stabilised long after crossbeam introduced the
+//! pattern). Only the API surface this workspace uses is provided.
+
+use std::any::Any;
+
+/// Handle allowing spawns inside a [`scope`] (mirrors
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again so it
+    /// can spawn nested work, exactly like crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope in which spawned threads may borrow non-`'static` data.
+/// All threads are joined before this returns; panics in workers surface as
+/// a panic here, so the `Ok` branch is the only one ever observed (kept as
+/// a `Result` for crossbeam signature compatibility).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_can_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn result_value_propagates() {
+        let x = scope(|s| s.spawn(|_| 21).join().unwrap() * 2).unwrap();
+        assert_eq!(x, 42);
+    }
+}

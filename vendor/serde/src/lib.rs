@@ -1,0 +1,340 @@
+//! Vendored, dependency-free stand-in for the parts of `serde` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so instead of the real
+//! serde (trait + proc-macro + per-format crates) we ship a small
+//! self-describing data model: a [`Value`] tree plus [`Serialize`] /
+//! [`Deserialize`] traits that convert to and from it. The companion
+//! `serde_derive` proc-macro generates impls for plain structs (named or
+//! newtype), and enums with unit / newtype / struct variants — exactly the
+//! shapes appearing in this workspace — honouring `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes.
+//!
+//! The encoding mirrors serde's externally-tagged defaults so scenario
+//! files look identical to what the real serde would read:
+//!
+//! * unit variant          → `"Minimal"`
+//! * newtype variant       → `{ "QAdaptive": { ... } }`
+//! * struct variant        → `{ "Adversarial": { "shift": 1 } }`
+//! * newtype struct        → the inner value (transparent)
+//! * `Option::None`        → null / absent field
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Self-describing value tree (the mini data model shared by the JSON and
+/// TOML front-ends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (wide enough for every integer type used in the workspace).
+    Int(i128),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// (De)serialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Create an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialisation into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialisation from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// A `Value` is trivially its own wire representation, so raw trees can be
+/// passed anywhere a `Serialize`/`Deserialize` type is expected.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!(
+                            "integer {i} out of range for {}", stringify!($t)))),
+                    // Accept floats with an exact integral value (TOML users
+                    // may write `seed = 1.0`).
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => {
+                        <$t>::try_from(*f as i128).map_err(|_| Error::msg(format!(
+                            "float {f} out of range for {}", stringify!($t))))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i128)
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) if *i >= 0 => Ok(*i as u128),
+            other => Err(Error::msg(format!(
+                "expected non-negative integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::msg(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::msg(format!(
+                        "expected number, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$(stringify!($n)),+].len();
+                        if items.len() != expected {
+                            return Err(Error::msg(format!(
+                                "expected a {expected}-tuple, found {} items",
+                                items.len())));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected sequence (tuple), found {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<(u64, f64)> = vec![(0, 0.5), (10, 0.9)];
+        assert_eq!(Vec::<(u64, f64)>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_name_the_shapes() {
+        let err = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected integer"));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

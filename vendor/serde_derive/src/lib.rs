@@ -1,0 +1,452 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's mini-serde (see `vendor/serde`).
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote`, which are not
+//! available offline). Supports exactly the shapes used in this repository:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! * newtype structs (`struct Port(pub u16)`) — serialised transparently,
+//! * enums with unit, newtype and struct variants, encoded the way real
+//!   serde encodes externally-tagged enums.
+//!
+//! Anything else (generics, unions, multi-field tuple structs) is rejected
+//! with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Newtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Flags carried by `#[serde(...)]` helper attributes.
+#[derive(Default, Clone, Copy)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip any leading attributes, folding `#[serde(...)]` flags into the
+    /// returned set.
+    fn skip_attributes(&mut self) -> SerdeFlags {
+        let mut flags = SerdeFlags::default();
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return flags;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for tok in args.stream() {
+                                if let TokenTree::Ident(flag) = tok {
+                                    match flag.to_string().as_str() {
+                                        "skip" => flags.skip = true,
+                                        "default" => flags.default = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        let is_pub = matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+        if is_pub {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skip the tokens of one type, stopping before a top-level `,` (angle
+    /// brackets tracked manually; (), [] and {} arrive as whole groups).
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Struct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut inner = Cursor::new(g.stream());
+                inner.skip_attributes();
+                inner.skip_visibility();
+                inner.skip_type();
+                if !inner.at_end() {
+                    return Err(format!(
+                        "tuple struct `{name}` has more than one field; only newtypes are supported"
+                    ));
+                }
+                Ok(Input::Newtype { name })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other} {name}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let flags = c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        c.skip_type();
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+        });
+        // Consume the trailing comma, if any.
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            c.pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let variant = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut inner = Cursor::new(g.stream());
+                inner.skip_type();
+                if !inner.at_end() {
+                    return Err(format!(
+                        "variant `{name}` has multiple tuple fields; only newtype variants are supported"
+                    ));
+                }
+                c.pos += 1;
+                Variant::Newtype(name)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            c.pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Newtype(vn) => arms.push_str(&format!(
+                        "{name}::{vn}(inner) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_value(inner))]),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push(({n:?}.to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(inner))])\n\
+                             }},\n",
+                            b = bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Expression deserialising field `f` of `owner` out of map value `src`.
+fn field_expr(owner: &str, src: &str, f: &Field) -> String {
+    if f.skip {
+        return format!("{n}: ::core::default::Default::default(),\n", n = f.name);
+    }
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        // Absent fields deserialise from Null so `Option` fields become
+        // `None` (mirroring serde); everything else reports a clear error.
+        format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::Error(format!(\"{owner}: missing field `{n}`\")))?",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match {src}.get({n:?}) {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x).map_err(|e| \
+                 ::serde::Error(format!(\"{owner}.{n}: {{}}\", e.0)))?,\n\
+             None => {missing},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body: String = fields.iter().map(|f| field_expr(name, "v", f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Map(_) => Ok(Self {{\n{body}}}),\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"{name}: expected map, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok(Self(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        str_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                        map_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    Variant::Newtype(vn) => map_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| ::serde::Error(format!(\"{name}::{vn}: {{}}\", e.0)))?)),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let owner = format!("{name}::{vn}");
+                        let body: String = fields
+                            .iter()
+                            .map(|f| field_expr(&owner, "inner", f))
+                            .collect();
+                        map_arms.push_str(&format!("{vn:?} => Ok({name}::{vn} {{\n{body}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {str_arms}\
+                                 other => Err(::serde::Error(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {map_arms}\
+                                     other => Err(::serde::Error(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"{name}: expected variant string or single-key map, found {{}}\",\n\
+                                 other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Vendored minimal JSON reader/writer over the mini-serde [`Value`] model
+//! (see `vendor/serde`). Supports the full JSON grammar except exotic
+//! number forms; maps preserve key order.
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serialise a value to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise a value to human-readable, indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any deserialisable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_value(s)?)
+}
+
+/// Parse a JSON string into a raw [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_items(out, items.iter(), indent, level, ('[', ']'), |o, x, l| {
+                write_value(o, x, indent, l)
+            })
+        }
+        Value::Map(entries) => write_items(
+            out,
+            entries.iter(),
+            indent,
+            level,
+            ('{', '}'),
+            |o, (k, x), l| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, l);
+            },
+        ),
+    }
+}
+
+fn write_items<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_one: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_one(out, item, level + 1);
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // Keep floats recognisable as floats on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(Error::msg)?,
+                                16,
+                            )
+                            .map_err(Error::msg)?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(Error::msg)?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::msg)?;
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(Error::msg)
+        } else {
+            text.parse::<i128>().map(Value::Int).map_err(Error::msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_value() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("fig5".into())),
+            (
+                "loads".into(),
+                Value::Seq(vec![Value::Float(0.1), Value::Float(0.5)]),
+            ),
+            ("seed".into(), Value::Int(7)),
+            ("quick".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            write_value(&mut s, &v, None, 0);
+            s
+        };
+        assert_eq!(parse_value(&compact).unwrap(), v);
+        let pretty = {
+            let mut s = String::new();
+            write_value(&mut s, &v, Some(2), 0);
+            s
+        };
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Value::Str("a\"b\\c\nd\tμ".into());
+        let mut s = String::new();
+        write_value(&mut s, &v, None, 0);
+        assert_eq!(parse_value(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("12 34").is_err());
+    }
+}

@@ -1,0 +1,662 @@
+//! Vendored minimal TOML reader/writer over the mini-serde [`Value`] model
+//! (see `vendor/serde`).
+//!
+//! Supported TOML subset — everything the scenario files and specs need:
+//!
+//! * `key = value` pairs with bare or `"quoted"` keys,
+//! * basic strings with escapes, literal `'...'` strings,
+//! * integers, floats, booleans,
+//! * (possibly multi-line, mixed-type, nested) arrays,
+//! * inline tables `{ a = 1, b = "x" }`,
+//! * `[section]` / `[nested.section]` headers,
+//! * comments.
+//!
+//! Not supported (not used by this workspace): dates/times, `[[array of
+//! tables]]` headers, dotted keys on the left-hand side of assignments.
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serialise a value (whose tree must be map-rooted) to TOML.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    match value.to_value() {
+        Value::Map(entries) => {
+            let mut out = String::new();
+            write_table(&mut out, &entries, &mut Vec::new())?;
+            Ok(out)
+        }
+        other => Err(Error::msg(format!(
+            "TOML documents must be maps at the top level, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Parse a TOML document into any deserialisable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_value(s)?)
+}
+
+/// Parse a TOML document into a raw [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .document()
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Write one table: scalar/array keys first, then sub-tables as
+/// `[dotted.path]` sections (TOML requires this order).
+fn write_table(
+    out: &mut String,
+    entries: &[(String, Value)],
+    path: &mut Vec<String>,
+) -> Result<(), Error> {
+    for (key, value) in entries {
+        match value {
+            Value::Null => {}
+            Value::Map(_) => {}
+            other => {
+                out.push_str(&format!("{} = ", format_key(key)));
+                write_inline(out, other)?;
+                out.push('\n');
+            }
+        }
+    }
+    for (key, value) in entries {
+        if let Value::Map(inner) = value {
+            path.push(key.clone());
+            // A header like `[routing]` is only needed when the table has
+            // direct (non-table) entries or no sub-tables at all; a pure
+            // wrapper such as an enum tag is implied by `[routing.Variant]`.
+            let has_scalars = inner
+                .iter()
+                .any(|(_, v)| !matches!(v, Value::Map(_) | Value::Null));
+            let has_subtables = inner.iter().any(|(_, v)| matches!(v, Value::Map(_)));
+            if has_scalars || !has_subtables {
+                out.push('\n');
+                out.push_str(&format!(
+                    "[{}]\n",
+                    path.iter()
+                        .map(|k| format_key(k))
+                        .collect::<Vec<_>>()
+                        .join(".")
+                ));
+            }
+            write_table(out, inner, path)?;
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn format_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        escape_basic_string(key)
+    }
+}
+
+/// Render a TOML basic string (Rust's `{:?}` is close but emits `\u{N}`
+/// escapes TOML cannot parse; TOML wants fixed-width `\uXXXX`).
+fn escape_basic_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_inline(out: &mut String, v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Null => return Err(Error::msg("TOML cannot represent null values")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                out.push_str(if f.is_nan() {
+                    "nan"
+                } else if *f > 0.0 {
+                    "inf"
+                } else {
+                    "-inf"
+                });
+            } else {
+                let s = f.to_string();
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            }
+        }
+        Value::Str(s) => out.push_str(&escape_basic_string(s)),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            let mut first = true;
+            for (k, val) in entries {
+                if matches!(val, Value::Null) {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("{} = ", format_key(k)));
+                write_inline(out, val)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl std::fmt::Display) -> Error {
+        Error::msg(format!("TOML line {}: {}", self.line, msg))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    /// Skip spaces/tabs and comments, not newlines.
+    fn skip_inline_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'#' => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip all whitespace including newlines and comments.
+    fn skip_all_ws(&mut self) {
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some(b'\n') {
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<Value, Error> {
+        let mut root: Vec<(String, Value)> = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        loop {
+            self.skip_all_ws();
+            match self.peek() {
+                None => return Ok(Value::Map(root)),
+                Some(b'[') => {
+                    self.bump();
+                    if self.peek() == Some(b'[') {
+                        return Err(self.err("[[array of tables]] headers are not supported"));
+                    }
+                    path = self.key_path()?;
+                    self.skip_inline_ws();
+                    if self.bump() != Some(b']') {
+                        return Err(self.err("expected `]` closing a table header"));
+                    }
+                    // Ensure the table exists even if it stays empty.
+                    table_at(&mut root, &path, self.line)?;
+                }
+                Some(_) => {
+                    let keys = self.key_path()?;
+                    self.skip_inline_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.err("expected `=` after key"));
+                    }
+                    self.skip_inline_ws();
+                    let value = self.value()?;
+                    self.skip_inline_ws();
+                    if !matches!(self.peek(), None | Some(b'\n')) {
+                        return Err(self.err("unexpected characters after value"));
+                    }
+                    let mut full = path.clone();
+                    full.extend(keys.iter().take(keys.len() - 1).cloned());
+                    let table = table_at(&mut root, &full, self.line)?;
+                    let key = keys.last().unwrap().clone();
+                    if table.iter().any(|(k, _)| *k == key) {
+                        return Err(Error::msg(format!("duplicate key `{key}`")));
+                    }
+                    table.push((key, value));
+                }
+            }
+        }
+    }
+
+    /// A dotted key path (`a`, `a.b`, `"quoted".b`).
+    fn key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut keys = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            keys.push(self.key()?);
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.bump();
+            } else {
+                return Ok(keys);
+            }
+        }
+    }
+
+    fn key(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b'\'') => self.literal_string(),
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| self.err(e))?
+                    .to_string())
+            }
+            _ => Err(self.err("expected a key")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => self.basic_string().map(Value::Str),
+            Some(b'\'') => self.literal_string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') | Some(b'i') | Some(b'n') => self.keyword(),
+            Some(b) if b == b'+' || b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn keyword(&mut self) -> Result<Value, Error> {
+        for (word, value) in [
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("inf", Value::Float(f64::INFINITY)),
+            ("nan", Value::Float(f64::NAN)),
+        ] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(value);
+            }
+        }
+        Err(self.err("invalid literal"))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.bump(); // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_all_ws();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_all_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {}
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, Error> {
+        self.bump(); // {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_inline_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_inline_ws();
+            let keys = self.key_path()?;
+            self.skip_inline_ws();
+            if self.bump() != Some(b'=') {
+                return Err(self.err("expected `=` in inline table"));
+            }
+            self.skip_inline_ws();
+            let value = self.value()?;
+            let table = table_at(&mut entries, &keys[..keys.len() - 1], self.line)?;
+            table.push((keys.last().unwrap().clone(), value));
+            self.skip_inline_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Map(entries)),
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, Error> {
+        self.bump(); // "
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') | Some(b'U') => {
+                        let len = if self.bytes[self.pos - 1] == b'u' {
+                            4
+                        } else {
+                            8
+                        };
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + len)
+                            .ok_or_else(|| self.err("truncated unicode escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| self.err(e))?,
+                            16,
+                        )
+                        .map_err(|e| self.err(e))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        self.pos += len;
+                    }
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 scalar.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| self.err(e))?);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn literal_string(&mut self) -> Result<String, Error> {
+        self.bump(); // '
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\'' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| self.err(e))?
+                    .to_string();
+                self.bump();
+                return Ok(s);
+            }
+            if b == b'\n' {
+                return Err(self.err("unterminated literal string"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated literal string"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+        }
+        if self.bytes[self.pos..].starts_with(b"inf") {
+            self.pos += 3;
+            let sign = if self.bytes[start] == b'-' { -1.0 } else { 1.0 };
+            return Ok(Value::Float(sign * f64::INFINITY));
+        }
+        if self.bytes[self.pos..].starts_with(b"nan") {
+            self.pos += 3;
+            return Ok(Value::Float(f64::NAN));
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| self.err(e))?
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(e))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| self.err(e))
+        }
+    }
+}
+
+/// Navigate (creating as needed) to the table at `path` under `root`.
+fn table_at<'t>(
+    root: &'t mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'t mut Vec<(String, Value)>, Error> {
+    let mut current = root;
+    for key in path {
+        if !current.iter().any(|(k, _)| k == key) {
+            current.push((key.clone(), Value::Map(Vec::new())));
+        }
+        let index = current.iter().position(|(k, _)| k == key).unwrap();
+        match &mut current[index].1 {
+            Value::Map(inner) => current = inner,
+            other => {
+                return Err(Error::msg(format!(
+                    "TOML line {line}: key `{key}` is a {}, not a table",
+                    other.kind()
+                )))
+            }
+        }
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = r#"
+# experiment
+name = "adv-sweep"
+loads = [0.1, 0.2, 0.45]
+seeds = [1, 2, 3]
+quick = true
+
+[topology]
+p = 4
+a = 8
+h = 4
+
+[routing.QAdaptive]
+alpha = 0.2
+"#;
+        let v = parse_value(doc).unwrap();
+        assert_eq!(v.get("name"), Some(&Value::Str("adv-sweep".into())));
+        assert_eq!(
+            v.get("loads"),
+            Some(&Value::Seq(vec![
+                Value::Float(0.1),
+                Value::Float(0.2),
+                Value::Float(0.45)
+            ]))
+        );
+        assert_eq!(v.get("topology").unwrap().get("a"), Some(&Value::Int(8)));
+        assert_eq!(
+            v.get("routing")
+                .unwrap()
+                .get("QAdaptive")
+                .unwrap()
+                .get("alpha"),
+            Some(&Value::Float(0.2))
+        );
+    }
+
+    #[test]
+    fn inline_tables_and_multiline_arrays() {
+        let doc = "routing = { Adversarial = { shift = 4 } }\nsegments = [\n  [0, 0.4],\n  [200000, 0.8], # step\n]\n";
+        let v = parse_value(doc).unwrap();
+        assert_eq!(
+            v.get("routing")
+                .unwrap()
+                .get("Adversarial")
+                .unwrap()
+                .get("shift"),
+            Some(&Value::Int(4))
+        );
+        match v.get("segments").unwrap() {
+            Value::Seq(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_output_reparses_to_the_same_tree() {
+        // Keys are listed in the order the writer emits them (scalars and
+        // arrays before sub-tables); typed deserialisation looks fields up
+        // by name, so this reordering is invisible to round-trips.
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("x".into())),
+            (
+                "loads".into(),
+                Value::Seq(vec![Value::Float(0.5), Value::Int(1)]),
+            ),
+            (
+                "inline".into(),
+                Value::Seq(vec![Value::Map(vec![("k".into(), Value::Int(3))])]),
+            ),
+            (
+                "routing".into(),
+                Value::Map(vec![(
+                    "QAdaptive".into(),
+                    Value::Map(vec![("alpha".into(), Value::Float(0.2))]),
+                )]),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string(&Raw(v.clone())).unwrap();
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn control_characters_round_trip_as_toml_escapes() {
+        let original = Value::Map(vec![(
+            "name".into(),
+            Value::Str("bell\u{7} tab\t quote\" back\\slash μ".into()),
+        )]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string(&Raw(original.clone())).unwrap();
+        assert!(text.contains("\\u0007"), "got: {text}");
+        assert_eq!(parse_value(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse_value("[[points]]\nx = 1\n").is_err());
+        assert!(parse_value("a = 1\na = 2\n").is_err());
+    }
+}
