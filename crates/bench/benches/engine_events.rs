@@ -1,28 +1,35 @@
 //! Criterion benchmark of raw simulator throughput: simulated events per
 //! second for a short uniform-random run on the 1,056-node system under
-//! minimal routing (the cheapest agent, so this measures the engine itself).
+//! minimal routing (the cheapest agent, so this measures the engine
+//! itself), with an A/B comparison of the two event schedulers.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dragonfly_bench::smoke::{smoke_workload, QUICK_MEASURE_NS};
+use dragonfly_engine::config::SchedulerKind;
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::builder::SimulationBuilder;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::TrafficSpec;
 
+fn run_1056(scheduler: SchedulerKind, measure_ns: u64) -> u64 {
+    // The same canonical workload the `qadaptive-cli bench` smoke
+    // benchmark measures, so criterion numbers and BENCH_PR2.json agree.
+    smoke_workload(scheduler, measure_ns, 1)
+        .run()
+        .events_processed
+}
+
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/simulated_events");
     group.sample_size(10);
-    group.bench_function("min_ur_0.3_10us_1056", |b| {
-        b.iter(|| {
-            let report = SimulationBuilder::new(DragonflyConfig::paper_1056())
-                .routing(RoutingSpec::Minimal)
-                .traffic(TrafficSpec::UniformRandom)
-                .offered_load(0.3)
-                .warmup_ns(0)
-                .measure_ns(10_000)
-                .seed(1)
-                .run();
-            black_box(report.events_processed)
-        })
+    // The scheduler A/B pair: identical workload and (deterministically)
+    // identical event order, so the wall-clock difference is purely the
+    // calendar queue vs the binary heap.
+    group.bench_function("min_ur_0.3_10us_1056_calendar", |b| {
+        b.iter(|| black_box(run_1056(SchedulerKind::Calendar, QUICK_MEASURE_NS)))
+    });
+    group.bench_function("min_ur_0.3_10us_1056_heap", |b| {
+        b.iter(|| black_box(run_1056(SchedulerKind::BinaryHeap, QUICK_MEASURE_NS)))
     });
     group.bench_function("qadp_ur_0.3_10us_tiny", |b| {
         b.iter(|| {

@@ -29,6 +29,8 @@
 
 pub mod figures;
 pub mod harness;
+pub mod smoke;
 
 pub use figures::{run_figure, FigurePlan, FigureResult};
 pub use harness::{BenchArgs, RunMode};
+pub use smoke::{check_against_baseline, run_smoke, SmokeBench};

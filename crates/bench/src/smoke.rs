@@ -1,0 +1,236 @@
+//! The fixed engine-throughput smoke benchmark behind `qadaptive-cli
+//! bench` and the CI perf-regression gate.
+//!
+//! One canonical workload — uniform-random traffic at 30 % load on the
+//! paper's 1,056-node system under minimal routing (the cheapest agent, so
+//! the engine itself dominates) — is run once per scheduler
+//! implementation. The result records simulated events per wall-clock
+//! second for both, and is written to `BENCH_PR2.json` at the repository
+//! root so later PRs have a perf trajectory to compare against.
+
+use dragonfly_engine::config::{EngineConfig, SchedulerKind};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use serde::{Deserialize, Serialize};
+
+/// Throughput measurement of one scheduler on the smoke workload.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SchedulerBench {
+    /// Simulated events processed per wall-clock second (best of the
+    /// measured iterations).
+    pub events_per_sec: f64,
+    /// Wall-clock seconds of the fastest iteration.
+    pub wall_s: f64,
+    /// Simulated events processed by one run of the workload.
+    pub events: u64,
+}
+
+/// The full smoke-benchmark record (the `BENCH_PR2.json` schema).
+///
+/// The top-level `events_per_sec` / `wall_s` / `events` fields describe the
+/// shipping (calendar) scheduler; `binary_heap` keeps the A/B comparison
+/// point and `speedup` their ratio.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SmokeBench {
+    /// Workload identifier.
+    pub workload: String,
+    /// Number of compute nodes in the topology.
+    pub nodes: usize,
+    /// Measurement window in simulated ns.
+    pub measure_ns: u64,
+    /// Events processed by the calendar-scheduler run.
+    pub events: u64,
+    /// Calendar-scheduler events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Calendar-scheduler wall-clock seconds.
+    pub wall_s: f64,
+    /// Detailed calendar-scheduler measurement.
+    pub calendar: SchedulerBench,
+    /// Detailed binary-heap measurement (the pre-calendar baseline).
+    pub binary_heap: SchedulerBench,
+    /// `calendar.events_per_sec / binary_heap.events_per_sec`.
+    pub speedup: f64,
+}
+
+/// Quick-mode measurement window (simulated ns) — also used by the
+/// `engine_events` criterion bench so its A/B numbers measure the exact
+/// workload recorded in `BENCH_PR2.json`.
+pub const QUICK_MEASURE_NS: u64 = 10_000;
+
+/// Full-mode measurement window (simulated ns).
+pub const FULL_MEASURE_NS: u64 = 50_000;
+
+/// Simulated time of the measurement window (ns).
+fn measure_ns(quick: bool) -> u64 {
+    if quick {
+        QUICK_MEASURE_NS
+    } else {
+        FULL_MEASURE_NS
+    }
+}
+
+/// The canonical smoke workload, shared by [`run_smoke`] and the
+/// `engine_events` criterion bench so both always measure the same thing:
+/// uniform-random traffic at 30 % load on the 1,056-node system under
+/// minimal routing (the cheapest agent, so the engine itself dominates).
+pub fn smoke_workload(scheduler: SchedulerKind, measure_ns: u64, seed: u64) -> SimulationBuilder {
+    let cfg = EngineConfig {
+        scheduler,
+        ..EngineConfig::default()
+    };
+    SimulationBuilder::new(DragonflyConfig::paper_1056())
+        .routing(RoutingSpec::Minimal)
+        .traffic(TrafficSpec::UniformRandom)
+        .offered_load(0.3)
+        .warmup_ns(0)
+        .measure_ns(measure_ns)
+        .seed(seed)
+        .engine_config(cfg)
+}
+
+fn run_one(
+    scheduler: SchedulerKind,
+    measure_ns: u64,
+    seed: u64,
+    iterations: u32,
+) -> SchedulerBench {
+    let mut best = SchedulerBench::default();
+    for _ in 0..iterations.max(1) {
+        let report = smoke_workload(scheduler, measure_ns, seed).run();
+        let rate = report.events_processed as f64 / report.wall_seconds.max(1e-9);
+        if rate > best.events_per_sec {
+            best = SchedulerBench {
+                events_per_sec: rate,
+                wall_s: report.wall_seconds,
+                events: report.events_processed,
+            };
+        }
+    }
+    best
+}
+
+/// Run the smoke workload under both schedulers.
+pub fn run_smoke(quick: bool, seed: u64) -> SmokeBench {
+    let measure_ns = measure_ns(quick);
+    let iterations = if quick { 2 } else { 3 };
+    let calendar = run_one(SchedulerKind::Calendar, measure_ns, seed, iterations);
+    let binary_heap = run_one(SchedulerKind::BinaryHeap, measure_ns, seed, iterations);
+    SmokeBench {
+        workload: "min_ur_0.3_1056".to_string(),
+        nodes: DragonflyConfig::paper_1056().nodes(),
+        measure_ns,
+        events: calendar.events,
+        events_per_sec: calendar.events_per_sec,
+        wall_s: calendar.wall_s,
+        calendar,
+        binary_heap,
+        speedup: calendar.events_per_sec / binary_heap.events_per_sec.max(1e-9),
+    }
+}
+
+/// Compare a fresh run against a committed baseline: fail when the
+/// calendar events/sec dropped more than `tolerance` (a fraction, e.g.
+/// 0.3 = 30 %) below the baseline. The threshold is deliberately loose so
+/// shared/noisy CI runners do not produce flaky failures.
+///
+/// The absolute rate depends on the machine that recorded the baseline, so
+/// a slower runner gets a second, machine-independent chance: if the
+/// calendar-over-heap speedup — a ratio of two runs on the *same* machine —
+/// held up within the same tolerance, the overall slowness is hardware,
+/// not a code regression, and the check passes.
+pub fn check_against_baseline(
+    current: &SmokeBench,
+    baseline: &SmokeBench,
+    tolerance: f64,
+) -> Result<String, String> {
+    // Refuse to compare incomparable runs (e.g. a --full baseline against
+    // a --quick CI run): both fields are recorded in the JSON.
+    if current.workload != baseline.workload || current.measure_ns != baseline.measure_ns {
+        return Err(format!(
+            "baseline mismatch: current run is {} over {} ns but the baseline records {} over \
+             {} ns — regenerate the baseline with the same bench mode",
+            current.workload, current.measure_ns, baseline.workload, baseline.measure_ns
+        ));
+    }
+    let floor = baseline.events_per_sec * (1.0 - tolerance);
+    let verdict = format!(
+        "current {:.0} events/s vs baseline {:.0} events/s (floor {:.0}, speedup over heap {:.2}x)",
+        current.events_per_sec, baseline.events_per_sec, floor, current.speedup
+    );
+    if current.events_per_sec >= floor {
+        return Ok(verdict);
+    }
+    let speedup_floor = baseline.speedup * (1.0 - tolerance);
+    if baseline.speedup > 0.0 && current.speedup >= speedup_floor {
+        return Ok(format!(
+            "{verdict}; absolute rate below floor but the machine-independent \
+             speedup ratio held ({:.2}x vs baseline {:.2}x) — slower hardware, \
+             not a code regression",
+            current.speedup, baseline.speedup
+        ));
+    }
+    Err(format!("events/sec regression: {verdict}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(rate: f64) -> SmokeBench {
+        SmokeBench {
+            events_per_sec: rate,
+            ..SmokeBench::default()
+        }
+    }
+
+    #[test]
+    fn baseline_check_applies_tolerance() {
+        let baseline = bench(1_000_000.0);
+        assert!(check_against_baseline(&bench(1_000_000.0), &baseline, 0.3).is_ok());
+        assert!(check_against_baseline(&bench(750_000.0), &baseline, 0.3).is_ok());
+        assert!(check_against_baseline(&bench(650_000.0), &baseline, 0.3).is_err());
+        assert!(check_against_baseline(&bench(1_500_000.0), &baseline, 0.3).is_ok());
+    }
+
+    #[test]
+    fn baseline_check_rejects_mismatched_workloads() {
+        let current = bench(1_000_000.0);
+        let mut other_window = bench(1_000_000.0);
+        other_window.measure_ns = 50_000;
+        let err = check_against_baseline(&current, &other_window, 0.3).unwrap_err();
+        assert!(err.contains("baseline mismatch"), "{err}");
+        let mut other_workload = bench(1_000_000.0);
+        other_workload.workload = "something_else".to_string();
+        assert!(check_against_baseline(&current, &other_workload, 0.3).is_err());
+    }
+
+    #[test]
+    fn baseline_check_falls_back_to_the_speedup_ratio() {
+        let mut baseline = bench(1_000_000.0);
+        baseline.speedup = 1.6;
+        // Way below the absolute floor, but the calendar-vs-heap ratio on
+        // the (slower) current machine held: hardware, not a regression.
+        let mut slow_machine = bench(400_000.0);
+        slow_machine.speedup = 1.55;
+        assert!(check_against_baseline(&slow_machine, &baseline, 0.3).is_ok());
+        // Both the absolute rate and the ratio collapsed: real regression.
+        let mut regressed = bench(400_000.0);
+        regressed.speedup = 1.0;
+        assert!(check_against_baseline(&regressed, &baseline, 0.3).is_err());
+    }
+
+    #[test]
+    fn smoke_bench_serialises_round_trip() {
+        let mut b = bench(123.0);
+        b.workload = "min_ur_0.3_1056".to_string();
+        b.speedup = 1.7;
+        b.calendar.events = 42;
+        let json = serde_json::to_string_pretty(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload, b.workload);
+        assert_eq!(back.calendar.events, 42);
+        assert!((back.speedup - 1.7).abs() < 1e-12);
+    }
+}

@@ -33,6 +33,8 @@ struct CommonFlags {
     out: Option<String>,
     quick_full: Option<bool>, // Some(false) = --quick, Some(true) = --full
     seed: Option<u64>,
+    baseline: Option<String>,
+    tolerance_pct: Option<f64>,
     positional: Vec<String>,
 }
 
@@ -43,6 +45,8 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
         out: None,
         quick_full: None,
         seed: None,
+        baseline: None,
+        tolerance_pct: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -58,6 +62,14 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
                     next_value(args, &mut i, "--seed")?
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--baseline" => flags.baseline = Some(next_value(args, &mut i, "--baseline")?),
+            "--tolerance-pct" => {
+                flags.tolerance_pct = Some(
+                    next_value(args, &mut i, "--tolerance-pct")?
+                        .parse()
+                        .map_err(|e| format!("--tolerance-pct: {e}"))?,
                 );
             }
             "--format" => {
@@ -112,6 +124,10 @@ fn usage() -> String {
          \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
          \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
+         \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--out BENCH.json]\n\
+         \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30]\n\
+         \u{20}                        (1,056-node engine smoke benchmark: calendar vs binary-heap\n\
+         \u{20}                         scheduler; --baseline fails on an events/sec regression)\n\
          \n\
          FIGURE IDS: {}\n\
          \n\
@@ -126,7 +142,17 @@ fn usage() -> String {
 fn reject_mode_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
     if flags.quick_full.is_some() {
         return Err(format!(
-            "--quick/--full only apply to `figure`; `{command}` takes its windows from the spec file"
+            "--quick/--full only apply to `figure` and `bench`; `{command}` takes its windows from the spec file"
+        ));
+    }
+    reject_bench_flags(flags, command)
+}
+
+/// `--baseline`/`--tolerance-pct` only make sense for `bench`.
+fn reject_bench_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
+    if flags.baseline.is_some() || flags.tolerance_pct.is_some() {
+        return Err(format!(
+            "--baseline/--tolerance-pct only apply to `bench`, not `{command}`"
         ));
     }
     Ok(())
@@ -156,6 +182,12 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     }
     eprintln!("running: {}", spec.label());
     let report = spec.run();
+    eprintln!(
+        "perf: {} events in {:.3} s wall ({:.2} M events/s)",
+        report.events_processed,
+        report.wall_seconds,
+        report.events_processed as f64 / report.wall_seconds.max(1e-9) / 1e6
+    );
     match flags.format {
         Format::Text => emit(flags, &report.summary()),
         Format::Csv => emit(
@@ -199,6 +231,16 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
         sweep.len()
     );
     let result = sweep.run_parallel(flags.threads);
+    let (total_events, total_wall): (u64, f64) =
+        result.reports.iter().fold((0, 0.0), |(e, w), r| {
+            (e + r.events_processed, w + r.wall_seconds)
+        });
+    eprintln!(
+        "perf: {} events in {:.3} s simulation wall time ({:.2} M events/s per worker)",
+        total_events,
+        total_wall,
+        total_events as f64 / total_wall.max(1e-9) / 1e6
+    );
     match flags.format {
         Format::Text => {
             let rows: Vec<Vec<String>> = result
@@ -216,31 +258,138 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
                     ]
                 })
                 .collect();
-            emit(
-                flags,
-                &markdown_table(
+            let mut text = markdown_table(
+                &[
+                    "routing",
+                    "traffic",
+                    "load",
+                    "throughput",
+                    "mean (us)",
+                    "p99 (us)",
+                    "hops",
+                ],
+                &rows,
+            );
+            if result.has_repetitions() {
+                let aggregated = result.aggregated();
+                let agg_rows: Vec<Vec<String>> = aggregated
+                    .iter()
+                    .map(|a| {
+                        vec![
+                            a.routing.clone(),
+                            a.traffic.clone(),
+                            format!("{:.2}", a.offered_load),
+                            a.runs.to_string(),
+                            a.throughput.display(),
+                            a.mean_latency_us.display(),
+                            a.p99_latency_us.display(),
+                        ]
+                    })
+                    .collect();
+                text.push_str("\n\naggregated over repeated seeds (mean ± std error):\n");
+                text.push_str(&markdown_table(
                     &[
                         "routing",
                         "traffic",
                         "load",
+                        "runs",
                         "throughput",
                         "mean (us)",
                         "p99 (us)",
-                        "hops",
                     ],
-                    &rows,
-                ),
-            )
+                    &agg_rows,
+                ));
+            }
+            emit(flags, &text)
         }
-        Format::Csv => emit(flags, &result.to_csv()),
+        Format::Csv => {
+            if !result.has_repetitions() {
+                return emit(flags, &result.to_csv());
+            }
+            // Raw and aggregated rows have different schemas, so a single
+            // CSV stream would not be machine-readable. With --out the
+            // aggregation goes to a sibling `<stem>_aggregated.csv` file;
+            // on stdout the two blocks are printed with a separator.
+            match &flags.out {
+                Some(path) => {
+                    emit(flags, &result.to_csv())?;
+                    let agg_path = match path.strip_suffix(".csv") {
+                        Some(stem) => format!("{stem}_aggregated.csv"),
+                        None => format!("{path}_aggregated.csv"),
+                    };
+                    std::fs::write(&agg_path, result.to_csv_aggregated())
+                        .map_err(|e| format!("cannot write {agg_path}: {e}"))?;
+                    eprintln!("wrote {agg_path}");
+                    Ok(())
+                }
+                None => {
+                    println!("{}", result.to_csv());
+                    println!("\n# aggregated over repeated seeds");
+                    println!("{}", result.to_csv_aggregated());
+                    Ok(())
+                }
+            }
+        }
         Format::Json => emit(
             flags,
-            &serde_json::to_string_pretty(&result).expect("results always serialise"),
+            &serde_json::to_string_pretty(&result.with_aggregates())
+                .expect("results always serialise"),
         ),
     }
 }
 
+fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
+    if let Some(extra) = flags.positional.first() {
+        return Err(format!(
+            "`bench` takes no positional argument (got `{extra}`)"
+        ));
+    }
+    // Reject accepted-but-ignored flags, matching the other subcommands.
+    if flags.threads != 0 {
+        return Err(
+            "--threads does not apply to `bench` (the smoke workload is one simulation at a time)"
+                .to_string(),
+        );
+    }
+    if flags.format != Format::Json && flags.format != Format::Text {
+        return Err("`bench` output is JSON (use --format json or omit the flag)".to_string());
+    }
+    let quick = !matches!(flags.quick_full, Some(true));
+    let seed = flags.seed.unwrap_or(1);
+    // Load the baseline before the (expensive) run so a bad path fails fast.
+    let baseline: Option<dragonfly_bench::SmokeBench> = match &flags.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            Some(serde_json::from_str(&text).map_err(|e| format!("bad baseline {path}: {e}"))?)
+        }
+        None => None,
+    };
+    eprintln!(
+        "benchmarking the 1,056-node engine smoke workload ({}, seed {seed})...",
+        if quick { "quick" } else { "full" }
+    );
+    let bench = dragonfly_bench::run_smoke(quick, seed);
+    eprintln!(
+        "calendar:    {:>12.0} events/s  ({} events in {:.3} s)",
+        bench.calendar.events_per_sec, bench.calendar.events, bench.calendar.wall_s
+    );
+    eprintln!(
+        "binary heap: {:>12.0} events/s  ({} events in {:.3} s)",
+        bench.binary_heap.events_per_sec, bench.binary_heap.events, bench.binary_heap.wall_s
+    );
+    eprintln!("speedup:     {:.2}x", bench.speedup);
+    if let Some(baseline) = &baseline {
+        let tolerance = flags.tolerance_pct.unwrap_or(30.0) / 100.0;
+        let verdict = dragonfly_bench::check_against_baseline(&bench, baseline, tolerance)?;
+        eprintln!("baseline ok: {verdict}");
+    }
+    let json = serde_json::to_string_pretty(&bench).expect("bench results always serialise");
+    emit(flags, &json)
+}
+
 fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
+    reject_bench_flags(flags, "figure")?;
     let id = flags
         .positional
         .first()
@@ -274,6 +423,7 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
 }
 
 fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
+    reject_bench_flags(flags, "show")?;
     let path = flags
         .positional
         .first()
@@ -322,6 +472,7 @@ fn main() -> ExitCode {
             "run" => cmd_run(&flags),
             "sweep" => cmd_sweep(&flags),
             "figure" => cmd_figure(&flags),
+            "bench" => cmd_bench(&flags),
             "show" => cmd_show(&flags),
             "list" => cmd_list(),
             "help" | "--help" | "-h" => {

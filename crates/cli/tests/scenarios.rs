@@ -89,6 +89,40 @@ fn quickstart_scenario_runs_through_the_cli_binary() {
     assert!(report.throughput > 0.1);
 }
 
+/// A repeated-seed sweep emits both raw rows and per-point mean/std-error
+/// aggregation in the JSON output.
+#[test]
+fn repeated_seed_sweep_reports_raw_and_aggregated_rows() {
+    let output = Command::new(env!("CARGO_BIN_EXE_qadaptive-cli"))
+        .args([
+            "sweep",
+            scenarios_dir()
+                .join("seeds_mean_ci_tiny.toml")
+                .to_str()
+                .unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let result: dragonfly_sim::sweep::SweepOutput =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).expect("valid JSON output");
+    assert_eq!(result.raw.len(), 12, "2 routings x 2 loads x 3 seeds");
+    assert_eq!(result.aggregated.len(), 4, "one row per (routing, load)");
+    for row in &result.aggregated {
+        assert_eq!(row.runs, 3);
+        assert!(row.throughput.mean > 0.0);
+    }
+    // The stderr perf line makes engine regressions visible in normal use.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("events/s"), "stderr: {stderr}");
+}
+
 /// `figure` ids resolve and the static ones execute through the binary.
 #[test]
 fn static_figures_run_through_the_cli_binary() {

@@ -1,0 +1,198 @@
+//! A slab-style packet arena: the zero-allocation home of every in-flight
+//! [`Packet`].
+//!
+//! The simulation hot path moves one packet per fabric hop between a NIC
+//! queue, an event, an input buffer and an output queue. Boxing the packet
+//! for each hop (the original design) costs one heap allocation, one
+//! deallocation and a pointer chase per hop. Instead, every packet now
+//! lives in a single contiguous `Vec<Packet>` for its whole life and all
+//! queues and events carry a 4-byte [`PacketRef`] index. Freed slots are
+//! recycled through a LIFO free list, so after warmup the arena performs no
+//! allocation at all and reuses the hottest (most recently touched) slots
+//! first.
+//!
+//! Slot assignment is deterministic: allocation order and the LIFO free
+//! list depend only on the event order, which is itself deterministic, so
+//! arena indices never introduce run-to-run variation.
+
+use crate::packet::Packet;
+
+/// A 4-byte handle to a packet stored in a [`PacketArena`].
+///
+/// Refs are only meaningful for the arena that issued them and must not be
+/// used after [`PacketArena::free`] — debug builds check both liveness and
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(pub u32);
+
+impl PacketRef {
+    /// The slot index inside the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Slab of in-flight packets with a LIFO free list.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    /// Liveness mirror for use-after-free detection in debug builds.
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with room for `capacity` packets before regrowing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            #[cfg(debug_assertions)]
+            live: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Store `packet`, reusing a freed slot when one is available.
+    #[inline]
+    pub fn alloc(&mut self, packet: Packet) -> PacketRef {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = packet;
+                #[cfg(debug_assertions)]
+                {
+                    self.live[slot as usize] = true;
+                }
+                PacketRef(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .expect("packet arena exceeded u32::MAX live packets");
+                self.slots.push(packet);
+                #[cfg(debug_assertions)]
+                self.live.push(true);
+                PacketRef(slot)
+            }
+        }
+    }
+
+    /// Borrow the packet behind `r`.
+    #[inline]
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[r.index()], "read of freed packet slot {}", r.0);
+        &self.slots[r.index()]
+    }
+
+    /// Mutably borrow the packet behind `r`.
+    #[inline]
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[r.index()], "write to freed packet slot {}", r.0);
+        &mut self.slots[r.index()]
+    }
+
+    /// Return `r`'s slot to the free list. The packet data is left in place
+    /// and overwritten by the next [`PacketArena::alloc`] that reuses it.
+    #[inline]
+    pub fn free(&mut self, r: PacketRef) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.live[r.index()], "double free of packet slot {}", r.0);
+            self.live[r.index()] = false;
+        }
+        self.free.push(r.0);
+    }
+
+    /// Packets currently alive in the arena.
+    pub fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever created (the high-water mark of concurrently live
+    /// packets).
+    pub fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RouteInfo;
+    use dragonfly_topology::ids::{GroupId, NodeId, RouterId};
+
+    fn packet(id: u64) -> Packet {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_router: RouterId(0),
+            dst_router: RouterId(0),
+            dst_group: GroupId(0),
+            src_group: GroupId(0),
+            src_slot: 0,
+            size_bytes: 128,
+            created_ns: 0,
+            injected_ns: 0,
+            hops: 0,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: 0,
+            pending_decision: None,
+        }
+    }
+
+    #[test]
+    fn alloc_get_free_round_trip() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(packet(1));
+        let b = arena.alloc(packet(2));
+        assert_eq!(arena.get(a).id, 1);
+        assert_eq!(arena.get(b).id, 2);
+        assert_eq!(arena.live_count(), 2);
+        arena.get_mut(a).hops = 3;
+        assert_eq!(arena.get(a).hops, 3);
+        arena.free(a);
+        assert_eq!(arena.live_count(), 1);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(packet(1));
+        let b = arena.alloc(packet(2));
+        arena.free(a);
+        arena.free(b);
+        // LIFO: the most recently freed slot comes back first.
+        let c = arena.alloc(packet(3));
+        assert_eq!(c, b);
+        let d = arena.alloc(packet(4));
+        assert_eq!(d, a);
+        assert_eq!(arena.high_water(), 2, "no growth while slots are free");
+        assert_eq!(arena.get(c).id, 3);
+        assert_eq!(arena.get(d).id, 4);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_live_packets() {
+        let mut arena = PacketArena::with_capacity(4);
+        let refs: Vec<PacketRef> = (0..4).map(|i| arena.alloc(packet(i))).collect();
+        for r in &refs {
+            arena.free(*r);
+        }
+        for i in 0..4 {
+            arena.alloc(packet(10 + i));
+        }
+        assert_eq!(arena.high_water(), 4);
+        assert_eq!(arena.live_count(), 4);
+    }
+}

@@ -4,8 +4,9 @@
 //! over the [`SimObserver`] so that callers can retrieve their metric
 //! collectors by value after the run.
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::config::EngineConfig;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, Scheduler};
 use crate::injector::TrafficInjector;
 use crate::nic::NicState;
 use crate::observer::SimObserver;
@@ -49,6 +50,7 @@ pub struct Engine<O: SimObserver> {
     agents: Vec<Box<dyn crate::routing::RouterAgent>>,
     nics: Vec<NicState>,
     queue: EventQueue,
+    packets: PacketArena,
     injector: Box<dyn TrafficInjector>,
     pending_injection: Option<crate::injector::Injection>,
     observer: O,
@@ -88,13 +90,15 @@ impl<O: SimObserver> Engine<O> {
             })
             .collect();
         let nics = topo.nodes().map(|_| NicState::new(&cfg)).collect();
+        let queue = EventQueue::for_config(&cfg);
         let mut engine = Self {
             topo,
             cfg,
             routers,
             agents,
             nics,
-            queue: EventQueue::new(),
+            queue,
+            packets: PacketArena::new(),
             injector,
             pending_injection: None,
             observer,
@@ -163,40 +167,45 @@ impl<O: SimObserver> Engine<O> {
         self.nics.iter().map(|n| n.backlog()).sum()
     }
 
+    /// The packet arena (exposed for tests and memory diagnostics: its
+    /// live count equals NIC backlog + fabric occupancy + in-flight link
+    /// traversals).
+    pub fn arena(&self) -> &PacketArena {
+        &self.packets
+    }
+
     // ------------------------------------------------------------------
     // Main loop
     // ------------------------------------------------------------------
 
-    /// Run the simulation until (and including) simulated time `t_end`.
-    /// Returns the number of events processed by this call.
-    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+    /// The shared event loop: pop and dispatch every event with
+    /// `time <= t_end`, returning the number of events processed. Both
+    /// public run modes are thin wrappers over this.
+    fn step_until(&mut self, t_end: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked event must exist");
+        while let Some(event) = self.queue.pop_before(t_end) {
             debug_assert!(event.time >= self.now, "time must not go backwards");
             self.now = event.time;
             self.dispatch(event.kind);
             processed += 1;
         }
+        processed
+    }
+
+    /// Run the simulation until (and including) simulated time `t_end`.
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let processed = self.step_until(t_end);
         self.now = self.now.max(t_end);
         processed
     }
 
     /// Run until there are no more events (traffic exhausted and all packets
-    /// drained) or until `t_max` is reached. Returns the finishing time.
-    pub fn run_to_drain(&mut self, t_max: SimTime) -> SimTime {
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_max {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked event must exist");
-            self.now = event.time;
-            self.dispatch(event.kind);
-        }
-        self.now
+    /// drained) or until `t_max` is reached. Returns the finishing time and
+    /// the number of events processed by this call.
+    pub fn run_to_drain(&mut self, t_max: SimTime) -> (SimTime, u64) {
+        let processed = self.step_until(t_max);
+        (self.now, processed)
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -217,7 +226,7 @@ impl<O: SimObserver> Engine<O> {
                 port,
                 vc,
                 packet,
-            } => self.handle_router_arrive(router, port, vc, *packet),
+            } => self.handle_router_arrive(router, port, vc, packet),
             EventKind::SwitchAttempt { router, port, vc } => {
                 self.handle_switch_attempt(router, port, vc)
             }
@@ -256,10 +265,12 @@ impl<O: SimObserver> Engine<O> {
             None => return,
         };
         let packet = self.make_packet(inj.src, inj.dst, self.now);
-        self.observer.packet_generated(&packet, self.now);
+        let pref = self.packets.alloc(packet);
+        self.observer
+            .packet_generated(self.packets.get(pref), self.now);
         self.stats.generated += 1;
         self.nics[inj.src.index()].generated += 1;
-        self.nics[inj.src.index()].source_queue.push_back(packet);
+        self.nics[inj.src.index()].source_queue.push_back(pref);
         self.try_nic_inject(inj.src);
         self.pull_next_injection();
     }
@@ -307,9 +318,7 @@ impl<O: SimObserver> Engine<O> {
             }
             return;
         }
-        let mut packet = nic.source_queue.pop_front().expect("checked non-empty");
-        packet.injected_ns = self.now;
-        packet.last_decision_ns = self.now;
+        let pref = nic.source_queue.pop_front().expect("checked non-empty");
         nic.credits -= 1;
         nic.injected += 1;
         nic.link_free_at = self.now + ser;
@@ -319,7 +328,13 @@ impl<O: SimObserver> Engine<O> {
             let at = nic.link_free_at;
             self.queue.push(at, EventKind::NicTryInject { node });
         }
-        self.observer.packet_injected(&packet, self.now);
+        {
+            let packet = self.packets.get_mut(pref);
+            packet.injected_ns = self.now;
+            packet.last_decision_ns = self.now;
+        }
+        self.observer
+            .packet_injected(self.packets.get(pref), self.now);
         self.stats.injected += 1;
         let router = self.topo.router_of_node(node);
         let port = self.topo.ejection_port(node);
@@ -329,7 +344,7 @@ impl<O: SimObserver> Engine<O> {
                 router,
                 port,
                 vc: 0,
-                packet: Box::new(packet),
+                packet: pref,
             },
         );
     }
@@ -338,7 +353,7 @@ impl<O: SimObserver> Engine<O> {
     // Router pipeline
     // ------------------------------------------------------------------
 
-    fn handle_router_arrive(&mut self, router: RouterId, port: Port, vc: u8, packet: Packet) {
+    fn handle_router_arrive(&mut self, router: RouterId, port: Port, vc: u8, packet: PacketRef) {
         let state = &mut self.routers[router.index()];
         let len = state.push_input(port, vc, packet, &self.cfg);
         if len == 1 {
@@ -351,42 +366,47 @@ impl<O: SimObserver> Engine<O> {
 
     fn handle_switch_attempt(&mut self, router: RouterId, port: Port, vc: u8) {
         let r = router.index();
-        // Temporarily remove the head-of-line packet so that the agent can
-        // mutate it while the router state stays immutably borrowable.
-        let mut packet = match self.routers[r].pop_input(port, vc) {
+        // Remove the head-of-line handle; the packet itself stays in the
+        // arena, so the agent can mutate it while the router state stays
+        // immutably borrowable.
+        let pref = match self.routers[r].pop_input(port, vc) {
             Some(p) => p,
             None => return,
         };
 
-        let decision = match packet.pending_decision {
-            Some((p, v)) => Decision { port: p, vc: v },
-            None => {
-                if packet.dst_router == router {
-                    Decision {
-                        port: self.topo.ejection_port(packet.dst),
-                        vc: packet.vc,
+        let decision = {
+            let arena = &mut self.packets;
+            let packet = arena.get_mut(pref);
+            match packet.pending_decision {
+                Some((p, v)) => Decision { port: p, vc: v },
+                None => {
+                    if packet.dst_router == router {
+                        Decision {
+                            port: self.topo.ejection_port(packet.dst),
+                            vc: packet.vc,
+                        }
+                    } else {
+                        let ctx = RouterCtx {
+                            router,
+                            topology: &self.topo,
+                            config: &self.cfg,
+                            now: self.now,
+                            state: &self.routers[r],
+                        };
+                        let d = self.agents[r].decide(&ctx, packet);
+                        debug_assert_ne!(
+                            self.topo.port_kind(d.port),
+                            PortKind::Host,
+                            "agents must not route to host ports (ejection is engine-handled)"
+                        );
+                        debug_assert!(
+                            (d.vc as usize) < self.cfg.num_vcs,
+                            "agent selected VC {} but only {} exist",
+                            d.vc,
+                            self.cfg.num_vcs
+                        );
+                        d
                     }
-                } else {
-                    let ctx = RouterCtx {
-                        router,
-                        topology: &self.topo,
-                        config: &self.cfg,
-                        now: self.now,
-                        state: &self.routers[r],
-                    };
-                    let d = self.agents[r].decide(&ctx, &mut packet);
-                    debug_assert_ne!(
-                        self.topo.port_kind(d.port),
-                        PortKind::Host,
-                        "agents must not route to host ports (ejection is engine-handled)"
-                    );
-                    debug_assert!(
-                        (d.vc as usize) < self.cfg.num_vcs,
-                        "agent selected VC {} but only {} exist",
-                        d.vc,
-                        self.cfg.num_vcs
-                    );
-                    d
                 }
             }
         };
@@ -394,8 +414,8 @@ impl<O: SimObserver> Engine<O> {
         if !self.routers[r].output_has_space(decision.port, decision.vc, &self.cfg) {
             // Blocked: remember the decision, restore head-of-line position
             // and wait for the output queue to drain.
-            packet.pending_decision = Some((decision.port, decision.vc));
-            self.routers[r].push_input_front(port, vc, packet);
+            self.packets.get_mut(pref).pending_decision = Some((decision.port, decision.vc));
+            self.routers[r].push_input_front(port, vc, pref);
             self.routers[r].add_waiter(decision.port, Waiter { in_port: port, vc });
             return;
         }
@@ -408,7 +428,12 @@ impl<O: SimObserver> Engine<O> {
         // 2. Deliver RL feedback to the router that forwarded the packet to
         //    us (the per-hop delay is the reward; our own estimate of the
         //    remaining time is the bootstrap value).
-        if let (Some(up_router), Some(up_port)) = (packet.last_router, packet.last_out_port) {
+        let (last_router, last_out_port) = {
+            let p = self.packets.get(pref);
+            (p.last_router, p.last_out_port)
+        };
+        if let (Some(up_router), Some(up_port)) = (last_router, last_out_port) {
+            let packet = self.packets.get(pref);
             let reward_ns = (self.now - packet.last_decision_ns) as f64;
             let downstream_estimate_ns = if packet.dst_router == router {
                 self.cfg.ejection_ns() as f64
@@ -420,7 +445,7 @@ impl<O: SimObserver> Engine<O> {
                     now: self.now,
                     state: &self.routers[r],
                 };
-                self.agents[r].estimate_after_decision(&ctx, &packet, decision)
+                self.agents[r].estimate_after_decision(&ctx, packet, decision)
             };
             let msg = FeedbackMsg {
                 src: packet.src,
@@ -444,15 +469,18 @@ impl<O: SimObserver> Engine<O> {
 
         // 3. Update per-packet bookkeeping and enqueue on the output side.
         let ejecting = self.topo.port_kind(decision.port) == PortKind::Host;
-        if !ejecting {
-            packet.hops += 1;
-            packet.last_router = Some(router);
-            packet.last_out_port = Some(decision.port);
-            packet.last_decision_ns = self.now;
-            packet.vc = decision.vc;
+        {
+            let packet = self.packets.get_mut(pref);
+            if !ejecting {
+                packet.hops += 1;
+                packet.last_router = Some(router);
+                packet.last_out_port = Some(decision.port);
+                packet.last_decision_ns = self.now;
+                packet.vc = decision.vc;
+            }
+            packet.pending_decision = None;
         }
-        packet.pending_decision = None;
-        self.routers[r].push_output(decision.port, decision.vc, packet);
+        self.routers[r].push_output(decision.port, decision.vc, pref);
         self.schedule_output_attempt(router, decision.port, self.now);
 
         // 4. The next packet in this input VC (if any) can now attempt the
@@ -479,7 +507,7 @@ impl<O: SimObserver> Engine<O> {
             // A credit arrival or a new enqueue will reschedule us.
             None => return,
         };
-        let packet = self.routers[r]
+        let pref = self.routers[r]
             .pop_output(port, vc)
             .expect("select_output_vc returned a non-empty queue");
         let ser = self.cfg.serialization_ns();
@@ -500,11 +528,14 @@ impl<O: SimObserver> Engine<O> {
 
         match self.topo.port_kind(port) {
             PortKind::Host => {
-                // Ejection: deliver to the attached node.
+                // Ejection: deliver to the attached node and recycle the
+                // packet's arena slot.
                 let delivery = self.now + ser + self.cfg.host_latency_ns;
-                debug_assert_eq!(self.topo.ejection_port(packet.dst), port);
-                self.observer.packet_delivered(&packet, delivery);
+                debug_assert_eq!(self.topo.ejection_port(self.packets.get(pref).dst), port);
+                self.observer
+                    .packet_delivered(self.packets.get(pref), delivery);
                 self.stats.delivered += 1;
+                self.packets.free(pref);
             }
             PortKind::Local | PortKind::Global => {
                 self.routers[r].consume_credit(port, vc);
@@ -519,7 +550,7 @@ impl<O: SimObserver> Engine<O> {
                         router: down_router,
                         port: down_port,
                         vc,
-                        packet: Box::new(packet),
+                        packet: pref,
                     },
                 );
             }

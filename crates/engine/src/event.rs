@@ -1,19 +1,42 @@
-//! The discrete-event queue.
+//! The discrete-event schedulers.
 //!
 //! Events are ordered by `(time, sequence)` where the sequence number is a
 //! monotonically increasing counter assigned at push time. The sequence
 //! tie-break makes the simulation fully deterministic: two events scheduled
 //! for the same nanosecond are processed in the order they were scheduled.
+//!
+//! Two [`Scheduler`] implementations share that contract:
+//!
+//! * [`BinaryHeapScheduler`] — the classic `BinaryHeap<Event>` min-queue
+//!   (O(log n) per operation, pointer-free but cache-unfriendly for large
+//!   queues). Kept as the reference implementation for differential tests
+//!   and selectable via [`crate::config::SchedulerKind::BinaryHeap`].
+//! * [`CalendarQueue`] — a two-level calendar/bucket queue: a power-of-two
+//!   wheel of 1 ns FIFO buckets for near-future events (sized from the
+//!   link/serialisation latencies, which bound how far ahead the fabric
+//!   ever schedules) plus a binary-heap overflow level for the rare
+//!   far-future event (in practice only the single pending traffic
+//!   injection). Every bucket holds events of exactly one nanosecond, so
+//!   FIFO order *is* `(time, seq)` order and push/pop are O(1) amortised.
+//!
+//! Both schedulers pop the exact same `(time, seq)` total order, so pinned
+//! simulation outputs are bit-for-bit identical whichever one runs — see
+//! the `scheduler_differential` integration test.
 
-use crate::packet::Packet;
+use crate::arena::PacketRef;
+use crate::config::{EngineConfig, SchedulerKind};
 use crate::routing::FeedbackMsg;
 use crate::time::SimTime;
 use dragonfly_topology::ids::{NodeId, Port, RouterId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What happens when an event fires.
-#[derive(Debug)]
+///
+/// All variants are small and `Copy`: packets are not carried by value but
+/// as 4-byte [`PacketRef`] handles into the engine's
+/// [`crate::arena::PacketArena`], so moving an event never allocates.
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     /// The next scheduled traffic injection is due: materialise the packet
     /// at its source NIC and pull the following injection from the
@@ -30,7 +53,7 @@ pub enum EventKind {
         router: RouterId,
         port: Port,
         vc: u8,
-        packet: Box<Packet>,
+        packet: PacketRef,
     },
     /// The head packet of input buffer `(port, vc)` of `router` attempts
     /// switch traversal (routing decision + move to an output queue).
@@ -54,7 +77,7 @@ pub enum EventKind {
 }
 
 /// A scheduled event.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// Firing time in ns.
     pub time: SimTime,
@@ -87,31 +110,65 @@ impl Ord for Event {
     }
 }
 
-/// A deterministic min-queue of events.
+/// A deterministic min-queue of events keyed on `(time, seq)`.
+///
+/// Implementations must pop events in strictly increasing `(time, seq)`
+/// order, assign `seq` in push order, and may assume pushes never schedule
+/// earlier than the last popped time (the engine's arrow of time).
+pub trait Scheduler {
+    /// Schedule `kind` to fire at `time`.
+    fn push(&mut self, time: SimTime, kind: EventKind);
+
+    /// Remove and return the earliest event, if any.
+    fn pop(&mut self) -> Option<Event>;
+
+    /// Remove and return the earliest event if its time is `<= t_end`;
+    /// leave the queue untouched otherwise. The single-scan primitive the
+    /// engine's run loop is built on.
+    fn pop_before(&mut self, t_end: SimTime) -> Option<Event>;
+
+    /// Time of the earliest pending event.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped so far (for performance reporting).
+    fn processed(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// Reference implementation: binary heap
+// ---------------------------------------------------------------------
+
+/// The classic `BinaryHeap<Event>` scheduler (the pre-calendar design).
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct BinaryHeapScheduler {
     heap: BinaryHeap<Event>,
     next_seq: u64,
-    pushed: u64,
     popped: u64,
 }
 
-impl EventQueue {
+impl BinaryHeapScheduler {
     /// Create an empty queue.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Schedule `kind` to fire at `time`.
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+impl Scheduler for BinaryHeapScheduler {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pushed += 1;
         self.heap.push(Event { time, seq, kind });
     }
 
-    /// Remove and return the earliest event, if any.
-    pub fn pop(&mut self) -> Option<Event> {
+    fn pop(&mut self) -> Option<Event> {
         let e = self.heap.pop();
         if e.is_some() {
             self.popped += 1;
@@ -119,24 +176,323 @@ impl EventQueue {
         e
     }
 
-    /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    fn pop_before(&mut self, t_end: SimTime) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.time <= t_end) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Whether the queue is empty.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+    fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------
+
+/// Default wheel horizon (buckets × 1 ns) when no engine config is at hand.
+const DEFAULT_HORIZON: SimTime = 2048;
+
+/// Hard cap on the wheel size so pathological configs cannot demand
+/// gigabytes of buckets.
+const MAX_HORIZON: SimTime = 1 << 22;
+
+/// Two-level calendar queue: a circular wheel of 1 ns FIFO buckets for the
+/// near future plus a heap for far-future overflow.
+///
+/// Invariants:
+///
+/// * `cursor` is the time of the last popped event (or 0); all wheel events
+///   have `time` in `[cursor, cursor + horizon)`, so the bucket at slot
+///   `time % horizon` holds events of exactly one time value and FIFO order
+///   within a bucket equals `(time, seq)` order.
+/// * `overflow` may hold events of any time; [`CalendarQueue::pop`] always
+///   compares the wheel front against the overflow top, so ordering never
+///   depends on migrating overflow events into the wheel.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// `horizon` FIFO buckets; bucket `t % horizon` holds events firing at
+    /// `t` for the unique `t` in the current window congruent to the slot.
+    buckets: Vec<VecDeque<Event>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupancy: Vec<u64>,
+    /// Wheel width in ns (power of two).
+    horizon: SimTime,
+    /// `horizon - 1`, for masking times into slots.
+    mask: SimTime,
+    /// Events currently stored in wheel buckets.
+    wheel_len: usize,
+    /// Lower bound of the wheel window = time of the last popped event.
+    cursor: SimTime,
+    /// Far-future events (and, defensively, any push outside the window).
+    overflow: BinaryHeap<Event>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::with_horizon(DEFAULT_HORIZON)
+    }
+}
+
+/// Where the next event to pop currently lives.
+#[derive(Clone, Copy)]
+enum NextEvent {
+    Wheel(usize),
+    Overflow,
+}
+
+impl CalendarQueue {
+    /// A calendar queue whose wheel spans `horizon` nanoseconds (rounded up
+    /// to a power of two, clamped to a sane range).
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        let horizon = horizon.next_power_of_two().clamp(64, MAX_HORIZON);
+        Self {
+            buckets: (0..horizon).map(|_| VecDeque::new()).collect(),
+            occupancy: vec![0u64; (horizon as usize) / 64],
+            horizon,
+            mask: horizon - 1,
+            wheel_len: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
     }
 
-    /// Total number of events processed so far (for performance reporting).
-    pub fn processed(&self) -> u64 {
+    /// A wheel sized to the engine's timing constants: four times the
+    /// worst-case scheduling distance of any fabric event (serialisation +
+    /// slowest link + router pipeline + host link), so everything except
+    /// far-future traffic injections lands in the wheel.
+    pub fn for_config(cfg: &EngineConfig) -> Self {
+        let span = cfg.serialization_ns()
+            + cfg.local_latency_ns.max(cfg.global_latency_ns)
+            + cfg.router_latency_ns
+            + cfg.host_latency_ns;
+        Self::with_horizon((span * 4).max(DEFAULT_HORIZON))
+    }
+
+    /// Slot of the earliest non-empty wheel bucket, scanning the occupancy
+    /// bitmap circularly from the cursor's slot. Because all wheel events
+    /// live within one `horizon`-wide window starting at the cursor,
+    /// circular slot order equals time order.
+    fn earliest_slot(&self) -> Option<usize> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (self.cursor & self.mask) as usize;
+        let words = self.occupancy.len();
+        let start_word = start >> 6;
+        let start_bit = start & 63;
+        let first = self.occupancy[start_word] & (!0u64 << start_bit);
+        if first != 0 {
+            return Some((start_word << 6) + first.trailing_zeros() as usize);
+        }
+        for i in 1..=words {
+            let w = (start_word + i) % words;
+            let word = if i == words {
+                // Wrapped all the way around: only the bits before `start`
+                // in the starting word remain unchecked.
+                self.occupancy[w] & !(!0u64 << start_bit)
+            } else {
+                self.occupancy[w]
+            };
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+        }
+        debug_assert!(false, "wheel_len > 0 but no occupied bucket found");
+        None
+    }
+
+    /// `(time, seq, location)` of the next event to pop, if any.
+    fn next_event(&self) -> Option<(SimTime, u64, NextEvent)> {
+        let wheel = self.earliest_slot().map(|slot| {
+            let front = self.buckets[slot]
+                .front()
+                .expect("occupancy bit set on empty bucket");
+            (front.time, front.seq, NextEvent::Wheel(slot))
+        });
+        let overflow = self
+            .overflow
+            .peek()
+            .map(|e| (e.time, e.seq, NextEvent::Overflow));
+        match (wheel, overflow) {
+            (None, None) => None,
+            (Some(w), None) => Some(w),
+            (None, Some(o)) => Some(o),
+            (Some(w), Some(o)) => Some(if (w.0, w.1) <= (o.0, o.1) { w } else { o }),
+        }
+    }
+
+    fn pop_from(&mut self, location: NextEvent) -> Event {
+        let event = match location {
+            NextEvent::Wheel(slot) => {
+                let event = self.buckets[slot]
+                    .pop_front()
+                    .expect("next_event located an event here");
+                self.wheel_len -= 1;
+                if self.buckets[slot].is_empty() {
+                    self.occupancy[slot >> 6] &= !(1u64 << (slot & 63));
+                }
+                event
+            }
+            NextEvent::Overflow => self
+                .overflow
+                .pop()
+                .expect("next_event located an event here"),
+        };
+        // Advancing the cursor keeps the wheel window anchored at the last
+        // popped time; `max` guards against defensive out-of-window pushes
+        // that went to the overflow heap with times behind the cursor.
+        self.cursor = self.cursor.max(event.time);
+        self.popped += 1;
+        event
+    }
+}
+
+impl Scheduler for CalendarQueue {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let event = Event { time, seq, kind };
+        debug_assert!(
+            time >= self.cursor,
+            "push at {time} behind the scheduler cursor {}",
+            self.cursor
+        );
+        if time >= self.cursor && time - self.cursor < self.horizon {
+            let slot = (time & self.mask) as usize;
+            debug_assert!(
+                self.buckets[slot].back().is_none_or(|e| e.time == time),
+                "bucket {slot} mixes times: held {:?}, pushing {time}",
+                self.buckets[slot].back().map(|e| e.time),
+            );
+            self.buckets[slot].push_back(event);
+            self.occupancy[slot >> 6] |= 1u64 << (slot & 63);
+            self.wheel_len += 1;
+        } else {
+            // Far future (or, defensively, behind the cursor): the heap
+            // level handles any time correctly, just more slowly.
+            self.overflow.push(event);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let (_, _, location) = self.next_event()?;
+        Some(self.pop_from(location))
+    }
+
+    fn pop_before(&mut self, t_end: SimTime) -> Option<Event> {
+        let (time, _, location) = self.next_event()?;
+        if time > t_end {
+            return None;
+        }
+        Some(self.pop_from(location))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.next_event().map(|(time, _, _)| time)
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    fn processed(&self) -> u64 {
         self.popped
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine-facing queue: runtime-selectable scheduler
+// ---------------------------------------------------------------------
+
+/// A deterministic min-queue of events, dispatching to the scheduler
+/// selected by [`SchedulerKind`] (enum dispatch keeps the hot path free of
+/// virtual calls).
+#[derive(Debug)]
+pub enum EventQueue {
+    /// Reference binary-heap scheduler.
+    Heap(BinaryHeapScheduler),
+    /// Calendar/bucket-queue scheduler (the default).
+    Calendar(CalendarQueue),
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::Calendar(CalendarQueue::default())
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $q:ident => $body:expr) => {
+        match $self {
+            EventQueue::Heap($q) => $body,
+            EventQueue::Calendar($q) => $body,
+        }
+    };
+}
+
+impl EventQueue {
+    /// An event queue with the default (calendar) scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scheduler selected by `cfg.scheduler`, with the calendar wheel
+    /// sized to `cfg`'s timing constants.
+    pub fn for_config(cfg: &EngineConfig) -> Self {
+        match cfg.scheduler {
+            SchedulerKind::Calendar => EventQueue::Calendar(CalendarQueue::for_config(cfg)),
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeapScheduler::new()),
+        }
+    }
+
+    /// Which scheduler is driving this queue.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            EventQueue::Heap(_) => SchedulerKind::BinaryHeap,
+            EventQueue::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+}
+
+impl Scheduler for EventQueue {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        delegate!(self, q => q.push(time, kind))
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        delegate!(self, q => q.pop())
+    }
+
+    fn pop_before(&mut self, t_end: SimTime) -> Option<Event> {
+        delegate!(self, q => q.pop_before(t_end))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        delegate!(self, q => q.peek_time())
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, q => q.len())
+    }
+
+    fn processed(&self) -> u64 {
+        delegate!(self, q => q.processed())
     }
 }
 
@@ -144,43 +500,204 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn schedulers() -> Vec<(&'static str, Box<dyn Scheduler>)> {
+        vec![
+            ("heap", Box::new(BinaryHeapScheduler::new())),
+            ("calendar", Box::new(CalendarQueue::default())),
+            ("small-calendar", Box::new(CalendarQueue::with_horizon(64))),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(50, EventKind::TrafficArrival);
-        q.push(10, EventKind::TrafficArrival);
-        q.push(30, EventKind::TrafficArrival);
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop().unwrap().time, 10);
-        assert_eq!(q.pop().unwrap().time, 30);
-        assert_eq!(q.pop().unwrap().time, 50);
-        assert!(q.pop().is_none());
-        assert_eq!(q.processed(), 3);
+        for (name, mut q) in schedulers() {
+            q.push(50, EventKind::TrafficArrival);
+            q.push(10, EventKind::TrafficArrival);
+            q.push(30, EventKind::TrafficArrival);
+            assert_eq!(q.len(), 3, "{name}");
+            assert_eq!(q.pop().unwrap().time, 10, "{name}");
+            assert_eq!(q.pop().unwrap().time, 30, "{name}");
+            assert_eq!(q.pop().unwrap().time, 50, "{name}");
+            assert!(q.pop().is_none(), "{name}");
+            assert_eq!(q.processed(), 3, "{name}");
+        }
     }
 
     #[test]
     fn equal_times_pop_in_scheduling_order() {
-        let mut q = EventQueue::new();
-        q.push(5, EventKind::NicTryInject { node: NodeId(1) });
-        q.push(5, EventKind::NicTryInject { node: NodeId(2) });
-        q.push(5, EventKind::NicTryInject { node: NodeId(3) });
+        for (name, mut q) in schedulers() {
+            q.push(5, EventKind::NicTryInject { node: NodeId(1) });
+            q.push(5, EventKind::NicTryInject { node: NodeId(2) });
+            q.push(5, EventKind::NicTryInject { node: NodeId(3) });
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::NicTryInject { node } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![1, 2, 3], "{name}");
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        for (name, mut q) in schedulers() {
+            assert_eq!(q.peek_time(), None, "{name}");
+            q.push(42, EventKind::TrafficArrival);
+            q.push(7, EventKind::TrafficArrival);
+            assert_eq!(q.peek_time(), Some(7), "{name}");
+            q.pop();
+            assert_eq!(q.peek_time(), Some(42), "{name}");
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_the_bound() {
+        for (name, mut q) in schedulers() {
+            q.push(10, EventKind::TrafficArrival);
+            q.push(20, EventKind::TrafficArrival);
+            assert!(q.pop_before(5).is_none(), "{name}");
+            assert_eq!(q.pop_before(10).unwrap().time, 10, "{name}");
+            assert!(q.pop_before(15).is_none(), "{name}");
+            assert_eq!(q.pop_before(u64::MAX).unwrap().time, 20, "{name}");
+            assert!(q.pop_before(u64::MAX).is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn calendar_far_future_goes_to_overflow_and_pops_in_order() {
+        let mut q = CalendarQueue::with_horizon(64);
+        q.push(1_000_000, EventKind::TrafficArrival); // far beyond the wheel
+        q.push(3, EventKind::TrafficArrival);
+        q.push(999_999, EventKind::TrafficArrival);
+        assert!(q.overflow.len() >= 2, "far-future events use the overflow");
+        assert_eq!(q.pop().unwrap().time, 3);
+        assert_eq!(q.pop().unwrap().time, 999_999);
+        assert_eq!(q.pop().unwrap().time, 1_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_overflow_ties_with_wheel_resolve_by_seq() {
+        let mut q = CalendarQueue::with_horizon(64);
+        // Pushed first while out of window: ends up in overflow with seq 0.
+        q.push(100, EventKind::NicTryInject { node: NodeId(1) });
+        // Advance the cursor so time 100 is now within the wheel window.
+        q.push(60, EventKind::TrafficArrival);
+        q.pop();
+        // Pushed second, lands in the wheel at the same time: seq 2.
+        q.push(100, EventKind::NicTryInject { node: NodeId(2) });
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::NicTryInject { node } => node.0,
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(order, vec![1, 2], "overflow-vs-wheel tie breaks by seq");
     }
 
     #[test]
-    fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(42, EventKind::TrafficArrival);
-        q.push(7, EventKind::TrafficArrival);
-        assert_eq!(q.peek_time(), Some(7));
-        q.pop();
-        assert_eq!(q.peek_time(), Some(42));
+    fn calendar_wheel_wraps_around() {
+        let mut q = CalendarQueue::with_horizon(64);
+        // Walk the cursor across several full wheel rotations.
+        let mut expected = Vec::new();
+        for step in 0..300u64 {
+            let t = step * 13; // co-prime with 64: hits every slot
+            q.push(t, EventKind::TrafficArrival);
+            expected.push(t);
+            assert_eq!(q.pop().unwrap().time, t);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_interleaved_pushes_at_the_popped_time() {
+        // Events scheduled *at* the current time while draining it must pop
+        // after already-queued same-time events (seq order), like the heap.
+        let mut heap: Box<dyn Scheduler> = Box::new(BinaryHeapScheduler::new());
+        let mut cal: Box<dyn Scheduler> = Box::new(CalendarQueue::with_horizon(64));
+        for q in [&mut heap, &mut cal] {
+            q.push(5, EventKind::NicTryInject { node: NodeId(1) });
+            q.push(5, EventKind::NicTryInject { node: NodeId(2) });
+            let first = q.pop().unwrap();
+            assert_eq!(first.time, 5);
+            // Dispatch of the first event schedules another one at t=5.
+            q.push(5, EventKind::NicTryInject { node: NodeId(3) });
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::NicTryInject { node } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![2, 3]);
+        }
+    }
+
+    #[test]
+    fn calendar_skips_long_empty_stretches() {
+        let mut q = CalendarQueue::with_horizon(1024);
+        // Two events at opposite ends of the wheel with nothing in between:
+        // the bitmap scan must jump the gap, not walk it bucket by bucket
+        // (correctness check here; the speed is what the benches measure).
+        q.push(1, EventKind::TrafficArrival);
+        q.push(1_020, EventKind::TrafficArrival);
+        assert_eq!(q.pop().unwrap().time, 1);
+        assert_eq!(q.peek_time(), Some(1_020));
+        assert_eq!(q.pop().unwrap().time, 1_020);
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn event_queue_selects_scheduler_from_config() {
+        let mut cfg = EngineConfig::default();
+        assert!(matches!(
+            EventQueue::for_config(&cfg).kind(),
+            SchedulerKind::Calendar
+        ));
+        cfg.scheduler = SchedulerKind::BinaryHeap;
+        assert!(matches!(
+            EventQueue::for_config(&cfg).kind(),
+            SchedulerKind::BinaryHeap
+        ));
+    }
+
+    #[test]
+    fn random_workload_matches_heap_order_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut heap = BinaryHeapScheduler::new();
+        let mut cal = CalendarQueue::with_horizon(256);
+        // Interleave batches of pushes (times never behind the last pop,
+        // like the engine) with drains, across several wheel rotations.
+        let mut now: SimTime = 0;
+        for round in 0..200 {
+            for _ in 0..rng.gen_range(1..20) {
+                let t = now + rng.gen_range(0..2_000u64);
+                let node = NodeId(rng.gen_range(0..1_000u32));
+                heap.push(t, EventKind::NicTryInject { node });
+                cal.push(t, EventKind::NicTryInject { node });
+            }
+            for _ in 0..rng.gen_range(1..15) {
+                let (h, c) = (heap.pop(), cal.pop());
+                match (h, c) {
+                    (None, None) => break,
+                    (Some(h), Some(c)) => {
+                        assert_eq!((h.time, h.seq), (c.time, c.seq), "round {round}");
+                        now = h.time;
+                    }
+                    other => panic!("schedulers disagree on emptiness: {other:?}"),
+                }
+            }
+        }
+        // Drain whatever is left.
+        loop {
+            match (heap.pop(), cal.pop()) {
+                (None, None) => break,
+                (Some(h), Some(c)) => assert_eq!((h.time, h.seq), (c.time, c.seq)),
+                other => panic!("schedulers disagree on emptiness: {other:?}"),
+            }
+        }
     }
 }

@@ -31,6 +31,36 @@
 //!   *x*'s agent after one link latency, modelling the paper's piggy-backing
 //!   of rewards on credit/control traffic.
 //!
+//! ## Scheduler and packet arena (the hot path)
+//!
+//! The event loop is the performance bottleneck of every experiment, so its
+//! two central data structures are built for speed without giving up
+//! determinism:
+//!
+//! * **Event scheduling** uses a two-level *calendar queue*
+//!   ([`event::CalendarQueue`]): a power-of-two wheel of 1 ns FIFO buckets
+//!   sized to the link/serialisation latencies (which bound how far ahead
+//!   the fabric ever schedules) plus a binary-heap overflow level for the
+//!   rare far-future event. Push and pop are O(1) amortised instead of the
+//!   binary heap's O(log n), and pops walk a compact occupancy bitmap
+//!   instead of chasing a heap. The classic `BinaryHeap` scheduler is kept
+//!   behind the same [`event::Scheduler`] trait
+//!   ([`config::SchedulerKind::BinaryHeap`]) as the reference
+//!   implementation for differential tests and A/B benchmarks.
+//! * **Packets** live in a slab-style [`arena::PacketArena`] for their
+//!   whole life; events, NIC queues and router buffers move 4-byte
+//!   [`arena::PacketRef`] handles instead of boxed packets, so a fabric
+//!   hop performs no heap allocation and no pointer chase.
+//!
+//! **Determinism contract:** events are totally ordered by
+//! `(time, sequence)` where the sequence number is assigned at push time.
+//! Every scheduler implementation must pop exactly this order, which makes
+//! simulation outputs bit-for-bit identical across scheduler choices — the
+//! `scheduler_differential` integration test enforces this by running
+//! identical seeded workloads through both schedulers. Arena slot
+//! assignment recycles through a LIFO free list and therefore also depends
+//! only on the (deterministic) event order.
+//!
 //! The engine is deterministic for a fixed seed, traffic injector and
 //! routing algorithm.
 //!
@@ -44,6 +74,7 @@
 //! * Measurement code implements [`observer::SimObserver`]
 //!   (see `dragonfly-metrics` collectors in `dragonfly-sim`).
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -56,7 +87,8 @@ pub mod routing;
 pub mod testing;
 pub mod time;
 
-pub use config::EngineConfig;
+pub use arena::{PacketArena, PacketRef};
+pub use config::{EngineConfig, SchedulerKind};
 pub use engine::Engine;
 pub use injector::{Injection, TrafficInjector};
 pub use observer::SimObserver;

@@ -6,16 +6,17 @@
 //! absorb accumulates in the source queue; system throughput (the paper's
 //! metric) therefore saturates below the offered load under congestion.
 
+use crate::arena::PacketRef;
 use crate::config::EngineConfig;
-use crate::packet::Packet;
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
 /// Per-node injection state.
 #[derive(Debug)]
 pub struct NicState {
-    /// Generated but not yet injected packets.
-    pub source_queue: VecDeque<Packet>,
+    /// Generated but not yet injected packets (handles into the engine's
+    /// [`crate::arena::PacketArena`]).
+    pub source_queue: VecDeque<PacketRef>,
     /// Free slots in the router's host-port input buffer (VC 0).
     pub credits: usize,
     /// When the node-to-router link finishes serialising its current packet.
@@ -55,30 +56,9 @@ impl NicState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::RouteInfo;
-    use dragonfly_topology::ids::{GroupId, NodeId, RouterId};
 
-    fn packet() -> Packet {
-        Packet {
-            id: 0,
-            src: NodeId(0),
-            dst: NodeId(1),
-            src_router: RouterId(0),
-            dst_router: RouterId(0),
-            dst_group: GroupId(0),
-            src_group: GroupId(0),
-            src_slot: 0,
-            size_bytes: 128,
-            created_ns: 0,
-            injected_ns: 0,
-            hops: 0,
-            vc: 0,
-            route: RouteInfo::default(),
-            last_router: None,
-            last_out_port: None,
-            last_decision_ns: 0,
-            pending_decision: None,
-        }
+    fn packet() -> PacketRef {
+        PacketRef(0)
     }
 
     #[test]

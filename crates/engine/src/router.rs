@@ -3,8 +3,8 @@
 //!
 //! Buffers are indexed by `(port, vc)` flattened to `port * num_vcs + vc`.
 
+use crate::arena::PacketRef;
 use crate::config::EngineConfig;
-use crate::packet::Packet;
 use crate::time::SimTime;
 use dragonfly_topology::ids::Port;
 use dragonfly_topology::ports::PortKind;
@@ -25,10 +25,12 @@ pub struct Waiter {
 pub struct RouterState {
     num_ports: usize,
     num_vcs: usize,
-    /// Input buffers, `port * num_vcs + vc`.
-    input: Vec<VecDeque<Packet>>,
-    /// Output queues, `port * num_vcs + vc`.
-    output: Vec<VecDeque<Packet>>,
+    /// Input buffers, `port * num_vcs + vc`. Queues store 4-byte arena
+    /// handles; the packets themselves live in the engine's
+    /// [`crate::arena::PacketArena`].
+    input: Vec<VecDeque<PacketRef>>,
+    /// Output queues, `port * num_vcs + vc` (arena handles, as above).
+    output: Vec<VecDeque<PacketRef>>,
     /// Credits available towards the downstream input buffer,
     /// `port * num_vcs + vc`. Host (ejection) ports are not credit limited.
     credits: Vec<usize>,
@@ -105,7 +107,13 @@ impl RouterState {
     }
 
     /// Push an arriving packet into an input buffer. Returns the new length.
-    pub fn push_input(&mut self, port: Port, vc: u8, packet: Packet, cfg: &EngineConfig) -> usize {
+    pub fn push_input(
+        &mut self,
+        port: Port,
+        vc: u8,
+        packet: PacketRef,
+        cfg: &EngineConfig,
+    ) -> usize {
         let cell = self.cell(port, vc);
         debug_assert!(
             self.input[cell].len() < cfg.vc_buffer_packets,
@@ -115,19 +123,13 @@ impl RouterState {
         self.input[cell].len()
     }
 
-    /// Immutable access to the head of an input buffer.
-    pub fn input_head(&self, port: Port, vc: u8) -> Option<&Packet> {
-        self.input[self.cell(port, vc)].front()
-    }
-
-    /// Mutable access to the head of an input buffer.
-    pub fn input_head_mut(&mut self, port: Port, vc: u8) -> Option<&mut Packet> {
-        let cell = self.cell(port, vc);
-        self.input[cell].front_mut()
+    /// Handle of the packet at the head of an input buffer.
+    pub fn input_head(&self, port: Port, vc: u8) -> Option<PacketRef> {
+        self.input[self.cell(port, vc)].front().copied()
     }
 
     /// Pop the head of an input buffer.
-    pub fn pop_input(&mut self, port: Port, vc: u8) -> Option<Packet> {
+    pub fn pop_input(&mut self, port: Port, vc: u8) -> Option<PacketRef> {
         let cell = self.cell(port, vc);
         self.input[cell].pop_front()
     }
@@ -135,7 +137,7 @@ impl RouterState {
     /// Put a packet back at the *front* of an input buffer (used when a
     /// switch attempt finds the target output queue full and the packet has
     /// to keep waiting as the head-of-line packet).
-    pub fn push_input_front(&mut self, port: Port, vc: u8, packet: Packet) {
+    pub fn push_input_front(&mut self, port: Port, vc: u8, packet: PacketRef) {
         let cell = self.cell(port, vc);
         self.input[cell].push_front(packet);
     }
@@ -161,14 +163,14 @@ impl RouterState {
     }
 
     /// Push a packet into an output queue.
-    pub fn push_output(&mut self, port: Port, vc: u8, packet: Packet) {
+    pub fn push_output(&mut self, port: Port, vc: u8, packet: PacketRef) {
         let cell = self.cell(port, vc);
         self.output[cell].push_back(packet);
         self.output_occupancy[port.index()] += 1;
     }
 
     /// Pop a packet from an output queue.
-    pub fn pop_output(&mut self, port: Port, vc: u8) -> Option<Packet> {
+    pub fn pop_output(&mut self, port: Port, vc: u8) -> Option<PacketRef> {
         let cell = self.cell(port, vc);
         let p = self.output[cell].pop_front();
         if p.is_some() {
@@ -294,9 +296,7 @@ impl RouterState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::RouteInfo;
     use dragonfly_topology::config::DragonflyConfig;
-    use dragonfly_topology::ids::{GroupId, NodeId, RouterId};
 
     fn setup() -> (Dragonfly, EngineConfig, RouterState) {
         let topo = Dragonfly::new(DragonflyConfig::tiny());
@@ -305,27 +305,10 @@ mod tests {
         (topo, cfg, state)
     }
 
-    fn packet(id: u64) -> Packet {
-        Packet {
-            id,
-            src: NodeId(0),
-            dst: NodeId(10),
-            src_router: RouterId(0),
-            dst_router: RouterId(5),
-            dst_group: GroupId(1),
-            src_group: GroupId(0),
-            src_slot: 0,
-            size_bytes: 128,
-            created_ns: 0,
-            injected_ns: 0,
-            hops: 0,
-            vc: 0,
-            route: RouteInfo::default(),
-            last_router: None,
-            last_out_port: None,
-            last_decision_ns: 0,
-            pending_decision: None,
-        }
+    /// Router queues only move opaque arena handles; tests can mint them
+    /// directly without an arena.
+    fn packet(id: u32) -> PacketRef {
+        PacketRef(id)
     }
 
     #[test]
@@ -335,9 +318,9 @@ mod tests {
         s.push_input(port, 0, packet(1), &cfg);
         s.push_input(port, 0, packet(2), &cfg);
         assert_eq!(s.input_buffer_len(port, 0), 2);
-        assert_eq!(s.input_head(port, 0).unwrap().id, 1);
-        assert_eq!(s.pop_input(port, 0).unwrap().id, 1);
-        assert_eq!(s.pop_input(port, 0).unwrap().id, 2);
+        assert_eq!(s.input_head(port, 0).unwrap(), packet(1));
+        assert_eq!(s.pop_input(port, 0).unwrap(), packet(1));
+        assert_eq!(s.pop_input(port, 0).unwrap(), packet(2));
         assert!(s.pop_input(port, 0).is_none());
     }
 

@@ -101,6 +101,115 @@ impl SimulationReport {
     }
 }
 
+/// Mean and standard error of one measured quantity across repetitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanSe {
+    /// Sample mean across the repetitions.
+    pub mean: f64,
+    /// Standard error of the mean (sample std-dev / sqrt(n)); 0 for n = 1.
+    pub se: f64,
+}
+
+impl MeanSe {
+    /// Compute mean and standard error of `values`.
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self { mean, se: 0.0 };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        Self {
+            mean,
+            se: (var / n as f64).sqrt(),
+        }
+    }
+
+    /// `mean ± se` rendered with three decimals.
+    pub fn display(&self) -> String {
+        format!("{:.3} ± {:.3}", self.mean, self.se)
+    }
+}
+
+/// One sweep point aggregated across `seeds_per_point` repetitions: the
+/// mean and standard error of every headline metric.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AggregatedReport {
+    /// Routing algorithm label.
+    pub routing: String,
+    /// Traffic pattern label.
+    pub traffic: String,
+    /// Offered load in `[0, 1]`.
+    pub offered_load: f64,
+    /// Number of repetitions aggregated.
+    pub runs: usize,
+    /// Normalised throughput.
+    pub throughput: MeanSe,
+    /// Mean packet latency (µs).
+    pub mean_latency_us: MeanSe,
+    /// 99th-percentile latency (µs).
+    pub p99_latency_us: MeanSe,
+    /// Mean hop count.
+    pub mean_hops: MeanSe,
+    /// Packets delivered in the measurement window.
+    pub packets_delivered: MeanSe,
+}
+
+impl AggregatedReport {
+    /// Aggregate a group of repetitions of the same `(routing, traffic,
+    /// load)` point. Panics on an empty group.
+    pub fn from_group(reports: &[&SimulationReport]) -> Self {
+        let first = reports
+            .first()
+            .expect("aggregation group must be non-empty");
+        let col = |f: fn(&SimulationReport) -> f64| {
+            MeanSe::of(&reports.iter().map(|r| f(r)).collect::<Vec<_>>())
+        };
+        Self {
+            routing: first.routing.clone(),
+            traffic: first.traffic.clone(),
+            offered_load: first.offered_load,
+            runs: reports.len(),
+            throughput: col(|r| r.throughput),
+            mean_latency_us: col(|r| r.mean_latency_us),
+            p99_latency_us: col(|r| r.p99_latency_us),
+            mean_hops: col(|r| r.mean_hops),
+            packets_delivered: col(|r| r.packets_delivered as f64),
+        }
+    }
+
+    /// The CSV header matching [`AggregatedReport::csv_row`].
+    pub fn csv_header() -> String {
+        "routing,traffic,offered_load,runs,throughput_mean,throughput_se,\
+         mean_latency_us_mean,mean_latency_us_se,p99_latency_us_mean,p99_latency_us_se,\
+         mean_hops_mean,mean_hops_se,packets_delivered_mean"
+            .to_string()
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.3},{},{:.4},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1}",
+            self.routing,
+            self.traffic,
+            self.offered_load,
+            self.runs,
+            self.throughput.mean,
+            self.throughput.se,
+            self.mean_latency_us.mean,
+            self.mean_latency_us.se,
+            self.p99_latency_us.mean,
+            self.p99_latency_us.se,
+            self.mean_hops.mean,
+            self.mean_hops.se,
+            self.packets_delivered.mean,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +258,43 @@ mod tests {
         assert!((report().delivery_ratio() - 0.99).abs() < 1e-12);
         let empty = SimulationReport::default();
         assert_eq!(empty.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn mean_se_basics() {
+        assert_eq!(MeanSe::of(&[]), MeanSe::default());
+        let single = MeanSe::of(&[4.0]);
+        assert_eq!((single.mean, single.se), (4.0, 0.0));
+        // Known case: values 1..5 have mean 3, sample sd sqrt(2.5),
+        // se = sqrt(2.5/5) = sqrt(0.5).
+        let m = MeanSe::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((m.mean - 3.0).abs() < 1e-12);
+        assert!((m.se - (0.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_across_repetitions() {
+        let mut a = report();
+        let mut b = report();
+        a.throughput = 0.7;
+        b.throughput = 0.9;
+        a.packets_delivered = 900;
+        b.packets_delivered = 1_100;
+        let agg = AggregatedReport::from_group(&[&a, &b]);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.throughput.mean - 0.8).abs() < 1e-12);
+        assert!(agg.throughput.se > 0.0);
+        assert!((agg.packets_delivered.mean - 1_000.0).abs() < 1e-12);
+        assert_eq!(agg.routing, "Q-adp");
+    }
+
+    #[test]
+    fn aggregated_csv_row_matches_header_arity() {
+        let agg = AggregatedReport::from_group(&[&report()]);
+        let header_fields = AggregatedReport::csv_header().split(',').count();
+        let row_fields = agg.csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+        assert_eq!(agg.runs, 1);
+        assert_eq!(agg.throughput.se, 0.0, "single run has zero std error");
     }
 }

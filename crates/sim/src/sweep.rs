@@ -7,7 +7,7 @@
 
 use crate::builder::SimulationBuilder;
 use dragonfly_engine::time::SimTime;
-use dragonfly_metrics::report::SimulationReport;
+use dragonfly_metrics::report::{AggregatedReport, SimulationReport};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::TrafficSpec;
@@ -49,6 +49,79 @@ impl SweepResult {
         }
         out
     }
+
+    /// Aggregate repetitions of the same `(routing, traffic, load)` point
+    /// into mean/standard-error rows, in first-appearance order. With one
+    /// seed per point this is one row per report with zero standard errors.
+    pub fn aggregated(&self) -> Vec<AggregatedReport> {
+        /// The identity of one sweep point (load compared bitwise).
+        type PointKey<'a> = (&'a str, &'a str, u64);
+        let mut groups: Vec<(Vec<&SimulationReport>, PointKey<'_>)> = Vec::new();
+        for report in &self.reports {
+            let key: PointKey<'_> = (
+                report.routing.as_str(),
+                report.traffic.as_str(),
+                report.offered_load.to_bits(),
+            );
+            match groups.iter_mut().find(|(_, k)| *k == key) {
+                Some((members, _)) => members.push(report),
+                None => groups.push((vec![report], key)),
+            }
+        }
+        groups
+            .iter()
+            .map(|(members, _)| AggregatedReport::from_group(members))
+            .collect()
+    }
+
+    /// Whether any point has more than one repetition (i.e. aggregation
+    /// adds information beyond the raw rows). Cheap duplicate-key scan —
+    /// no aggregation statistics are computed.
+    pub fn has_repetitions(&self) -> bool {
+        let mut seen: Vec<(&str, &str, u64)> = Vec::with_capacity(self.reports.len());
+        self.reports.iter().any(|r| {
+            let key = (
+                r.routing.as_str(),
+                r.traffic.as_str(),
+                r.offered_load.to_bits(),
+            );
+            if seen.contains(&key) {
+                true
+            } else {
+                seen.push(key);
+                false
+            }
+        })
+    }
+
+    /// CSV rendering of the aggregated rows.
+    pub fn to_csv_aggregated(&self) -> String {
+        let mut out = AggregatedReport::csv_header();
+        for row in self.aggregated() {
+            out.push('\n');
+            out.push_str(&row.csv_row());
+        }
+        out
+    }
+
+    /// Both views of the sweep as one serialisable value (used by the CLI's
+    /// JSON output so consumers get raw and aggregated rows together).
+    pub fn with_aggregates(&self) -> SweepOutput {
+        SweepOutput {
+            raw: self.reports.clone(),
+            aggregated: self.aggregated(),
+        }
+    }
+}
+
+/// Raw per-repetition reports plus their per-point aggregation — the full
+/// output of a sweep run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepOutput {
+    /// One report per simulation run (repetitions listed individually).
+    pub raw: Vec<SimulationReport>,
+    /// One mean/std-error row per `(routing, traffic, load)` point.
+    pub aggregated: Vec<AggregatedReport>,
 }
 
 /// Run a batch of prepared simulations in parallel across `threads`
@@ -241,6 +314,48 @@ mod tests {
             assert_eq!(a.packets_delivered, b.packets_delivered);
             assert_eq!(a.mean_latency_us, b.mean_latency_us);
         }
+    }
+
+    #[test]
+    fn aggregation_collapses_repeated_seeds() {
+        let mut spec: crate::spec::SweepSpec = tiny_sweep().into();
+        spec.seeds_per_point = Some(3);
+        let result = spec.run_parallel(0);
+        assert_eq!(result.reports.len(), 12, "3 repetitions of 4 points");
+        assert!(result.has_repetitions());
+        let agg = result.aggregated();
+        assert_eq!(agg.len(), 4, "one aggregated row per (routing, load)");
+        for row in &agg {
+            assert_eq!(row.runs, 3);
+            assert!(row.throughput.mean > 0.0);
+        }
+        // Aggregated means equal the hand-computed group means.
+        let min_01: Vec<&SimulationReport> = result
+            .reports
+            .iter()
+            .filter(|r| r.routing == "MIN" && r.offered_load == 0.1)
+            .collect();
+        assert_eq!(min_01.len(), 3);
+        let expect = min_01.iter().map(|r| r.throughput).sum::<f64>() / 3.0;
+        let row = agg
+            .iter()
+            .find(|a| a.routing == "MIN" && a.offered_load == 0.1)
+            .unwrap();
+        assert!((row.throughput.mean - expect).abs() < 1e-12);
+        // Both views travel together in the serialisable output.
+        let output = result.with_aggregates();
+        assert_eq!(output.raw.len(), 12);
+        assert_eq!(output.aggregated.len(), 4);
+        let csv = result.to_csv_aggregated();
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn single_seed_sweeps_have_no_repetitions() {
+        let result = tiny_sweep().run_parallel(0);
+        assert!(!result.has_repetitions());
+        assert_eq!(result.aggregated().len(), result.reports.len());
+        assert!(result.aggregated().iter().all(|a| a.throughput.se == 0.0));
     }
 
     #[test]
