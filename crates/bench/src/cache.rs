@@ -1,0 +1,315 @@
+//! Cached figure results: skip re-running simulation points whose spec has
+//! not changed.
+//!
+//! Every figure panel is data — a [`SweepSpec`] grid of [`ExperimentSpec`]
+//! points or a convergence [`ExperimentSpec`] — and the engine is
+//! deterministic for a fixed spec, so a result keyed by the full spec
+//! (topology, routing, traffic, load, windows, seed **and** the
+//! engine/shard hardware config) can be reused forever. The cache is a
+//! directory of JSON files named by an FNV-1a hash of the canonical spec
+//! JSON plus a schema-version salt; `qadaptive-cli figure --cache-dir DIR`
+//! turns it on and `--no-cache` bypasses it.
+//!
+//! Cached reports replay the original run's `wall_seconds` /
+//! `events_processed`, so perf numbers printed from cache hits describe
+//! the recording machine, not the current one — results, not timings, are
+//! the contract.
+
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_sim::convergence::ConvergenceResult;
+use dragonfly_sim::spec::{budget_workers, ExperimentSpec, SweepSpec};
+use dragonfly_sim::sweep::{run_builders_parallel, SweepResult};
+use std::path::{Path, PathBuf};
+
+/// Bump when the cached JSON schema or the simulation semantics change in
+/// a way that invalidates old results (e.g. the PR 3 event-ordering key).
+const CACHE_VERSION: &str = "qadaptive-cache-v3";
+
+/// 64-bit FNV-1a (no external hashing crates in the offline build).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of cached simulation results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (and create if needed) a cache directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cache key of one sweep point (prefix distinguishes result schemas).
+    pub fn point_key(spec: &ExperimentSpec) -> String {
+        Self::key("pt", spec)
+    }
+
+    /// Cache key of a convergence run.
+    pub fn convergence_key(spec: &ExperimentSpec) -> String {
+        Self::key("cv", spec)
+    }
+
+    fn key(prefix: &str, spec: &ExperimentSpec) -> String {
+        let mut payload = String::from(CACHE_VERSION);
+        payload.push('\n');
+        // The canonical JSON covers everything that determines the result,
+        // including the optional engine override (hardware timings). The
+        // shard count and scheduler choice are *stripped* first: both are
+        // pinned bit-for-bit result-invariant (shard_differential /
+        // scheduler_differential), so a cache warmed without `--shards`
+        // keeps serving hits when the user later turns sharding on.
+        let mut canonical = spec.clone();
+        if let Some(engine) = canonical.engine.as_mut() {
+            engine.shards = Default::default();
+            engine.scheduler = Default::default();
+        }
+        // `--shards` materialises a default engine override where the spec
+        // had none; after stripping, a pure-default override means the
+        // same hardware as no override at all.
+        if canonical.engine == Some(dragonfly_engine::EngineConfig::default()) {
+            canonical.engine = None;
+        }
+        payload.push_str(&canonical.to_json());
+        format!("{prefix}_{:016x}", fnv1a(payload.as_bytes()))
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    fn load_json<T: serde::Deserialize>(&self, key: &str) -> Option<T> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        // A corrupt or schema-incompatible file is treated as a miss.
+        serde_json::from_str(&text).ok()
+    }
+
+    fn store_json<T: serde::Serialize>(&self, key: &str, value: &T) {
+        // Caching is best-effort: an unwritable directory degrades to
+        // re-running, never to a failed figure.
+        if let Ok(text) = serde_json::to_string(value) {
+            let _ = std::fs::write(self.path(key), text);
+        }
+    }
+
+    /// Fetch a cached sweep-point report.
+    pub fn load_report(&self, key: &str) -> Option<SimulationReport> {
+        self.load_json(key)
+    }
+
+    /// Store a sweep-point report.
+    pub fn store_report(&self, key: &str, report: &SimulationReport) {
+        self.store_json(key, report);
+    }
+
+    /// Fetch a cached convergence result.
+    pub fn load_convergence(&self, key: &str) -> Option<ConvergenceResult> {
+        self.load_json(key)
+    }
+
+    /// Store a convergence result.
+    pub fn store_convergence(&self, key: &str, result: &ConvergenceResult) {
+        self.store_json(key, result);
+    }
+}
+
+/// Run a sweep, serving unchanged points from `cache` and executing only
+/// the misses (in parallel, with the sweep's usual thread budgeting).
+/// Returns the full in-order result plus the number of cache hits.
+pub fn run_sweep_cached(
+    sweep: &SweepSpec,
+    threads: usize,
+    cache: Option<&ResultCache>,
+) -> (SweepResult, usize) {
+    let Some(cache) = cache else {
+        return (sweep.run_parallel(threads), 0);
+    };
+    let points = sweep.points();
+    let keys: Vec<String> = points.iter().map(ResultCache::point_key).collect();
+    let mut reports: Vec<Option<SimulationReport>> =
+        keys.iter().map(|k| cache.load_report(k)).collect();
+    let hits = reports.iter().filter(|r| r.is_some()).count();
+    let misses: Vec<usize> = (0..points.len())
+        .filter(|i| reports[*i].is_none())
+        .collect();
+    if !misses.is_empty() {
+        let builders = misses.iter().map(|&i| points[i].to_builder()).collect();
+        let fresh =
+            run_builders_parallel(builders, budget_workers(threads, sweep.shards_per_point()));
+        for (&index, report) in misses.iter().zip(fresh) {
+            cache.store_report(&keys[index], &report);
+            reports[index] = Some(report);
+        }
+    }
+    (
+        SweepResult {
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("every point is a hit or was just run"))
+                .collect(),
+        },
+        hits,
+    )
+}
+
+/// Run a convergence spec through the cache.
+pub fn run_convergence_cached(
+    spec: &ExperimentSpec,
+    cache: Option<&ResultCache>,
+) -> (ConvergenceResult, bool) {
+    let key = ResultCache::convergence_key(spec);
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.load_convergence(&key) {
+            return (hit, true);
+        }
+    }
+    let result = dragonfly_sim::convergence::run_convergence_spec(spec);
+    if let Some(cache) = cache {
+        cache.store_convergence(&key, &result);
+    }
+    (result, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qadaptive-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec(seed: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(DragonflyConfig::tiny());
+        spec.warmup_ns = 2_000;
+        spec.measure_ns = 5_000;
+        spec.load = Some(0.2);
+        spec.seed = Some(seed);
+        spec
+    }
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        let a = ResultCache::point_key(&tiny_spec(1));
+        assert_eq!(a, ResultCache::point_key(&tiny_spec(1)), "stable");
+        assert_ne!(a, ResultCache::point_key(&tiny_spec(2)), "seed-sensitive");
+        // Result-relevant engine fields (hardware timings) change the key...
+        let mut slow = tiny_spec(1);
+        slow.engine = Some(dragonfly_engine::EngineConfig {
+            global_latency_ns: 600,
+            ..Default::default()
+        });
+        let mut default_engine = tiny_spec(1);
+        default_engine.engine = Some(Default::default());
+        assert_eq!(
+            a,
+            ResultCache::point_key(&default_engine),
+            "a pure-default engine override hashes like no override"
+        );
+        assert_ne!(
+            ResultCache::point_key(&default_engine),
+            ResultCache::point_key(&slow),
+            "hardware timings are part of the key"
+        );
+        // ...but the shard count and scheduler do not (results are pinned
+        // bit-for-bit identical across both), so a warm cache survives
+        // turning `--shards` on.
+        let mut sharded = tiny_spec(1);
+        sharded.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            scheduler: dragonfly_engine::SchedulerKind::BinaryHeap,
+            ..Default::default()
+        });
+        assert_eq!(
+            ResultCache::point_key(&default_engine),
+            ResultCache::point_key(&sharded),
+            "shard/scheduler choice must not invalidate the cache"
+        );
+        assert_ne!(
+            ResultCache::point_key(&tiny_spec(1)),
+            ResultCache::convergence_key(&tiny_spec(1)),
+            "result schemas do not collide"
+        );
+    }
+
+    #[test]
+    fn reports_round_trip_through_the_cache() {
+        let cache = ResultCache::new(tmp_dir("report")).unwrap();
+        let spec = tiny_spec(3);
+        let key = ResultCache::point_key(&spec);
+        assert!(cache.load_report(&key).is_none());
+        let report = spec.run();
+        cache.store_report(&key, &report);
+        let cached = cache.load_report(&key).expect("hit after store");
+        assert_eq!(cached.packets_delivered, report.packets_delivered);
+        assert_eq!(cached.mean_latency_us, report.mean_latency_us);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cached_sweep_skips_unchanged_points() {
+        let cache = ResultCache::new(tmp_dir("sweep")).unwrap();
+        let sweep = SweepSpec {
+            name: String::new(),
+            topology: DragonflyConfig::tiny(),
+            traffics: vec![],
+            routings: vec![dragonfly_routing::RoutingSpec::Minimal],
+            loads: vec![0.1, 0.3],
+            warmup_ns: 2_000,
+            measure_ns: 5_000,
+            seed: Some(5),
+            seeds_per_point: None,
+            engine: None,
+        };
+        let (first, hits_first) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits_first, 0, "cold cache");
+        let (second, hits_second) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits_second, 2, "warm cache serves every point");
+        for (a, b) in first.reports.iter().zip(second.reports.iter()) {
+            assert_eq!(a.packets_delivered, b.packets_delivered);
+            assert_eq!(a.mean_latency_us, b.mean_latency_us);
+            assert_eq!(a.offered_load, b.offered_load);
+        }
+        // A different seed is a different point: misses again.
+        let mut reseeded = sweep.clone();
+        reseeded.seed = Some(6);
+        let (_, hits_reseeded) = run_sweep_cached(&reseeded, 1, Some(&cache));
+        assert_eq!(hits_reseeded, 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn convergence_results_cache_too() {
+        let cache = ResultCache::new(tmp_dir("conv")).unwrap();
+        let mut spec = tiny_spec(7);
+        spec.series_bin_ns = Some(2_000);
+        let (fresh, was_hit) = run_convergence_cached(&spec, Some(&cache));
+        assert!(!was_hit);
+        let (cached, was_hit) = run_convergence_cached(&spec, Some(&cache));
+        assert!(was_hit);
+        assert_eq!(
+            fresh.report.packets_delivered,
+            cached.report.packets_delivered
+        );
+        assert_eq!(fresh.series.len(), cached.series.len());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

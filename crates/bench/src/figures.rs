@@ -8,9 +8,10 @@
 //! thin wrappers over [`main_for`] / [`run_plan`]; none of them constructs
 //! a sweep by hand.
 
-use crate::harness::{markdown_table, BenchArgs, RunMode};
+use crate::cache::{run_convergence_cached, run_sweep_cached, ResultCache};
+use crate::harness::{apply_shards, markdown_table, BenchArgs, RunMode};
 use dragonfly_routing::RoutingSpec;
-use dragonfly_sim::convergence::{run_convergence_spec, ConvergenceResult};
+use dragonfly_sim::convergence::ConvergenceResult;
 use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
 use dragonfly_sim::sweep::SweepResult;
 use dragonfly_topology::config::DragonflyConfig;
@@ -617,10 +618,23 @@ impl FigureResult {
     }
 }
 
+/// The result cache selected by `args` (`--cache-dir` without
+/// `--no-cache`), or `None`.
+fn cache_from_args(args: &BenchArgs) -> Result<Option<ResultCache>, String> {
+    match (&args.cache_dir, args.no_cache) {
+        (Some(dir), false) => ResultCache::new(dir).map(Some),
+        _ => Ok(None),
+    }
+}
+
 /// Execute a plan, streaming human-readable progress and tables to stdout
 /// (exactly what the legacy binaries printed), and return the structured
 /// results for CSV/JSON export.
 pub fn run_plan(plan: FigurePlan, args: &BenchArgs) -> FigureResult {
+    let cache = cache_from_args(args).unwrap_or_else(|e| {
+        eprintln!("warning: {e}; running without a cache");
+        None
+    });
     match plan {
         FigurePlan::Sweeps {
             panels,
@@ -628,9 +642,13 @@ pub fn run_plan(plan: FigurePlan, args: &BenchArgs) -> FigureResult {
             saturation_summary,
         } => {
             let mut results = Vec::new();
-            for (title, sweep) in panels {
+            for (title, mut sweep) in panels {
+                apply_shards(&mut sweep.engine, args.shards);
                 println!("\n{title} ({} simulations)...", sweep.len());
-                let result = sweep.run_parallel(args.threads);
+                let (result, hits) = run_sweep_cached(&sweep, args.threads, cache.as_ref());
+                if hits > 0 {
+                    println!("(served {hits}/{} points from the cache)", sweep.len());
+                }
                 print_sweep_table(&result, columns);
                 if saturation_summary {
                     print_saturation_summary(&sweep, &result);
@@ -641,9 +659,13 @@ pub fn run_plan(plan: FigurePlan, args: &BenchArgs) -> FigureResult {
         }
         FigurePlan::Convergence { runs, curve } => {
             let mut results = Vec::new();
-            for (title, spec) in runs {
+            for (title, mut spec) in runs {
+                apply_shards(&mut spec.engine, args.shards);
                 println!("\n{title} (simulating {} us)...", spec.total_ns() / 1_000);
-                let result = run_convergence_spec(&spec);
+                let (result, hit) = run_convergence_cached(&spec, cache.as_ref());
+                if hit {
+                    println!("(served from the cache)");
+                }
                 print_convergence_panel(&result, curve);
                 results.push((title, result));
             }

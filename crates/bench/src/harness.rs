@@ -1,6 +1,7 @@
 //! Shared command-line handling and table formatting for the figure
 //! binaries.
 
+use dragonfly_engine::config::ShardKind;
 use dragonfly_engine::time::SimTime;
 
 /// How much simulated time to spend per point.
@@ -14,14 +15,24 @@ pub enum RunMode {
 }
 
 /// Parsed command-line arguments shared by all figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Quick or full windows.
     pub mode: RunMode,
-    /// Worker threads for parallel sweeps (0 = all CPUs).
+    /// Worker threads for parallel sweeps (0 = all CPUs). When runs are
+    /// sharded this budget is divided between sweep workers and per-run
+    /// shards.
     pub threads: usize,
     /// Base seed.
     pub seed: u64,
+    /// Conservative-parallel shard override applied to every simulation
+    /// of the figure (`None` = whatever the specs say, normally `Single`).
+    pub shards: Option<ShardKind>,
+    /// Serve unchanged simulation points from this result-cache directory
+    /// (see `dragonfly_bench::cache`).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Bypass the cache even when `cache_dir` is set.
+    pub no_cache: bool,
 }
 
 impl BenchArgs {
@@ -37,6 +48,9 @@ impl BenchArgs {
         let mut mode = RunMode::Quick;
         let mut threads = 0usize;
         let mut seed = 1u64;
+        let mut shards = None;
+        let mut cache_dir = None;
+        let mut no_cache = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -54,6 +68,19 @@ impl BenchArgs {
                         i += 1;
                     }
                 }
+                "--shards" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| parse_shards(s).ok()) {
+                        shards = Some(v);
+                        i += 1;
+                    }
+                }
+                "--cache-dir" => {
+                    if let Some(v) = args.get(i + 1) {
+                        cache_dir = Some(std::path::PathBuf::from(v));
+                        i += 1;
+                    }
+                }
+                "--no-cache" => no_cache = true,
                 _ => {}
             }
             i += 1;
@@ -62,6 +89,9 @@ impl BenchArgs {
             mode,
             threads,
             seed,
+            shards,
+            cache_dir,
+            no_cache,
         }
     }
 
@@ -114,6 +144,29 @@ impl BenchArgs {
             },
             self.seed
         )
+    }
+}
+
+/// Apply a `--shards` override to a spec's optional engine config (the
+/// shared implementation behind the CLI commands and the figure registry).
+pub fn apply_shards(
+    engine: &mut Option<dragonfly_engine::EngineConfig>,
+    shards: Option<ShardKind>,
+) {
+    if let Some(kind) = shards {
+        engine.get_or_insert_with(Default::default).shards = kind;
+    }
+}
+
+/// Parse a `--shards` value: `single`, `auto`, or a shard count.
+pub fn parse_shards(value: &str) -> Result<ShardKind, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "single" | "1" => Ok(ShardKind::Single),
+        "auto" => Ok(ShardKind::Auto),
+        n => n
+            .parse::<usize>()
+            .map(ShardKind::Fixed)
+            .map_err(|_| format!("--shards takes `auto`, `single` or a count (got `{value}`)")),
     }
 }
 
@@ -173,6 +226,31 @@ mod tests {
         assert_eq!(a.measure_ns(), 100_000);
         assert!(a.ur_loads().len() > a.adv_loads().len());
         assert!(a.banner("fig5").contains("fig5"));
+        assert_eq!(a.shards, None);
+        assert_eq!(a.cache_dir, None);
+        assert!(!a.no_cache);
+    }
+
+    #[test]
+    fn shard_and_cache_flags_parse() {
+        let a = BenchArgs::from_slice(&s(&[
+            "prog",
+            "--shards",
+            "4",
+            "--cache-dir",
+            "/tmp/qcache",
+            "--no-cache",
+        ]));
+        assert_eq!(a.shards, Some(ShardKind::Fixed(4)));
+        assert_eq!(
+            a.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/qcache"))
+        );
+        assert!(a.no_cache);
+        assert_eq!(parse_shards("auto"), Ok(ShardKind::Auto));
+        assert_eq!(parse_shards("single"), Ok(ShardKind::Single));
+        assert_eq!(parse_shards("6"), Ok(ShardKind::Fixed(6)));
+        assert!(parse_shards("lots").is_err());
     }
 
     #[test]

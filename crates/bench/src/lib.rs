@@ -27,10 +27,12 @@
 //! values — plus shared rendering. The `qadaptive-cli figure` subcommand
 //! drives the same registry and can export CSV/JSON.
 
+pub mod cache;
 pub mod figures;
 pub mod harness;
 pub mod smoke;
 
+pub use cache::{run_sweep_cached, ResultCache};
 pub use figures::{run_figure, FigurePlan, FigureResult};
 pub use harness::{BenchArgs, RunMode};
-pub use smoke::{check_against_baseline, run_smoke, SmokeBench};
+pub use smoke::{check_against_baseline, run_smoke, run_smoke_sharded, SmokeBench};

@@ -4,11 +4,13 @@
 //! One canonical workload — uniform-random traffic at 30 % load on the
 //! paper's 1,056-node system under minimal routing (the cheapest agent, so
 //! the engine itself dominates) — is run once per scheduler
-//! implementation. The result records simulated events per wall-clock
-//! second for both, and is written to `BENCH_PR2.json` at the repository
-//! root so later PRs have a perf trajectory to compare against.
+//! implementation, plus once on the sharded conservative-parallel engine.
+//! The result records simulated events per wall-clock second for each, and
+//! is written to `BENCH_PR3.json` at the repository root so later PRs have
+//! a perf trajectory to compare against (`BENCH_PR2.json` is the previous
+//! baseline, still readable thanks to defaulted fields).
 
-use dragonfly_engine::config::{EngineConfig, SchedulerKind};
+use dragonfly_engine::config::{EngineConfig, SchedulerKind, ShardKind};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::builder::SimulationBuilder;
 use dragonfly_topology::config::DragonflyConfig;
@@ -52,6 +54,22 @@ pub struct SmokeBench {
     pub binary_heap: SchedulerBench,
     /// `calendar.events_per_sec / binary_heap.events_per_sec`.
     pub speedup: f64,
+    /// Sharded-engine measurement (calendar scheduler, `shards` shards).
+    #[serde(default)]
+    pub sharded: SchedulerBench,
+    /// Shard count of the sharded leg (0 in pre-shard baselines).
+    #[serde(default)]
+    pub shards: usize,
+    /// `sharded.events_per_sec / calendar.events_per_sec` — the
+    /// machine-relative intra-simulation parallel speedup. Only meaningful
+    /// when the recording host had at least `shards` CPUs (see
+    /// `host_cpus`); on a smaller host the lockstep windows serialise and
+    /// the ratio records the sharding overhead instead.
+    #[serde(default)]
+    pub shard_speedup: f64,
+    /// CPUs available on the host that recorded this benchmark.
+    #[serde(default)]
+    pub host_cpus: usize,
 }
 
 /// Quick-mode measurement window (simulated ns) — also used by the
@@ -76,8 +94,19 @@ fn measure_ns(quick: bool) -> u64 {
 /// uniform-random traffic at 30 % load on the 1,056-node system under
 /// minimal routing (the cheapest agent, so the engine itself dominates).
 pub fn smoke_workload(scheduler: SchedulerKind, measure_ns: u64, seed: u64) -> SimulationBuilder {
+    smoke_workload_sharded(scheduler, ShardKind::Single, measure_ns, seed)
+}
+
+/// The smoke workload on the conservative-parallel engine.
+pub fn smoke_workload_sharded(
+    scheduler: SchedulerKind,
+    shards: ShardKind,
+    measure_ns: u64,
+    seed: u64,
+) -> SimulationBuilder {
     let cfg = EngineConfig {
         scheduler,
+        shards,
         ..EngineConfig::default()
     };
     SimulationBuilder::new(DragonflyConfig::paper_1056())
@@ -92,13 +121,14 @@ pub fn smoke_workload(scheduler: SchedulerKind, measure_ns: u64, seed: u64) -> S
 
 fn run_one(
     scheduler: SchedulerKind,
+    shards: ShardKind,
     measure_ns: u64,
     seed: u64,
     iterations: u32,
 ) -> SchedulerBench {
     let mut best = SchedulerBench::default();
     for _ in 0..iterations.max(1) {
-        let report = smoke_workload(scheduler, measure_ns, seed).run();
+        let report = smoke_workload_sharded(scheduler, shards, measure_ns, seed).run();
         let rate = report.events_processed as f64 / report.wall_seconds.max(1e-9);
         if rate > best.events_per_sec {
             best = SchedulerBench {
@@ -111,12 +141,40 @@ fn run_one(
     best
 }
 
-/// Run the smoke workload under both schedulers.
-pub fn run_smoke(quick: bool, seed: u64) -> SmokeBench {
+/// The default shard count of the sharded bench leg.
+pub const BENCH_SHARDS: usize = 4;
+
+/// Run the smoke workload under both schedulers and once on the sharded
+/// engine with `shards` shards (0 = the default [`BENCH_SHARDS`]).
+pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let measure_ns = measure_ns(quick);
     let iterations = if quick { 2 } else { 3 };
-    let calendar = run_one(SchedulerKind::Calendar, measure_ns, seed, iterations);
-    let binary_heap = run_one(SchedulerKind::BinaryHeap, measure_ns, seed, iterations);
+    let shards = if shards == 0 { BENCH_SHARDS } else { shards };
+    let calendar = run_one(
+        SchedulerKind::Calendar,
+        ShardKind::Single,
+        measure_ns,
+        seed,
+        iterations,
+    );
+    let binary_heap = run_one(
+        SchedulerKind::BinaryHeap,
+        ShardKind::Single,
+        measure_ns,
+        seed,
+        iterations,
+    );
+    let sharded = run_one(
+        SchedulerKind::Calendar,
+        ShardKind::Fixed(shards),
+        measure_ns,
+        seed,
+        iterations,
+    );
+    assert_eq!(
+        sharded.events, calendar.events,
+        "sharded and single-shard runs must process identical event streams"
+    );
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
         nodes: DragonflyConfig::paper_1056().nodes(),
@@ -124,10 +182,22 @@ pub fn run_smoke(quick: bool, seed: u64) -> SmokeBench {
         events: calendar.events,
         events_per_sec: calendar.events_per_sec,
         wall_s: calendar.wall_s,
+        speedup: calendar.events_per_sec / binary_heap.events_per_sec.max(1e-9),
+        shard_speedup: sharded.events_per_sec / calendar.events_per_sec.max(1e-9),
         calendar,
         binary_heap,
-        speedup: calendar.events_per_sec / binary_heap.events_per_sec.max(1e-9),
+        sharded,
+        shards,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     }
+}
+
+/// Run the smoke workload under both schedulers (and the default sharded
+/// leg).
+pub fn run_smoke(quick: bool, seed: u64) -> SmokeBench {
+    run_smoke_sharded(quick, seed, 0)
 }
 
 /// Compare a fresh run against a committed baseline: fail when the

@@ -14,7 +14,8 @@
 //! ```
 
 use dragonfly_bench::figures;
-use dragonfly_bench::harness::{markdown_table, BenchArgs};
+use dragonfly_bench::harness::{apply_shards, markdown_table, parse_shards, BenchArgs};
+use dragonfly_engine::config::ShardKind;
 use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
 use std::process::ExitCode;
 
@@ -35,6 +36,9 @@ struct CommonFlags {
     seed: Option<u64>,
     baseline: Option<String>,
     tolerance_pct: Option<f64>,
+    shards: Option<ShardKind>,
+    cache_dir: Option<String>,
+    no_cache: bool,
     positional: Vec<String>,
 }
 
@@ -47,6 +51,9 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
         seed: None,
         baseline: None,
         tolerance_pct: None,
+        shards: None,
+        cache_dir: None,
+        no_cache: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -81,6 +88,11 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
                 };
             }
             "--out" => flags.out = Some(next_value(args, &mut i, "--out")?),
+            "--shards" => {
+                flags.shards = Some(parse_shards(&next_value(args, &mut i, "--shards")?)?);
+            }
+            "--cache-dir" => flags.cache_dir = Some(next_value(args, &mut i, "--cache-dir")?),
+            "--no-cache" => flags.no_cache = true,
             "--quick" => flags.quick_full = Some(false),
             "--full" => flags.quick_full = Some(true),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -119,20 +131,27 @@ fn usage() -> String {
         "qadaptive-cli — data-driven Dragonfly experiment runner\n\
          \n\
          USAGE:\n\
-         \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--format text|csv|json] [--out FILE]\n\
-         \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--format text|csv|json] [--out FILE]\n\
-         \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--shards auto|single|N]\n\
+         \u{20}                        [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--shards ...]\n\
+         \u{20}                        [--format text|csv|json] [--out FILE]\n\
+         \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--shards ...]\n\
+         \u{20}                        [--cache-dir DIR] [--no-cache] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
          \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
-         \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--out BENCH.json]\n\
+         \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--shards N] [--out BENCH.json]\n\
          \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30]\n\
          \u{20}                        (1,056-node engine smoke benchmark: calendar vs binary-heap\n\
-         \u{20}                         scheduler; --baseline fails on an events/sec regression)\n\
+         \u{20}                         scheduler plus the sharded parallel engine;\n\
+         \u{20}                         --baseline fails on an events/sec regression)\n\
          \n\
          FIGURE IDS: {}\n\
          \n\
          `run` takes a single-experiment spec, `sweep` a grid spec — see\n\
-         scenarios/README.md for the file format.",
+         scenarios/README.md for the file format. `--shards` runs each\n\
+         simulation on N conservative-parallel cores; results are\n\
+         bit-for-bit identical for every shard count. `figure --cache-dir`\n\
+         reuses results of unchanged points across invocations.",
         figure_ids.join(", ")
     )
 }
@@ -158,8 +177,19 @@ fn reject_bench_flags(flags: &CommonFlags, command: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// `--cache-dir`/`--no-cache` only make sense for `figure`.
+fn reject_cache_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
+    if flags.cache_dir.is_some() || flags.no_cache {
+        return Err(format!(
+            "--cache-dir/--no-cache only apply to `figure`, not `{command}`"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     reject_mode_flags(flags, "run")?;
+    reject_cache_flags(flags, "run")?;
     if flags.threads != 0 {
         return Err(
             "--threads only applies to `sweep` and `figure` (a `run` is one simulation)"
@@ -180,6 +210,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         spec.seed = Some(seed);
     }
+    apply_shards(&mut spec.engine, flags.shards);
     eprintln!("running: {}", spec.label());
     let report = spec.run();
     eprintln!(
@@ -207,6 +238,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
 
 fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
     reject_mode_flags(flags, "sweep")?;
+    reject_cache_flags(flags, "sweep")?;
     let path = flags
         .positional
         .first()
@@ -221,6 +253,7 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         sweep.seed = Some(seed);
     }
+    apply_shards(&mut sweep.engine, flags.shards);
     eprintln!(
         "sweeping: {} ({} points)",
         if sweep.name.is_empty() {
@@ -344,6 +377,7 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
             "`bench` takes no positional argument (got `{extra}`)"
         ));
     }
+    reject_cache_flags(flags, "bench")?;
     // Reject accepted-but-ignored flags, matching the other subcommands.
     if flags.threads != 0 {
         return Err(
@@ -356,6 +390,15 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
     }
     let quick = !matches!(flags.quick_full, Some(true));
     let seed = flags.seed.unwrap_or(1);
+    // The sharded leg's shard count (0 = the bench default of 4).
+    let bench_shards = match flags.shards {
+        None => 0,
+        Some(ShardKind::Single) => 1,
+        Some(ShardKind::Fixed(n)) => n,
+        Some(ShardKind::Auto) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
     // Load the baseline before the (expensive) run so a bad path fails fast.
     let baseline: Option<dragonfly_bench::SmokeBench> = match &flags.baseline {
         Some(path) => {
@@ -369,7 +412,7 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         "benchmarking the 1,056-node engine smoke workload ({}, seed {seed})...",
         if quick { "quick" } else { "full" }
     );
-    let bench = dragonfly_bench::run_smoke(quick, seed);
+    let bench = dragonfly_bench::run_smoke_sharded(quick, seed, bench_shards);
     eprintln!(
         "calendar:    {:>12.0} events/s  ({} events in {:.3} s)",
         bench.calendar.events_per_sec, bench.calendar.events, bench.calendar.wall_s
@@ -378,7 +421,21 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         "binary heap: {:>12.0} events/s  ({} events in {:.3} s)",
         bench.binary_heap.events_per_sec, bench.binary_heap.events, bench.binary_heap.wall_s
     );
-    eprintln!("speedup:     {:.2}x", bench.speedup);
+    eprintln!(
+        "sharded x{}:  {:>12.0} events/s  ({} events in {:.3} s)",
+        bench.shards, bench.sharded.events_per_sec, bench.sharded.events, bench.sharded.wall_s
+    );
+    eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
+    eprintln!(
+        "shard speedup:             {:.2}x on {} host CPUs{}",
+        bench.shard_speedup,
+        bench.host_cpus,
+        if bench.host_cpus < bench.shards {
+            " (fewer CPUs than shards: ratio records lockstep overhead, not speedup)"
+        } else {
+            ""
+        }
+    );
     if let Some(baseline) = &baseline {
         let tolerance = flags.tolerance_pct.unwrap_or(30.0) / 100.0;
         let verdict = dragonfly_bench::check_against_baseline(&bench, baseline, tolerance)?;
@@ -406,6 +463,9 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         bench_args.seed = seed;
     }
+    bench_args.shards = flags.shards;
+    bench_args.cache_dir = flags.cache_dir.as_ref().map(std::path::PathBuf::from);
+    bench_args.no_cache = flags.no_cache;
     if flags.format == Format::Text && flags.out.is_some() {
         // Text output streams to stdout as the figure runs; silently
         // producing no file would look like success.
@@ -424,6 +484,10 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
 
 fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
     reject_bench_flags(flags, "show")?;
+    reject_cache_flags(flags, "show")?;
+    if flags.shards.is_some() {
+        return Err("--shards applies to commands that run simulations, not `show`".to_string());
+    }
     let path = flags
         .positional
         .first()

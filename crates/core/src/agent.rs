@@ -387,6 +387,7 @@ mod tests {
         let col = t.layout().qtable_column(port).unwrap();
         let before = agent.table.get(row, col);
         let msg = FeedbackMsg {
+            packet_id: 0,
             src: NodeId(1),
             dst: NodeId(30),
             dst_router: RouterId(15),
@@ -421,6 +422,7 @@ mod tests {
         let before = agent.table.get(row, col);
         for _ in 0..10 {
             agent.feedback(&FeedbackMsg {
+                packet_id: 0,
                 src: NodeId(0),
                 dst: NodeId(50),
                 dst_router: RouterId(25),

@@ -23,6 +23,48 @@ pub enum SchedulerKind {
     BinaryHeap,
 }
 
+/// How many conservative-parallel shards execute one simulation.
+///
+/// The engine partitions routers by Dragonfly group into shards; each shard
+/// runs its own calendar queue and packet arena, and shards synchronise on
+/// a lookahead window equal to the global-link latency (see
+/// [`crate::sync`]). Because events are ordered by a content-derived key
+/// rather than push order, **every shard count produces bit-for-bit
+/// identical simulation output** — this knob only trades wall-clock speed
+/// against thread usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardKind {
+    /// One shard, no threads: the classic sequential event loop.
+    #[default]
+    Single,
+    /// Exactly `n` shards (clamped to the number of groups).
+    Fixed(usize),
+    /// One shard per available CPU, capped at the number of groups.
+    Auto,
+}
+
+impl ShardKind {
+    /// The concrete shard count for a system with `num_groups` groups and
+    /// a global-link latency of `global_latency_ns`.
+    ///
+    /// A zero global-link latency leaves no conservative lookahead window,
+    /// so sharding silently degrades to a single shard (results are
+    /// identical either way; only parallelism is lost).
+    pub fn resolve(self, num_groups: usize, global_latency_ns: SimTime) -> usize {
+        if global_latency_ns == 0 {
+            return 1;
+        }
+        let requested = match self {
+            ShardKind::Single => 1,
+            ShardKind::Fixed(n) => n,
+            ShardKind::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        requested.clamp(1, num_groups.max(1))
+    }
+}
+
 /// Timing, sizing and flow-control parameters of the simulated hardware.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -50,6 +92,10 @@ pub struct EngineConfig {
     /// calendar queue is faster and the default).
     #[serde(default)]
     pub scheduler: SchedulerKind,
+    /// Conservative-parallel shard count (identical results for every
+    /// value; `Single` is the sequential default).
+    #[serde(default)]
+    pub shards: ShardKind,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +111,7 @@ impl Default for EngineConfig {
             output_queue_packets: 20,
             num_vcs: 5,
             scheduler: SchedulerKind::default(),
+            shards: ShardKind::default(),
         }
     }
 }
@@ -201,5 +248,20 @@ mod tests {
         let cfg = EngineConfig::paper(3);
         assert_eq!(cfg.num_vcs, 3);
         assert_eq!(cfg.vc_buffer_packets, 20);
+        assert_eq!(cfg.shards, ShardKind::Single);
+    }
+
+    #[test]
+    fn shard_kind_resolution_clamps_and_gates() {
+        // Fixed counts clamp to [1, groups].
+        assert_eq!(ShardKind::Fixed(4).resolve(9, 300), 4);
+        assert_eq!(ShardKind::Fixed(0).resolve(9, 300), 1);
+        assert_eq!(ShardKind::Fixed(100).resolve(9, 300), 9);
+        assert_eq!(ShardKind::Single.resolve(9, 300), 1);
+        // Auto never exceeds the group count.
+        assert!(ShardKind::Auto.resolve(2, 300) <= 2);
+        assert!(ShardKind::Auto.resolve(64, 300) >= 1);
+        // Zero global latency leaves no lookahead: sequential fallback.
+        assert_eq!(ShardKind::Fixed(4).resolve(9, 0), 1);
     }
 }

@@ -1,28 +1,51 @@
-//! The event-driven simulation loop.
+//! The simulation coordinator: owns the shards, feeds them traffic and
+//! paces the conservative-parallel window loop.
 //!
-//! See the crate-level documentation for the model. The engine is generic
-//! over the [`SimObserver`] so that callers can retrieve their metric
-//! collectors by value after the run.
+//! See the crate-level documentation for the model and the sharding /
+//! determinism contract. With `shards = Single` (the default) the engine
+//! degenerates to the classic sequential event loop — same code path,
+//! no threads, no barriers. The engine is generic over the
+//! [`ShardObserver`] so that callers can retrieve their metric collectors
+//! by value after the run.
 
-use crate::arena::{PacketArena, PacketRef};
+use crate::arena::PacketArena;
 use crate::config::EngineConfig;
-use crate::event::{EventKind, EventQueue, Scheduler};
-use crate::injector::TrafficInjector;
-use crate::nic::NicState;
-use crate::observer::SimObserver;
-use crate::packet::{Packet, RouteInfo};
-use crate::router::{RouterState, Waiter};
-use crate::routing::{Decision, FeedbackMsg, RouterCtx, RoutingAlgorithm};
+use crate::injector::{Injection, TrafficInjector};
+use crate::observer::ShardObserver;
+use crate::routing::RoutingAlgorithm;
+use crate::shard::Shard;
+use crate::sync::{MailGrid, QueuedInjection, ShardPlan, WindowSync, NO_EVENT};
 use crate::time::SimTime;
-use dragonfly_topology::ids::{NodeId, Port, RouterId};
-use dragonfly_topology::paths::HopKind;
-use dragonfly_topology::ports::PortKind;
-use dragonfly_topology::topology::Neighbor;
+use dragonfly_topology::ids::RouterId;
 use dragonfly_topology::Dragonfly;
+use std::sync::atomic::Ordering;
+
+/// Drain progress of one shard (see [`EngineStats::shards`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDrain {
+    /// Messages generated at this shard's NICs.
+    pub generated: u64,
+    /// Packets delivered to this shard's nodes.
+    pub delivered: u64,
+    /// Live packets resident in this shard's arena (NIC source queues,
+    /// router buffers and in-flight intra-shard link traversals).
+    pub resident: u64,
+    /// Packets currently travelling *towards* this shard inside
+    /// cross-shard mailboxes (counted by the engine, since mailboxes live
+    /// between shards).
+    pub inbound_mail: u64,
+    /// Events processed by this shard.
+    pub events: u64,
+}
 
 /// Aggregate counters maintained by the engine itself (independent of the
 /// observer, so they are always available).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+///
+/// `shards` reports per-shard drain progress: during `run_to_drain` a
+/// packet can be resident in a shard's arena *or* sitting in a cross-shard
+/// mailbox between windows, and `sum(resident) + sum(inbound_mail)` always
+/// equals [`EngineStats::outstanding`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Messages generated at NICs.
     pub generated: u64,
@@ -32,41 +55,47 @@ pub struct EngineStats {
     pub delivered: u64,
     /// Events processed so far.
     pub events: u64,
+    /// Per-shard drain progress, in shard order (length = shard count).
+    pub shards: Vec<ShardDrain>,
 }
 
 impl EngineStats {
-    /// Packets generated but not yet delivered (in NIC queues or in the
-    /// fabric).
+    /// Packets generated but not yet delivered (in NIC queues, in the
+    /// fabric, or in cross-shard mailboxes).
     pub fn outstanding(&self) -> u64 {
         self.generated - self.delivered
+    }
+
+    /// Packets currently travelling between shards in mailboxes.
+    pub fn in_mailboxes(&self) -> u64 {
+        self.shards.iter().map(|s| s.inbound_mail).sum()
     }
 }
 
 /// The flit-level Dragonfly simulator.
-pub struct Engine<O: SimObserver> {
+pub struct Engine<O: ShardObserver> {
     topo: Dragonfly,
     cfg: EngineConfig,
-    routers: Vec<RouterState>,
-    agents: Vec<Box<dyn crate::routing::RouterAgent>>,
-    nics: Vec<NicState>,
-    queue: EventQueue,
-    packets: PacketArena,
+    plan: ShardPlan,
+    shards: Vec<Shard<O>>,
+    mail: MailGrid,
     injector: Box<dyn TrafficInjector>,
-    pending_injection: Option<crate::injector::Injection>,
-    observer: O,
-    now: SimTime,
+    /// The next injection pulled from the injector but not yet distributed
+    /// (the one-element lookahead that keeps the stream lazy).
+    pending_injection: Option<Injection>,
     next_packet_id: u64,
-    stats: EngineStats,
+    now: SimTime,
 }
 
-impl<O: SimObserver> Engine<O> {
+impl<O: ShardObserver> Engine<O> {
     /// Build a simulator: one router state and one routing agent per router,
-    /// one NIC per node.
+    /// one NIC per node, partitioned into `cfg.shards` conservative-parallel
+    /// shards (the shard count never changes simulation results).
     pub fn new(
         topo: Dragonfly,
         cfg: EngineConfig,
         algorithm: &dyn RoutingAlgorithm,
-        injector: Box<dyn TrafficInjector>,
+        mut injector: Box<dyn TrafficInjector>,
         observer: O,
         seed: u64,
     ) -> Self {
@@ -75,39 +104,34 @@ impl<O: SimObserver> Engine<O> {
             algorithm.num_vcs(),
             "EngineConfig::num_vcs must match the routing algorithm's VC requirement"
         );
-        let routers: Vec<RouterState> = topo
-            .routers()
-            .map(|_| RouterState::new(&topo, &cfg))
-            .collect();
-        let agents: Vec<Box<dyn crate::routing::RouterAgent>> = topo
-            .routers()
-            .map(|r| {
-                // Derive a distinct, deterministic seed per router.
-                let router_seed = seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(r.index() as u64);
-                algorithm.make_agent(&topo, &cfg, r, router_seed)
+        let num_shards = cfg.shards.resolve(topo.num_groups(), cfg.global_latency_ns);
+        let plan = ShardPlan::new(&topo, num_shards, cfg.global_latency_ns);
+        let shards: Vec<Shard<O>> = (0..plan.num_shards())
+            .map(|i| {
+                Shard::new(
+                    &topo,
+                    &cfg,
+                    algorithm,
+                    observer.clone(),
+                    seed,
+                    plan.clone(),
+                    i,
+                )
             })
             .collect();
-        let nics = topo.nodes().map(|_| NicState::new(&cfg)).collect();
-        let queue = EventQueue::for_config(&cfg);
-        let mut engine = Self {
+        let mail = MailGrid::new(plan.num_shards());
+        let pending_injection = injector.next_injection();
+        Self {
             topo,
             cfg,
-            routers,
-            agents,
-            nics,
-            queue,
-            packets: PacketArena::new(),
+            plan,
+            shards,
+            mail,
             injector,
-            pending_injection: None,
-            observer,
-            now: 0,
+            pending_injection,
             next_packet_id: 0,
-            stats: EngineStats::default(),
-        };
-        engine.pull_next_injection();
-        engine
+            now: 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -129,73 +153,119 @@ impl<O: SimObserver> Engine<O> {
         &self.cfg
     }
 
-    /// Aggregate counters.
+    /// The number of conservative-parallel shards actually running.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Aggregate counters, including per-shard drain progress.
     pub fn stats(&self) -> EngineStats {
-        let mut s = self.stats;
-        s.events = self.queue.processed();
-        s
+        let mut stats = EngineStats::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let drain = ShardDrain {
+                generated: shard.generated,
+                delivered: shard.delivered,
+                resident: shard.arena().live_count() as u64,
+                inbound_mail: self.mail.packets_bound_for(i),
+                events: shard.events_processed(),
+            };
+            stats.generated += shard.generated;
+            stats.injected += shard.injected;
+            stats.delivered += shard.delivered;
+            stats.events += drain.events;
+            stats.shards.push(drain);
+        }
+        stats
     }
 
-    /// Borrow the observer (metric collector).
+    /// Borrow the observer (metric collector). Only valid on single-shard
+    /// engines — a sharded engine has one observer per shard; use
+    /// [`Engine::merged_observer`] or [`Engine::into_observer`] instead.
     pub fn observer(&self) -> &O {
-        &self.observer
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "observer() needs a single-shard engine; use merged_observer()"
+        );
+        self.shards[0].observer()
     }
 
-    /// Mutably borrow the observer.
+    /// Mutably borrow the observer (single-shard engines only, see
+    /// [`Engine::observer`]).
     pub fn observer_mut(&mut self) -> &mut O {
-        &mut self.observer
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "observer_mut() needs a single-shard engine; use merged_observer()"
+        );
+        self.shards[0].observer_mut()
     }
 
-    /// Consume the engine and return the observer.
+    /// Clone-and-merge the per-shard observers into one aggregate view
+    /// (shards are absorbed in ascending shard order, so the result is
+    /// deterministic and identical to a single-shard run for observers
+    /// that accumulate order-independently).
+    pub fn merged_observer(&self) -> O {
+        let mut merged = self.shards[0].observer().clone();
+        for shard in &self.shards[1..] {
+            merged.absorb(shard.observer().clone());
+        }
+        merged
+    }
+
+    /// Consume the engine and return the merged observer.
     pub fn into_observer(self) -> O {
-        self.observer
+        let mut shards = self.shards.into_iter();
+        let mut merged = shards.next().expect("at least one shard").into_observer();
+        for shard in shards {
+            merged.absorb(shard.into_observer());
+        }
+        merged
     }
 
     /// Borrow the routing agent of one router (useful for inspecting
     /// learned state in tests and analyses).
     pub fn agent(&self, router: RouterId) -> &dyn crate::routing::RouterAgent {
-        self.agents[router.index()].as_ref()
+        self.shards[self.plan.shard_of_router(router)].agent(router)
     }
 
     /// Total packets currently buffered inside the router fabric.
     pub fn fabric_occupancy(&self) -> usize {
-        self.routers.iter().map(|r| r.buffered_packets()).sum()
+        self.shards.iter().map(|s| s.fabric_occupancy()).sum()
     }
 
     /// Total packets waiting in NIC source queues.
     pub fn nic_backlog(&self) -> usize {
-        self.nics.iter().map(|n| n.backlog()).sum()
+        self.shards.iter().map(|s| s.nic_backlog()).sum()
     }
 
-    /// The packet arena (exposed for tests and memory diagnostics: its
-    /// live count equals NIC backlog + fabric occupancy + in-flight link
-    /// traversals).
+    /// The packet arena (single-shard engines only; sharded engines have
+    /// one arena per shard — see [`Engine::arena_live_counts`]).
     pub fn arena(&self) -> &PacketArena {
-        &self.packets
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "arena() needs a single-shard engine; use arena_live_counts()"
+        );
+        self.shards[0].arena()
+    }
+
+    /// Live packet count of every shard's arena, in shard order. Together
+    /// with [`EngineStats::in_mailboxes`] this accounts for every
+    /// outstanding packet: `sum(arena_live_counts) + in_mailboxes ==
+    /// stats().outstanding()`.
+    pub fn arena_live_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.arena().live_count()).collect()
     }
 
     // ------------------------------------------------------------------
     // Main loop
     // ------------------------------------------------------------------
 
-    /// The shared event loop: pop and dispatch every event with
-    /// `time <= t_end`, returning the number of events processed. Both
-    /// public run modes are thin wrappers over this.
-    fn step_until(&mut self, t_end: SimTime) -> u64 {
-        let mut processed = 0;
-        while let Some(event) = self.queue.pop_before(t_end) {
-            debug_assert!(event.time >= self.now, "time must not go backwards");
-            self.now = event.time;
-            self.dispatch(event.kind);
-            processed += 1;
-        }
-        processed
-    }
-
     /// Run the simulation until (and including) simulated time `t_end`.
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, t_end: SimTime) -> u64 {
-        let processed = self.step_until(t_end);
+        let processed = self.run_events(t_end);
         self.now = self.now.max(t_end);
         processed
     }
@@ -204,440 +274,213 @@ impl<O: SimObserver> Engine<O> {
     /// drained) or until `t_max` is reached. Returns the finishing time and
     /// the number of events processed by this call.
     pub fn run_to_drain(&mut self, t_max: SimTime) -> (SimTime, u64) {
-        let processed = self.step_until(t_max);
+        let processed = self.run_events(t_max);
         (self.now, processed)
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::TrafficArrival => self.handle_traffic_arrival(),
-            EventKind::NicTryInject { node } => {
-                self.nics[node.index()].retry_pending = false;
-                self.try_nic_inject(node);
-            }
-            EventKind::NicCredit { node } => {
-                let nic = &mut self.nics[node.index()];
-                nic.credits += 1;
-                debug_assert!(nic.credits <= self.cfg.vc_buffer_packets);
-                self.try_nic_inject(node);
-            }
-            EventKind::RouterArrive {
-                router,
-                port,
-                vc,
-                packet,
-            } => self.handle_router_arrive(router, port, vc, packet),
-            EventKind::SwitchAttempt { router, port, vc } => {
-                self.handle_switch_attempt(router, port, vc)
-            }
-            EventKind::OutputAttempt { router, port } => self.handle_output_attempt(router, port),
-            EventKind::CreditArrive { router, port, vc } => {
-                self.routers[router.index()].return_credit(port, vc, &self.cfg);
-                self.schedule_output_attempt(router, port, self.now);
-            }
-            EventKind::RlFeedback { router, msg } => {
-                self.agents[router.index()].feedback(&msg);
-            }
+    /// Process every event with `time <= t_cap`, across all shards.
+    fn run_events(&mut self, t_cap: SimTime) -> u64 {
+        // A previous capped run may have left cross-shard messages (firing
+        // beyond its cap) in the mail grid: deliver them into the owning
+        // queues so the window planning below sees everything.
+        for i in 0..self.shards.len() {
+            let msgs = self.mail.collect_for(i);
+            self.shards[i].deliver(msgs);
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Traffic generation and injection
-    // ------------------------------------------------------------------
-
-    fn pull_next_injection(&mut self) {
-        if let Some(inj) = self.injector.next_injection() {
-            debug_assert!(
-                inj.time >= self.now,
-                "injector produced an injection in the past"
-            );
-            self.queue
-                .push(inj.time.max(self.now), EventKind::TrafficArrival);
-            self.pending_injection = Some(inj);
+        let processed = if self.shards.len() == 1 {
+            self.run_sequential(t_cap)
         } else {
-            self.pending_injection = None;
-        }
-    }
-
-    fn handle_traffic_arrival(&mut self) {
-        let inj = match self.pending_injection.take() {
-            Some(i) => i,
-            None => return,
+            self.run_threaded(t_cap)
         };
-        let packet = self.make_packet(inj.src, inj.dst, self.now);
-        let pref = self.packets.alloc(packet);
-        self.observer
-            .packet_generated(self.packets.get(pref), self.now);
-        self.stats.generated += 1;
-        self.nics[inj.src.index()].generated += 1;
-        self.nics[inj.src.index()].source_queue.push_back(pref);
-        self.try_nic_inject(inj.src);
-        self.pull_next_injection();
+        let shard_now = self.shards.iter().map(|s| s.now()).max().unwrap_or(0);
+        self.now = self.now.max(shard_now);
+        processed
     }
 
-    fn make_packet(&mut self, src: NodeId, dst: NodeId, now: SimTime) -> Packet {
-        let id = self.next_packet_id;
-        self.next_packet_id += 1;
-        let src_router = self.topo.router_of_node(src);
-        let dst_router = self.topo.router_of_node(dst);
-        Packet {
-            id,
-            src,
-            dst,
-            src_router,
-            dst_router,
-            dst_group: self.topo.group_of_router(dst_router),
-            src_group: self.topo.group_of_router(src_router),
-            src_slot: self.topo.node_slot(src) as u8,
-            size_bytes: self.cfg.packet_bytes,
-            created_ns: now,
-            injected_ns: now,
-            hops: 0,
-            vc: 0,
-            route: RouteInfo::default(),
-            last_router: None,
-            last_out_port: None,
-            last_decision_ns: now,
-            pending_decision: None,
-        }
-    }
-
-    fn try_nic_inject(&mut self, node: NodeId) {
-        let ser = self.cfg.serialization_ns();
-        let host_lat = self.cfg.host_latency_ns;
-        let nic = &mut self.nics[node.index()];
-        if nic.source_queue.is_empty() || nic.credits == 0 {
-            // A NicCredit event (or new traffic) will retry later.
-            return;
-        }
-        if nic.link_free_at > self.now {
-            if !nic.retry_pending {
-                nic.retry_pending = true;
-                let at = nic.link_free_at;
-                self.queue.push(at, EventKind::NicTryInject { node });
+    /// The sequential specialisation: one shard, no threads, no mailboxes
+    /// — but the same windowed feed of injections, so results are
+    /// trivially identical to the threaded path.
+    fn run_sequential(&mut self, t_cap: SimTime) -> u64 {
+        // Without cross-shard traffic the window length is only a traffic
+        // feed granularity; keep it coarse enough to amortise the loop.
+        let window = self.plan.lookahead().max(1024);
+        let mut processed = 0;
+        loop {
+            let next_local = self.shards[0].next_local_time().unwrap_or(NO_EVENT);
+            let next_injection = self
+                .pending_injection
+                .as_ref()
+                .map(|i| i.time)
+                .unwrap_or(NO_EVENT);
+            let start = next_local.min(next_injection);
+            if start == NO_EVENT || start > t_cap {
+                break;
             }
-            return;
+            let end_incl = start.saturating_add(window - 1).min(t_cap);
+            self.distribute_sequential(end_incl);
+            processed += self.shards[0].run_window(end_incl);
         }
-        let pref = nic.source_queue.pop_front().expect("checked non-empty");
-        nic.credits -= 1;
-        nic.injected += 1;
-        nic.link_free_at = self.now + ser;
-        let more = !nic.source_queue.is_empty() && nic.credits > 0 && !nic.retry_pending;
-        if more {
-            nic.retry_pending = true;
-            let at = nic.link_free_at;
-            self.queue.push(at, EventKind::NicTryInject { node });
-        }
-        {
-            let packet = self.packets.get_mut(pref);
-            packet.injected_ns = self.now;
-            packet.last_decision_ns = self.now;
-        }
-        self.observer
-            .packet_injected(self.packets.get(pref), self.now);
-        self.stats.injected += 1;
-        let router = self.topo.router_of_node(node);
-        let port = self.topo.ejection_port(node);
-        self.queue.push(
-            self.now + ser + host_lat,
-            EventKind::RouterArrive {
-                router,
-                port,
-                vc: 0,
-                packet: pref,
-            },
-        );
+        processed
     }
 
-    // ------------------------------------------------------------------
-    // Router pipeline
-    // ------------------------------------------------------------------
+    /// Hand every injection with `time <= end_incl` to shard 0.
+    fn distribute_sequential(&mut self, end_incl: SimTime) {
+        while let Some(injection) = self.pending_injection {
+            if injection.time > end_incl {
+                break;
+            }
+            let id = self.next_packet_id;
+            self.next_packet_id += 1;
+            self.shards[0].accept_injection(QueuedInjection {
+                time: injection.time,
+                src: injection.src,
+                dst: injection.dst,
+                id,
+            });
+            self.pending_injection = self.injector.next_injection();
+        }
+    }
 
-    fn handle_router_arrive(&mut self, router: RouterId, port: Port, vc: u8, packet: PacketRef) {
-        let state = &mut self.routers[router.index()];
-        let len = state.push_input(port, vc, packet, &self.cfg);
-        if len == 1 {
-            self.queue.push(
-                self.now + self.cfg.router_latency_ns,
-                EventKind::SwitchAttempt { router, port, vc },
+    /// The conservative-parallel path: one thread per shard, lockstep
+    /// windows of one lookahead each, shard 0's thread doubling as the
+    /// leader that plans windows and distributes injections between the
+    /// two barriers.
+    fn run_threaded(&mut self, t_cap: SimTime) -> u64 {
+        let Self {
+            topo,
+            plan,
+            shards,
+            mail,
+            injector,
+            pending_injection,
+            next_packet_id,
+            ..
+        } = self;
+        let lookahead = plan.lookahead();
+        let sync = WindowSync::new(shards.len());
+        for (i, shard) in shards.iter().enumerate() {
+            sync.next_hint[i].store(
+                shard.next_local_time().unwrap_or(NO_EVENT),
+                Ordering::Release,
             );
         }
-    }
+        let sync = &sync;
+        let mail: &MailGrid = mail;
+        let plan: &ShardPlan = plan;
+        let topo: &Dragonfly = topo;
 
-    fn handle_switch_attempt(&mut self, router: RouterId, port: Port, vc: u8) {
-        let r = router.index();
-        // Remove the head-of-line handle; the packet itself stays in the
-        // arena, so the agent can mutate it while the router state stays
-        // immutably borrowable.
-        let pref = match self.routers[r].pop_input(port, vc) {
-            Some(p) => p,
-            None => return,
-        };
+        // Leader-only traffic distribution state, moved into shard 0's
+        // thread.
+        struct Feeder<'a> {
+            injector: &'a mut Box<dyn TrafficInjector>,
+            pending: &'a mut Option<Injection>,
+            next_id: &'a mut u64,
+        }
+        let mut feeder = Some(Feeder {
+            injector,
+            pending: pending_injection,
+            next_id: next_packet_id,
+        });
 
-        let decision = {
-            let arena = &mut self.packets;
-            let packet = arena.get_mut(pref);
-            match packet.pending_decision {
-                Some((p, v)) => Decision { port: p, vc: v },
-                None => {
-                    if packet.dst_router == router {
-                        Decision {
-                            port: self.topo.ejection_port(packet.dst),
-                            vc: packet.vc,
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let mut feeder = if i == 0 { feeder.take() } else { None };
+                handles.push(scope.spawn(move |_| {
+                    let mut processed = 0u64;
+                    loop {
+                        // Phase 1: everyone arrived; the previous window's
+                        // outboxes are all in the mail grid.
+                        sync.pre.wait();
+                        if let Some(f) = feeder.as_mut() {
+                            // Leader: plan the next window. The hints cover
+                            // every queued event and every in-flight
+                            // message; the pending injection is the only
+                            // source of work the shards cannot see.
+                            let mut start = sync.min_hint();
+                            if let Some(p) = f.pending.as_ref() {
+                                start = start.min(p.time);
+                            }
+                            if start == NO_EVENT || start > t_cap {
+                                sync.done.store(true, Ordering::Release);
+                            } else {
+                                let end_incl = start.saturating_add(lookahead - 1).min(t_cap);
+                                while let Some(injection) = *f.pending {
+                                    if injection.time > end_incl {
+                                        break;
+                                    }
+                                    let id = *f.next_id;
+                                    *f.next_id += 1;
+                                    let owner =
+                                        plan.shard_of_router(topo.router_of_node(injection.src));
+                                    sync.injections[owner].lock().push_back(QueuedInjection {
+                                        time: injection.time,
+                                        src: injection.src,
+                                        dst: injection.dst,
+                                        id,
+                                    });
+                                    *f.pending = f.injector.next_injection();
+                                }
+                                sync.window_end.store(end_incl, Ordering::Release);
+                                sync.done.store(false, Ordering::Release);
+                            }
                         }
-                    } else {
-                        let ctx = RouterCtx {
-                            router,
-                            topology: &self.topo,
-                            config: &self.cfg,
-                            now: self.now,
-                            state: &self.routers[r],
-                        };
-                        let d = self.agents[r].decide(&ctx, packet);
-                        debug_assert_ne!(
-                            self.topo.port_kind(d.port),
-                            PortKind::Host,
-                            "agents must not route to host ports (ejection is engine-handled)"
-                        );
-                        debug_assert!(
-                            (d.vc as usize) < self.cfg.num_vcs,
-                            "agent selected VC {} but only {} exist",
-                            d.vc,
-                            self.cfg.num_vcs
-                        );
-                        d
+                        // Phase 2: the window (or `done`) is published.
+                        sync.post.wait();
+                        if sync.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let end_incl = sync.window_end.load(Ordering::Acquire);
+                        {
+                            let mut inbox = sync.injections[i].lock();
+                            while let Some(q) = inbox.pop_front() {
+                                shard.accept_injection(q);
+                            }
+                        }
+                        shard.deliver(mail.collect_for(i));
+                        processed += shard.run_window(end_incl);
+                        shard.flush_outboxes(mail);
+                        let hint = shard
+                            .next_local_time()
+                            .unwrap_or(NO_EVENT)
+                            .min(shard.min_sent());
+                        sync.next_hint[i].store(hint, Ordering::Release);
                     }
-                }
+                    processed
+                }));
             }
-        };
-
-        if !self.routers[r].output_has_space(decision.port, decision.vc, &self.cfg) {
-            // Blocked: remember the decision, restore head-of-line position
-            // and wait for the output queue to drain.
-            self.packets.get_mut(pref).pending_decision = Some((decision.port, decision.vc));
-            self.routers[r].push_input_front(port, vc, pref);
-            self.routers[r].add_waiter(decision.port, Waiter { in_port: port, vc });
-            return;
-        }
-
-        // --- Committed: the packet leaves the input buffer. ---
-
-        // 1. Return a credit upstream for the freed input slot.
-        self.send_credit_upstream(router, port, vc);
-
-        // 2. Deliver RL feedback to the router that forwarded the packet to
-        //    us (the per-hop delay is the reward; our own estimate of the
-        //    remaining time is the bootstrap value).
-        let (last_router, last_out_port) = {
-            let p = self.packets.get(pref);
-            (p.last_router, p.last_out_port)
-        };
-        if let (Some(up_router), Some(up_port)) = (last_router, last_out_port) {
-            let packet = self.packets.get(pref);
-            let reward_ns = (self.now - packet.last_decision_ns) as f64;
-            let downstream_estimate_ns = if packet.dst_router == router {
-                self.cfg.ejection_ns() as f64
-            } else {
-                let ctx = RouterCtx {
-                    router,
-                    topology: &self.topo,
-                    config: &self.cfg,
-                    now: self.now,
-                    state: &self.routers[r],
-                };
-                self.agents[r].estimate_after_decision(&ctx, packet, decision)
-            };
-            let msg = FeedbackMsg {
-                src: packet.src,
-                dst: packet.dst,
-                dst_router: packet.dst_router,
-                dst_group: packet.dst_group,
-                src_slot: packet.src_slot,
-                port: up_port,
-                reward_ns,
-                downstream_estimate_ns,
-            };
-            let latency = self.input_link_latency(router, port);
-            self.queue.push(
-                self.now + latency,
-                EventKind::RlFeedback {
-                    router: up_router,
-                    msg,
-                },
-            );
-        }
-
-        // 3. Update per-packet bookkeeping and enqueue on the output side.
-        let ejecting = self.topo.port_kind(decision.port) == PortKind::Host;
-        {
-            let packet = self.packets.get_mut(pref);
-            if !ejecting {
-                packet.hops += 1;
-                packet.last_router = Some(router);
-                packet.last_out_port = Some(decision.port);
-                packet.last_decision_ns = self.now;
-                packet.vc = decision.vc;
-            }
-            packet.pending_decision = None;
-        }
-        self.routers[r].push_output(decision.port, decision.vc, pref);
-        self.schedule_output_attempt(router, decision.port, self.now);
-
-        // 4. The next packet in this input VC (if any) can now attempt the
-        //    switch; it has already been charged the router latency while
-        //    waiting behind the head-of-line packet.
-        if self.routers[r].input_buffer_len(port, vc) > 0 {
-            self.queue
-                .push(self.now, EventKind::SwitchAttempt { router, port, vc });
-        }
-    }
-
-    fn handle_output_attempt(&mut self, router: RouterId, port: Port) {
-        let r = router.index();
-        self.routers[r].set_output_event_pending(port, false);
-
-        if self.routers[r].link_free_at(port) > self.now {
-            let at = self.routers[r].link_free_at(port);
-            self.schedule_output_attempt(router, port, at);
-            return;
-        }
-        let vc = match self.routers[r].select_output_vc(port) {
-            Some(vc) => vc,
-            // Nothing sendable: either all queues empty or no credits.
-            // A credit arrival or a new enqueue will reschedule us.
-            None => return,
-        };
-        let pref = self.routers[r]
-            .pop_output(port, vc)
-            .expect("select_output_vc returned a non-empty queue");
-        let ser = self.cfg.serialization_ns();
-        self.routers[r].set_link_busy_until(port, self.now + ser);
-
-        // A slot was freed in this port's output queues: wake every blocked
-        // input VC waiting on it (they re-register if still blocked).
-        while let Some(w) = self.routers[r].pop_waiter(port) {
-            self.queue.push(
-                self.now,
-                EventKind::SwitchAttempt {
-                    router,
-                    port: w.in_port,
-                    vc: w.vc,
-                },
-            );
-        }
-
-        match self.topo.port_kind(port) {
-            PortKind::Host => {
-                // Ejection: deliver to the attached node and recycle the
-                // packet's arena slot.
-                let delivery = self.now + ser + self.cfg.host_latency_ns;
-                debug_assert_eq!(self.topo.ejection_port(self.packets.get(pref).dst), port);
-                self.observer
-                    .packet_delivered(self.packets.get(pref), delivery);
-                self.stats.delivered += 1;
-                self.packets.free(pref);
-            }
-            PortKind::Local | PortKind::Global => {
-                self.routers[r].consume_credit(port, vc);
-                let (down_router, down_port) = match self.topo.neighbor(router, port) {
-                    Neighbor::Router { router, port } => (router, port),
-                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
-                };
-                let latency = self.output_link_latency(port);
-                self.queue.push(
-                    self.now + ser + latency,
-                    EventKind::RouterArrive {
-                        router: down_router,
-                        port: down_port,
-                        vc,
-                        packet: pref,
-                    },
-                );
-            }
-        }
-
-        if self.routers[r].output_queue_len(port) > 0 {
-            self.schedule_output_attempt(router, port, self.now + ser);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Helpers
-    // ------------------------------------------------------------------
-
-    fn schedule_output_attempt(&mut self, router: RouterId, port: Port, at: SimTime) {
-        let state = &mut self.routers[router.index()];
-        if state.output_event_pending(port) {
-            return;
-        }
-        state.set_output_event_pending(port, true);
-        self.queue
-            .push(at.max(self.now), EventKind::OutputAttempt { router, port });
-    }
-
-    /// Latency of the link feeding input `port` of `router` (used for
-    /// credit returns and feedback messages travelling upstream).
-    fn input_link_latency(&self, _router: RouterId, port: Port) -> SimTime {
-        match self.topo.port_kind(port) {
-            PortKind::Host => self.cfg.host_latency_ns,
-            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
-            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
-        }
-    }
-
-    /// Latency of the link driven by output `port`.
-    fn output_link_latency(&self, port: Port) -> SimTime {
-        match self.topo.port_kind(port) {
-            PortKind::Host => self.cfg.host_latency_ns,
-            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
-            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
-        }
-    }
-
-    fn send_credit_upstream(&mut self, router: RouterId, port: Port, vc: u8) {
-        match self.topo.port_kind(port) {
-            PortKind::Host => {
-                // The packet came from a NIC: give the NIC its credit back.
-                let node = match self.topo.neighbor(router, port) {
-                    Neighbor::Node(n) => n,
-                    Neighbor::Router { .. } => unreachable!("host port resolved to a router"),
-                };
-                self.queue.push(
-                    self.now + self.cfg.host_latency_ns,
-                    EventKind::NicCredit { node },
-                );
-            }
-            PortKind::Local | PortKind::Global => {
-                let (up_router, up_port) = match self.topo.neighbor(router, port) {
-                    Neighbor::Router { router, port } => (router, port),
-                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
-                };
-                let latency = self.input_link_latency(router, port);
-                self.queue.push(
-                    self.now + latency,
-                    EventKind::CreditArrive {
-                        router: up_router,
-                        port: up_port,
-                        vc,
-                    },
-                );
-            }
-        }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .sum::<u64>()
+        })
+        .expect("shard scope panicked")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ShardKind;
     use crate::injector::{Injection, ScriptedInjector};
     use crate::observer::CountingObserver;
     use crate::testing::MinimalTestRouting;
     use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::ids::NodeId;
 
     fn run_scripted(injections: Vec<Injection>, t_end: SimTime) -> (EngineStats, CountingObserver) {
+        run_scripted_sharded(injections, t_end, ShardKind::Single)
+    }
+
+    fn run_scripted_sharded(
+        injections: Vec<Injection>,
+        t_end: SimTime,
+        shards: ShardKind,
+    ) -> (EngineStats, CountingObserver) {
         let topo = Dragonfly::new(DragonflyConfig::tiny());
         let algo = MinimalTestRouting;
-        let cfg = EngineConfig::paper(algo.num_vcs());
+        let mut cfg = EngineConfig::paper(algo.num_vcs());
+        cfg.shards = shards;
         let mut engine = Engine::new(
             topo,
             cfg,
@@ -647,7 +490,7 @@ mod tests {
             42,
         );
         engine.run_to_drain(t_end);
-        (engine.stats(), *engine.observer())
+        (engine.stats(), engine.merged_observer())
     }
 
     #[test]
@@ -767,6 +610,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_matches_single_shard_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let n = topo.num_nodes();
+        let mut rng = StdRng::seed_from_u64(17);
+        let script: Vec<Injection> = (0..1_500u64)
+            .map(|i| Injection {
+                time: i * 30,
+                src: NodeId::from_index(rng.gen_range(0..n)),
+                dst: NodeId::from_index(rng.gen_range(0..n)),
+            })
+            .collect();
+        let (s1, o1) = run_scripted_sharded(script.clone(), 20_000_000, ShardKind::Single);
+        let (s3, o3) = run_scripted_sharded(script, 20_000_000, ShardKind::Fixed(3));
+        assert_eq!(s1.generated, s3.generated);
+        assert_eq!(s1.delivered, s3.delivered);
+        assert_eq!(s1.events, s3.events, "event counts must match exactly");
+        assert_eq!(o1.total_latency_ns, o3.total_latency_ns);
+        assert_eq!(o1.total_hops, o3.total_hops);
+    }
+
+    #[test]
     fn stats_outstanding_counts_undelivered() {
         let (stats, _obs) = run_scripted(
             vec![Injection {
@@ -780,5 +646,8 @@ mod tests {
         assert_eq!(stats.generated, 1);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.outstanding(), 1);
+        // The per-shard drain view accounts for the same packet.
+        let resident: u64 = stats.shards.iter().map(|s| s.resident).sum();
+        assert_eq!(resident + stats.in_mailboxes(), stats.outstanding());
     }
 }

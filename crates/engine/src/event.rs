@@ -1,27 +1,40 @@
 //! The discrete-event schedulers.
 //!
-//! Events are ordered by `(time, sequence)` where the sequence number is a
-//! monotonically increasing counter assigned at push time. The sequence
-//! tie-break makes the simulation fully deterministic: two events scheduled
-//! for the same nanosecond are processed in the order they were scheduled.
+//! Events are ordered by `(time, key, seq)`:
 //!
-//! Two [`Scheduler`] implementations share that contract:
+//! * `time` — the firing time in ns.
+//! * `key` — a **content-derived priority** computed by [`event_key`] from
+//!   the event kind and the entity it targets (event class, router/node,
+//!   port, VC, packet id). Two *different* events scheduled for the same
+//!   nanosecond therefore have a total order that does not depend on when
+//!   or where they were pushed.
+//! * `seq` — a per-queue push counter breaking ties between *identical*
+//!   events (same time, same key ⇒ byte-identical payload up to the packet
+//!   handle), whose relative order cannot affect simulation results.
+//!
+//! The content-derived key is what makes the sharded engine deterministic:
+//! a cross-shard event arrives through a mailbox and is pushed into the
+//! destination shard's queue long after the locally generated events it
+//! races with, yet it sorts into exactly the same position the global
+//! single-queue engine would have given it. `shards = 1` and `shards = N`
+//! therefore pop identical per-shard event sequences — see
+//! `tests/shard_differential.rs`.
+//!
+//! Two [`Scheduler`] implementations share the contract:
 //!
 //! * [`BinaryHeapScheduler`] — the classic `BinaryHeap<Event>` min-queue
-//!   (O(log n) per operation, pointer-free but cache-unfriendly for large
-//!   queues). Kept as the reference implementation for differential tests
-//!   and selectable via [`crate::config::SchedulerKind::BinaryHeap`].
+//!   (O(log n) per operation). Kept as the reference implementation for
+//!   differential tests and selectable via
+//!   [`crate::config::SchedulerKind::BinaryHeap`].
 //! * [`CalendarQueue`] — a two-level calendar/bucket queue: a power-of-two
-//!   wheel of 1 ns FIFO buckets for near-future events (sized from the
-//!   link/serialisation latencies, which bound how far ahead the fabric
-//!   ever schedules) plus a binary-heap overflow level for the rare
-//!   far-future event (in practice only the single pending traffic
-//!   injection). Every bucket holds events of exactly one nanosecond, so
-//!   FIFO order *is* `(time, seq)` order and push/pop are O(1) amortised.
+//!   wheel of 1 ns buckets for near-future events plus a binary-heap
+//!   overflow level for the rare far-future event. Every bucket holds
+//!   events of exactly one nanosecond; buckets are sorted by `(key, seq)`
+//!   lazily when first popped from, so pushes stay O(1) amortised.
 //!
-//! Both schedulers pop the exact same `(time, seq)` total order, so pinned
-//! simulation outputs are bit-for-bit identical whichever one runs — see
-//! the `scheduler_differential` integration test.
+//! Both schedulers pop the exact same `(time, key, seq)` total order, so
+//! pinned simulation outputs are bit-for-bit identical whichever one runs —
+//! see the `scheduler_differential` integration test.
 
 use crate::arena::PacketRef;
 use crate::config::{EngineConfig, SchedulerKind};
@@ -29,18 +42,19 @@ use crate::routing::FeedbackMsg;
 use crate::time::SimTime;
 use dragonfly_topology::ids::{NodeId, Port, RouterId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
 ///
 /// All variants are small and `Copy`: packets are not carried by value but
-/// as 4-byte [`PacketRef`] handles into the engine's
+/// as 4-byte [`PacketRef`] handles into the owning shard's
 /// [`crate::arena::PacketArena`], so moving an event never allocates.
 #[derive(Debug, Clone, Copy)]
 pub enum EventKind {
-    /// The next scheduled traffic injection is due: materialise the packet
-    /// at its source NIC and pull the following injection from the
-    /// [`crate::injector::TrafficInjector`].
+    /// The next queued traffic injection of this shard is due: materialise
+    /// the packet at its source NIC. The injection itself (src, dst,
+    /// pre-assigned packet id) waits in the shard's FIFO injection queue;
+    /// this event is just the timed marker that pops it.
     TrafficArrival,
     /// A NIC should (re)try pushing the head of its source queue into its
     /// router's host input buffer.
@@ -76,20 +90,81 @@ pub enum EventKind {
     RlFeedback { router: RouterId, msg: FeedbackMsg },
 }
 
+// Event classes, most-urgent-first within a nanosecond. The relative order
+// is arbitrary but frozen: changing it changes (deterministically) which
+// same-tick event wins contended resources.
+const CLASS_TRAFFIC: u64 = 0;
+const CLASS_NIC_CREDIT: u64 = 1;
+const CLASS_NIC_TRY: u64 = 2;
+const CLASS_ROUTER_ARRIVE: u64 = 3;
+const CLASS_SWITCH: u64 = 4;
+const CLASS_OUTPUT: u64 = 5;
+const CLASS_CREDIT: u64 = 6;
+const CLASS_FEEDBACK: u64 = 7;
+
+/// The content-derived priority of an event (see the module docs).
+///
+/// Layout: `class` in the top 4 bits, then the targeted entity. Within one
+/// nanosecond the key uniquely identifies every event whose processing
+/// order can matter:
+///
+/// * per-entity events (`NicCredit`, `RouterArrive`, ...) are keyed by the
+///   entity, and two *distinct* same-key events at the same time are
+///   necessarily byte-identical (e.g. two `NicCredit { node }` — their
+///   mutual order is irrelevant);
+/// * `RlFeedback` additionally keys on the packet id (a router can receive
+///   feedback about several packets in the same nanosecond, and Q-table
+///   updates do not commute).
+pub fn event_key(kind: &EventKind) -> u64 {
+    #[inline]
+    fn entity(router: RouterId, port: Port, vc: u8) -> u64 {
+        ((router.0 as u64) << 24) | ((port.0 as u64) << 8) | vc as u64
+    }
+    match *kind {
+        EventKind::TrafficArrival => CLASS_TRAFFIC << 60,
+        EventKind::NicCredit { node } => (CLASS_NIC_CREDIT << 60) | node.0 as u64,
+        EventKind::NicTryInject { node } => (CLASS_NIC_TRY << 60) | node.0 as u64,
+        EventKind::RouterArrive {
+            router, port, vc, ..
+        } => (CLASS_ROUTER_ARRIVE << 60) | entity(router, port, vc),
+        EventKind::SwitchAttempt { router, port, vc } => {
+            (CLASS_SWITCH << 60) | entity(router, port, vc)
+        }
+        EventKind::OutputAttempt { router, port } => (CLASS_OUTPUT << 60) | entity(router, port, 0),
+        EventKind::CreditArrive { router, port, vc } => {
+            (CLASS_CREDIT << 60) | entity(router, port, vc)
+        }
+        EventKind::RlFeedback { router, ref msg } => {
+            (CLASS_FEEDBACK << 60)
+                | (((router.0 as u64) & 0xFF_FFFF) << 36)
+                | (msg.packet_id & 0xF_FFFF_FFFF)
+        }
+    }
+}
+
 /// A scheduled event.
 #[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// Firing time in ns.
     pub time: SimTime,
-    /// Scheduling order tie-break.
+    /// Content-derived priority (see [`event_key`]).
+    pub key: u64,
+    /// Push-order tie-break between identical events.
     pub seq: u64,
     /// Payload.
     pub kind: EventKind,
 }
 
+impl Event {
+    #[inline]
+    fn order(&self) -> (SimTime, u64, u64) {
+        (self.time, self.key, self.seq)
+    }
+}
+
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.order() == other.order()
     }
 }
 impl Eq for Event {}
@@ -103,18 +178,16 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.order().cmp(&self.order())
     }
 }
 
-/// A deterministic min-queue of events keyed on `(time, seq)`.
+/// A deterministic min-queue of events keyed on `(time, key, seq)`.
 ///
-/// Implementations must pop events in strictly increasing `(time, seq)`
-/// order, assign `seq` in push order, and may assume pushes never schedule
-/// earlier than the last popped time (the engine's arrow of time).
+/// Implementations must pop events in strictly increasing
+/// `(time, key, seq)` order, assign `seq` in push order, and may assume
+/// pushes never schedule earlier than the last popped time (the engine's
+/// arrow of time).
 pub trait Scheduler {
     /// Schedule `kind` to fire at `time`.
     fn push(&mut self, time: SimTime, kind: EventKind);
@@ -165,7 +238,12 @@ impl Scheduler for BinaryHeapScheduler {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.heap.push(Event {
+            time,
+            key: event_key(&kind),
+            seq,
+            kind,
+        });
     }
 
     fn pop(&mut self) -> Option<Event> {
@@ -208,25 +286,32 @@ const DEFAULT_HORIZON: SimTime = 2048;
 /// gigabytes of buckets.
 const MAX_HORIZON: SimTime = 1 << 22;
 
-/// Two-level calendar queue: a circular wheel of 1 ns FIFO buckets for the
-/// near future plus a heap for far-future overflow.
+/// Two-level calendar queue: a circular wheel of 1 ns buckets for the near
+/// future plus a heap for far-future overflow.
 ///
 /// Invariants:
 ///
 /// * `cursor` is the time of the last popped event (or 0); all wheel events
 ///   have `time` in `[cursor, cursor + horizon)`, so the bucket at slot
-///   `time % horizon` holds events of exactly one time value and FIFO order
-///   within a bucket equals `(time, seq)` order.
+///   `time % horizon` holds events of exactly one time value.
+/// * A bucket is either *unsorted* (its dirty bit is set; events were
+///   appended in push order) or sorted **descending** by `(key, seq)` so
+///   the next event to fire is at the back and pops are O(1). Buckets are
+///   sorted lazily the first time a pop targets them; pushes into a
+///   currently-sorted bucket (same-tick events generated while the tick is
+///   being drained) insert at their ordered position.
 /// * `overflow` may hold events of any time; [`CalendarQueue::pop`] always
 ///   compares the wheel front against the overflow top, so ordering never
 ///   depends on migrating overflow events into the wheel.
 #[derive(Debug)]
 pub struct CalendarQueue {
-    /// `horizon` FIFO buckets; bucket `t % horizon` holds events firing at
-    /// `t` for the unique `t` in the current window congruent to the slot.
-    buckets: Vec<VecDeque<Event>>,
+    /// `horizon` buckets; bucket `t % horizon` holds events firing at `t`
+    /// for the unique `t` in the current window congruent to the slot.
+    buckets: Vec<Vec<Event>>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupancy: Vec<u64>,
+    /// One bit per bucket: set iff the bucket needs sorting before popping.
+    dirty: Vec<u64>,
     /// Wheel width in ns (power of two).
     horizon: SimTime,
     /// `horizon - 1`, for masking times into slots.
@@ -260,8 +345,9 @@ impl CalendarQueue {
     pub fn with_horizon(horizon: SimTime) -> Self {
         let horizon = horizon.next_power_of_two().clamp(64, MAX_HORIZON);
         Self {
-            buckets: (0..horizon).map(|_| VecDeque::new()).collect(),
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
             occupancy: vec![0u64; (horizon as usize) / 64],
+            dirty: vec![0u64; (horizon as usize) / 64],
             horizon,
             mask: horizon - 1,
             wheel_len: 0,
@@ -282,6 +368,29 @@ impl CalendarQueue {
             + cfg.router_latency_ns
             + cfg.host_latency_ns;
         Self::with_horizon((span * 4).max(DEFAULT_HORIZON))
+    }
+
+    #[inline]
+    fn is_dirty(&self, slot: usize) -> bool {
+        self.dirty[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, slot: usize, dirty: bool) {
+        if dirty {
+            self.dirty[slot >> 6] |= 1u64 << (slot & 63);
+        } else {
+            self.dirty[slot >> 6] &= !(1u64 << (slot & 63));
+        }
+    }
+
+    /// Sort `slot` descending by `(key, seq)` if it is marked dirty, so its
+    /// last element is the next to fire.
+    fn ensure_sorted(&mut self, slot: usize) {
+        if self.is_dirty(slot) {
+            self.buckets[slot].sort_unstable_by_key(|e| std::cmp::Reverse((e.key, e.seq)));
+            self.set_dirty(slot, false);
+        }
     }
 
     /// Slot of the earliest non-empty wheel bucket, scanning the occupancy
@@ -317,23 +426,29 @@ impl CalendarQueue {
         None
     }
 
-    /// `(time, seq, location)` of the next event to pop, if any.
-    fn next_event(&self) -> Option<(SimTime, u64, NextEvent)> {
+    /// `(time, key, seq, location)` of the next event to pop, if any.
+    /// Sorts the candidate wheel bucket lazily (hence `&mut`).
+    fn next_event(&mut self) -> Option<(SimTime, u64, u64, NextEvent)> {
         let wheel = self.earliest_slot().map(|slot| {
+            self.ensure_sorted(slot);
             let front = self.buckets[slot]
-                .front()
+                .last()
                 .expect("occupancy bit set on empty bucket");
-            (front.time, front.seq, NextEvent::Wheel(slot))
+            (front.time, front.key, front.seq, NextEvent::Wheel(slot))
         });
         let overflow = self
             .overflow
             .peek()
-            .map(|e| (e.time, e.seq, NextEvent::Overflow));
+            .map(|e| (e.time, e.key, e.seq, NextEvent::Overflow));
         match (wheel, overflow) {
             (None, None) => None,
             (Some(w), None) => Some(w),
             (None, Some(o)) => Some(o),
-            (Some(w), Some(o)) => Some(if (w.0, w.1) <= (o.0, o.1) { w } else { o }),
+            (Some(w), Some(o)) => Some(if (w.0, w.1, w.2) <= (o.0, o.1, o.2) {
+                w
+            } else {
+                o
+            }),
         }
     }
 
@@ -341,7 +456,7 @@ impl CalendarQueue {
         let event = match location {
             NextEvent::Wheel(slot) => {
                 let event = self.buckets[slot]
-                    .pop_front()
+                    .pop()
                     .expect("next_event located an event here");
                 self.wheel_len -= 1;
                 if self.buckets[slot].is_empty() {
@@ -367,7 +482,12 @@ impl Scheduler for CalendarQueue {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let event = Event { time, seq, kind };
+        let event = Event {
+            time,
+            key: event_key(&kind),
+            seq,
+            kind,
+        };
         debug_assert!(
             time >= self.cursor,
             "push at {time} behind the scheduler cursor {}",
@@ -376,11 +496,28 @@ impl Scheduler for CalendarQueue {
         if time >= self.cursor && time - self.cursor < self.horizon {
             let slot = (time & self.mask) as usize;
             debug_assert!(
-                self.buckets[slot].back().is_none_or(|e| e.time == time),
+                self.buckets[slot].last().is_none_or(|e| e.time == time),
                 "bucket {slot} mixes times: held {:?}, pushing {time}",
-                self.buckets[slot].back().map(|e| e.time),
+                self.buckets[slot].last().map(|e| e.time),
             );
-            self.buckets[slot].push_back(event);
+            let slot_dirty = self.is_dirty(slot);
+            let bucket = &mut self.buckets[slot];
+            if bucket.is_empty() {
+                bucket.push(event);
+                self.set_dirty(slot, false);
+            } else if time == self.cursor && !slot_dirty {
+                // This bucket's tick is being drained right now (a pop at
+                // this time sorted it and set the cursor): keep it sorted
+                // so the in-progress drain pops this event at its ordered
+                // place among the remaining same-tick events.
+                let pos = bucket.partition_point(|e| (e.key, e.seq) > (event.key, event.seq));
+                bucket.insert(pos, event);
+            } else {
+                // Future tick: O(1) append now, one sort when a pop first
+                // targets the bucket (see `ensure_sorted`).
+                bucket.push(event);
+                self.set_dirty(slot, true);
+            }
             self.occupancy[slot >> 6] |= 1u64 << (slot & 63);
             self.wheel_len += 1;
         } else {
@@ -391,20 +528,33 @@ impl Scheduler for CalendarQueue {
     }
 
     fn pop(&mut self) -> Option<Event> {
-        let (_, _, location) = self.next_event()?;
+        let (_, _, _, location) = self.next_event()?;
         Some(self.pop_from(location))
     }
 
     fn pop_before(&mut self, t_end: SimTime) -> Option<Event> {
-        let (time, _, location) = self.next_event()?;
-        if time > t_end {
+        // Cheap time-only rejection first: sorting the candidate bucket is
+        // pointless when its whole tick lies beyond the bound.
+        if self.peek_time().is_none_or(|t| t > t_end) {
             return None;
         }
+        let (_, _, _, location) = self.next_event()?;
         Some(self.pop_from(location))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.next_event().map(|(time, _, _)| time)
+        // All events in a bucket share one time, so no sorting is needed to
+        // answer time-only queries.
+        let wheel = self
+            .earliest_slot()
+            .map(|slot| self.buckets[slot].last().expect("occupied bucket").time);
+        let overflow = self.overflow.peek().map(|e| e.time);
+        match (wheel, overflow) {
+            (None, None) => None,
+            (Some(w), None) => Some(w),
+            (None, Some(o)) => Some(o),
+            (Some(w), Some(o)) => Some(w.min(o)),
+        }
     }
 
     fn len(&self) -> usize {
@@ -524,11 +674,12 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_pop_in_scheduling_order() {
+    fn equal_times_pop_in_key_order_regardless_of_push_order() {
         for (name, mut q) in schedulers() {
+            // Pushed in reverse entity order; the content key sorts them.
+            q.push(5, EventKind::NicTryInject { node: NodeId(3) });
             q.push(5, EventKind::NicTryInject { node: NodeId(1) });
             q.push(5, EventKind::NicTryInject { node: NodeId(2) });
-            q.push(5, EventKind::NicTryInject { node: NodeId(3) });
             let order: Vec<u32> = std::iter::from_fn(|| q.pop())
                 .map(|e| match e.kind {
                     EventKind::NicTryInject { node } => node.0,
@@ -536,6 +687,52 @@ mod tests {
                 })
                 .collect();
             assert_eq!(order, vec![1, 2, 3], "{name}");
+        }
+    }
+
+    #[test]
+    fn identical_events_pop_in_scheduling_order() {
+        for (name, mut q) in schedulers() {
+            // Same key: distinguishable only by seq, which is push order.
+            q.push(5, EventKind::TrafficArrival);
+            q.push(5, EventKind::TrafficArrival);
+            let a = q.pop().unwrap();
+            let b = q.pop().unwrap();
+            assert!(a.seq < b.seq, "{name}: identical events must be FIFO");
+        }
+    }
+
+    #[test]
+    fn classes_rank_same_tick_events() {
+        for (name, mut q) in schedulers() {
+            let node = NodeId(7);
+            let router = RouterId(3);
+            let port = Port(2);
+            q.push(9, EventKind::OutputAttempt { router, port });
+            q.push(9, EventKind::TrafficArrival);
+            q.push(
+                9,
+                EventKind::RouterArrive {
+                    router,
+                    port,
+                    vc: 0,
+                    packet: PacketRef(0),
+                },
+            );
+            q.push(9, EventKind::NicCredit { node });
+            let classes: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.key >> 60)
+                .collect();
+            assert_eq!(
+                classes,
+                vec![
+                    CLASS_TRAFFIC,
+                    CLASS_NIC_CREDIT,
+                    CLASS_ROUTER_ARRIVE,
+                    CLASS_OUTPUT
+                ],
+                "{name}"
+            );
         }
     }
 
@@ -578,33 +775,28 @@ mod tests {
     }
 
     #[test]
-    fn calendar_overflow_ties_with_wheel_resolve_by_seq() {
+    fn calendar_overflow_ties_with_wheel_resolve_like_the_heap() {
+        // The same (time, key) in the overflow level and the wheel must
+        // resolve by seq, exactly as a single heap would.
         let mut q = CalendarQueue::with_horizon(64);
         // Pushed first while out of window: ends up in overflow with seq 0.
         q.push(100, EventKind::NicTryInject { node: NodeId(1) });
         // Advance the cursor so time 100 is now within the wheel window.
         q.push(60, EventKind::TrafficArrival);
         q.pop();
-        // Pushed second, lands in the wheel at the same time: seq 2.
-        q.push(100, EventKind::NicTryInject { node: NodeId(2) });
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::NicTryInject { node } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2], "overflow-vs-wheel tie breaks by seq");
+        // Pushed second, lands in the wheel at the same (time, key): seq 2.
+        q.push(100, EventKind::NicTryInject { node: NodeId(1) });
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 2], "overflow-vs-wheel tie breaks by seq");
     }
 
     #[test]
     fn calendar_wheel_wraps_around() {
         let mut q = CalendarQueue::with_horizon(64);
         // Walk the cursor across several full wheel rotations.
-        let mut expected = Vec::new();
         for step in 0..300u64 {
             let t = step * 13; // co-prime with 64: hits every slot
             q.push(t, EventKind::TrafficArrival);
-            expected.push(t);
             assert_eq!(q.pop().unwrap().time, t);
         }
         assert!(q.is_empty());
@@ -612,24 +804,27 @@ mod tests {
 
     #[test]
     fn calendar_interleaved_pushes_at_the_popped_time() {
-        // Events scheduled *at* the current time while draining it must pop
-        // after already-queued same-time events (seq order), like the heap.
+        // Events scheduled *at* the current time while draining it must
+        // sort into their (key, seq) position among the remaining
+        // same-tick events, like the heap.
         let mut heap: Box<dyn Scheduler> = Box::new(BinaryHeapScheduler::new());
         let mut cal: Box<dyn Scheduler> = Box::new(CalendarQueue::with_horizon(64));
         for q in [&mut heap, &mut cal] {
-            q.push(5, EventKind::NicTryInject { node: NodeId(1) });
             q.push(5, EventKind::NicTryInject { node: NodeId(2) });
+            q.push(5, EventKind::NicTryInject { node: NodeId(4) });
             let first = q.pop().unwrap();
             assert_eq!(first.time, 5);
-            // Dispatch of the first event schedules another one at t=5.
+            // Dispatch of the first event schedules two more at t=5: one
+            // sorting before the pending node-4 event, one after.
             q.push(5, EventKind::NicTryInject { node: NodeId(3) });
+            q.push(5, EventKind::NicTryInject { node: NodeId(5) });
             let order: Vec<u32> = std::iter::from_fn(|| q.pop())
                 .map(|e| match e.kind {
                     EventKind::NicTryInject { node } => node.0,
                     _ => unreachable!(),
                 })
                 .collect();
-            assert_eq!(order, vec![2, 3]);
+            assert_eq!(order, vec![3, 4, 5]);
         }
     }
 
@@ -684,7 +879,11 @@ mod tests {
                 match (h, c) {
                     (None, None) => break,
                     (Some(h), Some(c)) => {
-                        assert_eq!((h.time, h.seq), (c.time, c.seq), "round {round}");
+                        assert_eq!(
+                            (h.time, h.key, h.seq),
+                            (c.time, c.key, c.seq),
+                            "round {round}"
+                        );
                         now = h.time;
                     }
                     other => panic!("schedulers disagree on emptiness: {other:?}"),
@@ -695,7 +894,9 @@ mod tests {
         loop {
             match (heap.pop(), cal.pop()) {
                 (None, None) => break,
-                (Some(h), Some(c)) => assert_eq!((h.time, h.seq), (c.time, c.seq)),
+                (Some(h), Some(c)) => {
+                    assert_eq!((h.time, h.key, h.seq), (c.time, c.key, c.seq))
+                }
                 other => panic!("schedulers disagree on emptiness: {other:?}"),
             }
         }

@@ -38,7 +38,7 @@
 //! determinism:
 //!
 //! * **Event scheduling** uses a two-level *calendar queue*
-//!   ([`event::CalendarQueue`]): a power-of-two wheel of 1 ns FIFO buckets
+//!   ([`event::CalendarQueue`]): a power-of-two wheel of 1 ns buckets
 //!   sized to the link/serialisation latencies (which bound how far ahead
 //!   the fabric ever schedules) plus a binary-heap overflow level for the
 //!   rare far-future event. Push and pop are O(1) amortised instead of the
@@ -48,21 +48,42 @@
 //!   ([`config::SchedulerKind::BinaryHeap`]) as the reference
 //!   implementation for differential tests and A/B benchmarks.
 //! * **Packets** live in a slab-style [`arena::PacketArena`] for their
-//!   whole life; events, NIC queues and router buffers move 4-byte
-//!   [`arena::PacketRef`] handles instead of boxed packets, so a fabric
-//!   hop performs no heap allocation and no pointer chase.
+//!   whole life *within a shard*; events, NIC queues and router buffers
+//!   move 4-byte [`arena::PacketRef`] handles instead of boxed packets, so
+//!   a fabric hop performs no heap allocation and no pointer chase.
+//!
+//! ## Sharded conservative-parallel execution
+//!
+//! One simulation can run across several cores ([`config::ShardKind`]):
+//! routers are partitioned by Dragonfly group into shards
+//! ([`sync::ShardPlan`]), each shard owns its own calendar queue, packet
+//! arena and observer clone ([`shard::Shard`]), and shards execute
+//! lockstep windows of one **lookahead** — the global-link latency, the
+//! minimum delay of any cross-shard interaction (packet over a global
+//! link, returning credit, RL feedback). Cross-shard events are exchanged
+//! through per-pair mailboxes ([`sync::MailGrid`]) at window barriers;
+//! packets cross **by value**, so a `PacketRef` is never dereferenced
+//! outside the arena that issued it. Within a window every shard runs
+//! lock-free; no null messages and no rollback are needed
+//! (bounded-window conservative PDES).
 //!
 //! **Determinism contract:** events are totally ordered by
-//! `(time, sequence)` where the sequence number is assigned at push time.
-//! Every scheduler implementation must pop exactly this order, which makes
-//! simulation outputs bit-for-bit identical across scheduler choices — the
-//! `scheduler_differential` integration test enforces this by running
-//! identical seeded workloads through both schedulers. Arena slot
-//! assignment recycles through a LIFO free list and therefore also depends
-//! only on the (deterministic) event order.
+//! `(time, key, seq)` where `key` is a *content-derived* priority
+//! ([`event::event_key`]: event class + targeted entity + packet id) and
+//! `seq` (assigned at push) only breaks ties between identical events.
+//! Because the key does not depend on push order, a cross-shard event
+//! sorts into the destination queue exactly where the single-queue engine
+//! would have processed it, making **every shard count bit-for-bit
+//! identical** — `shards = 1` vs `shards = N` is pinned by the
+//! `shard_differential` integration test, and calendar-vs-heap by
+//! `scheduler_differential`. Arena slot assignment recycles through a
+//! per-shard LIFO free list and packet ids are assigned by the coordinator
+//! in injector order, so neither introduces run-to-run or
+//! across-shard-count variation.
 //!
 //! The engine is deterministic for a fixed seed, traffic injector and
-//! routing algorithm.
+//! routing algorithm — independent of scheduler choice, shard count and
+//! thread scheduling.
 //!
 //! ## Who plugs in what
 //!
@@ -84,14 +105,17 @@ pub mod observer;
 pub mod packet;
 pub mod router;
 pub mod routing;
+pub mod shard;
+pub mod sync;
 pub mod testing;
 pub mod time;
 
 pub use arena::{PacketArena, PacketRef};
-pub use config::{EngineConfig, SchedulerKind};
-pub use engine::Engine;
+pub use config::{EngineConfig, SchedulerKind, ShardKind};
+pub use engine::{Engine, EngineStats, ShardDrain};
 pub use injector::{Injection, TrafficInjector};
-pub use observer::SimObserver;
+pub use observer::{ShardObserver, SimObserver};
 pub use packet::{Packet, RouteInfo};
 pub use routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
+pub use sync::ShardPlan;
 pub use time::SimTime;

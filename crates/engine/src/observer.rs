@@ -28,11 +28,30 @@ pub trait SimObserver: Send {
     }
 }
 
+/// An observer that can be split across conservative-parallel shards and
+/// merged back.
+///
+/// Each shard owns an independent clone of the observer and sees only the
+/// lifecycle events of packets generated at / delivered to its own nodes;
+/// [`ShardObserver::absorb`] folds the per-shard results together (the
+/// engine absorbs in ascending shard order). For the merged result to be
+/// identical to a single-shard run, implementations must accumulate in
+/// order-independent form — integer sums, histograms, sample multisets —
+/// rather than order-sensitive floating-point folds.
+pub trait ShardObserver: SimObserver + Clone + Send {
+    /// Fold another shard's observations into this one.
+    fn absorb(&mut self, other: Self);
+}
+
 /// An observer that ignores everything.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
 impl SimObserver for NullObserver {}
+
+impl ShardObserver for NullObserver {
+    fn absorb(&mut self, _other: Self) {}
+}
 
 /// An observer that just counts events — convenient in tests.
 #[derive(Debug, Default, Clone, Copy)]
@@ -62,6 +81,16 @@ impl SimObserver for CountingObserver {
         self.delivered += 1;
         self.total_latency_ns += packet.latency_ns(now) as u128;
         self.total_hops += packet.hops as u64;
+    }
+}
+
+impl ShardObserver for CountingObserver {
+    fn absorb(&mut self, other: Self) {
+        self.generated += other.generated;
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.total_latency_ns += other.total_latency_ns;
+        self.total_hops += other.total_hops;
     }
 }
 

@@ -34,6 +34,11 @@ pub struct Decision {
 /// latency.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FeedbackMsg {
+    /// Id of the packet the feedback refers to. Identifies the feedback
+    /// uniquely among same-tick deliveries to one router, which is what
+    /// gives feedback events a deterministic processing order (Q-table
+    /// updates do not commute) — see [`crate::event::event_key`].
+    pub packet_id: u64,
     /// Source node of the packet the feedback refers to.
     pub src: NodeId,
     /// Destination node of the packet.

@@ -1,0 +1,744 @@
+//! One conservative-parallel shard: the routers, NICs and agents of a
+//! contiguous range of Dragonfly groups, with their own event queue and
+//! packet arena.
+//!
+//! A shard is the unit of parallelism. Within a lookahead window it runs
+//! completely lock-free on its own [`EventQueue`]; anything addressed to a
+//! router it does not own — a packet crossing a global link, a returning
+//! credit, RL feedback — is appended to a per-destination outbox and
+//! shipped through the [`crate::sync::MailGrid`] at the window barrier.
+//! Packets leave the sender's [`PacketArena`] **by value** and are
+//! re-allocated on arrival, so [`PacketRef`] handles never cross a shard
+//! boundary.
+//!
+//! The event handlers in this module are the former single-engine loop of
+//! `engine.rs`, reworked to index shard-local state and to route the three
+//! upstream/downstream interactions that can cross a shard boundary.
+
+use crate::arena::{PacketArena, PacketRef};
+use crate::config::EngineConfig;
+use crate::event::{EventKind, EventQueue, Scheduler};
+use crate::nic::NicState;
+use crate::observer::ShardObserver;
+use crate::packet::{Packet, RouteInfo};
+use crate::router::{RouterState, Waiter};
+use crate::routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
+use crate::sync::{QueuedInjection, ShardMsg, ShardPlan, NO_EVENT};
+use crate::time::SimTime;
+use dragonfly_topology::ids::{NodeId, Port, RouterId};
+use dragonfly_topology::paths::HopKind;
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::topology::Neighbor;
+use dragonfly_topology::Dragonfly;
+use std::collections::VecDeque;
+
+/// Per-shard simulation state and event handlers.
+pub struct Shard<O: ShardObserver> {
+    id: usize,
+    topo: Dragonfly,
+    cfg: EngineConfig,
+    plan: ShardPlan,
+    /// Global index of the first router owned by this shard.
+    router_base: usize,
+    /// Global index of the first node owned by this shard.
+    node_base: usize,
+    routers: Vec<RouterState>,
+    agents: Vec<Box<dyn RouterAgent>>,
+    nics: Vec<NicState>,
+    queue: EventQueue,
+    arena: PacketArena,
+    observer: O,
+    now: SimTime,
+    /// Messages generated at this shard's NICs.
+    pub generated: u64,
+    /// Packets injected into the fabric by this shard's NICs.
+    pub injected: u64,
+    /// Packets delivered to this shard's nodes.
+    pub delivered: u64,
+    /// Injections distributed by the coordinator, FIFO; popped by
+    /// `TrafficArrival` marker events.
+    pending_injections: VecDeque<QueuedInjection>,
+    /// Cross-shard messages produced in the current window, per
+    /// destination shard (`outboxes[self.id]` stays empty).
+    outboxes: Vec<Vec<ShardMsg>>,
+    /// Earliest firing time of any message sent in the current window.
+    min_sent: SimTime,
+}
+
+impl<O: ShardObserver> Shard<O> {
+    /// Build the shard owning `plan.groups_of(id)`.
+    pub fn new(
+        topo: &Dragonfly,
+        cfg: &EngineConfig,
+        algorithm: &dyn RoutingAlgorithm,
+        observer: O,
+        seed: u64,
+        plan: ShardPlan,
+        id: usize,
+    ) -> Self {
+        let groups = plan.groups_of(id);
+        let a = topo.config().a;
+        let p = topo.config().p;
+        let router_base = groups.start * a;
+        let router_count = groups.len() * a;
+        let node_base = router_base * p;
+        let node_count = router_count * p;
+        let routers: Vec<RouterState> = (0..router_count)
+            .map(|_| RouterState::new(topo, cfg))
+            .collect();
+        let agents: Vec<Box<dyn RouterAgent>> = (0..router_count)
+            .map(|local| {
+                let r = RouterId::from_index(router_base + local);
+                // Same per-router seed derivation for every shard count.
+                let router_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(r.index() as u64);
+                algorithm.make_agent(topo, cfg, r, router_seed)
+            })
+            .collect();
+        let nics = (0..node_count).map(|_| NicState::new(cfg)).collect();
+        let num_shards = plan.num_shards();
+        Self {
+            id,
+            topo: topo.clone(),
+            cfg: *cfg,
+            plan,
+            router_base,
+            node_base,
+            routers,
+            agents,
+            nics,
+            queue: EventQueue::for_config(cfg),
+            arena: PacketArena::new(),
+            observer,
+            now: 0,
+            generated: 0,
+            injected: 0,
+            delivered: 0,
+            pending_injections: VecDeque::new(),
+            outboxes: (0..num_shards).map(|_| Vec::new()).collect(),
+            min_sent: NO_EVENT,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Indexing helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn rlocal(&self, router: RouterId) -> usize {
+        debug_assert_eq!(self.plan.shard_of_router(router), self.id);
+        router.index() - self.router_base
+    }
+
+    #[inline]
+    fn nlocal(&self, node: NodeId) -> usize {
+        node.index() - self.node_base
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by the coordinator
+    // ------------------------------------------------------------------
+
+    /// This shard's index in the plan.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Shard-local simulation time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed by this shard so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Time of the earliest pending local event.
+    pub fn next_local_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Earliest firing time among messages sent in the last window.
+    pub fn min_sent(&self) -> SimTime {
+        self.min_sent
+    }
+
+    /// Borrow this shard's observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutably borrow this shard's observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consume the shard, returning its observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Borrow this shard's packet arena.
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Borrow the agent of a router owned by this shard.
+    pub fn agent(&self, router: RouterId) -> &dyn RouterAgent {
+        self.agents[self.rlocal(router)].as_ref()
+    }
+
+    /// Packets buffered in this shard's router fabric.
+    pub fn fabric_occupancy(&self) -> usize {
+        self.routers.iter().map(|r| r.buffered_packets()).sum()
+    }
+
+    /// Packets waiting in this shard's NIC source queues.
+    pub fn nic_backlog(&self) -> usize {
+        self.nics.iter().map(|n| n.backlog()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Window plumbing
+    // ------------------------------------------------------------------
+
+    /// Accept one coordinator-distributed injection (called in global
+    /// injector order).
+    pub fn accept_injection(&mut self, injection: QueuedInjection) {
+        debug_assert!(
+            self.plan
+                .shard_of_router(self.topo.router_of_node(injection.src))
+                == self.id,
+            "injection routed to the wrong shard"
+        );
+        self.queue
+            .push(injection.time.max(self.now), EventKind::TrafficArrival);
+        self.pending_injections.push_back(injection);
+    }
+
+    /// Deliver a batch of cross-shard messages (drained from the mail
+    /// grid at a window barrier). Packets are re-allocated into this
+    /// shard's arena here — the handle translation point.
+    pub fn deliver(&mut self, msgs: Vec<ShardMsg>) {
+        for msg in msgs {
+            match msg {
+                ShardMsg::RouterArrive {
+                    time,
+                    router,
+                    port,
+                    vc,
+                    packet,
+                } => {
+                    let pref = self.arena.alloc(packet);
+                    self.queue.push(
+                        time,
+                        EventKind::RouterArrive {
+                            router,
+                            port,
+                            vc,
+                            packet: pref,
+                        },
+                    );
+                }
+                ShardMsg::CreditArrive {
+                    time,
+                    router,
+                    port,
+                    vc,
+                } => {
+                    self.queue
+                        .push(time, EventKind::CreditArrive { router, port, vc });
+                }
+                ShardMsg::RlFeedback { time, router, msg } => {
+                    self.queue.push(time, EventKind::RlFeedback { router, msg });
+                }
+            }
+        }
+    }
+
+    /// Move this window's outboxes into the shared mail grid.
+    pub fn flush_outboxes(&mut self, grid: &crate::sync::MailGrid) {
+        for dst in 0..self.outboxes.len() {
+            if dst != self.id {
+                grid.post(self.id, dst, &mut self.outboxes[dst]);
+            }
+        }
+    }
+
+    /// Run every pending event with `time <= end_incl`, returning the
+    /// number processed. Resets the sent-message watermark first.
+    pub fn run_window(&mut self, end_incl: SimTime) -> u64 {
+        self.min_sent = NO_EVENT;
+        let mut processed = 0;
+        while let Some(event) = self.queue.pop_before(end_incl) {
+            debug_assert!(event.time >= self.now, "time must not go backwards");
+            self.now = event.time;
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Schedule an event on a router that may live in another shard.
+    #[inline]
+    fn send_to_router(&mut self, dst: RouterId, time: SimTime, make: impl FnOnce() -> ShardMsg) {
+        let shard = self.plan.shard_of_router(dst);
+        if shard == self.id {
+            match make() {
+                ShardMsg::CreditArrive {
+                    time,
+                    router,
+                    port,
+                    vc,
+                } => self
+                    .queue
+                    .push(time, EventKind::CreditArrive { router, port, vc }),
+                ShardMsg::RlFeedback { time, router, msg } => {
+                    self.queue.push(time, EventKind::RlFeedback { router, msg })
+                }
+                ShardMsg::RouterArrive { .. } => {
+                    unreachable!("local RouterArrive events are pushed directly")
+                }
+            }
+        } else {
+            debug_assert!(
+                time >= self.now + self.plan.lookahead(),
+                "cross-shard message inside the lookahead window"
+            );
+            self.min_sent = self.min_sent.min(time);
+            self.outboxes[shard].push(make());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch (the former engine loop)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TrafficArrival => self.handle_traffic_arrival(),
+            EventKind::NicTryInject { node } => {
+                let n = self.nlocal(node);
+                self.nics[n].retry_pending = false;
+                self.try_nic_inject(node);
+            }
+            EventKind::NicCredit { node } => {
+                let nic = &mut self.nics[node.index() - self.node_base];
+                nic.credits += 1;
+                debug_assert!(nic.credits <= self.cfg.vc_buffer_packets);
+                self.try_nic_inject(node);
+            }
+            EventKind::RouterArrive {
+                router,
+                port,
+                vc,
+                packet,
+            } => self.handle_router_arrive(router, port, vc, packet),
+            EventKind::SwitchAttempt { router, port, vc } => {
+                self.handle_switch_attempt(router, port, vc)
+            }
+            EventKind::OutputAttempt { router, port } => self.handle_output_attempt(router, port),
+            EventKind::CreditArrive { router, port, vc } => {
+                let r = self.rlocal(router);
+                self.routers[r].return_credit(port, vc, &self.cfg);
+                self.schedule_output_attempt(router, port, self.now);
+            }
+            EventKind::RlFeedback { router, msg } => {
+                let r = self.rlocal(router);
+                self.agents[r].feedback(&msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic generation and injection
+    // ------------------------------------------------------------------
+
+    fn handle_traffic_arrival(&mut self) {
+        let inj = match self.pending_injections.pop_front() {
+            Some(i) => i,
+            None => return,
+        };
+        debug_assert!(inj.time <= self.now, "marker fired before its injection");
+        let packet = self.make_packet(inj);
+        let pref = self.arena.alloc(packet);
+        self.observer
+            .packet_generated(self.arena.get(pref), self.now);
+        self.generated += 1;
+        let nic = self.nlocal(inj.src);
+        self.nics[nic].generated += 1;
+        self.nics[nic].source_queue.push_back(pref);
+        self.try_nic_inject(inj.src);
+    }
+
+    fn make_packet(&mut self, inj: QueuedInjection) -> Packet {
+        let src_router = self.topo.router_of_node(inj.src);
+        let dst_router = self.topo.router_of_node(inj.dst);
+        Packet {
+            id: inj.id,
+            src: inj.src,
+            dst: inj.dst,
+            src_router,
+            dst_router,
+            dst_group: self.topo.group_of_router(dst_router),
+            src_group: self.topo.group_of_router(src_router),
+            src_slot: self.topo.node_slot(inj.src) as u8,
+            size_bytes: self.cfg.packet_bytes,
+            created_ns: self.now,
+            injected_ns: self.now,
+            hops: 0,
+            vc: 0,
+            route: RouteInfo::default(),
+            last_router: None,
+            last_out_port: None,
+            last_decision_ns: self.now,
+            pending_decision: None,
+        }
+    }
+
+    fn try_nic_inject(&mut self, node: NodeId) {
+        let ser = self.cfg.serialization_ns();
+        let host_lat = self.cfg.host_latency_ns;
+        let nic = &mut self.nics[node.index() - self.node_base];
+        if nic.source_queue.is_empty() || nic.credits == 0 {
+            // A NicCredit event (or new traffic) will retry later.
+            return;
+        }
+        if nic.link_free_at > self.now {
+            if !nic.retry_pending {
+                nic.retry_pending = true;
+                let at = nic.link_free_at;
+                self.queue.push(at, EventKind::NicTryInject { node });
+            }
+            return;
+        }
+        let pref = nic.source_queue.pop_front().expect("checked non-empty");
+        nic.credits -= 1;
+        nic.injected += 1;
+        nic.link_free_at = self.now + ser;
+        let more = !nic.source_queue.is_empty() && nic.credits > 0 && !nic.retry_pending;
+        if more {
+            nic.retry_pending = true;
+            let at = nic.link_free_at;
+            self.queue.push(at, EventKind::NicTryInject { node });
+        }
+        {
+            let packet = self.arena.get_mut(pref);
+            packet.injected_ns = self.now;
+            packet.last_decision_ns = self.now;
+        }
+        self.observer
+            .packet_injected(self.arena.get(pref), self.now);
+        self.injected += 1;
+        let router = self.topo.router_of_node(node);
+        let port = self.topo.ejection_port(node);
+        self.queue.push(
+            self.now + ser + host_lat,
+            EventKind::RouterArrive {
+                router,
+                port,
+                vc: 0,
+                packet: pref,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Router pipeline
+    // ------------------------------------------------------------------
+
+    fn handle_router_arrive(&mut self, router: RouterId, port: Port, vc: u8, packet: PacketRef) {
+        let state = &mut self.routers[router.index() - self.router_base];
+        let len = state.push_input(port, vc, packet, &self.cfg);
+        if len == 1 {
+            self.queue.push(
+                self.now + self.cfg.router_latency_ns,
+                EventKind::SwitchAttempt { router, port, vc },
+            );
+        }
+    }
+
+    fn handle_switch_attempt(&mut self, router: RouterId, port: Port, vc: u8) {
+        let r = self.rlocal(router);
+        // Remove the head-of-line handle; the packet itself stays in the
+        // arena, so the agent can mutate it while the router state stays
+        // immutably borrowable.
+        let pref = match self.routers[r].pop_input(port, vc) {
+            Some(p) => p,
+            None => return,
+        };
+
+        let decision = {
+            let arena = &mut self.arena;
+            let packet = arena.get_mut(pref);
+            match packet.pending_decision {
+                Some((p, v)) => Decision { port: p, vc: v },
+                None => {
+                    if packet.dst_router == router {
+                        Decision {
+                            port: self.topo.ejection_port(packet.dst),
+                            vc: packet.vc,
+                        }
+                    } else {
+                        let ctx = RouterCtx {
+                            router,
+                            topology: &self.topo,
+                            config: &self.cfg,
+                            now: self.now,
+                            state: &self.routers[r],
+                        };
+                        let d = self.agents[r].decide(&ctx, packet);
+                        debug_assert_ne!(
+                            self.topo.port_kind(d.port),
+                            PortKind::Host,
+                            "agents must not route to host ports (ejection is engine-handled)"
+                        );
+                        debug_assert!(
+                            (d.vc as usize) < self.cfg.num_vcs,
+                            "agent selected VC {} but only {} exist",
+                            d.vc,
+                            self.cfg.num_vcs
+                        );
+                        d
+                    }
+                }
+            }
+        };
+
+        if !self.routers[r].output_has_space(decision.port, decision.vc, &self.cfg) {
+            // Blocked: remember the decision, restore head-of-line position
+            // and wait for the output queue to drain.
+            self.arena.get_mut(pref).pending_decision = Some((decision.port, decision.vc));
+            self.routers[r].push_input_front(port, vc, pref);
+            self.routers[r].add_waiter(decision.port, Waiter { in_port: port, vc });
+            return;
+        }
+
+        // --- Committed: the packet leaves the input buffer. ---
+
+        // 1. Return a credit upstream for the freed input slot.
+        self.send_credit_upstream(router, port, vc);
+
+        // 2. Deliver RL feedback to the router that forwarded the packet to
+        //    us (the per-hop delay is the reward; our own estimate of the
+        //    remaining time is the bootstrap value).
+        let (last_router, last_out_port) = {
+            let p = self.arena.get(pref);
+            (p.last_router, p.last_out_port)
+        };
+        if let (Some(up_router), Some(up_port)) = (last_router, last_out_port) {
+            let packet = self.arena.get(pref);
+            let reward_ns = (self.now - packet.last_decision_ns) as f64;
+            let downstream_estimate_ns = if packet.dst_router == router {
+                self.cfg.ejection_ns() as f64
+            } else {
+                let ctx = RouterCtx {
+                    router,
+                    topology: &self.topo,
+                    config: &self.cfg,
+                    now: self.now,
+                    state: &self.routers[r],
+                };
+                self.agents[r].estimate_after_decision(&ctx, packet, decision)
+            };
+            let msg = FeedbackMsg {
+                packet_id: packet.id,
+                src: packet.src,
+                dst: packet.dst,
+                dst_router: packet.dst_router,
+                dst_group: packet.dst_group,
+                src_slot: packet.src_slot,
+                port: up_port,
+                reward_ns,
+                downstream_estimate_ns,
+            };
+            let latency = self.input_link_latency(port);
+            let at = self.now + latency;
+            self.send_to_router(up_router, at, || ShardMsg::RlFeedback {
+                time: at,
+                router: up_router,
+                msg,
+            });
+        }
+
+        // 3. Update per-packet bookkeeping and enqueue on the output side.
+        let ejecting = self.topo.port_kind(decision.port) == PortKind::Host;
+        {
+            let packet = self.arena.get_mut(pref);
+            if !ejecting {
+                packet.hops += 1;
+                packet.last_router = Some(router);
+                packet.last_out_port = Some(decision.port);
+                packet.last_decision_ns = self.now;
+                packet.vc = decision.vc;
+            }
+            packet.pending_decision = None;
+        }
+        self.routers[r].push_output(decision.port, decision.vc, pref);
+        self.schedule_output_attempt(router, decision.port, self.now);
+
+        // 4. The next packet in this input VC (if any) can now attempt the
+        //    switch; it has already been charged the router latency while
+        //    waiting behind the head-of-line packet.
+        if self.routers[r].input_buffer_len(port, vc) > 0 {
+            self.queue
+                .push(self.now, EventKind::SwitchAttempt { router, port, vc });
+        }
+    }
+
+    fn handle_output_attempt(&mut self, router: RouterId, port: Port) {
+        let r = self.rlocal(router);
+        self.routers[r].set_output_event_pending(port, false);
+
+        if self.routers[r].link_free_at(port) > self.now {
+            let at = self.routers[r].link_free_at(port);
+            self.schedule_output_attempt(router, port, at);
+            return;
+        }
+        let vc = match self.routers[r].select_output_vc(port) {
+            Some(vc) => vc,
+            // Nothing sendable: either all queues empty or no credits.
+            // A credit arrival or a new enqueue will reschedule us.
+            None => return,
+        };
+        let pref = self.routers[r]
+            .pop_output(port, vc)
+            .expect("select_output_vc returned a non-empty queue");
+        let ser = self.cfg.serialization_ns();
+        self.routers[r].set_link_busy_until(port, self.now + ser);
+
+        // A slot was freed in this port's output queues: wake every blocked
+        // input VC waiting on it (they re-register if still blocked).
+        while let Some(w) = self.routers[r].pop_waiter(port) {
+            self.queue.push(
+                self.now,
+                EventKind::SwitchAttempt {
+                    router,
+                    port: w.in_port,
+                    vc: w.vc,
+                },
+            );
+        }
+
+        match self.topo.port_kind(port) {
+            PortKind::Host => {
+                // Ejection: deliver to the attached node and recycle the
+                // packet's arena slot.
+                let delivery = self.now + ser + self.cfg.host_latency_ns;
+                debug_assert_eq!(self.topo.ejection_port(self.arena.get(pref).dst), port);
+                self.observer
+                    .packet_delivered(self.arena.get(pref), delivery);
+                self.delivered += 1;
+                self.arena.free(pref);
+            }
+            PortKind::Local | PortKind::Global => {
+                self.routers[r].consume_credit(port, vc);
+                let (down_router, down_port) = match self.topo.neighbor(router, port) {
+                    Neighbor::Router { router, port } => (router, port),
+                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
+                };
+                let latency = self.output_link_latency(port);
+                let at = self.now + ser + latency;
+                let dst_shard = self.plan.shard_of_router(down_router);
+                if dst_shard == self.id {
+                    self.queue.push(
+                        at,
+                        EventKind::RouterArrive {
+                            router: down_router,
+                            port: down_port,
+                            vc,
+                            packet: pref,
+                        },
+                    );
+                } else {
+                    // The packet leaves this shard: extract it from the
+                    // local arena and ship it by value. The receiving
+                    // shard allocates its own slot (handle translation).
+                    debug_assert!(
+                        at >= self.now + self.plan.lookahead(),
+                        "cross-shard packet inside the lookahead window"
+                    );
+                    let packet = self.arena.get(pref).clone();
+                    self.arena.free(pref);
+                    self.min_sent = self.min_sent.min(at);
+                    self.outboxes[dst_shard].push(ShardMsg::RouterArrive {
+                        time: at,
+                        router: down_router,
+                        port: down_port,
+                        vc,
+                        packet,
+                    });
+                }
+            }
+        }
+
+        if self.routers[r].output_queue_len(port) > 0 {
+            self.schedule_output_attempt(router, port, self.now + ser);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn schedule_output_attempt(&mut self, router: RouterId, port: Port, at: SimTime) {
+        let state = &mut self.routers[router.index() - self.router_base];
+        if state.output_event_pending(port) {
+            return;
+        }
+        state.set_output_event_pending(port, true);
+        self.queue
+            .push(at.max(self.now), EventKind::OutputAttempt { router, port });
+    }
+
+    /// Latency of the link feeding input `port` (used for credit returns
+    /// and feedback messages travelling upstream).
+    fn input_link_latency(&self, port: Port) -> SimTime {
+        match self.topo.port_kind(port) {
+            PortKind::Host => self.cfg.host_latency_ns,
+            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
+            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
+        }
+    }
+
+    /// Latency of the link driven by output `port`.
+    fn output_link_latency(&self, port: Port) -> SimTime {
+        match self.topo.port_kind(port) {
+            PortKind::Host => self.cfg.host_latency_ns,
+            PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
+            PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
+        }
+    }
+
+    fn send_credit_upstream(&mut self, router: RouterId, port: Port, vc: u8) {
+        match self.topo.port_kind(port) {
+            PortKind::Host => {
+                // The packet came from a NIC: give the NIC its credit back.
+                let node = match self.topo.neighbor(router, port) {
+                    Neighbor::Node(n) => n,
+                    Neighbor::Router { .. } => unreachable!("host port resolved to a router"),
+                };
+                self.queue.push(
+                    self.now + self.cfg.host_latency_ns,
+                    EventKind::NicCredit { node },
+                );
+            }
+            PortKind::Local | PortKind::Global => {
+                let (up_router, up_port) = match self.topo.neighbor(router, port) {
+                    Neighbor::Router { router, port } => (router, port),
+                    Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
+                };
+                let latency = self.input_link_latency(port);
+                let at = self.now + latency;
+                self.send_to_router(up_router, at, || ShardMsg::CreditArrive {
+                    time: at,
+                    router: up_router,
+                    port: up_port,
+                    vc,
+                });
+            }
+        }
+    }
+}

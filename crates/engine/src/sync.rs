@@ -1,0 +1,439 @@
+//! Conservative-parallel synchronisation: the shard plan (who owns which
+//! group), the lookahead window, cross-shard mailboxes and the spin
+//! barrier that paces the per-window lockstep.
+//!
+//! ## The conservative argument
+//!
+//! Routers are partitioned by Dragonfly group, so the only links that can
+//! cross a shard boundary are **global** links. Every cross-shard
+//! interaction — a packet traversing a global link, a credit or an RL
+//! feedback message returning across one — is scheduled at least one
+//! global-link latency `L` into the future. Shards therefore execute
+//! windows of at most `L` simulated nanoseconds in lockstep: any message a
+//! shard sends while executing window `[S, S+L)` fires at `now + L ≥ S+L`,
+//! i.e. strictly after the window, so delivering mailboxes at the window
+//! barrier is always in time. No null messages, no rollback.
+//!
+//! ## Determinism
+//!
+//! Mailbox delivery order does not matter: events are totally ordered by a
+//! content-derived key (see [`crate::event::event_key`]), so a message
+//! sorts into the destination queue exactly where the single-queue engine
+//! would have processed it. `shards = 1` and `shards = N` produce
+//! bit-for-bit identical outputs.
+
+use crate::packet::Packet;
+use crate::routing::FeedbackMsg;
+use crate::time::SimTime;
+use dragonfly_topology::ids::{Port, RouterId};
+use dragonfly_topology::Dragonfly;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for "no pending event" in the shared next-event hints.
+pub const NO_EVENT: SimTime = SimTime::MAX;
+
+/// How routers and nodes are partitioned into shards, plus the lookahead.
+///
+/// Shards own contiguous, balanced group ranges, so a router's shard is a
+/// single table lookup and all of a shard's state is contiguous.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Number of shards (≥ 1).
+    num_shards: usize,
+    /// The conservative lookahead window in ns (= global-link latency).
+    lookahead: SimTime,
+    /// Group → shard.
+    group_to_shard: Vec<u16>,
+    /// Shard → first group (plus a trailing total, so `groups_of(i)` is
+    /// `group_start[i]..group_start[i + 1]`).
+    group_start: Vec<usize>,
+    /// Routers per group (the topology's `a`).
+    routers_per_group: usize,
+}
+
+impl ShardPlan {
+    /// Partition `topo` into `num_shards` contiguous group ranges.
+    pub fn new(topo: &Dragonfly, num_shards: usize, lookahead: SimTime) -> Self {
+        let groups = topo.num_groups();
+        let n = num_shards.clamp(1, groups.max(1));
+        assert!(
+            n == 1 || lookahead > 0,
+            "conservative sharding needs a positive lookahead window"
+        );
+        let mut group_to_shard = vec![0u16; groups];
+        let mut group_start = Vec::with_capacity(n + 1);
+        for shard in 0..n {
+            let start = shard * groups / n;
+            group_start.push(start);
+            let end = (shard + 1) * groups / n;
+            group_to_shard[start..end].fill(shard as u16);
+        }
+        group_start.push(groups);
+        Self {
+            num_shards: n,
+            lookahead,
+            group_to_shard,
+            group_start,
+            routers_per_group: topo.config().a,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The conservative lookahead window (ns).
+    #[inline]
+    pub fn lookahead(&self) -> SimTime {
+        self.lookahead
+    }
+
+    /// The shard owning a group.
+    #[inline]
+    pub fn shard_of_group(&self, group: usize) -> usize {
+        self.group_to_shard[group] as usize
+    }
+
+    /// The shard owning a router.
+    #[inline]
+    pub fn shard_of_router(&self, router: RouterId) -> usize {
+        self.group_to_shard[router.index() / self.routers_per_group] as usize
+    }
+
+    /// The contiguous group range owned by a shard.
+    pub fn groups_of(&self, shard: usize) -> std::ops::Range<usize> {
+        self.group_start[shard]..self.group_start[shard + 1]
+    }
+}
+
+/// A cross-shard message, timestamped with its (future) firing time.
+///
+/// `RouterArrive` carries the packet **by value**: the sender frees its
+/// arena slot when the packet leaves the shard and the receiver allocates
+/// a fresh slot on delivery, so [`crate::arena::PacketRef`] handles never
+/// cross a shard boundary un-translated.
+#[derive(Debug, Clone)]
+pub enum ShardMsg {
+    /// A packet crossing a global link into another shard.
+    RouterArrive {
+        /// Firing time at the destination router.
+        time: SimTime,
+        /// Destination router.
+        router: RouterId,
+        /// Input port on the destination router.
+        port: Port,
+        /// Virtual channel of the arrival.
+        vc: u8,
+        /// The packet itself, extracted from the sender's arena.
+        packet: Packet,
+    },
+    /// A credit returning upstream across a global link.
+    CreditArrive {
+        /// Firing time at the upstream router.
+        time: SimTime,
+        /// Upstream router receiving the credit.
+        router: RouterId,
+        /// Output port of the upstream router the credit belongs to.
+        port: Port,
+        /// Virtual channel of the credit.
+        vc: u8,
+    },
+    /// RL feedback returning upstream across a global link.
+    RlFeedback {
+        /// Firing time at the upstream router.
+        time: SimTime,
+        /// Upstream router whose agent receives the feedback.
+        router: RouterId,
+        /// The feedback payload.
+        msg: FeedbackMsg,
+    },
+}
+
+impl ShardMsg {
+    /// The simulated time at which the message fires.
+    pub fn time(&self) -> SimTime {
+        match self {
+            ShardMsg::RouterArrive { time, .. }
+            | ShardMsg::CreditArrive { time, .. }
+            | ShardMsg::RlFeedback { time, .. } => *time,
+        }
+    }
+
+    /// Whether the message carries a packet (used for drain accounting).
+    pub fn carries_packet(&self) -> bool {
+        matches!(self, ShardMsg::RouterArrive { .. })
+    }
+}
+
+/// One injection queued for a shard's NIC, with its globally assigned
+/// packet id (ids are handed out by the coordinator in injector order, so
+/// they are independent of the shard count).
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedInjection {
+    /// Generation time at the source node.
+    pub time: SimTime,
+    /// Generating node (owned by the receiving shard).
+    pub src: dragonfly_topology::ids::NodeId,
+    /// Destination node (any shard).
+    pub dst: dragonfly_topology::ids::NodeId,
+    /// Pre-assigned global packet id.
+    pub id: u64,
+}
+
+/// The `N × N` cross-shard mailbox fabric.
+///
+/// `boxes[src][dst]` is written only by shard `src` (at the end of its
+/// compute phase) and drained only by shard `dst` (at the start of its
+/// next compute phase); the two accesses are separated by the window
+/// barrier, so every lock acquisition is uncontended — the mutexes exist
+/// to satisfy `Sync`, not to arbitrate.
+#[derive(Debug, Default)]
+pub struct MailGrid {
+    boxes: Vec<Vec<Mutex<Vec<ShardMsg>>>>,
+}
+
+impl MailGrid {
+    /// An `n × n` grid of empty mailboxes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            boxes: (0..n)
+                .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+        }
+    }
+
+    /// Append `msgs` to the `src → dst` mailbox (cheap vector splice).
+    pub fn post(&self, src: usize, dst: usize, msgs: &mut Vec<ShardMsg>) {
+        if !msgs.is_empty() {
+            self.boxes[src][dst].lock().append(msgs);
+        }
+    }
+
+    /// Take everything addressed to `dst`, in ascending sender order.
+    pub fn collect_for(&self, dst: usize) -> Vec<ShardMsg> {
+        let mut out = Vec::new();
+        for row in &self.boxes {
+            out.append(&mut row[dst].lock());
+        }
+        out
+    }
+
+    /// Packets currently travelling to `dst` inside mailboxes.
+    pub fn packets_bound_for(&self, dst: usize) -> u64 {
+        self.boxes
+            .iter()
+            .map(|row| {
+                row[dst]
+                    .lock()
+                    .iter()
+                    .filter(|m| m.carries_packet())
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Whether every mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes
+            .iter()
+            .all(|row| row.iter().all(|b| b.lock().is_empty()))
+    }
+}
+
+/// A sense-reversing spin barrier for the per-window lockstep.
+///
+/// Windows are hundreds of nanoseconds of simulated time but only tens of
+/// microseconds of wall time, so a futex-based barrier would dominate; the
+/// spin loop keeps the synchronisation cost to a cache-line ping. After a
+/// bounded spin the waiters yield, so oversubscribed machines (more shards
+/// than cores) still make progress.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `participants` threads.
+    pub fn new(participants: usize) -> Self {
+        Self {
+            participants,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block until all participants arrive. Returns `true` on exactly one
+    /// thread per generation (the last arrival), which the caller may use
+    /// for leader-only work — the engine instead fixes shard 0 as the
+    /// leader between two barriers, so this return is informational.
+    pub fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.arrived.store(0, Ordering::Release);
+            self.generation.store(generation + 1, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins += 1;
+                if spins < 512 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Shared per-run state of the threaded window loop.
+#[derive(Debug)]
+pub struct WindowSync {
+    /// First barrier: all compute phases of the previous round finished.
+    pub pre: SpinBarrier,
+    /// Second barrier: the leader published the next window (or `done`).
+    pub post: SpinBarrier,
+    /// Exclusive end of the current window (valid after `post`).
+    pub window_end: AtomicU64,
+    /// Set by the leader when no further window will run.
+    pub done: AtomicBool,
+    /// Per-shard "earliest thing I know about" hints: the minimum of the
+    /// shard's queue head and every message it sent in the last window.
+    pub next_hint: Vec<AtomicU64>,
+    /// Injection inboxes, filled by the leader and drained by each shard
+    /// at the start of its compute phase (uncontended, like the mailboxes).
+    pub injections: Vec<Mutex<std::collections::VecDeque<QueuedInjection>>>,
+}
+
+impl WindowSync {
+    /// Fresh per-run state for `n` shards.
+    pub fn new(n: usize) -> Self {
+        Self {
+            pre: SpinBarrier::new(n),
+            post: SpinBarrier::new(n),
+            window_end: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            next_hint: (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect(),
+            injections: (0..n)
+                .map(|_| Mutex::new(std::collections::VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// The minimum of all shard hints.
+    pub fn min_hint(&self) -> SimTime {
+        self.next_hint
+            .iter()
+            .map(|h| h.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(NO_EVENT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::ids::NodeId;
+
+    #[test]
+    fn plan_partitions_groups_contiguously_and_exhaustively() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny()); // 9 groups, a = 4
+        for n in [1, 2, 3, 4, 9] {
+            let plan = ShardPlan::new(&topo, n, 300);
+            assert_eq!(plan.num_shards(), n);
+            let mut covered = 0;
+            for shard in 0..n {
+                let range = plan.groups_of(shard);
+                for g in range.clone() {
+                    assert_eq!(plan.shard_of_group(g), shard);
+                }
+                covered += range.len();
+            }
+            assert_eq!(covered, topo.num_groups());
+            // Router ownership agrees with group ownership.
+            for r in topo.routers() {
+                let g = topo.group_of_router(r);
+                assert_eq!(plan.shard_of_router(r), plan.shard_of_group(g.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_oversized_requests() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let plan = ShardPlan::new(&topo, 100, 300);
+        assert_eq!(plan.num_shards(), 9, "one shard per group at most");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn plan_rejects_multi_shard_zero_lookahead() {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        ShardPlan::new(&topo, 2, 0);
+    }
+
+    #[test]
+    fn mailboxes_deliver_and_count_packets() {
+        let grid = MailGrid::new(2);
+        let mut out = vec![
+            ShardMsg::CreditArrive {
+                time: 400,
+                router: RouterId(1),
+                port: Port(2),
+                vc: 0,
+            },
+            ShardMsg::RlFeedback {
+                time: 350,
+                router: RouterId(1),
+                msg: FeedbackMsg {
+                    packet_id: 7,
+                    src: NodeId(0),
+                    dst: NodeId(9),
+                    dst_router: RouterId(4),
+                    dst_group: dragonfly_topology::ids::GroupId(1),
+                    src_slot: 0,
+                    port: Port(5),
+                    reward_ns: 10.0,
+                    downstream_estimate_ns: 20.0,
+                },
+            },
+        ];
+        grid.post(0, 1, &mut out);
+        assert!(out.is_empty(), "post splices the batch out");
+        assert!(!grid.is_empty());
+        assert_eq!(grid.packets_bound_for(1), 0, "no RouterArrive queued");
+        let got = grid.collect_for(1);
+        assert_eq!(got.len(), 2);
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn spin_barrier_synchronises_phases() {
+        use std::sync::atomic::AtomicU32;
+        let barrier = SpinBarrier::new(4);
+        let phase_sum = AtomicU32::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for round in 0..50u32 {
+                        phase_sum.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // Between barriers every thread must observe the
+                        // full round's worth of increments.
+                        assert_eq!(phase_sum.load(Ordering::SeqCst), (round + 1) * 4);
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(phase_sum.load(Ordering::SeqCst), 200);
+    }
+}

@@ -72,6 +72,21 @@ impl Histogram {
             self.bin(value) as f64 / self.total as f64
         }
     }
+
+    /// Merge another histogram into this one. All accumulators are integer
+    /// sums, so merging any partition of a sample stream reproduces the
+    /// unpartitioned histogram exactly (what the sharded engine relies on).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (value, count) in other.bins.iter().enumerate() {
+            self.bins[value] += count;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.weighted_sum += other.weighted_sum;
+    }
 }
 
 #[cfg(test)]

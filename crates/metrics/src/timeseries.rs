@@ -60,6 +60,25 @@ impl TimeSeries {
         bin.bytes += bytes as u128;
     }
 
+    /// Merge another series into this one bin by bin. Panics if the bin
+    /// widths differ. All bin fields are integer sums, so merging any
+    /// partition of a delivery stream reproduces the unpartitioned series
+    /// exactly (what the sharded engine relies on).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.bin_width_ns, other.bin_width_ns,
+            "cannot merge time series with different bin widths"
+        );
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), Bin::default());
+        }
+        for (bin, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            bin.packets += theirs.packets;
+            bin.latency_sum_ns += theirs.latency_sum_ns;
+            bin.bytes += theirs.bytes;
+        }
+    }
+
     /// Number of bins (up to the latest recorded delivery).
     pub fn len(&self) -> usize {
         self.bins.len()

@@ -131,6 +131,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Select the conservative-parallel shard count (results are identical
+    /// for every value; only wall-clock speed and thread usage change).
+    pub fn shards(mut self, shards: dragonfly_engine::config::ShardKind) -> Self {
+        self.engine_config
+            .get_or_insert_with(Default::default)
+            .shards = shards;
+        self
+    }
+
     /// The total simulated time of the run.
     pub fn total_ns(&self) -> SimTime {
         self.warmup_ns + self.measure_ns + self.tail_ns
@@ -192,11 +201,10 @@ impl SimulationBuilder {
         let stats = engine.stats();
         let cfg = *engine.config();
         let nodes = engine.topology().num_nodes();
-        let window_ns = {
-            let c = engine.observer();
-            c.window_ns()
-        };
-        let collector = engine.observer_mut();
+        // Merge the per-shard collectors (a single-shard engine merges
+        // trivially); quantile queries need the merged sample set anyway.
+        let mut collector = engine.merged_observer();
+        let window_ns = collector.window_ns();
         let throughput =
             collector
                 .throughput

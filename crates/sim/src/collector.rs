@@ -1,7 +1,7 @@
 //! The measurement observer: applies the warmup/measurement-window
 //! methodology of the paper and feeds the metric primitives.
 
-use dragonfly_engine::observer::SimObserver;
+use dragonfly_engine::observer::{ShardObserver, SimObserver};
 use dragonfly_engine::packet::Packet;
 use dragonfly_engine::time::SimTime;
 use dragonfly_metrics::histogram::Histogram;
@@ -11,7 +11,12 @@ use dragonfly_metrics::timeseries::TimeSeries;
 
 /// Collects latency, hop and throughput statistics over a measurement
 /// window, plus an optional whole-run time series.
-#[derive(Debug)]
+///
+/// The collector is a [`ShardObserver`]: a sharded engine clones it per
+/// shard and merges the clones afterwards. Every accumulator is an
+/// integer sum, count or sample multiset, so the merged result is
+/// bit-for-bit identical to a single-shard run.
+#[derive(Debug, Clone)]
 pub struct MetricsCollector {
     /// Packets delivered before this time are ignored (warmup).
     pub window_start_ns: SimTime,
@@ -62,6 +67,24 @@ impl MetricsCollector {
 
     fn in_window(&self, t: SimTime) -> bool {
         t >= self.window_start_ns && t < self.window_end_ns
+    }
+}
+
+impl ShardObserver for MetricsCollector {
+    fn absorb(&mut self, other: Self) {
+        debug_assert_eq!(self.window_start_ns, other.window_start_ns);
+        debug_assert_eq!(self.window_end_ns, other.window_end_ns);
+        self.latency.merge(&other.latency);
+        self.hops.merge(&other.hops);
+        self.throughput.merge(&other.throughput);
+        self.generated_in_window += other.generated_in_window;
+        self.generated_total += other.generated_total;
+        self.delivered_total += other.delivered_total;
+        match (self.series.as_mut(), other.series) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (None, Some(theirs)) => self.series = Some(theirs),
+            _ => {}
+        }
     }
 }
 

@@ -471,8 +471,24 @@ impl SweepSpec {
         SweepResult { reports }
     }
 
+    /// The number of intra-run shards (threads) each point of this sweep
+    /// will use, from the shared engine override.
+    pub fn shards_per_point(&self) -> usize {
+        match self.engine {
+            Some(engine) => engine
+                .shards
+                .resolve(self.topology.groups(), engine.global_latency_ns),
+            None => 1,
+        }
+    }
+
     /// Run every point in parallel across `threads` workers
     /// (0 = one per available CPU).
+    ///
+    /// When the engine override shards individual runs, the thread budget
+    /// is split between the two levels of parallelism: `threads` is
+    /// divided by the per-run shard count so `sweep workers × shards`
+    /// stays within the requested budget.
     pub fn run_parallel(&self, threads: usize) -> SweepResult {
         let builders: Vec<SimulationBuilder> = self
             .points()
@@ -480,7 +496,10 @@ impl SweepSpec {
             .map(ExperimentSpec::to_builder)
             .collect();
         SweepResult {
-            reports: run_builders_parallel(builders, threads),
+            reports: run_builders_parallel(
+                builders,
+                budget_workers(threads, self.shards_per_point()),
+            ),
         }
     }
 
@@ -519,6 +538,21 @@ impl SweepSpec {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("serialisation is infallible")
     }
+}
+
+/// Split a sweep-level thread budget between inter-run workers and
+/// intra-run shards: with `shards_per_run`-way sharded points, only
+/// `budget / shards_per_run` points should run concurrently (0 = one per
+/// available CPU, resolved before dividing).
+pub fn budget_workers(threads: usize, shards_per_run: usize) -> usize {
+    let budget = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    (budget / shards_per_run.max(1)).max(1)
 }
 
 /// Catch traffic/topology combinations whose pattern constructor would
@@ -731,6 +765,60 @@ mod tests {
             assert_eq!(a.mean_latency_us, b.mean_latency_us);
             assert_eq!(a.throughput, b.throughput);
         }
+    }
+
+    #[test]
+    fn engine_shards_round_trip_through_scenario_files() {
+        use dragonfly_engine::config::ShardKind;
+        let mut spec = sample_spec();
+        spec.engine.as_mut().unwrap().shards = ShardKind::Fixed(3);
+        assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+        spec.engine.as_mut().unwrap().shards = ShardKind::Auto;
+        assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        // The TOML key is documented in scenarios/README.md.
+        let parsed = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n[topology]\np = 2\na = 4\nh = 2\n\
+             [engine]\npacket_bytes = 128\nlink_bytes_per_ns = 4.0\nlocal_latency_ns = 30\n\
+             global_latency_ns = 300\nhost_latency_ns = 10\nrouter_latency_ns = 100\n\
+             vc_buffer_packets = 20\noutput_queue_packets = 20\nnum_vcs = 5\n\
+             shards = { Fixed = 2 }\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.engine.unwrap().shards, ShardKind::Fixed(2));
+    }
+
+    #[test]
+    fn sharded_spec_run_matches_unsharded_run_exactly() {
+        use dragonfly_engine::config::ShardKind;
+        let mut spec = sample_spec();
+        spec.series_bin_ns = None;
+        spec.tail_ns = 0;
+        let single = spec.run();
+        spec.engine.as_mut().unwrap().shards = ShardKind::Fixed(2);
+        let sharded = spec.run();
+        assert_eq!(single.packets_delivered, sharded.packets_delivered);
+        assert_eq!(single.mean_latency_us, sharded.mean_latency_us);
+        assert_eq!(single.p99_latency_us, sharded.p99_latency_us);
+        assert_eq!(single.throughput, sharded.throughput);
+        assert_eq!(single.mean_hops, sharded.mean_hops);
+        assert_eq!(single.events_processed, sharded.events_processed);
+    }
+
+    #[test]
+    fn thread_budget_divides_between_sweep_and_shards() {
+        assert_eq!(budget_workers(8, 1), 8);
+        assert_eq!(budget_workers(8, 4), 2);
+        assert_eq!(budget_workers(8, 3), 2);
+        assert_eq!(budget_workers(2, 4), 1, "never starves the sweep");
+        assert!(budget_workers(0, 1) >= 1, "0 resolves to the CPU count");
+        let mut sweep = sample_sweep();
+        assert_eq!(sweep.shards_per_point(), 1);
+        sweep.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::config::ShardKind::Fixed(2),
+            ..Default::default()
+        });
+        assert_eq!(sweep.shards_per_point(), 2);
     }
 
     #[test]

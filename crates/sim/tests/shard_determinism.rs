@@ -1,0 +1,135 @@
+//! Cross-shard determinism on the real routing algorithms.
+//!
+//! The engine-level `shard_differential` test pins the contract with the
+//! cheap test router; this file drives seeded **UGAL** and **Q-adaptive**
+//! workloads — adaptive decisions, per-router RNGs, Q-table updates fed by
+//! cross-shard RL feedback — through the full spec/metrics pipeline and
+//! asserts that `shards = 2` and `shards = 4` reproduce the `shards = 1`
+//! report bit for bit (every field except wall-clock timings).
+
+use dragonfly_engine::config::ShardKind;
+use dragonfly_engine::EngineConfig;
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::spec::ExperimentSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::QAdaptiveParams;
+
+fn spec(routing: RoutingSpec, traffic: TrafficSpec, seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        name: String::new(),
+        topology: DragonflyConfig::tiny(),
+        routing,
+        traffic,
+        load: Some(0.35),
+        schedule: None,
+        warmup_ns: 15_000,
+        measure_ns: 25_000,
+        tail_ns: 5_000,
+        seed: Some(seed),
+        series_bin_ns: None,
+        engine: None,
+    }
+}
+
+fn run_sharded(mut spec: ExperimentSpec, shards: ShardKind) -> SimulationReport {
+    spec.engine = Some(EngineConfig {
+        shards,
+        ..Default::default()
+    });
+    spec.run()
+}
+
+fn assert_identical(single: &SimulationReport, sharded: &SimulationReport, label: &str) {
+    assert_eq!(
+        single.packets_generated, sharded.packets_generated,
+        "{label}"
+    );
+    assert_eq!(
+        single.packets_delivered, sharded.packets_delivered,
+        "{label}"
+    );
+    assert_eq!(single.throughput, sharded.throughput, "{label}");
+    assert_eq!(single.mean_latency_us, sharded.mean_latency_us, "{label}");
+    assert_eq!(
+        single.median_latency_us, sharded.median_latency_us,
+        "{label}"
+    );
+    assert_eq!(single.q1_latency_us, sharded.q1_latency_us, "{label}");
+    assert_eq!(single.q3_latency_us, sharded.q3_latency_us, "{label}");
+    assert_eq!(single.p95_latency_us, sharded.p95_latency_us, "{label}");
+    assert_eq!(single.p99_latency_us, sharded.p99_latency_us, "{label}");
+    assert_eq!(single.max_latency_us, sharded.max_latency_us, "{label}");
+    assert_eq!(single.mean_hops, sharded.mean_hops, "{label}");
+    assert_eq!(
+        single.fraction_below_2us, sharded.fraction_below_2us,
+        "{label}"
+    );
+    assert_eq!(
+        single.events_processed, sharded.events_processed,
+        "{label}: even the event count matches"
+    );
+}
+
+#[test]
+fn ugal_workload_is_shard_count_invariant() {
+    for (traffic, seed) in [
+        (TrafficSpec::UniformRandom, 21u64),
+        (TrafficSpec::Adversarial { shift: 1 }, 22),
+    ] {
+        let base = spec(RoutingSpec::UgalG, traffic, seed);
+        let single = run_sharded(base.clone(), ShardKind::Single);
+        assert!(single.packets_delivered > 200, "workload too small to pin");
+        for shards in [2usize, 4] {
+            let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+            assert_identical(
+                &single,
+                &sharded,
+                &format!("UGALg/{} shards={shards}", single.traffic),
+            );
+        }
+    }
+}
+
+#[test]
+fn qadaptive_workload_is_shard_count_invariant() {
+    // Q-adaptive is the adversarial case for parallel determinism: every
+    // committed hop sends RL feedback upstream (cross-shard for global
+    // hops), and Q-table updates do not commute — any reordering would
+    // change routing decisions and show up in the latency distribution.
+    for (traffic, seed) in [
+        (TrafficSpec::UniformRandom, 31u64),
+        (TrafficSpec::Adversarial { shift: 2 }, 32),
+    ] {
+        let base = spec(
+            RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+            traffic,
+            seed,
+        );
+        let single = run_sharded(base.clone(), ShardKind::Single);
+        assert!(single.packets_delivered > 200, "workload too small to pin");
+        for shards in [2usize, 4] {
+            let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+            assert_identical(
+                &single,
+                &sharded,
+                &format!("Q-adaptive/{} shards={shards}", single.traffic),
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_sharding_matches_single_too() {
+    // `Auto` resolves to whatever the host offers; the result must not
+    // depend on it.
+    let base = spec(
+        RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+        TrafficSpec::UniformRandom,
+        33,
+    );
+    let single = run_sharded(base.clone(), ShardKind::Single);
+    let auto = run_sharded(base, ShardKind::Auto);
+    assert_identical(&single, &auto, "auto");
+}
