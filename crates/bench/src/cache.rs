@@ -70,14 +70,17 @@ impl ResultCache {
         payload.push('\n');
         // The canonical JSON covers everything that determines the result,
         // including the optional engine override (hardware timings). The
-        // shard count and scheduler choice are *stripped* first: both are
-        // pinned bit-for-bit result-invariant (shard_differential /
-        // scheduler_differential), so a cache warmed without `--shards`
-        // keeps serving hits when the user later turns sharding on.
+        // shard count, scheduler choice and pipeline flag are *stripped*
+        // first: all three are pinned bit-for-bit result-invariant
+        // (shard_differential / scheduler_differential /
+        // pipeline_differential), so a cache warmed without `--shards`
+        // keeps serving hits when the user later turns sharding or
+        // pipelining on or off.
         let mut canonical = spec.clone();
         if let Some(engine) = canonical.engine.as_mut() {
             engine.shards = Default::default();
             engine.scheduler = Default::default();
+            engine.pipeline = dragonfly_engine::EngineConfig::default().pipeline;
         }
         // `--shards` materialises a default engine override where the spec
         // had none; after stripping, a pure-default override means the
@@ -248,6 +251,145 @@ mod tests {
             ResultCache::convergence_key(&tiny_spec(1)),
             "result schemas do not collide"
         );
+    }
+
+    #[test]
+    fn keys_are_invariant_to_every_execution_mode_field() {
+        // All three execution knobs — pipeline, shards, scheduler — are
+        // pinned result-invariant by the differential suites, so none of
+        // them may change the cache key: a cache warmed with the default
+        // (pipelined) engine keeps serving hits after `--no-pipeline`,
+        // `--shards N` or a scheduler swap, in any combination.
+        let plain = ResultCache::point_key(&tiny_spec(1));
+        for pipeline in [true, false] {
+            for shards in [
+                dragonfly_engine::ShardKind::Single,
+                dragonfly_engine::ShardKind::Fixed(4),
+                dragonfly_engine::ShardKind::Auto,
+            ] {
+                for scheduler in [
+                    dragonfly_engine::SchedulerKind::Calendar,
+                    dragonfly_engine::SchedulerKind::BinaryHeap,
+                ] {
+                    let mut spec = tiny_spec(1);
+                    spec.engine = Some(dragonfly_engine::EngineConfig {
+                        pipeline,
+                        shards,
+                        scheduler,
+                        ..Default::default()
+                    });
+                    assert_eq!(
+                        plain,
+                        ResultCache::point_key(&spec),
+                        "pipeline={pipeline} shards={shards:?} scheduler={scheduler:?} \
+                         must not invalidate the cache"
+                    );
+                }
+            }
+        }
+        // Hardware timings still matter even with execution knobs set.
+        let mut slow = tiny_spec(1);
+        slow.engine = Some(dragonfly_engine::EngineConfig {
+            pipeline: false,
+            local_latency_ns: 60,
+            ..Default::default()
+        });
+        assert_ne!(plain, ResultCache::point_key(&slow));
+    }
+
+    #[test]
+    fn warm_hit_survives_toggling_the_pipeline_flag() {
+        // End-to-end: warm the cache with the default engine, re-run with
+        // `pipeline = false` (what `--no-pipeline` produces) and the
+        // sweep must be served entirely from the cache.
+        let cache = ResultCache::new(tmp_dir("pipeline-toggle")).unwrap();
+        let mut sweep = SweepSpec {
+            name: String::new(),
+            topology: DragonflyConfig::tiny(),
+            traffics: vec![],
+            routings: vec![dragonfly_routing::RoutingSpec::Minimal],
+            loads: vec![0.2],
+            warmup_ns: 2_000,
+            measure_ns: 5_000,
+            seed: Some(9),
+            seeds_per_point: None,
+            engine: None,
+        };
+        let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits_cold, 0);
+        sweep.engine = Some(dragonfly_engine::EngineConfig {
+            pipeline: false,
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            ..Default::default()
+        });
+        let (second, hits_warm) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(
+            hits_warm, 1,
+            "toggling --pipeline/--shards keeps the cache warm"
+        );
+        assert_eq!(
+            first.reports[0].packets_delivered,
+            second.reports[0].packets_delivered
+        );
+        assert_eq!(
+            first.reports[0].mean_latency_us,
+            second.reports[0].mean_latency_us
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_cache_files_fall_back_to_recompute() {
+        // A truncated, garbage or schema-incompatible cache file must be
+        // treated as a miss (recompute and overwrite), never a panic.
+        let cache = ResultCache::new(tmp_dir("corrupt")).unwrap();
+        let spec = tiny_spec(11);
+        let key = ResultCache::point_key(&spec);
+        let fresh = spec.run();
+        cache.store_report(&key, &fresh);
+        assert!(cache.load_report(&key).is_some(), "sanity: clean hit");
+        let path = cache.dir().join(format!("{key}.json"));
+        for garbage in [
+            "",                       // empty file
+            "{\"packets_deliv",       // truncated mid-key
+            "not json at all \u{7f}", // binary-ish garbage
+            "{\"unexpected\": true}", // valid JSON, wrong schema
+        ] {
+            std::fs::write(&path, garbage).unwrap();
+            assert!(
+                cache.load_report(&key).is_none(),
+                "corrupt file ({garbage:?}) must read as a miss"
+            );
+        }
+        // And the sweep path recomputes through the corruption untouched.
+        let sweep = SweepSpec {
+            name: String::new(),
+            topology: DragonflyConfig::tiny(),
+            traffics: vec![],
+            routings: vec![dragonfly_routing::RoutingSpec::Minimal],
+            loads: vec![0.1],
+            warmup_ns: 2_000,
+            measure_ns: 5_000,
+            seed: Some(13),
+            seeds_per_point: None,
+            engine: None,
+        };
+        let keys: Vec<String> = sweep.points().iter().map(ResultCache::point_key).collect();
+        let (first, _) = run_sweep_cached(&sweep, 1, Some(&cache));
+        std::fs::write(cache.dir().join(format!("{}.json", keys[0])), "garbage").unwrap();
+        let (recomputed, hits) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits, 0, "corrupt entry is a miss, not a panic");
+        assert_eq!(
+            first.reports[0].packets_delivered,
+            recomputed.reports[0].packets_delivered
+        );
+        let (rewarmed, hits_after) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits_after, 1, "the recompute repaired the cache entry");
+        assert_eq!(
+            first.reports[0].mean_latency_us,
+            rewarmed.reports[0].mean_latency_us
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

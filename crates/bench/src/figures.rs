@@ -9,7 +9,7 @@
 //! a sweep by hand.
 
 use crate::cache::{run_convergence_cached, run_sweep_cached, ResultCache};
-use crate::harness::{apply_shards, markdown_table, BenchArgs, RunMode};
+use crate::harness::{apply_engine_overrides, markdown_table, BenchArgs, RunMode};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::convergence::ConvergenceResult;
 use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
@@ -643,7 +643,10 @@ pub fn run_plan(plan: FigurePlan, args: &BenchArgs) -> FigureResult {
         } => {
             let mut results = Vec::new();
             for (title, mut sweep) in panels {
-                apply_shards(&mut sweep.engine, args.shards);
+                // Multi-core hosts shard (and pipeline, the engine
+                // default) the paper runs out of the box; identical
+                // results, so cached points stay valid.
+                apply_engine_overrides(&mut sweep.engine, args.effective_shards(), args.pipeline);
                 println!("\n{title} ({} simulations)...", sweep.len());
                 let (result, hits) = run_sweep_cached(&sweep, args.threads, cache.as_ref());
                 if hits > 0 {
@@ -660,7 +663,7 @@ pub fn run_plan(plan: FigurePlan, args: &BenchArgs) -> FigureResult {
         FigurePlan::Convergence { runs, curve } => {
             let mut results = Vec::new();
             for (title, mut spec) in runs {
-                apply_shards(&mut spec.engine, args.shards);
+                apply_engine_overrides(&mut spec.engine, args.effective_shards(), args.pipeline);
                 println!("\n{title} (simulating {} us)...", spec.total_ns() / 1_000);
                 let (result, hit) = run_convergence_cached(&spec, cache.as_ref());
                 if hit {

@@ -26,8 +26,13 @@ pub struct BenchArgs {
     /// Base seed.
     pub seed: u64,
     /// Conservative-parallel shard override applied to every simulation
-    /// of the figure (`None` = whatever the specs say, normally `Single`).
+    /// of the figure (`None` = the multi-core default, see
+    /// [`BenchArgs::effective_shards`]).
     pub shards: Option<ShardKind>,
+    /// Overlapped-window pipelining override (`None` = the engine default,
+    /// which is on; `--no-pipeline` forces the lockstep barrier mode).
+    /// Results are bit-for-bit identical either way.
+    pub pipeline: Option<bool>,
     /// Serve unchanged simulation points from this result-cache directory
     /// (see `dragonfly_bench::cache`).
     pub cache_dir: Option<std::path::PathBuf>,
@@ -49,6 +54,7 @@ impl BenchArgs {
         let mut threads = 0usize;
         let mut seed = 1u64;
         let mut shards = None;
+        let mut pipeline = None;
         let mut cache_dir = None;
         let mut no_cache = false;
         let mut i = 0;
@@ -56,6 +62,8 @@ impl BenchArgs {
             match args[i].as_str() {
                 "--full" => mode = RunMode::Full,
                 "--quick" => mode = RunMode::Quick,
+                "--pipeline" => pipeline = Some(true),
+                "--no-pipeline" => pipeline = Some(false),
                 "--threads" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         threads = v;
@@ -90,9 +98,25 @@ impl BenchArgs {
             threads,
             seed,
             shards,
+            pipeline,
             cache_dir,
             no_cache,
         }
+    }
+
+    /// The shard override figure runs actually apply: an explicit
+    /// `--shards` wins; otherwise multi-core hosts default to `Auto` so
+    /// the big 1,056/2,550-node paper runs shard (and, with the engine
+    /// default, pipeline) out of the box. Single-core hosts keep the
+    /// sequential engine. Results are identical either way — the cache
+    /// key strips the shard/pipeline fields for exactly that reason.
+    pub fn effective_shards(&self) -> Option<ShardKind> {
+        self.shards.or_else(|| {
+            let cpus = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (cpus > 1).then_some(ShardKind::Auto)
+        })
     }
 
     /// Warmup time per simulation point. Q-adaptive needs a learning period
@@ -147,14 +171,20 @@ impl BenchArgs {
     }
 }
 
-/// Apply a `--shards` override to a spec's optional engine config (the
-/// shared implementation behind the CLI commands and the figure registry).
-pub fn apply_shards(
+/// Apply `--shards` and `--pipeline`/`--no-pipeline` overrides to a
+/// spec's optional engine config. An untouched spec stays `None` (no
+/// override materialised) so scenario files keep full control when no
+/// flag was given.
+pub fn apply_engine_overrides(
     engine: &mut Option<dragonfly_engine::EngineConfig>,
     shards: Option<ShardKind>,
+    pipeline: Option<bool>,
 ) {
     if let Some(kind) = shards {
         engine.get_or_insert_with(Default::default).shards = kind;
+    }
+    if let Some(pipeline) = pipeline {
+        engine.get_or_insert_with(Default::default).pipeline = pipeline;
     }
 }
 
@@ -227,6 +257,7 @@ mod tests {
         assert!(a.ur_loads().len() > a.adv_loads().len());
         assert!(a.banner("fig5").contains("fig5"));
         assert_eq!(a.shards, None);
+        assert_eq!(a.pipeline, None, "engine default unless a flag is given");
         assert_eq!(a.cache_dir, None);
         assert!(!a.no_cache);
     }
@@ -237,20 +268,61 @@ mod tests {
             "prog",
             "--shards",
             "4",
+            "--no-pipeline",
             "--cache-dir",
             "/tmp/qcache",
             "--no-cache",
         ]));
         assert_eq!(a.shards, Some(ShardKind::Fixed(4)));
+        assert_eq!(a.pipeline, Some(false));
         assert_eq!(
             a.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/qcache"))
         );
         assert!(a.no_cache);
+        assert_eq!(
+            BenchArgs::from_slice(&s(&["prog", "--pipeline"])).pipeline,
+            Some(true)
+        );
         assert_eq!(parse_shards("auto"), Ok(ShardKind::Auto));
         assert_eq!(parse_shards("single"), Ok(ShardKind::Single));
         assert_eq!(parse_shards("6"), Ok(ShardKind::Fixed(6)));
         assert!(parse_shards("lots").is_err());
+    }
+
+    #[test]
+    fn effective_shards_defaults_to_auto_on_multi_core_hosts() {
+        let explicit = BenchArgs::from_slice(&s(&["prog", "--shards", "2"]));
+        assert_eq!(
+            explicit.effective_shards(),
+            Some(ShardKind::Fixed(2)),
+            "an explicit --shards always wins"
+        );
+        let defaulted = BenchArgs::from_slice(&s(&["prog"]));
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cpus > 1 {
+            assert_eq!(defaulted.effective_shards(), Some(ShardKind::Auto));
+        } else {
+            assert_eq!(defaulted.effective_shards(), None);
+        }
+    }
+
+    #[test]
+    fn engine_overrides_compose_and_leave_untouched_specs_alone() {
+        let mut engine = None;
+        apply_engine_overrides(&mut engine, None, None);
+        assert_eq!(engine, None, "no flags → no override materialised");
+        apply_engine_overrides(&mut engine, None, Some(false));
+        let cfg = engine.unwrap();
+        assert!(!cfg.pipeline);
+        assert_eq!(cfg.shards, ShardKind::Single);
+        let mut engine = Some(cfg);
+        apply_engine_overrides(&mut engine, Some(ShardKind::Auto), None);
+        let cfg = engine.unwrap();
+        assert_eq!(cfg.shards, ShardKind::Auto);
+        assert!(!cfg.pipeline, "earlier --no-pipeline survives --shards");
     }
 
     #[test]

@@ -4,11 +4,15 @@
 //! One canonical workload — uniform-random traffic at 30 % load on the
 //! paper's 1,056-node system under minimal routing (the cheapest agent, so
 //! the engine itself dominates) — is run once per scheduler
-//! implementation, plus once on the sharded conservative-parallel engine.
-//! The result records simulated events per wall-clock second for each, and
-//! is written to `BENCH_PR3.json` at the repository root so later PRs have
-//! a perf trajectory to compare against (`BENCH_PR2.json` is the previous
-//! baseline, still readable thanks to defaulted fields).
+//! implementation, once on the sharded engine in the lockstep *barrier*
+//! mode, and once with the overlapped-window *pipeline* on (the
+//! pipelined-vs-barrier leg). The result records simulated events per
+//! wall-clock second for each, and is written to `BENCH_PR4.json` at the
+//! repository root so later PRs have a perf trajectory to compare against
+//! (`BENCH_PR2.json`/`BENCH_PR3.json` are the previous baselines, still
+//! readable thanks to defaulted fields). `host_cpus` is recorded because
+//! wall-clock legs are only comparable between identical hosts — see
+//! [`check_against_baseline`].
 
 use dragonfly_engine::config::{EngineConfig, SchedulerKind, ShardKind};
 use dragonfly_routing::RoutingSpec;
@@ -54,10 +58,11 @@ pub struct SmokeBench {
     pub binary_heap: SchedulerBench,
     /// `calendar.events_per_sec / binary_heap.events_per_sec`.
     pub speedup: f64,
-    /// Sharded-engine measurement (calendar scheduler, `shards` shards).
+    /// Sharded-engine measurement in the lockstep **barrier** mode
+    /// (calendar scheduler, `shards` shards, `pipeline = false`).
     #[serde(default)]
     pub sharded: SchedulerBench,
-    /// Shard count of the sharded leg (0 in pre-shard baselines).
+    /// Shard count of the sharded legs (0 in pre-shard baselines).
     #[serde(default)]
     pub shards: usize,
     /// `sharded.events_per_sec / calendar.events_per_sec` — the
@@ -67,7 +72,19 @@ pub struct SmokeBench {
     /// the ratio records the sharding overhead instead.
     #[serde(default)]
     pub shard_speedup: f64,
-    /// CPUs available on the host that recorded this benchmark.
+    /// Sharded-engine measurement with the overlapped-window **pipeline**
+    /// on (`shards` shards, `pipeline = true`) — same event stream as
+    /// every other leg, different wall clock.
+    #[serde(default)]
+    pub pipelined: SchedulerBench,
+    /// `pipelined.events_per_sec / sharded.events_per_sec` — the
+    /// pipelined-vs-barrier leg (0 in pre-pipeline baselines). Like
+    /// `shard_speedup`, only meaningful with `host_cpus >= shards`.
+    #[serde(default)]
+    pub pipeline_speedup: f64,
+    /// CPUs available on the host that recorded this benchmark. Wall-clock
+    /// numbers are not comparable across different values; the baseline
+    /// check refuses mismatched hosts (0 = unknown, pre-PR3 baselines).
     #[serde(default)]
     pub host_cpus: usize,
 }
@@ -94,19 +111,22 @@ fn measure_ns(quick: bool) -> u64 {
 /// uniform-random traffic at 30 % load on the 1,056-node system under
 /// minimal routing (the cheapest agent, so the engine itself dominates).
 pub fn smoke_workload(scheduler: SchedulerKind, measure_ns: u64, seed: u64) -> SimulationBuilder {
-    smoke_workload_sharded(scheduler, ShardKind::Single, measure_ns, seed)
+    smoke_workload_sharded(scheduler, ShardKind::Single, false, measure_ns, seed)
 }
 
-/// The smoke workload on the conservative-parallel engine.
+/// The smoke workload on the conservative-parallel engine, in the barrier
+/// (`pipeline = false`) or overlapped-window (`pipeline = true`) mode.
 pub fn smoke_workload_sharded(
     scheduler: SchedulerKind,
     shards: ShardKind,
+    pipeline: bool,
     measure_ns: u64,
     seed: u64,
 ) -> SimulationBuilder {
     let cfg = EngineConfig {
         scheduler,
         shards,
+        pipeline,
         ..EngineConfig::default()
     };
     SimulationBuilder::new(DragonflyConfig::paper_1056())
@@ -122,13 +142,14 @@ pub fn smoke_workload_sharded(
 fn run_one(
     scheduler: SchedulerKind,
     shards: ShardKind,
+    pipeline: bool,
     measure_ns: u64,
     seed: u64,
     iterations: u32,
 ) -> SchedulerBench {
     let mut best = SchedulerBench::default();
     for _ in 0..iterations.max(1) {
-        let report = smoke_workload_sharded(scheduler, shards, measure_ns, seed).run();
+        let report = smoke_workload_sharded(scheduler, shards, pipeline, measure_ns, seed).run();
         let rate = report.events_processed as f64 / report.wall_seconds.max(1e-9);
         if rate > best.events_per_sec {
             best = SchedulerBench {
@@ -144,8 +165,9 @@ fn run_one(
 /// The default shard count of the sharded bench leg.
 pub const BENCH_SHARDS: usize = 4;
 
-/// Run the smoke workload under both schedulers and once on the sharded
-/// engine with `shards` shards (0 = the default [`BENCH_SHARDS`]).
+/// Run the smoke workload under both schedulers, once on the sharded
+/// engine in barrier mode and once with the overlapped-window pipeline
+/// (`shards` shards, 0 = the default [`BENCH_SHARDS`]).
 pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let measure_ns = measure_ns(quick);
     let iterations = if quick { 2 } else { 3 };
@@ -153,6 +175,7 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let calendar = run_one(
         SchedulerKind::Calendar,
         ShardKind::Single,
+        false,
         measure_ns,
         seed,
         iterations,
@@ -160,6 +183,7 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let binary_heap = run_one(
         SchedulerKind::BinaryHeap,
         ShardKind::Single,
+        false,
         measure_ns,
         seed,
         iterations,
@@ -167,6 +191,15 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let sharded = run_one(
         SchedulerKind::Calendar,
         ShardKind::Fixed(shards),
+        false,
+        measure_ns,
+        seed,
+        iterations,
+    );
+    let pipelined = run_one(
+        SchedulerKind::Calendar,
+        ShardKind::Fixed(shards),
+        true,
         measure_ns,
         seed,
         iterations,
@@ -174,6 +207,10 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     assert_eq!(
         sharded.events, calendar.events,
         "sharded and single-shard runs must process identical event streams"
+    );
+    assert_eq!(
+        pipelined.events, sharded.events,
+        "pipelined and barrier runs must process identical event streams"
     );
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
@@ -184,9 +221,11 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         wall_s: calendar.wall_s,
         speedup: calendar.events_per_sec / binary_heap.events_per_sec.max(1e-9),
         shard_speedup: sharded.events_per_sec / calendar.events_per_sec.max(1e-9),
+        pipeline_speedup: pipelined.events_per_sec / sharded.events_per_sec.max(1e-9),
         calendar,
         binary_heap,
         sharded,
+        pipelined,
         shards,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
@@ -205,15 +244,23 @@ pub fn run_smoke(quick: bool, seed: u64) -> SmokeBench {
 /// 0.3 = 30 %) below the baseline. The threshold is deliberately loose so
 /// shared/noisy CI runners do not produce flaky failures.
 ///
-/// The absolute rate depends on the machine that recorded the baseline, so
-/// a slower runner gets a second, machine-independent chance: if the
-/// calendar-over-heap speedup — a ratio of two runs on the *same* machine —
-/// held up within the same tolerance, the overall slowness is hardware,
-/// not a code regression, and the check passes.
+/// Wall-clock rates are only comparable between identical hosts, so a
+/// baseline whose recorded `host_cpus` differs from the current host is
+/// **refused with an error** instead of silently gating on numbers from a
+/// different machine. Pass `allow_cpu_mismatch = true` (the CLI's
+/// `--allow-cpu-mismatch`) to accept such a baseline; the check then
+/// gates *only* on the machine-independent calendar-over-heap speedup —
+/// a ratio of two runs on the same machine.
+///
+/// Even on a matching host the absolute rate can wobble (shared/noisy CI
+/// runners), so a run below the absolute floor still gets the
+/// speedup-ratio second chance: if the ratio held up, the slowness is
+/// hardware contention, not a code regression.
 pub fn check_against_baseline(
     current: &SmokeBench,
     baseline: &SmokeBench,
     tolerance: f64,
+    allow_cpu_mismatch: bool,
 ) -> Result<String, String> {
     // Refuse to compare incomparable runs (e.g. a --full baseline against
     // a --quick CI run): both fields are recorded in the JSON.
@@ -223,6 +270,39 @@ pub fn check_against_baseline(
              {} ns — regenerate the baseline with the same bench mode",
             current.workload, current.measure_ns, baseline.workload, baseline.measure_ns
         ));
+    }
+    // `host_cpus == 0` means a pre-PR3 baseline that never recorded the
+    // host; those keep the legacy behaviour (absolute gate + ratio
+    // fallback) since there is nothing to compare against.
+    let cpu_mismatch = baseline.host_cpus != 0 && baseline.host_cpus != current.host_cpus;
+    if cpu_mismatch && !allow_cpu_mismatch {
+        return Err(format!(
+            "baseline host mismatch: the baseline was recorded on a {}-CPU host but this host \
+             has {} CPUs, so its wall-clock events/sec are not comparable — regenerate the \
+             baseline on this host, or pass --allow-cpu-mismatch to gate only on the \
+             machine-independent calendar-vs-heap speedup ratio",
+            baseline.host_cpus, current.host_cpus
+        ));
+    }
+    if cpu_mismatch {
+        let speedup_floor = baseline.speedup * (1.0 - tolerance);
+        return if baseline.speedup > 0.0 && current.speedup >= speedup_floor {
+            Ok(format!(
+                "different host ({} vs {} CPUs): skipped the wall-clock gate; the \
+                 machine-independent speedup ratio held ({:.2}x vs baseline {:.2}x)",
+                current.host_cpus, baseline.host_cpus, current.speedup, baseline.speedup
+            ))
+        } else {
+            Err(format!(
+                "events/sec regression: speedup ratio {:.2}x fell below the baseline's {:.2}x \
+                 floor {:.2}x (wall-clock gate skipped: different host, {} vs {} CPUs)",
+                current.speedup,
+                baseline.speedup,
+                speedup_floor,
+                current.host_cpus,
+                baseline.host_cpus
+            ))
+        };
     }
     let floor = baseline.events_per_sec * (1.0 - tolerance);
     let verdict = format!(
@@ -258,10 +338,10 @@ mod tests {
     #[test]
     fn baseline_check_applies_tolerance() {
         let baseline = bench(1_000_000.0);
-        assert!(check_against_baseline(&bench(1_000_000.0), &baseline, 0.3).is_ok());
-        assert!(check_against_baseline(&bench(750_000.0), &baseline, 0.3).is_ok());
-        assert!(check_against_baseline(&bench(650_000.0), &baseline, 0.3).is_err());
-        assert!(check_against_baseline(&bench(1_500_000.0), &baseline, 0.3).is_ok());
+        assert!(check_against_baseline(&bench(1_000_000.0), &baseline, 0.3, false).is_ok());
+        assert!(check_against_baseline(&bench(750_000.0), &baseline, 0.3, false).is_ok());
+        assert!(check_against_baseline(&bench(650_000.0), &baseline, 0.3, false).is_err());
+        assert!(check_against_baseline(&bench(1_500_000.0), &baseline, 0.3, false).is_ok());
     }
 
     #[test]
@@ -269,11 +349,11 @@ mod tests {
         let current = bench(1_000_000.0);
         let mut other_window = bench(1_000_000.0);
         other_window.measure_ns = 50_000;
-        let err = check_against_baseline(&current, &other_window, 0.3).unwrap_err();
+        let err = check_against_baseline(&current, &other_window, 0.3, false).unwrap_err();
         assert!(err.contains("baseline mismatch"), "{err}");
         let mut other_workload = bench(1_000_000.0);
         other_workload.workload = "something_else".to_string();
-        assert!(check_against_baseline(&current, &other_workload, 0.3).is_err());
+        assert!(check_against_baseline(&current, &other_workload, 0.3, false).is_err());
     }
 
     #[test]
@@ -284,11 +364,56 @@ mod tests {
         // the (slower) current machine held: hardware, not a regression.
         let mut slow_machine = bench(400_000.0);
         slow_machine.speedup = 1.55;
-        assert!(check_against_baseline(&slow_machine, &baseline, 0.3).is_ok());
+        assert!(check_against_baseline(&slow_machine, &baseline, 0.3, false).is_ok());
         // Both the absolute rate and the ratio collapsed: real regression.
         let mut regressed = bench(400_000.0);
         regressed.speedup = 1.0;
-        assert!(check_against_baseline(&regressed, &baseline, 0.3).is_err());
+        assert!(check_against_baseline(&regressed, &baseline, 0.3, false).is_err());
+    }
+
+    #[test]
+    fn baseline_check_refuses_a_different_host() {
+        // A baseline recorded on a differently sized host must be refused
+        // with a clear error, not silently gated on its wall-clock rate.
+        let mut baseline = bench(1_000_000.0);
+        baseline.host_cpus = 16;
+        baseline.speedup = 1.6;
+        let mut current = bench(980_000.0);
+        current.host_cpus = 4;
+        current.speedup = 1.58;
+        let err = check_against_baseline(&current, &baseline, 0.3, false).unwrap_err();
+        assert!(err.contains("host mismatch"), "{err}");
+        assert!(err.contains("16-CPU"), "{err}");
+        assert!(err.contains("--allow-cpu-mismatch"), "{err}");
+        // Same host count: the normal absolute gate applies.
+        current.host_cpus = 16;
+        assert!(check_against_baseline(&current, &baseline, 0.3, false).is_ok());
+        // Pre-PR3 baselines never recorded the host (0 = unknown): legacy
+        // behaviour, no refusal.
+        baseline.host_cpus = 0;
+        current.host_cpus = 4;
+        assert!(check_against_baseline(&current, &baseline, 0.3, false).is_ok());
+    }
+
+    #[test]
+    fn allowed_cpu_mismatch_gates_only_on_the_ratio() {
+        let mut baseline = bench(1_000_000.0);
+        baseline.host_cpus = 16;
+        baseline.speedup = 1.6;
+        // Absolute rate *above* the floor but the ratio collapsed: with
+        // --allow-cpu-mismatch the wall clock is ignored entirely, so this
+        // is a failure (on the old path it would silently pass).
+        let mut fast_but_regressed = bench(2_000_000.0);
+        fast_but_regressed.host_cpus = 64;
+        fast_but_regressed.speedup = 0.9;
+        let err = check_against_baseline(&fast_but_regressed, &baseline, 0.3, true).unwrap_err();
+        assert!(err.contains("speedup ratio"), "{err}");
+        // Ratio held: passes regardless of the wall-clock numbers.
+        let mut slow_but_healthy = bench(10_000.0);
+        slow_but_healthy.host_cpus = 1;
+        slow_but_healthy.speedup = 1.55;
+        let verdict = check_against_baseline(&slow_but_healthy, &baseline, 0.3, true).unwrap();
+        assert!(verdict.contains("skipped the wall-clock gate"), "{verdict}");
     }
 
     #[test]
@@ -297,10 +422,30 @@ mod tests {
         b.workload = "min_ur_0.3_1056".to_string();
         b.speedup = 1.7;
         b.calendar.events = 42;
+        b.pipelined.events = 42;
+        b.pipeline_speedup = 1.3;
+        b.host_cpus = 8;
         let json = serde_json::to_string_pretty(&b).unwrap();
         let back: SmokeBench = serde_json::from_str(&json).unwrap();
         assert_eq!(back.workload, b.workload);
         assert_eq!(back.calendar.events, 42);
+        assert_eq!(back.pipelined.events, 42);
+        assert_eq!(back.host_cpus, 8);
         assert!((back.speedup - 1.7).abs() < 1e-12);
+        assert!((back.pipeline_speedup - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_pipeline_baselines_deserialise_with_defaulted_legs() {
+        // BENCH_PR3.json predates the pipelined leg; it must still load.
+        let legacy = r#"{"workload":"min_ur_0.3_1056","nodes":1056,"measure_ns":10000,
+            "events":5,"events_per_sec":1.0,"wall_s":1.0,
+            "calendar":{"events_per_sec":1.0,"wall_s":1.0,"events":5},
+            "binary_heap":{"events_per_sec":0.5,"wall_s":2.0,"events":5},
+            "speedup":2.0}"#;
+        let back: SmokeBench = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.pipelined.events, 0);
+        assert_eq!(back.pipeline_speedup, 0.0);
+        assert_eq!(back.host_cpus, 0);
     }
 }

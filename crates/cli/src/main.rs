@@ -14,7 +14,7 @@
 //! ```
 
 use dragonfly_bench::figures;
-use dragonfly_bench::harness::{apply_shards, markdown_table, parse_shards, BenchArgs};
+use dragonfly_bench::harness::{apply_engine_overrides, markdown_table, parse_shards, BenchArgs};
 use dragonfly_engine::config::ShardKind;
 use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
 use std::process::ExitCode;
@@ -36,7 +36,9 @@ struct CommonFlags {
     seed: Option<u64>,
     baseline: Option<String>,
     tolerance_pct: Option<f64>,
+    allow_cpu_mismatch: bool,
     shards: Option<ShardKind>,
+    pipeline: Option<bool>,
     cache_dir: Option<String>,
     no_cache: bool,
     positional: Vec<String>,
@@ -51,7 +53,9 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
         seed: None,
         baseline: None,
         tolerance_pct: None,
+        allow_cpu_mismatch: false,
         shards: None,
+        pipeline: None,
         cache_dir: None,
         no_cache: false,
         positional: Vec::new(),
@@ -91,6 +95,9 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
             "--shards" => {
                 flags.shards = Some(parse_shards(&next_value(args, &mut i, "--shards")?)?);
             }
+            "--pipeline" => flags.pipeline = Some(true),
+            "--no-pipeline" => flags.pipeline = Some(false),
+            "--allow-cpu-mismatch" => flags.allow_cpu_mismatch = true,
             "--cache-dir" => flags.cache_dir = Some(next_value(args, &mut i, "--cache-dir")?),
             "--no-cache" => flags.no_cache = true,
             "--quick" => flags.quick_full = Some(false),
@@ -132,26 +139,32 @@ fn usage() -> String {
          \n\
          USAGE:\n\
          \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--shards auto|single|N]\n\
-         \u{20}                        [--format text|csv|json] [--out FILE]\n\
+         \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--shards ...]\n\
-         \u{20}                        [--format text|csv|json] [--out FILE]\n\
+         \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--shards ...]\n\
-         \u{20}                        [--cache-dir DIR] [--no-cache] [--format text|csv|json] [--out FILE]\n\
+         \u{20}                        [--pipeline|--no-pipeline] [--cache-dir DIR] [--no-cache]\n\
+         \u{20}                        [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
          \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
          \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--shards N] [--out BENCH.json]\n\
-         \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30]\n\
+         \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30] [--allow-cpu-mismatch]\n\
          \u{20}                        (1,056-node engine smoke benchmark: calendar vs binary-heap\n\
-         \u{20}                         scheduler plus the sharded parallel engine;\n\
-         \u{20}                         --baseline fails on an events/sec regression)\n\
+         \u{20}                         scheduler plus barrier-vs-pipelined sharded legs;\n\
+         \u{20}                         --baseline fails on an events/sec regression and refuses a\n\
+         \u{20}                         baseline from a host with a different CPU count unless\n\
+         \u{20}                         --allow-cpu-mismatch gates on the speedup ratio instead)\n\
          \n\
          FIGURE IDS: {}\n\
          \n\
          `run` takes a single-experiment spec, `sweep` a grid spec — see\n\
          scenarios/README.md for the file format. `--shards` runs each\n\
-         simulation on N conservative-parallel cores; results are\n\
-         bit-for-bit identical for every shard count. `figure --cache-dir`\n\
-         reuses results of unchanged points across invocations.",
+         simulation on N conservative-parallel cores (figure runs default\n\
+         to `auto` on multi-core hosts) and `--no-pipeline` selects the\n\
+         lockstep barrier instead of overlapped windows; results are\n\
+         bit-for-bit identical for every combination. `figure --cache-dir`\n\
+         reuses results of unchanged points across invocations — shard,\n\
+         pipeline and scheduler choices never invalidate the cache.",
         figure_ids.join(", ")
     )
 }
@@ -167,11 +180,12 @@ fn reject_mode_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
     reject_bench_flags(flags, command)
 }
 
-/// `--baseline`/`--tolerance-pct` only make sense for `bench`.
+/// `--baseline`/`--tolerance-pct`/`--allow-cpu-mismatch` only make sense
+/// for `bench`.
 fn reject_bench_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
-    if flags.baseline.is_some() || flags.tolerance_pct.is_some() {
+    if flags.baseline.is_some() || flags.tolerance_pct.is_some() || flags.allow_cpu_mismatch {
         return Err(format!(
-            "--baseline/--tolerance-pct only apply to `bench`, not `{command}`"
+            "--baseline/--tolerance-pct/--allow-cpu-mismatch only apply to `bench`, not `{command}`"
         ));
     }
     Ok(())
@@ -210,7 +224,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         spec.seed = Some(seed);
     }
-    apply_shards(&mut spec.engine, flags.shards);
+    apply_engine_overrides(&mut spec.engine, flags.shards, flags.pipeline);
     eprintln!("running: {}", spec.label());
     let report = spec.run();
     eprintln!(
@@ -253,7 +267,7 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         sweep.seed = Some(seed);
     }
-    apply_shards(&mut sweep.engine, flags.shards);
+    apply_engine_overrides(&mut sweep.engine, flags.shards, flags.pipeline);
     eprintln!(
         "sweeping: {} ({} points)",
         if sweep.name.is_empty() {
@@ -388,6 +402,13 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
     if flags.format != Format::Json && flags.format != Format::Text {
         return Err("`bench` output is JSON (use --format json or omit the flag)".to_string());
     }
+    if flags.pipeline.is_some() {
+        return Err(
+            "--pipeline/--no-pipeline do not apply to `bench` — it always measures both the \
+             barrier and the pipelined leg"
+                .to_string(),
+        );
+    }
     let quick = !matches!(flags.quick_full, Some(true));
     let seed = flags.seed.unwrap_or(1);
     // The sharded leg's shard count (0 = the bench default of 4).
@@ -422,8 +443,15 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         bench.binary_heap.events_per_sec, bench.binary_heap.events, bench.binary_heap.wall_s
     );
     eprintln!(
-        "sharded x{}:  {:>12.0} events/s  ({} events in {:.3} s)",
+        "barrier x{}:   {:>12.0} events/s  ({} events in {:.3} s)",
         bench.shards, bench.sharded.events_per_sec, bench.sharded.events, bench.sharded.wall_s
+    );
+    eprintln!(
+        "pipelined x{}: {:>12.0} events/s  ({} events in {:.3} s)",
+        bench.shards,
+        bench.pipelined.events_per_sec,
+        bench.pipelined.events,
+        bench.pipelined.wall_s
     );
     eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
     eprintln!(
@@ -436,9 +464,23 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
             ""
         }
     );
+    eprintln!(
+        "pipelined-vs-barrier:      {:.2}x{}",
+        bench.pipeline_speedup,
+        if bench.host_cpus < bench.shards {
+            " (fewer CPUs than shards: overlap cannot show as wall-clock speedup)"
+        } else {
+            ""
+        }
+    );
     if let Some(baseline) = &baseline {
         let tolerance = flags.tolerance_pct.unwrap_or(30.0) / 100.0;
-        let verdict = dragonfly_bench::check_against_baseline(&bench, baseline, tolerance)?;
+        let verdict = dragonfly_bench::check_against_baseline(
+            &bench,
+            baseline,
+            tolerance,
+            flags.allow_cpu_mismatch,
+        )?;
         eprintln!("baseline ok: {verdict}");
     }
     let json = serde_json::to_string_pretty(&bench).expect("bench results always serialise");
@@ -464,6 +506,7 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
         bench_args.seed = seed;
     }
     bench_args.shards = flags.shards;
+    bench_args.pipeline = flags.pipeline;
     bench_args.cache_dir = flags.cache_dir.as_ref().map(std::path::PathBuf::from);
     bench_args.no_cache = flags.no_cache;
     if flags.format == Format::Text && flags.out.is_some() {
@@ -485,8 +528,10 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
 fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
     reject_bench_flags(flags, "show")?;
     reject_cache_flags(flags, "show")?;
-    if flags.shards.is_some() {
-        return Err("--shards applies to commands that run simulations, not `show`".to_string());
+    if flags.shards.is_some() || flags.pipeline.is_some() {
+        return Err(
+            "--shards/--pipeline apply to commands that run simulations, not `show`".to_string(),
+        );
     }
     let path = flags
         .positional

@@ -96,6 +96,23 @@ pub struct EngineConfig {
     /// value; `Single` is the sequential default).
     #[serde(default)]
     pub shards: ShardKind,
+    /// Overlapped-window pipelined execution of the sharded engine
+    /// (default `true`). With pipelining on, each lookahead window is split
+    /// into half-window *compute* and *exchange* phases over
+    /// double-buffered mailboxes, and idle shards steal whole ready
+    /// windows from slower ones — see [`crate::sync`]. Results are
+    /// **bit-for-bit identical** either way (pinned by the
+    /// `pipeline_differential` tests); `false` selects the PR 3 lockstep
+    /// barrier as the reference execution mode. Ignored when `shards`
+    /// resolves to 1 or the lookahead is under 2 ns.
+    #[serde(default = "default_pipeline")]
+    pub pipeline: bool,
+}
+
+/// Serde default for [`EngineConfig::pipeline`]: scenario files that
+/// predate the field get the (result-identical) pipelined engine.
+fn default_pipeline() -> bool {
+    true
 }
 
 impl Default for EngineConfig {
@@ -112,6 +129,7 @@ impl Default for EngineConfig {
             num_vcs: 5,
             scheduler: SchedulerKind::default(),
             shards: ShardKind::default(),
+            pipeline: default_pipeline(),
         }
     }
 }
@@ -249,6 +267,20 @@ mod tests {
         assert_eq!(cfg.num_vcs, 3);
         assert_eq!(cfg.vc_buffer_packets, 20);
         assert_eq!(cfg.shards, ShardKind::Single);
+        assert!(cfg.pipeline, "pipelined execution is the default");
+    }
+
+    #[test]
+    fn pipeline_defaults_to_true_for_pre_pipeline_configs() {
+        // A serialized EngineConfig from before the field existed must
+        // deserialize with pipelining on (the result-identical default).
+        let legacy = r#"{"packet_bytes":128,"link_bytes_per_ns":4.0,
+            "local_latency_ns":30,"global_latency_ns":300,"host_latency_ns":10,
+            "router_latency_ns":100,"vc_buffer_packets":20,
+            "output_queue_packets":20,"num_vcs":5}"#;
+        let parsed: EngineConfig = serde_json::from_str(legacy).unwrap();
+        assert!(parsed.pipeline);
+        assert_eq!(parsed, EngineConfig::default());
     }
 
     #[test]

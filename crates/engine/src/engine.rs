@@ -14,11 +14,19 @@ use crate::injector::{Injection, TrafficInjector};
 use crate::observer::ShardObserver;
 use crate::routing::RoutingAlgorithm;
 use crate::shard::Shard;
-use crate::sync::{MailGrid, QueuedInjection, ShardPlan, WindowSync, NO_EVENT};
+use crate::sync::{MailGrid, QueuedInjection, ShardPlan, WindowDeque, WindowSync, NO_EVENT};
 use crate::time::SimTime;
 use dragonfly_topology::ids::RouterId;
 use dragonfly_topology::Dragonfly;
-use std::sync::atomic::Ordering;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How far ahead (in windows) the pipelined quiescence audit looks before
+/// ending an epoch: traffic gaps shorter than this are ground through as
+/// cheap empty windows, longer ones end the epoch so the coordinator can
+/// jump straight to the next event time.
+const AUDIT_HORIZON_WINDOWS: u64 = 64;
 
 /// Drain progress of one shard (see [`EngineStats::shards`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -289,6 +297,8 @@ impl<O: ShardObserver> Engine<O> {
         }
         let processed = if self.shards.len() == 1 {
             self.run_sequential(t_cap)
+        } else if self.cfg.pipeline && self.plan.lookahead() >= 2 {
+            self.run_pipelined(t_cap)
         } else {
             self.run_threaded(t_cap)
         };
@@ -325,20 +335,25 @@ impl<O: ShardObserver> Engine<O> {
 
     /// Hand every injection with `time <= end_incl` to shard 0.
     fn distribute_sequential(&mut self, end_incl: SimTime) {
-        while let Some(injection) = self.pending_injection {
-            if injection.time > end_incl {
-                break;
-            }
-            let id = self.next_packet_id;
-            self.next_packet_id += 1;
-            self.shards[0].accept_injection(QueuedInjection {
-                time: injection.time,
-                src: injection.src,
-                dst: injection.dst,
-                id,
-            });
-            self.pending_injection = self.injector.next_injection();
-        }
+        let Self {
+            shards,
+            injector,
+            pending_injection,
+            next_packet_id,
+            plan,
+            topo,
+            ..
+        } = self;
+        let shard = &mut shards[0];
+        distribute_injections(
+            injector.as_mut(),
+            pending_injection,
+            next_packet_id,
+            plan,
+            topo,
+            end_incl,
+            |_, q| shard.accept_injection(q),
+        );
     }
 
     /// The conservative-parallel path: one thread per shard, lockstep
@@ -405,22 +420,15 @@ impl<O: ShardObserver> Engine<O> {
                                 sync.done.store(true, Ordering::Release);
                             } else {
                                 let end_incl = start.saturating_add(lookahead - 1).min(t_cap);
-                                while let Some(injection) = *f.pending {
-                                    if injection.time > end_incl {
-                                        break;
-                                    }
-                                    let id = *f.next_id;
-                                    *f.next_id += 1;
-                                    let owner =
-                                        plan.shard_of_router(topo.router_of_node(injection.src));
-                                    sync.injections[owner].lock().push_back(QueuedInjection {
-                                        time: injection.time,
-                                        src: injection.src,
-                                        dst: injection.dst,
-                                        id,
-                                    });
-                                    *f.pending = f.injector.next_injection();
-                                }
+                                distribute_injections(
+                                    f.injector.as_mut(),
+                                    f.pending,
+                                    f.next_id,
+                                    plan,
+                                    topo,
+                                    end_incl,
+                                    |owner, q| sync.injections[owner].lock().push_back(q),
+                                );
                                 sync.window_end.store(end_incl, Ordering::Release);
                                 sync.done.store(false, Ordering::Release);
                             }
@@ -439,7 +447,7 @@ impl<O: ShardObserver> Engine<O> {
                         }
                         shard.deliver(mail.collect_for(i));
                         processed += shard.run_window(end_incl);
-                        shard.flush_outboxes(mail);
+                        shard.flush_outboxes(mail, 0);
                         let hint = shard
                             .next_local_time()
                             .unwrap_or(NO_EVENT)
@@ -455,6 +463,330 @@ impl<O: ShardObserver> Engine<O> {
                 .sum::<u64>()
         })
         .expect("shard scope panicked")
+    }
+
+    /// The overlapped-window pipelined path ([`EngineConfig::pipeline`]):
+    /// epochs of a fixed half-lookahead window grid, paced by the lagged
+    /// gate of a [`WindowDeque`] instead of a per-window barrier, with
+    /// idle workers stealing whole ready windows from slower shards. See
+    /// [`crate::sync`] for the two-phase/double-buffer argument; results
+    /// are bit-for-bit identical to the barrier and sequential modes.
+    fn run_pipelined(&mut self, t_cap: SimTime) -> u64 {
+        let mut processed = 0;
+        loop {
+            // Between epochs the world is stopped: recover in-flight mail
+            // so the epoch planning below sees every queued event.
+            for i in 0..self.shards.len() {
+                let msgs = self.mail.collect_for(i);
+                self.shards[i].deliver(msgs);
+            }
+            let next_local = self
+                .shards
+                .iter()
+                .filter_map(|s| s.next_local_time())
+                .min()
+                .unwrap_or(NO_EVENT);
+            let next_injection = self
+                .pending_injection
+                .as_ref()
+                .map(|i| i.time)
+                .unwrap_or(NO_EVENT);
+            let origin = next_local.min(next_injection);
+            if origin == NO_EVENT || origin > t_cap {
+                break;
+            }
+            processed += self.run_pipeline_epoch(origin, t_cap);
+        }
+        processed
+    }
+
+    /// One pipelined epoch: windows `[origin + w·W, origin + (w+1)·W)`
+    /// with `W = lookahead / 2`, executed by one worker thread per shard.
+    /// Any worker may claim any shard's next window once the lagged gate
+    /// opens (whole-window work stealing); the epoch ends when everything
+    /// is parked beyond `t_cap` or the quiescence audit finds no work
+    /// within the audit horizon (the coordinator then jumps the gap).
+    fn run_pipeline_epoch(&mut self, origin: SimTime, t_cap: SimTime) -> u64 {
+        let Self {
+            topo,
+            plan,
+            shards,
+            mail,
+            injector,
+            pending_injection,
+            next_packet_id,
+            ..
+        } = self;
+        let n = shards.len();
+        let deque = WindowDeque::new(n, origin, (plan.lookahead() / 2).max(1), t_cap);
+        let deque = &deque;
+        let mail: &MailGrid = mail;
+        let plan: &ShardPlan = plan;
+        let topo: &Dragonfly = topo;
+
+        // The shared injection feeder: a single cursor over the (ordered)
+        // injector stream, so packet ids are assigned in injector order no
+        // matter which worker pumps it. `distributed_until` is a monotonic
+        // watermark — before any worker executes a window, it pumps the
+        // feeder to that window's end, so every shard's inbox holds its
+        // injections before the window containing them runs.
+        struct Feeder<'a> {
+            injector: &'a mut Box<dyn TrafficInjector>,
+            pending: &'a mut Option<Injection>,
+            next_id: &'a mut u64,
+            distributed_until: SimTime,
+        }
+        let initial_pending = pending_injection
+            .as_ref()
+            .map(|i| i.time)
+            .unwrap_or(NO_EVENT);
+        let feeder = Mutex::new(Feeder {
+            injector,
+            pending: pending_injection,
+            next_id: next_packet_id,
+            distributed_until: 0,
+        });
+        // Lock-free mirror of the feeder's pending-injection time, for the
+        // work-availability scan and the audit.
+        let pending_hint = AtomicU64::new(initial_pending);
+        let inboxes: Vec<Mutex<VecDeque<QueuedInjection>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Per-shard queue-head times published after each window (advisory
+        // only: correctness rests on the audit's world-stop re-check).
+        let hints: Vec<AtomicU64> = shards
+            .iter()
+            .map(|s| AtomicU64::new(s.next_local_time().unwrap_or(NO_EVENT)))
+            .collect();
+        let audit = Mutex::new(());
+        let epoch_processed;
+        {
+            let cells: Vec<Mutex<&mut Shard<O>>> = shards.iter_mut().map(Mutex::new).collect();
+            let cells = &cells;
+            let feeder = &feeder;
+            let inboxes = &inboxes;
+            let hints = &hints;
+            let pending_hint = &pending_hint;
+            let audit = &audit;
+
+            let pump = move |until: SimTime| {
+                let mut f = feeder.lock();
+                if f.distributed_until >= until {
+                    return;
+                }
+                let feeder_state = &mut *f;
+                distribute_injections(
+                    feeder_state.injector.as_mut(),
+                    feeder_state.pending,
+                    feeder_state.next_id,
+                    plan,
+                    topo,
+                    until,
+                    |owner, q| inboxes[owner].lock().push_back(q),
+                );
+                pending_hint.store(
+                    f.pending.as_ref().map(|i| i.time).unwrap_or(NO_EVENT),
+                    Ordering::Release,
+                );
+                f.distributed_until = until;
+            };
+            let pump = &pump;
+
+            // Execute shard `s`'s next window if it is claimable right now
+            // (unlocked, not parked, gate open). Returns the events
+            // processed, or `None` if the window could not be claimed.
+            let try_run = move |s: usize| -> Option<u64> {
+                let mut shard = cells[s].try_lock()?;
+                // `completed` only advances under this lock, so the window
+                // index read here is stable for the whole execution.
+                let w = deque.next_window(s);
+                if deque.parked(w) || !deque.gate_open(w) {
+                    return None;
+                }
+                let end_incl = deque.end_incl_of(w);
+                let parity = (w % 2) as usize;
+                pump(end_incl);
+                {
+                    let mut inbox = inboxes[s].lock();
+                    while let Some(q) = inbox.pop_front() {
+                        shard.accept_injection(q);
+                    }
+                }
+                shard.deliver(mail.collect_parity_for(s, parity));
+                let processed = shard.run_window(end_incl);
+                shard.flush_outboxes(mail, parity);
+                hints[s].store(
+                    shard.next_local_time().unwrap_or(NO_EVENT),
+                    Ordering::Release,
+                );
+                // Publishing the completion *after* the outbox flush is
+                // what guarantees window-w mail is visible before any
+                // shard opens window w + 2.
+                deque.complete(s, w);
+                Some(processed)
+            };
+            let try_run = &try_run;
+
+            // Advisory check: might shard `s`'s window `w` do real work?
+            let maybe_has_work = move |s: usize, w: u64| -> bool {
+                let end = deque.end_incl_of(w);
+                hints[s].load(Ordering::Acquire) <= end
+                    || pending_hint.load(Ordering::Acquire) <= end
+                    || !inboxes[s].lock().is_empty()
+                    || !mail.is_empty_for(s)
+            };
+            let maybe_has_work = &maybe_has_work;
+
+            // World-stopping quiescence audit. Returns `true` when the
+            // epoch is over. The blocking `lock()` here is safe: workers
+            // hold at most one shard lock and never block on another.
+            let try_audit = move || -> bool {
+                let Some(_guard) = audit.try_lock() else {
+                    return false;
+                };
+                if deque.is_done() {
+                    return true;
+                }
+                let world: Vec<_> = cells.iter().map(|c| c.lock()).collect();
+                let horizon = deque
+                    .end_incl_of(deque.min_completed() + AUDIT_HORIZON_WINDOWS)
+                    .min(t_cap);
+                let mut quiescent = pending_hint.load(Ordering::Acquire) > horizon;
+                for s in 0..n {
+                    if !quiescent {
+                        break;
+                    }
+                    if !inboxes[s].lock().is_empty() {
+                        quiescent = false;
+                        break;
+                    }
+                    if deque.parked(deque.next_window(s)) {
+                        // Beyond the cap: leftover mail addressed here
+                        // fires after t_cap and is recovered between
+                        // epochs; nothing more to run.
+                        continue;
+                    }
+                    if !mail.is_empty_for(s)
+                        || world[s].next_local_time().unwrap_or(NO_EVENT) <= horizon
+                    {
+                        quiescent = false;
+                    }
+                }
+                if quiescent {
+                    deque.finish();
+                }
+                quiescent
+            };
+            let try_audit = &try_audit;
+
+            epoch_processed = crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for worker in 0..n {
+                    handles.push(scope.spawn(move |_| {
+                        let mut processed = 0u64;
+                        let mut empty_streak = 0u32;
+                        while !deque.is_done() {
+                            // Prefer a window with probable work — own
+                            // shard first, then steal from the others.
+                            let mut ran = false;
+                            for offset in 0..n {
+                                let s = (worker + offset) % n;
+                                let w = deque.next_window(s);
+                                if deque.parked(w) || !deque.gate_open(w) || !maybe_has_work(s, w) {
+                                    continue;
+                                }
+                                if let Some(p) = try_run(s) {
+                                    processed += p;
+                                    if p > 0 {
+                                        empty_streak = 0;
+                                    }
+                                    ran = true;
+                                    break;
+                                }
+                            }
+                            if ran {
+                                continue;
+                            }
+                            if deque.all_parked() {
+                                deque.finish();
+                                break;
+                            }
+                            empty_streak += 1;
+                            if empty_streak >= 2 && try_audit() {
+                                break;
+                            }
+                            // Advance the slowest runnable shard one
+                            // (empty) window so gated work elsewhere can
+                            // proceed — still whole-window granularity.
+                            let laggard = (0..n)
+                                .filter(|&s| {
+                                    let w = deque.next_window(s);
+                                    !deque.parked(w) && deque.gate_open(w)
+                                })
+                                .min_by_key(|&s| deque.next_window(s));
+                            match laggard.and_then(try_run) {
+                                Some(p) => processed += p,
+                                None => std::thread::yield_now(),
+                            }
+                        }
+                        processed
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline worker panicked"))
+                    .sum::<u64>()
+            })
+            .expect("pipeline scope panicked");
+        }
+        // Defensive: re-queue any injection the epoch distributed but never
+        // consumed (both epoch exits leave the inboxes empty, see the
+        // audit; this keeps a future exit path from losing traffic).
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            let mut leftovers = inbox.into_inner();
+            debug_assert!(
+                leftovers.is_empty(),
+                "epoch ended with undelivered injections"
+            );
+            while let Some(q) = leftovers.pop_front() {
+                shards[i].accept_injection(q);
+            }
+        }
+        epoch_processed
+    }
+}
+
+/// Advance the shared injection cursor: hand every pending injection with
+/// `time <= end_incl` to `push(owner_shard, queued)`, assigning packet
+/// ids in injector order. All three execution modes — sequential,
+/// lockstep barrier and pipelined — feed traffic through this single
+/// function; identical id assignment across them is part of the
+/// bit-for-bit determinism contract, so never fork this logic per mode.
+fn distribute_injections(
+    injector: &mut dyn TrafficInjector,
+    pending: &mut Option<Injection>,
+    next_id: &mut u64,
+    plan: &ShardPlan,
+    topo: &Dragonfly,
+    end_incl: SimTime,
+    mut push: impl FnMut(usize, QueuedInjection),
+) {
+    while let Some(injection) = *pending {
+        if injection.time > end_incl {
+            break;
+        }
+        let id = *next_id;
+        *next_id += 1;
+        let owner = plan.shard_of_router(topo.router_of_node(injection.src));
+        push(
+            owner,
+            QueuedInjection {
+                time: injection.time,
+                src: injection.src,
+                dst: injection.dst,
+                id,
+            },
+        );
+        *pending = injector.next_injection();
     }
 }
 

@@ -67,6 +67,47 @@
 //! lock-free; no null messages and no rollback are needed
 //! (bounded-window conservative PDES).
 //!
+//! ## The two-phase window pipeline (overlapped windows)
+//!
+//! With [`config::EngineConfig::pipeline`] (the default), the lockstep
+//! barrier is replaced by an **overlapped** schedule: windows shrink to
+//! half a lookahead (`W = L/2`), each window splits into a *compute*
+//! phase and an *exchange* phase over **double-buffered** per-pair
+//! mailboxes (one buffer per window parity `w mod 2`), and shards are
+//! paced by the lagged gate of a [`sync::WindowDeque`] — shard `k` may
+//! start window `w` as soon as every shard has finished window `w − 2`.
+//! Mail sent while computing window `w` fires at `≥ start(w) + L =
+//! start(w + 2)`, so it only has to reach its destination two windows
+//! later; posting into parity `w mod 2` at the end of window `w` and
+//! draining the same parity at the start of window `w + 2` meets that
+//! deadline exactly, while one shard's compute overlaps its neighbours'
+//! compute *and* the previous window's exchange. `pipeline = false`
+//! keeps the PR 3 lockstep barrier as the reference execution mode.
+//!
+//! **Work stealing — whole windows only.** The `WindowDeque` doubles as
+//! a shared work frontier: an idle worker thread claims *any* shard
+//! whose next window has passed the gate and executes it (drain →
+//! compute → post) on that shard's own queue and arena. The granularity
+//! rule is load-bearing: a work item is always **one whole window of one
+//! shard**, never an individual event. Because a shard's windows execute
+//! in order under the shard's lock, the event sequence each shard
+//! processes is identical no matter which worker runs it — stealing
+//! redistributes wall-clock work, not events. Stealing at event
+//! granularity would interleave two shards' state and break both
+//! locality and the ordering argument below.
+//!
+//! **Why determinism survives both.** Events are totally ordered by the
+//! content-derived key (next section), so *when* a cross-shard message
+//! is merged into the destination queue — at the barrier, one window
+//! early from a racing parity drain, or two windows later after a
+//! drained-while-filling race — cannot change the order in which events
+//! are processed, only where in the queue the message briefly waits.
+//! Combined with the whole-window stealing rule and injector-order
+//! packet-id assignment under a single feeder cursor, `shards = 1` and
+//! `shards = N` are bit-for-bit identical with pipelining on or off
+//! (pinned by the `pipeline_differential` and `pipeline_determinism`
+//! property suites on top of the PR 3 differentials).
+//!
 //! **Determinism contract:** events are totally ordered by
 //! `(time, key, seq)` where `key` is a *content-derived* priority
 //! ([`event::event_key`]: event class + targeted entity + packet id) and

@@ -258,11 +258,13 @@ impl<O: ShardObserver> Shard<O> {
         }
     }
 
-    /// Move this window's outboxes into the shared mail grid.
-    pub fn flush_outboxes(&mut self, grid: &crate::sync::MailGrid) {
+    /// Move this window's outboxes into the shared mail grid, into the
+    /// buffers of the given window parity (`w % 2` in the pipelined mode;
+    /// the lockstep barrier mode always posts parity 0 and drains both).
+    pub fn flush_outboxes(&mut self, grid: &crate::sync::MailGrid, parity: usize) {
         for dst in 0..self.outboxes.len() {
             if dst != self.id {
-                grid.post(self.id, dst, &mut self.outboxes[dst]);
+                grid.post(self.id, dst, parity, &mut self.outboxes[dst]);
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Conservative-parallel synchronisation: the shard plan (who owns which
-//! group), the lookahead window, cross-shard mailboxes and the spin
-//! barrier that paces the per-window lockstep.
+//! group), the lookahead window, double-buffered cross-shard mailboxes,
+//! the spin barrier that paces the lockstep reference mode, and the
+//! window deque that drives the pipelined mode.
 //!
 //! ## The conservative argument
 //!
@@ -14,13 +15,56 @@
 //! i.e. strictly after the window, so delivering mailboxes at the window
 //! barrier is always in time. No null messages, no rollback.
 //!
+//! ## The pipelined refinement (overlapped windows)
+//!
+//! The barrier mode above serialises compute and mailbox exchange: every
+//! shard stops at every window edge. The pipelined mode
+//! ([`crate::config::EngineConfig::pipeline`], the default) halves the
+//! window to `W = L/2` and splits each window into a *compute* phase and
+//! an *exchange* phase over **double-buffered** mailboxes:
+//!
+//! * A message sent while computing window `w` (time span
+//!   `[S + wW, S + (w+1)W)`) fires at `≥ S + wW + L ≥ S + (w+2)W` — the
+//!   start of window `w+2`. Window `w`'s outbound mail therefore only has
+//!   to reach its destination **two** windows later, not one.
+//! * Each `src → dst` mailbox pair has two buffers, indexed by the window
+//!   parity `w mod 2`. A shard finishing window `w` posts into parity
+//!   `w mod 2`; a shard starting window `w` drains parity `w mod 2` —
+//!   which last received mail in window `w-2`, exactly the deadline.
+//! * Shards are paced by a *lagged gate* instead of a full barrier: shard
+//!   `k` may start window `w` as soon as every shard has **finished
+//!   window `w-2`** (see [`WindowDeque`]). Fast shards run one window
+//!   ahead of slow ones, so one shard's compute overlaps its neighbours'
+//!   compute *and* the exchange of the previous window.
+//!
+//! A racing sender may post window-`w` mail into a parity buffer the
+//! receiver has already drained this cycle; the mail simply waits for the
+//! next same-parity drain at window `w+2` — its deadline. Conversely a
+//! drain may pick up mail one cycle *early*; early delivery is harmless
+//! because events sort by content key (below), never by arrival.
+//!
+//! ## Work stealing (whole windows only)
+//!
+//! [`WindowDeque`] doubles as a shared deque of ready work items. A work
+//! item is one **whole window of one shard** — never an individual event:
+//! an idle worker thread claims any shard whose next window has passed the
+//! lagged gate and executes it (drain → compute → post) on that shard's
+//! own queue and arena. Because the item boundary is the window and each
+//! shard's windows execute in order under the shard's lock, the event
+//! sequence each shard processes is identical no matter which worker runs
+//! it — stealing redistributes wall-clock work, not events, so the
+//! content-derived ordering (and bit-for-bit determinism) is untouched.
+//! Stealing at event granularity would interleave two shards' state and
+//! break both locality and the ordering argument; the whole-window rule is
+//! what makes it safe.
+//!
 //! ## Determinism
 //!
 //! Mailbox delivery order does not matter: events are totally ordered by a
 //! content-derived key (see [`crate::event::event_key`]), so a message
 //! sorts into the destination queue exactly where the single-queue engine
 //! would have processed it. `shards = 1` and `shards = N` produce
-//! bit-for-bit identical outputs.
+//! bit-for-bit identical outputs, with pipelining on or off.
 
 use crate::packet::Packet;
 use crate::routing::FeedbackMsg;
@@ -183,54 +227,90 @@ pub struct QueuedInjection {
     pub id: u64,
 }
 
-/// The `N × N` cross-shard mailbox fabric.
+/// Number of buffers per mailbox pair: one per window parity, so the
+/// exchange of window `w`'s mail can overlap the compute of window `w+1`.
+pub const MAIL_PARITIES: usize = 2;
+
+/// The `N × N × 2` double-buffered cross-shard mailbox fabric.
 ///
-/// `boxes[src][dst]` is written only by shard `src` (at the end of its
-/// compute phase) and drained only by shard `dst` (at the start of its
-/// next compute phase); the two accesses are separated by the window
-/// barrier, so every lock acquisition is uncontended — the mutexes exist
-/// to satisfy `Sync`, not to arbitrate.
+/// `boxes[src][dst][parity]` is written by shard `src` when it finishes a
+/// window of that parity and drained by shard `dst` when it *starts* a
+/// window of the same parity — two windows later, the conservative
+/// delivery deadline (see the module docs). In the lockstep barrier mode
+/// only parity 0 is used and the two accesses are separated by the window
+/// barrier; in the pipelined mode a post and a drain of the *same* box can
+/// race, which the mutex arbitrates (a drained-while-filling message just
+/// waits for the next same-parity drain, still before its deadline).
 #[derive(Debug, Default)]
 pub struct MailGrid {
-    boxes: Vec<Vec<Mutex<Vec<ShardMsg>>>>,
+    boxes: Vec<Vec<[Mutex<Vec<ShardMsg>>; MAIL_PARITIES]>>,
+    /// Per-destination count of undelivered messages (both parities),
+    /// maintained by `post`/`collect_*` so [`MailGrid::is_empty_for`] —
+    /// called inside the pipelined workers' spin loop — is one atomic
+    /// load instead of 2n mutex acquisitions. Exact whenever no post or
+    /// drain is concurrently in flight for `dst` (in particular under the
+    /// quiescence audit's world-stop); advisory otherwise.
+    bound_for: Vec<AtomicU64>,
 }
 
 impl MailGrid {
-    /// An `n × n` grid of empty mailboxes.
+    /// An `n × n` grid of empty double-buffered mailboxes.
     pub fn new(n: usize) -> Self {
         Self {
             boxes: (0..n)
-                .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                .map(|_| (0..n).map(|_| Default::default()).collect())
                 .collect(),
+            bound_for: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    /// Append `msgs` to the `src → dst` mailbox (cheap vector splice).
-    pub fn post(&self, src: usize, dst: usize, msgs: &mut Vec<ShardMsg>) {
+    /// Append `msgs` to the `src → dst` mailbox of the given window parity
+    /// (cheap vector splice).
+    pub fn post(&self, src: usize, dst: usize, parity: usize, msgs: &mut Vec<ShardMsg>) {
         if !msgs.is_empty() {
-            self.boxes[src][dst].lock().append(msgs);
+            let posted = msgs.len() as u64;
+            self.boxes[src][dst][parity % MAIL_PARITIES]
+                .lock()
+                .append(msgs);
+            self.bound_for[dst].fetch_add(posted, Ordering::Release);
         }
     }
 
-    /// Take everything addressed to `dst`, in ascending sender order.
-    pub fn collect_for(&self, dst: usize) -> Vec<ShardMsg> {
+    /// Take everything addressed to `dst` in the given parity, in
+    /// ascending sender order (the pipelined per-window drain).
+    pub fn collect_parity_for(&self, dst: usize, parity: usize) -> Vec<ShardMsg> {
         let mut out = Vec::new();
         for row in &self.boxes {
-            out.append(&mut row[dst].lock());
+            out.append(&mut row[dst][parity % MAIL_PARITIES].lock());
         }
+        self.bound_for[dst].fetch_sub(out.len() as u64, Ordering::Release);
         out
     }
 
-    /// Packets currently travelling to `dst` inside mailboxes.
+    /// Take everything addressed to `dst` across both parities, in
+    /// ascending sender order (the full drain between runs/epochs and the
+    /// barrier-mode window drain).
+    pub fn collect_for(&self, dst: usize) -> Vec<ShardMsg> {
+        let mut out = Vec::new();
+        for row in &self.boxes {
+            for parity in &row[dst] {
+                out.append(&mut parity.lock());
+            }
+        }
+        self.bound_for[dst].fetch_sub(out.len() as u64, Ordering::Release);
+        out
+    }
+
+    /// Packets currently travelling to `dst` inside mailboxes (both
+    /// parities).
     pub fn packets_bound_for(&self, dst: usize) -> u64 {
         self.boxes
             .iter()
             .map(|row| {
                 row[dst]
-                    .lock()
                     .iter()
-                    .filter(|m| m.carries_packet())
-                    .count() as u64
+                    .map(|b| b.lock().iter().filter(|m| m.carries_packet()).count() as u64)
+                    .sum::<u64>()
             })
             .sum()
     }
@@ -239,7 +319,133 @@ impl MailGrid {
     pub fn is_empty(&self) -> bool {
         self.boxes
             .iter()
-            .all(|row| row.iter().all(|b| b.lock().is_empty()))
+            .all(|row| row.iter().flatten().all(|b| b.lock().is_empty()))
+    }
+
+    /// Whether no mailbox of either parity holds mail addressed to `dst`
+    /// (used by the pipelined quiescence audit and the work-availability
+    /// scan; a single atomic load, see `bound_for`).
+    pub fn is_empty_for(&self, dst: usize) -> bool {
+        self.bound_for[dst].load(Ordering::Acquire) == 0
+    }
+}
+
+/// The shared frontier of the pipelined window loop — conceptually a
+/// deque of ready work items, where one item is **one whole window of one
+/// shard** (see the module docs on work-stealing granularity).
+///
+/// The grid of windows is fixed for one *epoch*: window `w` spans
+/// `[origin + w·W, origin + (w+1)·W)` with `W = lookahead / 2`, clamped
+/// to `t_cap`. Each shard's `completed` counter is its next window index;
+/// a worker may claim `(shard, w)` when the *lagged gate* is open —
+/// every shard has finished window `w - 2`, i.e.
+/// `w ≤ min(completed) + 1` — which is exactly the double-buffer
+/// delivery deadline. The counters only advance under the owning shard's
+/// lock, so windows of one shard always execute in order, no matter
+/// which worker runs them.
+#[derive(Debug)]
+pub struct WindowDeque {
+    /// Half-lookahead window length in ns (≥ 1).
+    window_ns: SimTime,
+    /// Simulated time of window 0's start (the epoch origin).
+    origin: SimTime,
+    /// Inclusive simulated-time cap of this run.
+    t_cap: SimTime,
+    /// Per-shard count of finished windows == next window index to run.
+    completed: Vec<AtomicU64>,
+    /// Set when the epoch is over (quiescent or capped); workers exit.
+    done: AtomicBool,
+}
+
+impl WindowDeque {
+    /// A fresh epoch frontier for `n` shards.
+    pub fn new(n: usize, origin: SimTime, window_ns: SimTime, t_cap: SimTime) -> Self {
+        assert!(window_ns >= 1, "pipelined windows need a positive length");
+        Self {
+            window_ns,
+            origin,
+            t_cap,
+            completed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// The window length (ns).
+    #[inline]
+    pub fn window_ns(&self) -> SimTime {
+        self.window_ns
+    }
+
+    /// Start time of window `w`.
+    #[inline]
+    pub fn start_of(&self, w: u64) -> SimTime {
+        self.origin.saturating_add(w.saturating_mul(self.window_ns))
+    }
+
+    /// Inclusive end time of window `w`, clamped to the run cap.
+    #[inline]
+    pub fn end_incl_of(&self, w: u64) -> SimTime {
+        self.start_of(w + 1).saturating_sub(1).min(self.t_cap)
+    }
+
+    /// The next window index shard `s` will execute.
+    #[inline]
+    pub fn next_window(&self, s: usize) -> u64 {
+        self.completed[s].load(Ordering::Acquire)
+    }
+
+    /// The slowest shard's finished-window count.
+    pub fn min_completed(&self) -> u64 {
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The lagged gate: window `w` may start once every shard has
+    /// finished window `w - 2` (its inbound parity buffers last received
+    /// mail at their delivery deadline).
+    #[inline]
+    pub fn gate_open(&self, w: u64) -> bool {
+        w <= self.min_completed() + 1
+    }
+
+    /// Whether window `w` lies wholly beyond the run cap (a shard whose
+    /// next window is parked has nothing left to do this run).
+    #[inline]
+    pub fn parked(&self, w: u64) -> bool {
+        self.start_of(w) > self.t_cap
+    }
+
+    /// Whether every shard's next window is beyond the cap.
+    pub fn all_parked(&self) -> bool {
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .all(|w| self.parked(w))
+    }
+
+    /// Publish the completion of `(shard s, window w)`. Must be called by
+    /// the worker holding shard `s`'s lock, after its outboxes are posted
+    /// — the release pairs with the acquire in [`WindowDeque::gate_open`]
+    /// to make window-`w` mail visible before any shard starts `w + 2`.
+    #[inline]
+    pub fn complete(&self, s: usize, w: u64) {
+        debug_assert_eq!(self.completed[s].load(Ordering::Relaxed), w);
+        self.completed[s].store(w + 1, Ordering::Release);
+    }
+
+    /// Whether the epoch has been declared over.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Declare the epoch over; every worker exits its loop.
+    #[inline]
+    pub fn finish(&self) {
+        self.done.store(true, Ordering::Release);
     }
 }
 
@@ -405,13 +611,161 @@ mod tests {
                 },
             },
         ];
-        grid.post(0, 1, &mut out);
+        grid.post(0, 1, 0, &mut out);
         assert!(out.is_empty(), "post splices the batch out");
         assert!(!grid.is_empty());
+        assert!(!grid.is_empty_for(1));
+        assert!(grid.is_empty_for(0), "nothing is addressed to shard 0");
         assert_eq!(grid.packets_bound_for(1), 0, "no RouterArrive queued");
         let got = grid.collect_for(1);
         assert_eq!(got.len(), 2);
         assert!(grid.is_empty());
+    }
+
+    fn credit_at(time: SimTime) -> ShardMsg {
+        ShardMsg::CreditArrive {
+            time,
+            router: RouterId(1),
+            port: Port(2),
+            vc: 0,
+        }
+    }
+
+    fn packet_arrive_at(time: SimTime) -> ShardMsg {
+        ShardMsg::RouterArrive {
+            time,
+            router: RouterId(4),
+            port: Port(1),
+            vc: 0,
+            packet: Packet {
+                id: 7,
+                src: NodeId(0),
+                dst: NodeId(9),
+                src_router: RouterId(0),
+                dst_router: RouterId(4),
+                dst_group: dragonfly_topology::ids::GroupId(1),
+                src_group: dragonfly_topology::ids::GroupId(0),
+                src_slot: 0,
+                size_bytes: 128,
+                created_ns: 0,
+                injected_ns: 0,
+                hops: 0,
+                vc: 0,
+                route: crate::packet::RouteInfo::default(),
+                last_router: None,
+                last_out_port: None,
+                last_decision_ns: 0,
+                pending_decision: None,
+            },
+        }
+    }
+
+    #[test]
+    fn parities_are_independent_buffers() {
+        // Mail posted while finishing an even window must not be visible
+        // to an odd-parity drain, and vice versa — that separation is what
+        // lets window w+1's compute overlap window w's exchange.
+        let grid = MailGrid::new(2);
+        grid.post(0, 1, 0, &mut vec![credit_at(400)]);
+        grid.post(0, 1, 1, &mut vec![credit_at(550), credit_at(560)]);
+        assert_eq!(grid.collect_parity_for(1, 1).len(), 2, "odd parity");
+        assert!(!grid.is_empty(), "even-parity mail is still in transit");
+        assert_eq!(grid.collect_parity_for(1, 0).len(), 1, "even parity");
+        assert!(grid.is_empty());
+        // Parity indices wrap modulo MAIL_PARITIES, matching `w % 2`.
+        grid.post(0, 1, 4, &mut vec![credit_at(700)]);
+        assert_eq!(grid.collect_parity_for(1, 2).len(), 1);
+    }
+
+    #[test]
+    fn drained_while_filling_mail_waits_for_the_next_same_parity_drain() {
+        // The pipelined race: shard 1 drains parity 0 for window w at the
+        // same wall-clock moment shard 0 posts its window-w outbox. If the
+        // drain ran first, the mail must simply sit in the buffer until
+        // the next parity-0 drain (window w+2) — before its conservative
+        // deadline — rather than being lost or delivered to parity 1.
+        let grid = MailGrid::new(2);
+        assert!(grid.collect_parity_for(1, 0).is_empty(), "drain ran first");
+        grid.post(0, 1, 0, &mut vec![packet_arrive_at(900)]); // racing post
+        assert!(
+            grid.collect_parity_for(1, 1).is_empty(),
+            "the odd-parity drain of window w+1 must not see it"
+        );
+        assert_eq!(grid.packets_bound_for(1), 1, "still counted in transit");
+        let late = grid.collect_parity_for(1, 0); // window w+2's drain
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].time(), 900);
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn window_boundary_packets_keep_their_exact_firing_time() {
+        // A packet timed exactly on a window edge belongs to the *next*
+        // window (windows are half-open). The mailbox layer must preserve
+        // the timestamp bit-for-bit so the destination queue sorts it by
+        // content key exactly where the sequential engine would.
+        let grid = MailGrid::new(3);
+        let window = 150; // L/2 for the paper's 300 ns global latency
+        let boundary = 4 * window; // start of window 4
+        grid.post(2, 0, 1, &mut vec![packet_arrive_at(boundary)]);
+        grid.post(1, 0, 1, &mut vec![credit_at(boundary - 1)]);
+        let got = grid.collect_parity_for(0, 3); // parity 3 % 2 == 1
+        assert_eq!(got.len(), 2);
+        // Ascending sender order: shard 1's credit, then shard 2's packet.
+        assert_eq!(got[0].time(), boundary - 1);
+        assert_eq!(got[1].time(), boundary);
+        assert!(got[1].carries_packet());
+    }
+
+    #[test]
+    fn full_collect_drains_both_parities() {
+        // Between runs (and in barrier mode) the engine must recover every
+        // in-flight message regardless of which parity it was posted to.
+        let grid = MailGrid::new(2);
+        grid.post(0, 1, 0, &mut vec![credit_at(10)]);
+        grid.post(0, 1, 1, &mut vec![credit_at(20)]);
+        assert_eq!(grid.collect_for(1).len(), 2);
+        assert!(grid.is_empty_for(1));
+    }
+
+    #[test]
+    fn window_deque_gates_lag_two_windows() {
+        let dq = WindowDeque::new(3, 1_000, 150, 10_000);
+        assert_eq!(dq.window_ns(), 150);
+        assert_eq!(dq.start_of(0), 1_000);
+        assert_eq!(dq.end_incl_of(0), 1_149);
+        assert_eq!(dq.start_of(2), 1_300);
+        // Windows 0 and 1 are gate-open from the start (lag 2)...
+        assert!(dq.gate_open(0));
+        assert!(dq.gate_open(1));
+        assert!(!dq.gate_open(2), "window 2 needs everyone past window 0");
+        // ...and the gate follows the *slowest* shard.
+        dq.complete(0, 0);
+        dq.complete(1, 0);
+        assert!(!dq.gate_open(2), "shard 2 has not finished window 0");
+        dq.complete(2, 0);
+        assert!(dq.gate_open(2));
+        assert!(!dq.gate_open(3));
+        assert_eq!(dq.min_completed(), 1);
+        assert_eq!(dq.next_window(0), 1);
+    }
+
+    #[test]
+    fn window_deque_parks_at_the_cap() {
+        // Cap mid-window: the last runnable window is clamped, the next
+        // one is parked.
+        let dq = WindowDeque::new(1, 0, 100, 250);
+        assert_eq!(dq.end_incl_of(2), 250, "clamped to the cap");
+        assert!(!dq.parked(2), "window 2 starts at 200 <= cap");
+        assert!(dq.parked(3), "window 3 starts at 300 > cap");
+        assert!(!dq.all_parked());
+        dq.complete(0, 0);
+        dq.complete(0, 1);
+        dq.complete(0, 2);
+        assert!(dq.all_parked());
+        assert!(!dq.is_done(), "parking is observed, done is declared");
+        dq.finish();
+        assert!(dq.is_done());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Property-based pipelined-determinism stress tests over the *real*
+//! routing algorithms and the full spec → report pipeline.
+//!
+//! `pipeline_differential` (engine crate) pins the mechanism with the
+//! cheap test router; this file drives randomly generated
+//! `(topology size, traffic pattern, load, seed)` tuples through **UGAL**
+//! and **Q-adaptive** — adaptive decisions, per-router RNGs, Q-table
+//! updates carried by cross-shard RL feedback — and asserts that every
+//! `(shards ∈ {1, 2, 4}, pipeline on/off)` combination reproduces the
+//! sequential report bit for bit, every field except wall-clock timing.
+//!
+//! The generator is a deterministic `proptest`-style harness (no proptest
+//! crate in the offline build): a master seed draws each case and every
+//! assertion message carries the case tuple, so a failure is immediately
+//! reproducible without shrinking.
+
+use dragonfly_engine::config::ShardKind;
+use dragonfly_engine::EngineConfig;
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::spec::ExperimentSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::QAdaptiveParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated stress case (everything that varies between runs).
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    topo: (usize, usize, usize),
+    traffic: TrafficSpec,
+    load: f64,
+    seed: u64,
+}
+
+fn draw_case(rng: &mut StdRng) -> Case {
+    let topo = [(2usize, 4usize, 2usize), (3, 4, 2)][rng.gen_range(0..2usize)];
+    let groups = topo.1 * topo.2 + 1;
+    let traffic = match rng.gen_range(0..3) {
+        0 => TrafficSpec::UniformRandom,
+        _ => TrafficSpec::Adversarial {
+            shift: 1 + rng.gen_range(0..groups - 1),
+        },
+    };
+    Case {
+        topo,
+        traffic,
+        load: [0.15, 0.3, 0.45][rng.gen_range(0..3usize)],
+        seed: rng.gen_range(1..1_000_000),
+    }
+}
+
+fn spec_for(case: &Case, routing: RoutingSpec) -> ExperimentSpec {
+    let (p, a, h) = case.topo;
+    ExperimentSpec {
+        name: String::new(),
+        topology: DragonflyConfig { p, a, h },
+        routing,
+        traffic: case.traffic,
+        load: Some(case.load),
+        schedule: None,
+        warmup_ns: 12_000,
+        measure_ns: 20_000,
+        tail_ns: 4_000,
+        seed: Some(case.seed),
+        series_bin_ns: None,
+        engine: None,
+    }
+}
+
+fn run_mode(mut spec: ExperimentSpec, shards: ShardKind, pipeline: bool) -> SimulationReport {
+    spec.engine = Some(EngineConfig {
+        shards,
+        pipeline,
+        ..Default::default()
+    });
+    spec.run()
+}
+
+/// Every report field except wall-clock timing, compared exactly.
+fn assert_identical(reference: &SimulationReport, got: &SimulationReport, label: &str) {
+    assert_eq!(
+        reference.packets_generated, got.packets_generated,
+        "{label}"
+    );
+    assert_eq!(
+        reference.packets_delivered, got.packets_delivered,
+        "{label}"
+    );
+    assert_eq!(reference.throughput, got.throughput, "{label}");
+    assert_eq!(reference.mean_latency_us, got.mean_latency_us, "{label}");
+    assert_eq!(
+        reference.median_latency_us, got.median_latency_us,
+        "{label}"
+    );
+    assert_eq!(reference.q1_latency_us, got.q1_latency_us, "{label}");
+    assert_eq!(reference.q3_latency_us, got.q3_latency_us, "{label}");
+    assert_eq!(reference.p95_latency_us, got.p95_latency_us, "{label}");
+    assert_eq!(reference.p99_latency_us, got.p99_latency_us, "{label}");
+    assert_eq!(reference.max_latency_us, got.max_latency_us, "{label}");
+    assert_eq!(reference.mean_hops, got.mean_hops, "{label}");
+    assert_eq!(
+        reference.fraction_below_2us, got.fraction_below_2us,
+        "{label}"
+    );
+    assert_eq!(
+        reference.events_processed, got.events_processed,
+        "{label}: even the event count matches"
+    );
+}
+
+/// The property, instantiated per algorithm: pipelined sharded runs of
+/// random workloads reproduce the sequential report exactly.
+fn property(routing: RoutingSpec, master_seed: u64, cases: usize) {
+    let mut gen_rng = StdRng::seed_from_u64(master_seed);
+    for case_no in 0..cases {
+        let case = draw_case(&mut gen_rng);
+        let base = spec_for(&case, routing);
+        let reference = run_mode(base.clone(), ShardKind::Single, false);
+        assert!(
+            reference.packets_delivered > 100,
+            "case {case_no} {case:?}: workload too small to pin anything"
+        );
+        for shards in [2usize, 4] {
+            for pipeline in [false, true] {
+                let got = run_mode(base.clone(), ShardKind::Fixed(shards), pipeline);
+                assert_identical(
+                    &reference,
+                    &got,
+                    &format!("case {case_no} {case:?} shards={shards} pipeline={pipeline}"),
+                );
+            }
+        }
+        // `shards = 1` must ignore the pipeline flag entirely.
+        let single_pipelined = run_mode(base, ShardKind::Single, true);
+        assert_identical(
+            &reference,
+            &single_pipelined,
+            &format!("case {case_no} {case:?} single+pipeline"),
+        );
+    }
+}
+
+#[test]
+fn ugal_random_workloads_are_pipeline_invariant() {
+    property(RoutingSpec::UgalG, 0xA11CE, 3);
+}
+
+#[test]
+fn qadaptive_random_workloads_are_pipeline_invariant() {
+    // Q-adaptive is the adversarial case: every committed hop sends RL
+    // feedback upstream (cross-shard for global hops) and Q-table updates
+    // do not commute, so any overlap-induced reordering would surface in
+    // the latency distribution.
+    property(
+        RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+        0xBEE5,
+        3,
+    );
+}
+
+#[test]
+fn auto_sharding_with_pipelining_matches_single() {
+    // `Auto` resolves to whatever the host offers; with pipelining on
+    // (the default) the result still must not depend on it.
+    let case = Case {
+        topo: (2, 4, 2),
+        traffic: TrafficSpec::Adversarial { shift: 2 },
+        load: 0.35,
+        seed: 77,
+    };
+    let base = spec_for(&case, RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()));
+    let reference = run_mode(base.clone(), ShardKind::Single, false);
+    let auto = run_mode(base, ShardKind::Auto, true);
+    assert_identical(&reference, &auto, "auto+pipeline");
+}
+
+#[test]
+fn pipeline_flag_round_trips_through_scenario_files() {
+    // The spec layer must carry `engine.pipeline` losslessly in both
+    // encodings, and files that predate the field must default to `true`.
+    let mut spec = spec_for(
+        &Case {
+            topo: (2, 4, 2),
+            traffic: TrafficSpec::UniformRandom,
+            load: 0.2,
+            seed: 5,
+        },
+        RoutingSpec::UgalG,
+    );
+    spec.engine = Some(EngineConfig {
+        pipeline: false,
+        shards: ShardKind::Fixed(2),
+        ..Default::default()
+    });
+    assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+    assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+    // A pre-pipeline scenario file (no `pipeline` key) gets the default.
+    let legacy = ExperimentSpec::from_toml(
+        "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n[topology]\np = 2\na = 4\nh = 2\n\
+         [engine]\npacket_bytes = 128\nlink_bytes_per_ns = 4.0\nlocal_latency_ns = 30\n\
+         global_latency_ns = 300\nhost_latency_ns = 10\nrouter_latency_ns = 100\n\
+         vc_buffer_packets = 20\noutput_queue_packets = 20\nnum_vcs = 5\n\
+         shards = { Fixed = 2 }\n",
+    )
+    .unwrap();
+    assert!(
+        legacy.engine.unwrap().pipeline,
+        "scenario files without the key default to the pipelined engine"
+    );
+}

@@ -22,6 +22,16 @@ impl<T> Mutex<T> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Acquire the lock only if it is free right now (parking_lot returns
+    /// `Option` where `std` returns a `Result`; poisoning is swallowed).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0
@@ -72,6 +82,17 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_only_while_held() {
+        let m = Mutex::new(5);
+        {
+            let guard = m.try_lock().expect("uncontended try_lock succeeds");
+            assert_eq!(*guard, 5);
+            assert!(m.try_lock().is_none(), "held lock refuses a second guard");
+        }
+        assert!(m.try_lock().is_some(), "released lock is claimable again");
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! Written directly against `proc_macro` (no `syn`/`quote`, which are not
 //! available offline). Supports exactly the shapes used in this repository:
 //!
-//! * structs with named fields (honouring `#[serde(skip)]` and
-//!   `#[serde(default)]`),
+//! * structs with named fields (honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(default = "path")]`),
 //! * newtype structs (`struct Port(pub u16)`) — serialised transparently,
 //! * enums with unit, newtype and struct variants, encoded the way real
 //!   serde encodes externally-tagged enums.
@@ -20,6 +20,8 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    /// Path given by `#[serde(default = "path")]`, called for absent fields.
+    default_path: Option<String>,
 }
 
 /// One enum variant.
@@ -45,10 +47,11 @@ enum Input {
 }
 
 /// Flags carried by `#[serde(...)]` helper attributes.
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone)]
 struct SerdeFlags {
     skip: bool,
     default: bool,
+    default_path: Option<String>,
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -119,14 +122,36 @@ impl Cursor {
                 if let Some(TokenTree::Ident(id)) = inner.next() {
                     if id.to_string() == "serde" {
                         if let Some(TokenTree::Group(args)) = inner.next() {
-                            for tok in args.stream() {
-                                if let TokenTree::Ident(flag) = tok {
+                            // Supports bare flags (`skip`, `default`) and
+                            // `default = "path"` (a quoted function path
+                            // called when the field is absent).
+                            let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+                            let mut j = 0;
+                            while j < toks.len() {
+                                if let TokenTree::Ident(flag) = &toks[j] {
                                     match flag.to_string().as_str() {
                                         "skip" => flags.skip = true,
-                                        "default" => flags.default = true,
+                                        "default" => {
+                                            flags.default = true;
+                                            let eq = matches!(
+                                                toks.get(j + 1),
+                                                Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                            );
+                                            if eq {
+                                                if let Some(TokenTree::Literal(lit)) =
+                                                    toks.get(j + 2)
+                                                {
+                                                    let path = lit.to_string();
+                                                    flags.default_path =
+                                                        Some(path.trim_matches('"').to_string());
+                                                    j += 2;
+                                                }
+                                            }
+                                        }
                                         _ => {}
                                     }
                                 }
+                                j += 1;
                             }
                         }
                     }
@@ -233,6 +258,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             name,
             skip: flags.skip,
             default: flags.default,
+            default_path: flags.default_path,
         });
         // Consume the trailing comma, if any.
         if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
@@ -356,7 +382,9 @@ fn field_expr(owner: &str, src: &str, f: &Field) -> String {
     if f.skip {
         return format!("{n}: ::core::default::Default::default(),\n", n = f.name);
     }
-    let missing = if f.default {
+    let missing = if let Some(path) = &f.default_path {
+        format!("{path}()")
+    } else if f.default {
         "::core::default::Default::default()".to_string()
     } else {
         // Absent fields deserialise from Null so `Option` fields become
