@@ -144,7 +144,8 @@ fn bench_tables(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                let topo = dragonfly_topology::Dragonfly::new(*cfg);
+                let topo =
+                    dragonfly_topology::AnyTopology::from(dragonfly_topology::Dragonfly::new(*cfg));
                 let ecfg = dragonfly_engine::config::EngineConfig::paper(5);
                 let table = qadaptive_core::init::init_two_level_table(
                     &topo,

@@ -22,8 +22,9 @@ use dragonfly_sim::sweep::{run_builders_parallel, SweepResult};
 use std::path::{Path, PathBuf};
 
 /// Bump when the cached JSON schema or the simulation semantics change in
-/// a way that invalidates old results (e.g. the PR 3 event-ordering key).
-const CACHE_VERSION: &str = "qadaptive-cache-v3";
+/// a way that invalidates old results (e.g. the PR 3 event-ordering key;
+/// v4: `topology` became the tagged `TopologySpec` union).
+const CACHE_VERSION: &str = "qadaptive-cache-v4";
 
 /// 64-bit FNV-1a (no external hashing crates in the offline build).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -254,6 +255,41 @@ mod tests {
     }
 
     #[test]
+    fn keys_change_with_the_topology_but_not_with_execution_modes() {
+        use dragonfly_topology::{FatTreeConfig, HyperXConfig};
+        // Same experiment on different topologies → different keys: a
+        // cache warmed on the Dragonfly must never serve a fat-tree or
+        // HyperX request (the result would be from the wrong fabric).
+        let dragonfly = ResultCache::point_key(&tiny_spec(1));
+        let mut on_fattree = tiny_spec(1);
+        on_fattree.topology = FatTreeConfig::tiny().into();
+        let fattree = ResultCache::point_key(&on_fattree);
+        let mut on_hyperx = tiny_spec(1);
+        on_hyperx.topology = HyperXConfig::tiny().into();
+        let hyperx = ResultCache::point_key(&on_hyperx);
+        assert_ne!(dragonfly, fattree, "fat-tree must miss a dragonfly cache");
+        assert_ne!(dragonfly, hyperx, "hyperx must miss a dragonfly cache");
+        assert_ne!(fattree, hyperx);
+        // Different parameters of the same kind are different keys too.
+        let mut bigger = tiny_spec(1);
+        bigger.topology = FatTreeConfig { k: 6 }.into();
+        assert_ne!(fattree, ResultCache::point_key(&bigger));
+        // ...while toggling shards/pipeline on the non-Dragonfly topology
+        // still hits warm (execution modes stay result-invariant).
+        let mut sharded = on_fattree.clone();
+        sharded.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            pipeline: false,
+            ..Default::default()
+        });
+        assert_eq!(
+            fattree,
+            ResultCache::point_key(&sharded),
+            "shards/pipeline must not invalidate a fat-tree cache entry"
+        );
+    }
+
+    #[test]
     fn keys_are_invariant_to_every_execution_mode_field() {
         // All three execution knobs — pipeline, shards, scheduler — are
         // pinned result-invariant by the differential suites, so none of
@@ -305,7 +341,7 @@ mod tests {
         let cache = ResultCache::new(tmp_dir("pipeline-toggle")).unwrap();
         let mut sweep = SweepSpec {
             name: String::new(),
-            topology: DragonflyConfig::tiny(),
+            topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.2],
@@ -364,7 +400,7 @@ mod tests {
         // And the sweep path recomputes through the corruption untouched.
         let sweep = SweepSpec {
             name: String::new(),
-            topology: DragonflyConfig::tiny(),
+            topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.1],
@@ -411,7 +447,7 @@ mod tests {
         let cache = ResultCache::new(tmp_dir("sweep")).unwrap();
         let sweep = SweepSpec {
             name: String::new(),
-            topology: DragonflyConfig::tiny(),
+            topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.1, 0.3],

@@ -278,7 +278,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     title.to_string(),
                     ExperimentSpec {
                         name: format!("fig7/{}/{load}", traffic.label()),
-                        topology: DragonflyConfig::paper_1056(),
+                        topology: DragonflyConfig::paper_1056().into(),
                         routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
                         traffic,
                         load: Some(load),
@@ -341,7 +341,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     title.to_string(),
                     ExperimentSpec {
                         name: format!("fig8/{}", traffic.label()),
-                        topology: DragonflyConfig::paper_1056(),
+                        topology: DragonflyConfig::paper_1056().into(),
                         routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
                         traffic,
                         load: None,
@@ -381,7 +381,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     let load = load_for(&traffic);
                     let sweep = SweepSpec {
                         name: format!("fig9/{}", traffic.label()),
-                        topology: DragonflyConfig::paper_2550(),
+                        topology: DragonflyConfig::paper_2550().into(),
                         traffics: vec![traffic],
                         routings: RoutingSpec::paper_lineup_2550(),
                         loads: vec![load],
@@ -420,7 +420,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
             .map(|(traffic, load)| {
                 let sweep = SweepSpec {
                     name: format!("maxq/{}", traffic.label()),
-                    topology: DragonflyConfig::paper_1056(),
+                    topology: DragonflyConfig::paper_1056().into(),
                     traffics: vec![traffic],
                     routings: routings.clone(),
                     loads: vec![load],
@@ -920,7 +920,7 @@ mod tests {
                 assert!(saturation_summary);
                 assert_eq!(panels.len(), 3);
                 let (_, ur) = &panels[0];
-                assert_eq!(ur.topology, DragonflyConfig::paper_1056());
+                assert_eq!(ur.topology, DragonflyConfig::paper_1056().into());
                 assert_eq!(ur.effective_routings(), RoutingSpec::paper_lineup());
                 assert_eq!(ur.loads, args.ur_loads());
                 assert_eq!(ur.warmup_ns, args.warmup_ns());

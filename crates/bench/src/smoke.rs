@@ -42,6 +42,10 @@ pub struct SchedulerBench {
 pub struct SmokeBench {
     /// Workload identifier.
     pub workload: String,
+    /// The topology every leg ran on (the labelled `TopologySpec`; empty
+    /// in pre-topology-abstraction baselines).
+    #[serde(default)]
+    pub topology: String,
     /// Number of compute nodes in the topology.
     pub nodes: usize,
     /// Measurement window in simulated ns.
@@ -214,6 +218,7 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     );
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
+        topology: dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string(),
         nodes: DragonflyConfig::paper_1056().nodes(),
         measure_ns,
         events: calendar.events,
@@ -447,5 +452,18 @@ mod tests {
         assert_eq!(back.pipelined.events, 0);
         assert_eq!(back.pipeline_speedup, 0.0);
         assert_eq!(back.host_cpus, 0);
+        assert_eq!(back.topology, "", "pre-topology baselines default empty");
+    }
+
+    #[test]
+    fn fresh_benches_record_the_topology() {
+        // The JSON legs must say which fabric they measured.
+        let mut b = bench(1.0);
+        b.topology =
+            dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert!(back.topology.contains("Dragonfly"), "{}", back.topology);
+        assert!(back.topology.contains("N=1056"), "{}", back.topology);
     }
 }

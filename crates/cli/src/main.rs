@@ -10,6 +10,7 @@
 //! qadaptive-cli figure <5|6|7|8|9|table1|memory|maxq> [--quick|--full] [--threads N] [--seed S]
 //!                      [--format text|csv|json] [--out FILE]
 //! qadaptive-cli list
+//! qadaptive-cli topologies                              # registered topologies + parameter schemas
 //! qadaptive-cli show  scenarios/adv1_qadaptive.toml     # parse, validate, echo as TOML + JSON
 //! ```
 
@@ -147,6 +148,7 @@ fn usage() -> String {
          \u{20}                        [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
          \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
+         \u{20}   qadaptive-cli topologies                     (registered topologies + parameter schemas)\n\
          \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--shards N] [--out BENCH.json]\n\
          \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30] [--allow-cpu-mismatch]\n\
          \u{20}                        (1,056-node engine smoke benchmark: calendar vs binary-heap\n\
@@ -559,6 +561,32 @@ fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
     }
 }
 
+fn cmd_topologies() -> Result<(), String> {
+    let rows: Vec<Vec<String>> = dragonfly_topology::TopologySpec::catalog()
+        .iter()
+        .map(|info| {
+            vec![
+                info.name.to_string(),
+                info.parameters.to_string(),
+                info.constraints.to_string(),
+                info.domains.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["topology", "parameters", "constraints", "sharding domains"],
+            &rows
+        )
+    );
+    println!("\nscenario-file forms (the legacy bare [topology] p/a/h table still reads as a dragonfly):\n");
+    for info in dragonfly_topology::TopologySpec::catalog() {
+        println!("{}\n", info.example);
+    }
+    Ok(())
+}
+
 fn cmd_list() -> Result<(), String> {
     let rows: Vec<Vec<String>> = figures::catalog()
         .iter()
@@ -584,6 +612,7 @@ fn main() -> ExitCode {
             "bench" => cmd_bench(&flags),
             "show" => cmd_show(&flags),
             "list" => cmd_list(),
+            "topologies" | "--list-topologies" => cmd_topologies(),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(())

@@ -3,16 +3,24 @@
 //! Each router is an independent agent holding one two-level Q-table.
 //! A packet is routed as follows:
 //!
-//! 1. routers in the packet's **destination group** forward minimally;
+//! 1. routers in the packet's **destination domain** forward minimally;
 //! 2. the **source router** compares the minimal-path port against the best
 //!    port of the Q-table row using the relative gap ΔV and the threshold
 //!    `q_thld1`, then applies ε-greedy exploration;
-//! 3. the **first router visited in an intermediate group** forwards
-//!    minimally when it owns a direct global link to the destination group;
+//! 3. the **first router visited in an intermediate domain** forwards
+//!    minimally when it owns a direct link into the destination domain;
 //!    otherwise it compares the minimal forwarding port against a *random
-//!    local* port (the Valiant-node style reroute that sidesteps local-link
-//!    congestion) using `q_thld2`, then applies ε-greedy exploration;
+//!    intra-domain escape* port (the Valiant-node style reroute that
+//!    sidesteps local-link congestion) using `q_thld2`, then applies
+//!    ε-greedy exploration;
 //! 4. every other router forwards minimally.
+//!
+//! The algorithm is expressed purely in terms of the
+//! [`Topology`] abstraction — destination *domain* instead of Dragonfly
+//! group, `direct_port_to_domain` instead of "own global link" — so the
+//! same agent runs unchanged on the Dragonfly (bit-for-bit identical to
+//! the pre-trait implementation), the fat-tree (where the source-router
+//! decision learns which up-plane is least congested) and the HyperX.
 //!
 //! Q-values are updated with hysteretic Q-learning from the per-hop
 //! feedback the engine delivers (reward = per-hop delay, bootstrap = the
@@ -30,7 +38,7 @@ use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,7 +90,7 @@ impl RoutingAlgorithm for QAdaptiveRouting {
 
     fn make_agent(
         &self,
-        topology: &Dragonfly,
+        topology: &AnyTopology,
         config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -100,12 +108,16 @@ impl RoutingAlgorithm for QAdaptiveRouting {
 /// The per-router Q-adaptive agent.
 pub struct QAdaptiveAgent {
     router: RouterId,
-    group: GroupId,
+    domain: GroupId,
     params: QAdaptiveParams,
     learner: HystereticLearner,
     table: TwoLevelQTable,
     rng: StdRng,
     exploration_ports: Vec<Port>,
+    /// Port index of this router's first fabric port (= its host-port
+    /// count): translates a feedback [`Port`] into a Q-table column
+    /// without consulting the topology.
+    col_offset: usize,
     /// Statistics: feedback messages applied (useful for convergence
     /// analyses and tests).
     updates_applied: u64,
@@ -119,7 +131,7 @@ impl QAdaptiveAgent {
     /// Build an agent with a Q-table initialised to congestion-free
     /// minimal delivery times.
     pub fn new(
-        topo: &Dragonfly,
+        topo: &AnyTopology,
         cfg: &EngineConfig,
         router: RouterId,
         params: QAdaptiveParams,
@@ -127,12 +139,13 @@ impl QAdaptiveAgent {
     ) -> Self {
         Self {
             router,
-            group: topo.group_of_router(router),
+            domain: topo.domain_of_router(router),
             params,
             learner: HystereticLearner::new(params.alpha, params.beta),
             table: init_two_level_table(topo, cfg, router),
             rng: StdRng::seed_from_u64(seed),
-            exploration_ports: topo.exploration_ports(None),
+            exploration_ports: topo.exploration_ports(router, None),
+            col_offset: topo.host_ports(router),
             updates_applied: 0,
             decisions_made: 0,
             nonminimal_decisions: 0,
@@ -200,8 +213,7 @@ impl QAdaptiveAgent {
 
     fn column_of(&self, ctx: &RouterCtx<'_>, port: Port) -> usize {
         ctx.topology
-            .layout()
-            .qtable_column(port)
+            .qtable_column(self.router, port)
             .expect("routing ports are always fabric ports")
     }
 }
@@ -210,14 +222,14 @@ impl RouterAgent for QAdaptiveAgent {
     fn decide(&mut self, ctx: &RouterCtx<'_>, packet: &mut Packet) -> Decision {
         self.decisions_made += 1;
         let topo = ctx.topology;
-        let dst_group = packet.dst_group;
+        let dst_domain = packet.dst_group;
 
-        // (1) Destination-group routers forward minimally.
-        if self.group == dst_group {
+        // (1) Destination-domain routers forward minimally.
+        if self.domain == dst_domain {
             return self.minimal_decision(ctx, packet);
         }
 
-        let row = self.table.row(dst_group, packet.src_slot);
+        let row = self.table.row(dst_domain, packet.src_slot);
         let min_port = topo
             .minimal_port(self.router, packet.dst_router)
             .expect("non-destination router always has a minimal port");
@@ -227,7 +239,7 @@ impl RouterAgent for QAdaptiveAgent {
         // (2) Source router: best-of-table vs minimal with q_thld1.
         if packet.at_source_router(self.router) {
             let (best_col, q_best) = self.best_column_randomized(row);
-            let best_port = topo.layout().port_for_column(best_col);
+            let best_port = topo.port_for_column(self.router, best_col);
             let temp = select_with_bias(q_min, q_best, min_port, best_port, self.params.q_thld1);
             let port = epsilon_greedy(
                 &mut self.rng,
@@ -245,19 +257,19 @@ impl RouterAgent for QAdaptiveAgent {
             };
         }
 
-        // (3) First router visited in an intermediate group.
-        if packet.is_intermediate_group(self.group) && !packet.route.int_group_decision_done {
+        // (3) First router visited in an intermediate domain.
+        if packet.is_intermediate_group(self.domain) && !packet.route.int_group_decision_done {
             packet.route.int_group_decision_done = true;
-            if let Some(direct) = topo.global_port_to(self.router, dst_group) {
-                // Direct connection to the destination group: take it.
+            if let Some(direct) = topo.direct_port_to_domain(self.router, dst_domain) {
+                // Direct connection into the destination domain: take it.
                 return Decision {
                     port: direct,
                     vc: vc_for_next_hop(packet, ctx.num_vcs()),
                 };
             }
-            let rand_local = topo.random_local_port(&mut self.rng);
-            let q_rand = self.table.get(row, self.column_of(ctx, rand_local));
-            let temp = select_with_bias(q_min, q_rand, min_port, rand_local, self.params.q_thld2);
+            let rand_escape = topo.random_escape_port(&mut self.rng, self.router);
+            let q_rand = self.table.get(row, self.column_of(ctx, rand_escape));
+            let temp = select_with_bias(q_min, q_rand, min_port, rand_escape, self.params.q_thld2);
             let port = epsilon_greedy(
                 &mut self.rng,
                 self.params.epsilon,
@@ -293,7 +305,7 @@ impl RouterAgent for QAdaptiveAgent {
         // to forward minimally, so the row minimum would hide congestion on
         // the minimal leg from upstream routers.
         let row = self.table.row(packet.dst_group, packet.src_slot);
-        match ctx.topology.layout().qtable_column(decision.port) {
+        match ctx.topology.qtable_column(self.router, decision.port) {
             Some(col) => self.table.get(row, col),
             None => self.table.min_in_row(row),
         }
@@ -301,25 +313,15 @@ impl RouterAgent for QAdaptiveAgent {
 
     fn feedback(&mut self, msg: &FeedbackMsg) {
         let row = self.table.row(msg.dst_group, msg.src_slot);
-        let col = msg.port.index();
         // The feedback port is a fabric port of this router; translate to a
         // table column (columns start at the first non-host port).
-        let col = col - (self.table.columns_offset());
+        let col = msg.port.index() - self.col_offset;
         let current = self.table.get(row, col);
         let updated = self
             .learner
             .update(current, msg.reward_ns, msg.downstream_estimate_ns);
         self.table.set(row, col, updated);
         self.updates_applied += 1;
-    }
-}
-
-impl TwoLevelQTable {
-    /// The port index of the first table column (the number of host ports),
-    /// derived from the table shape. Used to translate a fabric [`Port`]
-    /// into a column without needing the topology.
-    pub fn columns_offset(&self) -> usize {
-        self.nodes_per_router()
     }
 }
 
@@ -331,9 +333,10 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
-    fn topo() -> Dragonfly {
-        Dragonfly::new(DragonflyConfig::tiny())
+    fn topo() -> AnyTopology {
+        Dragonfly::new(DragonflyConfig::tiny()).into()
     }
 
     #[test]
@@ -380,11 +383,12 @@ mod tests {
     #[test]
     fn feedback_updates_the_expected_cell() {
         let t = topo();
+        let df = t.as_dragonfly().unwrap().clone();
         let cfg = EngineConfig::paper(QADAPTIVE_VCS);
         let mut agent = QAdaptiveAgent::new(&t, &cfg, RouterId(0), QAdaptiveParams::default(), 1);
-        let port = t.layout().local_port(0);
+        let port = df.layout().local_port(0);
         let row = agent.table.row(GroupId(3), 1);
-        let col = t.layout().qtable_column(port).unwrap();
+        let col = df.layout().qtable_column(port).unwrap();
         let before = agent.table.get(row, col);
         let msg = FeedbackMsg {
             packet_id: 0,
@@ -414,11 +418,12 @@ mod tests {
     #[test]
     fn repeated_bad_news_slowly_raises_the_estimate() {
         let t = topo();
+        let df = t.as_dragonfly().unwrap().clone();
         let cfg = EngineConfig::paper(QADAPTIVE_VCS);
         let mut agent = QAdaptiveAgent::new(&t, &cfg, RouterId(0), QAdaptiveParams::default(), 1);
-        let port = t.layout().global_port(0);
+        let port = df.layout().global_port(0);
         let row = agent.table.row(GroupId(5), 0);
-        let col = t.layout().qtable_column(port).unwrap();
+        let col = df.layout().qtable_column(port).unwrap();
         let before = agent.table.get(row, col);
         for _ in 0..10 {
             agent.feedback(&FeedbackMsg {
@@ -450,5 +455,28 @@ mod tests {
         // the (destination group, source slot) row.
         assert!(expected > 0.0);
         assert_eq!(agent.table.best_for(GroupId(2), 1).1, expected);
+    }
+
+    #[test]
+    fn agents_build_on_every_topology_with_matching_table_shapes() {
+        use dragonfly_topology::{FatTree, FatTreeConfig, HyperX, HyperXConfig};
+        let cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
+        for t in topologies {
+            for r in [0, t.num_routers() - 1] {
+                let router = RouterId::from_index(r);
+                let agent = QAdaptiveAgent::new(&t, &cfg, router, QAdaptiveParams::default(), 1);
+                assert_eq!(agent.table.columns(), t.fabric_ports(router));
+                assert_eq!(
+                    agent.table.rows(),
+                    t.num_domains() * t.max_nodes_per_router()
+                );
+                assert_eq!(agent.col_offset, t.host_ports(router));
+            }
+        }
     }
 }

@@ -8,44 +8,36 @@
 //! `argmin` of every row coincide with the minimal path, so an untrained
 //! Q-adaptive router behaves like minimal routing (exactly what the paper's
 //! convergence plots show at t = 0 under low load).
+//!
+//! The estimates are topology-generic: the first-hop cost comes from the
+//! port's link kind and the remaining time from
+//! [`Topology::estimate_hops_to_domain`] /
+//! [`Topology::minimal_hop_kinds`], so the same initialisation works on
+//! the Dragonfly, the fat-tree and the HyperX (and reproduces the
+//! pre-trait Dragonfly values bit for bit).
 
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
-use dragonfly_topology::paths::HopKind;
-use dragonfly_topology::ports::PortKind;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 
 use crate::qtable::QTable;
 use crate::two_level::TwoLevelQTable;
 
 /// Congestion-free delivery-time estimate from `router` to *some* node in
-/// `group` (assuming one local hop inside the destination group, the common
-/// case).
-pub fn theoretical_to_group(
-    topo: &Dragonfly,
+/// `domain` (the topology's typical-case hop sequence).
+pub fn theoretical_to_domain(
+    topo: &AnyTopology,
     cfg: &EngineConfig,
     router: RouterId,
-    group: GroupId,
+    domain: GroupId,
 ) -> f64 {
-    let my_group = topo.group_of_router(router);
-    let mut kinds: Vec<HopKind> = Vec::with_capacity(3);
-    if my_group == group {
-        kinds.push(HopKind::Local);
-    } else {
-        let (gateway, _) = topo.gateway(my_group, group);
-        if gateway != router {
-            kinds.push(HopKind::Local);
-        }
-        kinds.push(HopKind::Global);
-        kinds.push(HopKind::Local);
-    }
-    cfg.theoretical_delivery_ns(&kinds) as f64
+    cfg.theoretical_delivery_ns(&topo.estimate_hops_to_domain(router, domain)) as f64
 }
 
 /// Congestion-free delivery-time estimate from `router` to a specific
 /// destination router.
 pub fn theoretical_to_router(
-    topo: &Dragonfly,
+    topo: &AnyTopology,
     cfg: &EngineConfig,
     router: RouterId,
     dest: RouterId,
@@ -55,65 +47,67 @@ pub fn theoretical_to_router(
 }
 
 /// The congestion-free cost of leaving `router` through fabric `port` and
-/// then minimally reaching `group`.
-pub fn port_then_group_estimate(
-    topo: &Dragonfly,
+/// then minimally reaching `domain`.
+pub fn port_then_domain_estimate(
+    topo: &AnyTopology,
     cfg: &EngineConfig,
     router: RouterId,
     port: Port,
-    group: GroupId,
+    domain: GroupId,
 ) -> f64 {
-    let kind = match topo.port_kind(port) {
-        PortKind::Local => HopKind::Local,
-        PortKind::Global => HopKind::Global,
-        PortKind::Host => unreachable!("host ports never appear in Q-tables"),
-    };
+    let kind = topo.link_kind(router, port);
     let neighbor = topo.neighbor_router(router, port);
-    if topo.group_of_router(neighbor) == group && neighbor != router {
-        // The next router is already in the destination group; only the
-        // ejection (plus possibly one more local hop, averaged away) is
-        // left. Use the exact remaining estimate of zero further hops.
+    if topo.domain_of_router(neighbor) == domain
+        && neighbor != router
+        && topo.host_ports(neighbor) > 0
+    {
+        // The next router is already in the destination domain *and* can
+        // eject; only the ejection (plus possibly one more local hop,
+        // averaged away) is left. Use the exact remaining estimate of
+        // zero further hops. Node-less routers (fat-tree aggs/cores) fall
+        // through to the domain estimate, which still charges the hops
+        // down to an edge switch.
         return cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64;
     }
-    cfg.hop_ns(kind) as f64 + theoretical_to_group(topo, cfg, neighbor, group)
+    cfg.hop_ns(kind) as f64 + theoretical_to_domain(topo, cfg, neighbor, domain)
 }
 
-/// Build a fully initialised two-level Q-table for one router.
+/// Build a fully initialised two-level Q-table for one router: rows are
+/// `(destination domain, source slot)`, columns are this router's fabric
+/// ports.
 pub fn init_two_level_table(
-    topo: &Dragonfly,
+    topo: &AnyTopology,
     cfg: &EngineConfig,
     router: RouterId,
 ) -> TwoLevelQTable {
-    let dcfg = topo.config();
     TwoLevelQTable::from_fn(
-        dcfg.groups(),
-        dcfg.p,
-        dcfg.fabric_ports(),
-        |group, _slot, col| {
-            let port = topo.layout().port_for_column(col);
-            port_then_group_estimate(topo, cfg, router, port, group)
+        topo.num_domains(),
+        topo.max_nodes_per_router(),
+        topo.fabric_ports(router),
+        |domain, _slot, col| {
+            let port = topo.port_for_column(router, col);
+            port_then_domain_estimate(topo, cfg, router, port, domain)
         },
     )
 }
 
 /// Build a fully initialised original (destination-router indexed) Q-table
 /// for one router.
-pub fn init_qtable(topo: &Dragonfly, cfg: &EngineConfig, router: RouterId) -> QTable {
-    let dcfg = topo.config();
-    QTable::from_fn(dcfg.routers(), dcfg.fabric_ports(), |dest, col| {
-        let port = topo.layout().port_for_column(col);
-        let kind = match topo.port_kind(port) {
-            PortKind::Local => HopKind::Local,
-            PortKind::Global => HopKind::Global,
-            PortKind::Host => unreachable!(),
-        };
-        let neighbor = topo.neighbor_router(router, port);
-        if neighbor == dest {
-            cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64
-        } else {
-            cfg.hop_ns(kind) as f64 + theoretical_to_router(topo, cfg, neighbor, dest)
-        }
-    })
+pub fn init_qtable(topo: &AnyTopology, cfg: &EngineConfig, router: RouterId) -> QTable {
+    QTable::from_fn(
+        topo.num_routers(),
+        topo.fabric_ports(router),
+        |dest, col| {
+            let port = topo.port_for_column(router, col);
+            let kind = topo.link_kind(router, port);
+            let neighbor = topo.neighbor_router(router, port);
+            if neighbor == dest {
+                cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64
+            } else {
+                cfg.hop_ns(kind) as f64 + theoretical_to_router(topo, cfg, neighbor, dest)
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -121,10 +115,11 @@ mod tests {
     use super::*;
     use crate::table::QValueTable;
     use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::{Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig};
 
-    fn setup() -> (Dragonfly, EngineConfig) {
+    fn setup() -> (AnyTopology, EngineConfig) {
         (
-            Dragonfly::new(DragonflyConfig::tiny()),
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
             EngineConfig::paper(5),
         )
     }
@@ -132,22 +127,23 @@ mod tests {
     #[test]
     fn initial_argmin_matches_the_minimal_path_across_groups() {
         let (topo, cfg) = setup();
+        let df = topo.as_dragonfly().unwrap().clone();
         let router = RouterId(0);
         let table = init_two_level_table(&topo, &cfg, router);
-        for group in topo.groups() {
-            if group == topo.group_of_router(router) {
+        for group in df.groups() {
+            if group == df.group_of_router(router) {
                 continue;
             }
             // The minimal path towards any router of `group` starts either
             // at our own global link to it or at the local link towards the
             // gateway router.
-            let (gateway, gport) = topo.gateway(topo.group_of_router(router), group);
+            let (gateway, gport) = df.gateway(df.group_of_router(router), group);
             let expected_port = if gateway == router {
                 gport
             } else {
-                topo.local_port_to(router, gateway)
+                df.local_port_to(router, gateway)
             };
-            let expected_col = topo.layout().qtable_column(expected_port).unwrap();
+            let expected_col = df.layout().qtable_column(expected_port).unwrap();
             let (best_col, _) = table.best_for(group, 0);
             assert_eq!(
                 best_col, expected_col,
@@ -157,16 +153,32 @@ mod tests {
     }
 
     #[test]
-    fn init_values_are_positive_and_bounded() {
-        let (topo, cfg) = setup();
-        let table = init_two_level_table(&topo, &cfg, RouterId(5));
-        for row in 0..table.rows() {
-            for col in 0..table.columns() {
-                let v = table.get(row, col);
-                assert!(v > 0.0);
-                // Worst initial estimate: a hop plus a full 3-hop minimal
-                // route plus ejection — well under 10 µs with paper timing.
-                assert!(v < 10_000.0, "row {row} col {col}: {v}");
+    fn init_values_are_positive_and_bounded_on_every_topology() {
+        let cfg = EngineConfig::paper(5);
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
+        for topo in topologies {
+            for r in [0, topo.num_routers() / 2, topo.num_routers() - 1] {
+                let router = RouterId::from_index(r);
+                let table = init_two_level_table(&topo, &cfg, router);
+                assert_eq!(table.columns(), topo.fabric_ports(router));
+                for row in 0..table.rows() {
+                    for col in 0..table.columns() {
+                        let v = table.get(row, col);
+                        assert!(v > 0.0, "{}: row {row} col {col}", topo.kind_name());
+                        // Worst initial estimate: a hop plus a short
+                        // minimal route plus ejection — well under 10 µs
+                        // with paper timing.
+                        assert!(
+                            v < 10_000.0,
+                            "{}: row {row} col {col}: {v}",
+                            topo.kind_name()
+                        );
+                    }
+                }
             }
         }
     }
@@ -178,25 +190,21 @@ mod tests {
         let table = init_qtable(&topo, &cfg, router);
         // For a directly connected destination, the init through the direct
         // port equals one hop plus ejection.
-        for port in topo.layout().fabric_port_iter() {
+        for col in 0..topo.fabric_ports(router) {
+            let port = topo.port_for_column(router, col);
             let neighbor = topo.neighbor_router(router, port);
-            let col = topo.layout().qtable_column(port).unwrap();
             let v = table.value(neighbor, col);
-            let kind = match topo.port_kind(port) {
-                PortKind::Local => HopKind::Local,
-                PortKind::Global => HopKind::Global,
-                PortKind::Host => unreachable!(),
-            };
+            let kind = topo.link_kind(router, port);
             assert_eq!(v, (cfg.hop_ns(kind) + cfg.ejection_ns()) as f64);
         }
     }
 
     #[test]
-    fn theoretical_to_group_is_cheaper_inside_own_group() {
+    fn theoretical_to_domain_is_cheaper_inside_own_domain() {
         let (topo, cfg) = setup();
         let router = RouterId(0);
-        let own = theoretical_to_group(&topo, &cfg, router, topo.group_of_router(router));
-        let other = theoretical_to_group(&topo, &cfg, router, GroupId(3));
+        let own = theoretical_to_domain(&topo, &cfg, router, topo.domain_of_router(router));
+        let other = theoretical_to_domain(&topo, &cfg, router, GroupId(3));
         assert!(own < other);
     }
 }

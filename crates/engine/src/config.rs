@@ -25,9 +25,10 @@ pub enum SchedulerKind {
 
 /// How many conservative-parallel shards execute one simulation.
 ///
-/// The engine partitions routers by Dragonfly group into shards; each shard
-/// runs its own calendar queue and packet arena, and shards synchronise on
-/// a lookahead window equal to the global-link latency (see
+/// The engine partitions routers by locality domain (Dragonfly group,
+/// fat-tree pod, HyperX row) into shards; each shard runs its own
+/// calendar queue and packet arena, and shards synchronise on a lookahead
+/// window equal to the topology's minimum cross-domain link latency (see
 /// [`crate::sync`]). Because events are ordered by a content-derived key
 /// rather than push order, **every shard count produces bit-for-bit
 /// identical simulation output** — this knob only trades wall-clock speed
@@ -44,14 +45,15 @@ pub enum ShardKind {
 }
 
 impl ShardKind {
-    /// The concrete shard count for a system with `num_groups` groups and
-    /// a global-link latency of `global_latency_ns`.
+    /// The concrete shard count for a system with `num_domains` locality
+    /// domains and a conservative lookahead of `lookahead_ns` (the
+    /// topology's minimum cross-domain link latency).
     ///
-    /// A zero global-link latency leaves no conservative lookahead window,
-    /// so sharding silently degrades to a single shard (results are
-    /// identical either way; only parallelism is lost).
-    pub fn resolve(self, num_groups: usize, global_latency_ns: SimTime) -> usize {
-        if global_latency_ns == 0 {
+    /// A zero lookahead leaves no conservative window, so sharding
+    /// silently degrades to a single shard (results are identical either
+    /// way; only parallelism is lost).
+    pub fn resolve(self, num_domains: usize, lookahead_ns: SimTime) -> usize {
+        if lookahead_ns == 0 {
             return 1;
         }
         let requested = match self {
@@ -61,7 +63,7 @@ impl ShardKind {
                 .map(|n| n.get())
                 .unwrap_or(1),
         };
-        requested.clamp(1, num_groups.max(1))
+        requested.clamp(1, num_domains.max(1))
     }
 }
 

@@ -17,7 +17,7 @@ use crate::shard::Shard;
 use crate::sync::{MailGrid, QueuedInjection, ShardPlan, WindowDeque, WindowSync, NO_EVENT};
 use crate::time::SimTime;
 use dragonfly_topology::ids::RouterId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,9 +80,10 @@ impl EngineStats {
     }
 }
 
-/// The flit-level Dragonfly simulator.
+/// The flit-level network simulator (topology-agnostic: any
+/// [`Topology`] implementation wrapped in [`AnyTopology`]).
 pub struct Engine<O: ShardObserver> {
-    topo: Dragonfly,
+    topo: AnyTopology,
     cfg: EngineConfig,
     plan: ShardPlan,
     shards: Vec<Shard<O>>,
@@ -100,20 +101,25 @@ impl<O: ShardObserver> Engine<O> {
     /// one NIC per node, partitioned into `cfg.shards` conservative-parallel
     /// shards (the shard count never changes simulation results).
     pub fn new(
-        topo: Dragonfly,
+        topo: impl Into<AnyTopology>,
         cfg: EngineConfig,
         algorithm: &dyn RoutingAlgorithm,
         mut injector: Box<dyn TrafficInjector>,
         observer: O,
         seed: u64,
     ) -> Self {
+        let topo: AnyTopology = topo.into();
         assert_eq!(
             cfg.num_vcs,
             algorithm.num_vcs(),
             "EngineConfig::num_vcs must match the routing algorithm's VC requirement"
         );
-        let num_shards = cfg.shards.resolve(topo.num_groups(), cfg.global_latency_ns);
-        let plan = ShardPlan::new(&topo, num_shards, cfg.global_latency_ns);
+        // The conservative lookahead is the topology's minimum
+        // cross-domain link latency (the global-link latency on every
+        // shipped topology) — no Dragonfly-specific constant.
+        let lookahead = topo.min_cross_domain_latency(cfg.local_latency_ns, cfg.global_latency_ns);
+        let num_shards = cfg.shards.resolve(topo.num_domains(), lookahead);
+        let plan = ShardPlan::new(&topo, num_shards, lookahead);
         let shards: Vec<Shard<O>> = (0..plan.num_shards())
             .map(|i| {
                 Shard::new(
@@ -152,7 +158,7 @@ impl<O: ShardObserver> Engine<O> {
     }
 
     /// The topology being simulated.
-    pub fn topology(&self) -> &Dragonfly {
+    pub fn topology(&self) -> &AnyTopology {
         &self.topo
     }
 
@@ -382,7 +388,7 @@ impl<O: ShardObserver> Engine<O> {
         let sync = &sync;
         let mail: &MailGrid = mail;
         let plan: &ShardPlan = plan;
-        let topo: &Dragonfly = topo;
+        let topo: &AnyTopology = topo;
 
         // Leader-only traffic distribution state, moved into shard 0's
         // thread.
@@ -522,7 +528,7 @@ impl<O: ShardObserver> Engine<O> {
         let deque = &deque;
         let mail: &MailGrid = mail;
         let plan: &ShardPlan = plan;
-        let topo: &Dragonfly = topo;
+        let topo: &AnyTopology = topo;
 
         // The shared injection feeder: a single cursor over the (ordered)
         // injector stream, so packet ids are assigned in injector order no
@@ -766,7 +772,7 @@ fn distribute_injections(
     pending: &mut Option<Injection>,
     next_id: &mut u64,
     plan: &ShardPlan,
-    topo: &Dragonfly,
+    topo: &AnyTopology,
     end_incl: SimTime,
     mut push: impl FnMut(usize, QueuedInjection),
 ) {
@@ -799,6 +805,7 @@ mod tests {
     use crate::testing::MinimalTestRouting;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     fn run_scripted(injections: Vec<Injection>, t_end: SimTime) -> (EngineStats, CountingObserver) {
         run_scripted_sharded(injections, t_end, ShardKind::Single)

@@ -1,8 +1,13 @@
 //! # dragonfly-engine
 //!
-//! A flit-level, event-driven Dragonfly network simulator — the substrate
-//! the Q-adaptive paper builds on (the paper uses SST/Merlin; this crate is
-//! a from-scratch Rust equivalent at the same modelling granularity).
+//! A flit-level, event-driven interconnect simulator — the substrate the
+//! Q-adaptive paper builds on (the paper uses SST/Merlin; this crate is a
+//! from-scratch Rust equivalent at the same modelling granularity). The
+//! engine is **topology-agnostic**: it simulates any
+//! [`dragonfly_topology::Topology`] implementation (Dragonfly, fat-tree,
+//! HyperX, …) carried as a [`dragonfly_topology::AnyTopology`]; per-router
+//! port layouts, link kinds and the sharding partition all come from the
+//! trait.
 //!
 //! ## Model
 //!
@@ -55,12 +60,19 @@
 //! ## Sharded conservative-parallel execution
 //!
 //! One simulation can run across several cores ([`config::ShardKind`]):
-//! routers are partitioned by Dragonfly group into shards
-//! ([`sync::ShardPlan`]), each shard owns its own calendar queue, packet
+//! routers are partitioned by **locality domain** — the topology's
+//! sharding unit: Dragonfly groups, fat-tree pods (plus their slice of
+//! the core switches), HyperX rows — into shards ([`sync::ShardPlan`]).
+//! The [`dragonfly_topology::Topology`] contract guarantees each domain
+//! is a contiguous router/node id range and that every link between
+//! routers of different domains carries at least
+//! `Topology::min_cross_domain_latency` (the global-link latency on all
+//! shipped topologies). Each shard owns its own calendar queue, packet
 //! arena and observer clone ([`shard::Shard`]), and shards execute
-//! lockstep windows of one **lookahead** — the global-link latency, the
-//! minimum delay of any cross-shard interaction (packet over a global
-//! link, returning credit, RL feedback). Cross-shard events are exchanged
+//! lockstep windows of one **lookahead** — that minimum cross-domain
+//! latency, the minimum delay of any cross-shard interaction (packet
+//! over a cross-domain link, returning credit, RL feedback). Cross-shard
+//! events are exchanged
 //! through per-pair mailboxes ([`sync::MailGrid`]) at window barriers;
 //! packets cross **by value**, so a `PacketRef` is never dereferenced
 //! outside the arena that issued it. Within a window every shard runs

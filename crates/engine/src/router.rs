@@ -6,9 +6,9 @@
 use crate::arena::PacketRef;
 use crate::config::EngineConfig;
 use crate::time::SimTime;
-use dragonfly_topology::ids::Port;
+use dragonfly_topology::ids::{Port, RouterId};
 use dragonfly_topology::ports::PortKind;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use std::collections::VecDeque;
 
 /// A blocked input VC waiting for space in some output queue.
@@ -54,13 +54,14 @@ pub struct RouterState {
 }
 
 impl RouterState {
-    /// Create the state for one router.
-    pub fn new(topo: &Dragonfly, cfg: &EngineConfig) -> Self {
-        let num_ports = topo.radix();
+    /// Create the state for one specific router (port counts and host
+    /// flags are per-router: a fat-tree core has no host ports).
+    pub fn new(topo: &AnyTopology, router: RouterId, cfg: &EngineConfig) -> Self {
+        let num_ports = topo.radix(router);
         let num_vcs = cfg.num_vcs;
         let cells = num_ports * num_vcs;
         let port_is_host = (0..num_ports)
-            .map(|p| topo.port_kind(Port::from_index(p)) == PortKind::Host)
+            .map(|p| topo.port_kind(router, Port::from_index(p)) == PortKind::Host)
             .collect();
         Self {
             num_ports,
@@ -298,10 +299,10 @@ mod tests {
     use super::*;
     use dragonfly_topology::config::DragonflyConfig;
 
-    fn setup() -> (Dragonfly, EngineConfig, RouterState) {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+    fn setup() -> (AnyTopology, EngineConfig, RouterState) {
+        let topo = AnyTopology::from(dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()));
         let cfg = EngineConfig::paper(3);
-        let state = RouterState::new(&topo, &cfg);
+        let state = RouterState::new(&topo, RouterId(0), &cfg);
         (topo, cfg, state)
     }
 

@@ -13,7 +13,7 @@ use crate::router::RouterState;
 use crate::time::SimTime;
 use dragonfly_topology::ids::{GroupId, NodeId, Port, RouterId};
 use dragonfly_topology::ports::PortKind;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a routing decision: which output port to use and which
@@ -68,7 +68,7 @@ pub struct RouterCtx<'a> {
     /// The router this context describes.
     pub router: RouterId,
     /// The topology (shared, immutable).
-    pub topology: &'a Dragonfly,
+    pub topology: &'a AnyTopology,
     /// Engine configuration (timing constants, buffer sizes).
     pub config: &'a EngineConfig,
     /// Current simulation time.
@@ -97,7 +97,7 @@ impl<'a> RouterCtx<'a> {
     /// The congestion estimate the paper's adaptive baselines use: local
     /// output-queue occupancy plus used credit count.
     pub fn congestion(&self, port: Port) -> usize {
-        if self.topology.port_kind(port) == PortKind::Host {
+        if self.topology.port_kind(self.router, port) == PortKind::Host {
             return self.output_queue_len(port);
         }
         self.output_queue_len(port) + self.used_credits(port)
@@ -109,9 +109,10 @@ impl<'a> RouterCtx<'a> {
         self.state.input_buffer_len(port, vc)
     }
 
-    /// Group of this router.
-    pub fn group(&self) -> GroupId {
-        self.topology.group_of_router(self.router)
+    /// Locality domain of this router (a Dragonfly group, fat-tree pod
+    /// or HyperX row).
+    pub fn domain(&self) -> GroupId {
+        self.topology.domain_of_router(self.router)
     }
 
     /// Number of virtual channels available.
@@ -183,7 +184,7 @@ pub trait RoutingAlgorithm: Send + Sync {
     /// Create the agent for one router.
     fn make_agent(
         &self,
-        topology: &Dragonfly,
+        topology: &AnyTopology,
         config: &EngineConfig,
         router: RouterId,
         seed: u64,

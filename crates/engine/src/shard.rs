@@ -1,11 +1,11 @@
 //! One conservative-parallel shard: the routers, NICs and agents of a
-//! contiguous range of Dragonfly groups, with their own event queue and
-//! packet arena.
+//! contiguous range of locality domains (Dragonfly groups, fat-tree
+//! pods, HyperX rows), with their own event queue and packet arena.
 //!
 //! A shard is the unit of parallelism. Within a lookahead window it runs
 //! completely lock-free on its own [`EventQueue`]; anything addressed to a
-//! router it does not own — a packet crossing a global link, a returning
-//! credit, RL feedback — is appended to a per-destination outbox and
+//! router it does not own — a packet crossing a cross-domain link, a
+//! returning credit, RL feedback — is appended to a per-destination outbox and
 //! shipped through the [`crate::sync::MailGrid`] at the window barrier.
 //! Packets leave the sender's [`PacketArena`] **by value** and are
 //! re-allocated on arrival, so [`PacketRef`] handles never cross a shard
@@ -29,13 +29,13 @@ use dragonfly_topology::ids::{NodeId, Port, RouterId};
 use dragonfly_topology::paths::HopKind;
 use dragonfly_topology::ports::PortKind;
 use dragonfly_topology::topology::Neighbor;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use std::collections::VecDeque;
 
 /// Per-shard simulation state and event handlers.
 pub struct Shard<O: ShardObserver> {
     id: usize,
-    topo: Dragonfly,
+    topo: AnyTopology,
     cfg: EngineConfig,
     plan: ShardPlan,
     /// Global index of the first router owned by this shard.
@@ -66,9 +66,11 @@ pub struct Shard<O: ShardObserver> {
 }
 
 impl<O: ShardObserver> Shard<O> {
-    /// Build the shard owning `plan.groups_of(id)`.
+    /// Build the shard owning `plan.domains_of(id)`. The topology's
+    /// domain contract (contiguous router/node ranges per domain) makes
+    /// both id spaces of a shard contiguous runs.
     pub fn new(
-        topo: &Dragonfly,
+        topo: &AnyTopology,
         cfg: &EngineConfig,
         algorithm: &dyn RoutingAlgorithm,
         observer: O,
@@ -76,15 +78,15 @@ impl<O: ShardObserver> Shard<O> {
         plan: ShardPlan,
         id: usize,
     ) -> Self {
-        let groups = plan.groups_of(id);
-        let a = topo.config().a;
-        let p = topo.config().p;
-        let router_base = groups.start * a;
-        let router_count = groups.len() * a;
-        let node_base = router_base * p;
-        let node_count = router_count * p;
+        let domains = plan.domains_of(id);
+        let router_base = topo.router_range_of_domain(domains.start).start;
+        let router_end = topo.router_range_of_domain(domains.end - 1).end;
+        let router_count = router_end - router_base;
+        let node_base = topo.node_range_of_domain(domains.start).start;
+        let node_end = topo.node_range_of_domain(domains.end - 1).end;
+        let node_count = node_end - node_base;
         let routers: Vec<RouterState> = (0..router_count)
-            .map(|_| RouterState::new(topo, cfg))
+            .map(|local| RouterState::new(topo, RouterId::from_index(router_base + local), cfg))
             .collect();
         let agents: Vec<Box<dyn RouterAgent>> = (0..router_count)
             .map(|local| {
@@ -384,8 +386,8 @@ impl<O: ShardObserver> Shard<O> {
             dst: inj.dst,
             src_router,
             dst_router,
-            dst_group: self.topo.group_of_router(dst_router),
-            src_group: self.topo.group_of_router(src_router),
+            dst_group: self.topo.domain_of_router(dst_router),
+            src_group: self.topo.domain_of_router(src_router),
             src_slot: self.topo.node_slot(inj.src) as u8,
             size_bytes: self.cfg.packet_bytes,
             created_ns: self.now,
@@ -493,7 +495,7 @@ impl<O: ShardObserver> Shard<O> {
                         };
                         let d = self.agents[r].decide(&ctx, packet);
                         debug_assert_ne!(
-                            self.topo.port_kind(d.port),
+                            self.topo.port_kind(router, d.port),
                             PortKind::Host,
                             "agents must not route to host ports (ejection is engine-handled)"
                         );
@@ -556,7 +558,7 @@ impl<O: ShardObserver> Shard<O> {
                 reward_ns,
                 downstream_estimate_ns,
             };
-            let latency = self.input_link_latency(port);
+            let latency = self.input_link_latency(router, port);
             let at = self.now + latency;
             self.send_to_router(up_router, at, || ShardMsg::RlFeedback {
                 time: at,
@@ -566,7 +568,7 @@ impl<O: ShardObserver> Shard<O> {
         }
 
         // 3. Update per-packet bookkeeping and enqueue on the output side.
-        let ejecting = self.topo.port_kind(decision.port) == PortKind::Host;
+        let ejecting = self.topo.port_kind(router, decision.port) == PortKind::Host;
         {
             let packet = self.arena.get_mut(pref);
             if !ejecting {
@@ -624,7 +626,7 @@ impl<O: ShardObserver> Shard<O> {
             );
         }
 
-        match self.topo.port_kind(port) {
+        match self.topo.port_kind(router, port) {
             PortKind::Host => {
                 // Ejection: deliver to the attached node and recycle the
                 // packet's arena slot.
@@ -641,7 +643,7 @@ impl<O: ShardObserver> Shard<O> {
                     Neighbor::Router { router, port } => (router, port),
                     Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
                 };
-                let latency = self.output_link_latency(port);
+                let latency = self.output_link_latency(router, port);
                 let at = self.now + ser + latency;
                 let dst_shard = self.plan.shard_of_router(down_router);
                 if dst_shard == self.id {
@@ -695,19 +697,19 @@ impl<O: ShardObserver> Shard<O> {
             .push(at.max(self.now), EventKind::OutputAttempt { router, port });
     }
 
-    /// Latency of the link feeding input `port` (used for credit returns
-    /// and feedback messages travelling upstream).
-    fn input_link_latency(&self, port: Port) -> SimTime {
-        match self.topo.port_kind(port) {
+    /// Latency of the link feeding input `port` of `router` (used for
+    /// credit returns and feedback messages travelling upstream).
+    fn input_link_latency(&self, router: RouterId, port: Port) -> SimTime {
+        match self.topo.port_kind(router, port) {
             PortKind::Host => self.cfg.host_latency_ns,
             PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
             PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
         }
     }
 
-    /// Latency of the link driven by output `port`.
-    fn output_link_latency(&self, port: Port) -> SimTime {
-        match self.topo.port_kind(port) {
+    /// Latency of the link driven by output `port` of `router`.
+    fn output_link_latency(&self, router: RouterId, port: Port) -> SimTime {
+        match self.topo.port_kind(router, port) {
             PortKind::Host => self.cfg.host_latency_ns,
             PortKind::Local => self.cfg.link_latency_ns(HopKind::Local),
             PortKind::Global => self.cfg.link_latency_ns(HopKind::Global),
@@ -715,7 +717,7 @@ impl<O: ShardObserver> Shard<O> {
     }
 
     fn send_credit_upstream(&mut self, router: RouterId, port: Port, vc: u8) {
-        match self.topo.port_kind(port) {
+        match self.topo.port_kind(router, port) {
             PortKind::Host => {
                 // The packet came from a NIC: give the NIC its credit back.
                 let node = match self.topo.neighbor(router, port) {
@@ -732,7 +734,7 @@ impl<O: ShardObserver> Shard<O> {
                     Neighbor::Router { router, port } => (router, port),
                     Neighbor::Node(_) => unreachable!("fabric port resolved to a node"),
                 };
-                let latency = self.input_link_latency(port);
+                let latency = self.input_link_latency(router, port);
                 let at = self.now + latency;
                 self.send_to_router(up_router, at, || ShardMsg::CreditArrive {
                     time: at,

@@ -1,15 +1,19 @@
 //! Conservative-parallel synchronisation: the shard plan (who owns which
-//! group), the lookahead window, double-buffered cross-shard mailboxes,
-//! the spin barrier that paces the lockstep reference mode, and the
-//! window deque that drives the pipelined mode.
+//! locality domain), the lookahead window, double-buffered cross-shard
+//! mailboxes, the spin barrier that paces the lockstep reference mode,
+//! and the window deque that drives the pipelined mode.
 //!
 //! ## The conservative argument
 //!
-//! Routers are partitioned by Dragonfly group, so the only links that can
-//! cross a shard boundary are **global** links. Every cross-shard
-//! interaction — a packet traversing a global link, a credit or an RL
-//! feedback message returning across one — is scheduled at least one
-//! global-link latency `L` into the future. Shards therefore execute
+//! Routers are partitioned by **locality domain** (the topology's
+//! sharding unit: a Dragonfly group, a fat-tree pod, a HyperX row), and
+//! the [`Topology`] contract guarantees every link between routers of
+//! different domains has at least the topology's minimum cross-domain
+//! latency `L` (`Topology::min_cross_domain_latency` — the global-link
+//! latency on all shipped topologies). Every cross-shard interaction — a
+//! packet traversing such a link, a credit or an RL feedback message
+//! returning across one — is therefore scheduled at least `L` into the
+//! future. Shards therefore execute
 //! windows of at most `L` simulated nanoseconds in lockstep: any message a
 //! shard sends while executing window `[S, S+L)` fires at `now + L ≥ S+L`,
 //! i.e. strictly after the window, so delivering mailboxes at the window
@@ -70,7 +74,7 @@ use crate::packet::Packet;
 use crate::routing::FeedbackMsg;
 use crate::time::SimTime;
 use dragonfly_topology::ids::{Port, RouterId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -79,47 +83,55 @@ pub const NO_EVENT: SimTime = SimTime::MAX;
 
 /// How routers and nodes are partitioned into shards, plus the lookahead.
 ///
-/// Shards own contiguous, balanced group ranges, so a router's shard is a
-/// single table lookup and all of a shard's state is contiguous.
+/// Shards own contiguous, balanced ranges of **locality domains** (the
+/// topology-provided sharding unit: Dragonfly groups, fat-tree pods,
+/// HyperX rows). Domains occupy contiguous router/node id ranges by the
+/// [`Topology`] contract, so a router's shard is one table lookup and all
+/// of a shard's state is contiguous.
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
     /// Number of shards (≥ 1).
     num_shards: usize,
-    /// The conservative lookahead window in ns (= global-link latency).
+    /// The conservative lookahead window in ns (the topology's minimum
+    /// cross-domain link latency).
     lookahead: SimTime,
-    /// Group → shard.
-    group_to_shard: Vec<u16>,
-    /// Shard → first group (plus a trailing total, so `groups_of(i)` is
-    /// `group_start[i]..group_start[i + 1]`).
-    group_start: Vec<usize>,
-    /// Routers per group (the topology's `a`).
-    routers_per_group: usize,
+    /// Domain → shard.
+    domain_to_shard: Vec<u16>,
+    /// Shard → first domain (plus a trailing total, so `domains_of(i)` is
+    /// `domain_start[i]..domain_start[i + 1]`).
+    domain_start: Vec<usize>,
+    /// Router → shard (dense: domains may differ in router count).
+    router_to_shard: Vec<u16>,
 }
 
 impl ShardPlan {
-    /// Partition `topo` into `num_shards` contiguous group ranges.
-    pub fn new(topo: &Dragonfly, num_shards: usize, lookahead: SimTime) -> Self {
-        let groups = topo.num_groups();
-        let n = num_shards.clamp(1, groups.max(1));
+    /// Partition `topo` into `num_shards` contiguous domain ranges.
+    pub fn new(topo: &AnyTopology, num_shards: usize, lookahead: SimTime) -> Self {
+        let domains = topo.num_domains();
+        let n = num_shards.clamp(1, domains.max(1));
         assert!(
             n == 1 || lookahead > 0,
             "conservative sharding needs a positive lookahead window"
         );
-        let mut group_to_shard = vec![0u16; groups];
-        let mut group_start = Vec::with_capacity(n + 1);
+        let mut domain_to_shard = vec![0u16; domains];
+        let mut domain_start = Vec::with_capacity(n + 1);
         for shard in 0..n {
-            let start = shard * groups / n;
-            group_start.push(start);
-            let end = (shard + 1) * groups / n;
-            group_to_shard[start..end].fill(shard as u16);
+            let start = shard * domains / n;
+            domain_start.push(start);
+            let end = (shard + 1) * domains / n;
+            domain_to_shard[start..end].fill(shard as u16);
         }
-        group_start.push(groups);
+        domain_start.push(domains);
+        let mut router_to_shard = vec![0u16; topo.num_routers()];
+        for (domain, shard) in domain_to_shard.iter().enumerate() {
+            router_to_shard[topo.router_range_of_domain(domain)].fill(*shard);
+        }
         Self {
             num_shards: n,
             lookahead,
-            group_to_shard,
-            group_start,
-            routers_per_group: topo.config().a,
+            domain_to_shard,
+            domain_start,
+            router_to_shard,
         }
     }
 
@@ -135,21 +147,21 @@ impl ShardPlan {
         self.lookahead
     }
 
-    /// The shard owning a group.
+    /// The shard owning a locality domain.
     #[inline]
-    pub fn shard_of_group(&self, group: usize) -> usize {
-        self.group_to_shard[group] as usize
+    pub fn shard_of_domain(&self, domain: usize) -> usize {
+        self.domain_to_shard[domain] as usize
     }
 
     /// The shard owning a router.
     #[inline]
     pub fn shard_of_router(&self, router: RouterId) -> usize {
-        self.group_to_shard[router.index() / self.routers_per_group] as usize
+        self.router_to_shard[router.index()] as usize
     }
 
-    /// The contiguous group range owned by a shard.
-    pub fn groups_of(&self, shard: usize) -> std::ops::Range<usize> {
-        self.group_start[shard]..self.group_start[shard + 1]
+    /// The contiguous domain range owned by a shard.
+    pub fn domains_of(&self, shard: usize) -> std::ops::Range<usize> {
+        self.domain_start[shard]..self.domain_start[shard + 1]
     }
 }
 
@@ -549,39 +561,46 @@ mod tests {
     use dragonfly_topology::ids::NodeId;
 
     #[test]
-    fn plan_partitions_groups_contiguously_and_exhaustively() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny()); // 9 groups, a = 4
-        for n in [1, 2, 3, 4, 9] {
-            let plan = ShardPlan::new(&topo, n, 300);
-            assert_eq!(plan.num_shards(), n);
-            let mut covered = 0;
-            for shard in 0..n {
-                let range = plan.groups_of(shard);
-                for g in range.clone() {
-                    assert_eq!(plan.shard_of_group(g), shard);
+    fn plan_partitions_domains_contiguously_and_exhaustively() {
+        use dragonfly_topology::{Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig};
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(), // 9 groups
+            FatTree::new(FatTreeConfig::tiny()).into(),     // 4 pods
+            HyperX::new(HyperXConfig::tiny()).into(),       // 6 rows
+        ];
+        for topo in &topologies {
+            for n in [1, 2, 3, topo.num_domains()] {
+                let plan = ShardPlan::new(topo, n, 300);
+                assert_eq!(plan.num_shards(), n);
+                let mut covered = 0;
+                for shard in 0..n {
+                    let range = plan.domains_of(shard);
+                    for d in range.clone() {
+                        assert_eq!(plan.shard_of_domain(d), shard);
+                    }
+                    covered += range.len();
                 }
-                covered += range.len();
-            }
-            assert_eq!(covered, topo.num_groups());
-            // Router ownership agrees with group ownership.
-            for r in topo.routers() {
-                let g = topo.group_of_router(r);
-                assert_eq!(plan.shard_of_router(r), plan.shard_of_group(g.index()));
+                assert_eq!(covered, topo.num_domains());
+                // Router ownership agrees with domain ownership.
+                for r in topo.routers() {
+                    let d = topo.domain_of_router(r);
+                    assert_eq!(plan.shard_of_router(r), plan.shard_of_domain(d.index()));
+                }
             }
         }
     }
 
     #[test]
     fn plan_clamps_oversized_requests() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let topo = AnyTopology::from(dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()));
         let plan = ShardPlan::new(&topo, 100, 300);
-        assert_eq!(plan.num_shards(), 9, "one shard per group at most");
+        assert_eq!(plan.num_shards(), 9, "one shard per domain at most");
     }
 
     #[test]
     #[should_panic(expected = "positive lookahead")]
     fn plan_rejects_multi_shard_zero_lookahead() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let topo = AnyTopology::from(dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()));
         ShardPlan::new(&topo, 2, 0);
     }
 

@@ -8,7 +8,7 @@ use crate::config::EngineConfig;
 use crate::packet::Packet;
 use crate::routing::{vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm};
 use dragonfly_topology::ids::RouterId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 
 /// Dimension-order style minimal routing used only for tests: every router
 /// forwards along the unique minimal path.
@@ -26,7 +26,7 @@ impl RoutingAlgorithm for MinimalTestRouting {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         _seed: u64,
@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn factory_produces_agents_for_every_router() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let topo = AnyTopology::from(dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()));
         let algo = MinimalTestRouting;
         let cfg = EngineConfig::paper(algo.num_vcs());
         assert_eq!(algo.num_vcs(), 3);

@@ -135,6 +135,66 @@ fn sharded_runs_are_bit_identical_to_single_shard() {
 }
 
 #[test]
+fn sharded_runs_are_bit_identical_on_fattree_and_hyperx() {
+    // The differential contract is topology-generic: partitioning by
+    // fat-tree pod or HyperX row must be exactly as invisible as
+    // partitioning by Dragonfly group.
+    use dragonfly_topology::{AnyTopology, FatTree, FatTreeConfig, HyperX, HyperXConfig, Topology};
+    let topologies: Vec<AnyTopology> = vec![
+        FatTree::new(FatTreeConfig::tiny()).into(),
+        HyperX::new(HyperXConfig::tiny()).into(),
+    ];
+    for topo in &topologies {
+        let script = random_script(19, 1_500, 40, topo.num_nodes());
+        let run = |shards: ShardKind| {
+            let algo = MinimalTestRouting;
+            let mut cfg = EngineConfig::paper(3);
+            cfg.shards = shards;
+            let mut engine = Engine::new(
+                topo.clone(),
+                cfg,
+                &algo,
+                Box::new(ScriptedInjector::new(script.clone())),
+                CountingObserver::default(),
+                42,
+            );
+            let (_, processed) = engine.run_to_drain(500_000_000);
+            let live = engine.arena_live_counts();
+            (engine.stats(), engine.merged_observer(), live, processed)
+        };
+        let (base_stats, base_obs, base_live, base_events) = run(ShardKind::Single);
+        assert_eq!(base_stats.delivered, 1_500, "{}", topo.kind_name());
+        assert_eq!(base_live, vec![0]);
+        for shard_count in [2usize, 4] {
+            let (stats, obs, live, events) = run(ShardKind::Fixed(shard_count));
+            assert_eq!(stats.shards.len(), shard_count);
+            assert_eq!(
+                stats.aggregate_fields(),
+                base_stats.aggregate_fields(),
+                "{}: engine stats diverged at {shard_count} shards",
+                topo.kind_name()
+            );
+            assert_eq!(events, base_events, "{}", topo.kind_name());
+            assert_eq!(obs.total_latency_ns, base_obs.total_latency_ns);
+            assert_eq!(obs.total_hops, base_obs.total_hops);
+            assert!(live.iter().all(|l| *l == 0), "arena leak: {live:?}");
+        }
+    }
+}
+
+/// Compare [`EngineStats`] across shard counts: the per-shard drain view
+/// necessarily differs in shape, so compare the aggregate fields only.
+trait AggregateFields {
+    fn aggregate_fields(&self) -> (u64, u64, u64, u64);
+}
+
+impl AggregateFields for EngineStats {
+    fn aggregate_fields(&self) -> (u64, u64, u64, u64) {
+        (self.generated, self.injected, self.delivered, self.events)
+    }
+}
+
+#[test]
 fn sharded_heap_scheduler_matches_sharded_calendar() {
     // Scheduler choice and shard count are orthogonal determinism axes:
     // both must pop the same (time, key, seq) order per shard.

@@ -1,11 +1,15 @@
-//! Helpers shared by the baseline routing algorithms: forwarding towards a
-//! group/router, the Valiant-leg state machine, and the UGAL congestion
-//! comparison.
+//! Helpers shared by the baseline routing algorithms: the Valiant-leg
+//! state machine and the UGAL congestion comparison.
+//!
+//! Everything here is expressed against the [`Topology`] trait —
+//! "intermediate domain" instead of "intermediate group" — so the same
+//! state machine drives Valiant/UGAL on the Dragonfly, the fat-tree and
+//! the HyperX.
 
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::RouterCtx;
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the adaptive (UGAL/PAR) decision rule.
@@ -41,22 +45,10 @@ pub fn prefer_minimal(
     minimal_congestion <= 2 * nonminimal_congestion + bias
 }
 
-/// The output port that makes progress towards `group` (the router must not
-/// already be a member of `group`): the router's own global link when it
-/// has one, otherwise the local link towards the gateway router.
-pub fn port_toward_group(topo: &Dragonfly, router: RouterId, group: GroupId) -> Port {
-    debug_assert_ne!(topo.group_of_router(router), group);
-    if let Some(direct) = topo.global_port_to(router, group) {
-        return direct;
-    }
-    let (gateway, _) = topo.gateway(topo.group_of_router(router), group);
-    topo.local_port_to(router, gateway)
-}
-
 /// Advance the Valiant state machine of a packet at `router` and return the
 /// next output port:
 ///
-/// * while the intermediate target (router or group) has not been reached,
+/// * while the intermediate target (router or domain) has not been reached,
 ///   forward minimally towards it;
 /// * once reached, clear the Valiant leg and forward minimally towards the
 ///   destination.
@@ -70,7 +62,7 @@ pub fn valiant_port(ctx: &RouterCtx<'_>, router: RouterId, packet: &mut Packet) 
             packet.route.intermediate_group,
         ) {
             (Some(ir), _) => router == ir,
-            (None, Some(ig)) => topo.group_of_router(router) == ig,
+            (None, Some(ig)) => topo.domain_of_router(router) == ig,
             (None, None) => true,
         };
         if reached {
@@ -93,13 +85,13 @@ pub fn valiant_port(ctx: &RouterCtx<'_>, router: RouterId, packet: &mut Packet) 
         .route
         .intermediate_group
         .expect("a Valiant packet must carry an intermediate target");
-    port_toward_group(topo, router, ig)
+    topo.port_toward_domain(router, ig)
 }
 
-/// Commit a packet to a Valiant leg through an intermediate *group*.
-pub fn commit_valiant_group(packet: &mut Packet, group: GroupId) {
+/// Commit a packet to a Valiant leg through an intermediate *domain*.
+pub fn commit_valiant_domain(packet: &mut Packet, domain: GroupId) {
     packet.route.mode = RouteMode::Valiant;
-    packet.route.intermediate_group = Some(group);
+    packet.route.intermediate_group = Some(domain);
     packet.route.intermediate_router = None;
     packet.route.reached_intermediate = false;
 }
@@ -117,6 +109,9 @@ mod tests {
     use super::*;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ports::PortKind;
+    use dragonfly_topology::{
+        AnyTopology, Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig,
+    };
 
     #[test]
     fn ugal_rule_matches_the_paper_description() {
@@ -131,22 +126,23 @@ mod tests {
     }
 
     #[test]
-    fn port_toward_group_uses_direct_links_when_available() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
-        for router in topo.routers() {
-            let my_group = topo.group_of_router(router);
-            for group in topo.groups() {
+    fn port_toward_domain_uses_direct_links_when_available_on_the_dragonfly() {
+        let df = Dragonfly::new(DragonflyConfig::tiny());
+        let topo = AnyTopology::from(df.clone());
+        for router in df.routers() {
+            let my_group = df.group_of_router(router);
+            for group in df.groups() {
                 if group == my_group {
                     continue;
                 }
-                let port = port_toward_group(&topo, router, group);
-                match topo.port_kind(port) {
+                let port = topo.port_toward_domain(router, group);
+                match df.port_kind(port) {
                     PortKind::Global => {
-                        assert_eq!(topo.global_neighbor_group(router, port), group);
+                        assert_eq!(df.global_neighbor_group(router, port), group);
                     }
                     PortKind::Local => {
-                        let (gateway, _) = topo.gateway(my_group, group);
-                        assert_eq!(topo.local_neighbor(router, port), gateway);
+                        let (gateway, _) = df.gateway(my_group, group);
+                        assert_eq!(df.local_neighbor(router, port), gateway);
                     }
                     PortKind::Host => panic!("host port can never lead to another group"),
                 }
@@ -155,9 +151,39 @@ mod tests {
     }
 
     #[test]
+    fn port_toward_domain_makes_progress_on_every_topology() {
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
+        for topo in topologies {
+            for router in topo.routers() {
+                for domain in topo.domains() {
+                    if topo.domain_of_router(router) == domain {
+                        continue;
+                    }
+                    let mut current = router;
+                    let mut hops = 0;
+                    while topo.domain_of_router(current) != domain {
+                        let port = topo.port_toward_domain(current, domain);
+                        current = topo.neighbor_router(current, port);
+                        hops += 1;
+                        assert!(
+                            hops <= topo.diameter(),
+                            "{}: {router} never reached domain {domain}",
+                            topo.kind_name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn commit_helpers_set_the_expected_targets() {
         let mut p = dummy_packet();
-        commit_valiant_group(&mut p, GroupId(5));
+        commit_valiant_domain(&mut p, GroupId(5));
         assert_eq!(p.route.mode, RouteMode::Valiant);
         assert_eq!(p.route.intermediate_group, Some(GroupId(5)));
         assert_eq!(p.route.intermediate_router, None);

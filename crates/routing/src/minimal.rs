@@ -9,7 +9,7 @@ use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::RouterId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 
 /// Number of virtual channels MIN requires (paper Section 2.2).
 pub const MIN_VCS: usize = 2;
@@ -29,7 +29,7 @@ impl RoutingAlgorithm for MinRouting {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         _seed: u64,
@@ -72,6 +72,7 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     #[test]
     fn min_uses_two_vcs() {

@@ -16,7 +16,7 @@ use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::RouterId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,7 +41,7 @@ impl RoutingAlgorithm for ParRouting {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -99,18 +99,18 @@ impl ParAgent {
 impl RouterAgent for ParAgent {
     fn decide(&mut self, ctx: &RouterCtx<'_>, packet: &mut Packet) -> Decision {
         let topo = ctx.topology;
-        let my_group = topo.group_of_router(self.router);
+        let my_domain = topo.domain_of_router(self.router);
 
         // Source router: the ordinary UGALn decision.
         if packet.at_source_router(self.router) && packet.route.mode == RouteMode::Minimal {
             return self.adaptive_choice(ctx, packet);
         }
 
-        // Progressive re-evaluation: a *source-group* router that receives a
-        // packet still marked minimal may overturn the decision once.
+        // Progressive re-evaluation: a *source-domain* router that receives
+        // a packet still marked minimal may overturn the decision once.
         if packet.route.mode == RouteMode::Minimal
-            && my_group == packet.src_group
-            && my_group != packet.dst_group
+            && my_domain == packet.src_group
+            && my_domain != packet.dst_group
             && !packet.route.par_reevaluated
         {
             packet.route.par_reevaluated = true;
@@ -142,6 +142,7 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     #[test]
     fn par_uses_five_vcs() {

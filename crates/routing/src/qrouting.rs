@@ -21,7 +21,7 @@ use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::{Port, RouterId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use qadaptive_core::hysteretic::HystereticLearner;
 use qadaptive_core::init::init_qtable;
 use qadaptive_core::policy::epsilon_greedy;
@@ -84,7 +84,7 @@ impl RoutingAlgorithm for QRoutingMaxQ {
 
     fn make_agent(
         &self,
-        topology: &Dragonfly,
+        topology: &AnyTopology,
         config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -94,8 +94,8 @@ impl RoutingAlgorithm for QRoutingMaxQ {
             cfg: self.config,
             learner: HystereticLearner::plain(self.config.alpha),
             table: init_qtable(topology, config, router),
-            exploration_ports: topology.exploration_ports(None),
-            host_ports: topology.config().p,
+            exploration_ports: topology.exploration_ports(router, None),
+            host_ports: topology.host_ports(router),
             rng: StdRng::seed_from_u64(seed),
         })
     }
@@ -128,7 +128,7 @@ impl RouterAgent for QRoutingAgent {
                 .expect("decide() is never called at the destination router")
         } else {
             let (best_col, _) = self.table.best_for(packet.dst_router);
-            let best_port = topo.layout().port_for_column(best_col);
+            let best_port = topo.port_for_column(self.router, best_col);
             epsilon_greedy(
                 &mut self.rng,
                 self.cfg.epsilon,
@@ -155,7 +155,7 @@ impl RouterAgent for QRoutingAgent {
         // On-policy bootstrap: once the maxQ hop budget forces a packet onto
         // the minimal path, the row minimum no longer reflects the action
         // taken, so report the value of the chosen port instead.
-        match ctx.topology.layout().qtable_column(decision.port) {
+        match ctx.topology.qtable_column(self.router, decision.port) {
             Some(col) => self.table.value(packet.dst_router, col),
             None => self.table.best_for(packet.dst_router).1,
         }
@@ -180,6 +180,7 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     #[test]
     fn vc_budget_grows_with_max_q() {

@@ -15,8 +15,7 @@
 //!   [`crate::valiant::VALN_VCS`]).
 
 use crate::common::{
-    commit_valiant_group, commit_valiant_router, port_toward_group, prefer_minimal, valiant_port,
-    AdaptiveConfig,
+    commit_valiant_domain, commit_valiant_router, prefer_minimal, valiant_port, AdaptiveConfig,
 };
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
@@ -24,7 +23,7 @@ use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::{Port, RouterId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,7 +61,7 @@ impl RoutingAlgorithm for UgalG {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -94,7 +93,7 @@ impl RoutingAlgorithm for UgalN {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -112,12 +111,12 @@ impl RoutingAlgorithm for UgalN {
 pub(crate) struct NonMinimalCandidate {
     pub first_port: Port,
     pub congestion: usize,
-    pub group: Option<dragonfly_topology::ids::GroupId>,
+    pub domain: Option<dragonfly_topology::ids::GroupId>,
     pub router: Option<RouterId>,
 }
 
 /// Sample `count` random non-minimal candidates and return the least
-/// congested one, or `None` when the topology has no intermediate group.
+/// congested one, or `None` when the topology has no intermediate domain.
 pub(crate) fn best_nonminimal_candidate(
     ctx: &RouterCtx<'_>,
     rng: &mut StdRng,
@@ -127,19 +126,19 @@ pub(crate) fn best_nonminimal_candidate(
     count: usize,
 ) -> Option<NonMinimalCandidate> {
     let topo = ctx.topology;
-    if topo.num_groups() <= 2 || packet.src_group == packet.dst_group {
+    if topo.num_domains() <= 2 || packet.src_group == packet.dst_group {
         return None;
     }
     let mut best: Option<NonMinimalCandidate> = None;
     for _ in 0..count.max(1) {
         let candidate = match mode {
             UgalMode::Global => {
-                let ig = topo.random_intermediate_group(rng, packet.src_group, packet.dst_group);
-                let first_port = port_toward_group(topo, router, ig);
+                let ig = topo.random_intermediate_domain(rng, packet.src_group, packet.dst_group);
+                let first_port = topo.port_toward_domain(router, ig);
                 NonMinimalCandidate {
                     first_port,
                     congestion: ctx.congestion(first_port),
-                    group: Some(ig),
+                    domain: Some(ig),
                     router: None,
                 }
             }
@@ -151,7 +150,7 @@ pub(crate) fn best_nonminimal_candidate(
                 NonMinimalCandidate {
                     first_port,
                     congestion: ctx.congestion(first_port),
-                    group: None,
+                    domain: None,
                     router: Some(ir),
                 }
             }
@@ -190,8 +189,8 @@ impl RouterAgent for UgalAgent {
                 self.cfg.nonminimal_candidates,
             ) {
                 if !prefer_minimal(min_congestion, candidate.congestion, self.cfg.minimal_bias) {
-                    match (candidate.group, candidate.router) {
-                        (Some(g), _) => commit_valiant_group(packet, g),
+                    match (candidate.domain, candidate.router) {
+                        (Some(d), _) => commit_valiant_domain(packet, d),
                         (_, Some(r)) => commit_valiant_router(packet, r),
                         _ => unreachable!("candidate always carries a target"),
                     }
@@ -232,6 +231,7 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     fn run_uniform(algo: &dyn RoutingAlgorithm, interval: u64) -> CountingObserver {
         let topo = Dragonfly::new(DragonflyConfig::tiny());

@@ -13,14 +13,14 @@
 //! Both are optimal (up to ~50 % throughput) under adversarial traffic and
 //! waste half the bandwidth under uniform traffic.
 
-use crate::common::{commit_valiant_group, commit_valiant_router, valiant_port};
+use crate::common::{commit_valiant_domain, commit_valiant_router, valiant_port};
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, RouterAgent, RouterCtx, RoutingAlgorithm,
 };
 use dragonfly_topology::ids::RouterId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,7 +49,7 @@ impl RoutingAlgorithm for ValiantGlobal {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -77,7 +77,7 @@ impl RoutingAlgorithm for ValiantNode {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -104,12 +104,13 @@ impl RouterAgent for ValiantAgent {
         let topo = ctx.topology;
 
         // The source router commits the packet to its Valiant leg (unless
-        // the destination is in the same group, where the direct local hop
-        // is already congestion-free by construction of the pattern).
+        // the destination is in the same domain, where the direct
+        // intra-domain hop is already congestion-free by construction of
+        // the pattern).
         if packet.at_source_router(self.router)
             && packet.route.mode == RouteMode::Minimal
             && packet.src_group != packet.dst_group
-            && topo.num_groups() > 2
+            && topo.num_domains() > 2
         {
             if self.node_level {
                 let ir = topo.random_intermediate_router(
@@ -119,12 +120,12 @@ impl RouterAgent for ValiantAgent {
                 );
                 commit_valiant_router(packet, ir);
             } else {
-                let ig = topo.random_intermediate_group(
+                let ig = topo.random_intermediate_domain(
                     &mut self.rng,
                     packet.src_group,
                     packet.dst_group,
                 );
-                commit_valiant_group(packet, ig);
+                commit_valiant_domain(packet, ig);
             }
         }
 
@@ -153,6 +154,7 @@ mod tests {
     use dragonfly_engine::Engine;
     use dragonfly_topology::config::DragonflyConfig;
     use dragonfly_topology::ids::NodeId;
+    use dragonfly_topology::Dragonfly;
 
     fn run(algo: &dyn RoutingAlgorithm, packets: u64) -> CountingObserver {
         let topo = Dragonfly::new(DragonflyConfig::tiny());

@@ -8,8 +8,7 @@ use dragonfly_engine::Engine;
 use dragonfly_metrics::report::SimulationReport;
 use dragonfly_metrics::timeseries::TimeSeries;
 use dragonfly_routing::RoutingSpec;
-use dragonfly_topology::config::DragonflyConfig;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{Topology, TopologySpec};
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
 use std::time::Instant;
@@ -35,7 +34,7 @@ use std::time::Instant;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
-    topology: DragonflyConfig,
+    topology: TopologySpec,
     routing: RoutingSpec,
     traffic: TrafficSpec,
     schedule: LoadSchedule,
@@ -51,10 +50,12 @@ pub struct SimulationBuilder {
 }
 
 impl SimulationBuilder {
-    /// Start building a simulation on the given Dragonfly configuration.
-    pub fn new(topology: DragonflyConfig) -> Self {
+    /// Start building a simulation on the given topology (a
+    /// [`TopologySpec`], or any concrete config via `Into` — e.g. a
+    /// `DragonflyConfig`, `FatTreeConfig` or `HyperXConfig`).
+    pub fn new(topology: impl Into<TopologySpec>) -> Self {
         Self {
-            topology,
+            topology: topology.into(),
             routing: RoutingSpec::Minimal,
             traffic: TrafficSpec::UniformRandom,
             schedule: LoadSchedule::constant(0.1),
@@ -166,7 +167,7 @@ impl SimulationBuilder {
     }
 
     fn build_engine(&self) -> Engine<MetricsCollector> {
-        let topo = Dragonfly::new(self.topology);
+        let topo = self.topology.build();
         let algorithm = self.routing.build();
         let mut cfg = self.engine_config.unwrap_or_default();
         cfg.num_vcs = algorithm.num_vcs();
@@ -262,6 +263,7 @@ impl SimulationBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
     use qadaptive_core::QAdaptiveParams;
 
     #[test]

@@ -56,7 +56,7 @@ pub fn run_convergence_spec(spec: &ExperimentSpec) -> ConvergenceResult {
     let convergence_us = series
         .convergence_bin(5, 0.25)
         .map(|bin| bin as f64 * bin_ns as f64 / 1_000.0);
-    let nodes = dragonfly_topology::Dragonfly::new(spec.topology).num_nodes();
+    let nodes = spec.topology.num_nodes();
     ConvergenceResult {
         report,
         series,
@@ -84,7 +84,7 @@ pub fn run_convergence(
 ) -> ConvergenceResult {
     run_convergence_spec(&ExperimentSpec {
         name: String::new(),
-        topology,
+        topology: topology.into(),
         routing,
         traffic,
         load: None,

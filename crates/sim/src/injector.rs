@@ -11,7 +11,7 @@ use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::injector::{Injection, TrafficInjector};
 use dragonfly_engine::time::SimTime;
 use dragonfly_topology::ids::NodeId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use dragonfly_traffic::pattern::TrafficPattern;
 use dragonfly_traffic::schedule::LoadSchedule;
 use rand::rngs::StdRng;
@@ -39,7 +39,7 @@ pub struct PatternInjector {
 impl PatternInjector {
     /// Create an injector for every node of `topo`.
     pub fn new(
-        topo: &Dragonfly,
+        topo: &AnyTopology,
         cfg: &EngineConfig,
         pattern: Box<dyn TrafficPattern>,
         schedule: LoadSchedule,
@@ -132,7 +132,7 @@ mod tests {
     use dragonfly_traffic::spec::TrafficSpec;
 
     fn make(load: f64, end_ns: u64) -> PatternInjector {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let topo: AnyTopology = dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()).into();
         let cfg = EngineConfig::default();
         PatternInjector::new(
             &topo,
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn load_step_changes_the_rate() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let topo: AnyTopology = dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()).into();
         let cfg = EngineConfig::default();
         let mut inj = PatternInjector::new(
             &topo,

@@ -39,7 +39,7 @@ use dragonfly_engine::time::SimTime;
 use dragonfly_metrics::report::SimulationReport;
 use dragonfly_metrics::timeseries::TimeSeries;
 use dragonfly_routing::RoutingSpec;
-use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::{Topology, TopologySpec};
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
 use serde::{Deserialize, Serialize};
@@ -85,8 +85,10 @@ pub struct ExperimentSpec {
     /// Human-readable experiment name (free-form, used in output headers).
     #[serde(default)]
     pub name: String,
-    /// Dragonfly configuration.
-    pub topology: DragonflyConfig,
+    /// Topology configuration (tagged: dragonfly / fattree / hyperx;
+    /// a legacy bare `[topology]` table with p/a/h still reads as a
+    /// Dragonfly).
+    pub topology: TopologySpec,
     /// Routing algorithm.
     #[serde(default)]
     pub routing: RoutingSpec,
@@ -126,10 +128,10 @@ impl ExperimentSpec {
     /// A spec with the same defaults as [`SimulationBuilder::new`]:
     /// minimal routing, uniform-random traffic at 10 % load, 20 µs warmup,
     /// 100 µs measurement.
-    pub fn new(topology: DragonflyConfig) -> Self {
+    pub fn new(topology: impl Into<TopologySpec>) -> Self {
         Self {
             name: String::new(),
-            topology,
+            topology: topology.into(),
             routing: RoutingSpec::default(),
             traffic: TrafficSpec::default(),
             load: Some(0.1),
@@ -165,7 +167,8 @@ impl ExperimentSpec {
     /// Check the spec for structural problems (bad topology, out-of-range
     /// loads, contradictory fields, empty windows).
     pub fn validate(&self) -> Result<(), SpecError> {
-        DragonflyConfig::new(self.topology.p, self.topology.a, self.topology.h)
+        self.topology
+            .validate()
             .map_err(|e| SpecError(format!("topology: {e}")))?;
         if self.load.is_some() && self.schedule.is_some() {
             return Err(SpecError(
@@ -313,8 +316,8 @@ pub struct SweepSpec {
     /// Human-readable sweep name.
     #[serde(default)]
     pub name: String,
-    /// Dragonfly configuration shared by all points.
-    pub topology: DragonflyConfig,
+    /// Topology configuration shared by all points.
+    pub topology: TopologySpec,
     /// Traffic patterns (empty → uniform random only).
     #[serde(default)]
     pub traffics: Vec<TrafficSpec>,
@@ -346,7 +349,7 @@ const REPEAT_SEED_STRIDE: u64 = 15_485_863;
 impl SweepSpec {
     /// A sweep with the paper's six-algorithm lineup under one pattern.
     pub fn paper_lineup(
-        topology: DragonflyConfig,
+        topology: impl Into<TopologySpec>,
         traffic: TrafficSpec,
         loads: Vec<f64>,
         warmup_ns: SimTime,
@@ -354,7 +357,7 @@ impl SweepSpec {
     ) -> Self {
         Self {
             name: String::new(),
-            topology,
+            topology: topology.into(),
             traffics: vec![traffic],
             routings: RoutingSpec::paper_lineup(),
             loads,
@@ -404,7 +407,8 @@ impl SweepSpec {
 
     /// Check the grid for structural problems.
     pub fn validate(&self) -> Result<(), SpecError> {
-        DragonflyConfig::new(self.topology.p, self.topology.a, self.topology.h)
+        self.topology
+            .validate()
             .map_err(|e| SpecError(format!("topology: {e}")))?;
         if self.loads.is_empty() {
             return Err(SpecError("a sweep needs at least one load".to_string()));
@@ -475,9 +479,19 @@ impl SweepSpec {
     /// will use, from the shared engine override.
     pub fn shards_per_point(&self) -> usize {
         match self.engine {
-            Some(engine) => engine
-                .shards
-                .resolve(self.topology.groups(), engine.global_latency_ns),
+            // Mirror Engine::new exactly: the lookahead is the topology's
+            // minimum cross-domain link latency, not bare global latency,
+            // so the thread-budget split always agrees with the shard
+            // count the engine actually resolves.
+            Some(engine) => {
+                let lookahead = self
+                    .topology
+                    .build()
+                    .min_cross_domain_latency(engine.local_latency_ns, engine.global_latency_ns);
+                engine
+                    .shards
+                    .resolve(self.topology.num_domains(), lookahead)
+            }
             None => 1,
         }
     }
@@ -557,13 +571,13 @@ pub fn budget_workers(threads: usize, shards_per_run: usize) -> usize {
 
 /// Catch traffic/topology combinations whose pattern constructor would
 /// panic mid-run (after validation has nominally passed).
-fn validate_traffic(traffic: &TrafficSpec, topology: &DragonflyConfig) -> Result<(), SpecError> {
+fn validate_traffic(traffic: &TrafficSpec, topology: &TopologySpec) -> Result<(), SpecError> {
     if let TrafficSpec::Adversarial { shift } = *traffic {
-        let groups = topology.groups();
-        if shift % groups == 0 {
+        let domains = topology.num_domains();
+        if shift % domains == 0 {
             return Err(SpecError(format!(
-                "adversarial shift {shift} is a multiple of the group count {groups}, \
-                 so every node would target its own group"
+                "adversarial shift {shift} is a multiple of the domain count {domains}, \
+                 so every node would target its own domain"
             )));
         }
     }
@@ -584,12 +598,13 @@ fn read_spec_file(path: &Path) -> Result<(String, bool), SpecError> {
 mod tests {
     use super::*;
     use crate::sweep::LoadSweep;
+    use dragonfly_topology::config::DragonflyConfig;
     use qadaptive_core::QAdaptiveParams;
 
     fn sample_spec() -> ExperimentSpec {
         ExperimentSpec {
             name: "adv1".to_string(),
-            topology: DragonflyConfig::tiny(),
+            topology: DragonflyConfig::tiny().into(),
             routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
             traffic: TrafficSpec::Adversarial { shift: 1 },
             load: Some(0.25),
@@ -667,7 +682,7 @@ mod tests {
             .validate()
             .unwrap_err()
             .0
-            .contains("multiple of the group count"));
+            .contains("multiple of the domain count"));
         spec.traffic = TrafficSpec::Adversarial { shift: 10 };
         assert!(spec.validate().is_ok());
         let mut sweep = sample_sweep();
@@ -715,7 +730,7 @@ mod tests {
     fn sample_sweep() -> SweepSpec {
         SweepSpec {
             name: "tiny".to_string(),
-            topology: DragonflyConfig::tiny(),
+            topology: DragonflyConfig::tiny().into(),
             traffics: vec![TrafficSpec::UniformRandom],
             routings: vec![RoutingSpec::Minimal, RoutingSpec::UgalG],
             loads: vec![0.1, 0.3],
@@ -747,7 +762,7 @@ mod tests {
     fn sweep_spec_reproduces_load_sweep_exactly() {
         let sweep = sample_sweep();
         let legacy = LoadSweep {
-            topology: sweep.topology,
+            topology: DragonflyConfig::tiny(),
             traffic: sweep.traffics[0],
             routings: sweep.routings.clone(),
             loads: sweep.loads.clone(),

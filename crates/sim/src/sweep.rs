@@ -271,7 +271,7 @@ impl From<LoadSweep> for crate::spec::SweepSpec {
     fn from(sweep: LoadSweep) -> Self {
         crate::spec::SweepSpec {
             name: String::new(),
-            topology: sweep.topology,
+            topology: sweep.topology.into(),
             traffics: vec![sweep.traffic],
             routings: sweep.routings,
             loads: sweep.loads,

@@ -55,7 +55,7 @@ fn spec_for(case: &Case, routing: RoutingSpec) -> ExperimentSpec {
     let (p, a, h) = case.topo;
     ExperimentSpec {
         name: String::new(),
-        topology: DragonflyConfig { p, a, h },
+        topology: DragonflyConfig { p, a, h }.into(),
         routing,
         traffic: case.traffic,
         load: Some(case.load),
@@ -158,6 +158,65 @@ fn qadaptive_random_workloads_are_pipeline_invariant() {
         0xBEE5,
         3,
     );
+}
+
+#[test]
+fn fattree_and_hyperx_workloads_are_pipeline_invariant() {
+    // The determinism contract is topology-generic: the same
+    // shards × pipeline sweep must hold when the locality domains are
+    // fat-tree pods or HyperX rows instead of Dragonfly groups, for both
+    // UGAL and Q-adaptive (cross-shard RL feedback over core/column
+    // links).
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig, TopologySpec};
+    let topologies: Vec<TopologySpec> = vec![
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    for topology in topologies {
+        for (routing, traffic, seed) in [
+            (RoutingSpec::UgalG, TrafficSpec::UniformRandom, 404u64),
+            (
+                RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+                TrafficSpec::Adversarial { shift: 1 },
+                405,
+            ),
+        ] {
+            let base = ExperimentSpec {
+                name: String::new(),
+                topology,
+                routing,
+                traffic,
+                load: Some(0.3),
+                schedule: None,
+                warmup_ns: 12_000,
+                measure_ns: 20_000,
+                tail_ns: 4_000,
+                seed: Some(seed),
+                series_bin_ns: None,
+                engine: None,
+            };
+            let reference = run_mode(base.clone(), ShardKind::Single, false);
+            assert!(
+                reference.packets_delivered > 100,
+                "{topology:?}/{routing:?}: workload too small to pin anything"
+            );
+            for shards in [2usize, 4] {
+                for pipeline in [false, true] {
+                    let got = run_mode(base.clone(), ShardKind::Fixed(shards), pipeline);
+                    assert_identical(
+                        &reference,
+                        &got,
+                        &format!("{topology:?}/{routing:?} shards={shards} pipeline={pipeline}"),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -13,13 +13,23 @@ use dragonfly_metrics::report::SimulationReport;
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::spec::ExperimentSpec;
 use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::TopologySpec;
 use dragonfly_traffic::TrafficSpec;
 use qadaptive_core::QAdaptiveParams;
 
 fn spec(routing: RoutingSpec, traffic: TrafficSpec, seed: u64) -> ExperimentSpec {
+    spec_on(DragonflyConfig::tiny().into(), routing, traffic, seed)
+}
+
+fn spec_on(
+    topology: TopologySpec,
+    routing: RoutingSpec,
+    traffic: TrafficSpec,
+    seed: u64,
+) -> ExperimentSpec {
     ExperimentSpec {
         name: String::new(),
-        topology: DragonflyConfig::tiny(),
+        topology,
         routing,
         traffic,
         load: Some(0.35),
@@ -116,6 +126,41 @@ fn qadaptive_workload_is_shard_count_invariant() {
                 &sharded,
                 &format!("Q-adaptive/{} shards={shards}", single.traffic),
             );
+        }
+    }
+}
+
+#[test]
+fn fattree_and_hyperx_workloads_are_shard_count_invariant() {
+    // Domain-partitioned sharding must be bit-for-bit exact when the
+    // domains are fat-tree pods or HyperX rows, under both UGAL and
+    // Q-adaptive.
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig};
+    let topologies: Vec<TopologySpec> = vec![
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    for topology in topologies {
+        for (routing, seed) in [
+            (RoutingSpec::UgalG, 51u64),
+            (RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 52),
+        ] {
+            let base = spec_on(topology, routing, TrafficSpec::UniformRandom, seed);
+            let single = run_sharded(base.clone(), ShardKind::Single);
+            assert!(single.packets_delivered > 100, "workload too small to pin");
+            for shards in [2usize, 4] {
+                let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+                assert_identical(
+                    &single,
+                    &sharded,
+                    &format!("{topology:?}/{routing:?} shards={shards}"),
+                );
+            }
         }
     }
 }

@@ -1,33 +1,49 @@
 //! # dragonfly-topology
 //!
-//! A model of the Dragonfly interconnect topology used by the Q-adaptive
-//! paper (Kim et al., ISCA'08 single-dimension Dragonfly with all-to-all
-//! intra-group and all-to-all inter-group connectivity).
+//! Interconnect topologies for the Q-adaptive simulator.
 //!
-//! The crate provides:
+//! The crate is built around the [`traits::Topology`] abstraction —
+//! entity counts, per-router port maps, wiring ([`topology::Neighbor`]),
+//! minimal/non-minimal routing primitives and the **locality-domain**
+//! partition that drives conservative-parallel sharding — with three
+//! shipped implementations:
 //!
-//! * [`config::DragonflyConfig`] — the `(p, a, h)` parameterisation and the
-//!   derived quantities of Table 1 of the paper (`k`, `g`, `m`, `N`).
-//! * Strongly typed identifiers ([`ids::NodeId`], [`ids::RouterId`],
-//!   [`ids::GroupId`], [`ids::Port`]) so that node, router and port indices
-//!   cannot be confused.
-//! * [`Dragonfly`] — the wiring: which port of which router connects to
-//!   which node/router, the global-link map between groups, and helpers for
-//!   minimal and Valiant routing.
-//! * [`paths`] — minimal path computation (diameter 3), Valiant-global and
-//!   Valiant-node intermediate selection, and hop-kind enumeration used to
-//!   initialise Q-values to the theoretical congestion-free delivery time.
+//! * [`Dragonfly`] — the paper's topology (Kim et al., ISCA'08
+//!   single-dimension Dragonfly; a domain is a group). Its concrete API
+//!   ([`config::DragonflyConfig`], [`paths`], [`ports::PortLayout`]) is
+//!   unchanged, and routing through the trait is bit-for-bit identical
+//!   to the pre-trait code paths.
+//! * [`FatTree`] — a three-level k-ary fat-tree (a domain is a pod plus
+//!   its slice of the core switches).
+//! * [`HyperX`] — a 2-D HyperX / flattened butterfly (a domain is a row
+//!   of the router grid).
 //!
-//! The topology is purely combinatorial: it knows nothing about time,
+//! [`AnyTopology`] is the concrete enum the engine carries (static
+//! dispatch, cheap clone); [`TopologySpec`] is the serialisable tag
+//! experiment specs and scenario files use (`[topology.dragonfly]`,
+//! `[topology.fattree]`, `[topology.hyperx]`, with the legacy bare
+//! `[topology]` Dragonfly table still accepted).
+//!
+//! Topologies are purely combinatorial: they know nothing about time,
 //! buffers or congestion. Those live in `dragonfly-engine`.
 
+pub mod any;
 pub mod config;
+pub mod fattree;
+pub mod hyperx;
 pub mod ids;
 pub mod paths;
 pub mod ports;
+pub mod spec;
 pub mod topology;
+pub mod traits;
 
+pub use any::AnyTopology;
 pub use config::DragonflyConfig;
+pub use fattree::{FatTree, FatTreeConfig};
+pub use hyperx::{HyperX, HyperXConfig};
 pub use ids::{GroupId, NodeId, Port, RouterId};
 pub use ports::PortKind;
+pub use spec::{TopologyKindInfo, TopologySpec};
 pub use topology::{Dragonfly, Neighbor};
+pub use traits::Topology;

@@ -259,6 +259,149 @@ impl Dragonfly {
     }
 }
 
+/// The Dragonfly as a [`crate::traits::Topology`]: a locality domain is a
+/// group, cross-domain links are exactly the global links, and every
+/// routing primitive delegates to the O(1) arithmetic above — so routing
+/// through the trait is bit-for-bit identical to the pre-trait code paths.
+impl crate::traits::Topology for Dragonfly {
+    fn kind_name(&self) -> &'static str {
+        "dragonfly"
+    }
+
+    fn label(&self) -> String {
+        self.cfg.to_string()
+    }
+
+    fn num_routers(&self) -> usize {
+        Dragonfly::num_routers(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Dragonfly::num_nodes(self)
+    }
+
+    fn num_domains(&self) -> usize {
+        self.num_groups()
+    }
+
+    fn max_nodes_per_router(&self) -> usize {
+        self.cfg.p
+    }
+
+    fn diameter(&self) -> usize {
+        3
+    }
+
+    fn radix(&self, _router: RouterId) -> usize {
+        self.layout.radix()
+    }
+
+    fn host_ports(&self, _router: RouterId) -> usize {
+        self.cfg.p
+    }
+
+    fn port_kind(&self, _router: RouterId, port: Port) -> crate::ports::PortKind {
+        self.layout.kind(port)
+    }
+
+    fn router_of_node(&self, node: NodeId) -> RouterId {
+        Dragonfly::router_of_node(self, node)
+    }
+
+    fn node_slot(&self, node: NodeId) -> usize {
+        Dragonfly::node_slot(self, node)
+    }
+
+    fn ejection_port(&self, node: NodeId) -> Port {
+        Dragonfly::ejection_port(self, node)
+    }
+
+    fn domain_of_router(&self, router: RouterId) -> GroupId {
+        self.group_of_router(router)
+    }
+
+    fn router_range_of_domain(&self, domain: usize) -> std::ops::Range<usize> {
+        domain * self.cfg.a..(domain + 1) * self.cfg.a
+    }
+
+    fn node_range_of_domain(&self, domain: usize) -> std::ops::Range<usize> {
+        let per_group = self.cfg.a * self.cfg.p;
+        domain * per_group..(domain + 1) * per_group
+    }
+
+    fn neighbor(&self, router: RouterId, port: Port) -> Neighbor {
+        Dragonfly::neighbor(self, router, port)
+    }
+
+    fn neighbor_router(&self, router: RouterId, port: Port) -> RouterId {
+        Dragonfly::neighbor_router(self, router, port)
+    }
+
+    fn minimal_port(&self, current: RouterId, dest: RouterId) -> Option<Port> {
+        Dragonfly::minimal_port(self, current, dest)
+    }
+
+    fn minimal_hop_kinds(&self, src: RouterId, dst: RouterId) -> Vec<crate::paths::HopKind> {
+        Dragonfly::minimal_hop_kinds(self, src, dst)
+    }
+
+    fn estimate_hops_to_domain(
+        &self,
+        router: RouterId,
+        domain: GroupId,
+    ) -> Vec<crate::paths::HopKind> {
+        use crate::paths::HopKind;
+        let my_group = self.group_of_router(router);
+        let mut kinds = Vec::with_capacity(3);
+        if my_group == domain {
+            kinds.push(HopKind::Local);
+        } else {
+            let (gateway, _) = self.gateway(my_group, domain);
+            if gateway != router {
+                kinds.push(HopKind::Local);
+            }
+            kinds.push(HopKind::Global);
+            kinds.push(HopKind::Local);
+        }
+        kinds
+    }
+
+    fn port_toward_domain(&self, router: RouterId, domain: GroupId) -> Port {
+        debug_assert_ne!(self.group_of_router(router), domain);
+        if let Some(direct) = self.global_port_to(router, domain) {
+            return direct;
+        }
+        let (gateway, _) = self.gateway(self.group_of_router(router), domain);
+        self.local_port_to(router, gateway)
+    }
+
+    fn direct_port_to_domain(&self, router: RouterId, domain: GroupId) -> Option<Port> {
+        self.global_port_to(router, domain)
+    }
+
+    fn random_intermediate_domain(
+        &self,
+        rng: &mut rand::rngs::StdRng,
+        src_domain: GroupId,
+        dst_domain: GroupId,
+    ) -> GroupId {
+        self.random_intermediate_group(rng, src_domain, dst_domain)
+    }
+
+    fn random_intermediate_router(
+        &self,
+        rng: &mut rand::rngs::StdRng,
+        src_domain: GroupId,
+        dst_domain: GroupId,
+    ) -> RouterId {
+        Dragonfly::random_intermediate_router(self, rng, src_domain, dst_domain)
+    }
+
+    fn random_escape_port(&self, rng: &mut rand::rngs::StdRng, _router: RouterId) -> Port {
+        self.random_local_port(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,50 +1,57 @@
-//! Adversarial traffic (ADV+i): every node in group `G` sends to a random
-//! node in group `(G + i) mod g`. The single global link between the two
-//! groups becomes the bottleneck, so minimal routing collapses and Valiant
-//! / adaptive routing is required.
+//! Adversarial traffic (ADV+i): every node in locality domain `D` sends
+//! to a random node in domain `(D + i) mod d`. On the Dragonfly the
+//! single global link between the two groups becomes the bottleneck, so
+//! minimal routing collapses and Valiant / adaptive routing is required;
+//! on a HyperX the same construction stresses one column link per router
+//! pair, and on a fat-tree it exercises the core planes.
 //!
 //! The shift `i` also controls how much *local-link* congestion appears in
-//! intermediate groups when packets are routed non-minimally: on the
-//! 1,056-node system ADV+1 causes the least and ADV+4 the most
+//! intermediate domains when packets are routed non-minimally: on the
+//! 1,056-node Dragonfly ADV+1 causes the least and ADV+4 the most
 //! (paper Figure 3).
 
 use crate::pattern::TrafficPattern;
 use dragonfly_topology::ids::{GroupId, NodeId};
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::ops::Range;
 
 /// ADV+shift destination selection.
 #[derive(Debug, Clone)]
 pub struct Adversarial {
     shift: usize,
-    num_groups: usize,
-    nodes_per_group: usize,
+    /// Node-id range of each domain (contiguous by the topology
+    /// contract).
+    domain_nodes: Vec<Range<usize>>,
 }
 
 impl Adversarial {
     /// Create ADV+`shift` for the given topology.
-    pub fn new(topo: &Dragonfly, shift: usize) -> Self {
-        let g = topo.num_groups();
-        assert!(g >= 2, "adversarial traffic needs at least two groups");
+    pub fn new(topo: &AnyTopology, shift: usize) -> Self {
+        let d = topo.num_domains();
+        assert!(d >= 2, "adversarial traffic needs at least two domains");
         assert!(
-            !shift.is_multiple_of(g),
-            "a shift that is a multiple of the group count would target the sender's own group"
+            !shift.is_multiple_of(d),
+            "a shift that is a multiple of the domain count would target the sender's own domain"
         );
         Self {
-            shift: shift % g,
-            num_groups: g,
-            nodes_per_group: topo.config().a * topo.config().p,
+            shift: shift % d,
+            domain_nodes: (0..d).map(|i| topo.node_range_of_domain(i)).collect(),
         }
     }
 
-    /// The group targeted by nodes of `group`.
-    pub fn target_group(&self, group: GroupId) -> GroupId {
-        GroupId::from_index((group.index() + self.shift) % self.num_groups)
+    /// The domain targeted by nodes of `domain`.
+    pub fn target_domain(&self, domain: GroupId) -> GroupId {
+        GroupId::from_index((domain.index() + self.shift) % self.domain_nodes.len())
     }
 
-    fn group_of(&self, node: NodeId) -> GroupId {
-        GroupId::from_index(node.index() / self.nodes_per_group)
+    fn domain_of(&self, node: NodeId) -> GroupId {
+        let i = self
+            .domain_nodes
+            .partition_point(|r| r.start <= node.index())
+            - 1;
+        GroupId::from_index(i)
     }
 }
 
@@ -54,9 +61,10 @@ impl TrafficPattern for Adversarial {
     }
 
     fn destination(&mut self, src: NodeId, rng: &mut StdRng) -> NodeId {
-        let target = self.target_group(self.group_of(src));
-        let offset = rng.gen_range(0..self.nodes_per_group);
-        NodeId::from_index(target.index() * self.nodes_per_group + offset)
+        let target = self.target_domain(self.domain_of(src));
+        let range = &self.domain_nodes[target.index()];
+        let offset = rng.gen_range(0..range.len());
+        NodeId::from_index(range.start + offset)
     }
 }
 
@@ -65,10 +73,11 @@ mod tests {
     use super::*;
     use crate::pattern::test_util::check_basic_invariants;
     use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::{Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig};
     use rand::SeedableRng;
 
-    fn topo() -> Dragonfly {
-        Dragonfly::new(DragonflyConfig::tiny())
+    fn topo() -> AnyTopology {
+        Dragonfly::new(DragonflyConfig::tiny()).into()
     }
 
     #[test]
@@ -80,28 +89,39 @@ mod tests {
     }
 
     #[test]
-    fn every_destination_lands_in_the_shifted_group() {
-        let t = topo();
+    fn every_destination_lands_in_the_shifted_domain_on_every_topology() {
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
         let mut rng = StdRng::seed_from_u64(5);
-        for shift in [1usize, 4] {
-            let mut p = Adversarial::new(&t, shift);
-            for node in t.nodes() {
-                let dst = p.destination(node, &mut rng);
-                let expected = (t.group_of_node(node).index() + shift) % t.num_groups();
-                assert_eq!(t.group_of_node(dst).index(), expected);
+        for t in &topologies {
+            for shift in [1usize, t.num_domains() - 1] {
+                let mut p = Adversarial::new(t, shift);
+                for node in t.nodes() {
+                    let dst = p.destination(node, &mut rng);
+                    let expected = (t.domain_of_node(node).index() + shift) % t.num_domains();
+                    assert_eq!(
+                        t.domain_of_node(dst).index(),
+                        expected,
+                        "{}: node {node}",
+                        t.kind_name()
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn shift_wraps_around_the_group_count() {
+    fn shift_wraps_around_the_domain_count() {
         let t = topo();
-        let p = Adversarial::new(&t, t.num_groups() + 2);
-        assert_eq!(p.target_group(GroupId(0)), GroupId(2));
+        let p = Adversarial::new(&t, t.num_domains() + 2);
+        assert_eq!(p.target_domain(GroupId(0)), GroupId(2));
     }
 
     #[test]
-    #[should_panic(expected = "multiple of the group count")]
+    #[should_panic(expected = "multiple of the domain count")]
     fn zero_shift_is_rejected() {
         Adversarial::new(&topo(), 0);
     }

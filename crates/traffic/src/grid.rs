@@ -5,14 +5,15 @@
 //! exactly `(p, a, g)` — one grid "column" per host slot, one "row" per
 //! router of a group, one "plane" per group — so the same construction
 //! generalises to any Dragonfly configuration (the 1,056-node system
-//! becomes 4 × 8 × 33).
+//! becomes 4 × 8 × 33) and, via the locality-domain abstraction, to any
+//! topology: `x` = host slots per router, `z` = domains, `y` = the rest.
 //!
 //! Node `n` maps to coordinates `(x, y, z)` with `x = n mod X`,
-//! `y = (n / X) mod Y`, `z = n / (X·Y)`; because `X·Y = p·a` equals the
-//! number of nodes per group, the `z` coordinate is the node's group.
+//! `y = (n / X) mod Y`, `z = n / (X·Y)`; because `X·Y` equals the number
+//! of nodes per domain, the `z` coordinate is the node's domain.
 
 use dragonfly_topology::ids::NodeId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use serde::{Deserialize, Serialize};
 
 /// A 3-D grid over the node identifiers.
@@ -34,10 +35,14 @@ impl Grid3D {
         Self { x, y, z }
     }
 
-    /// The paper's construction: `(p, a, g)`.
-    pub fn for_system(topo: &Dragonfly) -> Self {
-        let cfg = topo.config();
-        let grid = Self::new(cfg.p, cfg.a, cfg.groups());
+    /// The paper's construction, generalised: `x` = host slots per router
+    /// (`p` on a Dragonfly), `z` = locality domains (`g`), `y` = nodes
+    /// per domain divided by `x` (`a`).
+    pub fn for_system(topo: &AnyTopology) -> Self {
+        let x = topo.max_nodes_per_router();
+        let z = topo.num_domains();
+        let y = topo.num_nodes() / (x * z);
+        let grid = Self::new(x, y, z);
         assert_eq!(grid.len(), topo.num_nodes());
         grid
     }
@@ -102,12 +107,25 @@ mod tests {
 
     #[test]
     fn paper_grid_dimensions() {
-        let t2550 = Dragonfly::new(DragonflyConfig::paper_2550());
+        use dragonfly_topology::Dragonfly;
+        let t2550: AnyTopology = Dragonfly::new(DragonflyConfig::paper_2550()).into();
         let g = Grid3D::for_system(&t2550);
         assert_eq!((g.x, g.y, g.z), (5, 10, 51));
-        let t1056 = Dragonfly::new(DragonflyConfig::paper_1056());
+        let t1056: AnyTopology = Dragonfly::new(DragonflyConfig::paper_1056()).into();
         let g = Grid3D::for_system(&t1056);
         assert_eq!((g.x, g.y, g.z), (4, 8, 33));
+    }
+
+    #[test]
+    fn grid_generalises_to_fattree_and_hyperx() {
+        use dragonfly_topology::{FatTree, FatTreeConfig, HyperX, HyperXConfig};
+        let ft: AnyTopology = FatTree::new(FatTreeConfig::tiny()).into();
+        let g = Grid3D::for_system(&ft);
+        assert_eq!(g.len(), ft.num_nodes());
+        assert_eq!(g.z, ft.num_domains());
+        let hx: AnyTopology = HyperX::new(HyperXConfig::tiny()).into();
+        let g = Grid3D::for_system(&hx);
+        assert_eq!((g.x, g.y, g.z), (2, 6, 6));
     }
 
     #[test]
@@ -121,12 +139,12 @@ mod tests {
     }
 
     #[test]
-    fn z_coordinate_is_the_group() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
+    fn z_coordinate_is_the_domain() {
+        let topo: AnyTopology = dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()).into();
         let g = Grid3D::for_system(&topo);
         for node in topo.nodes() {
             let (_, _, z) = g.coords(node);
-            assert_eq!(z, topo.group_of_node(node).index());
+            assert_eq!(z, topo.domain_of_node(node).index());
         }
     }
 

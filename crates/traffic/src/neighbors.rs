@@ -42,9 +42,12 @@ impl RandomNeighbors {
         Self { peers }
     }
 
-    /// The paper's parameters: 6–20 targets per node.
+    /// The paper's parameters: 6–20 targets per node, clamped on systems
+    /// too small to supply 20 distinct peers (e.g. a k=4 fat-tree's 16
+    /// nodes). Systems with more than 20 nodes are unaffected.
     pub fn paper(num_nodes: usize, seed: u64) -> Self {
-        Self::new(num_nodes, 6, 20, seed)
+        let max = 20.min(num_nodes.saturating_sub(1)).max(1);
+        Self::new(num_nodes, 6.min(max), max, seed)
     }
 
     /// The peer set of one node.

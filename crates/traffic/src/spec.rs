@@ -5,7 +5,7 @@ use crate::neighbors::RandomNeighbors;
 use crate::pattern::TrafficPattern;
 use crate::stencil::{ManyToMany, Stencil3D};
 use crate::uniform::UniformRandom;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use serde::{Deserialize, Serialize};
 
 /// The traffic patterns evaluated by the paper.
@@ -49,7 +49,7 @@ impl TrafficSpec {
 
     /// Instantiate the pattern for a topology. `seed` only matters for
     /// patterns with frozen random structure (Random Neighbors).
-    pub fn build(&self, topo: &Dragonfly, seed: u64) -> Box<dyn TrafficPattern> {
+    pub fn build(&self, topo: &AnyTopology, seed: u64) -> Box<dyn TrafficPattern> {
         match *self {
             TrafficSpec::UniformRandom => Box::new(UniformRandom::new(topo.num_nodes())),
             TrafficSpec::Adversarial { shift } => Box::new(Adversarial::new(topo, shift)),
@@ -80,13 +80,20 @@ mod tests {
     use dragonfly_topology::config::DragonflyConfig;
 
     #[test]
-    fn every_spec_builds_and_satisfies_invariants() {
-        let topo = Dragonfly::new(DragonflyConfig::tiny());
-        let mut specs = TrafficSpec::paper_case_study();
-        specs.push(TrafficSpec::Adversarial { shift: 4 });
-        for spec in specs {
-            let mut pattern = spec.build(&topo, 99);
-            check_basic_invariants(pattern.as_mut(), topo.num_nodes(), 5);
+    fn every_spec_builds_and_satisfies_invariants_on_every_topology() {
+        use dragonfly_topology::{Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig};
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
+        for topo in &topologies {
+            let mut specs = TrafficSpec::paper_case_study();
+            specs.push(TrafficSpec::Adversarial { shift: 3 });
+            for spec in specs {
+                let mut pattern = spec.build(topo, 99);
+                check_basic_invariants(pattern.as_mut(), topo.num_nodes(), 5);
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::grid::Grid3D;
 use crate::pattern::TrafficPattern;
 use dragonfly_topology::ids::NodeId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::AnyTopology;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -18,8 +18,8 @@ pub struct Stencil3D {
 }
 
 impl Stencil3D {
-    /// Build the stencil on the paper's `(p, a, g)` grid for `topo`.
-    pub fn new(topo: &Dragonfly) -> Self {
+    /// Build the stencil on the paper's `(p, a, g)`-style grid for `topo`.
+    pub fn new(topo: &AnyTopology) -> Self {
         Self::with_grid(Grid3D::for_system(topo))
     }
 
@@ -58,8 +58,8 @@ pub struct ManyToMany {
 }
 
 impl ManyToMany {
-    /// Build the pattern on the paper's `(p, a, g)` grid for `topo`.
-    pub fn new(topo: &Dragonfly) -> Self {
+    /// Build the pattern on the paper's `(p, a, g)`-style grid for `topo`.
+    pub fn new(topo: &AnyTopology) -> Self {
         Self::with_grid(Grid3D::for_system(topo))
     }
 
@@ -101,10 +101,11 @@ mod tests {
     use super::*;
     use crate::pattern::test_util::check_basic_invariants;
     use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::Topology;
     use rand::SeedableRng;
 
-    fn topo() -> Dragonfly {
-        Dragonfly::new(DragonflyConfig::tiny())
+    fn topo() -> AnyTopology {
+        dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()).into()
     }
 
     #[test]
@@ -136,7 +137,7 @@ mod tests {
         let grid = Grid3D::for_system(&t);
         let mut p = ManyToMany::new(&t);
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(p.communicator_size(), t.num_groups());
+        assert_eq!(p.communicator_size(), t.num_domains());
         for node in t.nodes() {
             let comm = grid.z_communicator(node);
             for _ in 0..20 {

@@ -19,7 +19,7 @@
 
 use crate::pattern::TrafficPattern;
 use dragonfly_topology::ids::NodeId;
-use dragonfly_topology::Dragonfly;
+use dragonfly_topology::{AnyTopology, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -132,13 +132,12 @@ impl Hotspot {
         }
     }
 
-    /// A convenient default: the first node of every fourth group is hot and
-    /// receives 20 % of all traffic.
-    pub fn default_for(topo: &Dragonfly) -> Self {
-        let nodes_per_group = topo.config().a * topo.config().p;
-        let hot = (0..topo.num_groups())
+    /// A convenient default: the first node of every fourth domain is hot
+    /// and receives 20 % of all traffic.
+    pub fn default_for(topo: &AnyTopology) -> Self {
+        let hot = (0..topo.num_domains())
             .step_by(4)
-            .map(|g| NodeId::from_index(g * nodes_per_group))
+            .map(|d| NodeId::from_index(topo.node_range_of_domain(d).start))
             .collect();
         Self::new(topo.num_nodes(), hot, 0.2)
     }
@@ -169,17 +168,20 @@ impl TrafficPattern for Hotspot {
     }
 }
 
-/// Group-local traffic: destinations are uniform within the sender's group.
+/// Domain-local traffic: destinations are uniform within the sender's
+/// locality domain (group/pod/row).
 #[derive(Debug, Clone, Copy)]
 pub struct GroupLocal {
     nodes_per_group: usize,
 }
 
 impl GroupLocal {
-    /// Create the pattern for a topology.
-    pub fn new(topo: &Dragonfly) -> Self {
-        let nodes_per_group = topo.config().a * topo.config().p;
+    /// Create the pattern for a topology (domains must hold equally many
+    /// nodes, which all shipped topologies satisfy).
+    pub fn new(topo: &AnyTopology) -> Self {
+        let nodes_per_group = topo.node_range_of_domain(0).len();
         assert!(nodes_per_group >= 2);
+        assert_eq!(nodes_per_group * topo.num_domains(), topo.num_nodes());
         Self { nodes_per_group }
     }
 }
@@ -207,8 +209,8 @@ mod tests {
     use dragonfly_topology::config::DragonflyConfig;
     use rand::SeedableRng;
 
-    fn topo() -> Dragonfly {
-        Dragonfly::new(DragonflyConfig::tiny())
+    fn topo() -> AnyTopology {
+        dragonfly_topology::Dragonfly::new(DragonflyConfig::tiny()).into()
     }
 
     #[test]
@@ -274,7 +276,7 @@ mod tests {
         for node in t.nodes() {
             for _ in 0..10 {
                 let dst = p.destination(node, &mut rng);
-                assert_eq!(t.group_of_node(dst), t.group_of_node(node));
+                assert_eq!(t.domain_of_node(dst), t.domain_of_node(node));
                 assert_ne!(dst, node);
             }
         }

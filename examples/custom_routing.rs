@@ -21,7 +21,7 @@ use qadaptive::engine::routing::{
 use qadaptive::engine::Engine;
 use qadaptive::prelude::*;
 use qadaptive::topology::ids::{NodeId, RouterId};
-use qadaptive::topology::Dragonfly;
+use qadaptive::topology::{AnyTopology, Dragonfly, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +40,7 @@ impl RoutingAlgorithm for CoinFlipValiant {
 
     fn make_agent(
         &self,
-        _topology: &Dragonfly,
+        _topology: &AnyTopology,
         _config: &EngineConfig,
         router: RouterId,
         seed: u64,
@@ -66,21 +66,21 @@ impl RouterAgent for CoinFlipAgent {
             && self.rng.gen_bool(0.5)
         {
             let ig =
-                topo.random_intermediate_group(&mut self.rng, packet.src_group, packet.dst_group);
+                topo.random_intermediate_domain(&mut self.rng, packet.src_group, packet.dst_group);
             packet.route.mode = RouteMode::Valiant;
             packet.route.intermediate_group = Some(ig);
         }
         let port = match packet.route.mode {
             RouteMode::Valiant if !packet.route.reached_intermediate => {
                 let ig = packet.route.intermediate_group.unwrap();
-                if topo.group_of_router(self.router) == ig {
+                if topo.domain_of_router(self.router) == ig {
                     packet.route.reached_intermediate = true;
                     topo.minimal_port(self.router, packet.dst_router).unwrap()
-                } else if let Some(direct) = topo.global_port_to(self.router, ig) {
-                    direct
                 } else {
-                    let (gw, _) = topo.gateway(topo.group_of_router(self.router), ig);
-                    topo.local_port_to(self.router, gw)
+                    // Topology-agnostic: the trait picks the Dragonfly
+                    // gateway hop, the fat-tree up-link or the HyperX
+                    // column link as appropriate.
+                    topo.port_toward_domain(self.router, ig)
                 }
             }
             _ => topo.minimal_port(self.router, packet.dst_router).unwrap(),

@@ -7,8 +7,10 @@
 //! examples, integration tests and downstream users can depend on one
 //! crate:
 //!
-//! * [`topology`] — the Dragonfly topology (groups, routers, ports, minimal
-//!   and Valiant paths).
+//! * [`topology`] — the topology abstraction (`Topology` trait, locality
+//!   domains) with three implementations: the paper's Dragonfly, a
+//!   three-level fat-tree and a 2-D HyperX, selectable from scenario
+//!   files via the tagged `TopologySpec`.
 //! * [`engine`] — the flit-level, event-driven network simulator substrate
 //!   (routers with virtual channels, credit-based flow control, links).
 //! * [`core`] — the paper's contribution: the two-level Q-table, hysteretic
@@ -103,7 +105,10 @@ pub mod prelude {
     pub use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
     pub use dragonfly_sim::sweep::{LoadSweep, SweepResult};
     pub use dragonfly_topology::config::DragonflyConfig;
-    pub use dragonfly_topology::Dragonfly;
+    pub use dragonfly_topology::{
+        AnyTopology, Dragonfly, FatTree, FatTreeConfig, HyperX, HyperXConfig, Topology,
+        TopologySpec,
+    };
     pub use dragonfly_traffic::TrafficSpec;
     pub use qadaptive_core::params::QAdaptiveParams;
 }

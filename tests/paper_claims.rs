@@ -108,7 +108,8 @@ fn adversarial_pattern_shifts_whole_groups() {
     use qadaptive::traffic::TrafficSpec;
     use rand::SeedableRng;
     let topo = Dragonfly::new(DragonflyConfig::paper_1056());
-    let mut pattern = TrafficSpec::Adversarial { shift: 4 }.build(&topo, 1);
+    let any = qadaptive::topology::AnyTopology::from(topo.clone());
+    let mut pattern = TrafficSpec::Adversarial { shift: 4 }.build(&any, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     for node in topo.nodes().step_by(13) {
         let dst = pattern.destination(node, &mut rng);
