@@ -23,8 +23,9 @@ use std::path::{Path, PathBuf};
 
 /// Bump when the cached JSON schema or the simulation semantics change in
 /// a way that invalidates old results (e.g. the PR 3 event-ordering key;
-/// v4: `topology` became the tagged `TopologySpec` union).
-const CACHE_VERSION: &str = "qadaptive-cache-v4";
+/// v4: `topology` became the tagged `TopologySpec` union; v5: closed-loop
+/// `workload` specs and completion-time report fields).
+const CACHE_VERSION: &str = "qadaptive-cache-v5";
 
 /// 64-bit FNV-1a (no external hashing crates in the offline build).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -334,6 +335,104 @@ mod tests {
     }
 
     #[test]
+    fn keys_are_workload_sensitive() {
+        use dragonfly_workload::WorkloadSpec;
+        // A closed-loop workload determines the result, so it must be part
+        // of the key: same point with/without a workload, with different
+        // workloads, or at different intensities must never collide.
+        let open_loop = ResultCache::point_key(&tiny_spec(1));
+        let mut allreduce = tiny_spec(1);
+        allreduce.workload = Some(WorkloadSpec::AllReduce { messages: 4 });
+        let allreduce_key = ResultCache::point_key(&allreduce);
+        assert_ne!(
+            open_loop, allreduce_key,
+            "workload presence changes the key"
+        );
+        let mut alltoall = allreduce.clone();
+        alltoall.workload = Some(WorkloadSpec::AllToAll { messages: 4 });
+        assert_ne!(
+            allreduce_key,
+            ResultCache::point_key(&alltoall),
+            "workload kind changes the key"
+        );
+        let mut heavier = allreduce.clone();
+        heavier.workload = Some(WorkloadSpec::AllReduce { messages: 8 });
+        assert_ne!(
+            allreduce_key,
+            ResultCache::point_key(&heavier),
+            "workload parameters change the key"
+        );
+        let mut intense = allreduce.clone();
+        intense.load = Some(0.7);
+        assert_ne!(
+            allreduce_key,
+            ResultCache::point_key(&intense),
+            "intensity changes the key"
+        );
+        // ...while execution modes still never do, workload or not.
+        let mut sharded = allreduce.clone();
+        sharded.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            pipeline: false,
+            scheduler: dragonfly_engine::SchedulerKind::BinaryHeap,
+            ..Default::default()
+        });
+        assert_eq!(
+            allreduce_key,
+            ResultCache::point_key(&sharded),
+            "execution modes must not invalidate closed-loop cache entries"
+        );
+    }
+
+    #[test]
+    fn warm_hit_survives_every_execution_mode_knob_under_a_workload() {
+        use dragonfly_workload::WorkloadSpec;
+        // End-to-end satellite contract: warm the cache with a collective
+        // workload under the default engine, then toggle every
+        // execution-mode knob at once (shards, scheduler, pipeline) — the
+        // sweep must be served entirely from the cache with identical
+        // completion metrics.
+        let cache = ResultCache::new(tmp_dir("workload-toggle")).unwrap();
+        let mut sweep = SweepSpec {
+            name: String::new(),
+            topology: DragonflyConfig::tiny().into(),
+            traffics: vec![],
+            workload: Some(WorkloadSpec::AllReduce { messages: 2 }),
+            routings: vec![dragonfly_routing::RoutingSpec::Minimal],
+            loads: vec![1.0],
+            warmup_ns: 0,
+            measure_ns: 10_000_000,
+            seed: Some(17),
+            seeds_per_point: None,
+            engine: None,
+        };
+        let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(hits_cold, 0);
+        assert_eq!(first.reports[0].ranks_finished, 72);
+        assert!(first.reports[0].job_completion_us > 0.0);
+        sweep.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            scheduler: dragonfly_engine::SchedulerKind::BinaryHeap,
+            pipeline: false,
+            ..Default::default()
+        });
+        let (second, hits_warm) = run_sweep_cached(&sweep, 1, Some(&cache));
+        assert_eq!(
+            hits_warm, 1,
+            "shards + scheduler + pipeline toggles keep a workload cache warm"
+        );
+        assert_eq!(
+            first.reports[0].job_completion_us,
+            second.reports[0].job_completion_us
+        );
+        assert_eq!(
+            first.reports[0].phase_completion_us,
+            second.reports[0].phase_completion_us
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn warm_hit_survives_toggling_the_pipeline_flag() {
         // End-to-end: warm the cache with the default engine, re-run with
         // `pipeline = false` (what `--no-pipeline` produces) and the
@@ -343,6 +442,7 @@ mod tests {
             name: String::new(),
             topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
+            workload: None,
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.2],
             warmup_ns: 2_000,
@@ -402,6 +502,7 @@ mod tests {
             name: String::new(),
             topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
+            workload: None,
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.1],
             warmup_ns: 2_000,
@@ -449,6 +550,7 @@ mod tests {
             name: String::new(),
             topology: DragonflyConfig::tiny().into(),
             traffics: vec![],
+            workload: None,
             routings: vec![dragonfly_routing::RoutingSpec::Minimal],
             loads: vec![0.1, 0.3],
             warmup_ns: 2_000,

@@ -17,6 +17,7 @@ use dragonfly_sim::sweep::SweepResult;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
+use dragonfly_workload::WorkloadSpec;
 use qadaptive_core::table::QValueTable;
 use qadaptive_core::{QAdaptiveParams, QTable, TwoLevelQTable};
 use serde::{Serialize, Value};
@@ -32,6 +33,8 @@ pub enum ColumnSet {
     CaseStudy,
     /// Ablation: throughput + mean latency + hops (Section 2.3.2).
     Ablation,
+    /// Closed-loop workloads: job-completion time + skew + barrier wait.
+    CompletionTime,
 }
 
 /// Which curve a convergence panel prints.
@@ -132,6 +135,14 @@ pub fn catalog() -> Vec<Figure> {
                     Q-adaptive handles all three with one configuration.",
         },
         Figure {
+            id: "jct",
+            title: "Closed-loop AllReduce: intensity vs job-completion time",
+            notes: "Not a paper figure: a closed-loop companion to Figure 5. Each rank runs a \
+                    recursive-doubling AllReduce and the tables report job-completion time \
+                    (slowest rank), rank skew and barrier wait per routing algorithm on the \
+                    Dragonfly, fat-tree and HyperX systems.",
+        },
+        Figure {
             id: "memory",
             title: "Per-router Q-table memory (Section 4 claim: the two-level table saves 50%)",
             notes: "",
@@ -151,6 +162,7 @@ pub fn canonical_id(id: &str) -> Option<&'static str> {
         "table1" | "1" => "table1",
         "memory" | "table_memory" => "memory",
         "maxq" | "ablation_maxq" => "maxq",
+        "jct" | "allreduce_jct" | "completion" => "jct",
         _ => return None,
     };
     Some(canonical)
@@ -281,6 +293,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         topology: DragonflyConfig::paper_1056().into(),
                         routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
                         traffic,
+                        workload: None,
                         load: Some(load),
                         schedule: None,
                         warmup_ns: duration_ns - tail_ns,
@@ -344,6 +357,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         topology: DragonflyConfig::paper_1056().into(),
                         routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
                         traffic,
+                        workload: None,
                         load: None,
                         schedule: Some(schedule),
                         warmup_ns: duration_ns - tail_ns,
@@ -383,6 +397,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         name: format!("fig9/{}", traffic.label()),
                         topology: DragonflyConfig::paper_2550().into(),
                         traffics: vec![traffic],
+                        workload: None,
                         routings: RoutingSpec::paper_lineup_2550(),
                         loads: vec![load],
                         warmup_ns,
@@ -422,6 +437,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     name: format!("maxq/{}", traffic.label()),
                     topology: DragonflyConfig::paper_1056().into(),
                     traffics: vec![traffic],
+                    workload: None,
                     routings: routings.clone(),
                     loads: vec![load],
                     warmup_ns: args.warmup_ns(),
@@ -436,6 +452,58 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
             FigurePlan::Sweeps {
                 panels,
                 columns: ColumnSet::Ablation,
+                saturation_summary: false,
+            }
+        }
+        "jct" => {
+            // Closed-loop: `loads` are message-count intensity multipliers
+            // and `measure_ns` is the drain cap, not a window. Quick mode
+            // uses the tiny systems; full mode the paper-scale Dragonfly
+            // next to mid-size fat-tree and HyperX machines.
+            use dragonfly_topology::{FatTreeConfig, HyperXConfig};
+            let (dragonfly, fattree, hyperx, intensities, drain_cap_ns) = match args.mode {
+                RunMode::Quick => (
+                    DragonflyConfig::tiny(),
+                    FatTreeConfig::tiny(),
+                    HyperXConfig::tiny(),
+                    vec![0.5, 1.0, 2.0],
+                    10_000_000u64,
+                ),
+                RunMode::Full => (
+                    DragonflyConfig::paper_1056(),
+                    FatTreeConfig::small(),
+                    HyperXConfig::small(),
+                    vec![0.5, 1.0, 2.0, 4.0],
+                    100_000_000,
+                ),
+            };
+            let panels: [(String, dragonfly_topology::TopologySpec); 3] = [
+                ("AllReduce JCT — Dragonfly".to_string(), dragonfly.into()),
+                ("AllReduce JCT — fat-tree".to_string(), fattree.into()),
+                ("AllReduce JCT — HyperX".to_string(), hyperx.into()),
+            ];
+            let panels = panels
+                .into_iter()
+                .map(|(title, topology)| {
+                    let sweep = SweepSpec {
+                        name: format!("jct/{}", topology.kind_name()),
+                        topology,
+                        traffics: vec![],
+                        workload: Some(WorkloadSpec::AllReduce { messages: 2 }),
+                        routings: RoutingSpec::paper_lineup(),
+                        loads: intensities.clone(),
+                        warmup_ns: 0,
+                        measure_ns: drain_cap_ns,
+                        seed: Some(args.seed),
+                        seeds_per_point: None,
+                        engine: None,
+                    };
+                    (title, sweep)
+                })
+                .collect();
+            FigurePlan::Sweeps {
+                panels,
+                columns: ColumnSet::CompletionTime,
                 saturation_summary: false,
             }
         }
@@ -776,6 +844,30 @@ fn print_sweep_table(result: &SweepResult, columns: ColumnSet) {
                 })
                 .collect(),
         ),
+        ColumnSet::CompletionTime => (
+            vec![
+                "routing",
+                "intensity",
+                "JCT (us)",
+                "skew (us)",
+                "barrier wait (us)",
+                "ranks",
+            ],
+            result
+                .reports
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.routing.clone(),
+                        format!("{:.2}", r.offered_load),
+                        format!("{:.3}", r.job_completion_us),
+                        format!("{:.3}", r.collective_skew_us),
+                        format!("{:.3}", r.barrier_wait_us),
+                        format!("{}", r.ranks_finished),
+                    ]
+                })
+                .collect(),
+        ),
     };
     println!("{}", markdown_table(&headers, &rows));
 }
@@ -995,6 +1087,35 @@ mod tests {
                 }
                 _ => panic!("{id} must be static"),
             }
+        }
+    }
+
+    #[test]
+    fn jct_panels_are_closed_loop_on_all_three_topologies() {
+        let FigurePlan::Sweeps {
+            panels,
+            columns,
+            saturation_summary,
+        } = paper_specs("jct", &quick_args()).unwrap()
+        else {
+            panic!("jct must be a sweep plan");
+        };
+        assert_eq!(columns, ColumnSet::CompletionTime);
+        assert!(!saturation_summary);
+        let kinds: Vec<&str> = panels.iter().map(|(_, s)| s.topology.kind_name()).collect();
+        assert_eq!(kinds, vec!["dragonfly", "fattree", "hyperx"]);
+        for (title, sweep) in &panels {
+            assert!(
+                matches!(sweep.workload, Some(WorkloadSpec::AllReduce { .. })),
+                "{title} must run a closed-loop AllReduce"
+            );
+            assert!(sweep.traffics.is_empty(), "{title} must not inject traffic");
+            assert_eq!(sweep.routings, RoutingSpec::paper_lineup());
+            assert!(
+                sweep.loads.iter().any(|&l| l > 1.0),
+                "intensities may exceed 1.0 (they are not offered loads)"
+            );
+            assert!(sweep.validate().is_ok(), "invalid panel {title}");
         }
     }
 

@@ -6,19 +6,22 @@
 //! the engine itself dominates) — is run once per scheduler
 //! implementation, once on the sharded engine in the lockstep *barrier*
 //! mode, and once with the overlapped-window *pipeline* on (the
-//! pipelined-vs-barrier leg). The result records simulated events per
-//! wall-clock second for each, and is written to `BENCH_PR4.json` at the
-//! repository root so later PRs have a perf trajectory to compare against
-//! (`BENCH_PR2.json`/`BENCH_PR3.json` are the previous baselines, still
-//! readable thanks to defaulted fields). `host_cpus` is recorded because
-//! wall-clock legs are only comparable between identical hosts — see
-//! [`check_against_baseline`].
+//! pipelined-vs-barrier leg). A separate **closed-loop** leg runs a
+//! recursive-doubling AllReduce task program on the same system to drain
+//! and records its events/sec plus the simulated job-completion time. The
+//! result records simulated events per wall-clock second for each leg, and
+//! is written to `BENCH_PR6.json` at the repository root so later PRs have
+//! a perf trajectory to compare against (`BENCH_PR2.json` through
+//! `BENCH_PR4.json` are the previous baselines, still readable thanks to
+//! defaulted fields). `host_cpus` is recorded because wall-clock legs are
+//! only comparable between identical hosts — see [`check_against_baseline`].
 
 use dragonfly_engine::config::{EngineConfig, SchedulerKind, ShardKind};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::builder::SimulationBuilder;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::TrafficSpec;
+use dragonfly_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Throughput measurement of one scheduler on the smoke workload.
@@ -91,6 +94,19 @@ pub struct SmokeBench {
     /// check refuses mismatched hosts (0 = unknown, pre-PR3 baselines).
     #[serde(default)]
     pub host_cpus: usize,
+    /// Closed-loop leg: a recursive-doubling AllReduce task program on the
+    /// same 1,056-node system under minimal routing, run to drain
+    /// (calendar scheduler, single shard). Zeroed in pre-PR6 baselines.
+    #[serde(default)]
+    pub closed_loop: SchedulerBench,
+    /// Simulated job-completion time of the closed-loop leg (slowest rank,
+    /// microseconds; 0.0 in pre-PR6 baselines).
+    #[serde(default)]
+    pub closed_loop_jct_us: f64,
+    /// Ranks that finished their program in the closed-loop leg (must be
+    /// 1,056 in a fresh record; 0 in pre-PR6 baselines).
+    #[serde(default)]
+    pub closed_loop_ranks: u64,
 }
 
 /// Quick-mode measurement window (simulated ns) — also used by the
@@ -141,6 +157,47 @@ pub fn smoke_workload_sharded(
         .measure_ns(measure_ns)
         .seed(seed)
         .engine_config(cfg)
+}
+
+/// Simulated-time cap for the closed-loop leg (it normally drains far
+/// earlier; hitting the cap means ranks were left unfinished).
+pub const CLOSED_LOOP_DRAIN_CAP_NS: u64 = 100_000_000;
+
+/// The closed-loop bench leg: every rank of the 1,056-node system runs a
+/// recursive-doubling AllReduce (2 messages per pairwise exchange) under
+/// minimal routing, and the run ends when the job drains rather than at a
+/// wall of simulated time. Completion-driven injection exercises a
+/// different engine path than the open-loop smoke workload: task wake-ups,
+/// per-source receive matching and the drain loop.
+pub fn closed_loop_workload(seed: u64) -> SimulationBuilder {
+    SimulationBuilder::new(DragonflyConfig::paper_1056())
+        .routing(RoutingSpec::Minimal)
+        .workload(WorkloadSpec::AllReduce { messages: 2 })
+        .warmup_ns(0)
+        .measure_ns(CLOSED_LOOP_DRAIN_CAP_NS)
+        .seed(seed)
+}
+
+/// Run the closed-loop leg, returning the throughput measurement plus the
+/// simulated `(job_completion_us, ranks_finished)` of the job.
+fn run_closed_loop(seed: u64, iterations: u32) -> (SchedulerBench, f64, u64) {
+    let mut best = SchedulerBench::default();
+    let mut jct_us = 0.0;
+    let mut ranks = 0;
+    for _ in 0..iterations.max(1) {
+        let report = closed_loop_workload(seed).run();
+        let rate = report.events_processed as f64 / report.wall_seconds.max(1e-9);
+        if rate > best.events_per_sec {
+            best = SchedulerBench {
+                events_per_sec: rate,
+                wall_s: report.wall_seconds,
+                events: report.events_processed,
+            };
+        }
+        jct_us = report.job_completion_us;
+        ranks = report.ranks_finished;
+    }
+    (best, jct_us, ranks)
 }
 
 fn run_one(
@@ -216,6 +273,12 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         pipelined.events, sharded.events,
         "pipelined and barrier runs must process identical event streams"
     );
+    let (closed_loop, closed_loop_jct_us, closed_loop_ranks) = run_closed_loop(seed, iterations);
+    assert_eq!(
+        closed_loop_ranks,
+        DragonflyConfig::paper_1056().nodes() as u64,
+        "the closed-loop AllReduce must drain (cap {CLOSED_LOOP_DRAIN_CAP_NS} ns hit?)"
+    );
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
         topology: dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string(),
@@ -232,6 +295,9 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         sharded,
         pipelined,
         shards,
+        closed_loop,
+        closed_loop_jct_us,
+        closed_loop_ranks,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -453,6 +519,23 @@ mod tests {
         assert_eq!(back.pipeline_speedup, 0.0);
         assert_eq!(back.host_cpus, 0);
         assert_eq!(back.topology, "", "pre-topology baselines default empty");
+        // The closed-loop leg is newer still (PR6): it must also default.
+        assert_eq!(back.closed_loop.events, 0);
+        assert_eq!(back.closed_loop_jct_us, 0.0);
+        assert_eq!(back.closed_loop_ranks, 0);
+    }
+
+    #[test]
+    fn closed_loop_leg_round_trips() {
+        let mut b = bench(1.0);
+        b.closed_loop.events = 7;
+        b.closed_loop_jct_us = 42.5;
+        b.closed_loop_ranks = 1056;
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.closed_loop.events, 7);
+        assert!((back.closed_loop_jct_us - 42.5).abs() < 1e-12);
+        assert_eq!(back.closed_loop_ranks, 1056);
     }
 
     #[test]

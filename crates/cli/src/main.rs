@@ -11,6 +11,7 @@
 //!                      [--format text|csv|json] [--out FILE]
 //! qadaptive-cli list
 //! qadaptive-cli topologies                              # registered topologies + parameter schemas
+//! qadaptive-cli workloads                               # closed-loop workload kinds + scenario forms
 //! qadaptive-cli show  scenarios/adv1_qadaptive.toml     # parse, validate, echo as TOML + JSON
 //! ```
 
@@ -149,6 +150,7 @@ fn usage() -> String {
          \u{20}   qadaptive-cli show   <spec.toml|spec.json>   (parse + validate + echo both encodings)\n\
          \u{20}   qadaptive-cli list                           (catalog of figures and their titles)\n\
          \u{20}   qadaptive-cli topologies                     (registered topologies + parameter schemas)\n\
+         \u{20}   qadaptive-cli workloads                      (closed-loop workload kinds + scenario forms)\n\
          \u{20}   qadaptive-cli bench  [--quick|--full] [--seed S] [--shards N] [--out BENCH.json]\n\
          \u{20}                        [--baseline BENCH.json] [--tolerance-pct 30] [--allow-cpu-mismatch]\n\
          \u{20}                        (1,056-node engine smoke benchmark: calendar vs binary-heap\n\
@@ -455,6 +457,14 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         bench.pipelined.events,
         bench.pipelined.wall_s
     );
+    eprintln!(
+        "closed loop: {:>12.0} events/s  ({} events in {:.3} s; AllReduce JCT {:.1} us, {} ranks)",
+        bench.closed_loop.events_per_sec,
+        bench.closed_loop.events,
+        bench.closed_loop.wall_s,
+        bench.closed_loop_jct_us,
+        bench.closed_loop_ranks
+    );
     eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
     eprintln!(
         "shard speedup:             {:.2}x on {} host CPUs{}",
@@ -587,6 +597,31 @@ fn cmd_topologies() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_workloads() -> Result<(), String> {
+    let rows: Vec<Vec<String>> = dragonfly_workload::WorkloadSpec::catalog()
+        .iter()
+        .map(|info| {
+            vec![
+                info.name.to_string(),
+                info.parameters.to_string(),
+                info.constraints.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["workload", "parameters", "constraints"], &rows)
+    );
+    println!(
+        "\nscenario-file forms (add a [workload] to any run or sweep spec; the spec's\n\
+         `load` then acts as a message-count intensity multiplier, default 1.0):\n"
+    );
+    for info in dragonfly_workload::WorkloadSpec::catalog() {
+        println!("{}\n", info.example);
+    }
+    Ok(())
+}
+
 fn cmd_list() -> Result<(), String> {
     let rows: Vec<Vec<String>> = figures::catalog()
         .iter()
@@ -613,6 +648,7 @@ fn main() -> ExitCode {
             "show" => cmd_show(&flags),
             "list" => cmd_list(),
             "topologies" | "--list-topologies" => cmd_topologies(),
+            "workloads" | "--list-workloads" => cmd_workloads(),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(())

@@ -16,7 +16,7 @@ use crate::routing::RoutingAlgorithm;
 use crate::shard::Shard;
 use crate::sync::{MailGrid, QueuedInjection, ShardPlan, WindowDeque, WindowSync, NO_EVENT};
 use crate::time::SimTime;
-use dragonfly_topology::ids::RouterId;
+use dragonfly_topology::ids::{NodeId, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -270,6 +270,38 @@ impl<O: ShardObserver> Engine<O> {
     /// stats().outstanding()`.
     pub fn arena_live_counts(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.arena().live_count()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Closed-loop workloads
+    // ------------------------------------------------------------------
+
+    /// Install one closed-loop task program per node (see
+    /// [`crate::workload`]) and schedule every program's start at `t = 0`.
+    /// Must be called before any `run_*`; typically paired with an
+    /// [`crate::injector::EmptyInjector`] and [`Engine::run_to_drain`].
+    ///
+    /// Programs are handed to the shards that own their nodes; every task
+    /// transition afterwards fires from shard-local events with
+    /// content-derived keys, so the closed-loop schedule is bit-for-bit
+    /// identical across shard counts and execution modes.
+    pub fn install_workload(&mut self, programs: Vec<crate::workload::NodeProgram>) {
+        assert_eq!(self.now, 0, "install_workload must precede running");
+        assert_eq!(
+            programs.len(),
+            self.topo.num_nodes(),
+            "one program per node"
+        );
+        for (i, ops) in programs.into_iter().enumerate() {
+            let node = NodeId::from_index(i);
+            let shard = self.plan.shard_of_router(self.topo.router_of_node(node));
+            self.shards[shard].install_task(node, ops);
+        }
+    }
+
+    /// Number of installed task programs that ran to completion.
+    pub fn tasks_finished(&self) -> u64 {
+        self.shards.iter().map(|s| s.tasks_finished()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -804,7 +836,6 @@ mod tests {
     use crate::observer::CountingObserver;
     use crate::testing::MinimalTestRouting;
     use dragonfly_topology::config::DragonflyConfig;
-    use dragonfly_topology::ids::NodeId;
     use dragonfly_topology::Dragonfly;
 
     fn run_scripted(injections: Vec<Injection>, t_end: SimTime) -> (EngineStats, CountingObserver) {
@@ -969,6 +1000,64 @@ mod tests {
         assert_eq!(s1.events, s3.events, "event counts must match exactly");
         assert_eq!(o1.total_latency_ns, o3.total_latency_ns);
         assert_eq!(o1.total_hops, o3.total_hops);
+    }
+
+    #[test]
+    fn closed_loop_ring_program_drains_and_is_shard_invariant() {
+        use crate::injector::EmptyInjector;
+        use crate::workload::Op;
+
+        // Every node computes, sends 2 messages to its ring successor and
+        // waits for 2 from its predecessor — a closed-loop exchange that
+        // only completes when the network delivers.
+        let run = |shards: ShardKind| {
+            let topo = Dragonfly::new(DragonflyConfig::tiny());
+            let n = topo.num_nodes();
+            let algo = MinimalTestRouting;
+            let mut cfg = EngineConfig::paper(algo.num_vcs());
+            cfg.shards = shards;
+            let mut engine = Engine::new(
+                topo,
+                cfg,
+                &algo,
+                Box::new(EmptyInjector),
+                CountingObserver::default(),
+                7,
+            );
+            let programs = (0..n)
+                .map(|i| {
+                    vec![
+                        Op::Compute { delay_ns: 50 },
+                        Op::Send {
+                            dst: NodeId::from_index((i + 1) % n),
+                            messages: 2,
+                        },
+                        Op::Recv {
+                            from: NodeId::from_index((i + n - 1) % n),
+                            messages: 2,
+                            barrier: true,
+                        },
+                        Op::Phase { index: 0 },
+                    ]
+                })
+                .collect();
+            engine.install_workload(programs);
+            let (end, _) = engine.run_to_drain(10_000_000);
+            (end, engine.stats(), engine.tasks_finished())
+        };
+        let (end1, s1, f1) = run(ShardKind::Single);
+        let n = Dragonfly::new(DragonflyConfig::tiny()).num_nodes() as u64;
+        assert_eq!(f1, n, "every rank finishes");
+        assert_eq!(s1.generated, 2 * n);
+        assert_eq!(s1.delivered, 2 * n, "closed loop drains completely");
+        for shards in [2usize, 3] {
+            let (endk, sk, fk) = run(ShardKind::Fixed(shards));
+            assert_eq!(end1, endk, "finish time is shard invariant");
+            assert_eq!(s1.generated, sk.generated);
+            assert_eq!(s1.delivered, sk.delivered);
+            assert_eq!(s1.events, sk.events, "even the event count matches");
+            assert_eq!(f1, fk);
+        }
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub enum EventKind {
     },
     /// Reinforcement-learning feedback delivered to the agent of `router`.
     RlFeedback { router: RouterId, msg: FeedbackMsg },
+    /// A closed-loop task program of `node` should (re)evaluate its
+    /// current op: fired at `t = 0` to start the program and at the end
+    /// of every `Compute` delay.
+    TaskWake { node: NodeId },
+    /// One workload message from `src` was delivered to `node`'s NIC:
+    /// bump the per-source receive counter and re-evaluate a blocked
+    /// `Recv`. Delivery always happens in the shard that owns `node`
+    /// (host ports never cross shards), so this event is always local.
+    TaskRecv { node: NodeId, src: NodeId },
 }
 
 // Event classes, most-urgent-first within a nanosecond. The relative order
@@ -101,6 +110,8 @@ const CLASS_SWITCH: u64 = 4;
 const CLASS_OUTPUT: u64 = 5;
 const CLASS_CREDIT: u64 = 6;
 const CLASS_FEEDBACK: u64 = 7;
+const CLASS_TASK_WAKE: u64 = 8;
+const CLASS_TASK_RECV: u64 = 9;
 
 /// The content-derived priority of an event (see the module docs).
 ///
@@ -138,6 +149,14 @@ pub fn event_key(kind: &EventKind) -> u64 {
             (CLASS_FEEDBACK << 60)
                 | (((router.0 as u64) & 0xFF_FFFF) << 36)
                 | (msg.packet_id & 0xF_FFFF_FFFF)
+        }
+        EventKind::TaskWake { node } => (CLASS_TASK_WAKE << 60) | node.0 as u64,
+        // Keyed by `(node, src)`: a node can receive messages from many
+        // sources in the same nanosecond. Two same-key `TaskRecv`s are
+        // identical commutative "+1" counter bumps, so `seq` may break
+        // their tie.
+        EventKind::TaskRecv { node, src } => {
+            (CLASS_TASK_RECV << 60) | ((node.0 as u64) << 28) | src.0 as u64
         }
     }
 }
@@ -731,6 +750,45 @@ mod tests {
                     CLASS_ROUTER_ARRIVE,
                     CLASS_OUTPUT
                 ],
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_events_rank_after_fabric_events_and_key_on_their_content() {
+        // The closed-loop task events live in their own key classes, after
+        // every fabric class, and are keyed by the entities whose relative
+        // order can matter: the node for wakes, `(node, src)` for receive
+        // notifications.
+        let wake = event_key(&EventKind::TaskWake { node: NodeId(5) });
+        assert_eq!(wake >> 60, CLASS_TASK_WAKE);
+        assert_eq!(wake & 0xFFFF_FFFF, 5);
+        let recv = event_key(&EventKind::TaskRecv {
+            node: NodeId(3),
+            src: NodeId(9),
+        });
+        assert_eq!(recv >> 60, CLASS_TASK_RECV);
+        assert_eq!((recv >> 28) & 0x0FFF_FFFF, 3);
+        assert_eq!(recv & 0x0FFF_FFFF, 9);
+        const _: () =
+            assert!(CLASS_TASK_WAKE > CLASS_FEEDBACK && CLASS_TASK_RECV > CLASS_TASK_WAKE);
+        for (name, mut q) in schedulers() {
+            q.push(
+                4,
+                EventKind::TaskRecv {
+                    node: NodeId(1),
+                    src: NodeId(2),
+                },
+            );
+            q.push(4, EventKind::TaskWake { node: NodeId(1) });
+            q.push(4, EventKind::NicCredit { node: NodeId(1) });
+            let classes: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| e.key >> 60)
+                .collect();
+            assert_eq!(
+                classes,
+                vec![CLASS_NIC_CREDIT, CLASS_TASK_WAKE, CLASS_TASK_RECV],
                 "{name}"
             );
         }

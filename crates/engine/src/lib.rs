@@ -138,13 +138,52 @@
 //! routing algorithm — independent of scheduler choice, shard count and
 //! thread scheduling.
 //!
+//! ## Closed-loop task programs (delivery-triggered wakeups)
+//!
+//! Besides open-loop injector traffic, every node can run a straight-line
+//! task program ([`workload::Op`]: compute delays, asynchronous sends,
+//! counting receives, phase markers) installed via
+//! [`engine::Engine::install_workload`]. Execution is *closed-loop*: a
+//! `Recv` op blocks its node until the network has actually delivered the
+//! counted messages, so generation reacts to backpressure instead of
+//! following a rate.
+//!
+//! Delivery-triggered wakeups preserve the determinism contract by
+//! construction:
+//!
+//! * Every task transition fires from one of two new event classes —
+//!   [`event::EventKind::TaskWake`] (program start, compute completion)
+//!   keyed by the node, and [`event::EventKind::TaskRecv`] (one message
+//!   delivered) keyed by `(destination, source)` — so same-tick
+//!   transitions have a content-derived total order like every other
+//!   event. Two same-key `TaskRecv`s are commutative "+1" counter bumps,
+//!   the one shape `seq` ties are allowed to break.
+//! * A packet is always ejected by the shard that owns its destination
+//!   node (host ports never cross shards), so the `TaskRecv` wakeup is a
+//!   **shard-local** push at the delivery time — no new cross-shard
+//!   channel, no lookahead interaction, and windows planned from
+//!   `next_local_time()` see task events automatically in all three
+//!   execution modes.
+//! * Workload sends post packets at the node's own NIC through the same
+//!   generation path as injector traffic, with ids from a disjoint
+//!   deterministic namespace ([`workload::workload_packet_id`]: source
+//!   node + per-node sequence), so id assignment cannot depend on which
+//!   mode executes a window first.
+//!
+//! `Recv` matching is MPI-style per-source counting (no tags): order of
+//! arrival is irrelevant, which is exactly what makes the blocked/ready
+//! state a pure function of delivered-message counts rather than event
+//! interleaving.
+//!
 //! ## Who plugs in what
 //!
 //! * Routing algorithms implement [`routing::RoutingAlgorithm`] /
 //!   [`routing::RouterAgent`] (see `dragonfly-routing` and
 //!   `qadaptive-core`).
-//! * Workloads implement [`injector::TrafficInjector`]
-//!   (see `dragonfly-sim`, which adapts `dragonfly-traffic` patterns).
+//! * Open-loop workloads implement [`injector::TrafficInjector`]
+//!   (see `dragonfly-sim`, which adapts `dragonfly-traffic` patterns);
+//!   closed-loop workloads compile to [`workload::NodeProgram`]s
+//!   (see `dragonfly-workload`).
 //! * Measurement code implements [`observer::SimObserver`]
 //!   (see `dragonfly-metrics` collectors in `dragonfly-sim`).
 
@@ -162,6 +201,7 @@ pub mod shard;
 pub mod sync;
 pub mod testing;
 pub mod time;
+pub mod workload;
 
 pub use arena::{PacketArena, PacketRef};
 pub use config::{EngineConfig, SchedulerKind, ShardKind};
@@ -172,3 +212,4 @@ pub use packet::{Packet, RouteInfo};
 pub use routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
 pub use sync::ShardPlan;
 pub use time::SimTime;
+pub use workload::{NodeProgram, Op};

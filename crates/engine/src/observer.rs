@@ -7,6 +7,7 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
+use dragonfly_topology::ids::NodeId;
 
 /// Receiver of packet lifecycle notifications.
 pub trait SimObserver: Send {
@@ -25,6 +26,23 @@ pub trait SimObserver: Send {
     /// delivery time (including the final ejection link).
     fn packet_delivered(&mut self, packet: &Packet, now: SimTime) {
         let _ = (packet, now);
+    }
+
+    /// A closed-loop task program completed phase `phase` on `node` at
+    /// `now` (see [`crate::workload::Op::Phase`]).
+    fn task_phase_completed(&mut self, node: NodeId, phase: u32, now: SimTime) {
+        let _ = (node, phase, now);
+    }
+
+    /// `node`'s task program ran to completion at `now`.
+    fn task_rank_finished(&mut self, node: NodeId, now: SimTime) {
+        let _ = (node, now);
+    }
+
+    /// `node` spent `waited_ns` blocked in a `Recv`; `barrier` is set for
+    /// the synchronising receives of barrier/collective lowerings.
+    fn task_blocked_wait(&mut self, node: NodeId, waited_ns: u64, barrier: bool) {
+        let _ = (node, waited_ns, barrier);
     }
 }
 

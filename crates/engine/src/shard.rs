@@ -25,6 +25,7 @@ use crate::router::{RouterState, Waiter};
 use crate::routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
 use crate::sync::{QueuedInjection, ShardMsg, ShardPlan, NO_EVENT};
 use crate::time::SimTime;
+use crate::workload::{workload_packet_id, NodeProgram, NodeTask, Op, WORKLOAD_ID_BIT};
 use dragonfly_topology::ids::{NodeId, Port, RouterId};
 use dragonfly_topology::paths::HopKind;
 use dragonfly_topology::ports::PortKind;
@@ -63,6 +64,12 @@ pub struct Shard<O: ShardObserver> {
     outboxes: Vec<Vec<ShardMsg>>,
     /// Earliest firing time of any message sent in the current window.
     min_sent: SimTime,
+    /// Closed-loop task state per owned node (parallel to `nics`; empty
+    /// unless a workload was installed).
+    tasks: Vec<Option<NodeTask>>,
+    /// Whether any task program was installed (gates the per-delivery
+    /// `TaskRecv` notification, so open-loop runs are untouched).
+    has_tasks: bool,
 }
 
 impl<O: ShardObserver> Shard<O> {
@@ -120,6 +127,8 @@ impl<O: ShardObserver> Shard<O> {
             pending_injections: VecDeque::new(),
             outboxes: (0..num_shards).map(|_| Vec::new()).collect(),
             min_sent: NO_EVENT,
+            tasks: Vec::new(),
+            has_tasks: false,
         }
     }
 
@@ -353,7 +362,155 @@ impl<O: ShardObserver> Shard<O> {
                 let r = self.rlocal(router);
                 self.agents[r].feedback(&msg);
             }
+            EventKind::TaskWake { node } => {
+                let n = self.nlocal(node);
+                if let Some(task) = self.tasks[n].as_mut() {
+                    debug_assert_eq!(task.resume_at.unwrap_or(self.now), self.now);
+                    task.resume_at = None;
+                }
+                self.advance_task(node);
+            }
+            EventKind::TaskRecv { node, src } => {
+                let n = self.nlocal(node);
+                if let Some(task) = self.tasks[n].as_mut() {
+                    task.record_delivery(src);
+                }
+                self.advance_task(node);
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Closed-loop task programs
+    // ------------------------------------------------------------------
+
+    /// Install the task program of one owned node and schedule its start
+    /// at `t = 0` (called by `Engine::install_workload` before the run).
+    pub fn install_task(&mut self, node: NodeId, ops: NodeProgram) {
+        debug_assert_eq!(
+            self.plan.shard_of_router(self.topo.router_of_node(node)),
+            self.id,
+            "task installed on the wrong shard"
+        );
+        if self.tasks.is_empty() {
+            self.tasks = (0..self.nics.len()).map(|_| None).collect();
+        }
+        self.has_tasks = true;
+        let n = self.nlocal(node);
+        self.tasks[n] = Some(NodeTask::new(ops));
+        self.queue.push(0, EventKind::TaskWake { node });
+    }
+
+    /// Number of owned task programs that ran to completion.
+    pub fn tasks_finished(&self) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.as_ref().is_some_and(|t| t.done))
+            .count() as u64
+    }
+
+    /// Execute ops of `node`'s program until it blocks (`Recv` short of
+    /// messages), yields (`Compute` in flight) or finishes. Every call
+    /// site is a shard-local event with a content-derived key, so the
+    /// execution order — and with it every send this triggers — is
+    /// identical across shard counts and execution modes.
+    fn advance_task(&mut self, node: NodeId) {
+        let n = self.nlocal(node);
+        loop {
+            let op = {
+                let Some(task) = self.tasks[n].as_mut() else {
+                    return;
+                };
+                if task.done || task.resume_at.is_some() {
+                    // A `TaskRecv` landing mid-compute must not run past
+                    // the pending wake.
+                    return;
+                }
+                if task.pc >= task.ops.len() {
+                    task.done = true;
+                    None
+                } else {
+                    Some(task.ops[task.pc])
+                }
+            };
+            let Some(op) = op else {
+                self.observer.task_rank_finished(node, self.now);
+                return;
+            };
+            match op {
+                Op::Compute { delay_ns } => {
+                    let at = self.now + delay_ns;
+                    {
+                        let task = self.tasks[n].as_mut().expect("checked above");
+                        task.pc += 1;
+                        task.resume_at = Some(at);
+                    }
+                    self.queue.push(at, EventKind::TaskWake { node });
+                    return;
+                }
+                Op::Send { dst, messages } => {
+                    for _ in 0..messages {
+                        self.workload_send(node, dst);
+                    }
+                    self.tasks[n].as_mut().expect("checked above").pc += 1;
+                }
+                Op::Recv {
+                    from,
+                    messages,
+                    barrier,
+                } => {
+                    let now = self.now;
+                    let (consumed, waited) = {
+                        let task = self.tasks[n].as_mut().expect("checked above");
+                        if task.try_consume(from, messages) {
+                            task.pc += 1;
+                            (true, task.blocked_since.take().map(|since| now - since))
+                        } else {
+                            task.blocked_since.get_or_insert(now);
+                            (false, None)
+                        }
+                    };
+                    if let Some(waited) = waited {
+                        self.observer.task_blocked_wait(node, waited, barrier);
+                    }
+                    if !consumed {
+                        return;
+                    }
+                }
+                Op::Phase { index } => {
+                    self.tasks[n].as_mut().expect("checked above").pc += 1;
+                    self.observer.task_phase_completed(node, index, self.now);
+                }
+            }
+        }
+    }
+
+    /// Post one workload packet at `src`'s NIC — the same generation path
+    /// as injector traffic, but with a deterministic id from the workload
+    /// namespace (so id assignment cannot depend on execution order).
+    fn workload_send(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert_ne!(src, dst, "lowerings never emit self-sends");
+        let n = self.nlocal(src);
+        let seq = {
+            let task = self.tasks[n].as_mut().expect("sending node has a task");
+            let seq = task.next_send_seq;
+            task.next_send_seq += 1;
+            seq
+        };
+        let inj = QueuedInjection {
+            time: self.now,
+            src,
+            dst,
+            id: workload_packet_id(src, seq),
+        };
+        let packet = self.make_packet(inj);
+        let pref = self.arena.alloc(packet);
+        self.observer
+            .packet_generated(self.arena.get(pref), self.now);
+        self.generated += 1;
+        self.nics[n].generated += 1;
+        self.nics[n].source_queue.push_back(pref);
+        self.try_nic_inject(src);
     }
 
     // ------------------------------------------------------------------
@@ -635,6 +792,25 @@ impl<O: ShardObserver> Shard<O> {
                 self.observer
                     .packet_delivered(self.arena.get(pref), delivery);
                 self.delivered += 1;
+                if self.has_tasks {
+                    // Closed-loop notification: the destination node is
+                    // always attached to this shard (host ports never
+                    // cross shards), so the wakeup is a local event at
+                    // the delivery time — no lookahead interaction.
+                    let (p_src, p_dst, p_id) = {
+                        let p = self.arena.get(pref);
+                        (p.src, p.dst, p.id)
+                    };
+                    if p_id & WORKLOAD_ID_BIT != 0 {
+                        self.queue.push(
+                            delivery,
+                            EventKind::TaskRecv {
+                                node: p_dst,
+                                src: p_src,
+                            },
+                        );
+                    }
+                }
                 self.arena.free(pref);
             }
             PortKind::Local | PortKind::Global => {

@@ -188,6 +188,95 @@ fn random_workloads_are_invariant_across_shards_and_pipelining() {
     }
 }
 
+/// Closed-loop task programs under the overlapped-window pipeline: task
+/// wakeups scheduled near window edges must commit identically whether
+/// windows overlap or run in lockstep, for every shard count.
+#[test]
+fn closed_loop_task_programs_are_pipeline_invariant() {
+    use dragonfly_engine::injector::EmptyInjector;
+    use dragonfly_engine::{NodeProgram, Op};
+    let n = Dragonfly::new(DragonflyConfig::tiny()).num_nodes();
+    // A two-round neighbour exchange with per-node compute skew so wakeups
+    // land at many different offsets inside the 150 ns pipeline windows.
+    let programs: Vec<NodeProgram> = (0..n)
+        .map(|i| {
+            let next = NodeId::from_index((i + 1) % n);
+            let prev = NodeId::from_index((i + n - 1) % n);
+            vec![
+                Op::Compute {
+                    delay_ns: (i as u64 % 11) * 37,
+                },
+                Op::Send {
+                    dst: next,
+                    messages: 2,
+                },
+                Op::Recv {
+                    from: prev,
+                    messages: 2,
+                    barrier: false,
+                },
+                Op::Phase { index: 0 },
+                Op::Send {
+                    dst: prev,
+                    messages: 1,
+                },
+                Op::Recv {
+                    from: next,
+                    messages: 1,
+                    barrier: true,
+                },
+                Op::Phase { index: 1 },
+            ]
+        })
+        .collect();
+    let run = |shards: ShardKind, pipeline: bool| {
+        let algo = MinimalTestRouting;
+        let mut cfg = EngineConfig::paper(3);
+        cfg.shards = shards;
+        cfg.pipeline = pipeline;
+        let mut engine = Engine::new(
+            Dragonfly::new(DragonflyConfig::tiny()),
+            cfg,
+            &algo,
+            Box::new(EmptyInjector),
+            CountingObserver::default(),
+            42,
+        );
+        engine.install_workload(programs.clone());
+        let (_, processed) = engine.run_to_drain(500_000_000);
+        assert_eq!(engine.tasks_finished(), n as u64, "program must drain");
+        assert!(engine.arena_live_counts().iter().all(|l| *l == 0));
+        (
+            (
+                engine.stats().generated,
+                engine.stats().injected,
+                engine.stats().delivered,
+                engine.stats().events,
+            ),
+            engine.merged_observer(),
+            processed,
+        )
+    };
+    let (ref_stats, ref_obs, ref_events) = run(ShardKind::Single, false);
+    assert_eq!(ref_stats.2, 3 * n as u64, "delivered count");
+    for shard_count in [1usize, 2, 4] {
+        for pipeline in [false, true] {
+            let shards = if shard_count == 1 {
+                ShardKind::Single
+            } else {
+                ShardKind::Fixed(shard_count)
+            };
+            let (stats, obs, events) = run(shards, pipeline);
+            let label = format!("shards={shard_count} pipeline={pipeline}");
+            assert_eq!(stats, ref_stats, "{label}");
+            assert_eq!(events, ref_events, "{label}");
+            assert_eq!(obs.delivered, ref_obs.delivered, "{label}");
+            assert_eq!(obs.total_latency_ns, ref_obs.total_latency_ns, "{label}");
+            assert_eq!(obs.total_hops, ref_obs.total_hops, "{label}");
+        }
+    }
+}
+
 /// Pipelined and barrier executions must also agree with each other under
 /// the reference binary-heap scheduler (three orthogonal determinism
 /// axes: shard count, pipelining, scheduler).

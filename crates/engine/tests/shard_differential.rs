@@ -195,6 +195,87 @@ impl AggregateFields for EngineStats {
 }
 
 #[test]
+fn closed_loop_task_programs_are_shard_and_scheduler_invariant() {
+    // Hand-rolled task programs (no workload crate: the engine contract is
+    // pinned at the Op level): a ring exchange, a phase marker, a pairwise
+    // barrier exchange and trailing compute. TaskWake/TaskRecv events must
+    // commit in the same order on every shard count and scheduler.
+    use dragonfly_engine::injector::EmptyInjector;
+    use dragonfly_engine::{NodeProgram, Op};
+    let n = Dragonfly::new(DragonflyConfig::tiny()).num_nodes();
+    let programs: Vec<NodeProgram> = (0..n)
+        .map(|i| {
+            let next = NodeId::from_index((i + 1) % n);
+            let prev = NodeId::from_index((i + n - 1) % n);
+            let pair = NodeId::from_index((i + n / 2) % n);
+            vec![
+                Op::Compute {
+                    delay_ns: 50 + (i as u64 % 7) * 10,
+                },
+                Op::Send {
+                    dst: next,
+                    messages: 2,
+                },
+                Op::Recv {
+                    from: prev,
+                    messages: 2,
+                    barrier: false,
+                },
+                Op::Phase { index: 0 },
+                Op::Send {
+                    dst: pair,
+                    messages: 1,
+                },
+                Op::Recv {
+                    from: pair,
+                    messages: 1,
+                    barrier: true,
+                },
+                Op::Compute { delay_ns: 25 },
+                Op::Phase { index: 1 },
+            ]
+        })
+        .collect();
+    let run = |shards: ShardKind, scheduler: SchedulerKind| {
+        let algo = MinimalTestRouting;
+        let mut cfg = EngineConfig::paper(3);
+        cfg.shards = shards;
+        cfg.scheduler = scheduler;
+        let mut engine = Engine::new(
+            Dragonfly::new(DragonflyConfig::tiny()),
+            cfg,
+            &algo,
+            Box::new(EmptyInjector),
+            CountingObserver::default(),
+            42,
+        );
+        engine.install_workload(programs.clone());
+        let (_, processed) = engine.run_to_drain(500_000_000);
+        assert_eq!(engine.tasks_finished(), n as u64, "program must drain");
+        assert!(engine.arena_live_counts().iter().all(|l| *l == 0));
+        (
+            engine.stats().aggregate_fields(),
+            engine.merged_observer(),
+            processed,
+        )
+    };
+    let (base_stats, base_obs, base_events) = run(ShardKind::Single, SchedulerKind::Calendar);
+    // 2 ring + 1 pairwise message per node.
+    assert_eq!(base_stats.2, 3 * n as u64, "delivered count");
+    for shard_count in [2usize, 4] {
+        for scheduler in [SchedulerKind::Calendar, SchedulerKind::BinaryHeap] {
+            let (stats, obs, events) = run(ShardKind::Fixed(shard_count), scheduler);
+            let label = format!("shards={shard_count} scheduler={scheduler:?}");
+            assert_eq!(stats, base_stats, "{label}");
+            assert_eq!(events, base_events, "{label}");
+            assert_eq!(obs.delivered, base_obs.delivered, "{label}");
+            assert_eq!(obs.total_latency_ns, base_obs.total_latency_ns, "{label}");
+            assert_eq!(obs.total_hops, base_obs.total_hops, "{label}");
+        }
+    }
+}
+
+#[test]
 fn sharded_heap_scheduler_matches_sharded_calendar() {
     // Scheduler choice and shard count are orthogonal determinism axes:
     // both must pop the same (time, key, seq) order per shard.

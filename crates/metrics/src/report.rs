@@ -44,6 +44,25 @@ pub struct SimulationReport {
     pub wall_seconds: f64,
     /// Simulated events processed.
     pub events_processed: u64,
+    /// Job completion time in µs: when the last rank's task program
+    /// finished (closed-loop workload runs only; 0 otherwise).
+    #[serde(default)]
+    pub job_completion_us: f64,
+    /// Ranks whose task program ran to completion (equals the node count
+    /// when the job drained fully).
+    #[serde(default)]
+    pub ranks_finished: u64,
+    /// Completion time of each workload phase in µs (the last rank to
+    /// pass the phase marker; index = phase slot).
+    #[serde(default)]
+    pub phase_completion_us: Vec<f64>,
+    /// Total time ranks spent blocked in barrier receives, in µs.
+    #[serde(default)]
+    pub barrier_wait_us: f64,
+    /// Collective skew in µs: the spread between the last and the first
+    /// rank to finish the job.
+    #[serde(default)]
+    pub collective_skew_us: f64,
 }
 
 impl SimulationReport {
@@ -51,14 +70,22 @@ impl SimulationReport {
     pub fn csv_header() -> String {
         "routing,traffic,offered_load,throughput,mean_latency_us,median_latency_us,\
          q1_latency_us,q3_latency_us,p95_latency_us,p99_latency_us,mean_hops,\
-         packets_delivered,packets_generated"
+         packets_delivered,packets_generated,job_completion_us,ranks_finished,\
+         barrier_wait_us,collective_skew_us,phase_completion_us"
             .to_string()
     }
 
-    /// One CSV row.
+    /// One CSV row. The per-phase completion vector is ';'-joined so it
+    /// stays a single CSV column.
     pub fn csv_row(&self) -> String {
+        let phases = self
+            .phase_completion_us
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(";");
         format!(
-            "{},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}",
+            "{},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{:.3},{},{:.3},{:.3},{}",
             self.routing,
             self.traffic,
             self.offered_load,
@@ -72,12 +99,17 @@ impl SimulationReport {
             self.mean_hops,
             self.packets_delivered,
             self.packets_generated,
+            self.job_completion_us,
+            self.ranks_finished,
+            self.barrier_wait_us,
+            self.collective_skew_us,
+            phases,
         )
     }
 
     /// A compact single-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{:<10} {:<14} load={:.2}  tput={:.3}  lat(mean/p95/p99)={:.2}/{:.2}/{:.2} us  hops={:.2}",
             self.routing,
             self.traffic,
@@ -87,7 +119,14 @@ impl SimulationReport {
             self.p95_latency_us,
             self.p99_latency_us,
             self.mean_hops
-        )
+        );
+        if self.ranks_finished > 0 {
+            s.push_str(&format!(
+                "  jct={:.2} us ({} ranks, skew {:.2} us)",
+                self.job_completion_us, self.ranks_finished, self.collective_skew_us
+            ));
+        }
+        s
     }
 
     /// Delivered-to-generated ratio of the measurement window (1.0 means
@@ -234,6 +273,11 @@ mod tests {
             fraction_below_2us: 0.99,
             wall_seconds: 0.5,
             events_processed: 12345,
+            job_completion_us: 41.5,
+            ranks_finished: 72,
+            phase_completion_us: vec![20.0, 41.5],
+            barrier_wait_us: 3.25,
+            collective_skew_us: 1.75,
         }
     }
 
@@ -242,6 +286,31 @@ mod tests {
         let header_fields = SimulationReport::csv_header().split(',').count();
         let row_fields = report().csv_row().split(',').count();
         assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn phase_vector_stays_one_csv_column() {
+        let row = report().csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            SimulationReport::csv_header().split(',').count()
+        );
+        assert!(row.ends_with("20.000;41.500"), "{row}");
+    }
+
+    #[test]
+    fn reports_without_completion_fields_still_deserialize() {
+        // A PR-5-era report JSON has none of the closed-loop fields.
+        let legacy = r#"{"routing":"MIN","traffic":"UR","offered_load":0.5,
+            "window_ns":1000,"packets_generated":10,"packets_delivered":10,
+            "throughput":0.5,"mean_latency_us":1.0,"median_latency_us":1.0,
+            "q1_latency_us":1.0,"q3_latency_us":1.0,"p95_latency_us":1.0,
+            "p99_latency_us":1.0,"max_latency_us":1.0,"mean_hops":2.0,
+            "fraction_below_2us":1.0,"wall_seconds":0.1,"events_processed":99}"#;
+        let r: SimulationReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.ranks_finished, 0);
+        assert_eq!(r.job_completion_us, 0.0);
+        assert!(r.phase_completion_us.is_empty());
     }
 
     #[test]

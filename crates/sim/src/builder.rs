@@ -3,6 +3,7 @@
 use crate::collector::MetricsCollector;
 use crate::injector::PatternInjector;
 use dragonfly_engine::config::EngineConfig;
+use dragonfly_engine::injector::{EmptyInjector, TrafficInjector};
 use dragonfly_engine::time::SimTime;
 use dragonfly_engine::Engine;
 use dragonfly_metrics::report::SimulationReport;
@@ -11,6 +12,7 @@ use dragonfly_routing::RoutingSpec;
 use dragonfly_topology::{Topology, TopologySpec};
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
+use dragonfly_workload::WorkloadSpec;
 use std::time::Instant;
 
 /// Builder for a single simulation run: one topology, one routing
@@ -47,6 +49,10 @@ pub struct SimulationBuilder {
     /// tail is not measured; it only exists so the window is not biased by
     /// an emptying network).
     tail_ns: SimTime,
+    /// Closed-loop workload (spec + intensity multiplier). When set, the
+    /// open-loop pattern injector is replaced by per-node task programs
+    /// and the run drains instead of stopping at a wall-clock boundary.
+    workload: Option<(WorkloadSpec, f64)>,
 }
 
 impl SimulationBuilder {
@@ -65,6 +71,7 @@ impl SimulationBuilder {
             series_bin_ns: None,
             engine_config: None,
             tail_ns: 0,
+            workload: None,
         }
     }
 
@@ -83,6 +90,19 @@ impl SimulationBuilder {
     /// Use a constant offered load.
     pub fn offered_load(mut self, load: f64) -> Self {
         self.schedule = LoadSchedule::constant(load);
+        self
+    }
+
+    /// Run a closed-loop workload at intensity 1.0 instead of an open-loop
+    /// traffic pattern.
+    pub fn workload(self, workload: WorkloadSpec) -> Self {
+        self.workload_at(workload, 1.0)
+    }
+
+    /// Run a closed-loop workload with an explicit message-count intensity
+    /// multiplier (may exceed 1.0).
+    pub fn workload_at(mut self, workload: WorkloadSpec, intensity: f64) -> Self {
+        self.workload = Some((workload, intensity));
         self
     }
 
@@ -150,13 +170,20 @@ impl SimulationBuilder {
     /// (the reverse of [`crate::spec::ExperimentSpec::to_builder`]), e.g. to
     /// save a programmatically built experiment as a scenario file.
     pub fn to_spec(&self, name: &str) -> crate::spec::ExperimentSpec {
+        // Closed-loop runs serialise their intensity back into `load`
+        // (schedules are open-loop only and would fail validation).
+        let (load, schedule) = match &self.workload {
+            Some((_, intensity)) => (Some(*intensity), None),
+            None => (None, Some(self.schedule.clone())),
+        };
         crate::spec::ExperimentSpec {
             name: name.to_string(),
             topology: self.topology,
             routing: self.routing,
             traffic: self.traffic,
-            load: None,
-            schedule: Some(self.schedule.clone()),
+            workload: self.workload.as_ref().map(|(w, _)| w.clone()),
+            load,
+            schedule,
             warmup_ns: self.warmup_ns,
             measure_ns: self.measure_ns,
             tail_ns: self.tail_ns,
@@ -172,26 +199,44 @@ impl SimulationBuilder {
         let mut cfg = self.engine_config.unwrap_or_default();
         cfg.num_vcs = algorithm.num_vcs();
         let end = self.total_ns();
-        let injector = PatternInjector::new(
-            &topo,
-            &cfg,
-            self.traffic.build(&topo, self.seed ^ 0xA5A5_5A5A),
-            self.schedule.clone(),
-            end,
-            self.seed,
-        );
+        // Closed-loop runs compile their task programs against the
+        // topology before it is moved into the engine; open-loop runs
+        // build the pattern injector instead.
+        let mut programs = None;
+        let injector: Box<dyn TrafficInjector> = match &self.workload {
+            Some((workload, intensity)) => {
+                programs = Some(
+                    workload
+                        .compile(&topo, *intensity)
+                        .expect("workload specs are validated before running"),
+                );
+                Box::new(EmptyInjector)
+            }
+            None => Box::new(PatternInjector::new(
+                &topo,
+                &cfg,
+                self.traffic.build(&topo, self.seed ^ 0xA5A5_5A5A),
+                self.schedule.clone(),
+                end,
+                self.seed,
+            )),
+        };
         let mut collector = MetricsCollector::new(self.warmup_ns, self.warmup_ns + self.measure_ns);
         if let Some(bin) = self.series_bin_ns {
             collector = collector.with_series(bin);
         }
-        Engine::new(
+        let mut engine = Engine::new(
             topo,
             cfg,
             algorithm.as_ref(),
-            Box::new(injector),
+            injector,
             collector,
             self.seed,
-        )
+        );
+        if let Some(programs) = programs {
+            engine.install_workload(programs);
+        }
+        engine
     }
 
     fn report_from(
@@ -210,10 +255,29 @@ impl SimulationBuilder {
             collector
                 .throughput
                 .normalized(window_ns, nodes, cfg.injection_bytes_per_ns());
+        // Closed-loop completion metrics (all zero for open-loop runs).
+        let ranks_finished = collector.ranks_finished;
+        let (job_completion_us, collective_skew_us) = if ranks_finished > 0 {
+            (
+                collector.job_end_max_ns as f64 / 1_000.0,
+                collector
+                    .job_end_max_ns
+                    .saturating_sub(collector.job_end_min_ns) as f64
+                    / 1_000.0,
+            )
+        } else {
+            (0.0, 0.0)
+        };
         SimulationReport {
             routing: self.routing.label(),
-            traffic: self.traffic.label(),
-            offered_load: self.schedule.peak_load(),
+            traffic: match &self.workload {
+                Some((workload, _)) => workload.label(),
+                None => self.traffic.label(),
+            },
+            offered_load: match &self.workload {
+                Some((_, intensity)) => *intensity,
+                None => self.schedule.peak_load(),
+            },
             window_ns,
             packets_generated: collector.generated_in_window,
             packets_delivered: collector.latency.count() as u64,
@@ -229,6 +293,27 @@ impl SimulationBuilder {
             fraction_below_2us: collector.latency.fraction_below(2_000),
             wall_seconds,
             events_processed: stats.events,
+            job_completion_us,
+            ranks_finished,
+            phase_completion_us: collector
+                .phase_end_ns
+                .iter()
+                .map(|&ns| ns as f64 / 1_000.0)
+                .collect(),
+            barrier_wait_us: collector.barrier_wait_ns as f64 / 1_000.0,
+            collective_skew_us,
+        }
+    }
+
+    /// Run the engine to the builder's stopping rule: open-loop runs stop
+    /// at the wall-clock boundary, closed-loop runs drain their task
+    /// programs (capped at the same boundary so a deadlocked program
+    /// cannot hang the simulation).
+    fn run_engine(&self, engine: &mut Engine<MetricsCollector>) {
+        if self.workload.is_some() {
+            engine.run_to_drain(self.total_ns());
+        } else {
+            engine.run_until(self.total_ns());
         }
     }
 
@@ -236,7 +321,7 @@ impl SimulationBuilder {
     pub fn run(self) -> SimulationReport {
         let started = Instant::now();
         let mut engine = self.build_engine();
-        engine.run_until(self.total_ns());
+        self.run_engine(&mut engine);
         let wall = started.elapsed().as_secs_f64();
         self.report_from(&mut engine, wall)
     }
@@ -249,7 +334,7 @@ impl SimulationBuilder {
         }
         let started = Instant::now();
         let mut engine = self.build_engine();
-        engine.run_until(self.total_ns());
+        self.run_engine(&mut engine);
         let wall = started.elapsed().as_secs_f64();
         let report = self.report_from(&mut engine, wall);
         let series = engine
@@ -319,6 +404,58 @@ mod tests {
         assert!(series.len() >= 4);
         let total: u64 = series.iter().map(|(_, b)| b.packets).sum();
         assert!(total >= report.packets_delivered);
+    }
+
+    #[test]
+    fn closed_loop_allreduce_reports_completion_metrics() {
+        let report = SimulationBuilder::new(DragonflyConfig::tiny())
+            .routing(RoutingSpec::UgalG)
+            .workload(WorkloadSpec::AllReduce { messages: 2 })
+            .warmup_ns(0)
+            .measure_ns(10_000_000)
+            .seed(7)
+            .run();
+        assert_eq!(report.ranks_finished, 72, "every rank must finish");
+        assert!(report.job_completion_us > 0.0);
+        assert!(report.collective_skew_us >= 0.0);
+        assert!(report.traffic.contains("AllReduce"));
+        assert_eq!(report.offered_load, 1.0);
+        // One trailing phase marker per collective.
+        assert_eq!(report.phase_completion_us.len(), 1);
+        assert!(report.phase_completion_us[0] <= report.job_completion_us);
+    }
+
+    #[test]
+    fn closed_loop_runs_are_shard_invariant() {
+        let make = |shards| {
+            SimulationBuilder::new(DragonflyConfig::tiny())
+                .routing(RoutingSpec::Minimal)
+                .workload_at(
+                    WorkloadSpec::Sequence(vec![
+                        WorkloadSpec::HaloExchange {
+                            phases: 2,
+                            messages: 2,
+                            compute_ns: 100,
+                        },
+                        WorkloadSpec::Barrier,
+                    ]),
+                    2.0,
+                )
+                .warmup_ns(0)
+                .measure_ns(10_000_000)
+                .seed(11)
+                .shards(shards)
+                .run()
+        };
+        let single = make(dragonfly_engine::config::ShardKind::Single);
+        let sharded = make(dragonfly_engine::config::ShardKind::Fixed(3));
+        assert_eq!(single.ranks_finished, 72);
+        assert_eq!(single.job_completion_us, sharded.job_completion_us);
+        assert_eq!(single.phase_completion_us, sharded.phase_completion_us);
+        assert_eq!(single.barrier_wait_us, sharded.barrier_wait_us);
+        assert_eq!(single.collective_skew_us, sharded.collective_skew_us);
+        assert_eq!(single.packets_delivered, sharded.packets_delivered);
+        assert!(single.barrier_wait_us > 0.0, "barrier waits are recorded");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use dragonfly_metrics::histogram::Histogram;
 use dragonfly_metrics::latency::LatencyStats;
 use dragonfly_metrics::throughput::ThroughputMeter;
 use dragonfly_metrics::timeseries::TimeSeries;
+use dragonfly_topology::ids::NodeId;
 
 /// Collects latency, hop and throughput statistics over a measurement
 /// window, plus an optional whole-run time series.
@@ -36,6 +37,17 @@ pub struct MetricsCollector {
     pub delivered_total: u64,
     /// Optional binned time series over the whole run.
     pub series: Option<TimeSeries>,
+    /// Closed-loop: ranks whose task program ran to completion.
+    pub ranks_finished: u64,
+    /// Closed-loop: when the last rank finished (max across ranks).
+    pub job_end_max_ns: SimTime,
+    /// Closed-loop: when the first rank finished (`u64::MAX` when none).
+    pub job_end_min_ns: SimTime,
+    /// Closed-loop: completion time of each phase slot (elementwise max
+    /// across ranks; index = phase slot).
+    pub phase_end_ns: Vec<SimTime>,
+    /// Closed-loop: total ns ranks spent blocked in barrier receives.
+    pub barrier_wait_ns: u64,
 }
 
 impl MetricsCollector {
@@ -51,6 +63,11 @@ impl MetricsCollector {
             generated_total: 0,
             delivered_total: 0,
             series: None,
+            ranks_finished: 0,
+            job_end_max_ns: 0,
+            job_end_min_ns: SimTime::MAX,
+            phase_end_ns: Vec::new(),
+            barrier_wait_ns: 0,
         }
     }
 
@@ -85,6 +102,18 @@ impl ShardObserver for MetricsCollector {
             (None, Some(theirs)) => self.series = Some(theirs),
             _ => {}
         }
+        // Max / min / elementwise-max / sum: all order-independent, so
+        // merged closed-loop metrics match a single-shard run exactly.
+        self.ranks_finished += other.ranks_finished;
+        self.job_end_max_ns = self.job_end_max_ns.max(other.job_end_max_ns);
+        self.job_end_min_ns = self.job_end_min_ns.min(other.job_end_min_ns);
+        if self.phase_end_ns.len() < other.phase_end_ns.len() {
+            self.phase_end_ns.resize(other.phase_end_ns.len(), 0);
+        }
+        for (slot, end) in other.phase_end_ns.iter().enumerate() {
+            self.phase_end_ns[slot] = self.phase_end_ns[slot].max(*end);
+        }
+        self.barrier_wait_ns += other.barrier_wait_ns;
     }
 }
 
@@ -106,6 +135,26 @@ impl SimObserver for MetricsCollector {
             self.latency.record(latency);
             self.hops.record(packet.hops as usize);
             self.throughput.record(packet.size_bytes);
+        }
+    }
+
+    fn task_phase_completed(&mut self, _node: NodeId, phase: u32, now: SimTime) {
+        let slot = phase as usize;
+        if self.phase_end_ns.len() <= slot {
+            self.phase_end_ns.resize(slot + 1, 0);
+        }
+        self.phase_end_ns[slot] = self.phase_end_ns[slot].max(now);
+    }
+
+    fn task_rank_finished(&mut self, _node: NodeId, now: SimTime) {
+        self.ranks_finished += 1;
+        self.job_end_max_ns = self.job_end_max_ns.max(now);
+        self.job_end_min_ns = self.job_end_min_ns.min(now);
+    }
+
+    fn task_blocked_wait(&mut self, _node: NodeId, waited_ns: u64, barrier: bool) {
+        if barrier {
+            self.barrier_wait_ns += waited_ns;
         }
     }
 }
@@ -160,6 +209,26 @@ mod tests {
         c.packet_generated(&packet(250, 0), 250);
         assert_eq!(c.generated_total, 3);
         assert_eq!(c.generated_in_window, 1);
+    }
+
+    #[test]
+    fn closed_loop_accumulators_merge_order_independently() {
+        let mut a = MetricsCollector::new(0, 1_000);
+        let mut b = MetricsCollector::new(0, 1_000);
+        a.task_phase_completed(NodeId(0), 0, 100);
+        a.task_rank_finished(NodeId(0), 400);
+        a.task_blocked_wait(NodeId(0), 50, true);
+        a.task_blocked_wait(NodeId(0), 99, false); // non-barrier wait
+        b.task_phase_completed(NodeId(1), 0, 250);
+        b.task_phase_completed(NodeId(1), 1, 300);
+        b.task_rank_finished(NodeId(1), 350);
+        b.task_blocked_wait(NodeId(1), 25, true);
+        a.absorb(b);
+        assert_eq!(a.ranks_finished, 2);
+        assert_eq!(a.job_end_max_ns, 400);
+        assert_eq!(a.job_end_min_ns, 350);
+        assert_eq!(a.phase_end_ns, vec![250, 300]);
+        assert_eq!(a.barrier_wait_ns, 75);
     }
 
     #[test]

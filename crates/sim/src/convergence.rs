@@ -87,6 +87,7 @@ pub fn run_convergence(
         topology: topology.into(),
         routing,
         traffic,
+        workload: None,
         load: None,
         schedule: Some(schedule),
         warmup_ns: duration_ns.saturating_sub(measure_tail_ns),

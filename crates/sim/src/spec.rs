@@ -42,6 +42,7 @@ use dragonfly_routing::RoutingSpec;
 use dragonfly_topology::{Topology, TopologySpec};
 use dragonfly_traffic::schedule::LoadSchedule;
 use dragonfly_traffic::TrafficSpec;
+use dragonfly_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -95,8 +96,15 @@ pub struct ExperimentSpec {
     /// Traffic pattern.
     #[serde(default)]
     pub traffic: TrafficSpec,
+    /// Closed-loop application workload. When present the open-loop
+    /// injector is replaced by per-node task programs (collectives,
+    /// halo exchanges, …) and `load` acts as a message-count intensity
+    /// multiplier (default 1.0). Mutually exclusive with `schedule`.
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
     /// Constant offered load in `[0, 1]` — shorthand for a single-segment
-    /// schedule. Mutually exclusive with `schedule`.
+    /// schedule. Mutually exclusive with `schedule`. With a `workload`
+    /// this becomes the optional intensity multiplier instead.
     #[serde(default)]
     pub load: Option<f64>,
     /// Piecewise-constant offered-load schedule (dynamic-load studies).
@@ -134,6 +142,7 @@ impl ExperimentSpec {
             topology: topology.into(),
             routing: RoutingSpec::default(),
             traffic: TrafficSpec::default(),
+            workload: None,
             load: Some(0.1),
             schedule: None,
             warmup_ns: 20_000,
@@ -159,6 +168,12 @@ impl ExperimentSpec {
         self.seed.unwrap_or(DEFAULT_SEED)
     }
 
+    /// The effective closed-loop intensity multiplier (only meaningful
+    /// when `workload` is set): `load` when given, else 1.0.
+    pub fn effective_intensity(&self) -> f64 {
+        self.load.unwrap_or(1.0)
+    }
+
     /// Total simulated time of the run.
     pub fn total_ns(&self) -> SimTime {
         self.warmup_ns + self.measure_ns + self.tail_ns
@@ -175,14 +190,34 @@ impl ExperimentSpec {
                 "specify either `load` or `schedule`, not both".to_string(),
             ));
         }
-        if self.load.is_none() && self.schedule.is_none() {
-            return Err(SpecError(
-                "an experiment needs a `load` or a `schedule`".to_string(),
-            ));
-        }
-        if let Some(load) = self.load {
-            if !(0.0..=1.0).contains(&load) {
-                return Err(SpecError(format!("load {load} must be in [0, 1]")));
+        if let Some(workload) = &self.workload {
+            if self.schedule.is_some() {
+                return Err(SpecError(
+                    "a closed-loop `workload` paces itself; `schedule` is open-loop only \
+                     (use `load` as an intensity multiplier instead)"
+                        .to_string(),
+                ));
+            }
+            if let Some(load) = self.load {
+                if load <= 0.0 || !load.is_finite() {
+                    return Err(SpecError(format!(
+                        "workload intensity (`load`) must be a positive number, got {load}"
+                    )));
+                }
+            }
+            workload
+                .validate(&self.topology.build())
+                .map_err(|e| SpecError(format!("workload: {e}")))?;
+        } else {
+            if self.load.is_none() && self.schedule.is_none() {
+                return Err(SpecError(
+                    "an experiment needs a `load`, a `schedule` or a `workload`".to_string(),
+                ));
+            }
+            if let Some(load) = self.load {
+                if !(0.0..=1.0).contains(&load) {
+                    return Err(SpecError(format!("load {load} must be in [0, 1]")));
+                }
             }
         }
         if let Some(schedule) = &self.schedule {
@@ -213,14 +248,24 @@ impl ExperimentSpec {
     /// Convert to a [`SimulationBuilder`] (the reverse of
     /// [`SimulationBuilder::to_spec`]).
     pub fn to_builder(&self) -> SimulationBuilder {
+        // Closed-loop runs reuse the schedule slot to carry the intensity
+        // multiplier (its peak load) down to the builder.
+        let schedule = if self.workload.is_some() {
+            LoadSchedule::constant(self.effective_intensity().min(1.0))
+        } else {
+            self.effective_schedule()
+        };
         let mut builder = SimulationBuilder::new(self.topology)
             .routing(self.routing)
             .traffic(self.traffic)
-            .schedule(self.effective_schedule())
+            .schedule(schedule)
             .warmup_ns(self.warmup_ns)
             .measure_ns(self.measure_ns)
             .tail_ns(self.tail_ns)
             .seed(self.effective_seed());
+        if let Some(workload) = &self.workload {
+            builder = builder.workload_at(workload.clone(), self.effective_intensity());
+        }
         if let Some(bin) = self.series_bin_ns {
             builder = builder.series_bin_ns(bin);
         }
@@ -246,12 +291,16 @@ impl ExperimentSpec {
         let base = format!(
             "{} over {} on {} @ {}",
             self.routing.label(),
-            self.traffic.label(),
+            match &self.workload {
+                Some(w) => w.label(),
+                None => self.traffic.label(),
+            },
             self.topology,
-            match (&self.schedule, self.load) {
-                (Some(s), _) => format!("peak load {:.2}", s.peak_load()),
-                (None, Some(l)) => format!("load {l:.2}"),
-                (None, None) => "load 0.10".to_string(),
+            match (&self.workload, &self.schedule, self.load) {
+                (Some(_), _, _) => format!("intensity {:.2}", self.effective_intensity()),
+                (None, Some(s), _) => format!("peak load {:.2}", s.peak_load()),
+                (None, None, Some(l)) => format!("load {l:.2}"),
+                (None, None, None) => "load 0.10".to_string(),
             }
         );
         if self.name.is_empty() {
@@ -321,6 +370,11 @@ pub struct SweepSpec {
     /// Traffic patterns (empty → uniform random only).
     #[serde(default)]
     pub traffics: Vec<TrafficSpec>,
+    /// Closed-loop workload shared by all points. When present every
+    /// point runs this workload and `loads` become intensity multipliers
+    /// (load-vs-job-completion-time curves).
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
     /// Routing algorithms (empty → the paper's six-algorithm lineup).
     #[serde(default)]
     pub routings: Vec<RoutingSpec>,
@@ -359,6 +413,7 @@ impl SweepSpec {
             name: String::new(),
             topology: topology.into(),
             traffics: vec![traffic],
+            workload: None,
             routings: RoutingSpec::paper_lineup(),
             loads,
             warmup_ns,
@@ -414,9 +469,20 @@ impl SweepSpec {
             return Err(SpecError("a sweep needs at least one load".to_string()));
         }
         for load in &self.loads {
-            if !(0.0..=1.0).contains(load) {
+            if self.workload.is_some() {
+                if *load <= 0.0 || !load.is_finite() {
+                    return Err(SpecError(format!(
+                        "workload intensity (`loads` entry) must be a positive number, got {load}"
+                    )));
+                }
+            } else if !(0.0..=1.0).contains(load) {
                 return Err(SpecError(format!("load {load} must be in [0, 1]")));
             }
+        }
+        if let Some(workload) = &self.workload {
+            workload
+                .validate(&self.topology.build())
+                .map_err(|e| SpecError(format!("workload: {e}")))?;
         }
         if self.measure_ns == 0 {
             return Err(SpecError("measure_ns must be positive".to_string()));
@@ -448,6 +514,7 @@ impl SweepSpec {
                             topology: self.topology,
                             routing,
                             traffic,
+                            workload: self.workload.clone(),
                             load: Some(load),
                             schedule: None,
                             warmup_ns: self.warmup_ns,
@@ -607,6 +674,7 @@ mod tests {
             topology: DragonflyConfig::tiny().into(),
             routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
             traffic: TrafficSpec::Adversarial { shift: 1 },
+            workload: None,
             load: Some(0.25),
             schedule: None,
             warmup_ns: 10_000,
@@ -732,6 +800,7 @@ mod tests {
             name: "tiny".to_string(),
             topology: DragonflyConfig::tiny().into(),
             traffics: vec![TrafficSpec::UniformRandom],
+            workload: None,
             routings: vec![RoutingSpec::Minimal, RoutingSpec::UgalG],
             loads: vec![0.1, 0.3],
             warmup_ns: 5_000,
@@ -834,6 +903,69 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(sweep.shards_per_point(), 2);
+    }
+
+    #[test]
+    fn workload_specs_round_trip_and_validate() {
+        let mut spec = sample_spec();
+        spec.traffic = TrafficSpec::UniformRandom;
+        spec.workload = Some(WorkloadSpec::AllReduce { messages: 2 });
+        spec.load = None;
+        assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+        assert_eq!(spec.effective_intensity(), 1.0);
+        assert!(spec.label().contains("AllReduce"));
+        // A workload intensity may exceed the open-loop load cap of 1.0.
+        spec.load = Some(2.5);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.effective_intensity(), 2.5);
+        // ...but must stay positive, and cannot mix with a schedule.
+        spec.load = Some(0.0);
+        assert!(spec.validate().unwrap_err().0.contains("positive"));
+        spec.load = None;
+        spec.schedule = Some(LoadSchedule::constant(0.4));
+        assert!(spec.validate().unwrap_err().0.contains("open-loop"));
+        // Workload/topology mismatches surface as friendly spec errors.
+        spec.schedule = None;
+        spec.workload = Some(WorkloadSpec::HaloExchange {
+            phases: 9,
+            messages: 1,
+            compute_ns: 0,
+        });
+        assert!(spec.validate().unwrap_err().0.contains("usable axes"));
+    }
+
+    #[test]
+    fn workload_toml_scenario_parses_from_text() {
+        let spec = ExperimentSpec::from_toml(
+            "warmup_ns = 0\nmeasure_ns = 100000\nrouting = \"UgalG\"\n\
+             [workload.allreduce]\nmessages = 2\n\
+             [topology]\np = 2\na = 4\nh = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.workload, Some(WorkloadSpec::AllReduce { messages: 2 }));
+        assert!(spec.load.is_none());
+    }
+
+    #[test]
+    fn sweeps_carry_workloads_into_every_point() {
+        let mut sweep = sample_sweep();
+        sweep.workload = Some(WorkloadSpec::Barrier);
+        assert_eq!(SweepSpec::from_toml(&sweep.to_toml()).unwrap(), sweep);
+        assert!(sweep.validate().is_ok());
+        let points = sweep.points();
+        assert!(points
+            .iter()
+            .all(|p| p.workload == Some(WorkloadSpec::Barrier)));
+        // Intensities above 1.0 are legal in workload sweeps...
+        sweep.loads = vec![0.5, 2.0];
+        assert!(sweep.validate().is_ok());
+        // ...but not in open-loop sweeps, and never non-positive.
+        sweep.workload = None;
+        assert!(sweep.validate().is_err());
+        sweep.workload = Some(WorkloadSpec::Barrier);
+        sweep.loads = vec![0.0];
+        assert!(sweep.validate().unwrap_err().0.contains("positive"));
     }
 
     #[test]

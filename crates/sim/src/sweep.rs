@@ -273,6 +273,7 @@ impl From<LoadSweep> for crate::spec::SweepSpec {
             name: String::new(),
             topology: sweep.topology.into(),
             traffics: vec![sweep.traffic],
+            workload: None,
             routings: sweep.routings,
             loads: sweep.loads,
             warmup_ns: sweep.warmup_ns,

@@ -58,6 +58,7 @@ fn spec_for(case: &Case, routing: RoutingSpec) -> ExperimentSpec {
         topology: DragonflyConfig { p, a, h }.into(),
         routing,
         traffic: case.traffic,
+        workload: None,
         load: Some(case.load),
         schedule: None,
         warmup_ns: 12_000,
@@ -107,6 +108,22 @@ fn assert_identical(reference: &SimulationReport, got: &SimulationReport, label:
     assert_eq!(
         reference.events_processed, got.events_processed,
         "{label}: even the event count matches"
+    );
+    // Closed-loop completion metrics (all zero on open-loop runs) are part
+    // of the bit-for-bit contract too.
+    assert_eq!(reference.ranks_finished, got.ranks_finished, "{label}");
+    assert_eq!(
+        reference.job_completion_us, got.job_completion_us,
+        "{label}"
+    );
+    assert_eq!(
+        reference.phase_completion_us, got.phase_completion_us,
+        "{label}"
+    );
+    assert_eq!(reference.barrier_wait_us, got.barrier_wait_us, "{label}");
+    assert_eq!(
+        reference.collective_skew_us, got.collective_skew_us,
+        "{label}"
     );
 }
 
@@ -191,6 +208,7 @@ fn fattree_and_hyperx_workloads_are_pipeline_invariant() {
                 topology,
                 routing,
                 traffic,
+                workload: None,
                 load: Some(0.3),
                 schedule: None,
                 warmup_ns: 12_000,
@@ -212,6 +230,71 @@ fn fattree_and_hyperx_workloads_are_pipeline_invariant() {
                         &reference,
                         &got,
                         &format!("{topology:?}/{routing:?} shards={shards} pipeline={pipeline}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_loop_workloads_are_pipeline_invariant() {
+    // Task wakeups (TaskWake/TaskRecv) must commit identically under the
+    // overlapped-window pipeline: the same collectives-and-halo tuples as
+    // the shard suite, with the pipeline toggled on top of the shard sweep.
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig, Topology, TopologySpec};
+    use dragonfly_workload::WorkloadSpec;
+    let topologies: Vec<TopologySpec> = vec![
+        DragonflyConfig { p: 2, a: 4, h: 2 }.into(),
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    let workloads = [
+        WorkloadSpec::AllReduce { messages: 2 },
+        WorkloadSpec::Sequence(vec![
+            WorkloadSpec::HaloExchange {
+                phases: 2,
+                messages: 2,
+                compute_ns: 100,
+            },
+            WorkloadSpec::Barrier,
+        ]),
+    ];
+    for topology in topologies {
+        for workload in &workloads {
+            let base = ExperimentSpec {
+                name: String::new(),
+                topology,
+                routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+                traffic: TrafficSpec::UniformRandom,
+                workload: Some(workload.clone()),
+                load: Some(1.0),
+                schedule: None,
+                warmup_ns: 0,
+                measure_ns: 10_000_000,
+                tail_ns: 0,
+                seed: Some(71),
+                series_bin_ns: None,
+                engine: None,
+            };
+            let reference = run_mode(base.clone(), ShardKind::Single, false);
+            assert_eq!(
+                reference.ranks_finished,
+                topology.build().num_nodes() as u64,
+                "{topology:?}/{workload:?}: every rank must finish"
+            );
+            for shards in [2usize, 4] {
+                for pipeline in [false, true] {
+                    let got = run_mode(base.clone(), ShardKind::Fixed(shards), pipeline);
+                    assert_identical(
+                        &reference,
+                        &got,
+                        &format!("{topology:?}/{workload:?} shards={shards} pipeline={pipeline}"),
                     );
                 }
             }

@@ -32,6 +32,7 @@ fn spec_on(
         topology,
         routing,
         traffic,
+        workload: None,
         load: Some(0.35),
         schedule: None,
         warmup_ns: 15_000,
@@ -79,6 +80,22 @@ fn assert_identical(single: &SimulationReport, sharded: &SimulationReport, label
     assert_eq!(
         single.events_processed, sharded.events_processed,
         "{label}: even the event count matches"
+    );
+    // Closed-loop completion metrics (all zero on open-loop runs) are part
+    // of the bit-for-bit contract too.
+    assert_eq!(single.ranks_finished, sharded.ranks_finished, "{label}");
+    assert_eq!(
+        single.job_completion_us, sharded.job_completion_us,
+        "{label}"
+    );
+    assert_eq!(
+        single.phase_completion_us, sharded.phase_completion_us,
+        "{label}"
+    );
+    assert_eq!(single.barrier_wait_us, sharded.barrier_wait_us, "{label}");
+    assert_eq!(
+        single.collective_skew_us, sharded.collective_skew_us,
+        "{label}"
     );
 }
 
@@ -160,6 +177,67 @@ fn fattree_and_hyperx_workloads_are_shard_count_invariant() {
                     &sharded,
                     &format!("{topology:?}/{routing:?} shards={shards}"),
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_loop_workloads_are_shard_count_invariant() {
+    // Collectives and halo exchanges exercise the task-wakeup event
+    // classes (TaskWake / TaskRecv) across shard boundaries; the full
+    // report — including every completion-time field — must match the
+    // single-shard run on all three topologies.
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig, Topology};
+    use dragonfly_workload::WorkloadSpec;
+    let topologies: Vec<TopologySpec> = vec![
+        DragonflyConfig::tiny().into(),
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    let workloads = [
+        WorkloadSpec::AllReduce { messages: 2 },
+        WorkloadSpec::Sequence(vec![
+            WorkloadSpec::HaloExchange {
+                phases: 2,
+                messages: 2,
+                compute_ns: 100,
+            },
+            WorkloadSpec::Barrier,
+        ]),
+    ];
+    for topology in topologies {
+        for workload in &workloads {
+            for (routing, seed) in [
+                (RoutingSpec::UgalG, 61u64),
+                (RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 62),
+            ] {
+                let mut base = spec_on(topology, routing, TrafficSpec::UniformRandom, seed);
+                base.workload = Some(workload.clone());
+                base.load = Some(1.0);
+                base.warmup_ns = 0;
+                base.measure_ns = 10_000_000;
+                base.tail_ns = 0;
+                let single = run_sharded(base.clone(), ShardKind::Single);
+                assert_eq!(
+                    single.ranks_finished,
+                    topology.build().num_nodes() as u64,
+                    "{topology:?}/{workload:?}: every rank must finish"
+                );
+                assert!(single.job_completion_us > 0.0);
+                for shards in [2usize, 4] {
+                    let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+                    assert_identical(
+                        &single,
+                        &sharded,
+                        &format!("{topology:?}/{routing:?}/{workload:?} shards={shards}"),
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,809 @@
+//! [`WorkloadSpec`] — the serialisable "which application" description
+//! used by experiment specs and scenario files.
+//!
+//! The wire form mirrors [`TopologySpec`]: an externally tagged map with a
+//! lowercase tag, plus a parameterless string short form:
+//!
+//! ```toml
+//! [workload.allreduce]
+//! messages = 4
+//!
+//! # or, all defaults:
+//! workload = "barrier"
+//!
+//! # combinators nest as inline arrays (the vendored TOML subset has no
+//! # [[array of tables]]):
+//! [workload]
+//! sequence = [ { allreduce = { messages = 2 } }, "barrier" ]
+//!
+//! # repeat is a table with a body sub-table:
+//! [workload.repeat]
+//! times = 3
+//! [workload.repeat.body.haloexchange]
+//! phases = 2
+//! ```
+//!
+//! [`TopologySpec`]: dragonfly_topology::spec::TopologySpec
+
+use dragonfly_topology::{AnyTopology, Topology};
+use dragonfly_traffic::grid::Grid3D;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Default message count per partner for the collectives.
+pub const DEFAULT_MESSAGES: u32 = 4;
+/// Default compute block length (halo phases, `compute`).
+pub const DEFAULT_COMPUTE_NS: u64 = 200;
+/// Default number of halo phases.
+pub const DEFAULT_PHASES: u32 = 2;
+
+/// A serialisable closed-loop workload description: collectives, the
+/// halo-exchange skeleton, compute blocks and combinators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Recursive-doubling all-reduce over the whole communicator.
+    AllReduce {
+        /// Packets exchanged with each partner per round.
+        messages: u32,
+    },
+    /// Staggered-ring all-to-all (`n − 1` rounds).
+    AllToAll {
+        /// Packets sent to each peer.
+        messages: u32,
+    },
+    /// Binomial-tree broadcast from `root`.
+    Broadcast {
+        /// Root rank within the communicator.
+        root: usize,
+        /// Packets forwarded along each tree edge.
+        messages: u32,
+    },
+    /// Binomial-tree scatter from `root` (edge size ∝ moved subtree).
+    Scatter {
+        /// Root rank within the communicator.
+        root: usize,
+        /// Packets per destination rank.
+        messages: u32,
+    },
+    /// Binomial-tree gather to `root` (edge size ∝ moved subtree).
+    Gather {
+        /// Root rank within the communicator.
+        root: usize,
+        /// Packets per source rank.
+        messages: u32,
+    },
+    /// Dissemination barrier (`⌈log₂ n⌉` rounds of unit messages).
+    Barrier,
+    /// Phased nearest-neighbour exchange over the topology's logical
+    /// grid: phase `p` exchanges along the `p`-th usable grid axis,
+    /// preceded by a compute block.
+    HaloExchange {
+        /// Number of phases (each along one grid axis of size ≥ 2).
+        phases: u32,
+        /// Packets per neighbour per phase.
+        messages: u32,
+        /// Compute block before each phase's exchange, in ns.
+        compute_ns: u64,
+    },
+    /// A pure compute delay on every rank.
+    Compute {
+        /// Duration in ns.
+        ns: u64,
+    },
+    /// Parts run back to back on the same communicator.
+    Sequence(Vec<WorkloadSpec>),
+    /// The body iterated `times` times.
+    Repeat {
+        /// Iteration count (≥ 1).
+        times: u32,
+        /// The repeated workload.
+        body: Box<WorkloadSpec>,
+    },
+    /// The communicator split into one contiguous chunk per part, parts
+    /// running side by side.
+    Mix(Vec<WorkloadSpec>),
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::AllReduce {
+            messages: DEFAULT_MESSAGES,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The lowercase wire tag of the variant.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::AllReduce { .. } => "allreduce",
+            WorkloadSpec::AllToAll { .. } => "alltoall",
+            WorkloadSpec::Broadcast { .. } => "broadcast",
+            WorkloadSpec::Scatter { .. } => "scatter",
+            WorkloadSpec::Gather { .. } => "gather",
+            WorkloadSpec::Barrier => "barrier",
+            WorkloadSpec::HaloExchange { .. } => "haloexchange",
+            WorkloadSpec::Compute { .. } => "compute",
+            WorkloadSpec::Sequence(_) => "sequence",
+            WorkloadSpec::Repeat { .. } => "repeat",
+            WorkloadSpec::Mix(_) => "mix",
+        }
+    }
+
+    /// A short human-readable label (used as the `traffic` column of
+    /// closed-loop report rows).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::AllReduce { messages } => format!("AllReduce(m={messages})"),
+            WorkloadSpec::AllToAll { messages } => format!("AllToAll(m={messages})"),
+            WorkloadSpec::Broadcast { root, messages } => {
+                format!("Bcast(root={root},m={messages})")
+            }
+            WorkloadSpec::Scatter { root, messages } => {
+                format!("Scatter(root={root},m={messages})")
+            }
+            WorkloadSpec::Gather { root, messages } => format!("Gather(root={root},m={messages})"),
+            WorkloadSpec::Barrier => "Barrier".to_string(),
+            WorkloadSpec::HaloExchange {
+                phases, messages, ..
+            } => format!("Halo(phases={phases},m={messages})"),
+            WorkloadSpec::Compute { ns } => format!("Compute({ns}ns)"),
+            WorkloadSpec::Sequence(parts) => {
+                let inner: Vec<String> = parts.iter().map(WorkloadSpec::label).collect();
+                format!("Seq({})", inner.join("; "))
+            }
+            WorkloadSpec::Repeat { times, body } => format!("{times}x({})", body.label()),
+            WorkloadSpec::Mix(parts) => {
+                let inner: Vec<String> = parts.iter().map(WorkloadSpec::label).collect();
+                format!("Mix({})", inner.join(" | "))
+            }
+        }
+    }
+
+    /// Validate against a concrete topology, returning a friendly message
+    /// naming the workload kind and the violated constraint.
+    pub fn validate(&self, topo: &AnyTopology) -> Result<(), String> {
+        let axes = usable_axes(&Grid3D::for_system(topo));
+        self.validate_inner(topo.num_nodes(), false, axes.len())
+    }
+
+    fn validate_inner(&self, n: usize, in_mix: bool, num_axes: usize) -> Result<(), String> {
+        fn comm_of_two(kind: &str, n: usize) -> Result<(), String> {
+            if n < 2 {
+                Err(format!(
+                    "{kind}: needs a communicator of at least 2 nodes, got {n}"
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        fn messages_positive(kind: &str, messages: u32) -> Result<(), String> {
+            if messages == 0 {
+                Err(format!("{kind}: messages must be >= 1"))
+            } else {
+                Ok(())
+            }
+        }
+        fn root_in_comm(kind: &str, root: usize, n: usize) -> Result<(), String> {
+            comm_of_two(kind, n)?;
+            if root >= n {
+                Err(format!(
+                    "{kind}: root rank {root} is outside the {n}-node communicator \
+                     (ranks 0..={})",
+                    n - 1
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        match self {
+            WorkloadSpec::AllReduce { messages } => {
+                comm_of_two("allreduce", n)?;
+                messages_positive("allreduce", *messages)
+            }
+            WorkloadSpec::AllToAll { messages } => {
+                comm_of_two("alltoall", n)?;
+                messages_positive("alltoall", *messages)
+            }
+            WorkloadSpec::Broadcast { root, messages } => {
+                root_in_comm("broadcast", *root, n)?;
+                messages_positive("broadcast", *messages)
+            }
+            WorkloadSpec::Scatter { root, messages } => {
+                root_in_comm("scatter", *root, n)?;
+                messages_positive("scatter", *messages)
+            }
+            WorkloadSpec::Gather { root, messages } => {
+                root_in_comm("gather", *root, n)?;
+                messages_positive("gather", *messages)
+            }
+            WorkloadSpec::Barrier => comm_of_two("barrier", n),
+            WorkloadSpec::HaloExchange {
+                phases, messages, ..
+            } => {
+                if in_mix {
+                    return Err("haloexchange: cannot appear inside a mix (halo phases are \
+                         defined over the whole machine's grid)"
+                        .to_string());
+                }
+                if *phases == 0 {
+                    return Err("haloexchange: phases must be >= 1".to_string());
+                }
+                if *phases as usize > num_axes {
+                    return Err(format!(
+                        "haloexchange: {phases} phases requested but this topology's \
+                         logical grid only has {num_axes} usable axes (size >= 2)"
+                    ));
+                }
+                messages_positive("haloexchange", *messages)
+            }
+            WorkloadSpec::Compute { .. } => Ok(()),
+            WorkloadSpec::Sequence(parts) => {
+                if parts.is_empty() {
+                    return Err("sequence: must contain at least one workload".to_string());
+                }
+                for part in parts {
+                    part.validate_inner(n, in_mix, num_axes)?;
+                }
+                Ok(())
+            }
+            WorkloadSpec::Repeat { times, body } => {
+                if *times == 0 {
+                    return Err("repeat: times must be >= 1".to_string());
+                }
+                body.validate_inner(n, in_mix, num_axes)
+            }
+            WorkloadSpec::Mix(parts) => {
+                if parts.is_empty() {
+                    return Err("mix: must contain at least one workload".to_string());
+                }
+                if parts.len() > n {
+                    return Err(format!(
+                        "mix: {} parts but only {n} nodes to partition",
+                        parts.len()
+                    ));
+                }
+                let k = parts.len();
+                for (i, part) in parts.iter().enumerate() {
+                    let chunk = n / k + usize::from(i < n % k);
+                    part.validate_inner(chunk, true, num_axes)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Registered workload kinds with their parameter schemas — the data
+    /// behind `qadaptive-cli workloads`.
+    pub fn catalog() -> Vec<WorkloadKindInfo> {
+        vec![
+            WorkloadKindInfo {
+                name: "allreduce",
+                parameters: "messages (per partner per round, default 4)",
+                constraints: "communicator >= 2 nodes; messages >= 1",
+                example: "[workload.allreduce]\nmessages = 4",
+            },
+            WorkloadKindInfo {
+                name: "alltoall",
+                parameters: "messages (per peer, default 4)",
+                constraints: "communicator >= 2 nodes; messages >= 1",
+                example: "[workload.alltoall]\nmessages = 2",
+            },
+            WorkloadKindInfo {
+                name: "broadcast",
+                parameters: "root (rank, default 0), messages (default 4)",
+                constraints: "root < communicator size; messages >= 1",
+                example: "[workload.broadcast]\nroot = 0\nmessages = 4",
+            },
+            WorkloadKindInfo {
+                name: "scatter",
+                parameters: "root (rank, default 0), messages (per destination, default 4)",
+                constraints: "root < communicator size; messages >= 1",
+                example: "[workload.scatter]\nroot = 0\nmessages = 2",
+            },
+            WorkloadKindInfo {
+                name: "gather",
+                parameters: "root (rank, default 0), messages (per source, default 4)",
+                constraints: "root < communicator size; messages >= 1",
+                example: "[workload.gather]\nroot = 0\nmessages = 2",
+            },
+            WorkloadKindInfo {
+                name: "barrier",
+                parameters: "none (dissemination rounds of single messages)",
+                constraints: "communicator >= 2 nodes",
+                example: "workload = \"barrier\"",
+            },
+            WorkloadKindInfo {
+                name: "haloexchange",
+                parameters: "phases (default 2), messages (per neighbour, default 4), \
+                             compute_ns (default 200)",
+                constraints: "phases <= usable grid axes (size >= 2); not inside a mix",
+                example: "[workload.haloexchange]\nphases = 2\nmessages = 4\ncompute_ns = 200",
+            },
+            WorkloadKindInfo {
+                name: "compute",
+                parameters: "ns (default 200)",
+                constraints: "none",
+                example: "[workload.compute]\nns = 1000",
+            },
+            WorkloadKindInfo {
+                name: "sequence",
+                parameters: "array of workloads, run back to back",
+                constraints: "non-empty",
+                example: "[workload]\nsequence = [ { allreduce = { messages = 2 } }, \"barrier\" ]",
+            },
+            WorkloadKindInfo {
+                name: "repeat",
+                parameters: "times (>= 1), body (a workload)",
+                constraints: "times >= 1",
+                example:
+                    "[workload.repeat]\ntimes = 3\n\n[workload.repeat.body.allreduce]\nmessages = 2",
+            },
+            WorkloadKindInfo {
+                name: "mix",
+                parameters: "array of workloads, each on its own contiguous node chunk",
+                constraints: "parts <= nodes; no haloexchange inside",
+                example: "[workload]\nmix = [ { allreduce = { messages = 4 } }, \"barrier\" ]",
+            },
+        ]
+    }
+}
+
+/// Catalog entry describing one registered workload kind.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadKindInfo {
+    /// Wire tag.
+    pub name: &'static str,
+    /// Parameter summary.
+    pub parameters: &'static str,
+    /// Constraints checked by validation.
+    pub constraints: &'static str,
+    /// Minimal scenario-file snippet.
+    pub example: &'static str,
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The grid axes a halo exchange can phase over: x, y, z indices (0, 1, 2)
+/// of every axis with at least two points, in that order.
+pub(crate) fn usable_axes(grid: &Grid3D) -> Vec<usize> {
+    [grid.x, grid.y, grid.z]
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, size)| size >= 2)
+        .map(|(axis, _)| axis)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Wire form
+// ---------------------------------------------------------------------------
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        fn tagged(tag: &str, params: Vec<(String, Value)>) -> Value {
+            Value::Map(vec![(tag.to_string(), Value::Map(params))])
+        }
+        fn int(v: impl TryInto<i128>) -> Value {
+            Value::Int(v.try_into().unwrap_or(i128::MAX))
+        }
+        match self {
+            WorkloadSpec::AllReduce { messages } => {
+                tagged("allreduce", vec![("messages".to_string(), int(*messages))])
+            }
+            WorkloadSpec::AllToAll { messages } => {
+                tagged("alltoall", vec![("messages".to_string(), int(*messages))])
+            }
+            WorkloadSpec::Broadcast { root, messages } => tagged(
+                "broadcast",
+                vec![
+                    ("root".to_string(), int(*root as u64)),
+                    ("messages".to_string(), int(*messages)),
+                ],
+            ),
+            WorkloadSpec::Scatter { root, messages } => tagged(
+                "scatter",
+                vec![
+                    ("root".to_string(), int(*root as u64)),
+                    ("messages".to_string(), int(*messages)),
+                ],
+            ),
+            WorkloadSpec::Gather { root, messages } => tagged(
+                "gather",
+                vec![
+                    ("root".to_string(), int(*root as u64)),
+                    ("messages".to_string(), int(*messages)),
+                ],
+            ),
+            WorkloadSpec::Barrier => Value::Str("barrier".to_string()),
+            WorkloadSpec::HaloExchange {
+                phases,
+                messages,
+                compute_ns,
+            } => tagged(
+                "haloexchange",
+                vec![
+                    ("phases".to_string(), int(*phases)),
+                    ("messages".to_string(), int(*messages)),
+                    ("compute_ns".to_string(), int(*compute_ns)),
+                ],
+            ),
+            WorkloadSpec::Compute { ns } => tagged("compute", vec![("ns".to_string(), int(*ns))]),
+            WorkloadSpec::Sequence(parts) => Value::Map(vec![(
+                "sequence".to_string(),
+                Value::Seq(parts.iter().map(Serialize::to_value).collect()),
+            )]),
+            WorkloadSpec::Repeat { times, body } => tagged(
+                "repeat",
+                vec![
+                    ("times".to_string(), int(*times)),
+                    ("body".to_string(), body.to_value()),
+                ],
+            ),
+            WorkloadSpec::Mix(parts) => Value::Map(vec![(
+                "mix".to_string(),
+                Value::Seq(parts.iter().map(Serialize::to_value).collect()),
+            )]),
+        }
+    }
+}
+
+/// Read an optional non-negative integer field with a default.
+fn int_field(inner: &Value, key: &str, default: u64) -> Result<u64, Error> {
+    match inner.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(other) => Err(Error::msg(format!(
+            "workload field `{key}` must be a non-negative integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn u32_field(inner: &Value, key: &str, default: u32) -> Result<u32, Error> {
+    let v = int_field(inner, key, default as u64)?;
+    u32::try_from(v).map_err(|_| Error::msg(format!("workload field `{key}` is too large: {v}")))
+}
+
+/// The parts array of a `sequence` / `mix` — either the tag's value
+/// directly (`sequence = [ ... ]`) or a `parts` field inside it.
+fn parts_field(tag: &str, inner: &Value) -> Result<Vec<WorkloadSpec>, Error> {
+    let items = match inner {
+        Value::Seq(items) => items,
+        Value::Map(_) => match inner.get("parts") {
+            Some(Value::Seq(items)) => items,
+            _ => {
+                return Err(Error::msg(format!(
+                    "`{tag}` needs an array of workloads: `{tag} = [ ... ]`"
+                )))
+            }
+        },
+        other => {
+            return Err(Error::msg(format!(
+                "`{tag}` needs an array of workloads, found {}",
+                other.kind()
+            )))
+        }
+    };
+    items.iter().map(WorkloadSpec::from_value).collect()
+}
+
+/// Parse one `tag = params` pair; `Ok(None)` means the tag is unknown.
+fn parse_tagged(tag: &str, inner: &Value) -> Result<Option<WorkloadSpec>, Error> {
+    let norm = tag.to_ascii_lowercase().replace(['_', '-'], "");
+    let spec = match norm.as_str() {
+        "allreduce" => WorkloadSpec::AllReduce {
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+        },
+        "alltoall" => WorkloadSpec::AllToAll {
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+        },
+        "broadcast" | "bcast" => WorkloadSpec::Broadcast {
+            root: int_field(inner, "root", 0)? as usize,
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+        },
+        "scatter" => WorkloadSpec::Scatter {
+            root: int_field(inner, "root", 0)? as usize,
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+        },
+        "gather" => WorkloadSpec::Gather {
+            root: int_field(inner, "root", 0)? as usize,
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+        },
+        "barrier" => WorkloadSpec::Barrier,
+        "haloexchange" | "halo" => WorkloadSpec::HaloExchange {
+            phases: u32_field(inner, "phases", DEFAULT_PHASES)?,
+            messages: u32_field(inner, "messages", DEFAULT_MESSAGES)?,
+            compute_ns: int_field(inner, "compute_ns", DEFAULT_COMPUTE_NS)?,
+        },
+        "compute" => WorkloadSpec::Compute {
+            ns: int_field(inner, "ns", DEFAULT_COMPUTE_NS)?,
+        },
+        "sequence" | "seq" => WorkloadSpec::Sequence(parts_field("sequence", inner)?),
+        "mix" => WorkloadSpec::Mix(parts_field("mix", inner)?),
+        "repeat" => {
+            let times = u32_field(inner, "times", 1)?;
+            let body = inner
+                .get("body")
+                .ok_or_else(|| Error::msg("`repeat` needs a `body` workload"))?;
+            WorkloadSpec::Repeat {
+                times,
+                body: Box::new(WorkloadSpec::from_value(body)?),
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(spec))
+}
+
+fn unknown_workload_error(found: &str) -> Error {
+    Error::msg(format!(
+        "unknown workload `{found}`: expected one of `allreduce`, `alltoall`, \
+         `broadcast`, `scatter`, `gather`, `barrier`, `haloexchange`, `compute`, \
+         or a combinator (`sequence = [ ... ]`, `mix = [ ... ]`, `[workload.repeat]` \
+         with `times` and `body`); a bare string like `workload = \"barrier\"` \
+         uses the kind's defaults"
+    ))
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // Parameterless string short form: `workload = "allreduce"`.
+            Value::Str(tag) => parse_tagged(tag, &Value::Map(Vec::new()))?
+                .ok_or_else(|| unknown_workload_error(tag)),
+            Value::Map(entries) => {
+                if let [(tag, inner)] = entries.as_slice() {
+                    if let Some(spec) = parse_tagged(tag, inner)? {
+                        return Ok(spec);
+                    }
+                    return Err(unknown_workload_error(tag));
+                }
+                Err(unknown_workload_error(&format!(
+                    "map with {} entries",
+                    entries.len()
+                )))
+            }
+            other => Err(Error::msg(format!(
+                "workload must be a tagged map or a kind string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::{Dragonfly, HyperX, HyperXConfig};
+
+    fn tiny() -> AnyTopology {
+        Dragonfly::new(DragonflyConfig::tiny()).into()
+    }
+
+    fn representative_specs() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::AllReduce { messages: 4 },
+            WorkloadSpec::AllToAll { messages: 2 },
+            WorkloadSpec::Broadcast {
+                root: 3,
+                messages: 1,
+            },
+            WorkloadSpec::Scatter {
+                root: 0,
+                messages: 2,
+            },
+            WorkloadSpec::Gather {
+                root: 1,
+                messages: 2,
+            },
+            WorkloadSpec::Barrier,
+            WorkloadSpec::HaloExchange {
+                phases: 2,
+                messages: 4,
+                compute_ns: 200,
+            },
+            WorkloadSpec::Compute { ns: 1000 },
+            WorkloadSpec::Sequence(vec![
+                WorkloadSpec::AllReduce { messages: 2 },
+                WorkloadSpec::Barrier,
+            ]),
+            WorkloadSpec::Repeat {
+                times: 3,
+                body: Box::new(WorkloadSpec::HaloExchange {
+                    phases: 1,
+                    messages: 2,
+                    compute_ns: 100,
+                }),
+            },
+            WorkloadSpec::Mix(vec![
+                WorkloadSpec::AllReduce { messages: 4 },
+                WorkloadSpec::Barrier,
+            ]),
+        ]
+    }
+
+    #[test]
+    fn every_form_round_trips_through_values() {
+        for spec in representative_specs() {
+            let value = spec.to_value();
+            assert_eq!(WorkloadSpec::from_value(&value).unwrap(), spec, "{spec}");
+        }
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        workload: WorkloadSpec,
+    }
+
+    #[test]
+    fn every_form_round_trips_through_toml_text() {
+        for workload in representative_specs() {
+            let doc = Doc { workload };
+            let text = toml::to_string(&doc).unwrap();
+            let back: Doc = toml::from_str(&text).unwrap();
+            assert_eq!(back, doc, "TOML was:\n{text}");
+        }
+    }
+
+    #[test]
+    fn string_short_forms_parse_with_defaults() {
+        let doc: Doc = toml::from_str("workload = \"barrier\"\n").unwrap();
+        assert_eq!(doc.workload, WorkloadSpec::Barrier);
+        let doc: Doc = toml::from_str("workload = \"allreduce\"\n").unwrap();
+        assert_eq!(
+            doc.workload,
+            WorkloadSpec::AllReduce {
+                messages: DEFAULT_MESSAGES
+            }
+        );
+        let doc: Doc = toml::from_str("workload = \"halo\"\n").unwrap();
+        assert_eq!(
+            doc.workload,
+            WorkloadSpec::HaloExchange {
+                phases: DEFAULT_PHASES,
+                messages: DEFAULT_MESSAGES,
+                compute_ns: DEFAULT_COMPUTE_NS,
+            }
+        );
+    }
+
+    #[test]
+    fn inline_sequence_toml_parses() {
+        let doc: Doc = toml::from_str(
+            "[workload]\nsequence = [ { allreduce = { messages = 2 } }, \"barrier\" ]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.workload,
+            WorkloadSpec::Sequence(vec![
+                WorkloadSpec::AllReduce { messages: 2 },
+                WorkloadSpec::Barrier,
+            ])
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_get_a_helpful_error() {
+        let err = WorkloadSpec::from_value(&Value::Str("fft".to_string()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("allreduce"), "{err}");
+        assert!(err.contains("sequence"), "{err}");
+        assert!(err.contains("fft"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_collectives_on_one_node_chunks() {
+        // 4 nodes split 4 ways: each mix chunk has a single node.
+        let four_nodes: AnyTopology = HyperX::new(HyperXConfig {
+            p: 1,
+            rows: 2,
+            cols: 2,
+        })
+        .into();
+        let mix = WorkloadSpec::Mix(vec![WorkloadSpec::AllReduce { messages: 4 }; 4]);
+        let err = mix.validate(&four_nodes).unwrap_err();
+        assert!(err.contains("allreduce"), "{err}");
+        assert!(err.contains("at least 2 nodes"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_excess_halo_phases() {
+        let halo = WorkloadSpec::HaloExchange {
+            phases: 4,
+            messages: 4,
+            compute_ns: 0,
+        };
+        let err = halo.validate(&tiny()).unwrap_err();
+        assert!(err.contains("usable axes"), "{err}");
+        // And halo is rejected inside a mix regardless of phases.
+        let mix = WorkloadSpec::Mix(vec![
+            WorkloadSpec::Barrier,
+            WorkloadSpec::HaloExchange {
+                phases: 1,
+                messages: 4,
+                compute_ns: 0,
+            },
+        ]);
+        assert!(mix.validate(&tiny()).unwrap_err().contains("mix"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_roots_counts_and_empty_combinators() {
+        let topo = tiny();
+        let n = topo.num_nodes();
+        let bad_root = WorkloadSpec::Broadcast {
+            root: n,
+            messages: 4,
+        };
+        let err = bad_root.validate(&topo).unwrap_err();
+        assert!(err.contains("broadcast"), "{err}");
+        assert!(err.contains("root"), "{err}");
+        assert!(WorkloadSpec::Sequence(vec![])
+            .validate(&topo)
+            .unwrap_err()
+            .contains("sequence"));
+        assert!(WorkloadSpec::Repeat {
+            times: 0,
+            body: Box::new(WorkloadSpec::Barrier),
+        }
+        .validate(&topo)
+        .unwrap_err()
+        .contains("times"));
+        assert!(WorkloadSpec::Mix(vec![WorkloadSpec::Barrier; n + 1])
+            .validate(&topo)
+            .unwrap_err()
+            .contains("partition"));
+        assert!(WorkloadSpec::AllReduce { messages: 0 }
+            .validate(&topo)
+            .unwrap_err()
+            .contains("messages"));
+        for spec in representative_specs() {
+            assert!(spec.validate(&topo).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_kind() {
+        let names: Vec<&str> = WorkloadSpec::catalog().iter().map(|i| i.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "allreduce",
+                "alltoall",
+                "broadcast",
+                "scatter",
+                "gather",
+                "barrier",
+                "haloexchange",
+                "compute",
+                "sequence",
+                "repeat",
+                "mix",
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_are_short_and_informative() {
+        assert_eq!(
+            WorkloadSpec::AllReduce { messages: 4 }.label(),
+            "AllReduce(m=4)"
+        );
+        let seq = WorkloadSpec::Sequence(vec![
+            WorkloadSpec::AllReduce { messages: 2 },
+            WorkloadSpec::Barrier,
+        ]);
+        assert_eq!(seq.label(), "Seq(AllReduce(m=2); Barrier)");
+        let rep = WorkloadSpec::Repeat {
+            times: 3,
+            body: Box::new(WorkloadSpec::Barrier),
+        };
+        assert_eq!(rep.label(), "3x(Barrier)");
+    }
+}
