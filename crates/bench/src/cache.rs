@@ -24,8 +24,9 @@ use std::path::{Path, PathBuf};
 /// Bump when the cached JSON schema or the simulation semantics change in
 /// a way that invalidates old results (e.g. the PR 3 event-ordering key;
 /// v4: `topology` became the tagged `TopologySpec` union; v5: closed-loop
-/// `workload` specs and completion-time report fields).
-const CACHE_VERSION: &str = "qadaptive-cache-v5";
+/// `workload` specs and completion-time report fields; v6: fault-injection
+/// `faults` specs and the resilience report fields).
+const CACHE_VERSION: &str = "qadaptive-cache-v6";
 
 /// 64-bit FNV-1a (no external hashing crates in the offline build).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -405,6 +406,8 @@ mod tests {
             seed: Some(17),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         };
         let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_cold, 0);
@@ -450,6 +453,8 @@ mod tests {
             seed: Some(9),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         };
         let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_cold, 0);
@@ -472,6 +477,60 @@ mod tests {
             second.reports[0].mean_latency_us
         );
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn keys_are_fault_sensitive() {
+        use dragonfly_sim::fault::FaultSpecEntry;
+        // A fault schedule determines the result, so every distinguishing
+        // part of it — presence, kind, target, time, fraction and fault
+        // seed — must change the key; execution modes still must not.
+        let clean = ResultCache::point_key(&tiny_spec(1));
+        let mut faulted = tiny_spec(1);
+        faulted.faults = vec![FaultSpecEntry::random_global_down(50.0, 0.05, 7)];
+        let faulted_key = ResultCache::point_key(&faulted);
+        assert_ne!(clean, faulted_key, "fault presence changes the key");
+        let mut heavier = faulted.clone();
+        heavier.faults = vec![FaultSpecEntry::random_global_down(50.0, 0.10, 7)];
+        assert_ne!(
+            faulted_key,
+            ResultCache::point_key(&heavier),
+            "the killed fraction changes the key"
+        );
+        let mut reseeded = faulted.clone();
+        reseeded.faults = vec![FaultSpecEntry::random_global_down(50.0, 0.05, 8)];
+        assert_ne!(
+            faulted_key,
+            ResultCache::point_key(&reseeded),
+            "the fault seed changes the key"
+        );
+        let mut later = faulted.clone();
+        later.faults = vec![FaultSpecEntry::random_global_down(60.0, 0.05, 7)];
+        assert_ne!(
+            faulted_key,
+            ResultCache::point_key(&later),
+            "the fault time changes the key"
+        );
+        let mut other_kind = faulted.clone();
+        other_kind.faults = vec![FaultSpecEntry::router_down(50.0, 2)];
+        assert_ne!(
+            faulted_key,
+            ResultCache::point_key(&other_kind),
+            "the fault kind changes the key"
+        );
+        // Execution modes stay key-invariant on faulted specs too (the
+        // fault determinism suites pin shards/pipeline bit-for-bit).
+        let mut sharded = faulted.clone();
+        sharded.engine = Some(dragonfly_engine::EngineConfig {
+            shards: dragonfly_engine::ShardKind::Fixed(2),
+            pipeline: false,
+            ..Default::default()
+        });
+        assert_eq!(
+            faulted_key,
+            ResultCache::point_key(&sharded),
+            "execution modes must not invalidate faulted cache entries"
+        );
     }
 
     #[test]
@@ -510,6 +569,8 @@ mod tests {
             seed: Some(13),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         };
         let keys: Vec<String> = sweep.points().iter().map(ResultCache::point_key).collect();
         let (first, _) = run_sweep_cached(&sweep, 1, Some(&cache));
@@ -558,6 +619,8 @@ mod tests {
             seed: Some(5),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         };
         let (first, hits_first) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_first, 0, "cold cache");

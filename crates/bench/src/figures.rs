@@ -12,6 +12,7 @@ use crate::cache::{run_convergence_cached, run_sweep_cached, ResultCache};
 use crate::harness::{apply_engine_overrides, markdown_table, BenchArgs, RunMode};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::convergence::ConvergenceResult;
+use dragonfly_sim::fault::FaultSpecEntry;
 use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
 use dragonfly_sim::sweep::SweepResult;
 use dragonfly_topology::config::DragonflyConfig;
@@ -35,6 +36,9 @@ pub enum ColumnSet {
     Ablation,
     /// Closed-loop workloads: job-completion time + skew + barrier wait.
     CompletionTime,
+    /// Fault-injection sweeps: completion time + drop/retransmit counters
+    /// + series-derived recovery time.
+    Resilience,
 }
 
 /// Which curve a convergence panel prints.
@@ -143,6 +147,15 @@ pub fn catalog() -> Vec<Figure> {
                     Dragonfly, fat-tree and HyperX systems.",
         },
         Figure {
+            id: "resilience",
+            title: "Resilience: failed-global-link fraction vs completion and recovery",
+            notes: "Not a paper figure: a robustness companion. Each panel kills a random \
+                    fraction of the global links 5 us into a closed-loop AllReduce and reports \
+                    job-completion time, drop/retransmission counts and the time-series \
+                    recovery point for the six routing algorithms on the Dragonfly, fat-tree \
+                    and HyperX systems.",
+        },
+        Figure {
             id: "memory",
             title: "Per-router Q-table memory (Section 4 claim: the two-level table saves 50%)",
             notes: "",
@@ -163,6 +176,7 @@ pub fn canonical_id(id: &str) -> Option<&'static str> {
         "memory" | "table_memory" => "memory",
         "maxq" | "ablation_maxq" => "maxq",
         "jct" | "allreduce_jct" | "completion" => "jct",
+        "resilience" | "faults" | "fault" => "resilience",
         _ => return None,
     };
     Some(canonical)
@@ -302,6 +316,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         seed: Some(args.seed),
                         series_bin_ns: Some(bin_ns),
                         engine: None,
+                        faults: Vec::new(),
                     },
                 )
             })
@@ -366,6 +381,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         seed: Some(args.seed),
                         series_bin_ns: Some(bin_ns),
                         engine: None,
+                        faults: Vec::new(),
                     },
                 )
             })
@@ -405,6 +421,8 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         seed: Some(args.seed),
                         seeds_per_point: None,
                         engine: None,
+                        series_bin_ns: None,
+                        faults: Vec::new(),
                     };
                     (
                         format!("Figure 9 — {} @ load {load:.2}", traffic.label()),
@@ -445,6 +463,8 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     seed: Some(args.seed),
                     seeds_per_point: None,
                     engine: None,
+                    series_bin_ns: None,
+                    faults: Vec::new(),
                 };
                 (format!("{} @ load {load:.2}", traffic.label()), sweep)
             })
@@ -497,6 +517,8 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         seed: Some(args.seed),
                         seeds_per_point: None,
                         engine: None,
+                        series_bin_ns: None,
+                        faults: Vec::new(),
                     };
                     (title, sweep)
                 })
@@ -504,6 +526,67 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
             FigurePlan::Sweeps {
                 panels,
                 columns: ColumnSet::CompletionTime,
+                saturation_summary: false,
+            }
+        }
+        "resilience" => {
+            // Not a paper figure: kill a random fraction of the global
+            // links 5 us into a closed-loop AllReduce and chart how the
+            // six algorithms degrade and recover. `loads` stays a single
+            // intensity; the fraction is the panel axis. Every point
+            // records a time series so `recovery_time_us` is meaningful.
+            use dragonfly_topology::{FatTreeConfig, HyperXConfig};
+            let (dragonfly, fattree, hyperx, fractions, drain_cap_ns) = match args.mode {
+                RunMode::Quick => (
+                    DragonflyConfig::tiny(),
+                    FatTreeConfig::tiny(),
+                    HyperXConfig::tiny(),
+                    vec![0.05, 0.15],
+                    10_000_000u64,
+                ),
+                RunMode::Full => (
+                    DragonflyConfig::paper_1056(),
+                    FatTreeConfig::small(),
+                    HyperXConfig::small(),
+                    vec![0.02, 0.05, 0.10, 0.20],
+                    100_000_000,
+                ),
+            };
+            let systems: [(&str, dragonfly_topology::TopologySpec); 3] = [
+                ("Dragonfly", dragonfly.into()),
+                ("fat-tree", fattree.into()),
+                ("HyperX", hyperx.into()),
+            ];
+            let mut panels = Vec::new();
+            for (label, topology) in systems {
+                for &fraction in &fractions {
+                    let sweep = SweepSpec {
+                        name: format!("resilience/{}/f{:.2}", topology.kind_name(), fraction),
+                        topology,
+                        traffics: vec![],
+                        workload: Some(WorkloadSpec::AllReduce { messages: 2 }),
+                        routings: RoutingSpec::paper_lineup(),
+                        loads: vec![1.0],
+                        warmup_ns: 0,
+                        measure_ns: drain_cap_ns,
+                        seed: Some(args.seed),
+                        seeds_per_point: None,
+                        engine: None,
+                        series_bin_ns: Some(2_000),
+                        faults: vec![FaultSpecEntry::random_global_down(5.0, fraction, args.seed)],
+                    };
+                    panels.push((
+                        format!(
+                            "Resilience — {label}, {:.0}% global links down",
+                            fraction * 100.0
+                        ),
+                        sweep,
+                    ));
+                }
+            }
+            FigurePlan::Sweeps {
+                panels,
+                columns: ColumnSet::Resilience,
                 saturation_summary: false,
             }
         }
@@ -868,6 +951,30 @@ fn print_sweep_table(result: &SweepResult, columns: ColumnSet) {
                 })
                 .collect(),
         ),
+        ColumnSet::Resilience => (
+            vec![
+                "routing",
+                "JCT (us)",
+                "dropped",
+                "retransmits",
+                "unreachable pairs",
+                "recovery (us)",
+            ],
+            result
+                .reports
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.routing.clone(),
+                        format!("{:.3}", r.job_completion_us),
+                        format!("{}", r.dropped_packets),
+                        format!("{}", r.retransmits),
+                        format!("{}", r.unreachable_pairs),
+                        format!("{:.1}", r.recovery_time_us),
+                    ]
+                })
+                .collect(),
+        ),
     };
     println!("{}", markdown_table(&headers, &rows));
 }
@@ -1117,6 +1224,41 @@ mod tests {
             );
             assert!(sweep.validate().is_ok(), "invalid panel {title}");
         }
+    }
+
+    #[test]
+    fn resilience_panels_fault_all_three_topologies() {
+        let FigurePlan::Sweeps {
+            panels,
+            columns,
+            saturation_summary,
+        } = paper_specs("resilience", &quick_args()).unwrap()
+        else {
+            panic!("resilience must be a sweep plan");
+        };
+        assert_eq!(columns, ColumnSet::Resilience);
+        assert!(!saturation_summary);
+        // topologies × fractions panels, each with a seeded random
+        // global-link kill, a closed-loop workload and a time series (so
+        // `recovery_time_us` is computable).
+        let kinds: std::collections::BTreeSet<&str> =
+            panels.iter().map(|(_, s)| s.topology.kind_name()).collect();
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            vec!["dragonfly", "fattree", "hyperx"]
+        );
+        for (title, sweep) in &panels {
+            assert_eq!(sweep.faults.len(), 1, "{title}");
+            assert!(sweep.faults[0].fraction.is_some(), "{title}");
+            assert!(sweep.workload.is_some(), "{title}");
+            assert!(sweep.series_bin_ns.is_some(), "{title}");
+            assert!(sweep.validate().is_ok(), "invalid panel {title}");
+            assert!(sweep
+                .points()
+                .iter()
+                .all(|p| p.faults == sweep.faults && p.series_bin_ns == sweep.series_bin_ns));
+        }
+        assert_eq!(canonical_id("faults"), Some("resilience"));
     }
 
     #[test]

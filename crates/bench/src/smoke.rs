@@ -8,17 +8,22 @@
 //! mode, and once with the overlapped-window *pipeline* on (the
 //! pipelined-vs-barrier leg). A separate **closed-loop** leg runs a
 //! recursive-doubling AllReduce task program on the same system to drain
-//! and records its events/sec plus the simulated job-completion time. The
-//! result records simulated events per wall-clock second for each leg, and
-//! is written to `BENCH_PR6.json` at the repository root so later PRs have
-//! a perf trajectory to compare against (`BENCH_PR2.json` through
-//! `BENCH_PR4.json` are the previous baselines, still readable thanks to
-//! defaulted fields). `host_cpus` is recorded because wall-clock legs are
-//! only comparable between identical hosts — see [`check_against_baseline`].
+//! and records its events/sec plus the simulated job-completion time, and
+//! a **faulted** leg re-runs the open-loop workload under UGAL-G with 5 %
+//! of the global links killed mid-window (the liveness checks and
+//! dead-port fallbacks on the hot path have a measurable cost worth
+//! tracking). The result records simulated events per wall-clock second
+//! for each leg, and is written to `BENCH_PR7.json` at the repository
+//! root so later PRs have a perf trajectory to compare against
+//! (`BENCH_PR2.json` through `BENCH_PR6.json` are the previous baselines,
+//! still readable thanks to defaulted fields). `host_cpus` is recorded
+//! because wall-clock legs are only comparable between identical hosts —
+//! see [`check_against_baseline`].
 
 use dragonfly_engine::config::{EngineConfig, SchedulerKind, ShardKind};
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::builder::SimulationBuilder;
+use dragonfly_sim::fault::FaultSpecEntry;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::TrafficSpec;
 use dragonfly_workload::WorkloadSpec;
@@ -107,6 +112,20 @@ pub struct SmokeBench {
     /// 1,056 in a fresh record; 0 in pre-PR6 baselines).
     #[serde(default)]
     pub closed_loop_ranks: u64,
+    /// Faulted leg: the open-loop workload under **UGAL-G** with 5 % of
+    /// the global links killed mid-window — measures the cost of liveness
+    /// checks and dead-port fallbacks on the hot path. Zeroed in pre-PR7
+    /// baselines.
+    #[serde(default)]
+    pub faulted: SchedulerBench,
+    /// `faulted.events_per_sec / ugal_healthy.events_per_sec` — how much
+    /// the fault machinery slows the same algorithm on the same traffic
+    /// (0.0 in pre-PR7 baselines).
+    #[serde(default)]
+    pub fault_overhead_ratio: f64,
+    /// Packets the faulted leg dropped (in-flight on dying links).
+    #[serde(default)]
+    pub faulted_dropped: u64,
 }
 
 /// Quick-mode measurement window (simulated ns) — also used by the
@@ -176,6 +195,58 @@ pub fn closed_loop_workload(seed: u64) -> SimulationBuilder {
         .warmup_ns(0)
         .measure_ns(CLOSED_LOOP_DRAIN_CAP_NS)
         .seed(seed)
+}
+
+/// Fraction of global links the faulted bench leg kills.
+pub const FAULTED_LINK_FRACTION: f64 = 0.05;
+
+/// The open-loop smoke traffic under UGAL-G, optionally with a fault
+/// schedule — the faulted bench leg and its healthy reference point.
+pub fn ugal_workload(measure_ns: u64, seed: u64, faults: Vec<FaultSpecEntry>) -> SimulationBuilder {
+    SimulationBuilder::new(DragonflyConfig::paper_1056())
+        .routing(RoutingSpec::UgalG)
+        .traffic(TrafficSpec::UniformRandom)
+        .offered_load(0.3)
+        .warmup_ns(0)
+        .measure_ns(measure_ns)
+        .seed(seed)
+        .faults(faults)
+}
+
+/// The faulted leg's schedule: [`FAULTED_LINK_FRACTION`] of the global
+/// links die halfway through the measurement window (seeded by the bench
+/// seed, so the same links die on every iteration).
+pub fn faulted_schedule(measure_ns: u64, seed: u64) -> Vec<FaultSpecEntry> {
+    vec![FaultSpecEntry::random_global_down(
+        measure_ns as f64 / 2_000.0, // ns → µs, halfway through the window
+        FAULTED_LINK_FRACTION,
+        seed,
+    )]
+}
+
+/// Run the faulted-UGAL leg: measure healthy UGAL-G and UGAL-G with the
+/// mid-window link loss, returning the faulted measurement, the
+/// faulted-over-healthy throughput ratio and the faulted run's drop count.
+fn run_faulted(measure_ns: u64, seed: u64, iterations: u32) -> (SchedulerBench, f64, u64) {
+    let mut healthy_rate: f64 = 0.0;
+    let mut best = SchedulerBench::default();
+    let mut dropped = 0;
+    for _ in 0..iterations.max(1) {
+        let healthy = ugal_workload(measure_ns, seed, Vec::new()).run();
+        healthy_rate =
+            healthy_rate.max(healthy.events_processed as f64 / healthy.wall_seconds.max(1e-9));
+        let report = ugal_workload(measure_ns, seed, faulted_schedule(measure_ns, seed)).run();
+        let rate = report.events_processed as f64 / report.wall_seconds.max(1e-9);
+        if rate > best.events_per_sec {
+            best = SchedulerBench {
+                events_per_sec: rate,
+                wall_s: report.wall_seconds,
+                events: report.events_processed,
+            };
+        }
+        dropped = report.dropped_packets;
+    }
+    (best, best.events_per_sec / healthy_rate.max(1e-9), dropped)
 }
 
 /// Run the closed-loop leg, returning the throughput measurement plus the
@@ -279,6 +350,8 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         DragonflyConfig::paper_1056().nodes() as u64,
         "the closed-loop AllReduce must drain (cap {CLOSED_LOOP_DRAIN_CAP_NS} ns hit?)"
     );
+    let (faulted, fault_overhead_ratio, faulted_dropped) =
+        run_faulted(measure_ns, seed, iterations);
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
         topology: dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string(),
@@ -298,6 +371,9 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         closed_loop,
         closed_loop_jct_us,
         closed_loop_ranks,
+        faulted,
+        fault_overhead_ratio,
+        faulted_dropped,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -523,6 +599,35 @@ mod tests {
         assert_eq!(back.closed_loop.events, 0);
         assert_eq!(back.closed_loop_jct_us, 0.0);
         assert_eq!(back.closed_loop_ranks, 0);
+        // As must the faulted leg (PR7).
+        assert_eq!(back.faulted.events, 0);
+        assert_eq!(back.fault_overhead_ratio, 0.0);
+        assert_eq!(back.faulted_dropped, 0);
+    }
+
+    #[test]
+    fn faulted_leg_round_trips() {
+        let mut b = bench(1.0);
+        b.faulted.events = 9;
+        b.fault_overhead_ratio = 0.93;
+        b.faulted_dropped = 17;
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faulted.events, 9);
+        assert!((back.fault_overhead_ratio - 0.93).abs() < 1e-12);
+        assert_eq!(back.faulted_dropped, 17);
+    }
+
+    #[test]
+    fn faulted_schedule_kills_links_mid_window() {
+        let schedule = faulted_schedule(10_000, 1);
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule[0].kind, "random_global_down");
+        assert_eq!(schedule[0].at_us, 5.0, "halfway through a 10 µs window");
+        assert_eq!(schedule[0].fraction, Some(FAULTED_LINK_FRACTION));
+        schedule[0]
+            .validate(0)
+            .expect("the bench schedule is legal");
     }
 
     #[test]

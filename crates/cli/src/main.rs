@@ -43,6 +43,9 @@ struct CommonFlags {
     pipeline: Option<bool>,
     cache_dir: Option<String>,
     no_cache: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<String>,
+    resume_from: Option<String>,
     positional: Vec<String>,
 }
 
@@ -60,6 +63,9 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
         pipeline: None,
         cache_dir: None,
         no_cache: false,
+        checkpoint_every: None,
+        checkpoint_path: None,
+        resume_from: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -102,6 +108,19 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
             "--allow-cpu-mismatch" => flags.allow_cpu_mismatch = true,
             "--cache-dir" => flags.cache_dir = Some(next_value(args, &mut i, "--cache-dir")?),
             "--no-cache" => flags.no_cache = true,
+            "--checkpoint-every" => {
+                flags.checkpoint_every = Some(
+                    next_value(args, &mut i, "--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every (simulated ns): {e}"))?,
+                );
+            }
+            "--checkpoint-path" => {
+                flags.checkpoint_path = Some(next_value(args, &mut i, "--checkpoint-path")?);
+            }
+            "--resume-from" => {
+                flags.resume_from = Some(next_value(args, &mut i, "--resume-from")?);
+            }
             "--quick" => flags.quick_full = Some(false),
             "--full" => flags.quick_full = Some(true),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -142,6 +161,7 @@ fn usage() -> String {
          USAGE:\n\
          \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--shards auto|single|N]\n\
          \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
+         \u{20}                        [--checkpoint-every NS [--checkpoint-path FILE]] [--resume-from FILE]\n\
          \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--shards ...]\n\
          \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--shards ...]\n\
@@ -168,7 +188,15 @@ fn usage() -> String {
          lockstep barrier instead of overlapped windows; results are\n\
          bit-for-bit identical for every combination. `figure --cache-dir`\n\
          reuses results of unchanged points across invocations — shard,\n\
-         pipeline and scheduler choices never invalidate the cache.",
+         pipeline and scheduler choices never invalidate the cache.\n\
+         \n\
+         `run --checkpoint-every NS` snapshots the full simulation state\n\
+         every NS simulated nanoseconds (to --checkpoint-path, default\n\
+         <scenario>.ckpt.json, each snapshot overwriting the last) and\n\
+         `--resume-from FILE` continues a snapshotted run bit-for-bit —\n\
+         the resumed run reproduces the uninterrupted report exactly.\n\
+         Checkpointing requires a single-shard run (no --shards/--pipeline)\n\
+         and resuming requires the same scenario, seed and overrides.",
         figure_ids.join(", ")
     )
 }
@@ -205,6 +233,79 @@ fn reject_cache_flags(flags: &CommonFlags, command: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// `--checkpoint-every`/`--checkpoint-path`/`--resume-from` only make
+/// sense for `run` (one resumable simulation).
+fn reject_checkpoint_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
+    if flags.checkpoint_every.is_some()
+        || flags.checkpoint_path.is_some()
+        || flags.resume_from.is_some()
+    {
+        return Err(format!(
+            "--checkpoint-every/--checkpoint-path/--resume-from only apply to `run`, not `{command}`"
+        ));
+    }
+    Ok(())
+}
+
+/// Execute one experiment, through the checkpoint/resume path when any of
+/// `--checkpoint-every`/`--checkpoint-path`/`--resume-from` was given.
+///
+/// Checkpoints are written atomically-enough for this tool's purposes
+/// (whole-file rewrite) to `--checkpoint-path`, defaulting to the scenario
+/// path with `.ckpt.json` appended; each snapshot overwrites the previous
+/// one, so the file always holds the latest resumable state.
+fn run_spec_maybe_checkpointed(
+    flags: &CommonFlags,
+    scenario_path: &str,
+    spec: &ExperimentSpec,
+) -> Result<dragonfly_metrics::report::SimulationReport, String> {
+    use dragonfly_sim::checkpoint::RunCheckpoint;
+    let plain = flags.checkpoint_every.is_none()
+        && flags.checkpoint_path.is_none()
+        && flags.resume_from.is_none();
+    if plain {
+        return Ok(spec.run());
+    }
+    if flags.checkpoint_path.is_some() && flags.checkpoint_every.is_none() {
+        return Err(
+            "--checkpoint-path needs --checkpoint-every NS to decide when to snapshot".to_string(),
+        );
+    }
+    let resume = match &flags.resume_from {
+        Some(file) => {
+            let ck = RunCheckpoint::load(file).map_err(|e| e.to_string())?;
+            eprintln!(
+                "resuming from {file} at t = {} ns (simulated)",
+                ck.engine.now
+            );
+            Some(ck)
+        }
+        None => None,
+    };
+    let ck_path = flags
+        .checkpoint_path
+        .clone()
+        .unwrap_or_else(|| format!("{scenario_path}.ckpt.json"));
+    let mut save_error: Option<String> = None;
+    let report = spec
+        .run_checkpointed(resume.as_ref(), flags.checkpoint_every, |ck| {
+            if save_error.is_none() {
+                match ck.save(&ck_path) {
+                    Ok(()) => eprintln!(
+                        "checkpoint: {ck_path} @ t = {} ns (simulated)",
+                        ck.engine.now
+                    ),
+                    Err(e) => save_error = Some(e.to_string()),
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    match save_error {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
 fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     reject_mode_flags(flags, "run")?;
     reject_cache_flags(flags, "run")?;
@@ -230,7 +331,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
     }
     apply_engine_overrides(&mut spec.engine, flags.shards, flags.pipeline);
     eprintln!("running: {}", spec.label());
-    let report = spec.run();
+    let report = run_spec_maybe_checkpointed(flags, path, &spec)?;
     eprintln!(
         "perf: {} events in {:.3} s wall ({:.2} M events/s)",
         report.events_processed,
@@ -257,6 +358,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
 fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
     reject_mode_flags(flags, "sweep")?;
     reject_cache_flags(flags, "sweep")?;
+    reject_checkpoint_flags(flags, "sweep")?;
     let path = flags
         .positional
         .first()
@@ -396,6 +498,7 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         ));
     }
     reject_cache_flags(flags, "bench")?;
+    reject_checkpoint_flags(flags, "bench")?;
     // Reject accepted-but-ignored flags, matching the other subcommands.
     if flags.threads != 0 {
         return Err(
@@ -465,6 +568,14 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         bench.closed_loop_jct_us,
         bench.closed_loop_ranks
     );
+    eprintln!(
+        "faulted UGAL:{:>12.0} events/s  ({} events in {:.3} s; {} dropped, {:.2}x of healthy)",
+        bench.faulted.events_per_sec,
+        bench.faulted.events,
+        bench.faulted.wall_s,
+        bench.faulted_dropped,
+        bench.fault_overhead_ratio
+    );
     eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
     eprintln!(
         "shard speedup:             {:.2}x on {} host CPUs{}",
@@ -501,6 +612,7 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
 
 fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
     reject_bench_flags(flags, "figure")?;
+    reject_checkpoint_flags(flags, "figure")?;
     let id = flags
         .positional
         .first()
@@ -540,6 +652,7 @@ fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
 fn cmd_show(flags: &CommonFlags) -> Result<(), String> {
     reject_bench_flags(flags, "show")?;
     reject_cache_flags(flags, "show")?;
+    reject_checkpoint_flags(flags, "show")?;
     if flags.shards.is_some() || flags.pipeline.is_some() {
         return Err(
             "--shards/--pipeline apply to commands that run simulations, not `show`".to_string(),

@@ -32,10 +32,12 @@ use crate::params::QAdaptiveParams;
 use crate::policy::{epsilon_greedy, select_with_bias};
 use crate::table::QValueTable;
 use crate::two_level::TwoLevelQTable;
+use dragonfly_engine::checkpoint::AgentCheckpoint;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm,
+    DEAD_PORT_PENALTY_NS,
 };
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
@@ -216,6 +218,35 @@ impl QAdaptiveAgent {
             .qtable_column(self.router, port)
             .expect("routing ports are always fabric ports")
     }
+
+    /// Fault handling: when the chosen port is dead, penalise its Q-entry
+    /// (hysteretic update towards [`DEAD_PORT_PENALTY_NS`], so the table
+    /// learns to steer away without waiting for feedback that will never
+    /// arrive) and deterministically re-route onto a live fabric port.
+    /// Consumes no RNG, keeping the streams of faulted and un-faulted runs
+    /// aligned until a fault actually bites.
+    fn resilient(&mut self, ctx: &RouterCtx<'_>, packet: &Packet, decision: Decision) -> Decision {
+        if ctx.port_up(decision.port) {
+            return decision;
+        }
+        let row = self.table.row(packet.dst_group, packet.src_slot);
+        if let Some(col) = ctx.topology.qtable_column(self.router, decision.port) {
+            let current = self.table.get(row, col);
+            let updated = self.learner.update(current, DEAD_PORT_PENALTY_NS, 0.0);
+            self.table.set(row, col, updated);
+            self.updates_applied += 1;
+        }
+        match ctx.live_fallback_port(packet) {
+            Some(port) => {
+                self.nonminimal_decisions += 1;
+                Decision {
+                    port,
+                    vc: vc_for_next_hop(packet, ctx.num_vcs()),
+                }
+            }
+            None => decision,
+        }
+    }
 }
 
 impl RouterAgent for QAdaptiveAgent {
@@ -226,7 +257,8 @@ impl RouterAgent for QAdaptiveAgent {
 
         // (1) Destination-domain routers forward minimally.
         if self.domain == dst_domain {
-            return self.minimal_decision(ctx, packet);
+            let d = self.minimal_decision(ctx, packet);
+            return self.resilient(ctx, packet, d);
         }
 
         let row = self.table.row(dst_domain, packet.src_slot);
@@ -251,10 +283,11 @@ impl RouterAgent for QAdaptiveAgent {
                 self.nonminimal_decisions += 1;
                 packet.route.mode = RouteMode::Valiant;
             }
-            return Decision {
+            let d = Decision {
                 port,
                 vc: vc_for_next_hop(packet, ctx.num_vcs()),
             };
+            return self.resilient(ctx, packet, d);
         }
 
         // (3) First router visited in an intermediate domain.
@@ -262,10 +295,11 @@ impl RouterAgent for QAdaptiveAgent {
             packet.route.int_group_decision_done = true;
             if let Some(direct) = topo.direct_port_to_domain(self.router, dst_domain) {
                 // Direct connection into the destination domain: take it.
-                return Decision {
+                let d = Decision {
                     port: direct,
                     vc: vc_for_next_hop(packet, ctx.num_vcs()),
                 };
+                return self.resilient(ctx, packet, d);
             }
             let rand_escape = topo.random_escape_port(&mut self.rng, self.router);
             let q_rand = self.table.get(row, self.column_of(ctx, rand_escape));
@@ -279,14 +313,16 @@ impl RouterAgent for QAdaptiveAgent {
             if port != min_port {
                 self.nonminimal_decisions += 1;
             }
-            return Decision {
+            let d = Decision {
                 port,
                 vc: vc_for_next_hop(packet, ctx.num_vcs()),
             };
+            return self.resilient(ctx, packet, d);
         }
 
         // (4) Everybody else forwards minimally.
-        self.minimal_decision(ctx, packet)
+        let d = self.minimal_decision(ctx, packet);
+        self.resilient(ctx, packet, d)
     }
 
     fn estimate(&self, _ctx: &RouterCtx<'_>, packet: &Packet) -> f64 {
@@ -322,6 +358,29 @@ impl RouterAgent for QAdaptiveAgent {
             .update(current, msg.reward_ns, msg.downstream_estimate_ns);
         self.table.set(row, col, updated);
         self.updates_applied += 1;
+    }
+
+    fn save_state(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            rng: Some(self.rng.state()),
+            q_values: self.table.values(),
+            counters: vec![
+                self.updates_applied,
+                self.decisions_made,
+                self.nonminimal_decisions,
+            ],
+        }
+    }
+
+    fn load_state(&mut self, state: &AgentCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
+        self.table.load_values(&state.q_values);
+        let counter = |i: usize| state.counters.get(i).copied().unwrap_or(0);
+        self.updates_applied = counter(0);
+        self.decisions_made = counter(1);
+        self.nonminimal_decisions = counter(2);
     }
 }
 

@@ -52,6 +52,35 @@ pub trait QValueTable {
         self.rows() * self.columns()
     }
 
+    /// All values in row-major order — the checkpoint representation of
+    /// the learned state (see `dragonfly_engine::checkpoint`).
+    fn values(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.len());
+        for r in 0..self.rows() {
+            for c in 0..self.columns() {
+                v.push(self.get(r, c));
+            }
+        }
+        v
+    }
+
+    /// Overwrite every value from a row-major slice captured by
+    /// [`QValueTable::values`] on an identically shaped table.
+    fn load_values(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.len(),
+            "checkpointed Q-table shape does not match this table"
+        );
+        let mut i = 0;
+        for r in 0..self.rows() {
+            for c in 0..self.columns() {
+                self.set(r, c, values[i]);
+                i += 1;
+            }
+        }
+    }
+
     /// Whether the table is empty (degenerate configuration).
     fn is_empty(&self) -> bool {
         self.len() == 0

@@ -16,13 +16,14 @@
 //! arena indices never introduce run-to-run variation.
 
 use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
 
 /// A 4-byte handle to a packet stored in a [`PacketArena`].
 ///
 /// Refs are only meaningful for the arena that issued them and must not be
 /// used after [`PacketArena::free`] — debug builds check both liveness and
 /// bounds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PacketRef(pub u32);
 
 impl PacketRef {
@@ -119,6 +120,30 @@ impl PacketArena {
     /// packets).
     pub fn high_water(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Snapshot every slot and the free list for a checkpoint. Freed
+    /// slots are included verbatim (their stale contents are never read),
+    /// so restored allocation reuses exactly the same slot sequence.
+    pub fn checkpoint(&self) -> crate::checkpoint::ArenaCheckpoint {
+        crate::checkpoint::ArenaCheckpoint {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+        }
+    }
+
+    /// Replace this arena's contents with a checkpoint's (the debug-build
+    /// liveness mirror is rebuilt from the free list).
+    pub fn restore(&mut self, ck: &crate::checkpoint::ArenaCheckpoint) {
+        self.slots = ck.slots.clone();
+        self.free = ck.free.clone();
+        #[cfg(debug_assertions)]
+        {
+            self.live = vec![true; self.slots.len()];
+            for &slot in &self.free {
+                self.live[slot as usize] = false;
+            }
+        }
     }
 }
 

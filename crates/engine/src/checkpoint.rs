@@ -1,0 +1,281 @@
+//! Checkpoint/resume of a running single-shard engine.
+//!
+//! A checkpoint is a complete, serialisable snapshot of the simulation
+//! state between two [`crate::Engine::run_until`] calls: router buffers,
+//! NIC queues, the packet arena, the pending event set (with its sequence
+//! counters, so tie-breaking stays identical), the fault schedule cursor,
+//! closed-loop task state, and the mutable state of every routing agent
+//! and of the traffic injector (RNG streams, Q-tables, heap positions).
+//!
+//! Restoring a checkpoint into a freshly built engine — same topology,
+//! configuration, routing algorithm, injector kind and seed — resumes the
+//! run **bit-for-bit**: the resumed half produces exactly the events, in
+//! exactly the order, that the uninterrupted run would have produced. The
+//! differential tests in `dragonfly-sim` pin this down to full-report
+//! equality.
+//!
+//! Checkpointing is restricted to single-shard sequential engines: a
+//! sharded engine's state is spread across per-shard arenas and in-flight
+//! mailboxes, and the same simulation can always be checkpointed by
+//! re-running it with `shards = Single` (shard count never changes
+//! results).
+//!
+//! The immutable parts — topology, engine configuration, routing
+//! algorithm, per-router agent seeds — are deliberately **not** stored;
+//! the caller rebuilds them from its experiment spec and the checkpoint
+//! only carries the mutable remainder. The `dragonfly-sim` layer embeds
+//! the full spec next to the engine state so a resume can verify it is
+//! rebuilding the same experiment.
+
+use crate::event::SchedulerCheckpoint;
+use crate::fault::CompiledFault;
+use crate::injector::Injection;
+use crate::nic::NicState;
+use crate::packet::Packet;
+use crate::router::RouterState;
+use crate::sync::QueuedInjection;
+use crate::time::SimTime;
+use crate::workload::NodeTask;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Mutable state of one routing agent (see
+/// [`crate::routing::RouterAgent::save_state`]).
+///
+/// The shape is deliberately algorithm-agnostic: every shipped agent is a
+/// combination of an RNG stream, a flat Q-value table and a few counters,
+/// and everything else is rebuilt from `(topology, config, seed)` by the
+/// algorithm factory. Stateless agents (pure minimal routing) use the
+/// `Default` value.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgentCheckpoint {
+    /// xoshiro256++ RNG state, for agents that draw randomness.
+    pub rng: Option<[u64; 4]>,
+    /// Flattened Q-table values, for learning agents (row-major, same
+    /// layout as the table the factory builds).
+    pub q_values: Vec<f64>,
+    /// Algorithm-specific counters (e.g. Q-adaptive decision statistics).
+    pub counters: Vec<u64>,
+}
+
+/// Mutable state of a traffic injector (see
+/// [`crate::injector::TrafficInjector::save_state`]).
+///
+/// Like [`AgentCheckpoint`], the shape covers every shipped injector:
+/// a scripted injector stores its cursor in `counters`, a pattern
+/// injector its RNG, per-node generation heap and fractional residuals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InjectorCheckpoint {
+    /// xoshiro256++ RNG state, for randomised injectors.
+    pub rng: Option<[u64; 4]>,
+    /// Pending `(time, node)` entries of a per-node generation heap.
+    pub heap: Vec<(u64, u32)>,
+    /// Per-node fractional inter-arrival remainders.
+    pub residual: Vec<f64>,
+    /// Injector-specific counters (messages generated, script cursor...).
+    pub counters: Vec<u64>,
+}
+
+/// The packet arena: every slot ever allocated plus the LIFO free list
+/// (slot reuse order is part of the determinism contract, so the free
+/// list is restored verbatim).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ArenaCheckpoint {
+    /// All slots, live and freed (freed slots hold stale packet data that
+    /// the next allocation overwrites, exactly as at run time).
+    pub slots: Vec<Packet>,
+    /// The free list, bottom of the stack first.
+    pub free: Vec<u32>,
+}
+
+/// Complete mutable state of the engine's single shard.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// The shard clock (time of the last processed event).
+    pub now: SimTime,
+    /// Messages generated at NICs.
+    pub generated: u64,
+    /// Packets injected into the fabric.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped (faults / TTL / exhausted retries).
+    pub dropped: u64,
+    /// NIC retransmissions performed.
+    pub retransmits: u64,
+    /// Every router's buffers, credits, link timers and waiter lists.
+    pub routers: Vec<RouterState>,
+    /// Mutable agent state, parallel to `routers`.
+    pub agents: Vec<AgentCheckpoint>,
+    /// Every NIC's source queue and credit/link state.
+    pub nics: Vec<NicState>,
+    /// The pending event set with its sequence counters.
+    pub queue: SchedulerCheckpoint,
+    /// The packet arena.
+    pub arena: ArenaCheckpoint,
+    /// The compiled (already quantized) fault schedule.
+    pub faults: Vec<CompiledFault>,
+    /// Index of the next unapplied fault entry.
+    pub fault_cursor: usize,
+    /// Retransmit attempts per workload packet id.
+    pub retry_counts: BTreeMap<u64, u32>,
+    /// Injections distributed by the coordinator but not yet materialised.
+    pub pending_injections: VecDeque<QueuedInjection>,
+    /// Closed-loop task state per owned node (empty when no workload).
+    pub tasks: Vec<Option<NodeTask>>,
+    /// Whether a workload was installed.
+    pub has_tasks: bool,
+}
+
+/// A complete engine snapshot (see [`crate::Engine::checkpoint`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// The engine clock.
+    pub now: SimTime,
+    /// Next injector-traffic packet id to assign.
+    pub next_packet_id: u64,
+    /// The one-element injector lookahead (pulled but not yet distributed).
+    pub pending_injection: Option<Injection>,
+    /// Mutable traffic-injector state.
+    pub injector: InjectorCheckpoint,
+    /// The single shard's state.
+    pub shard: ShardCheckpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::Engine;
+    use crate::fault::{CompiledFault, FaultOp, FaultSchedule};
+    use crate::injector::{Injection, ScriptedInjector};
+    use crate::observer::CountingObserver;
+    use crate::testing::MinimalTestRouting;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::ids::{NodeId, RouterId};
+    use dragonfly_topology::Dragonfly;
+
+    /// A single-shard tiny-Dragonfly engine with deterministic scripted
+    /// traffic and a router kill/restore pair straddling the checkpoint
+    /// time used by the tests.
+    fn faulted_engine() -> Engine<CountingObserver> {
+        let topo = Dragonfly::new(DragonflyConfig::tiny());
+        let n = topo.num_nodes() as u64;
+        let script: Vec<Injection> = (0..600u64)
+            .map(|i| {
+                let src = i.wrapping_mul(7) % n;
+                let mut dst = i.wrapping_mul(13).wrapping_add(5) % n;
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                Injection {
+                    time: i * 211,
+                    src: NodeId::from_index(src as usize),
+                    dst: NodeId::from_index(dst as usize),
+                }
+            })
+            .collect();
+        let algo = MinimalTestRouting;
+        let cfg = EngineConfig::paper(crate::routing::RoutingAlgorithm::num_vcs(&algo));
+        let mut engine = Engine::new(
+            topo,
+            cfg,
+            &algo,
+            Box::new(ScriptedInjector::new(script)),
+            CountingObserver::default(),
+            7,
+        );
+        engine.install_faults(&FaultSchedule {
+            events: vec![
+                CompiledFault {
+                    at_ns: 30_000,
+                    ops: vec![FaultOp::RouterDown {
+                        router: RouterId(1),
+                    }],
+                },
+                CompiledFault {
+                    at_ns: 250_000,
+                    ops: vec![FaultOp::RouterUp {
+                        router: RouterId(1),
+                    }],
+                },
+            ],
+        });
+        engine
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_across_a_fault() {
+        // Reference: one uninterrupted run.
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+        let ref_stats = reference.stats();
+        let ref_obs = *reference.observer();
+        assert!(ref_stats.dropped > 0, "the router kill must actually bite");
+        assert!(ref_stats.delivered > 0);
+
+        // Interrupted run: stop while the router is still dead (kill
+        // applied, restore pending), so resume must replay the liveness
+        // prefix and keep the un-applied tail of the schedule.
+        let mut first = faulted_engine();
+        first.run_until(90_000);
+        let ck = first.checkpoint();
+        let json = serde_json::to_string(&ck).expect("checkpoint serializes");
+        let back: EngineCheckpoint = serde_json::from_str(&json).expect("checkpoint deserializes");
+        assert_eq!(back.now, ck.now);
+        assert_eq!(back.shard.fault_cursor, 1, "kill applied, restore pending");
+
+        let mut resumed = faulted_engine();
+        resumed.restore(&back);
+        // The engine checkpoint deliberately excludes the observer (the
+        // sim layer snapshots its collector separately); carry it over.
+        *resumed.observer_mut() = *first.observer();
+        resumed.run_to_drain(2_000_000);
+
+        assert_eq!(resumed.stats(), ref_stats, "stats diverged after resume");
+        assert_eq!(resumed.now(), reference.now(), "finish time diverged");
+        assert_eq!(*resumed.observer(), ref_obs, "observer diverged");
+    }
+
+    #[test]
+    fn checkpoint_before_any_event_resumes_the_whole_run() {
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+
+        let first = faulted_engine();
+        let ck = first.checkpoint();
+        let mut resumed = faulted_engine();
+        resumed.restore(&ck);
+        resumed.run_to_drain(2_000_000);
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(*resumed.observer(), *reference.observer());
+    }
+
+    #[test]
+    fn repeated_checkpoints_compose() {
+        // Checkpoint → resume → checkpoint again → resume again must equal
+        // the uninterrupted run (the --checkpoint-every use case).
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+
+        let mut leg = faulted_engine();
+        leg.run_until(60_000);
+        let ck1 = leg.checkpoint();
+        let obs1 = *leg.observer();
+
+        let mut leg2 = faulted_engine();
+        leg2.restore(&ck1);
+        *leg2.observer_mut() = obs1;
+        leg2.run_until(300_000);
+        let ck2 = leg2.checkpoint();
+        let obs2 = *leg2.observer();
+
+        let mut leg3 = faulted_engine();
+        leg3.restore(&ck2);
+        *leg3.observer_mut() = obs2;
+        leg3.run_to_drain(2_000_000);
+
+        assert_eq!(leg3.stats(), reference.stats());
+        assert_eq!(*leg3.observer(), *reference.observer());
+    }
+}

@@ -109,12 +109,42 @@ pub struct EngineConfig {
     /// resolves to 1 or the lookahead is under 2 ns.
     #[serde(default = "default_pipeline")]
     pub pipeline: bool,
+    /// How often a NIC retransmits a closed-loop workload message whose
+    /// packet was dropped by a fault before giving up. `0` disables
+    /// retransmission (every drop is final).
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// Base retransmission backoff in ns; retry `k` (1-based) waits
+    /// `retransmit_backoff_ns << (k - 1)` after the drop notice
+    /// (deterministic exponential backoff, no jitter).
+    #[serde(default = "default_retransmit_backoff_ns")]
+    pub retransmit_backoff_ns: SimTime,
+    /// Hop budget: a packet still in the fabric after this many hops is
+    /// dropped (breaks routing livelock around faulted regions).
+    #[serde(default = "default_ttl_hops")]
+    pub ttl_hops: u8,
 }
 
 /// Serde default for [`EngineConfig::pipeline`]: scenario files that
 /// predate the field get the (result-identical) pipelined engine.
 fn default_pipeline() -> bool {
     true
+}
+
+/// Serde default for [`EngineConfig::max_retries`].
+fn default_max_retries() -> u32 {
+    3
+}
+
+/// Serde default for [`EngineConfig::retransmit_backoff_ns`].
+fn default_retransmit_backoff_ns() -> SimTime {
+    2_000
+}
+
+/// Serde default for [`EngineConfig::ttl_hops`]: far above any legal
+/// route of the shipped topologies, so fault-free runs never hit it.
+fn default_ttl_hops() -> u8 {
+    64
 }
 
 impl Default for EngineConfig {
@@ -132,6 +162,9 @@ impl Default for EngineConfig {
             scheduler: SchedulerKind::default(),
             shards: ShardKind::default(),
             pipeline: default_pipeline(),
+            max_retries: default_max_retries(),
+            retransmit_backoff_ns: default_retransmit_backoff_ns(),
+            ttl_hops: default_ttl_hops(),
         }
     }
 }
@@ -283,6 +316,20 @@ mod tests {
         let parsed: EngineConfig = serde_json::from_str(legacy).unwrap();
         assert!(parsed.pipeline);
         assert_eq!(parsed, EngineConfig::default());
+    }
+
+    #[test]
+    fn resilience_fields_default_for_pre_fault_configs() {
+        // Configs serialized before the fault/retransmit fields existed
+        // must parse with the documented defaults.
+        let legacy = r#"{"packet_bytes":128,"link_bytes_per_ns":4.0,
+            "local_latency_ns":30,"global_latency_ns":300,"host_latency_ns":10,
+            "router_latency_ns":100,"vc_buffer_packets":20,
+            "output_queue_packets":20,"num_vcs":5}"#;
+        let parsed: EngineConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.max_retries, 3);
+        assert_eq!(parsed.retransmit_backoff_ns, 2_000);
+        assert_eq!(parsed.ttl_hops, 64);
     }
 
     #[test]

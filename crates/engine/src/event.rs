@@ -41,6 +41,7 @@ use crate::config::{EngineConfig, SchedulerKind};
 use crate::routing::FeedbackMsg;
 use crate::time::SimTime;
 use dragonfly_topology::ids::{NodeId, Port, RouterId};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -49,7 +50,7 @@ use std::collections::BinaryHeap;
 /// All variants are small and `Copy`: packets are not carried by value but
 /// as 4-byte [`PacketRef`] handles into the owning shard's
 /// [`crate::arena::PacketArena`], so moving an event never allocates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub enum EventKind {
     /// The next queued traffic injection of this shard is due: materialise
     /// the packet at its source NIC. The injection itself (src, dst,
@@ -97,6 +98,14 @@ pub enum EventKind {
     /// `Recv`. Delivery always happens in the shard that owns `node`
     /// (host ports never cross shards), so this event is always local.
     TaskRecv { node: NodeId, src: NodeId },
+    /// A fault dropped the in-flight workload packet `id` (destination
+    /// `dst`); delivered to the shard owning source `node` one lookahead
+    /// after the drop so it may cross shard boundaries. The NIC decides
+    /// whether to retransmit or give up.
+    DropNotice { node: NodeId, dst: NodeId, id: u64 },
+    /// A scheduled retransmission: materialise a fresh packet (same
+    /// workload id, destination `dst`) in `node`'s NIC source queue.
+    NicResend { node: NodeId, dst: NodeId, id: u64 },
 }
 
 // Event classes, most-urgent-first within a nanosecond. The relative order
@@ -112,6 +121,8 @@ const CLASS_CREDIT: u64 = 6;
 const CLASS_FEEDBACK: u64 = 7;
 const CLASS_TASK_WAKE: u64 = 8;
 const CLASS_TASK_RECV: u64 = 9;
+const CLASS_DROP_NOTICE: u64 = 10;
+const CLASS_NIC_RESEND: u64 = 11;
 
 /// The content-derived priority of an event (see the module docs).
 ///
@@ -158,11 +169,19 @@ pub fn event_key(kind: &EventKind) -> u64 {
         EventKind::TaskRecv { node, src } => {
             (CLASS_TASK_RECV << 60) | ((node.0 as u64) << 28) | src.0 as u64
         }
+        // Keyed by `(source node, packet id)`: a packet id is dropped at
+        // most once per flight, so the key is unique within a nanosecond.
+        EventKind::DropNotice { node, id, .. } => {
+            (CLASS_DROP_NOTICE << 60) | (((node.0 as u64) & 0x0FFF_FFFF) << 32) | (id & 0xFFFF_FFFF)
+        }
+        EventKind::NicResend { node, id, .. } => {
+            (CLASS_NIC_RESEND << 60) | (((node.0 as u64) & 0x0FFF_FFFF) << 32) | (id & 0xFFFF_FFFF)
+        }
     }
 }
 
 /// A scheduled event.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Event {
     /// Firing time in ns.
     pub time: SimTime,
@@ -497,16 +516,11 @@ impl CalendarQueue {
     }
 }
 
-impl Scheduler for CalendarQueue {
-    fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let event = Event {
-            time,
-            key: event_key(&kind),
-            seq,
-            kind,
-        };
+impl CalendarQueue {
+    /// File an already-sequenced event into the wheel or the overflow heap
+    /// (the shared tail of [`Scheduler::push`] and checkpoint restore).
+    fn insert(&mut self, event: Event) {
+        let time = event.time;
         debug_assert!(
             time >= self.cursor,
             "push at {time} behind the scheduler cursor {}",
@@ -544,6 +558,19 @@ impl Scheduler for CalendarQueue {
             // level handles any time correctly, just more slowly.
             self.overflow.push(event);
         }
+    }
+}
+
+impl Scheduler for CalendarQueue {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(Event {
+            time,
+            key: event_key(&kind),
+            seq,
+            kind,
+        });
     }
 
     fn pop(&mut self) -> Option<Event> {
@@ -637,6 +664,75 @@ impl EventQueue {
             EventQueue::Calendar(_) => SchedulerKind::Calendar,
         }
     }
+
+    /// Snapshot the pending event set and the push/pop counters in
+    /// canonical `(time, key, seq)` order. Non-destructive; the snapshot
+    /// is scheduler-independent (restoring into the other scheduler kind
+    /// pops the same sequence, because ordering is total on the triple).
+    pub fn checkpoint(&self) -> SchedulerCheckpoint {
+        let (mut events, next_seq, popped) = match self {
+            EventQueue::Heap(s) => (
+                s.heap.iter().copied().collect::<Vec<Event>>(),
+                s.next_seq,
+                s.popped,
+            ),
+            EventQueue::Calendar(s) => (
+                s.buckets
+                    .iter()
+                    .flatten()
+                    .chain(s.overflow.iter())
+                    .copied()
+                    .collect(),
+                s.next_seq,
+                s.popped,
+            ),
+        };
+        events.sort_unstable_by_key(Event::order);
+        SchedulerCheckpoint {
+            events,
+            next_seq,
+            popped,
+        }
+    }
+
+    /// Refill this (empty, freshly built) queue from a checkpoint,
+    /// preserving every event's sequence number and the counters that
+    /// future pushes and `processed()` continue from. `now` anchors the
+    /// calendar wheel window; every restored event must fire at or after
+    /// it (guaranteed after `run_until(now)`, which drains everything up
+    /// to and including `now`).
+    pub fn restore(&mut self, ck: &SchedulerCheckpoint, now: SimTime) {
+        assert!(self.len() == 0, "restore requires an empty queue");
+        match self {
+            EventQueue::Heap(s) => {
+                s.heap = ck.events.iter().copied().collect();
+                s.next_seq = ck.next_seq;
+                s.popped = ck.popped;
+            }
+            EventQueue::Calendar(s) => {
+                s.cursor = now;
+                for event in &ck.events {
+                    s.insert(*event);
+                }
+                s.next_seq = ck.next_seq;
+                s.popped = ck.popped;
+            }
+        }
+    }
+}
+
+/// A serialisable snapshot of a scheduler (see [`EventQueue::checkpoint`]):
+/// the pending events in canonical order plus the counters that keep
+/// sequence numbers — and therefore tie-breaking — identical after a
+/// restore.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerCheckpoint {
+    /// Pending events, ascending by `(time, key, seq)`.
+    pub events: Vec<Event>,
+    /// The push counter (next sequence number to assign).
+    pub next_seq: u64,
+    /// The pop counter (`processed()` continues from here).
+    pub popped: u64,
 }
 
 impl Scheduler for EventQueue {

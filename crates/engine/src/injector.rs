@@ -9,9 +9,10 @@
 
 use crate::time::SimTime;
 use dragonfly_topology::ids::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// One message generation event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Injection {
     /// Generation time at the source node.
     pub time: SimTime,
@@ -29,6 +30,16 @@ pub struct Injection {
 pub trait TrafficInjector: Send {
     /// The next message to generate, or `None` if the workload is finished.
     fn next_injection(&mut self) -> Option<Injection>;
+
+    /// Capture the injector's mutable state for a checkpoint (see
+    /// [`crate::checkpoint`]). Stateless injectors keep the default.
+    fn save_state(&self) -> crate::checkpoint::InjectorCheckpoint {
+        crate::checkpoint::InjectorCheckpoint::default()
+    }
+
+    /// Restore state captured by [`TrafficInjector::save_state`] on an
+    /// identically constructed injector.
+    fn load_state(&mut self, _state: &crate::checkpoint::InjectorCheckpoint) {}
 }
 
 /// A trivial injector over a pre-computed list of injections, useful for
@@ -59,6 +70,17 @@ impl TrafficInjector for ScriptedInjector {
             self.next += 1;
         }
         i
+    }
+
+    fn save_state(&self) -> crate::checkpoint::InjectorCheckpoint {
+        crate::checkpoint::InjectorCheckpoint {
+            counters: vec![self.next as u64],
+            ..Default::default()
+        }
+    }
+
+    fn load_state(&mut self, state: &crate::checkpoint::InjectorCheckpoint) {
+        self.next = state.counters.first().copied().unwrap_or(0) as usize;
     }
 }
 

@@ -175,6 +175,38 @@
 //! state a pure function of delivered-message counts rather than event
 //! interleaving.
 //!
+//! ## Fault injection, drop accounting and recovery
+//!
+//! The engine can kill and restore links and routers mid-run
+//! ([`fault::FaultSchedule`], installed via
+//! [`engine::Engine::install_faults`]): a compiled schedule of port/router
+//! liveness flips whose times are **quantized up to lookahead-window
+//! boundaries**, so a fault lands between the same two windows no matter
+//! the shard count or execution mode and the determinism contract above
+//! survives fault injection unchanged. Routing agents see liveness
+//! through [`routing::RouterCtx::port_up`] and fall back deterministically
+//! (no extra RNG draws) when a candidate port is dead; packets stranded at
+//! a fully dead router are **dropped with accounting** rather than lost:
+//! the upstream credit is refunded, the observer hears
+//! `packet_dropped`, and the source NIC receives a drop notice that
+//! triggers a bounded, exponentially backed-off retransmit
+//! ([`config::EngineConfig::max_retries`]). Conservation —
+//! `generated == delivered + dropped + outstanding` — holds at every
+//! instant of a faulted run ([`EngineStats::outstanding`]).
+//!
+//! ## Checkpoint / resume
+//!
+//! A single-shard engine can snapshot its complete mutable state between
+//! runs ([`engine::Engine::checkpoint`] / [`engine::Engine::restore`],
+//! state shapes in [`checkpoint`]): router buffers, NIC queues, the packet
+//! arena, the pending event set *with its sequence counters* (so
+//! tie-breaks replay identically), fault cursor, task programs, agent
+//! RNG/Q-table state and the injector position. Restoring into a freshly
+//! built engine resumes **bit-for-bit**: the resumed run is
+//! indistinguishable from the uninterrupted one, which the
+//! `checkpoint_resume` differential suite in `dragonfly-sim` pins at
+//! full-report equality.
+//!
 //! ## Who plugs in what
 //!
 //! * Routing algorithms implement [`routing::RoutingAlgorithm`] /
@@ -188,9 +220,11 @@
 //!   (see `dragonfly-metrics` collectors in `dragonfly-sim`).
 
 pub mod arena;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod injector;
 pub mod nic;
 pub mod observer;
@@ -204,12 +238,16 @@ pub mod time;
 pub mod workload;
 
 pub use arena::{PacketArena, PacketRef};
+pub use checkpoint::{AgentCheckpoint, EngineCheckpoint, InjectorCheckpoint};
 pub use config::{EngineConfig, SchedulerKind, ShardKind};
 pub use engine::{Engine, EngineStats, ShardDrain};
+pub use fault::{CompiledFault, FaultOp, FaultSchedule};
 pub use injector::{Injection, TrafficInjector};
 pub use observer::{ShardObserver, SimObserver};
 pub use packet::{Packet, RouteInfo};
-pub use routing::{Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm};
+pub use routing::{
+    Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm, DEAD_PORT_PENALTY_NS,
+};
 pub use sync::ShardPlan;
 pub use time::SimTime;
 pub use workload::{NodeProgram, Op};

@@ -9,10 +9,11 @@
 use crate::arena::PacketRef;
 use crate::config::EngineConfig;
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Per-node injection state.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NicState {
     /// Generated but not yet injected packets (handles into the engine's
     /// [`crate::arena::PacketArena`]).

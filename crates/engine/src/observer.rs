@@ -44,6 +44,28 @@ pub trait SimObserver: Send {
     fn task_blocked_wait(&mut self, node: NodeId, waited_ns: u64, barrier: bool) {
         let _ = (node, waited_ns, barrier);
     }
+
+    /// A packet was dropped by the fabric (dead router/port under fault
+    /// injection, or TTL exceeded). Dropped packets are never also
+    /// delivered; conservation is `generated = delivered + dropped +
+    /// in-flight`.
+    fn packet_dropped(&mut self, packet: &Packet, now: SimTime) {
+        let _ = (packet, now);
+    }
+
+    /// The source NIC re-generated a dropped workload message (a new packet
+    /// instance with the same workload id). Counted in addition to the
+    /// `packet_generated` call the retransmission also triggers.
+    fn packet_retransmitted(&mut self, packet: &Packet, now: SimTime) {
+        let _ = (packet, now);
+    }
+
+    /// The source NIC exhausted its retransmit budget for a workload
+    /// message from `src` to `dst` and gave up; the destination will never
+    /// observe the message (an unreachable pair while faults persist).
+    fn message_gave_up(&mut self, src: NodeId, dst: NodeId, now: SimTime) {
+        let _ = (src, dst, now);
+    }
 }
 
 /// An observer that can be split across conservative-parallel shards and
@@ -72,7 +94,7 @@ impl ShardObserver for NullObserver {
 }
 
 /// An observer that just counts events — convenient in tests.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CountingObserver {
     /// Messages generated.
     pub generated: u64,
@@ -84,6 +106,12 @@ pub struct CountingObserver {
     pub total_latency_ns: u128,
     /// Sum of delivered-packet hop counts.
     pub total_hops: u64,
+    /// Packets dropped by the fabric (faults / TTL).
+    pub dropped: u64,
+    /// Retransmitted packet instances.
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting the retransmit budget.
+    pub gave_up: u64,
 }
 
 impl SimObserver for CountingObserver {
@@ -100,6 +128,18 @@ impl SimObserver for CountingObserver {
         self.total_latency_ns += packet.latency_ns(now) as u128;
         self.total_hops += packet.hops as u64;
     }
+
+    fn packet_dropped(&mut self, _packet: &Packet, _now: SimTime) {
+        self.dropped += 1;
+    }
+
+    fn packet_retransmitted(&mut self, _packet: &Packet, _now: SimTime) {
+        self.retransmits += 1;
+    }
+
+    fn message_gave_up(&mut self, _src: NodeId, _dst: NodeId, _now: SimTime) {
+        self.gave_up += 1;
+    }
 }
 
 impl ShardObserver for CountingObserver {
@@ -109,6 +149,9 @@ impl ShardObserver for CountingObserver {
         self.delivered += other.delivered;
         self.total_latency_ns += other.total_latency_ns;
         self.total_hops += other.total_hops;
+        self.dropped += other.dropped;
+        self.retransmits += other.retransmits;
+        self.gave_up += other.gave_up;
     }
 }
 

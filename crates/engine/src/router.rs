@@ -9,10 +9,11 @@ use crate::time::SimTime;
 use dragonfly_topology::ids::{Port, RouterId};
 use dragonfly_topology::ports::PortKind;
 use dragonfly_topology::{AnyTopology, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A blocked input VC waiting for space in some output queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Waiter {
     /// Input port whose head-of-line packet is blocked.
     pub in_port: Port,
@@ -21,7 +22,7 @@ pub struct Waiter {
 }
 
 /// All mutable state of one simulated router.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RouterState {
     num_ports: usize,
     num_vcs: usize,

@@ -119,7 +119,39 @@ impl<'a> RouterCtx<'a> {
     pub fn num_vcs(&self) -> usize {
         self.config.num_vcs
     }
+
+    /// Whether an output port of this router is currently alive (fault
+    /// injection can kill links and routers mid-run). Algorithms must not
+    /// route onto dead ports; see [`live_fallback_port`].
+    pub fn port_up(&self, port: Port) -> bool {
+        self.topology.port_up(self.router, port)
+    }
+
+    /// Deterministic hash-fallback among the *live* fabric ports of this
+    /// router, for when an algorithm's preferred port is dead: spreads
+    /// stranded traffic without consuming any agent RNG (so the RNG
+    /// streams of faulted and un-faulted runs stay aligned until the
+    /// fault actually bites). Returns `None` during a total blackout —
+    /// the engine then drops the packet.
+    pub fn live_fallback_port(&self, packet: &Packet) -> Option<Port> {
+        let host_ports = self.topology.host_ports(self.router);
+        let radix = self.topology.radix(self.router);
+        let live: Vec<Port> = (host_ports..radix)
+            .map(Port::from_index)
+            .filter(|&p| self.port_up(p))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let pick = (packet.id as usize).wrapping_add(packet.hops as usize) % live.len();
+        Some(live[pick])
+    }
 }
+
+/// The penalty (in ns) a learning agent applies to a Q-table entry whose
+/// port turned out to be dead: large enough to steer future decisions away
+/// immediately, small enough not to destroy the table's scale.
+pub const DEAD_PORT_PENALTY_NS: f64 = 1.0e7;
 
 /// The default virtual-channel assignment used by all algorithms in this
 /// repository: the VC index equals the number of hops already taken, capped
@@ -170,6 +202,18 @@ pub trait RouterAgent: Send {
     fn feedback(&mut self, msg: &FeedbackMsg) {
         let _ = msg;
     }
+
+    /// Capture the agent's mutable state (RNG stream, Q-tables, counters)
+    /// for a checkpoint (see [`crate::checkpoint`]). Everything rebuilt by
+    /// the algorithm factory from `(topology, config, seed)` must be left
+    /// out; stateless agents keep the default.
+    fn save_state(&self) -> crate::checkpoint::AgentCheckpoint {
+        crate::checkpoint::AgentCheckpoint::default()
+    }
+
+    /// Restore state captured by [`RouterAgent::save_state`] on an agent
+    /// freshly built by the same factory for the same router and seed.
+    fn load_state(&mut self, _state: &crate::checkpoint::AgentCheckpoint) {}
 }
 
 /// Factory for router agents — one implementation per routing algorithm.

@@ -76,6 +76,7 @@ use crate::time::SimTime;
 use dragonfly_topology::ids::{Port, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Sentinel for "no pending event" in the shared next-event hints.
@@ -206,6 +207,19 @@ pub enum ShardMsg {
         /// The feedback payload.
         msg: FeedbackMsg,
     },
+    /// A workload packet was dropped in another shard; the source NIC's
+    /// shard decides whether to retransmit (see
+    /// [`crate::event::EventKind::DropNotice`]).
+    DropNotice {
+        /// Firing time at the source node's shard.
+        time: SimTime,
+        /// The packet's source node (owned by the receiving shard).
+        node: dragonfly_topology::ids::NodeId,
+        /// The packet's destination node.
+        dst: dragonfly_topology::ids::NodeId,
+        /// The workload packet id.
+        id: u64,
+    },
 }
 
 impl ShardMsg {
@@ -214,7 +228,8 @@ impl ShardMsg {
         match self {
             ShardMsg::RouterArrive { time, .. }
             | ShardMsg::CreditArrive { time, .. }
-            | ShardMsg::RlFeedback { time, .. } => *time,
+            | ShardMsg::RlFeedback { time, .. }
+            | ShardMsg::DropNotice { time, .. } => *time,
         }
     }
 
@@ -227,7 +242,7 @@ impl ShardMsg {
 /// One injection queued for a shard's NIC, with its globally assigned
 /// packet id (ids are handed out by the coordinator in injector order, so
 /// they are independent of the shard count).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct QueuedInjection {
     /// Generation time at the source node.
     pub time: SimTime,

@@ -18,6 +18,7 @@
 
 use crate::time::SimTime;
 use dragonfly_topology::ids::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// Workload packets carry ids in a namespace disjoint from the injector's
 /// sequential ids (which start at 0 and count up): the top bit is set and
@@ -41,7 +42,7 @@ pub fn workload_packet_id(node: NodeId, seq: u64) -> u64 {
 }
 
 /// One primitive step of a node's task program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Op {
     /// Busy the node for `delay_ns` (no network activity); the program
     /// resumes via a `TaskWake` event.
@@ -82,7 +83,7 @@ pub enum Op {
 pub type NodeProgram = Vec<Op>;
 
 /// Runtime state of one node's program (owned by its shard).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeTask {
     /// The compiled program.
     pub(crate) ops: NodeProgram,

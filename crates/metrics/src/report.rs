@@ -63,6 +63,22 @@ pub struct SimulationReport {
     /// rank to finish the job.
     #[serde(default)]
     pub collective_skew_us: f64,
+    /// Packets dropped during the whole run (fault-killed resources, TTL
+    /// expiry, exhausted retry budgets); 0 on fault-free runs.
+    #[serde(default)]
+    pub dropped_packets: u64,
+    /// NIC retransmissions triggered by drop notifications.
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Distinct `(src, dst)` node pairs that abandoned at least one
+    /// message after exhausting the retry budget.
+    #[serde(default)]
+    pub unreachable_pairs: u64,
+    /// Time from the first injected fault until the per-bin mean latency
+    /// returned to within 10 % of its pre-fault baseline, in µs (0 when
+    /// the run had no faults or no time series).
+    #[serde(default)]
+    pub recovery_time_us: f64,
 }
 
 impl SimulationReport {
@@ -71,7 +87,8 @@ impl SimulationReport {
         "routing,traffic,offered_load,throughput,mean_latency_us,median_latency_us,\
          q1_latency_us,q3_latency_us,p95_latency_us,p99_latency_us,mean_hops,\
          packets_delivered,packets_generated,job_completion_us,ranks_finished,\
-         barrier_wait_us,collective_skew_us,phase_completion_us"
+         barrier_wait_us,collective_skew_us,dropped_packets,retransmits,\
+         unreachable_pairs,recovery_time_us,phase_completion_us"
             .to_string()
     }
 
@@ -85,7 +102,7 @@ impl SimulationReport {
             .collect::<Vec<_>>()
             .join(";");
         format!(
-            "{},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{:.3},{},{:.3},{:.3},{}",
+            "{},{},{:.3},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{:.3},{},{:.3},{:.3},{},{},{},{:.3},{}",
             self.routing,
             self.traffic,
             self.offered_load,
@@ -103,6 +120,10 @@ impl SimulationReport {
             self.ranks_finished,
             self.barrier_wait_us,
             self.collective_skew_us,
+            self.dropped_packets,
+            self.retransmits,
+            self.unreachable_pairs,
+            self.recovery_time_us,
             phases,
         )
     }
@@ -278,6 +299,10 @@ mod tests {
             phase_completion_us: vec![20.0, 41.5],
             barrier_wait_us: 3.25,
             collective_skew_us: 1.75,
+            dropped_packets: 7,
+            retransmits: 5,
+            unreachable_pairs: 1,
+            recovery_time_us: 12.5,
         }
     }
 
@@ -311,6 +336,11 @@ mod tests {
         assert_eq!(r.ranks_finished, 0);
         assert_eq!(r.job_completion_us, 0.0);
         assert!(r.phase_completion_us.is_empty());
+        // Resilience fields (PR 7) default to zero as well.
+        assert_eq!(r.dropped_packets, 0);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.unreachable_pairs, 0);
+        assert_eq!(r.recovery_time_us, 0.0);
     }
 
     #[test]

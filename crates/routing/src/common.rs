@@ -7,10 +7,45 @@
 //! the HyperX.
 
 use dragonfly_engine::packet::{Packet, RouteMode};
-use dragonfly_engine::routing::RouterCtx;
+use dragonfly_engine::routing::{vc_for_next_hop, Decision, RouterCtx};
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
 use dragonfly_topology::Topology;
 use serde::{Deserialize, Serialize};
+
+/// The congestion value reported for a dead port in adaptive comparisons:
+/// large enough to lose against every live alternative, small enough that
+/// `2 * congestion + bias` cannot overflow.
+pub const DEAD_CONGESTION: usize = usize::MAX / 4;
+
+/// [`RouterCtx::congestion`] with fault awareness: a dead port reports
+/// [`DEAD_CONGESTION`] so adaptive rules never pick it on purpose.
+#[inline]
+pub fn live_congestion(ctx: &RouterCtx<'_>, port: Port) -> usize {
+    if ctx.port_up(port) {
+        ctx.congestion(port)
+    } else {
+        DEAD_CONGESTION
+    }
+}
+
+/// Keep `preferred` when its output port is alive; otherwise re-route the
+/// packet onto a deterministically chosen live fabric port
+/// ([`RouterCtx::live_fallback_port`] — no agent RNG is consumed, so the
+/// RNG streams of faulted and un-faulted runs stay aligned until a fault
+/// actually bites). During a total blackout (`None`) the preferred
+/// decision is returned unchanged and the engine drops the packet.
+pub fn fallback_if_dead(ctx: &RouterCtx<'_>, packet: &Packet, preferred: Decision) -> Decision {
+    if ctx.port_up(preferred.port) {
+        return preferred;
+    }
+    match ctx.live_fallback_port(packet) {
+        Some(port) => Decision {
+            port,
+            vc: vc_for_next_hop(packet, ctx.num_vcs()),
+        },
+        None => preferred,
+    }
+}
 
 /// Configuration of the adaptive (UGAL/PAR) decision rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

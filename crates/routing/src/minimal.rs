@@ -3,6 +3,7 @@
 //! pathological under adversarial patterns (the single global link between
 //! the two groups becomes the bottleneck).
 
+use crate::common::fallback_if_dead;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::Packet;
 use dragonfly_engine::routing::{
@@ -50,10 +51,17 @@ impl RouterAgent for MinAgent {
             .topology
             .minimal_port(self.router, packet.dst_router)
             .expect("decide() is never called at the destination router");
-        Decision {
-            port,
-            vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        // MIN has no alternative path of its own; when a fault kills the
+        // minimal port the packet escapes onto a live port (a VAL-style
+        // detour) instead of being dropped.
+        fallback_if_dead(
+            ctx,
+            packet,
+            Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+        )
     }
 
     fn estimate(&self, ctx: &RouterCtx<'_>, packet: &Packet) -> f64 {

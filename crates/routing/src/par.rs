@@ -8,8 +8,12 @@
 //! local hop, which is why PAR needs five virtual channels (up to seven
 //! hops).
 
-use crate::common::{commit_valiant_router, prefer_minimal, valiant_port, AdaptiveConfig};
+use crate::common::{
+    commit_valiant_router, fallback_if_dead, live_congestion, prefer_minimal, valiant_port,
+    AdaptiveConfig,
+};
 use crate::ugal::{best_nonminimal_candidate, UgalMode};
+use dragonfly_engine::checkpoint::AgentCheckpoint;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::{
@@ -69,7 +73,7 @@ impl ParAgent {
         let min_port = topo
             .minimal_port(self.router, packet.dst_router)
             .expect("adaptive choice is never made at the destination router");
-        let min_congestion = ctx.congestion(min_port);
+        let min_congestion = live_congestion(ctx, min_port);
         if let Some(candidate) = best_nonminimal_candidate(
             ctx,
             &mut self.rng,
@@ -83,16 +87,24 @@ impl ParAgent {
                     .router
                     .expect("node-level candidates always carry a router");
                 commit_valiant_router(packet, target);
-                return Decision {
-                    port: candidate.first_port,
-                    vc: vc_for_next_hop(packet, ctx.num_vcs()),
-                };
+                return fallback_if_dead(
+                    ctx,
+                    packet,
+                    Decision {
+                        port: candidate.first_port,
+                        vc: vc_for_next_hop(packet, ctx.num_vcs()),
+                    },
+                );
             }
         }
-        Decision {
-            port: min_port,
-            vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        fallback_if_dead(
+            ctx,
+            packet,
+            Decision {
+                port: min_port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+        )
     }
 }
 
@@ -123,14 +135,31 @@ impl RouterAgent for ParAgent {
                 .expect("decide() is never called at the destination router"),
             RouteMode::Valiant => valiant_port(ctx, self.router, packet),
         };
-        Decision {
-            port,
-            vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        fallback_if_dead(
+            ctx,
+            packet,
+            Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+        )
     }
 
     fn estimate(&self, _ctx: &RouterCtx<'_>, _packet: &Packet) -> f64 {
         0.0
+    }
+
+    fn save_state(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            rng: Some(self.rng.state()),
+            ..Default::default()
+        }
+    }
+
+    fn load_state(&mut self, state: &AgentCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
     }
 }
 

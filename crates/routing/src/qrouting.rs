@@ -15,10 +15,12 @@
 //! traffic, and the huge table suffers from stale values. The
 //! `ablation_maxq` bench binary reproduces that study.
 
+use dragonfly_engine::checkpoint::AgentCheckpoint;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::Packet;
 use dragonfly_engine::routing::{
     vc_for_next_hop, Decision, FeedbackMsg, RouterAgent, RouterCtx, RoutingAlgorithm,
+    DEAD_PORT_PENALTY_NS,
 };
 use dragonfly_topology::ids::{Port, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
@@ -117,6 +119,28 @@ impl QRoutingAgent {
     pub fn table(&self) -> &QTable {
         &self.table
     }
+
+    /// Fault handling: when the chosen port is dead, penalise its Q-entry
+    /// (so the table learns to avoid it without waiting for feedback that
+    /// will never arrive) and deterministically re-route onto a live port.
+    /// Consumes no RNG, keeping faulted and un-faulted streams aligned.
+    fn resilient(&mut self, ctx: &RouterCtx<'_>, packet: &Packet, decision: Decision) -> Decision {
+        if ctx.port_up(decision.port) {
+            return decision;
+        }
+        let row = self.table.row(packet.dst_router);
+        let col = decision.port.index() - self.host_ports;
+        let current = self.table.get(row, col);
+        let updated = self.learner.update(current, DEAD_PORT_PENALTY_NS, 0.0);
+        self.table.set(row, col, updated);
+        match ctx.live_fallback_port(packet) {
+            Some(port) => Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+            None => decision,
+        }
+    }
 }
 
 impl RouterAgent for QRoutingAgent {
@@ -136,10 +160,11 @@ impl RouterAgent for QRoutingAgent {
                 &self.exploration_ports,
             )
         };
-        Decision {
+        let decision = Decision {
             port,
             vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        };
+        self.resilient(ctx, packet, decision)
     }
 
     fn estimate(&self, _ctx: &RouterCtx<'_>, packet: &Packet) -> f64 {
@@ -169,6 +194,21 @@ impl RouterAgent for QRoutingAgent {
             .learner
             .update(current, msg.reward_ns, msg.downstream_estimate_ns);
         self.table.set(row, col, updated);
+    }
+
+    fn save_state(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            rng: Some(self.rng.state()),
+            q_values: self.table.values(),
+            counters: Vec::new(),
+        }
+    }
+
+    fn load_state(&mut self, state: &AgentCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
+        self.table.load_values(&state.q_values);
     }
 }
 

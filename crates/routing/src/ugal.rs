@@ -15,8 +15,10 @@
 //!   [`crate::valiant::VALN_VCS`]).
 
 use crate::common::{
-    commit_valiant_domain, commit_valiant_router, prefer_minimal, valiant_port, AdaptiveConfig,
+    commit_valiant_domain, commit_valiant_router, fallback_if_dead, live_congestion,
+    prefer_minimal, valiant_port, AdaptiveConfig,
 };
+use dragonfly_engine::checkpoint::AgentCheckpoint;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::{
@@ -137,7 +139,7 @@ pub(crate) fn best_nonminimal_candidate(
                 let first_port = topo.port_toward_domain(router, ig);
                 NonMinimalCandidate {
                     first_port,
-                    congestion: ctx.congestion(first_port),
+                    congestion: live_congestion(ctx, first_port),
                     domain: Some(ig),
                     router: None,
                 }
@@ -149,7 +151,7 @@ pub(crate) fn best_nonminimal_candidate(
                     .expect("intermediate router is never the current router");
                 NonMinimalCandidate {
                     first_port,
-                    congestion: ctx.congestion(first_port),
+                    congestion: live_congestion(ctx, first_port),
                     domain: None,
                     router: Some(ir),
                 }
@@ -179,7 +181,7 @@ impl RouterAgent for UgalAgent {
             let min_port = topo
                 .minimal_port(self.router, packet.dst_router)
                 .expect("source router differs from the destination router");
-            let min_congestion = ctx.congestion(min_port);
+            let min_congestion = live_congestion(ctx, min_port);
             if let Some(candidate) = best_nonminimal_candidate(
                 ctx,
                 &mut self.rng,
@@ -194,16 +196,24 @@ impl RouterAgent for UgalAgent {
                         (_, Some(r)) => commit_valiant_router(packet, r),
                         _ => unreachable!("candidate always carries a target"),
                     }
-                    return Decision {
-                        port: candidate.first_port,
-                        vc: vc_for_next_hop(packet, ctx.num_vcs()),
-                    };
+                    return fallback_if_dead(
+                        ctx,
+                        packet,
+                        Decision {
+                            port: candidate.first_port,
+                            vc: vc_for_next_hop(packet, ctx.num_vcs()),
+                        },
+                    );
                 }
             }
-            return Decision {
-                port: min_port,
-                vc: vc_for_next_hop(packet, ctx.num_vcs()),
-            };
+            return fallback_if_dead(
+                ctx,
+                packet,
+                Decision {
+                    port: min_port,
+                    vc: vc_for_next_hop(packet, ctx.num_vcs()),
+                },
+            );
         }
 
         let port = match packet.route.mode {
@@ -212,14 +222,31 @@ impl RouterAgent for UgalAgent {
                 .expect("decide() is never called at the destination router"),
             RouteMode::Valiant => valiant_port(ctx, self.router, packet),
         };
-        Decision {
-            port,
-            vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        fallback_if_dead(
+            ctx,
+            packet,
+            Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+        )
     }
 
     fn estimate(&self, _ctx: &RouterCtx<'_>, _packet: &Packet) -> f64 {
         0.0
+    }
+
+    fn save_state(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            rng: Some(self.rng.state()),
+            ..Default::default()
+        }
+    }
+
+    fn load_state(&mut self, state: &AgentCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
     }
 }
 

@@ -13,7 +13,8 @@
 //! Both are optimal (up to ~50 % throughput) under adversarial traffic and
 //! waste half the bandwidth under uniform traffic.
 
-use crate::common::{commit_valiant_domain, commit_valiant_router, valiant_port};
+use crate::common::{commit_valiant_domain, commit_valiant_router, fallback_if_dead, valiant_port};
+use dragonfly_engine::checkpoint::AgentCheckpoint;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::packet::{Packet, RouteMode};
 use dragonfly_engine::routing::{
@@ -135,14 +136,31 @@ impl RouterAgent for ValiantAgent {
                 .expect("decide() is never called at the destination router"),
             RouteMode::Valiant => valiant_port(ctx, self.router, packet),
         };
-        Decision {
-            port,
-            vc: vc_for_next_hop(packet, ctx.num_vcs()),
-        }
+        fallback_if_dead(
+            ctx,
+            packet,
+            Decision {
+                port,
+                vc: vc_for_next_hop(packet, ctx.num_vcs()),
+            },
+        )
     }
 
     fn estimate(&self, _ctx: &RouterCtx<'_>, _packet: &Packet) -> f64 {
         0.0
+    }
+
+    fn save_state(&self) -> AgentCheckpoint {
+        AgentCheckpoint {
+            rng: Some(self.rng.state()),
+            ..Default::default()
+        }
+    }
+
+    fn load_state(&mut self, state: &AgentCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
     }
 }
 

@@ -1,0 +1,139 @@
+//! PR 7 acceptance: every routing algorithm survives killing 5 % of the
+//! global links mid-run.
+//!
+//! For each algorithm the same faulted scenario is executed single-shard
+//! and sharded; the test asserts packet conservation
+//! (`generated == delivered + dropped + outstanding`) and bit-for-bit
+//! shard invariance of every count — faults, drops and fallback reroutes
+//! included.
+
+use dragonfly_engine::fault::{CompiledFault, FaultOp, FaultSchedule};
+use dragonfly_engine::injector::{Injection, ScriptedInjector};
+use dragonfly_engine::observer::CountingObserver;
+use dragonfly_engine::{Engine, EngineConfig, RoutingAlgorithm, ShardKind};
+use dragonfly_routing::minimal::MinRouting;
+use dragonfly_routing::par::ParRouting;
+use dragonfly_routing::qrouting::QRoutingMaxQ;
+use dragonfly_routing::ugal::{UgalG, UgalN};
+use dragonfly_routing::valiant::{ValiantGlobal, ValiantNode};
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::ids::{NodeId, Port};
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::topology::Neighbor;
+use dragonfly_topology::{Dragonfly, Topology};
+use qadaptive_core::agent::QAdaptiveRouting;
+
+/// Enumerate every global link once (canonical endpoint order) and build a
+/// schedule that kills every `stride`-th link at `at_ns`, downing both
+/// endpoint ports so liveness queries stay shard-local.
+fn kill_global_links(topo: &Dragonfly, fraction: f64, at_ns: u64) -> (FaultSchedule, usize) {
+    let mut links = Vec::new();
+    for r in topo.routers() {
+        for p in 0..Topology::radix(topo, r) {
+            let port = Port::from_index(p);
+            if Topology::port_kind(topo, r, port) != PortKind::Global {
+                continue;
+            }
+            match Topology::neighbor(topo, r, port) {
+                Neighbor::Router {
+                    router: peer,
+                    port: peer_port,
+                } => {
+                    if (r.index(), p) < (peer.index(), peer_port.index()) {
+                        links.push((r, port, peer, peer_port));
+                    }
+                }
+                Neighbor::Node(_) => unreachable!("global port leads to a router"),
+            }
+        }
+    }
+    assert!(!links.is_empty(), "tiny Dragonfly has global links");
+    let kill = ((links.len() as f64 * fraction).ceil() as usize).max(1);
+    let stride = (links.len() / kill).max(1);
+    let mut ops = Vec::new();
+    for (r, p, peer, peer_port) in links.iter().step_by(stride).take(kill) {
+        ops.push(FaultOp::PortDown {
+            router: *r,
+            port: *p,
+        });
+        ops.push(FaultOp::PortDown {
+            router: *peer,
+            port: *peer_port,
+        });
+    }
+    (
+        FaultSchedule {
+            events: vec![CompiledFault { at_ns, ops }],
+        },
+        kill,
+    )
+}
+
+fn run_faulted(algo: &dyn RoutingAlgorithm, shards: ShardKind) -> (u64, u64, u64, u64, u64) {
+    let topo = Dragonfly::new(DragonflyConfig::tiny());
+    let n = topo.num_nodes() as u64;
+    let (schedule, killed) = kill_global_links(&topo, 0.05, 50_000);
+    assert!(killed >= 2, "5 % of tiny's global links is at least two");
+    let script: Vec<Injection> = (0..900u64)
+        .map(|i| Injection {
+            time: i * 120,
+            src: NodeId((i % n) as u32),
+            dst: NodeId((((i * 37) + 11) % n) as u32),
+        })
+        .collect();
+    let mut cfg = EngineConfig::paper(algo.num_vcs());
+    cfg.shards = shards;
+    let mut engine = Engine::new(
+        topo,
+        cfg,
+        algo,
+        Box::new(ScriptedInjector::new(script)),
+        CountingObserver::default(),
+        97,
+    );
+    engine.install_faults(&schedule);
+    engine.run_to_drain(400_000_000);
+    let stats = engine.stats();
+    let obs = engine.merged_observer();
+    (
+        stats.generated,
+        stats.delivered,
+        stats.dropped,
+        stats.events,
+        obs.total_hops,
+    )
+}
+
+#[test]
+fn all_algorithms_survive_five_percent_global_link_loss() {
+    let algorithms: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(MinRouting),
+        Box::new(ValiantGlobal),
+        Box::new(ValiantNode),
+        Box::new(UgalG::default()),
+        Box::new(UgalN::default()),
+        Box::new(ParRouting::default()),
+        Box::new(QRoutingMaxQ::with_max_q(2)),
+        Box::new(QAdaptiveRouting::default()),
+    ];
+    for algo in &algorithms {
+        let name = algo.name();
+        let (gen1, del1, drop1, ev1, hops1) = run_faulted(algo.as_ref(), ShardKind::Single);
+        assert_eq!(gen1, 900, "{name}: every scripted packet is generated");
+        assert_eq!(
+            gen1,
+            del1 + drop1,
+            "{name}: conservation — open-loop traffic is delivered or dropped"
+        );
+        assert!(
+            del1 >= 800,
+            "{name}: the overwhelming majority must still be delivered, got {del1}"
+        );
+        let (gen3, del3, drop3, ev3, hops3) = run_faulted(algo.as_ref(), ShardKind::Fixed(3));
+        assert_eq!(
+            (gen1, del1, drop1, ev1, hops1),
+            (gen3, del3, drop3, ev3, hops3),
+            "{name}: faulted runs are bit-for-bit shard invariant"
+        );
+    }
+}

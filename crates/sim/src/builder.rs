@@ -1,6 +1,7 @@
 //! One-stop construction and execution of a single simulation point.
 
 use crate::collector::MetricsCollector;
+use crate::fault::{compile_faults, FaultSpecEntry};
 use crate::injector::PatternInjector;
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::injector::{EmptyInjector, TrafficInjector};
@@ -53,6 +54,9 @@ pub struct SimulationBuilder {
     /// open-loop pattern injector is replaced by per-node task programs
     /// and the run drains instead of stopping at a wall-clock boundary.
     workload: Option<(WorkloadSpec, f64)>,
+    /// Fault-injection events, compiled against the topology and
+    /// installed before the run starts. Empty = fault-free.
+    faults: Vec<FaultSpecEntry>,
 }
 
 impl SimulationBuilder {
@@ -72,6 +76,7 @@ impl SimulationBuilder {
             engine_config: None,
             tail_ns: 0,
             workload: None,
+            faults: Vec::new(),
         }
     }
 
@@ -103,6 +108,12 @@ impl SimulationBuilder {
     /// multiplier (may exceed 1.0).
     pub fn workload_at(mut self, workload: WorkloadSpec, intensity: f64) -> Self {
         self.workload = Some((workload, intensity));
+        self
+    }
+
+    /// Inject faults (link/router kills and restores) during the run.
+    pub fn faults(mut self, faults: Vec<FaultSpecEntry>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -190,6 +201,7 @@ impl SimulationBuilder {
             seed: Some(self.seed),
             series_bin_ns: self.series_bin_ns,
             engine: self.engine_config,
+            faults: self.faults.clone(),
         }
     }
 
@@ -236,6 +248,11 @@ impl SimulationBuilder {
         if let Some(programs) = programs {
             engine.install_workload(programs);
         }
+        if !self.faults.is_empty() {
+            let schedule = compile_faults(&self.faults, engine.topology())
+                .expect("fault entries are validated before running");
+            engine.install_faults(&schedule);
+        }
         engine
     }
 
@@ -267,6 +284,13 @@ impl SimulationBuilder {
             )
         } else {
             (0.0, 0.0)
+        };
+        let recovery_time_us = match (
+            self.faults.iter().map(FaultSpecEntry::at_ns).min(),
+            collector.series.as_ref(),
+        ) {
+            (Some(fault_at_ns), Some(series)) => recovery_time_us(series, fault_at_ns),
+            _ => 0.0,
         };
         SimulationReport {
             routing: self.routing.label(),
@@ -302,6 +326,10 @@ impl SimulationBuilder {
                 .collect(),
             barrier_wait_us: collector.barrier_wait_ns as f64 / 1_000.0,
             collective_skew_us,
+            dropped_packets: collector.dropped_total,
+            retransmits: collector.retransmits_total,
+            unreachable_pairs: collector.gave_up_pairs.len() as u64,
+            recovery_time_us,
         }
     }
 
@@ -326,6 +354,73 @@ impl SimulationBuilder {
         self.report_from(&mut engine, wall)
     }
 
+    /// Stepped execution with optional mid-run state capture and optional
+    /// resume from an earlier capture — the machinery behind the CLI's
+    /// `--checkpoint-every` and `--resume-from` flags.
+    ///
+    /// Both features require a single-shard engine: sharded state is
+    /// spread across per-shard arenas and mailboxes, and determinism makes
+    /// a sharded re-run from zero equivalent anyway. A sharded
+    /// configuration is reported as a contextual error, never a panic.
+    ///
+    /// `sink` receives the engine snapshot and the collector at every
+    /// `checkpoint_every_ns` boundary strictly before the end of the run.
+    /// When `resume` is given, the engine and collector are restored
+    /// before running; the continued run is bit-for-bit identical to an
+    /// uninterrupted one (pinned by the `checkpoint_resume` differential
+    /// suite).
+    pub fn run_resumable(
+        self,
+        resume: Option<(
+            &dragonfly_engine::checkpoint::EngineCheckpoint,
+            &MetricsCollector,
+        )>,
+        checkpoint_every_ns: Option<SimTime>,
+        mut sink: impl FnMut(&dragonfly_engine::checkpoint::EngineCheckpoint, &MetricsCollector),
+    ) -> Result<SimulationReport, String> {
+        let started = Instant::now();
+        let mut engine = self.build_engine();
+        if engine.num_shards() != 1 {
+            return Err(format!(
+                "checkpoint/resume requires a single-shard engine (this run has {} \
+                 shards): drop --shards/--pipeline or set shards = 1; a sharded \
+                 re-run from the start produces identical results",
+                engine.num_shards()
+            ));
+        }
+        if let Some((ck, collector)) = resume {
+            engine.restore(ck);
+            *engine.observer_mut() = collector.clone();
+        }
+        let total = self.total_ns();
+        match checkpoint_every_ns {
+            None => self.run_engine(&mut engine),
+            Some(every) => {
+                let every = every.max(1);
+                let mut t = engine.now();
+                while t < total {
+                    t = t.saturating_add(every).min(total);
+                    if self.workload.is_some() {
+                        engine.run_to_drain(t);
+                    } else {
+                        engine.run_until(t);
+                    }
+                    // A drained closed-loop run stops advancing long before
+                    // its drain cap; keeping on stepping would rewrite an
+                    // identical snapshot at every remaining boundary.
+                    if self.workload.is_some() && !engine.has_pending_events() {
+                        break;
+                    }
+                    if t < total {
+                        sink(&engine.checkpoint(), engine.observer());
+                    }
+                }
+            }
+        }
+        let wall = started.elapsed().as_secs_f64();
+        Ok(self.report_from(&mut engine, wall))
+    }
+
     /// Run the simulation and return both the report and the recorded time
     /// series (requires [`SimulationBuilder::series_bin_ns`]).
     pub fn run_with_series(mut self) -> (SimulationReport, TimeSeries) {
@@ -343,6 +438,38 @@ impl SimulationBuilder {
             .expect("series collection was enabled above");
         (report, series)
     }
+}
+
+/// Latency-recovery time after the first fault, in µs, from the run's
+/// time series: the pre-fault mean latency is the baseline; recovery is
+/// reached at the first non-empty bin at/after the fault whose mean
+/// latency is within 10 % of the baseline. A run that never recovers
+/// counts the whole remaining series. 0.0 when the fault precedes any
+/// delivery (no baseline to recover to).
+fn recovery_time_us(series: &dragonfly_metrics::timeseries::TimeSeries, fault_at_ns: u64) -> f64 {
+    let width = series.bin_width_ns();
+    let fault_bin = (fault_at_ns / width) as usize;
+    let (mut packets, mut latency_sum) = (0u64, 0u128);
+    for idx in 0..fault_bin.min(series.len()) {
+        let bin = series.bin(idx);
+        packets += bin.packets;
+        latency_sum += bin.latency_sum_ns;
+    }
+    if packets == 0 {
+        return 0.0;
+    }
+    let baseline_ns = latency_sum as f64 / packets as f64;
+    for idx in fault_bin..series.len() {
+        let bin = series.bin(idx);
+        if bin.packets > 0 {
+            let mean_ns = bin.latency_sum_ns as f64 / bin.packets as f64;
+            if mean_ns <= 1.1 * baseline_ns {
+                let recovered_at = (idx as u64 + 1) * width;
+                return recovered_at.saturating_sub(fault_at_ns) as f64 / 1_000.0;
+            }
+        }
+    }
+    (series.len() as u64 * width).saturating_sub(fault_at_ns) as f64 / 1_000.0
 }
 
 #[cfg(test)]

@@ -1,0 +1,175 @@
+//! Run-level checkpoint files — the persistence layer behind the CLI's
+//! `--checkpoint-every` and `--resume-from` flags.
+//!
+//! A [`RunCheckpoint`] bundles everything a later process needs to
+//! continue a run bit-for-bit (see `dragonfly_engine::checkpoint` for the
+//! engine-side contract):
+//!
+//! * the originating [`ExperimentSpec`] — resume refuses to continue under
+//!   a different spec, because the engine snapshot only stores state the
+//!   spec cannot reconstruct;
+//! * the [`EngineCheckpoint`] (event queue, packet arena, router/NIC/agent
+//!   state, fault cursor, injector state);
+//! * the [`MetricsCollector`], which the engine snapshot deliberately
+//!   excludes (observers are a sim-layer concern).
+//!
+//! Files are JSON: self-describing, diffable in tests, and free of any
+//! dependency the workspace does not already vendor. A version tag guards
+//! against silently resuming from an incompatible layout.
+
+use crate::collector::MetricsCollector;
+use crate::spec::{ExperimentSpec, SpecError};
+use dragonfly_engine::checkpoint::EngineCheckpoint;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Format tag stored in every checkpoint file. Bump when any serialized
+/// layout changes incompatibly.
+pub const CHECKPOINT_VERSION: &str = "qadaptive-checkpoint-v1";
+
+/// A complete, self-contained snapshot of a running experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Format tag ([`CHECKPOINT_VERSION`]).
+    pub version: String,
+    /// The experiment this snapshot belongs to (after any CLI overrides).
+    pub spec: ExperimentSpec,
+    /// Engine state (see `dragonfly_engine::checkpoint`).
+    pub engine: EngineCheckpoint,
+    /// The measurement observer at snapshot time.
+    pub collector: MetricsCollector,
+}
+
+impl RunCheckpoint {
+    /// Bundle a snapshot taken mid-run.
+    pub fn new(
+        spec: ExperimentSpec,
+        engine: EngineCheckpoint,
+        collector: MetricsCollector,
+    ) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION.to_string(),
+            spec,
+            engine,
+            collector,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoints always serialize")
+    }
+
+    /// Parse from JSON, rejecting unknown format versions with a
+    /// contextual error.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let ck: Self = serde_json::from_str(text)
+            .map_err(|e| SpecError(format!("malformed checkpoint file: {e}")))?;
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(SpecError(format!(
+                "checkpoint version {:?} is not supported (this build reads {:?})",
+                ck.version, CHECKPOINT_VERSION
+            )));
+        }
+        Ok(ck)
+    }
+
+    /// Write the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SpecError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json())
+            .map_err(|e| SpecError(format!("cannot write checkpoint {}: {e}", path.display())))
+    }
+
+    /// Read a checkpoint from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError(format!("cannot read checkpoint {}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+
+    /// Verify that `spec` is the experiment this checkpoint was taken
+    /// from. The engine snapshot only stores state the spec cannot
+    /// rebuild, so resuming under a different spec would silently mix two
+    /// experiments; the comparison is on the canonical JSON encoding.
+    pub fn check_spec_matches(&self, spec: &ExperimentSpec) -> Result<(), SpecError> {
+        if self.spec.to_json() != spec.to_json() {
+            return Err(SpecError(format!(
+                "checkpoint was taken from experiment {:?}, which differs from the \
+                 requested experiment {:?}: resume with the same scenario file, seed \
+                 and engine overrides as the checkpointing run",
+                self.spec.name, spec.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+
+    fn spec() -> ExperimentSpec {
+        let mut s = ExperimentSpec::new(DragonflyConfig::tiny());
+        s.name = "ck-test".to_string();
+        s
+    }
+
+    fn sample() -> RunCheckpoint {
+        let mut engine = EngineCheckpoint {
+            now: 123,
+            ..Default::default()
+        };
+        engine.shard.generated = 5;
+        RunCheckpoint::new(spec(), engine, MetricsCollector::new(0, 1_000))
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let back = RunCheckpoint::from_json(&sample().to_json()).unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION);
+        assert_eq!(back.engine.now, 123);
+        assert_eq!(back.engine.shard.generated, 5);
+        assert_eq!(back.collector.window_end_ns, 1_000);
+        back.check_spec_matches(&spec()).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_context() {
+        let mut ck = sample();
+        ck.version = "qadaptive-checkpoint-v999".to_string();
+        let err = RunCheckpoint::from_json(&ck.to_json()).unwrap_err();
+        assert!(err.0.contains("v999"), "error names the bad version: {err}");
+    }
+
+    #[test]
+    fn spec_mismatch_is_rejected_with_both_names() {
+        let ck = sample();
+        let mut other = spec();
+        other.seed = Some(999);
+        let err = ck.check_spec_matches(&other).unwrap_err();
+        assert!(
+            err.0.contains("ck-test"),
+            "error names the experiments: {err}"
+        );
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join("qadaptive-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt.json");
+        sample().save(&path).unwrap();
+        let back = RunCheckpoint::load(&path).unwrap();
+        assert_eq!(back.engine.now, 123);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_contextual_error() {
+        let err = RunCheckpoint::load("/nonexistent/qadaptive.ckpt.json").unwrap_err();
+        assert!(err.0.contains("cannot read checkpoint"), "{err}");
+    }
+}

@@ -9,6 +9,8 @@ use dragonfly_metrics::latency::LatencyStats;
 use dragonfly_metrics::throughput::ThroughputMeter;
 use dragonfly_metrics::timeseries::TimeSeries;
 use dragonfly_topology::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Collects latency, hop and throughput statistics over a measurement
 /// window, plus an optional whole-run time series.
@@ -17,7 +19,7 @@ use dragonfly_topology::ids::NodeId;
 /// shard and merges the clones afterwards. Every accumulator is an
 /// integer sum, count or sample multiset, so the merged result is
 /// bit-for-bit identical to a single-shard run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsCollector {
     /// Packets delivered before this time are ignored (warmup).
     pub window_start_ns: SimTime,
@@ -48,6 +50,16 @@ pub struct MetricsCollector {
     pub phase_end_ns: Vec<SimTime>,
     /// Closed-loop: total ns ranks spent blocked in barrier receives.
     pub barrier_wait_ns: u64,
+    /// Packets dropped (fault-killed resources, TTL, exhausted retries).
+    pub dropped_total: u64,
+    /// NIC retransmissions triggered by drop notifications.
+    pub retransmits_total: u64,
+    /// Messages abandoned after the retry budget ran out.
+    pub gave_up_total: u64,
+    /// Distinct `(src, dst)` node pairs with at least one abandoned
+    /// message — the report's `unreachable_pairs`. Merging is set union,
+    /// so the count is shard-order independent.
+    pub gave_up_pairs: BTreeSet<(u32, u32)>,
 }
 
 impl MetricsCollector {
@@ -68,6 +80,10 @@ impl MetricsCollector {
             job_end_min_ns: SimTime::MAX,
             phase_end_ns: Vec::new(),
             barrier_wait_ns: 0,
+            dropped_total: 0,
+            retransmits_total: 0,
+            gave_up_total: 0,
+            gave_up_pairs: BTreeSet::new(),
         }
     }
 
@@ -114,6 +130,10 @@ impl ShardObserver for MetricsCollector {
             self.phase_end_ns[slot] = self.phase_end_ns[slot].max(*end);
         }
         self.barrier_wait_ns += other.barrier_wait_ns;
+        self.dropped_total += other.dropped_total;
+        self.retransmits_total += other.retransmits_total;
+        self.gave_up_total += other.gave_up_total;
+        self.gave_up_pairs.extend(other.gave_up_pairs);
     }
 }
 
@@ -136,6 +156,19 @@ impl SimObserver for MetricsCollector {
             self.hops.record(packet.hops as usize);
             self.throughput.record(packet.size_bytes);
         }
+    }
+
+    fn packet_dropped(&mut self, _packet: &Packet, _now: SimTime) {
+        self.dropped_total += 1;
+    }
+
+    fn packet_retransmitted(&mut self, _packet: &Packet, _now: SimTime) {
+        self.retransmits_total += 1;
+    }
+
+    fn message_gave_up(&mut self, src: NodeId, dst: NodeId, _now: SimTime) {
+        self.gave_up_total += 1;
+        self.gave_up_pairs.insert((src.0, dst.0));
     }
 
     fn task_phase_completed(&mut self, _node: NodeId, phase: u32, now: SimTime) {
@@ -229,6 +262,23 @@ mod tests {
         assert_eq!(a.job_end_min_ns, 350);
         assert_eq!(a.phase_end_ns, vec![250, 300]);
         assert_eq!(a.barrier_wait_ns, 75);
+    }
+
+    #[test]
+    fn resilience_accounting_merges_order_independently() {
+        let mut a = MetricsCollector::new(0, 1_000);
+        let mut b = MetricsCollector::new(0, 1_000);
+        a.packet_dropped(&packet(0, 1), 10);
+        a.packet_retransmitted(&packet(0, 1), 20);
+        a.message_gave_up(NodeId(1), NodeId(2), 30);
+        b.packet_dropped(&packet(0, 1), 15);
+        b.message_gave_up(NodeId(1), NodeId(2), 35); // same pair, other shard
+        b.message_gave_up(NodeId(3), NodeId(4), 40);
+        a.absorb(b);
+        assert_eq!(a.dropped_total, 2);
+        assert_eq!(a.retransmits_total, 1);
+        assert_eq!(a.gave_up_total, 3);
+        assert_eq!(a.gave_up_pairs.len(), 2, "pair set merges by union");
     }
 
     #[test]

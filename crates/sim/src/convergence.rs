@@ -96,6 +96,7 @@ pub fn run_convergence(
         seed: Some(seed),
         series_bin_ns: Some(bin_ns),
         engine: None,
+        faults: Vec::new(),
     })
 }
 

@@ -1,0 +1,503 @@
+//! Serialisable fault injection — the `[[faults]]` section of scenario
+//! files.
+//!
+//! Each [`FaultSpecEntry`] names one fault event in experiment time
+//! (`at_us`): killing or restoring a specific link or router, or killing a
+//! seeded random fraction of the global links. [`compile_faults`] turns
+//! the entries into the engine's [`FaultSchedule`] against a concrete
+//! topology: a link fault downs *both* endpoint ports (so per-shard
+//! liveness queries never need remote state), and `random_global_down`
+//! draws from the canonical sorted global-link list with its own seed, so
+//! the same spec kills the same links on every run, every shard count and
+//! every pipeline mode.
+
+use crate::spec::SpecError;
+use dragonfly_engine::fault::{CompiledFault, FaultOp, FaultSchedule};
+use dragonfly_topology::ids::{Port, RouterId};
+use dragonfly_topology::ports::PortKind;
+use dragonfly_topology::topology::Neighbor;
+use dragonfly_topology::{AnyTopology, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Seed used by `random_global_down` entries that do not set `fault_seed`.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA_0175;
+
+/// One serialisable fault event (a `[[faults]]` entry in a scenario file).
+///
+/// `kind` selects the event; the other fields qualify it:
+///
+/// | `kind` | required fields | effect at `at_us` |
+/// |---|---|---|
+/// | `"link_down"` | `router`, `port` | down the link behind that port (both ends) |
+/// | `"link_up"` | `router`, `port` | restore that link (both ends) |
+/// | `"router_down"` | `router` | down the whole router |
+/// | `"router_up"` | `router` | restore the router |
+/// | `"random_global_down"` | `fraction` (+ optional `fault_seed`) | down a seeded random fraction of all global links |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpecEntry {
+    /// Event time in experiment microseconds (quantized to the engine's
+    /// lookahead window when installed).
+    pub at_us: f64,
+    /// Event kind: `link_down`, `link_up`, `router_down`, `router_up` or
+    /// `random_global_down`.
+    pub kind: String,
+    /// Router the fault is anchored at (link/router kinds).
+    #[serde(default)]
+    pub router: Option<u32>,
+    /// Fabric port selecting the link (link kinds).
+    #[serde(default)]
+    pub port: Option<u16>,
+    /// Fraction of global links to kill, in `(0, 1]`
+    /// (`random_global_down` only; at least one link is always killed).
+    #[serde(default)]
+    pub fraction: Option<f64>,
+    /// Seed for the random link draw (`random_global_down` only;
+    /// defaults to [`DEFAULT_FAULT_SEED`]).
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+}
+
+impl FaultSpecEntry {
+    /// Kill the link behind `router`'s fabric `port` at `at_us`.
+    pub fn link_down(at_us: f64, router: u32, port: u16) -> Self {
+        Self {
+            at_us,
+            kind: "link_down".to_string(),
+            router: Some(router),
+            port: Some(port),
+            fraction: None,
+            fault_seed: None,
+        }
+    }
+
+    /// Restore the link behind `router`'s fabric `port` at `at_us`.
+    pub fn link_up(at_us: f64, router: u32, port: u16) -> Self {
+        Self {
+            port: Some(port),
+            ..Self::router_event(at_us, "link_up", router)
+        }
+    }
+
+    /// Kill the whole `router` at `at_us`.
+    pub fn router_down(at_us: f64, router: u32) -> Self {
+        Self::router_event(at_us, "router_down", router)
+    }
+
+    /// Restore the `router` at `at_us`.
+    pub fn router_up(at_us: f64, router: u32) -> Self {
+        Self::router_event(at_us, "router_up", router)
+    }
+
+    /// Kill a seeded random `fraction` of the global links at `at_us`.
+    pub fn random_global_down(at_us: f64, fraction: f64, fault_seed: u64) -> Self {
+        Self {
+            at_us,
+            kind: "random_global_down".to_string(),
+            router: None,
+            port: None,
+            fraction: Some(fraction),
+            fault_seed: Some(fault_seed),
+        }
+    }
+
+    fn router_event(at_us: f64, kind: &str, router: u32) -> Self {
+        Self {
+            at_us,
+            kind: kind.to_string(),
+            router: Some(router),
+            port: None,
+            fraction: None,
+            fault_seed: None,
+        }
+    }
+
+    /// The event time in engine nanoseconds.
+    pub fn at_ns(&self) -> u64 {
+        (self.at_us * 1_000.0).round().max(0.0) as u64
+    }
+
+    /// Structural validation independent of any topology (field presence,
+    /// ranges, known kinds). [`compile_faults`] additionally checks the
+    /// entry against a concrete topology.
+    pub fn validate(&self, index: usize) -> Result<(), SpecError> {
+        let at =
+            |field: &str, msg: String| SpecError(format!("faults[{index}] (`{field}`): {msg}"));
+        if !self.at_us.is_finite() || self.at_us < 0.0 {
+            return Err(at(
+                "at_us",
+                format!(
+                    "event time must be a non-negative number, got {}",
+                    self.at_us
+                ),
+            ));
+        }
+        let needs = |field: &str, present: bool| {
+            if present {
+                Ok(())
+            } else {
+                Err(at(
+                    field,
+                    format!("required by kind \"{}\" but missing", self.kind),
+                ))
+            }
+        };
+        let forbids = |field: &str, absent: bool| {
+            if absent {
+                Ok(())
+            } else {
+                Err(at(
+                    field,
+                    format!("not allowed with kind \"{}\"", self.kind),
+                ))
+            }
+        };
+        match self.kind.as_str() {
+            "link_down" | "link_up" => {
+                needs("router", self.router.is_some())?;
+                needs("port", self.port.is_some())?;
+                forbids("fraction", self.fraction.is_none())?;
+                forbids("fault_seed", self.fault_seed.is_none())?;
+            }
+            "router_down" | "router_up" => {
+                needs("router", self.router.is_some())?;
+                forbids("port", self.port.is_none())?;
+                forbids("fraction", self.fraction.is_none())?;
+                forbids("fault_seed", self.fault_seed.is_none())?;
+            }
+            "random_global_down" => {
+                needs("fraction", self.fraction.is_some())?;
+                forbids("router", self.router.is_none())?;
+                forbids("port", self.port.is_none())?;
+                if let Some(fraction) = self.fraction {
+                    if !(fraction > 0.0 && fraction <= 1.0) {
+                        return Err(at("fraction", format!("must be in (0, 1], got {fraction}")));
+                    }
+                }
+            }
+            other => {
+                return Err(at(
+                    "kind",
+                    format!(
+                        "unknown kind \"{other}\"; legal forms: \
+                         link_down/link_up (router + port), \
+                         router_down/router_up (router), \
+                         random_global_down (fraction [+ fault_seed])"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate a whole `[[faults]]` list (structural checks only).
+pub fn validate_faults(entries: &[FaultSpecEntry]) -> Result<(), SpecError> {
+    for (index, entry) in entries.iter().enumerate() {
+        entry.validate(index)?;
+    }
+    Ok(())
+}
+
+/// Every router-to-router link of the topology once, in canonical order
+/// (smaller `(router, port)` endpoint first), restricted to `kind`.
+fn canonical_links(topo: &AnyTopology, kind: PortKind) -> Vec<(RouterId, Port, RouterId, Port)> {
+    let mut links = Vec::new();
+    for r in 0..topo.num_routers() {
+        let router = RouterId(r as u32);
+        for p in 0..topo.radix(router) {
+            let port = Port::from_index(p);
+            if topo.port_kind(router, port) != kind {
+                continue;
+            }
+            if let Neighbor::Router {
+                router: peer,
+                port: peer_port,
+            } = topo.neighbor(router, port)
+            {
+                if (router.index(), p) < (peer.index(), peer_port.index()) {
+                    links.push((router, port, peer, peer_port));
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Both-endpoint port ops for one link, so each shard answers liveness
+/// queries from purely local state.
+fn link_ops(
+    router: RouterId,
+    port: Port,
+    peer: RouterId,
+    peer_port: Port,
+    down: bool,
+) -> [FaultOp; 2] {
+    if down {
+        [
+            FaultOp::PortDown { router, port },
+            FaultOp::PortDown {
+                router: peer,
+                port: peer_port,
+            },
+        ]
+    } else {
+        [
+            FaultOp::PortUp { router, port },
+            FaultOp::PortUp {
+                router: peer,
+                port: peer_port,
+            },
+        ]
+    }
+}
+
+/// Compile `[[faults]]` entries into an engine [`FaultSchedule`] against a
+/// concrete topology. Errors name the offending entry, field and the legal
+/// forms.
+pub fn compile_faults(
+    entries: &[FaultSpecEntry],
+    topo: &AnyTopology,
+) -> Result<FaultSchedule, SpecError> {
+    validate_faults(entries)?;
+    let mut events: Vec<CompiledFault> = Vec::new();
+    for (index, entry) in entries.iter().enumerate() {
+        let at =
+            |field: &str, msg: String| SpecError(format!("faults[{index}] (`{field}`): {msg}"));
+        let resolve_router = || -> Result<RouterId, SpecError> {
+            let r = entry.router.expect("validated above");
+            if (r as usize) < topo.num_routers() {
+                Ok(RouterId(r))
+            } else {
+                Err(at(
+                    "router",
+                    format!(
+                        "router {r} does not exist (topology has {} routers)",
+                        topo.num_routers()
+                    ),
+                ))
+            }
+        };
+        let ops: Vec<FaultOp> = match entry.kind.as_str() {
+            "link_down" | "link_up" => {
+                let router = resolve_router()?;
+                let p = entry.port.expect("validated above") as usize;
+                let host_ports = topo.host_ports(router);
+                let radix = topo.radix(router);
+                if p < host_ports || p >= radix {
+                    return Err(at(
+                        "port",
+                        format!(
+                            "port {p} is not a fabric port of router {} \
+                             (fabric ports are {host_ports}..{radix})",
+                            router.index()
+                        ),
+                    ));
+                }
+                let port = Port::from_index(p);
+                match topo.neighbor(router, port) {
+                    Neighbor::Router {
+                        router: peer,
+                        port: peer_port,
+                    } => {
+                        link_ops(router, port, peer, peer_port, entry.kind == "link_down").to_vec()
+                    }
+                    Neighbor::Node(_) => {
+                        return Err(at(
+                            "port",
+                            format!("port {p} leads to a host, not a router link"),
+                        ))
+                    }
+                }
+            }
+            "router_down" => vec![FaultOp::RouterDown {
+                router: resolve_router()?,
+            }],
+            "router_up" => vec![FaultOp::RouterUp {
+                router: resolve_router()?,
+            }],
+            "random_global_down" => {
+                let fraction = entry.fraction.expect("validated above");
+                // Dragonfly kills global links; on fabrics without a
+                // local/global split every router-router link qualifies.
+                let mut links = canonical_links(topo, PortKind::Global);
+                if links.is_empty() {
+                    links = canonical_links(topo, PortKind::Local);
+                }
+                if links.is_empty() {
+                    return Err(at(
+                        "fraction",
+                        "topology has no router-to-router links to kill".to_string(),
+                    ));
+                }
+                let kill = ((links.len() as f64 * fraction).ceil() as usize).clamp(1, links.len());
+                // Partial Fisher-Yates over the canonical list: the first
+                // `kill` slots end up holding the seeded random choice.
+                let mut rng = StdRng::seed_from_u64(entry.fault_seed.unwrap_or(DEFAULT_FAULT_SEED));
+                for i in 0..kill {
+                    let j = rng.gen_range(i..links.len());
+                    links.swap(i, j);
+                }
+                links[..kill]
+                    .iter()
+                    .flat_map(|&(r, p, peer, peer_port)| link_ops(r, p, peer, peer_port, true))
+                    .collect()
+            }
+            _ => unreachable!("validated above"),
+        };
+        let at_ns = entry.at_ns();
+        match events.iter_mut().find(|e| e.at_ns == at_ns) {
+            Some(event) => event.ops.extend(ops),
+            None => events.push(CompiledFault { at_ns, ops }),
+        }
+    }
+    events.sort_by_key(|e| e.at_ns);
+    Ok(FaultSchedule { events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::config::DragonflyConfig;
+    use dragonfly_topology::Dragonfly;
+
+    fn tiny() -> AnyTopology {
+        Dragonfly::new(DragonflyConfig::tiny()).into()
+    }
+
+    #[test]
+    fn validation_names_the_field_and_the_legal_forms() {
+        let mut entry = FaultSpecEntry::link_down(50.0, 0, 5);
+        entry.kind = "linkdown".to_string();
+        let err = entry.validate(3).unwrap_err().0;
+        assert!(err.contains("faults[3]"), "{err}");
+        assert!(err.contains("`kind`"), "{err}");
+        assert!(err.contains("random_global_down"), "{err}");
+
+        let missing = FaultSpecEntry {
+            port: None,
+            ..FaultSpecEntry::link_down(50.0, 0, 5)
+        };
+        let err = missing.validate(0).unwrap_err().0;
+        assert!(err.contains("`port`") && err.contains("link_down"), "{err}");
+
+        let negative = FaultSpecEntry {
+            at_us: -1.0,
+            ..FaultSpecEntry::router_down(0.0, 2)
+        };
+        assert!(negative.validate(0).unwrap_err().0.contains("`at_us`"));
+
+        let extra = FaultSpecEntry {
+            fraction: Some(0.5),
+            ..FaultSpecEntry::router_down(1.0, 2)
+        };
+        let err = extra.validate(0).unwrap_err().0;
+        assert!(
+            err.contains("`fraction`") && err.contains("not allowed"),
+            "{err}"
+        );
+
+        let bad_fraction = FaultSpecEntry::random_global_down(1.0, 1.5, 7);
+        let err = bad_fraction.validate(0).unwrap_err().0;
+        assert!(err.contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn link_faults_down_both_endpoints() {
+        let topo = tiny();
+        let router = RouterId(0);
+        let fabric = topo.host_ports(router) as u16;
+        let schedule =
+            compile_faults(&[FaultSpecEntry::link_down(50.0, 0, fabric)], &topo).unwrap();
+        assert_eq!(schedule.events.len(), 1);
+        assert_eq!(schedule.events[0].at_ns, 50_000);
+        assert_eq!(schedule.events[0].ops.len(), 2, "both ends go down");
+        let Neighbor::Router {
+            router: peer,
+            port: peer_port,
+        } = topo.neighbor(router, Port::from_index(fabric as usize))
+        else {
+            panic!("fabric port leads to a router");
+        };
+        assert_eq!(
+            schedule.events[0].ops[1],
+            FaultOp::PortDown {
+                router: peer,
+                port: peer_port
+            }
+        );
+        // Restoring uses the same both-endpoint expansion.
+        let up = compile_faults(&[FaultSpecEntry::link_up(60.0, 0, fabric)], &topo).unwrap();
+        assert!(matches!(up.events[0].ops[0], FaultOp::PortUp { .. }));
+    }
+
+    #[test]
+    fn compile_rejects_bad_targets_with_context() {
+        let topo = tiny();
+        let err = compile_faults(&[FaultSpecEntry::router_down(1.0, 999)], &topo)
+            .unwrap_err()
+            .0;
+        assert!(
+            err.contains("router 999") && err.contains("routers"),
+            "{err}"
+        );
+        let err = compile_faults(&[FaultSpecEntry::link_down(1.0, 0, 0)], &topo)
+            .unwrap_err()
+            .0;
+        assert!(err.contains("not a fabric port"), "{err}");
+        let err = compile_faults(&[FaultSpecEntry::link_down(1.0, 0, 200)], &topo)
+            .unwrap_err()
+            .0;
+        assert!(err.contains("fabric ports are"), "{err}");
+    }
+
+    #[test]
+    fn random_global_down_is_deterministic_per_seed() {
+        let topo = tiny();
+        let entry = FaultSpecEntry::random_global_down(50.0, 0.05, 11);
+        let a = compile_faults(std::slice::from_ref(&entry), &topo).unwrap();
+        let b = compile_faults(&[entry], &topo).unwrap();
+        assert_eq!(a, b, "same seed, same links");
+        let other =
+            compile_faults(&[FaultSpecEntry::random_global_down(50.0, 0.05, 12)], &topo).unwrap();
+        assert_ne!(a, other, "different seed draws different links");
+        // 5 % of tiny's global links, both endpoints per link.
+        let globals = canonical_links(&topo, PortKind::Global).len();
+        let kill = ((globals as f64 * 0.05).ceil() as usize).max(1);
+        assert_eq!(a.events[0].ops.len(), 2 * kill);
+    }
+
+    #[test]
+    fn entries_at_the_same_time_merge_into_one_event() {
+        let topo = tiny();
+        let schedule = compile_faults(
+            &[
+                FaultSpecEntry::router_down(50.0, 3),
+                FaultSpecEntry::router_down(50.0, 4),
+                FaultSpecEntry::router_up(80.0, 3),
+            ],
+            &topo,
+        )
+        .unwrap();
+        assert_eq!(schedule.events.len(), 2);
+        assert_eq!(schedule.events[0].ops.len(), 2);
+        assert_eq!(schedule.events[1].at_ns, 80_000);
+    }
+
+    #[test]
+    fn fault_entries_round_trip_through_toml_and_json() {
+        let entries = vec![
+            FaultSpecEntry::link_down(50.0, 0, 5),
+            FaultSpecEntry::random_global_down(75.5, 0.1, 42),
+        ];
+        for entry in &entries {
+            let toml_text = toml::to_string(entry).unwrap();
+            let back: FaultSpecEntry = toml::from_str(&toml_text).unwrap();
+            assert_eq!(&back, entry);
+            let json_text = serde_json::to_string(entry).unwrap();
+            let back: FaultSpecEntry = serde_json::from_str(&json_text).unwrap();
+            assert_eq!(&back, entry);
+        }
+    }
+}

@@ -123,6 +123,30 @@ impl TrafficInjector for PatternInjector {
             });
         }
     }
+
+    fn save_state(&self) -> dragonfly_engine::checkpoint::InjectorCheckpoint {
+        // `(time, node)` pairs are unique, so the heap's content — stored
+        // sorted for a canonical representation — fully determines the pop
+        // order on restore. Patterns are construction-time-seeded and hold
+        // no run-time state, so only the shared RNG stream is saved.
+        let mut heap: Vec<(u64, u32)> = self.heap.iter().map(|Reverse(p)| *p).collect();
+        heap.sort_unstable();
+        dragonfly_engine::checkpoint::InjectorCheckpoint {
+            rng: Some(self.rng.state()),
+            heap,
+            residual: self.residual.clone(),
+            counters: vec![self.generated],
+        }
+    }
+
+    fn load_state(&mut self, state: &dragonfly_engine::checkpoint::InjectorCheckpoint) {
+        if let Some(s) = state.rng {
+            self.rng = StdRng::from_state(s);
+        }
+        self.heap = state.heap.iter().map(|&p| Reverse(p)).collect();
+        self.residual = state.residual.clone();
+        self.generated = state.counters.first().copied().unwrap_or(0);
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //! * [`builder::SimulationBuilder`] — one-stop construction and execution
 //!   of a single simulation point, returning a
 //!   [`dragonfly_metrics::SimulationReport`].
+//! * [`fault`] — serialisable fault injection (`[[faults]]` scenario
+//!   sections): link/router kill+restore events and seeded random
+//!   global-link loss, compiled into the engine's deterministic
+//!   [`dragonfly_engine::fault::FaultSchedule`].
 //! * [`spec`] — **the serialisable experiment API**:
 //!   [`spec::ExperimentSpec`] (one run, loadable from TOML/JSON scenario
 //!   files) and [`spec::SweepSpec`] (cartesian grids of runs). Every
@@ -28,14 +32,18 @@
 //!   (Figures 7 and 8).
 
 pub mod builder;
+pub mod checkpoint;
 pub mod collector;
 pub mod convergence;
+pub mod fault;
 pub mod injector;
 pub mod spec;
 pub mod sweep;
 
 pub use builder::SimulationBuilder;
+pub use checkpoint::RunCheckpoint;
 pub use collector::MetricsCollector;
+pub use fault::{compile_faults, FaultSpecEntry};
 pub use injector::PatternInjector;
 pub use spec::{ExperimentSpec, SweepSpec};
 pub use sweep::{LoadSweep, SweepResult};

@@ -33,6 +33,8 @@
 //! ```
 
 use crate::builder::SimulationBuilder;
+use crate::checkpoint::RunCheckpoint;
+use crate::fault::FaultSpecEntry;
 use crate::sweep::{run_builders_parallel, SweepResult};
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_engine::time::SimTime;
@@ -130,6 +132,10 @@ pub struct ExperimentSpec {
     /// algorithm's requirement.
     #[serde(default)]
     pub engine: Option<EngineConfig>,
+    /// Fault-injection events (`[[faults]]` sections): link/router kills
+    /// and restores, or seeded random global-link loss. Empty = fault-free.
+    #[serde(default)]
+    pub faults: Vec<FaultSpecEntry>,
 }
 
 impl ExperimentSpec {
@@ -151,6 +157,7 @@ impl ExperimentSpec {
             seed: None,
             series_bin_ns: None,
             engine: None,
+            faults: Vec::new(),
         }
     }
 
@@ -232,6 +239,11 @@ impl ExperimentSpec {
             }
         }
         validate_traffic(&self.traffic, &self.topology)?;
+        if !self.faults.is_empty() {
+            // Compiling checks both the entry structure and the targets
+            // (router/port existence) against the concrete topology.
+            crate::fault::compile_faults(&self.faults, &self.topology.build())?;
+        }
         if let Some(params) = self.qadaptive_params() {
             params.validate().map_err(SpecError)?;
         }
@@ -272,6 +284,9 @@ impl ExperimentSpec {
         if let Some(engine) = self.engine {
             builder = builder.engine_config(engine);
         }
+        if !self.faults.is_empty() {
+            builder = builder.faults(self.faults.clone());
+        }
         builder
     }
 
@@ -284,6 +299,35 @@ impl ExperimentSpec {
     /// when `series_bin_ns` is unset).
     pub fn run_with_series(&self) -> (SimulationReport, TimeSeries) {
         self.to_builder().run_with_series()
+    }
+
+    /// Run with checkpoint/resume support (the CLI's `--checkpoint-every`
+    /// / `--resume-from`): verifies a given `resume` checkpoint belongs to
+    /// this spec, restores it, and hands a fresh [`RunCheckpoint`] to
+    /// `sink` every `checkpoint_every_ns` of simulated time. Requires a
+    /// single-shard engine configuration.
+    pub fn run_checkpointed(
+        &self,
+        resume: Option<&RunCheckpoint>,
+        checkpoint_every_ns: Option<SimTime>,
+        mut sink: impl FnMut(RunCheckpoint),
+    ) -> Result<SimulationReport, SpecError> {
+        if let Some(ck) = resume {
+            ck.check_spec_matches(self)?;
+        }
+        self.to_builder()
+            .run_resumable(
+                resume.map(|ck| (&ck.engine, &ck.collector)),
+                checkpoint_every_ns,
+                |engine, collector| {
+                    sink(RunCheckpoint::new(
+                        self.clone(),
+                        engine.clone(),
+                        collector.clone(),
+                    ));
+                },
+            )
+            .map_err(SpecError)
     }
 
     /// A one-line description used in output headers.
@@ -393,6 +437,14 @@ pub struct SweepSpec {
     /// Hardware overrides shared by all points.
     #[serde(default)]
     pub engine: Option<EngineConfig>,
+    /// Record a whole-run time series with this bin width (ns) at every
+    /// point. Required for a meaningful `recovery_time_us` on faulted
+    /// sweeps; unset = no series (the pre-existing default).
+    #[serde(default)]
+    pub series_bin_ns: Option<u64>,
+    /// Fault-injection events shared by all points (resilience sweeps).
+    #[serde(default)]
+    pub faults: Vec<FaultSpecEntry>,
 }
 
 /// Seed stride between consecutive points (matches `LoadSweep`).
@@ -421,6 +473,8 @@ impl SweepSpec {
             seed: None,
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         }
     }
 
@@ -490,6 +544,14 @@ impl SweepSpec {
         for traffic in self.effective_traffics() {
             validate_traffic(&traffic, &self.topology)?;
         }
+        if let Some(bin) = self.series_bin_ns {
+            if bin == 0 {
+                return Err(SpecError("series_bin_ns must be positive".to_string()));
+            }
+        }
+        if !self.faults.is_empty() {
+            crate::fault::compile_faults(&self.faults, &self.topology.build())?;
+        }
         Ok(())
     }
 
@@ -525,8 +587,9 @@ impl SweepSpec {
                                     .wrapping_add(index * POINT_SEED_STRIDE)
                                     .wrapping_add(repeat as u64 * REPEAT_SEED_STRIDE),
                             ),
-                            series_bin_ns: None,
+                            series_bin_ns: self.series_bin_ns,
                             engine: self.engine,
+                            faults: self.faults.clone(),
                         });
                     }
                     index += 1;
@@ -683,6 +746,7 @@ mod tests {
             seed: Some(9),
             series_bin_ns: Some(5_000),
             engine: Some(EngineConfig::default()),
+            faults: Vec::new(),
         }
     }
 
@@ -808,6 +872,8 @@ mod tests {
             seed: Some(2),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         }
     }
 
@@ -966,6 +1032,60 @@ mod tests {
         sweep.workload = Some(WorkloadSpec::Barrier);
         sweep.loads = vec![0.0];
         assert!(sweep.validate().unwrap_err().0.contains("positive"));
+    }
+
+    #[test]
+    fn fault_entries_round_trip_and_parse_from_scenario_syntax() {
+        use crate::fault::FaultSpecEntry;
+        let mut spec = sample_spec();
+        spec.faults = vec![
+            FaultSpecEntry::random_global_down(50.0, 0.05, 7),
+            FaultSpecEntry::router_down(60.0, 2),
+        ];
+        assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // The documented scenario syntax uses [[faults]] headers.
+        let parsed = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n\
+             [topology]\np = 2\na = 4\nh = 2\n\
+             [[faults]]\nat_us = 50.0\nkind = \"random_global_down\"\nfraction = 0.05\n\
+             [[faults]]\nat_us = 70.0\nkind = \"router_up\"\nrouter = 3\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.faults.len(), 2);
+        assert_eq!(parsed.faults[0].fraction, Some(0.05));
+        assert_eq!(parsed.faults[1].router, Some(3));
+        assert_eq!(parsed.faults[1].at_ns(), 70_000);
+    }
+
+    #[test]
+    fn bad_fault_entries_name_the_field_and_legal_forms() {
+        let err = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n\
+             [topology]\np = 2\na = 4\nh = 2\n\
+             [[faults]]\nat_us = 50.0\nkind = \"melt\"\n",
+        )
+        .unwrap_err()
+        .0;
+        assert!(err.contains("faults[0]"), "{err}");
+        assert!(err.contains("`kind`"), "{err}");
+        assert!(err.contains("link_down"), "names the legal forms: {err}");
+        // Topology-level target errors surface through validate() too.
+        let err = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n\
+             [topology]\np = 2\na = 4\nh = 2\n\
+             [[faults]]\nat_us = 50.0\nkind = \"router_down\"\nrouter = 999\n",
+        )
+        .unwrap_err()
+        .0;
+        assert!(err.contains("router 999"), "{err}");
+        // Sweeps validate their shared fault list the same way.
+        let mut sweep = sample_sweep();
+        sweep.faults = vec![crate::fault::FaultSpecEntry::router_down(1.0, 999)];
+        assert!(sweep.validate().unwrap_err().0.contains("router 999"));
+        sweep.faults = vec![crate::fault::FaultSpecEntry::router_down(1.0, 3)];
+        assert!(sweep.validate().is_ok());
+        assert!(sweep.points().iter().all(|p| p.faults == sweep.faults));
     }
 
     #[test]

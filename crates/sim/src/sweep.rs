@@ -281,6 +281,8 @@ impl From<LoadSweep> for crate::spec::SweepSpec {
             seed: Some(sweep.seed),
             seeds_per_point: None,
             engine: None,
+            series_bin_ns: None,
+            faults: Vec::new(),
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Checkpoint/resume differential tests.
+//!
+//! The engine-level tests in `dragonfly_engine::checkpoint` pin the raw
+//! snapshot contract with scripted traffic and the cheap test router; this
+//! file drives the full spec pipeline — pattern injectors, real routing
+//! algorithms with learning state, fault schedules, closed-loop workloads
+//! and the metrics collector — and asserts that a run interrupted at an
+//! arbitrary checkpoint and resumed in a fresh process-equivalent (new
+//! engine, state restored from the serialized checkpoint) reproduces the
+//! uninterrupted run's report **bit for bit**.
+
+use dragonfly_engine::config::{EngineConfig, ShardKind};
+use dragonfly_metrics::report::SimulationReport;
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::checkpoint::RunCheckpoint;
+use dragonfly_sim::fault::FaultSpecEntry;
+use dragonfly_sim::spec::ExperimentSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_traffic::TrafficSpec;
+use dragonfly_workload::WorkloadSpec;
+use qadaptive_core::QAdaptiveParams;
+
+/// A faulted open-loop base spec on the tiny Dragonfly.
+fn openloop_spec(routing: RoutingSpec, seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        name: format!("ck-{routing:?}"),
+        topology: DragonflyConfig::tiny().into(),
+        routing,
+        traffic: TrafficSpec::UniformRandom,
+        workload: None,
+        load: Some(0.3),
+        schedule: None,
+        warmup_ns: 15_000,
+        measure_ns: 30_000,
+        tail_ns: 5_000,
+        seed: Some(seed),
+        series_bin_ns: Some(5_000),
+        engine: None,
+        faults: vec![
+            FaultSpecEntry::random_global_down(20.0, 0.05, 11),
+            FaultSpecEntry::router_down(25.0, 1),
+            FaultSpecEntry::router_up(40.0, 1),
+        ],
+    }
+}
+
+/// A closed-loop AllReduce spec with a mid-collective router kill and
+/// restore (exercises NIC retransmits, retry counters and task state
+/// across the checkpoint boundary).
+fn closedloop_spec(seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        name: "ck-allreduce".to_string(),
+        topology: DragonflyConfig::tiny().into(),
+        routing: RoutingSpec::UgalG,
+        traffic: TrafficSpec::UniformRandom,
+        workload: Some(WorkloadSpec::AllReduce { messages: 2 }),
+        load: Some(1.0),
+        schedule: None,
+        warmup_ns: 0,
+        measure_ns: 10_000_000,
+        tail_ns: 0,
+        seed: Some(seed),
+        series_bin_ns: None,
+        engine: None,
+        faults: vec![
+            FaultSpecEntry::router_down(5.0, 2),
+            FaultSpecEntry::router_up(60.0, 2),
+        ],
+    }
+}
+
+/// Full-report equality, every field except the wall clock.
+fn assert_reports_identical(a: &SimulationReport, b: &SimulationReport, label: &str) {
+    let strip = |r: &SimulationReport| {
+        let mut r = r.clone();
+        r.wall_seconds = 0.0;
+        serde_json::to_string(&r).expect("reports serialize")
+    };
+    assert_eq!(strip(a), strip(b), "{label}: reports diverged");
+}
+
+/// Run uninterrupted, then re-run collecting checkpoints every
+/// `every_ns`, then resume from each collected checkpoint (after a JSON
+/// round trip, as the CLI would) and require the identical report.
+fn pin_resume_equals_uninterrupted(spec: &ExperimentSpec, every_ns: u64, label: &str) {
+    let reference = spec.run();
+    assert!(
+        reference.packets_delivered > 100,
+        "{label}: workload too small to pin anything"
+    );
+
+    let mut checkpoints: Vec<RunCheckpoint> = Vec::new();
+    let stepped = spec
+        .run_checkpointed(None, Some(every_ns), |ck| checkpoints.push(ck))
+        .expect("stepped run succeeds");
+    assert_reports_identical(&reference, &stepped, &format!("{label}: stepped vs plain"));
+    assert!(
+        checkpoints.len() >= 2,
+        "{label}: expected several mid-run checkpoints, got {}",
+        checkpoints.len()
+    );
+
+    for (i, ck) in checkpoints.iter().enumerate() {
+        // The CLI always goes through the file format: round-trip the
+        // JSON so serialization is part of what the test pins.
+        let ck = RunCheckpoint::from_json(&ck.to_json()).expect("round trip");
+        let resumed = spec
+            .run_checkpointed(Some(&ck), None, |_| {})
+            .unwrap_or_else(|e| panic!("{label}: resume from checkpoint {i} failed: {e}"));
+        assert_reports_identical(
+            &reference,
+            &resumed,
+            &format!("{label}: resume from checkpoint {i}"),
+        );
+    }
+}
+
+#[test]
+fn openloop_ugal_resume_is_bit_identical_across_faults() {
+    let spec = openloop_spec(RoutingSpec::UgalG, 41);
+    let reference = spec.run();
+    assert!(
+        reference.dropped_packets > 0,
+        "the fault schedule must actually bite"
+    );
+    pin_resume_equals_uninterrupted(&spec, 12_000, "ugal+faults");
+}
+
+#[test]
+fn qadaptive_learning_state_survives_resume() {
+    // Q-adaptive carries per-router RNG streams and Q-tables; a resume
+    // that failed to restore them would diverge immediately.
+    let spec = openloop_spec(RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 42);
+    pin_resume_equals_uninterrupted(&spec, 9_000, "qadaptive+faults");
+}
+
+#[test]
+fn closedloop_allreduce_resume_preserves_retransmit_state() {
+    let spec = closedloop_spec(7);
+    let reference = spec.run();
+    assert!(
+        reference.retransmits > 0,
+        "the mid-collective router kill must force retransmissions"
+    );
+    assert_eq!(
+        reference.ranks_finished, 72,
+        "the restored router must let the collective finish"
+    );
+    pin_resume_equals_uninterrupted(&spec, 20_000, "allreduce+kill/restore");
+}
+
+#[test]
+fn sharded_runs_refuse_to_checkpoint_with_context() {
+    let mut spec = openloop_spec(RoutingSpec::UgalG, 43);
+    spec.engine = Some(EngineConfig {
+        shards: ShardKind::Fixed(2),
+        ..Default::default()
+    });
+    let err = spec
+        .run_checkpointed(None, Some(10_000), |_| {})
+        .expect_err("sharded checkpointing must be rejected");
+    assert!(
+        err.0.contains("single-shard") && err.0.contains("2 shards"),
+        "error explains the restriction: {err}"
+    );
+}
+
+#[test]
+fn resume_under_a_different_spec_is_rejected() {
+    let spec = openloop_spec(RoutingSpec::UgalG, 44);
+    let mut checkpoints = Vec::new();
+    spec.run_checkpointed(None, Some(15_000), |ck| checkpoints.push(ck))
+        .expect("stepped run succeeds");
+    let mut other = spec.clone();
+    other.seed = Some(999);
+    let err = other
+        .run_checkpointed(Some(&checkpoints[0]), None, |_| {})
+        .expect_err("spec mismatch must be rejected");
+    assert!(
+        err.0.contains("differs"),
+        "error explains the mismatch: {err}"
+    );
+}
+
+#[test]
+fn checkpoint_files_round_trip_through_disk() {
+    // The persistence path the CLI uses: save the last checkpoint to a
+    // file, load it back, resume — identical report.
+    let spec = openloop_spec(RoutingSpec::UgalG, 45);
+    let reference = spec.run();
+
+    let mut checkpoints = Vec::new();
+    spec.run_checkpointed(None, Some(18_000), |ck| checkpoints.push(ck))
+        .expect("stepped run succeeds");
+    let dir = std::env::temp_dir().join("qadaptive-ck-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid.ckpt.json");
+    checkpoints.last().unwrap().save(&path).unwrap();
+
+    let loaded = RunCheckpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let resumed = spec
+        .run_checkpointed(Some(&loaded), None, |_| {})
+        .expect("resume from file succeeds");
+    assert_reports_identical(&reference, &resumed, "file round trip");
+}

@@ -67,6 +67,7 @@ fn spec_for(case: &Case, routing: RoutingSpec) -> ExperimentSpec {
         seed: Some(case.seed),
         series_bin_ns: None,
         engine: None,
+        faults: Vec::new(),
     }
 }
 
@@ -125,6 +126,15 @@ fn assert_identical(reference: &SimulationReport, got: &SimulationReport, label:
         reference.collective_skew_us, got.collective_skew_us,
         "{label}"
     );
+    // Resilience accounting (all zero on fault-free runs) must survive
+    // the pipeline bit-for-bit too.
+    assert_eq!(reference.dropped_packets, got.dropped_packets, "{label}");
+    assert_eq!(reference.retransmits, got.retransmits, "{label}");
+    assert_eq!(
+        reference.unreachable_pairs, got.unreachable_pairs,
+        "{label}"
+    );
+    assert_eq!(reference.recovery_time_us, got.recovery_time_us, "{label}");
 }
 
 /// The property, instantiated per algorithm: pipelined sharded runs of
@@ -217,6 +227,7 @@ fn fattree_and_hyperx_workloads_are_pipeline_invariant() {
                 seed: Some(seed),
                 series_bin_ns: None,
                 engine: None,
+                faults: Vec::new(),
             };
             let reference = run_mode(base.clone(), ShardKind::Single, false);
             assert!(
@@ -281,6 +292,7 @@ fn closed_loop_workloads_are_pipeline_invariant() {
                 seed: Some(71),
                 series_bin_ns: None,
                 engine: None,
+                faults: Vec::new(),
             };
             let reference = run_mode(base.clone(), ShardKind::Single, false);
             assert_eq!(
@@ -295,6 +307,80 @@ fn closed_loop_workloads_are_pipeline_invariant() {
                         &reference,
                         &got,
                         &format!("{topology:?}/{workload:?} shards={shards} pipeline={pipeline}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_workloads_are_pipeline_invariant() {
+    // The overlapped-window pipeline may speculate across the very window
+    // in which a fault fires; rollback must still reproduce the sequential
+    // faulted run exactly, for both open-loop link loss and a mid-collective
+    // router kill-and-restore, on all three fabrics.
+    use dragonfly_sim::fault::FaultSpecEntry;
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig, TopologySpec};
+    use dragonfly_workload::WorkloadSpec;
+    let topologies: Vec<TopologySpec> = vec![
+        DragonflyConfig { p: 2, a: 4, h: 2 }.into(),
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    for topology in topologies {
+        // Open-loop: random global-link loss under Q-adaptive.
+        let open = ExperimentSpec {
+            name: String::new(),
+            topology,
+            routing: RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+            traffic: TrafficSpec::UniformRandom,
+            workload: None,
+            load: Some(0.3),
+            schedule: None,
+            warmup_ns: 12_000,
+            measure_ns: 20_000,
+            tail_ns: 4_000,
+            seed: Some(97),
+            series_bin_ns: Some(5_000),
+            engine: None,
+            faults: vec![FaultSpecEntry::random_global_down(18.0, 0.05, 13)],
+        };
+        open.validate().expect("fault schedule compiles everywhere");
+        // Closed-loop: a router dies mid-collective and comes back.
+        let mut closed = open.clone();
+        closed.routing = RoutingSpec::UgalG;
+        closed.workload = Some(WorkloadSpec::AllReduce { messages: 2 });
+        closed.load = Some(1.0);
+        closed.schedule = None;
+        closed.warmup_ns = 0;
+        closed.measure_ns = 10_000_000;
+        closed.tail_ns = 0;
+        closed.faults = vec![
+            FaultSpecEntry::router_down(8.0, 2),
+            FaultSpecEntry::router_up(40.0, 2),
+        ];
+        closed
+            .validate()
+            .expect("fault schedule compiles everywhere");
+        for base in [open, closed] {
+            let reference = run_mode(base.clone(), ShardKind::Single, false);
+            for shards in [2usize, 4] {
+                for pipeline in [false, true] {
+                    let got = run_mode(base.clone(), ShardKind::Fixed(shards), pipeline);
+                    assert_identical(
+                        &reference,
+                        &got,
+                        &format!(
+                            "faulted {topology:?} workload={:?} shards={shards} \
+                             pipeline={pipeline}",
+                            base.workload
+                        ),
                     );
                 }
             }

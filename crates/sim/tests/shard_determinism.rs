@@ -41,6 +41,7 @@ fn spec_on(
         seed: Some(seed),
         series_bin_ns: None,
         engine: None,
+        faults: Vec::new(),
     }
 }
 
@@ -97,6 +98,16 @@ fn assert_identical(single: &SimulationReport, sharded: &SimulationReport, label
         single.collective_skew_us, sharded.collective_skew_us,
         "{label}"
     );
+    // Resilience accounting (all zero on fault-free runs) must be
+    // bit-for-bit too: drops, retransmissions, abandoned pairs and the
+    // series-derived recovery time.
+    assert_eq!(single.dropped_packets, sharded.dropped_packets, "{label}");
+    assert_eq!(single.retransmits, sharded.retransmits, "{label}");
+    assert_eq!(
+        single.unreachable_pairs, sharded.unreachable_pairs,
+        "{label}"
+    );
+    assert_eq!(single.recovery_time_us, sharded.recovery_time_us, "{label}");
 }
 
 #[test]
@@ -238,6 +249,94 @@ fn closed_loop_workloads_are_shard_count_invariant() {
                         &format!("{topology:?}/{routing:?}/{workload:?} shards={shards}"),
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_workloads_are_shard_count_invariant() {
+    // Fault injection must not weaken the determinism contract: the same
+    // mid-run link loss plus a router kill-and-restore produces identical
+    // reports — drops, retransmissions and recovery time included — for
+    // every shard count on all three fabrics.
+    use dragonfly_sim::fault::FaultSpecEntry;
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig};
+    let topologies: Vec<TopologySpec> = vec![
+        DragonflyConfig::tiny().into(),
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    let faults = vec![
+        FaultSpecEntry::random_global_down(20.0, 0.05, 7),
+        FaultSpecEntry::router_down(25.0, 1),
+        FaultSpecEntry::router_up(35.0, 1),
+    ];
+    for topology in topologies {
+        for (routing, seed) in [
+            (RoutingSpec::UgalG, 81u64),
+            (RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 82),
+        ] {
+            let mut base = spec_on(topology, routing, TrafficSpec::UniformRandom, seed);
+            base.faults = faults.clone();
+            base.series_bin_ns = Some(5_000);
+            base.validate().expect("fault schedule compiles everywhere");
+            let single = run_sharded(base.clone(), ShardKind::Single);
+            assert!(single.packets_delivered > 100, "workload too small to pin");
+            assert!(
+                single.dropped_packets > 0,
+                "{topology:?}/{routing:?}: a router kill mid-run must drop packets"
+            );
+            for shards in [2usize, 4] {
+                let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+                assert_identical(
+                    &single,
+                    &sharded,
+                    &format!("faulted {topology:?}/{routing:?} shards={shards}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn five_percent_link_loss_survives_all_six_algorithms() {
+    // Acceptance pin for the fault layer: a Dragonfly run that loses 5% of
+    // its global links mid-run completes under the full paper lineup —
+    // MIN, Valiant, UGAL-G, UGAL-N, PAR and Q-adaptive — and every
+    // algorithm stays bit-for-bit identical across shards {1, 2, 4} with
+    // the pipelined and lockstep engines alike. Conservation of the killed
+    // traffic (`generated == delivered + dropped + outstanding`) is
+    // asserted inside the engine on every run.
+    use dragonfly_sim::fault::FaultSpecEntry;
+    for (idx, routing) in RoutingSpec::paper_lineup().into_iter().enumerate() {
+        let mut base = spec(routing, TrafficSpec::UniformRandom, 90 + idx as u64);
+        base.faults = vec![FaultSpecEntry::random_global_down(20.0, 0.05, 17)];
+        base.series_bin_ns = Some(5_000);
+        base.validate().expect("fault schedule compiles");
+        let single = run_sharded(base.clone(), ShardKind::Single);
+        assert!(
+            single.packets_delivered > 100,
+            "{routing:?}: run must complete despite the link loss"
+        );
+        for shards in [2usize, 4] {
+            for pipeline in [true, false] {
+                let mut spec = base.clone();
+                spec.engine = Some(EngineConfig {
+                    shards: ShardKind::Fixed(shards),
+                    pipeline,
+                    ..Default::default()
+                });
+                assert_identical(
+                    &single,
+                    &spec.run(),
+                    &format!("5% link loss {routing:?} shards={shards} pipeline={pipeline}"),
+                );
             }
         }
     }

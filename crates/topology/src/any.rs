@@ -113,6 +113,22 @@ impl Topology for AnyTopology {
         delegate!(self, t => t.diameter())
     }
 
+    fn liveness(&self) -> &crate::liveness::LivenessMask {
+        delegate!(self, t => Topology::liveness(t))
+    }
+
+    fn liveness_mut(&mut self) -> &mut crate::liveness::LivenessMask {
+        delegate!(self, t => Topology::liveness_mut(t))
+    }
+
+    fn port_up(&self, router: RouterId, port: Port) -> bool {
+        delegate!(self, t => Topology::port_up(t, router, port))
+    }
+
+    fn router_up(&self, router: RouterId) -> bool {
+        delegate!(self, t => Topology::router_up(t, router))
+    }
+
     fn radix(&self, router: RouterId) -> usize {
         delegate!(self, t => Topology::radix(t, router))
     }
@@ -303,6 +319,27 @@ mod tests {
                 }
             }
             assert_eq!(topo.min_cross_domain_latency(30, 300), 300);
+        }
+    }
+
+    #[test]
+    fn liveness_mask_threads_through_every_variant() {
+        for mut topo in all_tiny() {
+            let r = RouterId(0);
+            let port = Port::from_index(topo.host_ports(r)); // first fabric port
+            assert!(topo.port_up(r, port));
+            assert!(topo.router_up(r));
+            topo.liveness_mut().set_port_down(r, port);
+            assert!(!topo.port_up(r, port), "{}", topo.kind_name());
+            assert!(topo.router_up(r));
+            topo.liveness_mut().set_router_down(RouterId(1));
+            assert!(!topo.router_up(RouterId(1)), "{}", topo.kind_name());
+            // A clone carries the mask; an independent build is pristine.
+            let clone = topo.clone();
+            assert!(!clone.port_up(r, port));
+            topo.liveness_mut().set_port_up(r, port);
+            topo.liveness_mut().set_router_up(RouterId(1));
+            assert!(topo.liveness().is_pristine());
         }
     }
 

@@ -130,6 +130,8 @@ pub struct FatTree {
     /// Domain → first global core index of its core block (length
     /// pods + 1).
     core_block_start: Vec<usize>,
+    /// Fault-injection mask; empty (everything up) on a fresh topology.
+    liveness: crate::liveness::LivenessMask,
 }
 
 impl FatTree {
@@ -154,6 +156,7 @@ impl FatTree {
             cfg,
             domain_start,
             core_block_start,
+            liveness: crate::liveness::LivenessMask::new(),
         }
     }
 
@@ -217,6 +220,14 @@ impl FatTree {
 impl Topology for FatTree {
     fn kind_name(&self) -> &'static str {
         "fattree"
+    }
+
+    fn liveness(&self) -> &crate::liveness::LivenessMask {
+        &self.liveness
+    }
+
+    fn liveness_mut(&mut self) -> &mut crate::liveness::LivenessMask {
+        &mut self.liveness
     }
 
     fn label(&self) -> String {

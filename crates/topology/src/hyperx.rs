@@ -107,13 +107,18 @@ impl std::fmt::Display for HyperXConfig {
 #[derive(Debug, Clone)]
 pub struct HyperX {
     cfg: HyperXConfig,
+    /// Fault-injection mask; empty (everything up) on a fresh topology.
+    liveness: crate::liveness::LivenessMask,
 }
 
 impl HyperX {
     /// Build the topology (the configuration must be valid).
     pub fn new(cfg: HyperXConfig) -> Self {
         cfg.validate().expect("invalid hyperx configuration");
-        Self { cfg }
+        Self {
+            cfg,
+            liveness: crate::liveness::LivenessMask::new(),
+        }
     }
 
     /// The configuration this topology was built from.
@@ -157,6 +162,14 @@ impl HyperX {
 impl Topology for HyperX {
     fn kind_name(&self) -> &'static str {
         "hyperx"
+    }
+
+    fn liveness(&self) -> &crate::liveness::LivenessMask {
+        &self.liveness
+    }
+
+    fn liveness_mut(&mut self) -> &mut crate::liveness::LivenessMask {
+        &mut self.liveness
     }
 
     fn label(&self) -> String {

@@ -32,6 +32,7 @@ pub mod config;
 pub mod fattree;
 pub mod hyperx;
 pub mod ids;
+pub mod liveness;
 pub mod paths;
 pub mod ports;
 pub mod spec;
@@ -43,6 +44,7 @@ pub use config::DragonflyConfig;
 pub use fattree::{FatTree, FatTreeConfig};
 pub use hyperx::{HyperX, HyperXConfig};
 pub use ids::{GroupId, NodeId, Port, RouterId};
+pub use liveness::LivenessMask;
 pub use ports::PortKind;
 pub use spec::{TopologyKindInfo, TopologySpec};
 pub use topology::{Dragonfly, Neighbor};

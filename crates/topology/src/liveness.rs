@@ -1,0 +1,135 @@
+//! Per-port / per-router liveness: the fault-injection mask every
+//! topology carries.
+//!
+//! A pristine fabric has an *empty* mask, and every query short-circuits
+//! on one `is_empty` check, so fault support costs nothing on the hot
+//! path of an un-faulted simulation. Killing a link marks **both**
+//! endpoint ports down, so routing agents only ever need to query the
+//! liveness of their *own* router's ports — which is what lets a sharded
+//! engine keep one locally-updated mask per shard without any cross-shard
+//! liveness protocol (see the `dragonfly-engine` crate docs).
+//!
+//! The mask is plain data (`BTreeSet`s), so it serialises, clones and
+//! compares cheaply and deterministically.
+
+use crate::ids::{Port, RouterId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The set of currently-dead ports and routers of one topology instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivenessMask {
+    /// `(router index, port index)` pairs that are down.
+    down_ports: BTreeSet<(u32, u16)>,
+    /// Router indices that are down (drained / failed).
+    down_routers: BTreeSet<u32>,
+}
+
+impl LivenessMask {
+    /// A mask with everything up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether every port and router is up (the pristine-fabric fast
+    /// path).
+    #[inline]
+    pub fn is_pristine(&self) -> bool {
+        self.down_ports.is_empty() && self.down_routers.is_empty()
+    }
+
+    /// Whether `port` of `router` is up. Ports of a dead router count as
+    /// down.
+    #[inline]
+    pub fn port_up(&self, router: RouterId, port: Port) -> bool {
+        if self.is_pristine() {
+            return true;
+        }
+        !self.down_routers.contains(&router.0) && !self.down_ports.contains(&(router.0, port.0))
+    }
+
+    /// Whether `router` is up.
+    #[inline]
+    pub fn router_up(&self, router: RouterId) -> bool {
+        self.down_routers.is_empty() || !self.down_routers.contains(&router.0)
+    }
+
+    /// Mark one port down. Idempotent.
+    pub fn set_port_down(&mut self, router: RouterId, port: Port) {
+        self.down_ports.insert((router.0, port.0));
+    }
+
+    /// Mark one port up again. Idempotent.
+    pub fn set_port_up(&mut self, router: RouterId, port: Port) {
+        self.down_ports.remove(&(router.0, port.0));
+    }
+
+    /// Mark a whole router down. Idempotent.
+    pub fn set_router_down(&mut self, router: RouterId) {
+        self.down_routers.insert(router.0);
+    }
+
+    /// Mark a router up again. Idempotent.
+    pub fn set_router_up(&mut self, router: RouterId) {
+        self.down_routers.remove(&router.0);
+    }
+
+    /// Number of individually-dead ports (not counting dead routers).
+    pub fn down_port_count(&self) -> usize {
+        self.down_ports.len()
+    }
+
+    /// Number of dead routers.
+    pub fn down_router_count(&self) -> usize {
+        self.down_routers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_mask_reports_everything_up() {
+        let m = LivenessMask::new();
+        assert!(m.is_pristine());
+        assert!(m.port_up(RouterId(3), Port(7)));
+        assert!(m.router_up(RouterId(3)));
+    }
+
+    #[test]
+    fn port_kill_and_restore_round_trip() {
+        let mut m = LivenessMask::new();
+        m.set_port_down(RouterId(1), Port(4));
+        assert!(!m.port_up(RouterId(1), Port(4)));
+        assert!(m.port_up(RouterId(1), Port(5)));
+        assert!(m.port_up(RouterId(2), Port(4)));
+        assert!(!m.is_pristine());
+        m.set_port_up(RouterId(1), Port(4));
+        assert!(m.is_pristine());
+    }
+
+    #[test]
+    fn dead_router_takes_its_ports_down() {
+        let mut m = LivenessMask::new();
+        m.set_router_down(RouterId(9));
+        assert!(!m.router_up(RouterId(9)));
+        assert!(!m.port_up(RouterId(9), Port(0)));
+        assert!(m.router_up(RouterId(8)));
+        m.set_router_up(RouterId(9));
+        assert!(m.port_up(RouterId(9), Port(0)));
+    }
+
+    #[test]
+    fn mask_serialises_deterministically() {
+        let mut m = LivenessMask::new();
+        m.set_port_down(RouterId(2), Port(3));
+        m.set_port_down(RouterId(1), Port(6));
+        m.set_router_down(RouterId(5));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LivenessMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        // BTreeSet order makes the encoding canonical.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::config::DragonflyConfig;
 use crate::ids::{GroupId, NodeId, Port, RouterId};
+use crate::liveness::LivenessMask;
 use crate::ports::{PortKind, PortLayout};
 use serde::{Deserialize, Serialize};
 
@@ -32,13 +33,20 @@ pub enum Neighbor {
 pub struct Dragonfly {
     cfg: DragonflyConfig,
     layout: PortLayout,
+    /// Fault-injection mask; empty (everything up) on a fresh topology.
+    #[serde(default)]
+    liveness: LivenessMask,
 }
 
 impl Dragonfly {
     /// Build the topology for a configuration.
     pub fn new(cfg: DragonflyConfig) -> Self {
         let layout = PortLayout::new(&cfg);
-        Self { cfg, layout }
+        Self {
+            cfg,
+            layout,
+            liveness: LivenessMask::new(),
+        }
     }
 
     /// The configuration this topology was built from.
@@ -266,6 +274,14 @@ impl Dragonfly {
 impl crate::traits::Topology for Dragonfly {
     fn kind_name(&self) -> &'static str {
         "dragonfly"
+    }
+
+    fn liveness(&self) -> &crate::liveness::LivenessMask {
+        &self.liveness
+    }
+
+    fn liveness_mut(&mut self) -> &mut crate::liveness::LivenessMask {
+        &mut self.liveness
     }
 
     fn label(&self) -> String {

@@ -36,6 +36,7 @@
 //! the cross-topology property tests in `tests/properties.rs` pin it.
 
 use crate::ids::{GroupId, NodeId, Port, RouterId};
+use crate::liveness::LivenessMask;
 use crate::paths::HopKind;
 use crate::ports::PortKind;
 use crate::topology::Neighbor;
@@ -135,6 +136,32 @@ pub trait Topology: Send + Sync {
             PortKind::Global => HopKind::Global,
             PortKind::Host => panic!("host ports have no link kind"),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Liveness (fault injection)
+    // ------------------------------------------------------------------
+
+    /// The fault-injection mask of this topology instance. A freshly
+    /// built topology is pristine (everything up); the engine mutates the
+    /// mask of its own clone when it applies a fault schedule.
+    fn liveness(&self) -> &LivenessMask;
+
+    /// Mutable access to the fault-injection mask.
+    fn liveness_mut(&mut self) -> &mut LivenessMask;
+
+    /// Whether `port` of `router` is currently up. Killing a link marks
+    /// *both* endpoint ports down, so callers never need to consult the
+    /// far side (the query is purely local to `router`).
+    #[inline]
+    fn port_up(&self, router: RouterId, port: Port) -> bool {
+        self.liveness().port_up(router, port)
+    }
+
+    /// Whether `router` is currently up.
+    #[inline]
+    fn router_up(&self, router: RouterId) -> bool {
+        self.liveness().router_up(router)
     }
 
     // ------------------------------------------------------------------

@@ -317,6 +317,104 @@ impl_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+// ---------------------------------------------------------------------------
+// Collection impls (used by the fault-injection masks and engine checkpoints)
+// ---------------------------------------------------------------------------
+
+/// Sequence-encoded collections: anything that iterates and rebuilds from an
+/// item stream serialises as a [`Value::Seq`]. `BTreeSet`/`BTreeMap` iterate
+/// in key order, so their wire form is canonical — equal collections always
+/// produce byte-identical output, which the checkpoint bit-identity tests
+/// rely on.
+macro_rules! impl_seq_collection {
+    ($(($coll:ident, $($bound:path),+))+) => {$(
+        impl<T: Serialize $(+ $bound)+> Serialize for std::collections::$coll<T> {
+            fn to_value(&self) -> Value {
+                Value::Seq(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<T: Deserialize $(+ $bound)+> Deserialize for std::collections::$coll<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => items.iter().map(T::from_value).collect(),
+                    other => Err(Error::msg(format!(
+                        "expected sequence, found {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_seq_collection! {
+    (BTreeSet, Ord)
+    (BinaryHeap, Ord)
+    (VecDeque, Sized)
+}
+
+/// Maps encode as a sequence of `[key, value]` pairs so non-string keys
+/// (e.g. `(router, port)` tuples) work without a string codec.
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|item| match item {
+                    Value::Seq(pair) if pair.len() == 2 => {
+                        Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected [key, value] pair, found {}",
+                        other.kind()
+                    ))),
+                })
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected sequence of pairs, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => {
+                if items.len() != N {
+                    return Err(Error::msg(format!(
+                        "expected an array of {N} items, found {}",
+                        items.len()
+                    )));
+                }
+                let elems: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                elems
+                    .try_into()
+                    .map_err(|_| Error::msg("array length changed during conversion"))
+            }
+            other => Err(Error::msg(format!(
+                "expected sequence (array), found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +427,23 @@ mod tests {
         let v: Vec<(u64, f64)> = vec![(0, 0.5), (10, 0.9)];
         assert_eq!(Vec::<(u64, f64)>::from_value(&v.to_value()).unwrap(), v);
         assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+        let set: BTreeSet<(u32, u16)> = [(3, 1), (0, 9)].into_iter().collect();
+        assert_eq!(BTreeSet::from_value(&set.to_value()).unwrap(), set);
+        let map: BTreeMap<u64, u32> = [(7, 2), (1, 5)].into_iter().collect();
+        assert_eq!(BTreeMap::from_value(&map.to_value()).unwrap(), map);
+        let deque: VecDeque<u32> = [4, 2, 9].into_iter().collect();
+        assert_eq!(VecDeque::from_value(&deque.to_value()).unwrap(), deque);
+        let heap: BinaryHeap<u64> = [5, 1, 3].into_iter().collect();
+        let back = BinaryHeap::<u64>::from_value(&heap.to_value()).unwrap();
+        assert_eq!(back.into_sorted_vec(), vec![1, 3, 5]);
+        let arr = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        assert!(<[u64; 4]>::from_value(&Value::Seq(vec![Value::Int(1)])).is_err());
     }
 
     #[test]

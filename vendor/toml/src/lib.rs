@@ -9,10 +9,15 @@
 //! * (possibly multi-line, mixed-type, nested) arrays,
 //! * inline tables `{ a = 1, b = "x" }`,
 //! * `[section]` / `[nested.section]` headers,
+//! * `[[array.of.tables]]` headers (each appends one element; key lines
+//!   and dotted keys land in the most recent element),
 //! * comments.
 //!
-//! Not supported (not used by this workspace): dates/times, `[[array of
-//! tables]]` headers, dotted keys on the left-hand side of assignments.
+//! The writer renders arrays of tables inline (`key = [{..}, {..}]`),
+//! which the parser accepts, so round-trips stay exact.
+//!
+//! Not supported (not used by this workspace): dates/times, dotted keys
+//! on the left-hand side of assignments.
 
 use serde::{Deserialize, Serialize};
 pub use serde::{Error, Value};
@@ -255,15 +260,45 @@ impl<'a> Parser<'a> {
                 Some(b'[') => {
                     self.bump();
                     if self.peek() == Some(b'[') {
-                        return Err(self.err("[[array of tables]] headers are not supported"));
+                        // [[array.of.tables]]: append a fresh element; the
+                        // following key lines land in it via table_at's
+                        // descend-into-last-element rule.
+                        self.bump();
+                        path = self.key_path()?;
+                        self.skip_inline_ws();
+                        if self.bump() != Some(b']') || self.bump() != Some(b']') {
+                            return Err(self.err("expected `]]` closing an array-of-tables header"));
+                        }
+                        let line = self.line;
+                        let parent = table_at(&mut root, &path[..path.len() - 1], line)?;
+                        let key = path.last().unwrap();
+                        if !parent.iter().any(|(k, _)| k == key) {
+                            parent.push((key.clone(), Value::Seq(Vec::new())));
+                        }
+                        let index = parent.iter().position(|(k, _)| k == key).unwrap();
+                        match &mut parent[index].1 {
+                            Value::Seq(items)
+                                if items.iter().all(|v| matches!(v, Value::Map(_))) =>
+                            {
+                                items.push(Value::Map(Vec::new()))
+                            }
+                            other => {
+                                return Err(Error::msg(format!(
+                                    "TOML line {line}: key `{key}` is a {}, \
+                                     not an array of tables",
+                                    other.kind()
+                                )))
+                            }
+                        }
+                    } else {
+                        path = self.key_path()?;
+                        self.skip_inline_ws();
+                        if self.bump() != Some(b']') {
+                            return Err(self.err("expected `]` closing a table header"));
+                        }
+                        // Ensure the table exists even if it stays empty.
+                        table_at(&mut root, &path, self.line)?;
                     }
-                    path = self.key_path()?;
-                    self.skip_inline_ws();
-                    if self.bump() != Some(b']') {
-                        return Err(self.err("expected `]` closing a table header"));
-                    }
-                    // Ensure the table exists even if it stays empty.
-                    table_at(&mut root, &path, self.line)?;
                 }
                 Some(_) => {
                     let keys = self.key_path()?;
@@ -520,6 +555,8 @@ impl<'a> Parser<'a> {
 }
 
 /// Navigate (creating as needed) to the table at `path` under `root`.
+/// A path component holding an array of tables descends into its most
+/// recently appended element (the TOML `[[...]]` scoping rule).
 fn table_at<'t>(
     root: &'t mut Vec<(String, Value)>,
     path: &[String],
@@ -533,6 +570,14 @@ fn table_at<'t>(
         let index = current.iter().position(|(k, _)| k == key).unwrap();
         match &mut current[index].1 {
             Value::Map(inner) => current = inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => current = inner,
+                _ => {
+                    return Err(Error::msg(format!(
+                        "TOML line {line}: key `{key}` is an array, not an array of tables"
+                    )))
+                }
+            },
             other => {
                 return Err(Error::msg(format!(
                     "TOML line {line}: key `{key}` is a {}, not a table",
@@ -656,7 +701,93 @@ alpha = 0.2
 
     #[test]
     fn rejects_unsupported_constructs() {
-        assert!(parse_value("[[points]]\nx = 1\n").is_err());
         assert!(parse_value("a = 1\na = 2\n").is_err());
+        // An existing scalar key cannot be reopened as an array of tables.
+        assert!(parse_value("points = 3\n[[points]]\nx = 1\n").is_err());
+        // An inline array of scalars is not an array of tables.
+        assert!(parse_value("p = [1, 2]\n[[p]]\nx = 1\n").is_err());
+        assert!(parse_value("[[broken]\nx = 1\n").is_err());
+    }
+
+    #[test]
+    fn array_of_tables_headers_append_elements() {
+        let parsed = parse_value(
+            "name = \"exp\"\n\
+             [[faults]]\n\
+             at_us = 50.0\n\
+             kind = \"link_down\"\n\
+             [[faults]]\n\
+             at_us = 80.0\n\
+             kind = \"router_up\"\n\
+             router = 3\n",
+        )
+        .unwrap();
+        let Value::Map(root) = parsed else {
+            panic!("document is a map")
+        };
+        assert_eq!(root[0], ("name".to_string(), Value::Str("exp".to_string())));
+        let Value::Seq(faults) = &root[1].1 else {
+            panic!("[[faults]] builds a sequence")
+        };
+        assert_eq!(faults.len(), 2);
+        let Value::Map(first) = &faults[0] else {
+            panic!("each element is a map")
+        };
+        assert_eq!(first[0], ("at_us".to_string(), Value::Float(50.0)));
+        assert_eq!(
+            first[1],
+            ("kind".to_string(), Value::Str("link_down".to_string()))
+        );
+        let Value::Map(second) = &faults[1] else {
+            panic!("each element is a map")
+        };
+        assert_eq!(second[2], ("router".to_string(), Value::Int(3)));
+    }
+
+    #[test]
+    fn tables_after_array_of_tables_scope_to_the_last_element() {
+        let parsed = parse_value(
+            "[[runs]]\n\
+             id = 1\n\
+             [runs.extra]\n\
+             note = \"a\"\n\
+             [[runs]]\n\
+             id = 2\n",
+        )
+        .unwrap();
+        let Value::Map(root) = parsed else {
+            panic!("document is a map")
+        };
+        let Value::Seq(runs) = &root[0].1 else {
+            panic!("[[runs]] builds a sequence")
+        };
+        assert_eq!(runs.len(), 2);
+        let Value::Map(first) = &runs[0] else {
+            panic!("map element")
+        };
+        assert_eq!(first[0], ("id".to_string(), Value::Int(1)));
+        let Value::Map(extra) = &first[1].1 else {
+            panic!("[runs.extra] nests inside the first element")
+        };
+        assert_eq!(extra[0], ("note".to_string(), Value::Str("a".to_string())));
+        let Value::Map(second) = &runs[1] else {
+            panic!("map element")
+        };
+        assert_eq!(second[0], ("id".to_string(), Value::Int(2)));
+    }
+
+    #[test]
+    fn array_of_tables_round_trips_through_the_inline_writer() {
+        // The writer emits sequences inline; the parser must read either
+        // spelling back into the identical tree.
+        let headers = parse_value("[[f]]\nx = 1\n[[f]]\nx = 2\n").unwrap();
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string(&Raw(headers.clone())).unwrap();
+        assert_eq!(parse_value(&text).unwrap(), headers);
     }
 }
