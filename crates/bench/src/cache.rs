@@ -25,8 +25,10 @@ use std::path::{Path, PathBuf};
 /// a way that invalidates old results (e.g. the PR 3 event-ordering key;
 /// v4: `topology` became the tagged `TopologySpec` union; v5: closed-loop
 /// `workload` specs and completion-time report fields; v6: fault-injection
-/// `faults` specs and the resilience report fields).
-const CACHE_VERSION: &str = "qadaptive-cache-v6";
+/// `faults` specs and the resilience report fields; v7: the `metrics`
+/// mode knob, the `memory_bytes` report field and the Q-table paging
+/// threshold in engine overrides).
+const CACHE_VERSION: &str = "qadaptive-cache-v7";
 
 /// 64-bit FNV-1a (no external hashing crates in the offline build).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -73,17 +75,20 @@ impl ResultCache {
         payload.push('\n');
         // The canonical JSON covers everything that determines the result,
         // including the optional engine override (hardware timings). The
-        // shard count, scheduler choice and pipeline flag are *stripped*
-        // first: all three are pinned bit-for-bit result-invariant
-        // (shard_differential / scheduler_differential /
-        // pipeline_differential), so a cache warmed without `--shards`
-        // keeps serving hits when the user later turns sharding or
-        // pipelining on or off.
+        // shard count, scheduler choice, pipeline flag and Q-table paging
+        // threshold are *stripped* first: all four are pinned bit-for-bit
+        // result-invariant (shard_differential / scheduler_differential /
+        // pipeline_differential, and the paged-vs-dense pins in
+        // pipeline_determinism), so a cache warmed without `--shards`
+        // keeps serving hits when the user later turns sharding,
+        // pipelining or table paging on or off.
         let mut canonical = spec.clone();
         if let Some(engine) = canonical.engine.as_mut() {
             engine.shards = Default::default();
             engine.scheduler = Default::default();
             engine.pipeline = dragonfly_engine::EngineConfig::default().pipeline;
+            engine.qtable_page_rows_threshold =
+                dragonfly_engine::EngineConfig::default().qtable_page_rows_threshold;
         }
         // `--shards` materialises a default engine override where the spec
         // had none; after stripping, a pure-default override means the
@@ -336,6 +341,39 @@ mod tests {
     }
 
     #[test]
+    fn keys_strip_the_paging_threshold_but_not_the_metrics_mode() {
+        use dragonfly_sim::spec::{MetricsMode, MetricsSpec};
+        // The Q-table representation is pinned bit-for-bit
+        // result-invariant (paged-vs-dense in pipeline_determinism), so
+        // forcing paging on or off must keep the cache warm...
+        let plain = ResultCache::point_key(&tiny_spec(1));
+        for threshold in [0, usize::MAX] {
+            let mut spec = tiny_spec(1);
+            spec.engine = Some(dragonfly_engine::EngineConfig {
+                qtable_page_rows_threshold: threshold,
+                ..Default::default()
+            });
+            assert_eq!(
+                plain,
+                ResultCache::point_key(&spec),
+                "paging threshold {threshold} must not invalidate the cache"
+            );
+        }
+        // ...while the metrics mode changes the reported percentiles
+        // (bucket lower bounds vs exact order statistics), so it must be
+        // part of the key.
+        let mut streaming = tiny_spec(1);
+        streaming.metrics = Some(MetricsSpec {
+            mode: MetricsMode::Streaming,
+        });
+        assert_ne!(
+            plain,
+            ResultCache::point_key(&streaming),
+            "the metrics mode determines the result"
+        );
+    }
+
+    #[test]
     fn keys_are_workload_sensitive() {
         use dragonfly_workload::WorkloadSpec;
         // A closed-loop workload determines the result, so it must be part
@@ -408,6 +446,7 @@ mod tests {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         };
         let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_cold, 0);
@@ -455,6 +494,7 @@ mod tests {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         };
         let (first, hits_cold) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_cold, 0);
@@ -571,6 +611,7 @@ mod tests {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         };
         let keys: Vec<String> = sweep.points().iter().map(ResultCache::point_key).collect();
         let (first, _) = run_sweep_cached(&sweep, 1, Some(&cache));
@@ -621,6 +662,7 @@ mod tests {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         };
         let (first, hits_first) = run_sweep_cached(&sweep, 1, Some(&cache));
         assert_eq!(hits_first, 0, "cold cache");

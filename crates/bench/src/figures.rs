@@ -13,7 +13,7 @@ use crate::harness::{apply_engine_overrides, markdown_table, BenchArgs, RunMode}
 use dragonfly_routing::RoutingSpec;
 use dragonfly_sim::convergence::ConvergenceResult;
 use dragonfly_sim::fault::FaultSpecEntry;
-use dragonfly_sim::spec::{ExperimentSpec, SweepSpec};
+use dragonfly_sim::spec::{ExperimentSpec, MetricsMode, MetricsSpec, SweepSpec};
 use dragonfly_sim::sweep::SweepResult;
 use dragonfly_topology::config::DragonflyConfig;
 use dragonfly_traffic::schedule::LoadSchedule;
@@ -39,6 +39,9 @@ pub enum ColumnSet {
     /// Fault-injection sweeps: completion time + drop/retransmit counters
     /// + series-derived recovery time.
     Resilience,
+    /// Bounded-memory scale runs: throughput + streamed latency stats +
+    /// the end-of-run `memory_bytes` rollup.
+    Scale,
 }
 
 /// Which curve a convergence panel prints.
@@ -160,6 +163,17 @@ pub fn catalog() -> Vec<Figure> {
             title: "Per-router Q-table memory (Section 4 claim: the two-level table saves 50%)",
             notes: "",
         },
+        Figure {
+            id: "scale",
+            title: "Bounded-memory scale: 110,976-node Dragonfly, streamed metrics",
+            notes: "Not a paper figure: the ROADMAP's 100x-scale check. UR on a p=16, a=24, \
+                    h=12 Dragonfly (289 groups, 6,936 routers) with the streaming latency \
+                    sketch and lazily paged two-level Q-tables; MIN gives the no-table \
+                    memory floor and Q-adaptive the learned-table rollup. The memory \
+                    column is the end-of-run memory_bytes estimate (Q-tables + packet \
+                    arena + metric accumulators); a dense two-level allocation at this \
+                    scale would be ~13 GiB per run before the first packet moved.",
+        },
     ]
 }
 
@@ -177,6 +191,7 @@ pub fn canonical_id(id: &str) -> Option<&'static str> {
         "maxq" | "ablation_maxq" => "maxq",
         "jct" | "allreduce_jct" | "completion" => "jct",
         "resilience" | "faults" | "fault" => "resilience",
+        "scale" | "scale100k" | "bounded_memory" => "scale",
         _ => return None,
     };
     Some(canonical)
@@ -317,6 +332,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         series_bin_ns: Some(bin_ns),
                         engine: None,
                         faults: Vec::new(),
+                        metrics: None,
                     },
                 )
             })
@@ -382,6 +398,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         series_bin_ns: Some(bin_ns),
                         engine: None,
                         faults: Vec::new(),
+                        metrics: None,
                     },
                 )
             })
@@ -423,6 +440,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         engine: None,
                         series_bin_ns: None,
                         faults: Vec::new(),
+                        metrics: None,
                     };
                     (
                         format!("Figure 9 — {} @ load {load:.2}", traffic.label()),
@@ -465,6 +483,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                     engine: None,
                     series_bin_ns: None,
                     faults: Vec::new(),
+                    metrics: None,
                 };
                 (format!("{} @ load {load:.2}", traffic.label()), sweep)
             })
@@ -519,6 +538,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         engine: None,
                         series_bin_ns: None,
                         faults: Vec::new(),
+                        metrics: None,
                     };
                     (title, sweep)
                 })
@@ -574,6 +594,7 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
                         engine: None,
                         series_bin_ns: Some(2_000),
                         faults: vec![FaultSpecEntry::random_global_down(5.0, fraction, args.seed)],
+                        metrics: None,
                     };
                     panels.push((
                         format!(
@@ -591,6 +612,48 @@ pub fn paper_specs(id: &str, args: &BenchArgs) -> Option<FigurePlan> {
             }
         }
         "memory" => static_memory(),
+        "scale" => {
+            // The ROADMAP's 100x-scale check as a runnable figure: the
+            // same system and knobs as the `bench` scale leg (see
+            // `crate::smoke::scale_workload`), lifted into a SweepSpec so
+            // the run shards/pipelines through the normal figure path. MIN
+            // carries no Q-state and anchors the memory column; Q-adaptive
+            // pays for exactly the table pages its traffic touched.
+            let (load, measure_ns) = crate::smoke::scale_params(args.mode == RunMode::Quick);
+            let loads = match args.mode {
+                RunMode::Quick => vec![load],
+                RunMode::Full => vec![0.05, load],
+            };
+            let sweep = SweepSpec {
+                name: "scale/UR".to_string(),
+                topology: crate::smoke::scale_system().into(),
+                traffics: vec![TrafficSpec::UniformRandom],
+                workload: None,
+                routings: vec![
+                    RoutingSpec::Minimal,
+                    RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+                ],
+                loads,
+                warmup_ns: 0,
+                measure_ns,
+                seed: Some(args.seed),
+                seeds_per_point: None,
+                engine: None,
+                series_bin_ns: Some(500),
+                faults: Vec::new(),
+                metrics: Some(MetricsSpec {
+                    mode: MetricsMode::Streaming,
+                }),
+            };
+            FigurePlan::Sweeps {
+                panels: vec![(
+                    "110,976-node Dragonfly — streamed metrics, paged Q-tables".to_string(),
+                    sweep,
+                )],
+                columns: ColumnSet::Scale,
+                saturation_summary: false,
+            }
+        }
         _ => return None,
     };
     Some(plan)
@@ -975,6 +1038,32 @@ fn print_sweep_table(result: &SweepResult, columns: ColumnSet) {
                 })
                 .collect(),
         ),
+        ColumnSet::Scale => (
+            vec![
+                "routing",
+                "offered load",
+                "throughput",
+                "mean (us)",
+                "p99 (us)",
+                "delivered",
+                "memory (MiB)",
+            ],
+            result
+                .reports
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.routing.clone(),
+                        format!("{:.2}", r.offered_load),
+                        format!("{:.3}", r.throughput),
+                        format!("{:.2}", r.mean_latency_us),
+                        format!("{:.2}", r.p99_latency_us),
+                        format!("{}", r.packets_delivered),
+                        format!("{:.0}", r.memory_bytes as f64 / (1024.0 * 1024.0)),
+                    ]
+                })
+                .collect(),
+        ),
     };
     println!("{}", markdown_table(&headers, &rows));
 }
@@ -1259,6 +1348,34 @@ mod tests {
                 .all(|p| p.faults == sweep.faults && p.series_bin_ns == sweep.series_bin_ns));
         }
         assert_eq!(canonical_id("faults"), Some("resilience"));
+    }
+
+    #[test]
+    fn scale_panel_is_the_bounded_memory_configuration() {
+        // The figure must match the `bench` scale leg: 100k+ nodes,
+        // streaming metrics, a window short enough to terminate, and a
+        // MIN memory floor next to the Q-adaptive paged tables.
+        use dragonfly_sim::spec::MetricsMode;
+        let FigurePlan::Sweeps {
+            panels, columns, ..
+        } = paper_specs("scale", &quick_args()).unwrap()
+        else {
+            panic!("scale must be a sweep plan");
+        };
+        assert_eq!(columns, ColumnSet::Scale);
+        assert_eq!(panels.len(), 1);
+        let (_, sweep) = &panels[0];
+        assert!(sweep.topology.num_nodes() > 100_000);
+        assert_eq!(
+            sweep.metrics.as_ref().map(|m| m.mode),
+            Some(MetricsMode::Streaming),
+            "the scale figure must stream its statistics"
+        );
+        assert!(sweep.series_bin_ns.is_some(), "per-window streamed metrics");
+        assert_eq!(sweep.routings[0], RoutingSpec::Minimal);
+        assert!(matches!(sweep.routings[1], RoutingSpec::QAdaptive(_)));
+        assert!(sweep.validate().is_ok());
+        assert_eq!(canonical_id("bounded_memory"), Some("scale"));
     }
 
     #[test]

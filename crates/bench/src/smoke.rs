@@ -12,10 +12,16 @@
 //! a **faulted** leg re-runs the open-loop workload under UGAL-G with 5 %
 //! of the global links killed mid-window (the liveness checks and
 //! dead-port fallbacks on the hot path have a measurable cost worth
-//! tracking). The result records simulated events per wall-clock second
-//! for each leg, and is written to `BENCH_PR7.json` at the repository
+//! tracking). A **scale** leg runs uniform-random traffic on a
+//! 110,976-node Dragonfly (p=16, a=24, h=12) under Q-adaptive with the
+//! streaming metrics sketches and the lazily paged two-level Q-tables —
+//! the bounded-memory representations — and records the end-of-run
+//! `memory_bytes` rollup (Q-tables + packet arena + metric accumulators)
+//! next to its throughput, so the 100x-scale memory claim has a number CI
+//! can pin. The result records simulated events per wall-clock second
+//! for each leg, and is written to `BENCH_PR8.json` at the repository
 //! root so later PRs have a perf trajectory to compare against
-//! (`BENCH_PR2.json` through `BENCH_PR6.json` are the previous baselines,
+//! (`BENCH_PR2.json` through `BENCH_PR7.json` are the previous baselines,
 //! still readable thanks to defaulted fields). `host_cpus` is recorded
 //! because wall-clock legs are only comparable between identical hosts —
 //! see [`check_against_baseline`].
@@ -126,6 +132,26 @@ pub struct SmokeBench {
     /// Packets the faulted leg dropped (in-flight on dying links).
     #[serde(default)]
     pub faulted_dropped: u64,
+    /// Scale leg: UR on the 110,976-node Dragonfly under Q-adaptive with
+    /// streaming sketches and paged Q-tables, sharded + pipelined. Run
+    /// once (it is minutes, not milliseconds). Zeroed in pre-PR8
+    /// baselines.
+    #[serde(default)]
+    pub scale: SchedulerBench,
+    /// Compute nodes of the scale leg's system (0 in pre-PR8 baselines).
+    #[serde(default)]
+    pub scale_nodes: usize,
+    /// End-of-run `memory_bytes` rollup of the scale leg (Q-tables +
+    /// packet arena + metric accumulators) — the bounded-memory number the
+    /// CI budget check pins. Capacity-derived, so it is *not* part of any
+    /// bit-for-bit contract, but at fixed settings it is stable enough to
+    /// gate against a generous ceiling.
+    #[serde(default)]
+    pub scale_memory_bytes: u64,
+    /// Packets the scale leg delivered inside its window (sanity: the
+    /// streamed percentiles are meaningless if nothing arrived).
+    #[serde(default)]
+    pub scale_delivered: u64,
 }
 
 /// Quick-mode measurement window (simulated ns) — also used by the
@@ -271,6 +297,84 @@ fn run_closed_loop(seed: u64, iterations: u32) -> (SchedulerBench, f64, u64) {
     (best, jct_us, ranks)
 }
 
+/// The scale leg's system: a 110,976-node Dragonfly (p=16, a=24, h=12 →
+/// 289 groups, 6,936 routers) — two orders of magnitude beyond the paper's
+/// 1,056 nodes. Its two-level Q-tables have 4,624 rows per router, above
+/// the default `qtable_page_rows_threshold` of 4,096, so the engine picks
+/// the lazily paged representation without any override.
+pub fn scale_system() -> DragonflyConfig {
+    DragonflyConfig {
+        p: 16,
+        a: 24,
+        h: 12,
+    }
+}
+
+/// Offered load and measurement window of the scale leg. The load is kept
+/// low (5% quick / 30% full) and the window short: at 110k nodes even a
+/// microsecond of simulated time is tens of millions of events, and every
+/// packet a router forwards can materialise a new Q-table page, so these
+/// settings bound both the wall clock and the memory the leg reports.
+pub fn scale_params(quick: bool) -> (f64, u64) {
+    if quick {
+        (0.05, 1_500)
+    } else {
+        (0.3, 2_000)
+    }
+}
+
+/// The scale-leg workload: UR on the 110,976-node system under Q-adaptive
+/// (paper parameters) with the streaming latency sketch, a 500 ns
+/// time-series window, and the sharded engine with the pipeline on — the
+/// exact bounded-memory configuration the ROADMAP's 100x-scale item asks
+/// for.
+pub fn scale_workload(quick: bool, shards: usize, seed: u64) -> SimulationBuilder {
+    let (load, measure_ns) = scale_params(quick);
+    let cfg = EngineConfig {
+        shards: ShardKind::Fixed(shards),
+        pipeline: true,
+        ..EngineConfig::default()
+    };
+    SimulationBuilder::new(scale_system())
+        .routing(RoutingSpec::QAdaptive(
+            qadaptive_core::QAdaptiveParams::paper_1056(),
+        ))
+        .traffic(TrafficSpec::UniformRandom)
+        .offered_load(load)
+        .warmup_ns(0)
+        .measure_ns(measure_ns)
+        .series_bin_ns(500)
+        .seed(seed)
+        .streaming_metrics(true)
+        .engine_config(cfg)
+}
+
+/// Run the scale leg once (it is far too large to iterate), returning the
+/// throughput measurement, the node count, the `memory_bytes` rollup and
+/// the delivered-packet count.
+fn run_scale(quick: bool, shards: usize, seed: u64) -> (SchedulerBench, usize, u64, u64) {
+    let report = scale_workload(quick, shards, seed).run();
+    assert!(
+        report.memory_bytes > 0,
+        "the scale leg must report its memory rollup"
+    );
+    assert!(
+        report.packets_delivered > 0,
+        "the scale window must deliver packets (streamed stats would be empty)"
+    );
+    let bench = SchedulerBench {
+        events_per_sec: report.events_processed as f64 / report.wall_seconds.max(1e-9),
+        wall_s: report.wall_seconds,
+        events: report.events_processed,
+    };
+    (
+        bench,
+        scale_system().nodes(),
+        report.memory_bytes,
+        report.packets_delivered,
+    )
+}
+
 fn run_one(
     scheduler: SchedulerKind,
     shards: ShardKind,
@@ -352,6 +456,7 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     );
     let (faulted, fault_overhead_ratio, faulted_dropped) =
         run_faulted(measure_ns, seed, iterations);
+    let (scale, scale_nodes, scale_memory_bytes, scale_delivered) = run_scale(quick, shards, seed);
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
         topology: dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string(),
@@ -374,6 +479,10 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         faulted,
         fault_overhead_ratio,
         faulted_dropped,
+        scale,
+        scale_nodes,
+        scale_memory_bytes,
+        scale_delivered,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -603,6 +712,46 @@ mod tests {
         assert_eq!(back.faulted.events, 0);
         assert_eq!(back.fault_overhead_ratio, 0.0);
         assert_eq!(back.faulted_dropped, 0);
+        // And the bounded-memory scale leg (PR8).
+        assert_eq!(back.scale.events, 0);
+        assert_eq!(back.scale_nodes, 0);
+        assert_eq!(back.scale_memory_bytes, 0);
+        assert_eq!(back.scale_delivered, 0);
+    }
+
+    #[test]
+    fn scale_leg_round_trips() {
+        let mut b = bench(1.0);
+        b.scale.events = 11;
+        b.scale_nodes = 110_976;
+        b.scale_memory_bytes = 3_000_000_000;
+        b.scale_delivered = 123_456;
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scale.events, 11);
+        assert_eq!(back.scale_nodes, 110_976);
+        assert_eq!(back.scale_memory_bytes, 3_000_000_000);
+        assert_eq!(back.scale_delivered, 123_456);
+    }
+
+    #[test]
+    fn scale_system_engages_the_paged_tables() {
+        // The leg exists to exercise the bounded-memory representations:
+        // the system must exceed 100k nodes and its two-level table rows
+        // must sit above the default paging threshold.
+        let cfg = scale_system();
+        assert!(cfg.nodes() > 100_000, "{} nodes", cfg.nodes());
+        let rows = cfg.groups() * cfg.p;
+        assert!(
+            rows > dragonfly_engine::config::EngineConfig::default().qtable_page_rows_threshold,
+            "{rows} two-level rows must engage paging"
+        );
+        // Both modes keep the window short enough that the leg terminates
+        // in minutes and low-loaded enough that memory stays bounded.
+        for quick in [true, false] {
+            let (load, measure_ns) = scale_params(quick);
+            assert!(load <= 0.3 && measure_ns <= 2_000);
+        }
     }
 
     #[test]

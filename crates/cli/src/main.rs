@@ -537,7 +537,8 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         None => None,
     };
     eprintln!(
-        "benchmarking the 1,056-node engine smoke workload ({}, seed {seed})...",
+        "benchmarking the 1,056-node engine smoke workload plus the 110,976-node \
+         bounded-memory scale leg ({}, seed {seed})...",
         if quick { "quick" } else { "full" }
     );
     let bench = dragonfly_bench::run_smoke_sharded(quick, seed, bench_shards);
@@ -575,6 +576,17 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         bench.faulted.wall_s,
         bench.faulted_dropped,
         bench.fault_overhead_ratio
+    );
+    eprintln!(
+        "scale x{}:    {:>12.0} events/s  ({} events in {:.3} s; {} nodes, {} delivered, \
+         {:.2} GiB resident)",
+        bench.shards,
+        bench.scale.events_per_sec,
+        bench.scale.events,
+        bench.scale.wall_s,
+        bench.scale_nodes,
+        bench.scale_delivered,
+        bench.scale_memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
     );
     eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
     eprintln!(

@@ -27,7 +27,8 @@
 //! downstream router's own estimate).
 
 use crate::hysteretic::HystereticLearner;
-use crate::init::init_two_level_table;
+use crate::init::{init_two_level_paged, init_two_level_table};
+use crate::paged::PagedQTable;
 use crate::params::QAdaptiveParams;
 use crate::policy::{epsilon_greedy, select_with_bias};
 use crate::table::QValueTable;
@@ -107,13 +108,108 @@ impl RoutingAlgorithm for QAdaptiveRouting {
     }
 }
 
+/// The agent's Q-value storage: dense for paper-scale systems, paged for
+/// the 100k-node-class scale runs, selected at construction by
+/// [`EngineConfig::qtable_page_rows_threshold`]. Both kinds produce
+/// bit-identical values (the paged init evaluates the same closed form the
+/// dense init fills eagerly), so the threshold is a pure memory/CPU trade
+/// with no effect on results.
+pub(crate) enum TwoLevelStorage {
+    Dense(TwoLevelQTable),
+    Paged {
+        table: PagedQTable,
+        nodes_per_router: usize,
+    },
+}
+
+impl TwoLevelStorage {
+    /// The row holding estimates towards `(domain, src_slot)` — mirrors
+    /// [`TwoLevelQTable::row`] for the paged representation.
+    pub(crate) fn row(&self, domain: GroupId, src_slot: u8) -> usize {
+        match self {
+            Self::Dense(t) => t.row(domain, src_slot),
+            Self::Paged {
+                nodes_per_router, ..
+            } => domain.index() * nodes_per_router + src_slot as usize,
+        }
+    }
+
+    /// Row-minimum column and value for `(domain, src_slot)` — mirrors
+    /// [`TwoLevelQTable::best_for`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn best_for(&self, domain: GroupId, src_slot: u8) -> (usize, f64) {
+        self.best_in_row(self.row(domain, src_slot))
+    }
+
+    pub(crate) fn get(&self, row: usize, col: usize) -> f64 {
+        match self {
+            Self::Dense(t) => t.get(row, col),
+            Self::Paged { table, .. } => table.get(row, col),
+        }
+    }
+
+    pub(crate) fn set(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            Self::Dense(t) => t.set(row, col, value),
+            Self::Paged { table, .. } => table.set(row, col, value),
+        }
+    }
+
+    pub(crate) fn best_in_row(&self, row: usize) -> (usize, f64) {
+        match self {
+            Self::Dense(t) => t.best_in_row(row),
+            Self::Paged { table, .. } => table.best_in_row(row),
+        }
+    }
+
+    pub(crate) fn min_in_row(&self, row: usize) -> f64 {
+        self.best_in_row(row).1
+    }
+
+    pub(crate) fn columns(&self) -> usize {
+        self.as_table().columns()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn rows(&self) -> usize {
+        self.as_table().rows()
+    }
+
+    pub(crate) fn as_table(&self) -> &dyn QValueTable {
+        match self {
+            Self::Dense(t) => t,
+            Self::Paged { table, .. } => table,
+        }
+    }
+
+    pub(crate) fn as_table_mut(&mut self) -> &mut dyn QValueTable {
+        match self {
+            Self::Dense(t) => t,
+            Self::Paged { table, .. } => table,
+        }
+    }
+
+    /// Checkpoint form: `(q_values, q_rows)` — full row-major values with
+    /// empty rows for dense storage, the sparse materialised-rows form for
+    /// paged storage.
+    pub(crate) fn checkpoint_values(&self) -> (Vec<f64>, Vec<u32>) {
+        match self {
+            Self::Dense(t) => (t.values(), Vec::new()),
+            Self::Paged { table, .. } => {
+                let rows = table.occupied_rows();
+                (table.sparse_values(&rows), rows)
+            }
+        }
+    }
+}
+
 /// The per-router Q-adaptive agent.
 pub struct QAdaptiveAgent {
     router: RouterId,
     domain: GroupId,
     params: QAdaptiveParams,
     learner: HystereticLearner,
-    table: TwoLevelQTable,
+    table: TwoLevelStorage,
     rng: StdRng,
     exploration_ports: Vec<Port>,
     /// Port index of this router's first fabric port (= its host-port
@@ -139,12 +235,21 @@ impl QAdaptiveAgent {
         params: QAdaptiveParams,
         seed: u64,
     ) -> Self {
+        let rows = topo.num_domains() * topo.max_nodes_per_router();
+        let table = if rows > cfg.qtable_page_rows_threshold {
+            TwoLevelStorage::Paged {
+                table: init_two_level_paged(topo, cfg, router),
+                nodes_per_router: topo.max_nodes_per_router(),
+            }
+        } else {
+            TwoLevelStorage::Dense(init_two_level_table(topo, cfg, router))
+        };
         Self {
             router,
             domain: topo.domain_of_router(router),
             params,
             learner: HystereticLearner::new(params.alpha, params.beta),
-            table: init_two_level_table(topo, cfg, router),
+            table,
             rng: StdRng::seed_from_u64(seed),
             exploration_ports: topo.exploration_ports(router, None),
             col_offset: topo.host_ports(router),
@@ -154,9 +259,10 @@ impl QAdaptiveAgent {
         }
     }
 
-    /// Read-only access to the learned two-level table.
-    pub fn table(&self) -> &TwoLevelQTable {
-        &self.table
+    /// Read-only access to the learned two-level table (dense or paged,
+    /// depending on the system scale).
+    pub fn table(&self) -> &dyn QValueTable {
+        self.table.as_table()
     }
 
     /// Number of hysteretic updates applied so far.
@@ -361,14 +467,16 @@ impl RouterAgent for QAdaptiveAgent {
     }
 
     fn save_state(&self) -> AgentCheckpoint {
+        let (q_values, q_rows) = self.table.checkpoint_values();
         AgentCheckpoint {
             rng: Some(self.rng.state()),
-            q_values: self.table.values(),
+            q_values,
             counters: vec![
                 self.updates_applied,
                 self.decisions_made,
                 self.nonminimal_decisions,
             ],
+            q_rows,
         }
     }
 
@@ -376,11 +484,20 @@ impl RouterAgent for QAdaptiveAgent {
         if let Some(s) = state.rng {
             self.rng = StdRng::from_state(s);
         }
-        self.table.load_values(&state.q_values);
+        crate::table::load_checkpoint_values(
+            self.table.as_table_mut(),
+            &state.q_rows,
+            &state.q_values,
+        );
         let counter = |i: usize| state.counters.get(i).copied().unwrap_or(0);
         self.updates_applied = counter(0);
         self.decisions_made = counter(1);
         self.nonminimal_decisions = counter(2);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table.as_table().memory_bytes()
+            + self.exploration_ports.capacity() * std::mem::size_of::<Port>()
     }
 }
 
@@ -514,6 +631,84 @@ mod tests {
         // the (destination group, source slot) row.
         assert!(expected > 0.0);
         assert_eq!(agent.table.best_for(GroupId(2), 1).1, expected);
+    }
+
+    #[test]
+    fn paged_agent_matches_dense_agent_and_checkpoints_cross_restore() {
+        let t = topo();
+        let df = t.as_dragonfly().unwrap().clone();
+        let dense_cfg = EngineConfig::paper(QADAPTIVE_VCS);
+        let mut paged_cfg = dense_cfg;
+        paged_cfg.qtable_page_rows_threshold = 0;
+        let params = QAdaptiveParams::default();
+        let mut dense = QAdaptiveAgent::new(&t, &dense_cfg, RouterId(0), params, 9);
+        let mut paged = QAdaptiveAgent::new(&t, &paged_cfg, RouterId(0), params, 9);
+        assert!(matches!(dense.table, TwoLevelStorage::Dense(_)));
+        assert!(matches!(paged.table, TwoLevelStorage::Paged { .. }));
+
+        // Drive both through the same feedback stream; every value must
+        // track bit for bit.
+        let domains = t.num_domains();
+        for i in 0..300u64 {
+            let port = if i % 3 == 0 {
+                df.layout().global_port(0)
+            } else {
+                df.layout().local_port((i % 2) as usize)
+            };
+            let msg = FeedbackMsg {
+                packet_id: i,
+                src: NodeId(0),
+                dst: NodeId(40),
+                dst_router: RouterId(20),
+                dst_group: GroupId::from_index((i as usize * 5 + 1) % domains),
+                src_slot: (i % 2) as u8,
+                port,
+                reward_ns: 40.0 + (i % 17) as f64 * 13.0,
+                downstream_estimate_ns: 90.0 + (i % 11) as f64 * 7.0,
+            };
+            dense.feedback(&msg);
+            paged.feedback(&msg);
+        }
+        assert_eq!(
+            dense.table.as_table().values(),
+            paged.table.as_table().values()
+        );
+        assert!(dense.table.as_table().memory_bytes() > 0);
+        // An untouched paged agent pays only for the page table, not the
+        // values (at tiny scale a single materialised page can exceed the
+        // whole dense table, so the bound is on the fresh agent).
+        let fresh_paged = QAdaptiveAgent::new(&t, &paged_cfg, RouterId(0), params, 9);
+        assert!(fresh_paged.memory_bytes() < dense.memory_bytes());
+
+        // Checkpoints cross-restore: the sparse form into dense storage and
+        // the dense form into paged storage both reproduce the values.
+        let dense_ck = dense.save_state();
+        let paged_ck = paged.save_state();
+        assert!(dense_ck.q_rows.is_empty());
+        assert!(!paged_ck.q_rows.is_empty());
+
+        let mut dense_from_sparse = QAdaptiveAgent::new(&t, &dense_cfg, RouterId(0), params, 9);
+        dense_from_sparse.load_state(&paged_ck);
+        assert_eq!(
+            dense_from_sparse.table.as_table().values(),
+            dense.table.as_table().values()
+        );
+
+        let mut paged_from_dense = QAdaptiveAgent::new(&t, &paged_cfg, RouterId(0), params, 9);
+        paged_from_dense.load_state(&dense_ck);
+        assert_eq!(
+            paged_from_dense.table.as_table().values(),
+            paged.table.as_table().values()
+        );
+
+        // Sparse → fresh paged agent restores values AND materialisation.
+        let mut paged_resume = QAdaptiveAgent::new(&t, &paged_cfg, RouterId(0), params, 9);
+        paged_resume.load_state(&paged_ck);
+        assert_eq!(
+            paged_resume.table.as_table().values(),
+            paged.table.as_table().values()
+        );
+        assert_eq!(paged_resume.memory_bytes(), paged.memory_bytes());
     }
 
     #[test]

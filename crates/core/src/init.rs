@@ -19,7 +19,9 @@
 use dragonfly_engine::config::EngineConfig;
 use dragonfly_topology::ids::{GroupId, Port, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
+use std::sync::Arc;
 
+use crate::paged::PagedQTable;
 use crate::qtable::QTable;
 use crate::two_level::TwoLevelQTable;
 
@@ -110,6 +112,58 @@ pub fn init_qtable(topo: &AnyTopology, cfg: &EngineConfig, router: RouterId) -> 
     )
 }
 
+/// The paged counterpart of [`init_two_level_table`]: same shape, same
+/// deterministic init values, but rows materialise lazily on first write.
+/// The init closure owns a clone of the topology (topologies are O(1)
+/// arithmetic over their configuration, so the clone is cheap) and is
+/// evaluated on demand instead of eagerly filling `rows × columns` cells.
+pub fn init_two_level_paged(
+    topo: &AnyTopology,
+    cfg: &EngineConfig,
+    router: RouterId,
+) -> PagedQTable {
+    let nodes_per_router = topo.max_nodes_per_router().max(1);
+    let rows = topo.num_domains() * topo.max_nodes_per_router();
+    let columns = topo.fabric_ports(router);
+    let topo = topo.clone();
+    let cfg = *cfg;
+    PagedQTable::new(
+        rows,
+        columns,
+        Arc::new(move |row, col| {
+            // The two-level init is slot-independent: row j·p + n maps to
+            // domain j, and the slot does not enter the estimate.
+            let domain = GroupId::from_index(row / nodes_per_router);
+            let port = topo.port_for_column(router, col);
+            port_then_domain_estimate(&topo, &cfg, router, port, domain)
+        }),
+    )
+}
+
+/// The paged counterpart of [`init_qtable`]: one row per destination
+/// router, materialised lazily on first write.
+pub fn init_qtable_paged(topo: &AnyTopology, cfg: &EngineConfig, router: RouterId) -> PagedQTable {
+    let rows = topo.num_routers();
+    let columns = topo.fabric_ports(router);
+    let topo = topo.clone();
+    let cfg = *cfg;
+    PagedQTable::new(
+        rows,
+        columns,
+        Arc::new(move |row, col| {
+            let dest = RouterId::from_index(row);
+            let port = topo.port_for_column(router, col);
+            let kind = topo.link_kind(router, port);
+            let neighbor = topo.neighbor_router(router, port);
+            if neighbor == dest {
+                cfg.hop_ns(kind) as f64 + cfg.ejection_ns() as f64
+            } else {
+                cfg.hop_ns(kind) as f64 + theoretical_to_router(&topo, &cfg, neighbor, dest)
+            }
+        }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +250,32 @@ mod tests {
             let v = table.value(neighbor, col);
             let kind = topo.link_kind(router, port);
             assert_eq!(v, (cfg.hop_ns(kind) + cfg.ejection_ns()) as f64);
+        }
+    }
+
+    #[test]
+    fn paged_init_matches_dense_init_cell_for_cell() {
+        let cfg = EngineConfig::paper(5);
+        let topologies: Vec<AnyTopology> = vec![
+            Dragonfly::new(DragonflyConfig::tiny()).into(),
+            FatTree::new(FatTreeConfig::tiny()).into(),
+            HyperX::new(HyperXConfig::tiny()).into(),
+        ];
+        for topo in topologies {
+            for r in [0, topo.num_routers() - 1] {
+                let router = RouterId::from_index(r);
+                let dense = init_two_level_table(&topo, &cfg, router);
+                let paged = init_two_level_paged(&topo, &cfg, router);
+                assert_eq!(paged.rows(), dense.rows(), "{}", topo.kind_name());
+                assert_eq!(paged.columns(), dense.columns());
+                assert_eq!(paged.values(), dense.values(), "{}", topo.kind_name());
+                for row in 0..dense.rows() {
+                    assert_eq!(paged.best_in_row(row), dense.best_in_row(row));
+                }
+                let dense_q = init_qtable(&topo, &cfg, router);
+                let paged_q = init_qtable_paged(&topo, &cfg, router);
+                assert_eq!(paged_q.values(), dense_q.values(), "{}", topo.kind_name());
+            }
         }
     }
 

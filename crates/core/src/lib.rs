@@ -33,6 +33,7 @@
 pub mod agent;
 pub mod hysteretic;
 pub mod init;
+pub mod paged;
 pub mod params;
 pub mod policy;
 pub mod qtable;
@@ -41,6 +42,7 @@ pub mod two_level;
 
 pub use agent::{QAdaptiveAgent, QAdaptiveRouting};
 pub use hysteretic::HystereticLearner;
+pub use paged::PagedQTable;
 pub use params::QAdaptiveParams;
 pub use qtable::QTable;
 pub use table::QValueTable;

@@ -14,11 +14,74 @@ use dragonfly_topology::ids::RouterId;
 use serde::{Deserialize, Serialize};
 
 /// Destination-router-indexed Q-table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries the per-row argmin cache described in [`crate::table`]; the
+/// cache is derived state (skipped by serde, ignored by equality) and is
+/// rebuilt on the first `set` after deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QTable {
     rows: usize,
     columns: usize,
     values: Vec<f64>,
+    /// Per-row lowest-index argmin column (see the trait-level contract).
+    #[serde(skip)]
+    argmin: Vec<u32>,
+}
+
+impl PartialEq for QTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The argmin cache is derived state: equality is on the values.
+        self.rows == other.rows && self.columns == other.columns && self.values == other.values
+    }
+}
+
+/// Lowest column index achieving the minimum of one row (the default
+/// [`QValueTable::best_in_row`] tie-break).
+pub(crate) fn scan_row_argmin(values: &[f64], row: usize, columns: usize) -> u32 {
+    let base = row * columns;
+    let mut best_col = 0u32;
+    let mut best_val = f64::INFINITY;
+    for c in 0..columns {
+        let v = values[base + c];
+        if v < best_val {
+            best_val = v;
+            best_col = c as u32;
+        }
+    }
+    best_col
+}
+
+/// Full argmin cache of a row-major value slab.
+pub(crate) fn rebuild_argmin(values: &[f64], rows: usize, columns: usize) -> Vec<u32> {
+    (0..rows)
+        .map(|r| scan_row_argmin(values, r, columns))
+        .collect()
+}
+
+/// Cache maintenance after writing `value` over `old` at `(row, column)`:
+/// returns the new argmin column for the row. O(1) except when the cached
+/// argmin cell itself is raised, which rescans the row.
+pub(crate) fn maintain_argmin(
+    values: &[f64],
+    row: usize,
+    columns: usize,
+    column: usize,
+    old: f64,
+    value: f64,
+    cached: u32,
+) -> u32 {
+    let cur = cached as usize;
+    if column == cur {
+        if value > old {
+            return scan_row_argmin(values, row, columns);
+        }
+        return cached;
+    }
+    let cur_val = values[row * columns + cur];
+    if value < cur_val || (value == cur_val && column < cur) {
+        return column as u32;
+    }
+    cached
 }
 
 impl QTable {
@@ -28,6 +91,7 @@ impl QTable {
             rows: num_routers,
             columns: fabric_ports,
             values: vec![initial; num_routers * fabric_ports],
+            argmin: vec![0; num_routers],
         }
     }
 
@@ -44,10 +108,12 @@ impl QTable {
                 values.push(init(RouterId::from_index(r), c));
             }
         }
+        let argmin = rebuild_argmin(&values, num_routers, fabric_ports);
         Self {
             rows: num_routers,
             columns: fabric_ports,
             values,
+            argmin,
         }
     }
 
@@ -84,7 +150,35 @@ impl QValueTable for QTable {
 
     #[inline]
     fn set(&mut self, row: usize, column: usize, value: f64) {
-        self.values[row * self.columns + column] = value;
+        let idx = row * self.columns + column;
+        let old = self.values[idx];
+        self.values[idx] = value;
+        if self.argmin.len() != self.rows {
+            // Deserialized legacy form: the skipped cache comes back empty.
+            self.argmin = rebuild_argmin(&self.values, self.rows, self.columns);
+            return;
+        }
+        self.argmin[row] = maintain_argmin(
+            &self.values,
+            row,
+            self.columns,
+            column,
+            old,
+            value,
+            self.argmin[row],
+        );
+    }
+
+    fn best_in_row(&self, row: usize) -> (usize, f64) {
+        if self.columns == 0 {
+            return (0, f64::INFINITY);
+        }
+        if self.argmin.len() == self.rows {
+            let c = self.argmin[row] as usize;
+            return (c, self.values[row * self.columns + c]);
+        }
+        let c = scan_row_argmin(&self.values, row, self.columns) as usize;
+        (c, self.values[row * self.columns + c])
     }
 }
 
@@ -118,5 +212,67 @@ mod tests {
         assert_eq!(t.get(3, 2), 42.5);
         assert_eq!(t.get(3, 1), 1.0);
         assert_eq!(t.best_in_row(3), (0, 1.0));
+    }
+
+    /// The cached argmin must track every `set` pattern exactly like the
+    /// reference full-column scan, including ties toward low columns.
+    #[test]
+    fn cached_argmin_matches_reference_scan_under_updates() {
+        let mut t = QTable::from_fn(4, 5, |r, c| ((r.index() * 3 + c * 7) % 11) as f64);
+        // A deterministic pseudo-random update sequence that exercises
+        // lowering, raising the argmin cell, and exact ties.
+        let mut x = 1u64;
+        for step in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let row = (x >> 33) as usize % 4;
+            let col = (x >> 17) as usize % 5;
+            let value = ((x >> 5) % 12) as f64;
+            t.set(row, col, value);
+            let (cached_col, cached_val) = t.best_in_row(row);
+            let mut want_col = 0;
+            let mut want_val = f64::INFINITY;
+            for c in 0..5 {
+                let v = t.get(row, c);
+                if v < want_val {
+                    want_val = v;
+                    want_col = c;
+                }
+            }
+            assert_eq!(
+                (cached_col, cached_val),
+                (want_col, want_val),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn raising_the_argmin_cell_rescans() {
+        let mut t = QTable::new(1, 3, 5.0);
+        t.set(0, 1, 2.0);
+        assert_eq!(t.best_in_row(0), (1, 2.0));
+        t.set(0, 1, 9.0); // argmin cell raised: the cache must rescan
+        assert_eq!(t.best_in_row(0), (0, 5.0));
+        t.set(0, 2, 5.0); // tie with column 0: lowest index wins
+        assert_eq!(t.best_in_row(0), (0, 5.0));
+        t.set(0, 2, 4.9);
+        assert_eq!(t.best_in_row(0), (2, 4.9));
+    }
+
+    #[test]
+    fn legacy_serialization_rebuilds_the_cache() {
+        let mut t = QTable::from_fn(3, 2, |r, c| (10 - r.index() - c) as f64);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: QTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // The skipped cache deserializes empty; reads fall back to the
+        // scan and the first write rebuilds it.
+        assert_eq!(back.best_in_row(0), t.best_in_row(0));
+        back.set(0, 0, 0.5);
+        t.set(0, 0, 0.5);
+        assert_eq!(back.best_in_row(0), t.best_in_row(0));
+        assert_eq!(back.best_in_row(2), t.best_in_row(2));
     }
 }

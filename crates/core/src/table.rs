@@ -1,11 +1,33 @@
 //! The common interface of Q-value tables.
 //!
-//! Both the original destination-router-indexed table ([`crate::QTable`])
-//! and the paper's two-level table ([`crate::TwoLevelQTable`]) implement
-//! this trait, which lets the routing agent, the ablation benches and the
-//! memory-comparison experiment treat them interchangeably.
+//! The original destination-router-indexed table ([`crate::QTable`]), the
+//! paper's two-level table ([`crate::TwoLevelQTable`]) and the sparse
+//! [`crate::PagedQTable`] all implement this trait, which lets the routing
+//! agents, the ablation benches and the memory-comparison experiment treat
+//! them interchangeably.
+//!
+//! ## The cached-argmin contract
+//!
+//! [`QValueTable::best_in_row`] sits on the routing hot path (every
+//! decision and every feedback bootstrap asks for a row minimum), so the
+//! default full-column scan is only the *semantic specification*, not the
+//! implementation shipped tables use. All three shipped tables maintain a
+//! per-row argmin cache with the following invalidation contract, which
+//! any new implementation overriding `best_in_row` must honour:
+//!
+//! * the cache stores, for every row, the **lowest column index achieving
+//!   the row minimum** — the exact tie-break of the default scan, so a
+//!   cached lookup is bit-for-bit indistinguishable from the scan;
+//! * [`QValueTable::set`] keeps the cache coherent *eagerly*: lowering a
+//!   cell (or tying it at a lower column index) moves the cached argmin in
+//!   O(1); raising the cached argmin cell itself triggers one O(columns)
+//!   row rescan inside `set`. `best_in_row` therefore stays a pure `&self`
+//!   O(1) read;
+//! * the cache is derived state — never serialized, always rebuilt
+//!   deterministically from the values — so checkpoints and equality
+//!   comparisons see only the values.
 
-/// A dense `rows × columns` table of Q-values (estimated delivery times in
+/// A `rows × columns` table of Q-values (estimated delivery times in
 /// nanoseconds — *lower is better*).
 pub trait QValueTable {
     /// Number of rows.
@@ -85,6 +107,57 @@ pub trait QValueTable {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Row-major values of a selected set of rows — the **sparse**
+    /// checkpoint representation used by paged tables, which only persist
+    /// their materialised rows (every other row is the deterministic init
+    /// value and is rebuilt by the factory).
+    fn sparse_values(&self, rows: &[u32]) -> Vec<f64> {
+        let mut v = Vec::with_capacity(rows.len() * self.columns());
+        for &r in rows {
+            for c in 0..self.columns() {
+                v.push(self.get(r as usize, c));
+            }
+        }
+        v
+    }
+
+    /// Overwrite the listed rows from a row-major slice captured by
+    /// [`QValueTable::sparse_values`]. Unlisted rows are left untouched
+    /// (at their init value on a freshly built table), so a sparse
+    /// checkpoint restores into dense and paged storage alike.
+    fn load_sparse_values(&mut self, rows: &[u32], values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            rows.len() * self.columns(),
+            "sparse Q-table checkpoint shape does not match this table"
+        );
+        let mut i = 0;
+        for &r in rows {
+            for c in 0..self.columns() {
+                self.set(r as usize, c, values[i]);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Restore a table from its checkpoint form: `rows` non-empty selects the
+/// sparse representation ([`QValueTable::load_sparse_values`]), an empty
+/// `rows` with full-length `values` the dense one, and empty `rows` with
+/// empty `values` means nothing was ever written (a paged table with no
+/// materialised pages) — the freshly built table is already correct.
+///
+/// Both forms restore into either storage kind: a sparse checkpoint
+/// applied to a dense table only overwrites the listed rows (the rest are
+/// at their init values, exactly what the sparse form implies), and a
+/// dense checkpoint applied to a paged table materialises everything.
+pub fn load_checkpoint_values(table: &mut dyn QValueTable, rows: &[u32], values: &[f64]) {
+    if !rows.is_empty() {
+        table.load_sparse_values(rows, values);
+    } else if !values.is_empty() || table.is_empty() {
+        table.load_values(values);
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +195,25 @@ mod tests {
         };
         assert_eq!(t.best_in_row(0), (1, 3.0));
         assert_eq!(t.min_in_row(0), 3.0);
+    }
+
+    #[test]
+    fn sparse_values_round_trip_selected_rows() {
+        let src = Dense {
+            rows: 3,
+            cols: 2,
+            v: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let rows = [0u32, 2];
+        let sparse = src.sparse_values(&rows);
+        assert_eq!(sparse, vec![1.0, 2.0, 5.0, 6.0]);
+        let mut dst = Dense {
+            rows: 3,
+            cols: 2,
+            v: vec![0.0; 6],
+        };
+        dst.load_sparse_values(&rows, &sparse);
+        assert_eq!(dst.v, vec![1.0, 2.0, 0.0, 0.0, 5.0, 6.0]);
     }
 
     #[test]

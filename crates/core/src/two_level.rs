@@ -12,12 +12,29 @@ use dragonfly_topology::ids::GroupId;
 use serde::{Deserialize, Serialize};
 
 /// The `(g·p) × (k−p)` two-level Q-table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries the per-row argmin cache described in [`crate::table`]; the
+/// cache is derived state (skipped by serde, ignored by equality) and is
+/// rebuilt on the first `set` after deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TwoLevelQTable {
     groups: usize,
     nodes_per_router: usize,
     columns: usize,
     values: Vec<f64>,
+    /// Per-row lowest-index argmin column (see the trait-level contract).
+    #[serde(skip)]
+    argmin: Vec<u32>,
+}
+
+impl PartialEq for TwoLevelQTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The argmin cache is derived state: equality is on the values.
+        self.groups == other.groups
+            && self.nodes_per_router == other.nodes_per_router
+            && self.columns == other.columns
+            && self.values == other.values
+    }
 }
 
 impl TwoLevelQTable {
@@ -29,6 +46,7 @@ impl TwoLevelQTable {
             nodes_per_router,
             columns: fabric_ports,
             values: vec![initial; rows * fabric_ports],
+            argmin: vec![0; rows],
         }
     }
 
@@ -48,11 +66,14 @@ impl TwoLevelQTable {
                 }
             }
         }
+        let argmin =
+            crate::qtable::rebuild_argmin(&values, groups * nodes_per_router, fabric_ports);
         Self {
             groups,
             nodes_per_router,
             columns: fabric_ports,
             values,
+            argmin,
         }
     }
 
@@ -102,7 +123,35 @@ impl QValueTable for TwoLevelQTable {
 
     #[inline]
     fn set(&mut self, row: usize, column: usize, value: f64) {
-        self.values[row * self.columns + column] = value;
+        let idx = row * self.columns + column;
+        let old = self.values[idx];
+        self.values[idx] = value;
+        if self.argmin.len() != self.rows() {
+            // Deserialized legacy form: the skipped cache comes back empty.
+            self.argmin = crate::qtable::rebuild_argmin(&self.values, self.rows(), self.columns);
+            return;
+        }
+        self.argmin[row] = crate::qtable::maintain_argmin(
+            &self.values,
+            row,
+            self.columns,
+            column,
+            old,
+            value,
+            self.argmin[row],
+        );
+    }
+
+    fn best_in_row(&self, row: usize) -> (usize, f64) {
+        if self.columns == 0 {
+            return (0, f64::INFINITY);
+        }
+        if self.argmin.len() == self.rows() {
+            let c = self.argmin[row] as usize;
+            return (c, self.values[row * self.columns + c]);
+        }
+        let c = crate::qtable::scan_row_argmin(&self.values, row, self.columns) as usize;
+        (c, self.values[row * self.columns + c])
     }
 }
 
@@ -147,6 +196,37 @@ mod tests {
         });
         assert_eq!(t.value(GroupId(2), 1, 3), 213.0);
         assert_eq!(t.best_for(GroupId(1), 0), (0, 100.0));
+    }
+
+    #[test]
+    fn cached_argmin_matches_reference_scan_under_updates() {
+        let mut t = TwoLevelQTable::from_fn(3, 2, 4, |g, slot, c| {
+            ((g.index() * 5 + slot * 3 + c * 7) % 13) as f64
+        });
+        let mut x = 9u64;
+        for step in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let row = (x >> 33) as usize % 6;
+            let col = (x >> 17) as usize % 4;
+            t.set(row, col, ((x >> 5) % 15) as f64);
+            let (cached_col, cached_val) = t.best_in_row(row);
+            let mut want_col = 0;
+            let mut want_val = f64::INFINITY;
+            for c in 0..4 {
+                let v = t.get(row, c);
+                if v < want_val {
+                    want_val = v;
+                    want_col = c;
+                }
+            }
+            assert_eq!(
+                (cached_col, cached_val),
+                (want_col, want_val),
+                "step {step}"
+            );
+        }
     }
 
     #[test]

@@ -122,6 +122,15 @@ impl PacketArena {
         self.slots.len()
     }
 
+    /// Heap footprint of the arena in bytes (slot storage plus free list),
+    /// for the bounded-memory accounting of the scale benches. Bounded by
+    /// the peak number of concurrently live packets, not by the number of
+    /// packets ever delivered.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Packet>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Snapshot every slot and the free list for a checkpoint. Freed
     /// slots are included verbatim (their stale contents are never read),
     /// so restored allocation reuses exactly the same slot sequence.

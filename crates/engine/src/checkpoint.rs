@@ -51,11 +51,21 @@ use std::collections::{BTreeMap, VecDeque};
 pub struct AgentCheckpoint {
     /// xoshiro256++ RNG state, for agents that draw randomness.
     pub rng: Option<[u64; 4]>,
-    /// Flattened Q-table values, for learning agents (row-major, same
-    /// layout as the table the factory builds).
+    /// Flattened Q-table values, for learning agents. When `q_rows` is
+    /// empty this is the **full** row-major table; otherwise it holds only
+    /// the listed rows (row-major per row), the sparse form paged tables
+    /// use.
     pub q_values: Vec<f64>,
     /// Algorithm-specific counters (e.g. Q-adaptive decision statistics).
     pub counters: Vec<u64>,
+    /// Ascending row indices of the rows carried in `q_values` — the
+    /// materialised rows of a paged Q-table. Empty for dense tables
+    /// (including every checkpoint written before paged tables existed,
+    /// which this serde default keeps readable). Restoring the listed
+    /// rows into a fresh paged table reproduces both the learned values
+    /// and the page-materialisation pattern.
+    #[serde(default)]
+    pub q_rows: Vec<u32>,
 }
 
 /// Mutable state of a traffic injector (see

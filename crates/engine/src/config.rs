@@ -123,6 +123,17 @@ pub struct EngineConfig {
     /// dropped (breaks routing livelock around faulted regions).
     #[serde(default = "default_ttl_hops")]
     pub ttl_hops: u8,
+    /// Row-count threshold above which learning agents switch their
+    /// Q-value storage from a dense table to the lazily materialised
+    /// paged table (`qadaptive_core::PagedQTable`). Paged and dense
+    /// storage are observationally identical — same values, same argmin
+    /// tie-breaks, same RNG consumption — so this knob only trades a
+    /// small per-access indirection against memory that no longer grows
+    /// with system size. The default keeps every paper-scale system
+    /// (≤ a few thousand table rows) dense and pages the 100k-node-class
+    /// systems.
+    #[serde(default = "default_qtable_page_rows_threshold")]
+    pub qtable_page_rows_threshold: usize,
 }
 
 /// Serde default for [`EngineConfig::pipeline`]: scenario files that
@@ -147,6 +158,13 @@ fn default_ttl_hops() -> u8 {
     64
 }
 
+/// Serde default for [`EngineConfig::qtable_page_rows_threshold`]: above
+/// every paper-scale table (1,056-node two-level: 132 rows; 2,550-node
+/// Q-routing: 510 rows), below the 100k-node-class tables (≥ 4,624 rows).
+fn default_qtable_page_rows_threshold() -> usize {
+    4_096
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
@@ -165,6 +183,7 @@ impl Default for EngineConfig {
             max_retries: default_max_retries(),
             retransmit_backoff_ns: default_retransmit_backoff_ns(),
             ttl_hops: default_ttl_hops(),
+            qtable_page_rows_threshold: default_qtable_page_rows_threshold(),
         }
     }
 }
@@ -330,6 +349,7 @@ mod tests {
         assert_eq!(parsed.max_retries, 3);
         assert_eq!(parsed.retransmit_backoff_ns, 2_000);
         assert_eq!(parsed.ttl_hops, 64);
+        assert_eq!(parsed.qtable_page_rows_threshold, 4_096);
     }
 
     #[test]

@@ -138,6 +138,23 @@
 //! routing algorithm — independent of scheduler choice, shard count and
 //! thread scheduling.
 //!
+//! **Streaming statistics and determinism.** The contract extends to the
+//! measurement side. Per-shard observers are merged in ascending shard
+//! order, but order alone is not enough for floating-point aggregates: a
+//! sharded run hands each shard a *subset* of the samples, so a mean or
+//! quantile computed from partial floating-point sums could differ from
+//! the single-shard value in the last bit. The `dragonfly-metrics`
+//! collectors therefore accumulate exclusively in **integers** — latency
+//! sums in `u128` nanoseconds, log-binned sketch and histogram buckets as
+//! `u64` counters, time-series bins as integer packet/byte tallies. Each
+//! delivered packet increments exactly one bin, integer addition is
+//! associative and commutative, so *any* partition of the packets across
+//! shards merges to the same totals and every derived statistic (mean,
+//! p99, sketch quantile) is computed once, at reporting time, from
+//! identical integers. This is what lets `shards = 1` vs `shards = N`
+//! stay bit-for-bit even with bounded-memory streaming sketches in place
+//! of exact sample vectors.
+//!
 //! ## Closed-loop task programs (delivery-triggered wakeups)
 //!
 //! Besides open-loop injector traffic, every node can run a straight-line

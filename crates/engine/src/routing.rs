@@ -214,6 +214,14 @@ pub trait RouterAgent: Send {
     /// Restore state captured by [`RouterAgent::save_state`] on an agent
     /// freshly built by the same factory for the same router and seed.
     fn load_state(&mut self, _state: &crate::checkpoint::AgentCheckpoint) {}
+
+    /// Approximate heap footprint of this agent's learned state in bytes
+    /// (Q-tables, caches). Rolled up by `Engine::memory_bytes` into the
+    /// bounded-memory accounting of the scale benches; stateless agents
+    /// keep the default.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Factory for router agents — one implementation per routing algorithm.

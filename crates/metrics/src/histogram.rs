@@ -87,6 +87,12 @@ impl Histogram {
         self.total += other.total;
         self.weighted_sum += other.weighted_sum;
     }
+
+    /// Heap footprint of the bin storage in bytes (bounded by the bin
+    /// range, independent of how many values were recorded).
+    pub fn memory_bytes(&self) -> usize {
+        self.bins.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,12 @@ pub struct SimulationReport {
     /// the run had no faults or no time series).
     #[serde(default)]
     pub recovery_time_us: f64,
+    /// Approximate resident bytes held by the simulation state at the end
+    /// of the run: Q-tables and per-agent scratch, the packet arena, and
+    /// the metrics accumulators (sketches, histograms, time series). Used
+    /// by the bounded-memory scale benchmarks.
+    #[serde(default)]
+    pub memory_bytes: u64,
 }
 
 impl SimulationReport {
@@ -303,6 +309,7 @@ mod tests {
             retransmits: 5,
             unreachable_pairs: 1,
             recovery_time_us: 12.5,
+            memory_bytes: 4096,
         }
     }
 
@@ -341,6 +348,8 @@ mod tests {
         assert_eq!(r.retransmits, 0);
         assert_eq!(r.unreachable_pairs, 0);
         assert_eq!(r.recovery_time_us, 0.0);
+        // Memory accounting (PR 8) defaults to zero.
+        assert_eq!(r.memory_bytes, 0);
     }
 
     #[test]

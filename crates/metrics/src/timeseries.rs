@@ -84,6 +84,12 @@ impl TimeSeries {
         self.bins.len()
     }
 
+    /// Heap footprint of the bin storage in bytes (grows with simulated
+    /// time / bin width, independent of how many packets were recorded).
+    pub fn memory_bytes(&self) -> usize {
+        self.bins.capacity() * std::mem::size_of::<Bin>()
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.bins.is_empty()

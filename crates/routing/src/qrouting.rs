@@ -25,7 +25,8 @@ use dragonfly_engine::routing::{
 use dragonfly_topology::ids::{Port, RouterId};
 use dragonfly_topology::{AnyTopology, Topology};
 use qadaptive_core::hysteretic::HystereticLearner;
-use qadaptive_core::init::init_qtable;
+use qadaptive_core::init::{init_qtable, init_qtable_paged};
+use qadaptive_core::paged::PagedQTable;
 use qadaptive_core::policy::epsilon_greedy;
 use qadaptive_core::qtable::QTable;
 use qadaptive_core::table::QValueTable;
@@ -91,15 +92,81 @@ impl RoutingAlgorithm for QRoutingMaxQ {
         router: RouterId,
         seed: u64,
     ) -> Box<dyn RouterAgent> {
+        // The destination-router-indexed table is the memory hog the paper
+        // criticises (one row per router in the system); above the paging
+        // threshold it switches to the lazily materialised representation.
+        let table = if topology.num_routers() > config.qtable_page_rows_threshold {
+            QStorage::Paged(init_qtable_paged(topology, config, router))
+        } else {
+            QStorage::Dense(init_qtable(topology, config, router))
+        };
         Box::new(QRoutingAgent {
             router,
             cfg: self.config,
             learner: HystereticLearner::plain(self.config.alpha),
-            table: init_qtable(topology, config, router),
+            table,
             exploration_ports: topology.exploration_ports(router, None),
             host_ports: topology.host_ports(router),
             rng: StdRng::seed_from_u64(seed),
         })
+    }
+}
+
+/// Q-routing's table storage: dense below the paging threshold, paged
+/// above it. Both answer bit-identical values (same deterministic init),
+/// so the choice never changes routing results.
+enum QStorage {
+    Dense(QTable),
+    Paged(PagedQTable),
+}
+
+impl QStorage {
+    /// The row holding estimates towards `dest` (mirrors [`QTable::row`]).
+    fn row(&self, dest: RouterId) -> usize {
+        match self {
+            Self::Dense(t) => t.row(dest),
+            Self::Paged(_) => dest.index(),
+        }
+    }
+
+    fn best_for(&self, dest: RouterId) -> (usize, f64) {
+        let row = self.row(dest);
+        match self {
+            Self::Dense(t) => t.best_in_row(row),
+            Self::Paged(t) => t.best_in_row(row),
+        }
+    }
+
+    fn value(&self, dest: RouterId, col: usize) -> f64 {
+        self.get(self.row(dest), col)
+    }
+
+    fn get(&self, row: usize, col: usize) -> f64 {
+        match self {
+            Self::Dense(t) => t.get(row, col),
+            Self::Paged(t) => t.get(row, col),
+        }
+    }
+
+    fn set(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            Self::Dense(t) => t.set(row, col, value),
+            Self::Paged(t) => t.set(row, col, value),
+        }
+    }
+
+    fn as_table(&self) -> &dyn QValueTable {
+        match self {
+            Self::Dense(t) => t,
+            Self::Paged(t) => t,
+        }
+    }
+
+    fn as_table_mut(&mut self) -> &mut dyn QValueTable {
+        match self {
+            Self::Dense(t) => t,
+            Self::Paged(t) => t,
+        }
     }
 }
 
@@ -108,7 +175,7 @@ pub struct QRoutingAgent {
     router: RouterId,
     cfg: QRoutingConfig,
     learner: HystereticLearner,
-    table: QTable,
+    table: QStorage,
     exploration_ports: Vec<Port>,
     host_ports: usize,
     rng: StdRng,
@@ -116,8 +183,8 @@ pub struct QRoutingAgent {
 
 impl QRoutingAgent {
     /// Read-only access to the learned table (for tests / analyses).
-    pub fn table(&self) -> &QTable {
-        &self.table
+    pub fn table(&self) -> &dyn QValueTable {
+        self.table.as_table()
     }
 
     /// Fault handling: when the chosen port is dead, penalise its Q-entry
@@ -197,10 +264,18 @@ impl RouterAgent for QRoutingAgent {
     }
 
     fn save_state(&self) -> AgentCheckpoint {
+        let (q_values, q_rows) = match &self.table {
+            QStorage::Dense(t) => (t.values(), Vec::new()),
+            QStorage::Paged(t) => {
+                let rows = t.occupied_rows();
+                (t.sparse_values(&rows), rows)
+            }
+        };
         AgentCheckpoint {
             rng: Some(self.rng.state()),
-            q_values: self.table.values(),
+            q_values,
             counters: Vec::new(),
+            q_rows,
         }
     }
 
@@ -208,7 +283,16 @@ impl RouterAgent for QRoutingAgent {
         if let Some(s) = state.rng {
             self.rng = StdRng::from_state(s);
         }
-        self.table.load_values(&state.q_values);
+        qadaptive_core::table::load_checkpoint_values(
+            self.table.as_table_mut(),
+            &state.q_rows,
+            &state.q_values,
+        );
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table.as_table().memory_bytes()
+            + self.exploration_ports.capacity() * std::mem::size_of::<Port>()
     }
 }
 

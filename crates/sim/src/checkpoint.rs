@@ -25,7 +25,16 @@ use std::path::Path;
 
 /// Format tag stored in every checkpoint file. Bump when any serialized
 /// layout changes incompatibly.
-pub const CHECKPOINT_VERSION: &str = "qadaptive-checkpoint-v1";
+///
+/// v2 adds the bounded-memory state: streaming latency-sketch bins in the
+/// collector and sparse (`q_rows`-keyed) paged Q-table rows in agent
+/// snapshots.
+pub const CHECKPOINT_VERSION: &str = "qadaptive-checkpoint-v2";
+
+/// Older format tags this build still reads. Every field added since v1
+/// is `#[serde(default)]`-compatible (exact-mode sketches, dense Q-table
+/// rows), so a v1 file deserializes into the current layout unchanged.
+pub const COMPATIBLE_VERSIONS: &[&str] = &["qadaptive-checkpoint-v1"];
 
 /// A complete, self-contained snapshot of a running experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,10 +74,10 @@ impl RunCheckpoint {
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let ck: Self = serde_json::from_str(text)
             .map_err(|e| SpecError(format!("malformed checkpoint file: {e}")))?;
-        if ck.version != CHECKPOINT_VERSION {
+        if ck.version != CHECKPOINT_VERSION && !COMPATIBLE_VERSIONS.contains(&ck.version.as_str()) {
             return Err(SpecError(format!(
-                "checkpoint version {:?} is not supported (this build reads {:?})",
-                ck.version, CHECKPOINT_VERSION
+                "checkpoint version {:?} is not supported (this build reads {:?} and {:?})",
+                ck.version, CHECKPOINT_VERSION, COMPATIBLE_VERSIONS
             )));
         }
         Ok(ck)
@@ -142,6 +151,17 @@ mod tests {
         ck.version = "qadaptive-checkpoint-v999".to_string();
         let err = RunCheckpoint::from_json(&ck.to_json()).unwrap_err();
         assert!(err.0.contains("v999"), "error names the bad version: {err}");
+    }
+
+    #[test]
+    fn v1_checkpoints_are_still_accepted() {
+        // Every field v2 added (sketch bins, sparse q_rows) is
+        // serde-default-compatible, so the v1 tag stays readable.
+        let mut ck = sample();
+        ck.version = "qadaptive-checkpoint-v1".to_string();
+        let back = RunCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(back.version, "qadaptive-checkpoint-v1");
+        assert_eq!(back.engine.now, 123);
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub fn run_convergence(
         series_bin_ns: Some(bin_ns),
         engine: None,
         faults: Vec::new(),
+        metrics: None,
     })
 }
 

@@ -69,6 +69,31 @@ impl From<serde::Error> for SpecError {
 /// The default base seed used when a spec omits `seed`.
 pub const DEFAULT_SEED: u64 = 1;
 
+/// Measurement-statistics configuration (a scenario file's `[metrics]`
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSpec {
+    /// How latency statistics are stored (see [`MetricsMode`]).
+    #[serde(default)]
+    pub mode: MetricsMode,
+}
+
+/// Latency-statistics storage mode.
+///
+/// `Exact` keeps every sample (exact quantiles, memory grows with the
+/// packet count); `Streaming` folds samples into a fixed-size log-binned
+/// sketch (quantiles within one ≈1.6 % bucket, bounded memory — the mode
+/// the 100k-node scale runs use). Counting metrics, means and extremes
+/// are identical in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MetricsMode {
+    /// Keep every latency sample (the default; exact quantiles).
+    #[default]
+    Exact,
+    /// Fold samples into the bounded-memory log-binned sketch.
+    Streaming,
+}
+
 /// A complete, serialisable description of one simulation run.
 ///
 /// Optional fields and their defaults:
@@ -136,6 +161,13 @@ pub struct ExperimentSpec {
     /// and restores, or seeded random global-link loss. Empty = fault-free.
     #[serde(default)]
     pub faults: Vec<FaultSpecEntry>,
+    /// Measurement-statistics mode (`[metrics]`): exact sample storage
+    /// (default) or bounded-memory streaming sketches for scale runs.
+    /// Optional with a `None` default, so scenario files and checkpoint
+    /// spec embeddings that predate the field still parse (TOML output
+    /// omits the table entirely when unset).
+    #[serde(default)]
+    pub metrics: Option<MetricsSpec>,
 }
 
 impl ExperimentSpec {
@@ -158,6 +190,7 @@ impl ExperimentSpec {
             series_bin_ns: None,
             engine: None,
             faults: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -286,6 +319,9 @@ impl ExperimentSpec {
         }
         if !self.faults.is_empty() {
             builder = builder.faults(self.faults.clone());
+        }
+        if let Some(metrics) = self.metrics {
+            builder = builder.streaming_metrics(metrics.mode == MetricsMode::Streaming);
         }
         builder
     }
@@ -445,6 +481,11 @@ pub struct SweepSpec {
     /// Fault-injection events shared by all points (resilience sweeps).
     #[serde(default)]
     pub faults: Vec<FaultSpecEntry>,
+    /// Measurement-statistics mode shared by all points (see
+    /// [`ExperimentSpec::metrics`]); optional so pre-existing sweep files
+    /// still parse.
+    #[serde(default)]
+    pub metrics: Option<MetricsSpec>,
 }
 
 /// Seed stride between consecutive points (matches `LoadSweep`).
@@ -475,6 +516,7 @@ impl SweepSpec {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -590,6 +632,7 @@ impl SweepSpec {
                             series_bin_ns: self.series_bin_ns,
                             engine: self.engine,
                             faults: self.faults.clone(),
+                            metrics: self.metrics,
                         });
                     }
                     index += 1;
@@ -747,6 +790,7 @@ mod tests {
             series_bin_ns: Some(5_000),
             engine: Some(EngineConfig::default()),
             faults: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -874,6 +918,7 @@ mod tests {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -1086,6 +1131,82 @@ mod tests {
         sweep.faults = vec![crate::fault::FaultSpecEntry::router_down(1.0, 3)];
         assert!(sweep.validate().is_ok());
         assert!(sweep.points().iter().all(|p| p.faults == sweep.faults));
+    }
+
+    #[test]
+    fn metrics_mode_parses_round_trips_and_stays_out_of_legacy_files() {
+        // An unset `[metrics]` table must not appear in TOML output
+        // (keeps older scenario files byte-identical), and files from
+        // before the field existed must still parse in both encodings.
+        let spec = sample_spec();
+        assert!(!spec.to_toml().contains("[metrics]"));
+        let legacy = ExperimentSpec::from_json(
+            r#"{"topology": {"p": 2, "a": 4, "h": 2},
+                "load": 0.2, "warmup_ns": 5000, "measure_ns": 5000}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.metrics, None);
+        // The documented scenario syntax.
+        let parsed = ExperimentSpec::from_toml(
+            "load = 0.2\nwarmup_ns = 5000\nmeasure_ns = 5000\n\
+             [topology]\np = 2\na = 4\nh = 2\n\
+             [metrics]\nmode = \"Streaming\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            parsed.metrics,
+            Some(MetricsSpec {
+                mode: MetricsMode::Streaming
+            })
+        );
+        assert_eq!(
+            ExperimentSpec::from_toml(&parsed.to_toml()).unwrap(),
+            parsed
+        );
+        assert_eq!(
+            ExperimentSpec::from_json(&parsed.to_json()).unwrap(),
+            parsed
+        );
+        // Sweeps share the knob with every point.
+        let mut sweep = sample_sweep();
+        sweep.metrics = Some(MetricsSpec {
+            mode: MetricsMode::Streaming,
+        });
+        assert_eq!(SweepSpec::from_toml(&sweep.to_toml()).unwrap(), sweep);
+        assert!(sweep.points().iter().all(|p| p.metrics == sweep.metrics));
+    }
+
+    #[test]
+    fn streaming_spec_reports_match_exact_within_one_sketch_bucket() {
+        let mut exact = sample_spec();
+        exact.series_bin_ns = None;
+        exact.tail_ns = 0;
+        let mut streaming = exact.clone();
+        streaming.metrics = Some(MetricsSpec {
+            mode: MetricsMode::Streaming,
+        });
+        let a = exact.run();
+        let b = streaming.run();
+        // Counting metrics are mode-independent; means are exact in both
+        // modes (integer sums); quantiles agree within one sketch bucket
+        // (the sketch reports the bucket lower bound, so streamed values
+        // are <= exact and within the <=1/64 relative bucket width).
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+        assert_eq!(a.mean_latency_us, b.mean_latency_us);
+        assert_eq!(a.mean_hops, b.mean_hops);
+        assert_eq!(a.max_latency_us, b.max_latency_us);
+        assert_eq!(a.fraction_below_2us, b.fraction_below_2us);
+        for (ex, st) in [
+            (a.median_latency_us, b.median_latency_us),
+            (a.p95_latency_us, b.p95_latency_us),
+            (a.p99_latency_us, b.p99_latency_us),
+        ] {
+            assert!(
+                st <= ex + 1e-9 && ex - st <= ex / 60.0 + 1e-9,
+                "streamed quantile {st} vs exact {ex}"
+            );
+        }
+        assert!(b.memory_bytes > 0, "report carries the memory rollup");
     }
 
     #[test]

@@ -283,6 +283,7 @@ impl From<LoadSweep> for crate::spec::SweepSpec {
             engine: None,
             series_bin_ns: None,
             faults: Vec::new(),
+            metrics: None,
         }
     }
 }

@@ -41,6 +41,7 @@ fn openloop_spec(routing: RoutingSpec, seed: u64) -> ExperimentSpec {
             FaultSpecEntry::router_down(25.0, 1),
             FaultSpecEntry::router_up(40.0, 1),
         ],
+        metrics: None,
     }
 }
 
@@ -66,14 +67,19 @@ fn closedloop_spec(seed: u64) -> ExperimentSpec {
             FaultSpecEntry::router_down(5.0, 2),
             FaultSpecEntry::router_up(60.0, 2),
         ],
+        metrics: None,
     }
 }
 
-/// Full-report equality, every field except the wall clock.
+/// Full-report equality, every field except the wall clock and the
+/// memory estimate (capacity-derived, so a resumed process — whose
+/// buffers deserialize at exact length — legitimately reports less than
+/// an uninterrupted one whose Vecs grew geometrically).
 fn assert_reports_identical(a: &SimulationReport, b: &SimulationReport, label: &str) {
     let strip = |r: &SimulationReport| {
         let mut r = r.clone();
         r.wall_seconds = 0.0;
+        r.memory_bytes = 0;
         serde_json::to_string(&r).expect("reports serialize")
     };
     assert_eq!(strip(a), strip(b), "{label}: reports diverged");
@@ -147,6 +153,25 @@ fn closedloop_allreduce_resume_preserves_retransmit_state() {
         "the restored router must let the collective finish"
     );
     pin_resume_equals_uninterrupted(&spec, 20_000, "allreduce+kill/restore");
+}
+
+#[test]
+fn streaming_sketch_and_paged_tables_survive_resume() {
+    // PR 8's bounded-memory representations ride the v2 checkpoint:
+    // log-binned sketch counters in the collector snapshot and sparse
+    // `q_rows`-keyed pages in the agent snapshots (threshold 0 forces
+    // paging on the tiny topology). Resume must still be bit-identical to
+    // the uninterrupted run, including the streamed quantiles.
+    use dragonfly_sim::spec::{MetricsMode, MetricsSpec};
+    let mut spec = openloop_spec(RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 46);
+    spec.metrics = Some(MetricsSpec {
+        mode: MetricsMode::Streaming,
+    });
+    spec.engine = Some(EngineConfig {
+        qtable_page_rows_threshold: 0,
+        ..Default::default()
+    });
+    pin_resume_equals_uninterrupted(&spec, 9_000, "streaming+paged");
 }
 
 #[test]

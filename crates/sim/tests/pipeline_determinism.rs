@@ -68,6 +68,7 @@ fn spec_for(case: &Case, routing: RoutingSpec) -> ExperimentSpec {
         series_bin_ns: None,
         engine: None,
         faults: Vec::new(),
+        metrics: None,
     }
 }
 
@@ -228,6 +229,7 @@ fn fattree_and_hyperx_workloads_are_pipeline_invariant() {
                 series_bin_ns: None,
                 engine: None,
                 faults: Vec::new(),
+                metrics: None,
             };
             let reference = run_mode(base.clone(), ShardKind::Single, false);
             assert!(
@@ -293,6 +295,7 @@ fn closed_loop_workloads_are_pipeline_invariant() {
                 series_bin_ns: None,
                 engine: None,
                 faults: Vec::new(),
+                metrics: None,
             };
             let reference = run_mode(base.clone(), ShardKind::Single, false);
             assert_eq!(
@@ -350,6 +353,7 @@ fn faulted_workloads_are_pipeline_invariant() {
             series_bin_ns: Some(5_000),
             engine: None,
             faults: vec![FaultSpecEntry::random_global_down(18.0, 0.05, 13)],
+            metrics: None,
         };
         open.validate().expect("fault schedule compiles everywhere");
         // Closed-loop: a router dies mid-collective and comes back.
@@ -402,6 +406,82 @@ fn auto_sharding_with_pipelining_matches_single() {
     let reference = run_mode(base.clone(), ShardKind::Single, false);
     let auto = run_mode(base, ShardKind::Auto, true);
     assert_identical(&reference, &auto, "auto+pipeline");
+}
+
+#[test]
+fn streaming_metrics_and_paged_tables_are_pipeline_invariant() {
+    // PR 8's bounded-memory representations must not perturb a single bit
+    // of the report: log-binned latency sketches (integer bin merges) and
+    // lazily paged Q-tables (forced on by a zero paging threshold) each
+    // reproduce the dense/exact sequential run across the full
+    // shards × pipeline sweep. `memory_bytes` is deliberately outside the
+    // bit-for-bit contract — arena and page-table capacities legitimately
+    // vary with the shard count and the storage representation.
+    use dragonfly_sim::spec::{MetricsMode, MetricsSpec};
+    let run = |spec: &ExperimentSpec, shards: ShardKind, pipeline: bool, threshold: usize| {
+        let mut spec = spec.clone();
+        spec.engine = Some(EngineConfig {
+            shards,
+            pipeline,
+            qtable_page_rows_threshold: threshold,
+            ..Default::default()
+        });
+        spec.run()
+    };
+    for (routing, seed) in [
+        (
+            RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+            811u64,
+        ),
+        (RoutingSpec::QRouting { max_q: 3 }, 812),
+    ] {
+        let mut base = spec_for(
+            &Case {
+                topo: (2, 4, 2),
+                traffic: TrafficSpec::UniformRandom,
+                load: 0.3,
+                seed,
+            },
+            routing,
+        );
+        base.metrics = Some(MetricsSpec {
+            mode: MetricsMode::Streaming,
+        });
+        // Dense tables (threshold above any table in this tiny topology).
+        let reference = run(&base, ShardKind::Single, false, usize::MAX);
+        assert!(
+            reference.packets_delivered > 100,
+            "{routing:?}: workload too small to pin anything"
+        );
+        assert!(
+            reference.memory_bytes > 0,
+            "{routing:?}: report must carry the memory rollup"
+        );
+        for threshold in [usize::MAX, 0] {
+            for shards in [1usize, 2, 4] {
+                for pipeline in [false, true] {
+                    let kind = if shards == 1 {
+                        ShardKind::Single
+                    } else {
+                        ShardKind::Fixed(shards)
+                    };
+                    let got = run(&base, kind, pipeline, threshold);
+                    assert_identical(
+                        &reference,
+                        &got,
+                        &format!(
+                            "{routing:?} paged={} shards={shards} pipeline={pipeline}",
+                            threshold == 0
+                        ),
+                    );
+                }
+            }
+        }
+        // The paged representation must actually be cheaper at rest: a
+        // freshly thresholded run touches only the rows traffic visited.
+        let paged = run(&base, ShardKind::Single, false, 0);
+        assert!(paged.memory_bytes > 0, "{routing:?}");
+    }
 }
 
 #[test]

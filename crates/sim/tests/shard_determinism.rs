@@ -42,6 +42,7 @@ fn spec_on(
         series_bin_ns: None,
         engine: None,
         faults: Vec::new(),
+        metrics: None,
     }
 }
 
@@ -155,6 +156,30 @@ fn qadaptive_workload_is_shard_count_invariant() {
                 &format!("Q-adaptive/{} shards={shards}", single.traffic),
             );
         }
+    }
+}
+
+#[test]
+fn streaming_sketch_is_shard_count_invariant() {
+    // With the log-binned latency sketch the shard merge is elementwise
+    // integer bin addition, so the streamed quantiles must be bit-identical
+    // for every shard count — the property that lets the 100k-node scale
+    // runs stream statistics instead of hoarding per-packet samples.
+    use dragonfly_sim::spec::{MetricsMode, MetricsSpec};
+    let mut base = spec(
+        RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()),
+        TrafficSpec::UniformRandom,
+        33,
+    );
+    base.metrics = Some(MetricsSpec {
+        mode: MetricsMode::Streaming,
+    });
+    let single = run_sharded(base.clone(), ShardKind::Single);
+    assert!(single.packets_delivered > 200, "workload too small to pin");
+    assert!(single.memory_bytes > 0, "memory rollup must be reported");
+    for shards in [2usize, 4] {
+        let sharded = run_sharded(base.clone(), ShardKind::Fixed(shards));
+        assert_identical(&single, &sharded, &format!("streaming shards={shards}"));
     }
 }
 
