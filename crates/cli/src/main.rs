@@ -29,6 +29,29 @@ enum Format {
     Json,
 }
 
+/// A CLI failure: the message printed to stderr plus the process exit
+/// code. Usage and configuration mistakes exit 2 (the historical code
+/// for every error); runtime failures after a simulation ran — e.g. the
+/// finished report failing to serialise — exit 1, so scripts can tell
+/// "you called it wrong" from "it broke late".
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    /// A post-run runtime failure (exit code 1).
+    fn runtime(message: String) -> Self {
+        Self { message, code: 1 }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { message, code: 2 }
+    }
+}
+
 /// Flags shared by all subcommands.
 struct CommonFlags {
     threads: usize,
@@ -192,11 +215,13 @@ fn usage() -> String {
          \n\
          `run --checkpoint-every NS` snapshots the full simulation state\n\
          every NS simulated nanoseconds (to --checkpoint-path, default\n\
-         <scenario>.ckpt.json, each snapshot overwriting the last) and\n\
-         `--resume-from FILE` continues a snapshotted run bit-for-bit —\n\
-         the resumed run reproduces the uninterrupted report exactly.\n\
-         Checkpointing requires a single-shard run (no --shards/--pipeline)\n\
-         and resuming requires the same scenario, seed and overrides.",
+         <scenario>.ckpt.json, each snapshot atomically overwriting the\n\
+         last) and `--resume-from FILE` continues a snapshotted run\n\
+         bit-for-bit — the resumed run reproduces the uninterrupted\n\
+         report exactly. Works with any --shards/--pipeline setting, and\n\
+         the resuming run may use a different one (snapshots are\n\
+         partition-independent); the scenario, seed and all other\n\
+         overrides must match the checkpointing run.",
         figure_ids.join(", ")
     )
 }
@@ -250,10 +275,11 @@ fn reject_checkpoint_flags(flags: &CommonFlags, command: &str) -> Result<(), Str
 /// Execute one experiment, through the checkpoint/resume path when any of
 /// `--checkpoint-every`/`--checkpoint-path`/`--resume-from` was given.
 ///
-/// Checkpoints are written atomically-enough for this tool's purposes
-/// (whole-file rewrite) to `--checkpoint-path`, defaulting to the scenario
-/// path with `.ckpt.json` appended; each snapshot overwrites the previous
-/// one, so the file always holds the latest resumable state.
+/// Checkpoints are written atomically (temp file + rename, see
+/// `RunCheckpoint::save`) to `--checkpoint-path`, defaulting to the
+/// scenario path with `.ckpt.json` appended; each snapshot replaces the
+/// previous one, so the path always holds a complete resumable state even
+/// if the process dies mid-write.
 fn run_spec_maybe_checkpointed(
     flags: &CommonFlags,
     scenario_path: &str,
@@ -306,13 +332,14 @@ fn run_spec_maybe_checkpointed(
     }
 }
 
-fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
+fn cmd_run(flags: &CommonFlags) -> Result<(), CliError> {
     reject_mode_flags(flags, "run")?;
     reject_cache_flags(flags, "run")?;
     if flags.threads != 0 {
         return Err(
             "--threads only applies to `sweep` and `figure` (a `run` is one simulation)"
-                .to_string(),
+                .to_string()
+                .into(),
         );
     }
     let path = flags
@@ -339,7 +366,7 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
         report.events_processed as f64 / report.wall_seconds.max(1e-9) / 1e6
     );
     match flags.format {
-        Format::Text => emit(flags, &report.summary()),
+        Format::Text => emit(flags, &report.summary())?,
         Format::Csv => emit(
             flags,
             &format!(
@@ -347,15 +374,18 @@ fn cmd_run(flags: &CommonFlags) -> Result<(), String> {
                 dragonfly_metrics::report::SimulationReport::csv_header(),
                 report.csv_row()
             ),
-        ),
-        Format::Json => emit(
-            flags,
-            &serde_json::to_string_pretty(&report).expect("reports always serialise"),
-        ),
+        )?,
+        Format::Json => {
+            let json = serde_json::to_string_pretty(&report).map_err(|e| {
+                CliError::runtime(format!("cannot serialise the finished report as JSON: {e}"))
+            })?;
+            emit(flags, &json)?;
+        }
     }
+    Ok(())
 }
 
-fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
+fn cmd_sweep(flags: &CommonFlags) -> Result<(), CliError> {
     reject_mode_flags(flags, "sweep")?;
     reject_cache_flags(flags, "sweep")?;
     reject_checkpoint_flags(flags, "sweep")?;
@@ -453,11 +483,11 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
                     &agg_rows,
                 ));
             }
-            emit(flags, &text)
+            emit(flags, &text)?;
         }
         Format::Csv => {
             if !result.has_repetitions() {
-                return emit(flags, &result.to_csv());
+                return Ok(emit(flags, &result.to_csv())?);
             }
             // Raw and aggregated rows have different schemas, so a single
             // CSV stream would not be machine-readable. With --out the
@@ -473,29 +503,32 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), String> {
                     std::fs::write(&agg_path, result.to_csv_aggregated())
                         .map_err(|e| format!("cannot write {agg_path}: {e}"))?;
                     eprintln!("wrote {agg_path}");
-                    Ok(())
                 }
                 None => {
                     println!("{}", result.to_csv());
                     println!("\n# aggregated over repeated seeds");
                     println!("{}", result.to_csv_aggregated());
-                    Ok(())
                 }
             }
         }
-        Format::Json => emit(
-            flags,
-            &serde_json::to_string_pretty(&result.with_aggregates())
-                .expect("results always serialise"),
-        ),
+        Format::Json => {
+            let json = serde_json::to_string_pretty(&result.with_aggregates()).map_err(|e| {
+                CliError::runtime(format!(
+                    "cannot serialise the finished sweep results as JSON: {e}"
+                ))
+            })?;
+            emit(flags, &json)?;
+        }
     }
+    Ok(())
 }
 
-fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
+fn cmd_bench(flags: &CommonFlags) -> Result<(), CliError> {
     if let Some(extra) = flags.positional.first() {
         return Err(format!(
             "`bench` takes no positional argument (got `{extra}`)"
-        ));
+        )
+        .into());
     }
     reject_cache_flags(flags, "bench")?;
     reject_checkpoint_flags(flags, "bench")?;
@@ -503,17 +536,21 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
     if flags.threads != 0 {
         return Err(
             "--threads does not apply to `bench` (the smoke workload is one simulation at a time)"
-                .to_string(),
+                .to_string()
+                .into(),
         );
     }
     if flags.format != Format::Json && flags.format != Format::Text {
-        return Err("`bench` output is JSON (use --format json or omit the flag)".to_string());
+        return Err("`bench` output is JSON (use --format json or omit the flag)"
+            .to_string()
+            .into());
     }
     if flags.pipeline.is_some() {
         return Err(
             "--pipeline/--no-pipeline do not apply to `bench` — it always measures both the \
              barrier and the pipelined leg"
-                .to_string(),
+                .to_string()
+                .into(),
         );
     }
     let quick = !matches!(flags.quick_full, Some(true));
@@ -618,8 +655,12 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), String> {
         )?;
         eprintln!("baseline ok: {verdict}");
     }
-    let json = serde_json::to_string_pretty(&bench).expect("bench results always serialise");
-    emit(flags, &json)
+    let json = serde_json::to_string_pretty(&bench).map_err(|e| {
+        CliError::runtime(format!(
+            "cannot serialise the finished bench results as JSON: {e}"
+        ))
+    })?;
+    Ok(emit(flags, &json)?)
 }
 
 fn cmd_figure(flags: &CommonFlags) -> Result<(), String> {
@@ -763,29 +804,32 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    let outcome = match parse_flags(rest) {
-        Err(e) => Err(e),
+    let outcome: Result<(), CliError> = match parse_flags(rest) {
+        Err(e) => Err(e.into()),
         Ok(flags) => match command.as_str() {
             "run" => cmd_run(&flags),
             "sweep" => cmd_sweep(&flags),
-            "figure" => cmd_figure(&flags),
+            "figure" => cmd_figure(&flags).map_err(CliError::from),
             "bench" => cmd_bench(&flags),
-            "show" => cmd_show(&flags),
-            "list" => cmd_list(),
-            "topologies" | "--list-topologies" => cmd_topologies(),
-            "workloads" | "--list-workloads" => cmd_workloads(),
+            "show" => cmd_show(&flags).map_err(CliError::from),
+            "list" => cmd_list().map_err(CliError::from),
+            "topologies" | "--list-topologies" => cmd_topologies().map_err(CliError::from),
+            "workloads" | "--list-workloads" => cmd_workloads().map_err(CliError::from),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(())
             }
-            other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+            other => Err(CliError::from(format!(
+                "unknown command `{other}`\n\n{}",
+                usage()
+            ))),
         },
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

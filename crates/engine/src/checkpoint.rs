@@ -1,4 +1,5 @@
-//! Checkpoint/resume of a running single-shard engine.
+//! Checkpoint/resume of a running engine — sequential, sharded, or
+//! pipelined.
 //!
 //! A checkpoint is a complete, serialisable snapshot of the simulation
 //! state between two [`crate::Engine::run_until`] calls: router buffers,
@@ -14,11 +15,32 @@
 //! differential tests in `dragonfly-sim` pin this down to full-report
 //! equality.
 //!
-//! Checkpointing is restricted to single-shard sequential engines: a
-//! sharded engine's state is spread across per-shard arenas and in-flight
-//! mailboxes, and the same simulation can always be checkpointed by
-//! re-running it with `shards = Single` (shard count never changes
-//! results).
+//! # The canonical single-shard-equivalent form
+//!
+//! Sharded and pipelined engines checkpoint through the **same**
+//! [`ShardCheckpoint`] shape a single-shard engine uses. Between two
+//! `run_until` calls every shard sits at the same window boundary (the
+//! engine clock `t_cap`, a lookahead-window multiple), so the union of
+//! per-shard states is a globally consistent cut. [`merge_shards`] folds
+//! the N per-shard snapshots into one canonical partition-independent
+//! snapshot: cross-shard mail is drained into the owning queues first
+//! (exactly what the next window would do), packet slots are re-numbered
+//! into one canonical arena by a deterministic walk, events are merged in
+//! `(time, key, seq)` order and re-sequenced, and counters are summed.
+//! [`split_for_plan`] is the inverse: it carves the canonical snapshot
+//! into per-shard snapshots for **any** target [`crate::sync::ShardPlan`].
+//! Because the canonical form is partition-independent, a snapshot taken
+//! at `shards = N` resumes bit-identically at `shards = M` for any `M`,
+//! pipeline on or off — the same execution-mode invariance the engine
+//! guarantees for uninterrupted runs.
+//!
+//! Event keys are content-derived and embed the owning entity, so two
+//! events from different shards can never tie on `(time, key)`; the merged
+//! order is well-defined and re-sequencing by merged position keeps
+//! tie-breaking deterministic. `TrafficArrival` markers (key 0, one per
+//! pending injection) are dropped at merge and regenerated from
+//! `pending_injections` at restore, which keeps the marker↔FIFO
+//! correspondence intact across re-partitioning.
 //!
 //! The immutable parts — topology, engine configuration, routing
 //! algorithm, per-router agent seeds — are deliberately **not** stored;
@@ -27,15 +49,18 @@
 //! the full spec next to the engine state so a resume can verify it is
 //! rebuilding the same experiment.
 
-use crate::event::SchedulerCheckpoint;
+use crate::arena::PacketRef;
+use crate::event::{EventKind, SchedulerCheckpoint};
 use crate::fault::CompiledFault;
 use crate::injector::Injection;
 use crate::nic::NicState;
 use crate::packet::Packet;
 use crate::router::RouterState;
-use crate::sync::QueuedInjection;
+use crate::sync::{QueuedInjection, ShardPlan};
 use crate::time::SimTime;
-use crate::workload::NodeTask;
+use crate::workload::{NodeTask, WORKLOAD_ID_BIT, WORKLOAD_SEQ_BITS};
+use dragonfly_topology::ids::NodeId;
+use dragonfly_topology::{AnyTopology, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -98,7 +123,11 @@ pub struct ArenaCheckpoint {
     pub free: Vec<u32>,
 }
 
-/// Complete mutable state of the engine's single shard.
+/// Complete mutable state of the simulation in canonical
+/// single-shard-equivalent form (see the module docs): entity state in
+/// global id order, one merged event set, one packed arena. A
+/// single-shard engine's state already is this form; sharded engines
+/// reach it through [`merge_shards`] / [`split_for_plan`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ShardCheckpoint {
     /// The shard clock (time of the last processed event).
@@ -148,8 +177,249 @@ pub struct EngineCheckpoint {
     pub pending_injection: Option<Injection>,
     /// Mutable traffic-injector state.
     pub injector: InjectorCheckpoint,
-    /// The single shard's state.
+    /// The simulation state in canonical single-shard-equivalent form.
+    /// (The field name predates sharded checkpointing; v1/v2 files — which
+    /// were always single-shard — deserialise here unchanged.)
     pub shard: ShardCheckpoint,
+}
+
+/// Shard that owns an event's keyed entity under `plan`, or `None` for
+/// the `TrafficArrival` markers (which are regenerated from
+/// `pending_injections` at restore rather than carried across a
+/// re-partition).
+fn owner_shard(kind: &EventKind, plan: &ShardPlan, topo: &AnyTopology) -> Option<usize> {
+    match *kind {
+        EventKind::TrafficArrival => None,
+        EventKind::NicTryInject { node }
+        | EventKind::NicCredit { node }
+        | EventKind::TaskWake { node }
+        | EventKind::TaskRecv { node, .. }
+        | EventKind::DropNotice { node, .. }
+        | EventKind::NicResend { node, .. } => {
+            Some(plan.shard_of_router(topo.router_of_node(node)))
+        }
+        EventKind::RouterArrive { router, .. }
+        | EventKind::SwitchAttempt { router, .. }
+        | EventKind::OutputAttempt { router, .. }
+        | EventKind::CreditArrive { router, .. }
+        | EventKind::RlFeedback { router, .. } => Some(plan.shard_of_router(router)),
+    }
+}
+
+/// Shard that owns one `retry_counts` entry: keys are workload packet
+/// ids, which embed the source node (the retry bookkeeping lives with the
+/// shard owning that node's NIC).
+fn retry_owner(id: u64, plan: &ShardPlan, topo: &AnyTopology) -> usize {
+    debug_assert!(
+        id & WORKLOAD_ID_BIT != 0,
+        "retry_counts keys are workload packet ids"
+    );
+    let node = NodeId::from_index(((id & !WORKLOAD_ID_BIT) >> WORKLOAD_SEQ_BITS) as usize);
+    plan.shard_of_router(topo.router_of_node(node))
+}
+
+/// Rewrite every [`PacketRef`] reachable from one shard snapshot —
+/// router buffers in id order (inputs then outputs per router), NIC
+/// source queues in id order, then `RouterArrive` events in queue order —
+/// through `translate`. This walk order defines the canonical arena slot
+/// numbering; merge and split both use it, so it must never change
+/// without a format-version bump.
+fn map_refs(ck: &mut ShardCheckpoint, translate: &mut impl FnMut(PacketRef) -> PacketRef) {
+    for router in &mut ck.routers {
+        router.map_packet_refs(translate);
+    }
+    for nic in &mut ck.nics {
+        for r in nic.source_queue.iter_mut() {
+            *r = translate(*r);
+        }
+    }
+    for ev in &mut ck.queue.events {
+        if let EventKind::RouterArrive { packet, .. } = &mut ev.kind {
+            *packet = translate(*packet);
+        }
+    }
+}
+
+/// Merge N per-shard snapshots (ascending shard order, mailboxes already
+/// drained) into the canonical single-shard-equivalent form.
+///
+/// `now` is the engine clock (the window-boundary cut time `t_cap`): the
+/// per-shard clocks are partition-dependent (each shard's clock lags at
+/// its own last local event) and must not leak into the canonical form.
+/// Storing `t_cap` instead is safe everywhere the clock is read back:
+/// injections re-materialise at `time.max(now)` with every pending
+/// injection time beyond the cut, `run_window` re-derives per-event time,
+/// and fault quantization puts every unapplied fault at or beyond the cut.
+pub(crate) fn merge_shards(now: SimTime, shards: Vec<ShardCheckpoint>) -> ShardCheckpoint {
+    debug_assert!(!shards.is_empty());
+    let live_total: usize = shards
+        .iter()
+        .map(|s| s.arena.slots.len() - s.arena.free.len())
+        .sum();
+    debug_assert!(
+        shards
+            .windows(2)
+            .all(|w| w[0].fault_cursor == w[1].fault_cursor),
+        "fault cursors diverged across shards at a window boundary"
+    );
+
+    let mut merged = ShardCheckpoint {
+        now,
+        faults: shards[0].faults.clone(),
+        fault_cursor: shards[0].fault_cursor,
+        has_tasks: shards[0].has_tasks,
+        ..ShardCheckpoint::default()
+    };
+    let mut slots: Vec<Packet> = Vec::with_capacity(live_total);
+    let mut pending: Vec<QueuedInjection> = Vec::new();
+
+    for mut s in shards {
+        let shard_slots = std::mem::take(&mut s.arena.slots);
+        let mut translate = |r: PacketRef| -> PacketRef {
+            let canonical = PacketRef(slots.len() as u32);
+            slots.push(shard_slots[r.index()].clone());
+            canonical
+        };
+        map_refs(&mut s, &mut translate);
+
+        merged.generated += s.generated;
+        merged.injected += s.injected;
+        merged.delivered += s.delivered;
+        merged.dropped += s.dropped;
+        merged.retransmits += s.retransmits;
+        merged.routers.append(&mut s.routers);
+        merged.agents.append(&mut s.agents);
+        merged.nics.append(&mut s.nics);
+        merged.tasks.append(&mut s.tasks);
+        merged.queue.popped += s.queue.popped;
+        merged
+            .queue
+            .events
+            .extend(s.queue.events.into_iter().filter(|e| {
+                // Markers are regenerated from pending_injections at
+                // restore; carrying them would double-schedule.
+                !matches!(e.kind, EventKind::TrafficArrival)
+            }));
+        // Disjoint key spaces: each shard only tracks retries for the
+        // workload ids of its own source nodes.
+        merged.retry_counts.extend(s.retry_counts);
+        pending.extend(s.pending_injections);
+    }
+
+    // Entity-embedding keys make cross-shard `(time, key)` ties
+    // impossible, so the merged order is total and re-sequencing by
+    // merged position reproduces exactly the tie-break a single-shard
+    // run would have used.
+    merged
+        .queue
+        .events
+        .sort_unstable_by_key(|e| (e.time, e.key, e.seq));
+    for (i, ev) in merged.queue.events.iter_mut().enumerate() {
+        ev.seq = i as u64;
+    }
+    merged.queue.next_seq = merged.queue.events.len() as u64;
+
+    // Injections were distributed by the coordinator in global id order;
+    // ids are assigned sequentially, so sorting by id restores it.
+    pending.sort_unstable_by_key(|q| q.id);
+    merged.pending_injections = pending.into();
+
+    merged.arena = ArenaCheckpoint {
+        slots,
+        free: Vec::new(),
+    };
+    debug_assert_eq!(merged.arena.slots.len(), live_total);
+    merged
+}
+
+/// Split the canonical single-shard-equivalent snapshot into one
+/// [`ShardCheckpoint`] per shard of `plan` — the inverse of
+/// [`merge_shards`], for any target partition (including the identity
+/// single-shard plan).
+///
+/// Global counters and the pop counter are carried whole on shard 0:
+/// only their sums are observable (per-shard counter splits are a
+/// partition artifact, not simulation state). Event sequence numbers are
+/// kept canonical — per-shard queues share the canonical `next_seq`, so
+/// newly pushed events sequence after every restored one on any shard.
+pub(crate) fn split_for_plan(
+    canonical: &ShardCheckpoint,
+    plan: &ShardPlan,
+    topo: &AnyTopology,
+) -> Vec<ShardCheckpoint> {
+    let n = plan.num_shards();
+    (0..n)
+        .map(|k| {
+            let domains = plan.domains_of(k);
+            let routers = topo.router_range_of_domain(domains.start).start
+                ..topo.router_range_of_domain(domains.end - 1).end;
+            let nodes = topo.node_range_of_domain(domains.start).start
+                ..topo.node_range_of_domain(domains.end - 1).end;
+
+            let mut part = ShardCheckpoint {
+                now: canonical.now,
+                generated: if k == 0 { canonical.generated } else { 0 },
+                injected: if k == 0 { canonical.injected } else { 0 },
+                delivered: if k == 0 { canonical.delivered } else { 0 },
+                dropped: if k == 0 { canonical.dropped } else { 0 },
+                retransmits: if k == 0 { canonical.retransmits } else { 0 },
+                routers: canonical.routers[routers.clone()].to_vec(),
+                agents: canonical.agents[routers].to_vec(),
+                nics: canonical.nics[nodes.clone()].to_vec(),
+                queue: SchedulerCheckpoint {
+                    events: canonical
+                        .queue
+                        .events
+                        .iter()
+                        .filter(|e| owner_shard(&e.kind, plan, topo) == Some(k))
+                        .copied()
+                        .collect(),
+                    next_seq: canonical.queue.next_seq,
+                    popped: if k == 0 { canonical.queue.popped } else { 0 },
+                },
+                arena: ArenaCheckpoint::default(),
+                faults: canonical.faults.clone(),
+                fault_cursor: canonical.fault_cursor,
+                retry_counts: canonical
+                    .retry_counts
+                    .iter()
+                    .filter(|(id, _)| retry_owner(**id, plan, topo) == k)
+                    .map(|(id, c)| (*id, *c))
+                    .collect(),
+                pending_injections: canonical
+                    .pending_injections
+                    .iter()
+                    .filter(|inj| {
+                        plan.shard_of_router(topo.router_of_node(inj.src)) == k
+                    })
+                    .copied()
+                    .collect(),
+                tasks: if canonical.tasks.is_empty() {
+                    Vec::new()
+                } else {
+                    canonical.tasks[nodes].to_vec()
+                },
+                has_tasks: canonical.has_tasks,
+            };
+
+            // Re-allocate this shard's packets into a local arena by the
+            // canonical walk order (allocation order is deterministic and
+            // matches what a fresh run of this partition would produce:
+            // ascending slot indices, no free list).
+            let mut slots: Vec<Packet> = Vec::new();
+            let mut translate = |r: PacketRef| -> PacketRef {
+                let local = PacketRef(slots.len() as u32);
+                slots.push(canonical.arena.slots[r.index()].clone());
+                local
+            };
+            map_refs(&mut part, &mut translate);
+            part.arena = ArenaCheckpoint {
+                slots,
+                free: Vec::new(),
+            };
+            part
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,10 +435,10 @@ mod tests {
     use dragonfly_topology::ids::{NodeId, RouterId};
     use dragonfly_topology::Dragonfly;
 
-    /// A single-shard tiny-Dragonfly engine with deterministic scripted
-    /// traffic and a router kill/restore pair straddling the checkpoint
-    /// time used by the tests.
-    fn faulted_engine() -> Engine<CountingObserver> {
+    /// A tiny-Dragonfly engine in the given execution mode, with
+    /// deterministic scripted traffic and a router kill/restore pair
+    /// straddling the checkpoint time used by the tests.
+    fn faulted_engine_with(shards: crate::config::ShardKind, pipeline: bool) -> Engine<CountingObserver> {
         let topo = Dragonfly::new(DragonflyConfig::tiny());
         let n = topo.num_nodes() as u64;
         let script: Vec<Injection> = (0..600u64)
@@ -186,7 +456,9 @@ mod tests {
             })
             .collect();
         let algo = MinimalTestRouting;
-        let cfg = EngineConfig::paper(crate::routing::RoutingAlgorithm::num_vcs(&algo));
+        let mut cfg = EngineConfig::paper(crate::routing::RoutingAlgorithm::num_vcs(&algo));
+        cfg.shards = shards;
+        cfg.pipeline = pipeline;
         let mut engine = Engine::new(
             topo,
             cfg,
@@ -212,6 +484,132 @@ mod tests {
             ],
         });
         engine
+    }
+
+    /// The single-shard sequential fixture the original tests use.
+    fn faulted_engine() -> Engine<CountingObserver> {
+        faulted_engine_with(crate::config::ShardKind::Single, false)
+    }
+
+    /// Aggregate counters that are comparable across shard counts (the
+    /// full [`crate::EngineStats`] embeds per-shard drain state, which is
+    /// partition-dependent by construction).
+    fn global_counts(e: &Engine<CountingObserver>) -> (u64, u64, u64, u64, u64) {
+        let s = e.stats();
+        (
+            s.generated,
+            s.injected,
+            s.delivered,
+            s.dropped,
+            s.retransmits,
+        )
+    }
+
+    #[test]
+    fn sharded_checkpoint_resumes_bit_identically_at_any_shard_count() {
+        use crate::config::ShardKind;
+        // Uninterrupted single-shard reference.
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+        let ref_counts = global_counts(&reference);
+        let ref_obs = reference.merged_observer();
+        assert!(reference.stats().dropped > 0, "the router kill must bite");
+
+        // Checkpoint a 4-shard pipelined run mid-fault (kill applied,
+        // restore pending), then resume under every execution mode the
+        // acceptance matrix names: 1 shard sequential, 2 shards lockstep,
+        // 4 shards pipelined.
+        let mut first = faulted_engine_with(ShardKind::Fixed(4), true);
+        assert_eq!(first.num_shards(), 4);
+        first.run_until(90_000);
+        let obs_at_cut = first.merged_observer();
+        let ck = first.checkpoint();
+        assert_eq!(ck.shard.fault_cursor, 1, "kill applied, restore pending");
+        let json = serde_json::to_string(&ck).expect("checkpoint serializes");
+        let back: EngineCheckpoint = serde_json::from_str(&json).expect("checkpoint deserializes");
+
+        for (shards, pipeline) in [
+            (ShardKind::Single, false),
+            (ShardKind::Fixed(2), false),
+            (ShardKind::Fixed(4), true),
+        ] {
+            let mut resumed = faulted_engine_with(shards, pipeline);
+            resumed.restore(&back);
+            resumed.seed_observer(obs_at_cut);
+            resumed.run_to_drain(2_000_000);
+            assert_eq!(
+                global_counts(&resumed),
+                ref_counts,
+                "counters diverged resuming at {shards:?} pipeline={pipeline}"
+            );
+            assert_eq!(
+                resumed.now(),
+                reference.now(),
+                "finish time diverged at {shards:?} pipeline={pipeline}"
+            );
+            assert_eq!(
+                resumed.merged_observer(),
+                ref_obs,
+                "observer diverged at {shards:?} pipeline={pipeline}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_checkpoint_resumes_on_a_sharded_engine() {
+        use crate::config::ShardKind;
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+
+        let mut first = faulted_engine();
+        first.run_until(90_000);
+        let obs = *first.observer();
+        let ck = first.checkpoint();
+
+        let mut resumed = faulted_engine_with(ShardKind::Fixed(2), true);
+        resumed.restore(&ck);
+        resumed.seed_observer(obs);
+        resumed.run_to_drain(2_000_000);
+        assert_eq!(global_counts(&resumed), global_counts(&reference));
+        assert_eq!(resumed.merged_observer(), reference.merged_observer());
+    }
+
+    #[test]
+    fn legacy_checkpoints_with_stray_arrival_markers_still_restore() {
+        use crate::event::{Event, EventKind};
+        // Pre-v3 files restored their queue verbatim, so a file written
+        // by an older build may carry `TrafficArrival` markers (key 0).
+        // The v3 restore path strips markers and regenerates them from
+        // the pending-injection FIFO; a stray marker from a legacy file
+        // must therefore vanish rather than corrupt the resumed run.
+        let mut reference = faulted_engine();
+        reference.run_to_drain(2_000_000);
+
+        let mut first = faulted_engine();
+        first.run_until(90_000);
+        let obs = *first.observer();
+        let mut ck = first.checkpoint();
+        ck.shard.queue.events.insert(
+            0,
+            Event {
+                time: 100_000,
+                key: 0,
+                seq: ck.shard.queue.next_seq,
+                kind: EventKind::TrafficArrival,
+            },
+        );
+        ck.shard
+            .queue
+            .events
+            .sort_unstable_by_key(|e| (e.time, e.key, e.seq));
+        ck.shard.queue.next_seq += 1;
+
+        let mut resumed = faulted_engine();
+        resumed.restore(&ck);
+        *resumed.observer_mut() = obs;
+        resumed.run_to_drain(2_000_000);
+        assert_eq!(global_counts(&resumed), global_counts(&reference));
+        assert_eq!(*resumed.observer(), *reference.observer());
     }
 
     #[test]
@@ -252,7 +650,7 @@ mod tests {
         let mut reference = faulted_engine();
         reference.run_to_drain(2_000_000);
 
-        let first = faulted_engine();
+        let mut first = faulted_engine();
         let ck = first.checkpoint();
         let mut resumed = faulted_engine();
         resumed.restore(&ck);

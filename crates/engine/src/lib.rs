@@ -213,16 +213,23 @@
 //!
 //! ## Checkpoint / resume
 //!
-//! A single-shard engine can snapshot its complete mutable state between
-//! runs ([`engine::Engine::checkpoint`] / [`engine::Engine::restore`],
-//! state shapes in [`checkpoint`]): router buffers, NIC queues, the packet
+//! The engine can snapshot its complete mutable state between runs under
+//! **any execution mode** — sharded, pipelined or sequential
+//! ([`engine::Engine::checkpoint`] / [`engine::Engine::restore`], state
+//! shapes in [`checkpoint`]): router buffers, NIC queues, the packet
 //! arena, the pending event set *with its sequence counters* (so
 //! tie-breaks replay identically), fault cursor, task programs, agent
-//! RNG/Q-table state and the injector position. Restoring into a freshly
-//! built engine resumes **bit-for-bit**: the resumed run is
-//! indistinguishable from the uninterrupted one, which the
-//! `checkpoint_resume` differential suite in `dragonfly-sim` pins at
-//! full-report equality.
+//! RNG/Q-table state and the injector position. Snapshots are taken at a
+//! window boundary, which is a globally consistent cut (no cross-shard
+//! message is in flight), and are normalized to a canonical
+//! **single-shard-equivalent form** that is independent of the partition
+//! that produced it: a checkpoint taken at `shards = N` restores onto an
+//! engine running `shards = M` for any `M`, pipeline on or off.
+//! Restoring into a freshly built engine resumes **bit-for-bit**: the
+//! resumed run is indistinguishable from the uninterrupted one, which
+//! the `checkpoint_resume` differential suite in `dragonfly-sim` pins at
+//! full-report equality across shard counts, pipeline modes and all
+//! three fabrics.
 //!
 //! ## Who plugs in what
 //!

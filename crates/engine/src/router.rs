@@ -293,6 +293,27 @@ impl RouterState {
         self.input.iter().map(|q| q.len()).sum::<usize>()
             + self.output.iter().map(|q| q.len()).sum::<usize>()
     }
+
+    /// Rewrite every buffered [`PacketRef`] in place, visiting input
+    /// cells then output cells in `(port, vc)` index order.
+    ///
+    /// This deterministic walk order is part of the checkpoint format:
+    /// merging shard snapshots into one canonical arena (and splitting it
+    /// back) re-numbers packet slots by walking routers in id order with
+    /// exactly this visitor, so the walk must enumerate refs the same way
+    /// on both sides.
+    pub fn map_packet_refs(&mut self, f: &mut impl FnMut(PacketRef) -> PacketRef) {
+        for cell in &mut self.input {
+            for r in cell.iter_mut() {
+                *r = f(*r);
+            }
+        }
+        for cell in &mut self.output {
+            for r in cell.iter_mut() {
+                *r = f(*r);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

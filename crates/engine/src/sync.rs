@@ -355,6 +355,22 @@ impl MailGrid {
     pub fn is_empty_for(&self, dst: usize) -> bool {
         self.bound_for[dst].load(Ordering::Acquire) == 0
     }
+
+    /// Heap footprint of the grid in bytes: the retained capacity of
+    /// every mailbox of **both** parities (double-buffered mailboxes stay
+    /// allocated at their high-water mark between windows) plus the
+    /// per-destination packet counters. Part of the engine's
+    /// `memory_bytes` residency rollup.
+    pub fn memory_bytes(&self) -> usize {
+        let mailboxes: usize = self
+            .boxes
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|b| b.lock().capacity() * std::mem::size_of::<ShardMsg>())
+            .sum();
+        mailboxes + self.bound_for.len() * std::mem::size_of::<AtomicU64>()
+    }
 }
 
 /// The shared frontier of the pipelined window loop — conceptually a
@@ -395,6 +411,15 @@ impl WindowDeque {
             completed: (0..n).map(|_| AtomicU64::new(0)).collect(),
             done: AtomicBool::new(false),
         }
+    }
+
+    /// Heap + inline footprint in bytes of the frontier state a pipelined
+    /// run keeps live for `n` shards (the per-shard completion counters
+    /// plus the fixed scalars). A fresh `WindowDeque` is built per epoch,
+    /// so this is the steady-state residency, not a high-water mark; used
+    /// by the engine's `memory_bytes` rollup.
+    pub fn memory_bytes_for(n: usize) -> usize {
+        std::mem::size_of::<Self>() + n * std::mem::size_of::<AtomicU64>()
     }
 
     /// The window length (ns).

@@ -382,17 +382,20 @@ impl SimulationBuilder {
     /// resume from an earlier capture — the machinery behind the CLI's
     /// `--checkpoint-every` and `--resume-from` flags.
     ///
-    /// Both features require a single-shard engine: sharded state is
-    /// spread across per-shard arenas and mailboxes, and determinism makes
-    /// a sharded re-run from zero equivalent anyway. A sharded
-    /// configuration is reported as a contextual error, never a panic.
+    /// Works on any engine configuration — sequential, sharded, or
+    /// pipelined. Each step boundary is a globally consistent cut (every
+    /// shard completes its windows up to the boundary before the engine
+    /// returns), and the snapshot is stored in canonical
+    /// partition-independent form, so a checkpoint taken at `shards = N`
+    /// resumes bit-identically at `shards = M` for any `M`, pipeline on
+    /// or off.
     ///
-    /// `sink` receives the engine snapshot and the collector at every
-    /// `checkpoint_every_ns` boundary strictly before the end of the run.
-    /// When `resume` is given, the engine and collector are restored
-    /// before running; the continued run is bit-for-bit identical to an
-    /// uninterrupted one (pinned by the `checkpoint_resume` differential
-    /// suite).
+    /// `sink` receives the engine snapshot and the merged collector at
+    /// every `checkpoint_every_ns` boundary strictly before the end of
+    /// the run. When `resume` is given, the engine and collector are
+    /// restored before running; the continued run is bit-for-bit
+    /// identical to an uninterrupted one (pinned by the
+    /// `checkpoint_resume` differential suite).
     pub fn run_resumable(
         self,
         resume: Option<(
@@ -404,17 +407,9 @@ impl SimulationBuilder {
     ) -> Result<SimulationReport, String> {
         let started = Instant::now();
         let mut engine = self.build_engine();
-        if engine.num_shards() != 1 {
-            return Err(format!(
-                "checkpoint/resume requires a single-shard engine (this run has {} \
-                 shards): drop --shards/--pipeline or set shards = 1; a sharded \
-                 re-run from the start produces identical results",
-                engine.num_shards()
-            ));
-        }
         if let Some((ck, collector)) = resume {
             engine.restore(ck);
-            *engine.observer_mut() = collector.clone();
+            engine.seed_observer(collector.clone());
         }
         let total = self.total_ns();
         match checkpoint_every_ns {
@@ -436,7 +431,9 @@ impl SimulationBuilder {
                         break;
                     }
                     if t < total {
-                        sink(&engine.checkpoint(), engine.observer());
+                        let snapshot = engine.checkpoint();
+                        let observer = engine.merged_observer();
+                        sink(&snapshot, &observer);
                     }
                 }
             }

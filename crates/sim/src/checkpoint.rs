@@ -20,21 +20,32 @@
 use crate::collector::MetricsCollector;
 use crate::spec::{ExperimentSpec, SpecError};
 use dragonfly_engine::checkpoint::EngineCheckpoint;
-use serde::{Deserialize, Serialize};
+use dragonfly_engine::EngineConfig;
+use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// Format tag stored in every checkpoint file. Bump when any serialized
 /// layout changes incompatibly.
 ///
-/// v2 adds the bounded-memory state: streaming latency-sketch bins in the
-/// collector and sparse (`q_rows`-keyed) paged Q-table rows in agent
+/// v2 added the bounded-memory state: streaming latency-sketch bins in
+/// the collector and sparse (`q_rows`-keyed) paged Q-table rows in agent
 /// snapshots.
-pub const CHECKPOINT_VERSION: &str = "qadaptive-checkpoint-v2";
+///
+/// v3 generalises the engine snapshot to the canonical
+/// single-shard-equivalent form (see `dragonfly_engine::checkpoint`):
+/// sharded and pipelined runs checkpoint too, and a snapshot taken at
+/// `shards = N` resumes at any `shards = M`. The serialized layout is
+/// unchanged — earlier files were always single-shard, which *is* the
+/// canonical form — but v3 resumes no longer require the execution-mode
+/// knobs (shards, pipeline, scheduler, Q-table paging threshold) of the
+/// checkpointing run, so the version tag records the semantic change.
+pub const CHECKPOINT_VERSION: &str = "qadaptive-checkpoint-v3";
 
 /// Older format tags this build still reads. Every field added since v1
 /// is `#[serde(default)]`-compatible (exact-mode sketches, dense Q-table
-/// rows), so a v1 file deserializes into the current layout unchanged.
-pub const COMPATIBLE_VERSIONS: &[&str] = &["qadaptive-checkpoint-v1"];
+/// rows), and v2 files are already in the canonical single-shard form v3
+/// expects, so both tags deserialize into the current layout unchanged.
+pub const COMPATIBLE_VERSIONS: &[&str] = &["qadaptive-checkpoint-v1", "qadaptive-checkpoint-v2"];
 
 /// A complete, self-contained snapshot of a running experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -83,35 +94,136 @@ impl RunCheckpoint {
         Ok(ck)
     }
 
-    /// Write the checkpoint to a file.
+    /// Write the checkpoint to a file, atomically: the bytes go to a
+    /// temporary file in the same directory, which is renamed over the
+    /// final path only once fully written. A crash mid-write (power
+    /// loss, kill -9) therefore never leaves a truncated snapshot at the
+    /// path a later `--resume-from` will read — the old snapshot (if
+    /// any) survives intact and at worst a stale `.tmp` file remains.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SpecError> {
         let path = path.as_ref();
-        std::fs::write(path, self.to_json())
-            .map_err(|e| SpecError(format!("cannot write checkpoint {}: {e}", path.display())))
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| SpecError(format!("checkpoint path {} has no file name", path.display())))?;
+        let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| SpecError(format!("cannot write checkpoint {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SpecError(format!(
+                "cannot move checkpoint into place at {}: {e}",
+                path.display()
+            ))
+        })
     }
 
-    /// Read a checkpoint from a file.
+    /// Read a checkpoint from a file. Both I/O and parse failures name
+    /// the offending file, so a truncated or corrupted snapshot yields a
+    /// clean contextual error rather than a panic.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SpecError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| SpecError(format!("cannot read checkpoint {}: {e}", path.display())))?;
         Self::from_json(&text)
+            .map_err(|e| SpecError(format!("checkpoint {}: {}", path.display(), e.0)))
     }
 
-    /// Verify that `spec` is the experiment this checkpoint was taken
-    /// from. The engine snapshot only stores state the spec cannot
-    /// rebuild, so resuming under a different spec would silently mix two
-    /// experiments; the comparison is on the canonical JSON encoding.
+    /// Verify that `spec` describes the same experiment this checkpoint
+    /// was taken from. The engine snapshot only stores state the spec
+    /// cannot rebuild, so resuming under a different spec would silently
+    /// mix two experiments.
+    ///
+    /// Execution-mode knobs — shard count, pipelining, event-scheduler
+    /// kind, Q-table paging threshold — are deliberately **excluded**
+    /// from the comparison: the snapshot is partition-independent, and
+    /// resuming a `shards = N` checkpoint at `shards = M` is part of the
+    /// v3 contract. Everything else must match exactly; the error names
+    /// the first mismatched field.
     pub fn check_spec_matches(&self, spec: &ExperimentSpec) -> Result<(), SpecError> {
-        if self.spec.to_json() != spec.to_json() {
+        let ours = resume_relevant(&self.spec).to_value();
+        let theirs = resume_relevant(spec).to_value();
+        if let Some(diff) = first_diff("spec", &ours, &theirs) {
             return Err(SpecError(format!(
                 "checkpoint was taken from experiment {:?}, which differs from the \
-                 requested experiment {:?}: resume with the same scenario file, seed \
-                 and engine overrides as the checkpointing run",
+                 requested experiment {:?} at {diff}; resume with the same scenario \
+                 file, seed and overrides (execution-mode knobs — shards, pipeline, \
+                 scheduler — may differ)",
                 self.spec.name, spec.name
             )));
         }
         Ok(())
+    }
+}
+
+/// The spec with every execution-mode knob reset to its default: two
+/// specs that agree on this projection describe the same simulation
+/// (engine determinism makes shard count, pipelining and scheduler kind
+/// unobservable), so resume accepts them interchangeably. A fully
+/// default engine block collapses to `None`, since CLI overrides
+/// materialise a default block just to set a knob on it.
+fn resume_relevant(spec: &ExperimentSpec) -> ExperimentSpec {
+    let mut s = spec.clone();
+    if let Some(engine) = &mut s.engine {
+        let defaults = EngineConfig::default();
+        engine.scheduler = defaults.scheduler;
+        engine.shards = defaults.shards;
+        engine.pipeline = defaults.pipeline;
+        engine.qtable_page_rows_threshold = defaults.qtable_page_rows_threshold;
+        if *engine == defaults {
+            s.engine = None;
+        }
+    }
+    s
+}
+
+/// First leaf where two JSON values disagree, as a dotted path rooted at
+/// `path`, or `None` when equal. Drives the spec-mismatch message: naming
+/// the exact field beats asking the user to diff two TOML files.
+fn first_diff(path: &str, a: &Value, b: &Value) -> Option<String> {
+    match (a, b) {
+        (Value::Map(ea), Value::Map(eb)) => {
+            for (k, va) in ea {
+                match eb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => {
+                        if let Some(d) = first_diff(&format!("{path}.{k}"), va, vb) {
+                            return Some(d);
+                        }
+                    }
+                    None => {
+                        return Some(format!(
+                            "{path}.{k} (set in the checkpoint, absent in the request)"
+                        ))
+                    }
+                }
+            }
+            eb.iter()
+                .find(|(k, _)| !ea.iter().any(|(ka, _)| ka == k))
+                .map(|(k, _)| format!("{path}.{k} (absent in the checkpoint, set in the request)"))
+        }
+        (Value::Seq(sa), Value::Seq(sb)) => {
+            if sa.len() != sb.len() {
+                return Some(format!(
+                    "{path} (length {} in the checkpoint vs {} requested)",
+                    sa.len(),
+                    sb.len()
+                ));
+            }
+            sa.iter()
+                .zip(sb)
+                .enumerate()
+                .find_map(|(i, (va, vb))| first_diff(&format!("{path}[{i}]"), va, vb))
+        }
+        _ => {
+            if a == b {
+                None
+            } else {
+                Some(format!(
+                    "{path} ({} in the checkpoint vs {} requested)",
+                    serde_json::to_string(a).unwrap_or_default(),
+                    serde_json::to_string(b).unwrap_or_default()
+                ))
+            }
+        }
     }
 }
 
@@ -165,6 +277,17 @@ mod tests {
     }
 
     #[test]
+    fn v2_checkpoints_are_still_accepted() {
+        // v2 files are already in the canonical single-shard form the v3
+        // restore path expects, so the tag stays readable too.
+        let mut ck = sample();
+        ck.version = "qadaptive-checkpoint-v2".to_string();
+        let back = RunCheckpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(back.version, "qadaptive-checkpoint-v2");
+        assert_eq!(back.engine.shard.generated, 5);
+    }
+
+    #[test]
     fn spec_mismatch_is_rejected_with_both_names() {
         let ck = sample();
         let mut other = spec();
@@ -174,6 +297,73 @@ mod tests {
             err.0.contains("ck-test"),
             "error names the experiments: {err}"
         );
+        assert!(
+            err.0.contains("spec.seed"),
+            "error names the mismatched field: {err}"
+        );
+    }
+
+    #[test]
+    fn execution_mode_overrides_do_not_block_resume() {
+        // The v3 contract: a resume may change shards / pipeline /
+        // scheduler / paging threshold freely — only knobs that alter the
+        // simulated experiment must match.
+        use dragonfly_engine::config::ShardKind;
+        let ck = sample(); // engine: None
+        let mut other = spec();
+        other.engine = Some(EngineConfig {
+            shards: ShardKind::Fixed(4),
+            pipeline: true,
+            ..Default::default()
+        });
+        ck.check_spec_matches(&other).unwrap();
+
+        // But an engine knob that changes physics still trips the guard.
+        let mut physical = spec();
+        physical.engine = Some(EngineConfig {
+            local_latency_ns: 99,
+            ..Default::default()
+        });
+        let err = ck.check_spec_matches(&physical).unwrap_err();
+        assert!(
+            err.0.contains("spec.engine"),
+            "error names the engine block: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_a_contextual_error_naming_the_path() {
+        let dir = std::env::temp_dir().join("qadaptive-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ckpt.json");
+        let mut text = sample().to_json();
+        text.truncate(text.len() / 2); // simulate a torn non-atomic write
+        std::fs::write(&path, text).unwrap();
+        let err = RunCheckpoint::load(&path).unwrap_err();
+        assert!(
+            err.0.contains("truncated.ckpt.json") && err.0.contains("malformed"),
+            "error names the file and the cause: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_overwrites_cleanly() {
+        let dir = std::env::temp_dir().join("qadaptive-ck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.ckpt.json");
+        let tmp = dir.join("atomic.ckpt.json.tmp");
+
+        // First write, then overwrite with a different snapshot — the
+        // rename must replace the old file and leave no temp file behind.
+        sample().save(&path).unwrap();
+        let mut second = sample();
+        second.engine.now = 456;
+        second.save(&path).unwrap();
+        assert!(!tmp.exists(), "temp file must not survive a save");
+        let back = RunCheckpoint::load(&path).unwrap();
+        assert_eq!(back.engine.now, 456);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

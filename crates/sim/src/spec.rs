@@ -340,8 +340,10 @@ impl ExperimentSpec {
     /// Run with checkpoint/resume support (the CLI's `--checkpoint-every`
     /// / `--resume-from`): verifies a given `resume` checkpoint belongs to
     /// this spec, restores it, and hands a fresh [`RunCheckpoint`] to
-    /// `sink` every `checkpoint_every_ns` of simulated time. Requires a
-    /// single-shard engine configuration.
+    /// `sink` every `checkpoint_every_ns` of simulated time. Works under
+    /// any engine configuration — snapshots are partition-independent, so
+    /// the checkpointing and resuming runs may use different shard counts
+    /// and pipeline settings.
     pub fn run_checkpointed(
         &self,
         resume: Option<&RunCheckpoint>,

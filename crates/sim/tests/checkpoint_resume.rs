@@ -174,20 +174,185 @@ fn streaming_sketch_and_paged_tables_survive_resume() {
     pin_resume_equals_uninterrupted(&spec, 9_000, "streaming+paged");
 }
 
-#[test]
-fn sharded_runs_refuse_to_checkpoint_with_context() {
-    let mut spec = openloop_spec(RoutingSpec::UgalG, 43);
-    spec.engine = Some(EngineConfig {
-        shards: ShardKind::Fixed(2),
-        ..Default::default()
-    });
-    let err = spec
-        .run_checkpointed(None, Some(10_000), |_| {})
-        .expect_err("sharded checkpointing must be rejected");
+/// Override only the execution mode (shards × pipeline) of a spec,
+/// keeping any other engine knobs it already carries.
+fn with_engine(mut spec: ExperimentSpec, shards: ShardKind, pipeline: bool) -> ExperimentSpec {
+    let mut engine = spec.engine.unwrap_or_default();
+    engine.shards = shards;
+    engine.pipeline = pipeline;
+    spec.engine = Some(engine);
+    spec
+}
+
+/// The v3 contract: snapshots are partition-independent, so a checkpoint
+/// taken under `take` must resume bit-identically under **any** execution
+/// mode. Runs the stepped (checkpointing) pass under `take`, then resumes
+/// every collected snapshot under each mode in `resume_modes`, comparing
+/// all of them against the uninterrupted reference.
+fn pin_sharded_matrix(
+    base: &ExperimentSpec,
+    every_ns: u64,
+    take: (ShardKind, bool),
+    resume_modes: &[(ShardKind, bool)],
+    label: &str,
+) {
+    let reference = base.run();
     assert!(
-        err.0.contains("single-shard") && err.0.contains("2 shards"),
-        "error explains the restriction: {err}"
+        reference.packets_delivered > 100,
+        "{label}: workload too small to pin anything"
     );
+
+    let stepped_spec = with_engine(base.clone(), take.0, take.1);
+    let mut checkpoints: Vec<RunCheckpoint> = Vec::new();
+    let stepped = stepped_spec
+        .run_checkpointed(None, Some(every_ns), |ck| checkpoints.push(ck))
+        .expect("sharded stepped run succeeds");
+    assert_reports_identical(&reference, &stepped, &format!("{label}: stepped vs plain"));
+    assert!(
+        checkpoints.len() >= 2,
+        "{label}: expected several mid-run checkpoints, got {}",
+        checkpoints.len()
+    );
+
+    for (i, ck) in checkpoints.iter().enumerate() {
+        let ck = RunCheckpoint::from_json(&ck.to_json()).expect("round trip");
+        for &(shards, pipeline) in resume_modes {
+            let resumed = with_engine(base.clone(), shards, pipeline)
+                .run_checkpointed(Some(&ck), None, |_| {})
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{label}: resume from checkpoint {i} at \
+                         {shards:?}/pipeline={pipeline} failed: {e}"
+                    )
+                });
+            assert_reports_identical(
+                &reference,
+                &resumed,
+                &format!("{label}: checkpoint {i} resumed at {shards:?}/pipeline={pipeline}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_pipelined_checkpoint_resumes_at_any_shard_count() {
+    // The acceptance matrix from the issue: a snapshot taken at
+    // `--shards 4 --pipeline` (including one straddling the fault window)
+    // resumes bit-identically at shards 1, at shards 2 without the
+    // pipeline, and at shards 4 with it. The resume specs differ from the
+    // checkpointing spec only in execution-mode knobs, which the spec
+    // guard deliberately ignores.
+    let base = openloop_spec(RoutingSpec::UgalG, 43);
+    pin_sharded_matrix(
+        &base,
+        12_000,
+        (ShardKind::Fixed(4), true),
+        &[
+            (ShardKind::Single, false),
+            (ShardKind::Fixed(2), false),
+            (ShardKind::Fixed(4), true),
+        ],
+        "sharded matrix ugal+faults",
+    );
+}
+
+#[test]
+fn sharded_qadaptive_checkpoint_resumes_across_modes() {
+    // Q-adaptive adds per-router learning state and cross-shard RL
+    // feedback; the snapshot must stay partition-independent with it on.
+    let base = openloop_spec(RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 48);
+    pin_sharded_matrix(
+        &base,
+        15_000,
+        (ShardKind::Fixed(2), true),
+        &[(ShardKind::Single, false), (ShardKind::Fixed(4), true)],
+        "sharded matrix qadaptive+faults",
+    );
+}
+
+#[test]
+fn sharded_checkpoints_are_fabric_generic() {
+    // The consistent cut is topology-generic: locality domains are
+    // fat-tree pods or HyperX rows instead of Dragonfly groups, and the
+    // sharded snapshot must still resume exactly under a different mode.
+    use dragonfly_topology::{FatTreeConfig, HyperXConfig, TopologySpec};
+    let topologies: Vec<TopologySpec> = vec![
+        FatTreeConfig { k: 4 }.into(),
+        HyperXConfig {
+            p: 2,
+            rows: 4,
+            cols: 4,
+        }
+        .into(),
+    ];
+    for topology in topologies {
+        let base = ExperimentSpec {
+            name: format!("ck-fabric-{topology:?}"),
+            topology,
+            routing: RoutingSpec::UgalG,
+            traffic: TrafficSpec::UniformRandom,
+            workload: None,
+            load: Some(0.3),
+            schedule: None,
+            warmup_ns: 12_000,
+            measure_ns: 20_000,
+            tail_ns: 4_000,
+            seed: Some(47),
+            series_bin_ns: None,
+            engine: None,
+            faults: vec![
+                FaultSpecEntry::router_down(25.0, 1),
+                FaultSpecEntry::router_up(40.0, 1),
+            ],
+            metrics: None,
+        };
+        let label = format!("fabric {:?}", base.topology);
+        pin_sharded_matrix(
+            &base,
+            10_000,
+            (ShardKind::Fixed(2), true),
+            &[(ShardKind::Single, false), (ShardKind::Fixed(4), true)],
+            &label,
+        );
+    }
+}
+
+#[test]
+fn sharded_closedloop_resume_preserves_midcollective_state() {
+    // Mid-collective task state (pending ranks, NIC retransmit timers,
+    // retry counters) snapshotted under shards=2+pipeline must resume
+    // exactly at shards 1 and 4. Only the first and last snapshots are
+    // resumed — the closed-loop run is long and the openloop matrix
+    // already sweeps every snapshot.
+    let base = closedloop_spec(8);
+    let reference = base.run();
+    assert!(
+        reference.retransmits > 0,
+        "the mid-collective router kill must force retransmissions"
+    );
+
+    let stepped_spec = with_engine(base.clone(), ShardKind::Fixed(2), true);
+    let mut checkpoints: Vec<RunCheckpoint> = Vec::new();
+    let stepped = stepped_spec
+        .run_checkpointed(None, Some(20_000), |ck| checkpoints.push(ck))
+        .expect("sharded closed-loop stepped run succeeds");
+    assert_reports_identical(&reference, &stepped, "closedloop sharded: stepped vs plain");
+    assert!(checkpoints.len() >= 2, "expected several snapshots");
+
+    let picks = [0, checkpoints.len() - 1];
+    for &i in &picks {
+        let ck = RunCheckpoint::from_json(&checkpoints[i].to_json()).expect("round trip");
+        for (shards, pipeline) in [(ShardKind::Single, false), (ShardKind::Fixed(4), true)] {
+            let resumed = with_engine(base.clone(), shards, pipeline)
+                .run_checkpointed(Some(&ck), None, |_| {})
+                .unwrap_or_else(|e| panic!("closedloop resume {i} at {shards:?} failed: {e}"));
+            assert_reports_identical(
+                &reference,
+                &resumed,
+                &format!("closedloop sharded: checkpoint {i} at {shards:?}/{pipeline}"),
+            );
+        }
+    }
 }
 
 #[test]

@@ -279,11 +279,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(Error::msg)?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole unescaped run in one go. The input
+                    // arrived as `&str`, and the run is delimited by ASCII
+                    // bytes (`"` / `\`), so the slice sits on character
+                    // boundaries and validates in a single linear pass —
+                    // re-validating from `pos` to the end of the input for
+                    // every character would make large documents quadratic.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::msg)?,
+                    );
                 }
             }
         }
