@@ -1,0 +1,161 @@
+//! Criterion benchmarks of the three scale-path hot spots this repo
+//! optimises: paged-vs-dense Q-table access (the per-decision routing
+//! cost at 100k-node scale), content-derived event-key computation (paid
+//! once per scheduled event), and the binary-vs-JSON snapshot codec
+//! (paid once per checkpoint interval on a multi-gigabyte state).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dragonfly_engine::event::{event_key, EventKind};
+use dragonfly_routing::RoutingSpec;
+use dragonfly_sim::checkpoint::RunCheckpoint;
+use dragonfly_sim::spec::ExperimentSpec;
+use dragonfly_topology::config::DragonflyConfig;
+use dragonfly_topology::ids::{NodeId, Port, RouterId};
+use dragonfly_traffic::TrafficSpec;
+use qadaptive_core::paged::{InitFn, PagedQTable};
+use qadaptive_core::table::QValueTable;
+use qadaptive_core::QTable;
+use std::sync::Arc;
+
+// A scale-representative table shape: the two-level rows (g·p) of one
+// router in a system two orders of magnitude past the paper's 1,056
+// nodes, with a realistic fabric radix for the columns.
+const ROWS: usize = 26_048;
+const COLS: usize = 36;
+
+fn init_fn() -> InitFn {
+    Arc::new(|row, col| ((row * 31 + col * 17) % 97) as f64 + 1.0)
+}
+
+/// A paged table with a realistically sparse write set (a few hundred
+/// destinations actually learned, the rest untouched), and its dense twin.
+fn tables() -> (PagedQTable, QTable) {
+    let f = init_fn();
+    let mut paged = PagedQTable::new(ROWS, COLS, f.clone());
+    let dense = QTable::from_fn(ROWS, COLS, |r, c| f(r.index(), c));
+    let mut x = 9u64;
+    for _ in 0..400 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        paged.set((x >> 33) as usize % ROWS, (x >> 17) as usize % COLS, 0.5);
+    }
+    (paged, dense)
+}
+
+fn bench_paged_vs_dense(c: &mut Criterion) {
+    let (paged, dense) = tables();
+    let mut group = c.benchmark_group("paged/best_in_row");
+    group.bench_function("dense_26kx36", |b| {
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % ROWS;
+            black_box(dense.best_in_row(black_box(row)))
+        })
+    });
+    // Random rows: mostly untouched, answered from the init-row cache.
+    group.bench_function("paged_26kx36_sparse", |b| {
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % ROWS;
+            black_box(paged.best_in_row(black_box(row)))
+        })
+    });
+    // The routing-decision access burst on one untouched row: a
+    // `best_in_row` followed by a `get` per column (near-tie detection).
+    // This is the pattern the init-row cache exists for.
+    group.bench_function("paged_decision_burst_untouched_row", |b| {
+        let mut row = 1usize;
+        b.iter(|| {
+            row = (row + 2) % ROWS;
+            let (best, _) = paged.best_in_row(black_box(row));
+            let mut acc = 0.0;
+            for c in 0..COLS {
+                acc += paged.get(row, c);
+            }
+            black_box((best, acc))
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_key(c: &mut Criterion) {
+    let kinds = [
+        EventKind::NicCredit {
+            node: NodeId(7_321),
+        },
+        EventKind::SwitchAttempt {
+            router: RouterId(4_401),
+            port: Port(17),
+            vc: 2,
+        },
+        EventKind::CreditArrive {
+            router: RouterId(900),
+            port: Port(3),
+            vc: 1,
+        },
+        EventKind::TaskRecv {
+            node: NodeId(12),
+            src: NodeId(55_000),
+        },
+    ];
+    c.bench_function("event/key_computation", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % kinds.len();
+            black_box(event_key(black_box(&kinds[i])))
+        })
+    });
+}
+
+/// A real (small) run checkpoint with learned Q-state, so the codec sees
+/// the same shape — float-heavy `q_values`, varint-friendly counters —
+/// the 110k-node snapshot has, at a size criterion can iterate on.
+fn sample_checkpoint() -> RunCheckpoint {
+    let spec = ExperimentSpec {
+        name: "bench-snapshot-codec".to_string(),
+        topology: DragonflyConfig::paper_1056().into(),
+        routing: RoutingSpec::QAdaptive(Default::default()),
+        traffic: TrafficSpec::UniformRandom,
+        workload: None,
+        load: Some(0.3),
+        schedule: None,
+        warmup_ns: 0,
+        measure_ns: 30_000,
+        tail_ns: 0,
+        seed: Some(5),
+        series_bin_ns: None,
+        engine: None,
+        faults: vec![],
+        metrics: None,
+    };
+    let mut last = None;
+    spec.run_checkpointed(None, Some(15_000), |ck| last = Some(ck))
+        .expect("the sample run succeeds");
+    last.expect("the run produced at least one checkpoint")
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let ck = sample_checkpoint();
+    let json = ck.to_json();
+    let binary = ck.to_binary();
+    let mut group = c.benchmark_group("snapshot/codec");
+    group.sample_size(20);
+    group.bench_function("encode_json", |b| b.iter(|| black_box(ck.to_json())));
+    group.bench_function("encode_binary", |b| b.iter(|| black_box(ck.to_binary())));
+    group.bench_function("decode_json", |b| {
+        b.iter(|| black_box(RunCheckpoint::from_json(black_box(&json)).unwrap()))
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| black_box(RunCheckpoint::from_binary(black_box(&binary)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paged_vs_dense,
+    bench_event_key,
+    bench_snapshot_codec
+);
+criterion_main!(benches);

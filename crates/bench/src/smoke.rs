@@ -47,6 +47,32 @@ pub struct SchedulerBench {
     pub events: u64,
 }
 
+/// Size and save/load timing of one scale-leg checkpoint in both on-disk
+/// encodings (the `qadaptive-checkpoint-v4` binary codec vs v3 JSON),
+/// measured through the real file path (`RunCheckpoint::save_format` /
+/// `RunCheckpoint::load`) on the 110k-node snapshot.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SnapshotBench {
+    /// Bytes of the JSON (v3) file.
+    pub json_bytes: u64,
+    /// Bytes of the binary (v4) file.
+    pub binary_bytes: u64,
+    /// `json_bytes / binary_bytes` — how much smaller binary is.
+    pub size_ratio: f64,
+    /// Wall-clock seconds to save the JSON file.
+    pub json_save_s: f64,
+    /// Wall-clock seconds to save the binary file.
+    pub binary_save_s: f64,
+    /// Wall-clock seconds to load (read + parse) the JSON file.
+    pub json_load_s: f64,
+    /// Wall-clock seconds to load (read + parse) the binary file.
+    pub binary_load_s: f64,
+    /// `json_save_s / binary_save_s`.
+    pub save_speedup: f64,
+    /// `json_load_s / binary_load_s`.
+    pub load_speedup: f64,
+}
+
 /// The full smoke-benchmark record (the `BENCH_PR2.json` schema).
 ///
 /// The top-level `events_per_sec` / `wall_s` / `events` fields describe the
@@ -152,6 +178,18 @@ pub struct SmokeBench {
     /// streamed percentiles are meaningless if nothing arrived).
     #[serde(default)]
     pub scale_delivered: u64,
+    /// Binary-vs-JSON checkpoint codec comparison on a 110k-node
+    /// snapshot (zeroed in pre-PR10 baselines).
+    #[serde(default)]
+    pub snapshot: SnapshotBench,
+    /// True when the host had fewer CPUs than the sharded legs have
+    /// shards, so the lockstep windows serialised and `shard_speedup` /
+    /// `pipeline_speedup` measure **sharding overhead only**, not
+    /// parallel speedup. Recorded so a 1-CPU host's 0.8x "speedup" is
+    /// never mistaken for a parallelism regression (false in pre-PR10
+    /// baselines, including those recorded on small hosts).
+    #[serde(default)]
+    pub speedups_overhead_only: bool,
 }
 
 /// Quick-mode measurement window (simulated ns) — also used by the
@@ -375,6 +413,59 @@ fn run_scale(quick: bool, shards: usize, seed: u64) -> (SchedulerBench, usize, u
     )
 }
 
+/// Capture one mid-run checkpoint of the (quick) scale workload and
+/// measure both on-disk encodings through the real save/load path. The
+/// quick configuration is used regardless of `--full`: the snapshot is
+/// about codec size/speed on a 110k-node state, and doubling the full
+/// leg's minutes-long run to re-capture a bigger one buys nothing.
+fn run_snapshot(shards: usize, seed: u64) -> SnapshotBench {
+    use dragonfly_sim::checkpoint::{CheckpointFormat, RunCheckpoint};
+    let (_, measure_ns) = scale_params(true);
+    let spec = scale_workload(true, shards, seed).to_spec("bench-scale-snapshot");
+    let mut last: Option<RunCheckpoint> = None;
+    spec.run_checkpointed(None, Some(measure_ns / 2), |ck| last = Some(ck))
+        .expect("the scale snapshot run succeeds");
+    let ck = last.expect("the scale run must produce at least one checkpoint");
+
+    let dir = std::env::temp_dir().join("qadaptive-bench-snapshot");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("scale.ckpt.json");
+    let bin_path = dir.join("scale.ckpt");
+
+    let timed = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    let json_save_s = timed(&mut || {
+        ck.save_format(&json_path, CheckpointFormat::Json).unwrap();
+    });
+    let binary_save_s = timed(&mut || {
+        ck.save_format(&bin_path, CheckpointFormat::Binary).unwrap();
+    });
+    let json_load_s = timed(&mut || {
+        RunCheckpoint::load(&json_path).unwrap();
+    });
+    let binary_load_s = timed(&mut || {
+        RunCheckpoint::load(&bin_path).unwrap();
+    });
+    let json_bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
+    let binary_bytes = std::fs::metadata(&bin_path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    SnapshotBench {
+        json_bytes,
+        binary_bytes,
+        size_ratio: json_bytes as f64 / binary_bytes.max(1) as f64,
+        json_save_s,
+        binary_save_s,
+        json_load_s,
+        binary_load_s,
+        save_speedup: json_save_s / binary_save_s.max(1e-9),
+        load_speedup: json_load_s / binary_load_s.max(1e-9),
+    }
+}
+
 fn run_one(
     scheduler: SchedulerKind,
     shards: ShardKind,
@@ -457,6 +548,10 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
     let (faulted, fault_overhead_ratio, faulted_dropped) =
         run_faulted(measure_ns, seed, iterations);
     let (scale, scale_nodes, scale_memory_bytes, scale_delivered) = run_scale(quick, shards, seed);
+    let snapshot = run_snapshot(shards, seed);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     SmokeBench {
         workload: "min_ur_0.3_1056".to_string(),
         topology: dragonfly_topology::TopologySpec::from(DragonflyConfig::paper_1056()).to_string(),
@@ -483,9 +578,9 @@ pub fn run_smoke_sharded(quick: bool, seed: u64, shards: usize) -> SmokeBench {
         scale_nodes,
         scale_memory_bytes,
         scale_delivered,
-        host_cpus: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        snapshot,
+        speedups_overhead_only: host_cpus < shards,
+        host_cpus,
     }
 }
 
@@ -541,6 +636,9 @@ pub fn check_against_baseline(
         ));
     }
     if cpu_mismatch {
+        // Machine-independent gates still apply across hosts: the scale
+        // leg's memory rollup is capacity-derived, not wall-clock-derived.
+        check_scale_memory(current, baseline, tolerance)?;
         let speedup_floor = baseline.speedup * (1.0 - tolerance);
         return if baseline.speedup > 0.0 && current.speedup >= speedup_floor {
             Ok(format!(
@@ -560,6 +658,18 @@ pub fn check_against_baseline(
             ))
         };
     }
+    check_scale_memory(current, baseline, tolerance)?;
+    // Scale-leg throughput gate (same-host only, like every wall-clock
+    // gate). Skipped against pre-PR8 baselines that never ran the leg.
+    if baseline.scale.events_per_sec > 0.0 && current.scale.events_per_sec > 0.0 {
+        let scale_floor = baseline.scale.events_per_sec * (1.0 - tolerance);
+        if current.scale.events_per_sec < scale_floor {
+            return Err(format!(
+                "scale-leg events/sec regression: current {:.0} vs baseline {:.0} (floor {:.0})",
+                current.scale.events_per_sec, baseline.scale.events_per_sec, scale_floor
+            ));
+        }
+    }
     let floor = baseline.events_per_sec * (1.0 - tolerance);
     let verdict = format!(
         "current {:.0} events/s vs baseline {:.0} events/s (floor {:.0}, speedup over heap {:.2}x)",
@@ -578,6 +688,26 @@ pub fn check_against_baseline(
         ));
     }
     Err(format!("events/sec regression: {verdict}"))
+}
+
+/// The machine-independent scale-leg memory budget: fail when the
+/// current rollup exceeds the baseline's by more than `tolerance`.
+/// Skipped against baselines that never ran the leg (rollup 0).
+fn check_scale_memory(
+    current: &SmokeBench,
+    baseline: &SmokeBench,
+    tolerance: f64,
+) -> Result<(), String> {
+    if baseline.scale_memory_bytes > 0 && current.scale_memory_bytes > 0 {
+        let ceiling = (baseline.scale_memory_bytes as f64 * (1.0 + tolerance)) as u64;
+        if current.scale_memory_bytes > ceiling {
+            return Err(format!(
+                "scale-leg memory regression: current {} bytes vs baseline {} (ceiling {})",
+                current.scale_memory_bytes, baseline.scale_memory_bytes, ceiling
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -717,6 +847,83 @@ mod tests {
         assert_eq!(back.scale_nodes, 0);
         assert_eq!(back.scale_memory_bytes, 0);
         assert_eq!(back.scale_delivered, 0);
+    }
+
+    #[test]
+    fn snapshot_leg_round_trips_and_defaults() {
+        let mut b = bench(1.0);
+        b.snapshot.json_bytes = 1_000_000;
+        b.snapshot.binary_bytes = 150_000;
+        b.snapshot.size_ratio = 6.7;
+        b.snapshot.save_speedup = 8.1;
+        b.snapshot.load_speedup = 9.2;
+        b.speedups_overhead_only = true;
+        let json = serde_json::to_string(&b).unwrap();
+        let back: SmokeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.snapshot.json_bytes, 1_000_000);
+        assert_eq!(back.snapshot.binary_bytes, 150_000);
+        assert!((back.snapshot.size_ratio - 6.7).abs() < 1e-12);
+        assert!((back.snapshot.save_speedup - 8.1).abs() < 1e-12);
+        assert!((back.snapshot.load_speedup - 9.2).abs() < 1e-12);
+        assert!(back.speedups_overhead_only);
+        // Pre-PR10 baselines default the whole leg.
+        let legacy: SmokeBench = serde_json::from_str(
+            r#"{"workload":"w","nodes":1,"measure_ns":1,"events":1,
+                "events_per_sec":1.0,"wall_s":1.0,
+                "calendar":{"events_per_sec":1.0,"wall_s":1.0,"events":1},
+                "binary_heap":{"events_per_sec":1.0,"wall_s":1.0,"events":1},
+                "speedup":1.0}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.snapshot.json_bytes, 0);
+        assert!(!legacy.speedups_overhead_only);
+    }
+
+    #[test]
+    fn scale_gates_fire_on_regressions() {
+        let mut baseline = bench(1_000_000.0);
+        baseline.scale.events_per_sec = 100_000.0;
+        baseline.scale_memory_bytes = 3_000_000_000;
+        // Healthy run: same scale rate, same memory.
+        let mut ok = bench(1_000_000.0);
+        ok.scale.events_per_sec = 100_000.0;
+        ok.scale_memory_bytes = 3_000_000_000;
+        assert!(check_against_baseline(&ok, &baseline, 0.3, false).is_ok());
+        // Scale throughput collapsed below the floor.
+        let mut slow_scale = ok.clone();
+        slow_scale.scale.events_per_sec = 50_000.0;
+        let err = check_against_baseline(&slow_scale, &baseline, 0.3, false).unwrap_err();
+        assert!(err.contains("scale-leg events/sec"), "{err}");
+        // Memory blew the ceiling.
+        let mut fat = ok.clone();
+        fat.scale_memory_bytes = 6_000_000_000;
+        let err = check_against_baseline(&fat, &baseline, 0.3, false).unwrap_err();
+        assert!(err.contains("scale-leg memory"), "{err}");
+        // Pre-PR8 baselines (no scale leg) skip both gates.
+        let empty_baseline = bench(1_000_000.0);
+        assert!(check_against_baseline(&fat, &empty_baseline, 0.3, false).is_ok());
+    }
+
+    #[test]
+    fn scale_memory_gate_is_machine_independent() {
+        // With --allow-cpu-mismatch the wall-clock gates are skipped but
+        // the capacity-derived memory budget still applies.
+        let mut baseline = bench(1_000_000.0);
+        baseline.host_cpus = 16;
+        baseline.speedup = 1.6;
+        baseline.scale.events_per_sec = 100_000.0;
+        baseline.scale_memory_bytes = 3_000_000_000;
+        let mut current = bench(10_000.0);
+        current.host_cpus = 1;
+        current.speedup = 1.55;
+        // Scale throughput way down (different host — must NOT gate).
+        current.scale.events_per_sec = 5_000.0;
+        current.scale_memory_bytes = 3_100_000_000;
+        assert!(check_against_baseline(&current, &baseline, 0.3, true).is_ok());
+        // But a memory blow-up still fails across hosts.
+        current.scale_memory_bytes = 9_000_000_000;
+        let err = check_against_baseline(&current, &baseline, 0.3, true).unwrap_err();
+        assert!(err.contains("scale-leg memory"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,7 @@ struct CommonFlags {
     no_cache: bool,
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<String>,
+    checkpoint_format: Option<dragonfly_sim::checkpoint::CheckpointFormat>,
     resume_from: Option<String>,
     positional: Vec<String>,
 }
@@ -88,6 +89,7 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
         no_cache: false,
         checkpoint_every: None,
         checkpoint_path: None,
+        checkpoint_format: None,
         resume_from: None,
         positional: Vec::new(),
     };
@@ -141,6 +143,13 @@ fn parse_flags(args: &[String]) -> Result<CommonFlags, String> {
             "--checkpoint-path" => {
                 flags.checkpoint_path = Some(next_value(args, &mut i, "--checkpoint-path")?);
             }
+            "--checkpoint-format" => {
+                flags.checkpoint_format = Some(
+                    next_value(args, &mut i, "--checkpoint-format")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-format: {e}"))?,
+                );
+            }
             "--resume-from" => {
                 flags.resume_from = Some(next_value(args, &mut i, "--resume-from")?);
             }
@@ -184,7 +193,8 @@ fn usage() -> String {
          USAGE:\n\
          \u{20}   qadaptive-cli run    <spec.toml|spec.json>  [--seed S] [--shards auto|single|N]\n\
          \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
-         \u{20}                        [--checkpoint-every NS [--checkpoint-path FILE]] [--resume-from FILE]\n\
+         \u{20}                        [--checkpoint-every NS [--checkpoint-path FILE]\n\
+         \u{20}                        [--checkpoint-format binary|json]] [--resume-from FILE]\n\
          \u{20}   qadaptive-cli sweep  <spec.toml|spec.json>  [--threads N] [--seed S] [--shards ...]\n\
          \u{20}                        [--pipeline|--no-pipeline] [--format text|csv|json] [--out FILE]\n\
          \u{20}   qadaptive-cli figure <id>  [--quick|--full] [--threads N] [--seed S] [--shards ...]\n\
@@ -215,8 +225,12 @@ fn usage() -> String {
          \n\
          `run --checkpoint-every NS` snapshots the full simulation state\n\
          every NS simulated nanoseconds (to --checkpoint-path, default\n\
-         <scenario>.ckpt.json, each snapshot atomically overwriting the\n\
-         last) and `--resume-from FILE` continues a snapshotted run\n\
+         <scenario>.ckpt, each snapshot atomically overwriting the\n\
+         last). Snapshots default to a compact binary encoding;\n\
+         `--checkpoint-format json` writes diffable JSON instead (default\n\
+         path <scenario>.ckpt.json), and `--resume-from` reads either\n\
+         format, sniffing it from the file. `--resume-from FILE`\n\
+         continues a snapshotted run\n\
          bit-for-bit — the resumed run reproduces the uninterrupted\n\
          report exactly. Works with any --shards/--pipeline setting, and\n\
          the resuming run may use a different one (snapshots are\n\
@@ -263,10 +277,12 @@ fn reject_cache_flags(flags: &CommonFlags, command: &str) -> Result<(), String> 
 fn reject_checkpoint_flags(flags: &CommonFlags, command: &str) -> Result<(), String> {
     if flags.checkpoint_every.is_some()
         || flags.checkpoint_path.is_some()
+        || flags.checkpoint_format.is_some()
         || flags.resume_from.is_some()
     {
         return Err(format!(
-            "--checkpoint-every/--checkpoint-path/--resume-from only apply to `run`, not `{command}`"
+            "--checkpoint-every/--checkpoint-path/--checkpoint-format/--resume-from \
+             only apply to `run`, not `{command}`"
         ));
     }
     Ok(())
@@ -285,9 +301,10 @@ fn run_spec_maybe_checkpointed(
     scenario_path: &str,
     spec: &ExperimentSpec,
 ) -> Result<dragonfly_metrics::report::SimulationReport, String> {
-    use dragonfly_sim::checkpoint::RunCheckpoint;
+    use dragonfly_sim::checkpoint::{CheckpointFormat, RunCheckpoint};
     let plain = flags.checkpoint_every.is_none()
         && flags.checkpoint_path.is_none()
+        && flags.checkpoint_format.is_none()
         && flags.resume_from.is_none();
     if plain {
         return Ok(spec.run());
@@ -297,6 +314,14 @@ fn run_spec_maybe_checkpointed(
             "--checkpoint-path needs --checkpoint-every NS to decide when to snapshot".to_string(),
         );
     }
+    if flags.checkpoint_format.is_some() && flags.checkpoint_every.is_none() {
+        return Err(
+            "--checkpoint-format needs --checkpoint-every NS (it only affects written snapshots; \
+             --resume-from sniffs the format from the file itself)"
+                .to_string(),
+        );
+    }
+    let format = flags.checkpoint_format.unwrap_or_default();
     let resume = match &flags.resume_from {
         Some(file) => {
             let ck = RunCheckpoint::load(file).map_err(|e| e.to_string())?;
@@ -311,12 +336,15 @@ fn run_spec_maybe_checkpointed(
     let ck_path = flags
         .checkpoint_path
         .clone()
-        .unwrap_or_else(|| format!("{scenario_path}.ckpt.json"));
+        .unwrap_or_else(|| match format {
+            CheckpointFormat::Binary => format!("{scenario_path}.ckpt"),
+            CheckpointFormat::Json => format!("{scenario_path}.ckpt.json"),
+        });
     let mut save_error: Option<String> = None;
     let report = spec
         .run_checkpointed(resume.as_ref(), flags.checkpoint_every, |ck| {
             if save_error.is_none() {
-                match ck.save(&ck_path) {
+                match ck.save_format(&ck_path, format) {
                     Ok(()) => eprintln!(
                         "checkpoint: {ck_path} @ t = {} ns (simulated)",
                         ck.engine.now
@@ -525,10 +553,7 @@ fn cmd_sweep(flags: &CommonFlags) -> Result<(), CliError> {
 
 fn cmd_bench(flags: &CommonFlags) -> Result<(), CliError> {
     if let Some(extra) = flags.positional.first() {
-        return Err(format!(
-            "`bench` takes no positional argument (got `{extra}`)"
-        )
-        .into());
+        return Err(format!("`bench` takes no positional argument (got `{extra}`)").into());
     }
     reject_cache_flags(flags, "bench")?;
     reject_checkpoint_flags(flags, "bench")?;
@@ -541,9 +566,11 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), CliError> {
         );
     }
     if flags.format != Format::Json && flags.format != Format::Text {
-        return Err("`bench` output is JSON (use --format json or omit the flag)"
-            .to_string()
-            .into());
+        return Err(
+            "`bench` output is JSON (use --format json or omit the flag)"
+                .to_string()
+                .into(),
+        );
     }
     if flags.pipeline.is_some() {
         return Err(
@@ -625,13 +652,22 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), CliError> {
         bench.scale_delivered,
         bench.scale_memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
     );
+    eprintln!(
+        "snapshot:    {:.2} MiB JSON -> {:.2} MiB binary ({:.1}x smaller; save {:.1}x, \
+         load {:.1}x faster)",
+        bench.snapshot.json_bytes as f64 / (1024.0 * 1024.0),
+        bench.snapshot.binary_bytes as f64 / (1024.0 * 1024.0),
+        bench.snapshot.size_ratio,
+        bench.snapshot.save_speedup,
+        bench.snapshot.load_speedup
+    );
     eprintln!("calendar-vs-heap speedup:  {:.2}x", bench.speedup);
     eprintln!(
         "shard speedup:             {:.2}x on {} host CPUs{}",
         bench.shard_speedup,
         bench.host_cpus,
-        if bench.host_cpus < bench.shards {
-            " (fewer CPUs than shards: ratio records lockstep overhead, not speedup)"
+        if bench.speedups_overhead_only {
+            " (overhead-only: fewer CPUs than shards, ratio records lockstep cost, not speedup)"
         } else {
             ""
         }
@@ -639,8 +675,8 @@ fn cmd_bench(flags: &CommonFlags) -> Result<(), CliError> {
     eprintln!(
         "pipelined-vs-barrier:      {:.2}x{}",
         bench.pipeline_speedup,
-        if bench.host_cpus < bench.shards {
-            " (fewer CPUs than shards: overlap cannot show as wall-clock speedup)"
+        if bench.speedups_overhead_only {
+            " (overhead-only: fewer CPUs than shards, overlap cannot show as wall-clock speedup)"
         } else {
             ""
         }

@@ -298,13 +298,22 @@ impl QAdaptiveAgent {
             return (best_col, best_val);
         }
         let cutoff = best_val * (1.0 + NEAR_TIE_TOLERANCE);
-        let near: Vec<usize> = (0..self.table.columns())
-            .filter(|c| self.table.get(row, *c) <= cutoff)
-            .collect();
-        if near.len() <= 1 {
+        // Count-then-select keeps this allocation-free on the per-decision
+        // hot path. The RNG is drawn exactly when the old collect-based
+        // code drew it (only with two or more near-ties, with the same
+        // range), so the decision stream is bit-identical.
+        let columns = self.table.columns();
+        let near = (0..columns)
+            .filter(|&c| self.table.get(row, c) <= cutoff)
+            .count();
+        if near <= 1 {
             return (best_col, best_val);
         }
-        let pick = near[self.rng.gen_range(0..near.len())];
+        let target = self.rng.gen_range(0..near);
+        let pick = (0..columns)
+            .filter(|&c| self.table.get(row, c) <= cutoff)
+            .nth(target)
+            .expect("near-tie count bounds the draw");
         (pick, self.table.get(row, pick))
     }
 

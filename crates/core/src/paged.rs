@@ -31,6 +31,7 @@
 
 use crate::qtable::{maintain_argmin, scan_row_argmin};
 use crate::table::QValueTable;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -50,6 +51,28 @@ struct Page {
     argmin: Vec<u32>,
 }
 
+/// The init values of the most recently read **unmaterialised** row.
+///
+/// Routing reads an untouched row many times per decision (`best_in_row`,
+/// then one `get` per column for near-tie detection), and every such read
+/// would otherwise re-evaluate the init closure — whose topology estimates
+/// allocate — once per cell, making a single decision O(columns²) closure
+/// calls. Caching one row's init values makes the burst O(columns).
+///
+/// The cache needs no invalidation: it only ever holds *init* values,
+/// which are deterministic constants of `(row, column)`, and once a row's
+/// page materialises every read is answered from the page before the
+/// cache is consulted.
+#[derive(Clone)]
+struct RowCache {
+    /// Cached row index, or `usize::MAX` when empty.
+    row: usize,
+    /// Lowest-index argmin column of the cached row.
+    argmin: u32,
+    /// The row's `columns` init values.
+    values: Vec<f64>,
+}
+
 /// A `rows × columns` Q-value table with lazily allocated pages.
 #[derive(Clone)]
 pub struct PagedQTable {
@@ -57,6 +80,7 @@ pub struct PagedQTable {
     columns: usize,
     init: InitFn,
     pages: Vec<Option<Box<Page>>>,
+    cache: RefCell<RowCache>,
 }
 
 impl fmt::Debug for PagedQTable {
@@ -83,6 +107,11 @@ impl PagedQTable {
             columns,
             init,
             pages: vec![None; num_pages],
+            cache: RefCell::new(RowCache {
+                row: usize::MAX,
+                argmin: 0,
+                values: Vec::new(),
+            }),
         }
     }
 
@@ -90,20 +119,51 @@ impl PagedQTable {
         PAGE_ROWS.min(self.rows - page * PAGE_ROWS)
     }
 
-    /// Materialise a page from the init function (values and argmin cache).
+    /// Evaluate `f` against the cached init values of (unmaterialised)
+    /// `row`, filling the cache first on a miss — one init-closure pass
+    /// over the columns instead of one call per subsequent read.
+    fn with_init_row<T>(&self, row: usize, f: impl FnOnce(&RowCache) -> T) -> T {
+        let mut cache = self.cache.borrow_mut();
+        if cache.row != row {
+            cache.values.clear();
+            cache.values.reserve(self.columns);
+            let mut best_col = 0u32;
+            let mut best_val = f64::INFINITY;
+            for c in 0..self.columns {
+                let v = (self.init)(row, c);
+                if v < best_val {
+                    best_val = v;
+                    best_col = c as u32;
+                }
+                cache.values.push(v);
+            }
+            cache.argmin = best_col;
+            cache.row = row;
+        }
+        f(&cache)
+    }
+
+    /// Materialise a page from the init function (values and argmin cache,
+    /// filled in a single pass).
     fn materialize(&mut self, page: usize) -> &mut Page {
         if self.pages[page].is_none() {
             let start = page * PAGE_ROWS;
             let n = self.rows_in_page(page);
             let mut values = Vec::with_capacity(n * self.columns);
+            let mut argmin = Vec::with_capacity(n);
             for r in 0..n {
+                let mut best_col = 0u32;
+                let mut best_val = f64::INFINITY;
                 for c in 0..self.columns {
-                    values.push((self.init)(start + r, c));
+                    let v = (self.init)(start + r, c);
+                    if v < best_val {
+                        best_val = v;
+                        best_col = c as u32;
+                    }
+                    values.push(v);
                 }
+                argmin.push(best_col);
             }
-            let argmin = (0..n)
-                .map(|r| scan_row_argmin(&values, r, self.columns))
-                .collect();
             self.pages[page] = Some(Box::new(Page { values, argmin }));
         }
         self.pages[page].as_mut().unwrap()
@@ -145,7 +205,7 @@ impl QValueTable for PagedQTable {
         debug_assert!(row < self.rows && column < self.columns);
         match &self.pages[row / PAGE_ROWS] {
             Some(p) => p.values[(row % PAGE_ROWS) * self.columns + column],
-            None => (self.init)(row, column),
+            None => self.with_init_row(row, |cache| cache.values[column]),
         }
     }
 
@@ -179,19 +239,58 @@ impl QValueTable for PagedQTable {
                 (c, p.values[local * self.columns + c])
             }
             None => {
-                // Untouched row: scan the init function (a few dozen
-                // columns at most). Same strict-less tie-break as the
-                // dense scan, so the answer is bit-identical.
-                let mut best_col = 0;
-                let mut best_val = f64::INFINITY;
+                // Untouched row: answer from the cached init row (the
+                // cache fill uses the same strict-less tie-break as the
+                // dense scan, so the answer is bit-identical).
+                self.with_init_row(row, |cache| {
+                    (cache.argmin as usize, cache.values[cache.argmin as usize])
+                })
+            }
+        }
+    }
+
+    /// Restore the sparse checkpoint form. Overrides the per-cell default
+    /// with direct page construction: a run of listed rows that covers a
+    /// whole unmaterialised page becomes that page's value slab verbatim,
+    /// skipping the init-closure evaluation `set` would trigger for every
+    /// page-mate — on a 110k-node restore that is the difference between
+    /// copying the snapshot and re-deriving millions of path estimates.
+    fn load_sparse_values(&mut self, rows: &[u32], values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            rows.len() * self.columns,
+            "sparse Q-table checkpoint shape does not match this table"
+        );
+        if self.columns == 0 {
+            return;
+        }
+        let mut i = 0;
+        while i < rows.len() {
+            let page = rows[i] as usize / PAGE_ROWS;
+            let start = page * PAGE_ROWS;
+            let n = self.rows_in_page(page);
+            let whole_page = self.pages[page].is_none()
+                && rows[i] as usize == start
+                && i + n <= rows.len()
+                && (1..n).all(|k| rows[i + k] as usize == start + k);
+            if whole_page {
+                let slab = &values[i * self.columns..(i + n) * self.columns];
+                let mut page_values = Vec::with_capacity(n * self.columns);
+                page_values.extend_from_slice(slab);
+                let argmin = (0..n)
+                    .map(|r| scan_row_argmin(&page_values, r, self.columns))
+                    .collect();
+                self.pages[page] = Some(Box::new(Page {
+                    values: page_values,
+                    argmin,
+                }));
+                i += n;
+            } else {
+                let r = rows[i] as usize;
                 for c in 0..self.columns {
-                    let v = (self.init)(row, c);
-                    if v < best_val {
-                        best_val = v;
-                        best_col = c;
-                    }
+                    self.set(r, c, values[i * self.columns + c]);
                 }
-                (best_col, best_val)
+                i += 1;
             }
         }
     }

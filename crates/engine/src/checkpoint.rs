@@ -389,9 +389,7 @@ pub(crate) fn split_for_plan(
                 pending_injections: canonical
                     .pending_injections
                     .iter()
-                    .filter(|inj| {
-                        plan.shard_of_router(topo.router_of_node(inj.src)) == k
-                    })
+                    .filter(|inj| plan.shard_of_router(topo.router_of_node(inj.src)) == k)
                     .copied()
                     .collect(),
                 tasks: if canonical.tasks.is_empty() {
@@ -438,7 +436,10 @@ mod tests {
     /// A tiny-Dragonfly engine in the given execution mode, with
     /// deterministic scripted traffic and a router kill/restore pair
     /// straddling the checkpoint time used by the tests.
-    fn faulted_engine_with(shards: crate::config::ShardKind, pipeline: bool) -> Engine<CountingObserver> {
+    fn faulted_engine_with(
+        shards: crate::config::ShardKind,
+        pipeline: bool,
+    ) -> Engine<CountingObserver> {
         let topo = Dragonfly::new(DragonflyConfig::tiny());
         let n = topo.num_nodes() as u64;
         let script: Vec<Injection> = (0..600u64)

@@ -335,12 +335,16 @@ const MAX_HORIZON: SimTime = 1 << 22;
 /// * A bucket is either *unsorted* (its dirty bit is set; events were
 ///   appended in push order) or sorted **descending** by `(key, seq)` so
 ///   the next event to fire is at the back and pops are O(1). Buckets are
-///   sorted lazily the first time a pop targets them; pushes into a
-///   currently-sorted bucket (same-tick events generated while the tick is
-///   being drained) insert at their ordered position.
+///   sorted lazily the first time a pop targets them; pushes at exactly
+///   the cursor time (same-tick events generated while the tick is being
+///   drained) go to the `current` min-heap instead of the bucket.
 /// * `overflow` may hold events of any time; [`CalendarQueue::pop`] always
 ///   compares the wheel front against the overflow top, so ordering never
 ///   depends on migrating overflow events into the wheel.
+/// * `current` holds only events firing at exactly `cursor` — same-tick
+///   events generated while that tick is being drained. They pop before
+///   anything later-timed, so the heap is always empty again by the time
+///   the cursor advances.
 #[derive(Debug)]
 pub struct CalendarQueue {
     /// `horizon` buckets; bucket `t % horizon` holds events firing at `t`
@@ -358,6 +362,12 @@ pub struct CalendarQueue {
     wheel_len: usize,
     /// Lower bound of the wheel window = time of the last popped event.
     cursor: SimTime,
+    /// Same-tick late arrivals: events pushed at exactly `cursor` while
+    /// that tick is being drained. A positional insert into the sorted
+    /// bucket would cost O(bucket_len) per push — quadratic per tick once
+    /// thousands of events share a nanosecond at high entity counts; the
+    /// min-heap makes it O(log same-tick-arrivals).
+    current: BinaryHeap<Event>,
     /// Far-future events (and, defensively, any push outside the window).
     overflow: BinaryHeap<Event>,
     next_seq: u64,
@@ -374,6 +384,7 @@ impl Default for CalendarQueue {
 #[derive(Clone, Copy)]
 enum NextEvent {
     Wheel(usize),
+    Current,
     Overflow,
 }
 
@@ -390,6 +401,7 @@ impl CalendarQueue {
             mask: horizon - 1,
             wheel_len: 0,
             cursor: 0,
+            current: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
@@ -406,6 +418,26 @@ impl CalendarQueue {
             + cfg.router_latency_ns
             + cfg.host_latency_ns;
         Self::with_horizon((span * 4).max(DEFAULT_HORIZON))
+    }
+
+    /// [`CalendarQueue::for_config`] with bucket storage pre-sized for the
+    /// event density of an `entities`-entity shard (routers + nodes). At
+    /// high entity counts thousands of events share each wheel tick;
+    /// seeding the buckets and the same-tick heap with a fraction of that
+    /// skips the early reallocation ramp every bucket would otherwise go
+    /// through. A no-op for shards smaller than the wheel.
+    pub fn for_config_with_entities(cfg: &EngineConfig, entities: usize) -> Self {
+        let mut q = Self::for_config(cfg);
+        if entities > q.horizon as usize {
+            let per_bucket = (entities / q.horizon as usize)
+                .clamp(1, 64)
+                .next_power_of_two();
+            for bucket in &mut q.buckets {
+                bucket.reserve(per_bucket);
+            }
+            q.current = BinaryHeap::with_capacity(4 * per_bucket);
+        }
+        q
     }
 
     #[inline]
@@ -464,30 +496,53 @@ impl CalendarQueue {
         None
     }
 
-    /// `(time, key, seq, location)` of the next event to pop, if any.
-    /// Sorts the candidate wheel bucket lazily (hence `&mut`).
-    fn next_event(&mut self) -> Option<(SimTime, u64, u64, NextEvent)> {
-        let wheel = self.earliest_slot().map(|slot| {
-            self.ensure_sorted(slot);
-            let front = self.buckets[slot]
+    /// Location of the next event to pop, if its time is `<= t_end`.
+    /// Does everything in one pass: the wheel bitmap is scanned once, and
+    /// the candidate bucket is only sorted when its tick actually holds
+    /// the minimum time (sorting is pointless when the same-tick heap or
+    /// the overflow wins on time alone, or the bound rejects the tick).
+    fn next_event_before(&mut self, t_end: SimTime) -> Option<NextEvent> {
+        let slot = self.earliest_slot();
+        // All events of a bucket share one time, so time-only candidates
+        // need no sorting.
+        let wheel_t = slot.map(|s| {
+            self.buckets[s]
                 .last()
-                .expect("occupancy bit set on empty bucket");
-            (front.time, front.key, front.seq, NextEvent::Wheel(slot))
+                .expect("occupancy bit set on empty bucket")
+                .time
         });
-        let overflow = self
-            .overflow
-            .peek()
-            .map(|e| (e.time, e.key, e.seq, NextEvent::Overflow));
-        match (wheel, overflow) {
-            (None, None) => None,
-            (Some(w), None) => Some(w),
-            (None, Some(o)) => Some(o),
-            (Some(w), Some(o)) => Some(if (w.0, w.1, w.2) <= (o.0, o.1, o.2) {
-                w
-            } else {
-                o
-            }),
+        let current = self.current.peek().map(|e| (e.time, e.key, e.seq));
+        let overflow = self.overflow.peek().map(|e| (e.time, e.key, e.seq));
+        let mut min_t = SimTime::MAX;
+        for t in [wheel_t, current.map(|c| c.0), overflow.map(|o| o.0)]
+            .into_iter()
+            .flatten()
+        {
+            min_t = min_t.min(t);
         }
+        if min_t == SimTime::MAX || min_t > t_end {
+            return None;
+        }
+        // Only sources holding the minimum time compete on (key, seq).
+        let wheel = match (slot, wheel_t) {
+            (Some(s), Some(t)) if t == min_t => {
+                self.ensure_sorted(s);
+                let front = self.buckets[s].last().expect("occupied bucket");
+                Some((front.key, front.seq, NextEvent::Wheel(s)))
+            }
+            _ => None,
+        };
+        let current = current
+            .filter(|c| c.0 == min_t)
+            .map(|c| (c.1, c.2, NextEvent::Current));
+        let overflow = overflow
+            .filter(|o| o.0 == min_t)
+            .map(|o| (o.1, o.2, NextEvent::Overflow));
+        [wheel, current, overflow]
+            .into_iter()
+            .flatten()
+            .min_by_key(|&(key, seq, _)| (key, seq))
+            .map(|(_, _, location)| location)
     }
 
     fn pop_from(&mut self, location: NextEvent) -> Event {
@@ -502,6 +557,10 @@ impl CalendarQueue {
                 }
                 event
             }
+            NextEvent::Current => self
+                .current
+                .pop()
+                .expect("next_event located an event here"),
             NextEvent::Overflow => self
                 .overflow
                 .pop()
@@ -526,25 +585,22 @@ impl CalendarQueue {
             "push at {time} behind the scheduler cursor {}",
             self.cursor
         );
-        if time >= self.cursor && time - self.cursor < self.horizon {
+        if time == self.cursor {
+            // The tick being drained right now: a heap push keeps the
+            // event's ordered place among the remaining same-tick events
+            // at O(log n) instead of a positional insert's O(n) memmove.
+            self.current.push(event);
+        } else if time > self.cursor && time - self.cursor < self.horizon {
             let slot = (time & self.mask) as usize;
             debug_assert!(
                 self.buckets[slot].last().is_none_or(|e| e.time == time),
                 "bucket {slot} mixes times: held {:?}, pushing {time}",
                 self.buckets[slot].last().map(|e| e.time),
             );
-            let slot_dirty = self.is_dirty(slot);
             let bucket = &mut self.buckets[slot];
             if bucket.is_empty() {
                 bucket.push(event);
                 self.set_dirty(slot, false);
-            } else if time == self.cursor && !slot_dirty {
-                // This bucket's tick is being drained right now (a pop at
-                // this time sorted it and set the cursor): keep it sorted
-                // so the in-progress drain pops this event at its ordered
-                // place among the remaining same-tick events.
-                let pos = bucket.partition_point(|e| (e.key, e.seq) > (event.key, event.seq));
-                bucket.insert(pos, event);
             } else {
                 // Future tick: O(1) append now, one sort when a pop first
                 // targets the bucket (see `ensure_sorted`).
@@ -574,21 +630,20 @@ impl Scheduler for CalendarQueue {
     }
 
     fn pop(&mut self) -> Option<Event> {
-        let (_, _, _, location) = self.next_event()?;
+        let location = self.next_event_before(SimTime::MAX)?;
         Some(self.pop_from(location))
     }
 
     fn pop_before(&mut self, t_end: SimTime) -> Option<Event> {
-        // Cheap time-only rejection first: sorting the candidate bucket is
-        // pointless when its whole tick lies beyond the bound.
-        if self.peek_time().is_none_or(|t| t > t_end) {
-            return None;
-        }
-        let (_, _, _, location) = self.next_event()?;
+        let location = self.next_event_before(t_end)?;
         Some(self.pop_from(location))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
+        // Same-tick events fire at the cursor — nothing can be earlier.
+        if let Some(e) = self.current.peek() {
+            return Some(e.time);
+        }
         // All events in a bucket share one time, so no sorting is needed to
         // answer time-only queries.
         let wheel = self
@@ -604,7 +659,7 @@ impl Scheduler for CalendarQueue {
     }
 
     fn len(&self) -> usize {
-        self.wheel_len + self.overflow.len()
+        self.wheel_len + self.current.len() + self.overflow.len()
     }
 
     fn processed(&self) -> u64 {
@@ -657,6 +712,20 @@ impl EventQueue {
         }
     }
 
+    /// [`EventQueue::for_config`] with storage pre-sized for a shard of
+    /// `entities` entities (see
+    /// [`CalendarQueue::for_config_with_entities`]; a no-op for the heap
+    /// scheduler, which sizes itself). Capacity only — pop order and
+    /// results are identical to [`EventQueue::for_config`].
+    pub fn for_config_with_entities(cfg: &EngineConfig, entities: usize) -> Self {
+        match cfg.scheduler {
+            SchedulerKind::Calendar => {
+                EventQueue::Calendar(CalendarQueue::for_config_with_entities(cfg, entities))
+            }
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeapScheduler::new()),
+        }
+    }
+
     /// Which scheduler is driving this queue.
     pub fn kind(&self) -> SchedulerKind {
         match self {
@@ -680,6 +749,7 @@ impl EventQueue {
                 s.buckets
                     .iter()
                     .flatten()
+                    .chain(s.current.iter())
                     .chain(s.overflow.iter())
                     .copied()
                     .collect(),

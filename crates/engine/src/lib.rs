@@ -57,6 +57,32 @@
 //!   move 4-byte [`arena::PacketRef`] handles instead of boxed packets, so
 //!   a fabric hop performs no heap allocation and no pointer chase.
 //!
+//! Three further per-event overheads matter only once systems reach the
+//! 100k-node scale, where the event count per run is in the millions and
+//! every queue and mailbox is three orders of magnitude busier than on
+//! the paper's 1,056 nodes:
+//!
+//! * **Same-tick ordering is a heap, not an insertion sort.** The
+//!   calendar queue keeps each 1 ns bucket's events in a small min-heap
+//!   ordered by `(key, seq)` rather than a sorted Vec with positional
+//!   inserts: at scale a single nanosecond can hold hundreds of events
+//!   for one bucket, and the positional insert's memmove made bucket
+//!   maintenance quadratic in the tick population. The heap preserves
+//!   the exact `(time, key, seq)` total order the determinism contract
+//!   requires (pop order is identical; only the transient in-bucket
+//!   layout differs).
+//! * **Mailbox draining reuses buffers.** Window exchange drains
+//!   cross-shard mail directly from the [`sync::MailGrid`] into a
+//!   per-shard scratch buffer that lives for the whole run
+//!   (`Shard::deliver_from_grid`), instead of collecting each window's
+//!   mail into a fresh `Vec` — at half-lookahead window granularity the
+//!   allocator was on the per-window critical path.
+//! * **Queues are pre-sized for the fabric.** Event queues are sized
+//!   from the entity count (routers + NICs) at construction and restore
+//!   (`EventQueue::for_config_with_entities`), so the first measured
+//!   window does not pay a cascade of geometric regrowths on a fabric
+//!   whose steady-state event population is predictable up front.
+//!
 //! ## Sharded conservative-parallel execution
 //!
 //! One simulation can run across several cores ([`config::ShardKind`]):

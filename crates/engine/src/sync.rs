@@ -307,11 +307,19 @@ impl MailGrid {
     /// ascending sender order (the pipelined per-window drain).
     pub fn collect_parity_for(&self, dst: usize, parity: usize) -> Vec<ShardMsg> {
         let mut out = Vec::new();
+        self.collect_parity_into(dst, parity, &mut out);
+        out
+    }
+
+    /// [`MailGrid::collect_parity_for`] appending into a caller-provided
+    /// buffer, so a per-shard inbox buffer can be reused across windows
+    /// instead of allocating a fresh `Vec` per drain.
+    pub fn collect_parity_into(&self, dst: usize, parity: usize, out: &mut Vec<ShardMsg>) {
+        let before = out.len();
         for row in &self.boxes {
             out.append(&mut row[dst][parity % MAIL_PARITIES].lock());
         }
-        self.bound_for[dst].fetch_sub(out.len() as u64, Ordering::Release);
-        out
+        self.bound_for[dst].fetch_sub((out.len() - before) as u64, Ordering::Release);
     }
 
     /// Take everything addressed to `dst` across both parities, in
@@ -319,13 +327,20 @@ impl MailGrid {
     /// barrier-mode window drain).
     pub fn collect_for(&self, dst: usize) -> Vec<ShardMsg> {
         let mut out = Vec::new();
+        self.collect_into(dst, &mut out);
+        out
+    }
+
+    /// [`MailGrid::collect_for`] appending into a caller-provided buffer
+    /// (see [`MailGrid::collect_parity_into`] for why).
+    pub fn collect_into(&self, dst: usize, out: &mut Vec<ShardMsg>) {
+        let before = out.len();
         for row in &self.boxes {
             for parity in &row[dst] {
                 out.append(&mut parity.lock());
             }
         }
-        self.bound_for[dst].fetch_sub(out.len() as u64, Ordering::Release);
-        out
+        self.bound_for[dst].fetch_sub((out.len() - before) as u64, Ordering::Release);
     }
 
     /// Packets currently travelling to `dst` inside mailboxes (both

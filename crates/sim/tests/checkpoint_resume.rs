@@ -373,6 +373,50 @@ fn resume_under_a_different_spec_is_rejected() {
 }
 
 #[test]
+fn binary_and_json_checkpoint_files_resume_identically() {
+    // The cross-format contract behind `--checkpoint-format`: the same
+    // snapshot written as binary (v4) and as JSON (v3) must both load
+    // back and resume to the exact report of the uninterrupted run —
+    // learning state included, so Q-adaptive is the algorithm under test.
+    use dragonfly_sim::checkpoint::{CheckpointFormat, BINARY_CHECKPOINT_VERSION};
+    let spec = openloop_spec(RoutingSpec::QAdaptive(QAdaptiveParams::paper_1056()), 49);
+    let reference = spec.run();
+
+    let mut checkpoints = Vec::new();
+    spec.run_checkpointed(None, Some(18_000), |ck| checkpoints.push(ck))
+        .expect("stepped run succeeds");
+    let ck = checkpoints.last().unwrap();
+
+    let dir = std::env::temp_dir().join("qadaptive-ck-crossformat-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("cross.ckpt");
+    let json_path = dir.join("cross.ckpt.json");
+    ck.save_format(&bin_path, CheckpointFormat::Binary).unwrap();
+    ck.save_format(&json_path, CheckpointFormat::Json).unwrap();
+    let bin_len = std::fs::metadata(&bin_path).unwrap().len();
+    let json_len = std::fs::metadata(&json_path).unwrap().len();
+    assert!(
+        bin_len < json_len,
+        "binary must be smaller than JSON ({bin_len} vs {json_len} bytes)"
+    );
+
+    let from_bin = RunCheckpoint::load(&bin_path).unwrap();
+    let from_json = RunCheckpoint::load(&json_path).unwrap();
+    std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&json_path).ok();
+    assert_eq!(from_bin.version, BINARY_CHECKPOINT_VERSION);
+
+    let resumed_bin = spec
+        .run_checkpointed(Some(&from_bin), None, |_| {})
+        .expect("resume from binary file succeeds");
+    let resumed_json = spec
+        .run_checkpointed(Some(&from_json), None, |_| {})
+        .expect("resume from JSON file succeeds");
+    assert_reports_identical(&reference, &resumed_bin, "binary file resume");
+    assert_reports_identical(&reference, &resumed_json, "json file resume");
+}
+
+#[test]
 fn checkpoint_files_round_trip_through_disk() {
     // The persistence path the CLI uses: save the last checkpoint to a
     // file, load it back, resume — identical report.

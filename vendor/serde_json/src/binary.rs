@@ -1,0 +1,546 @@
+//! Compact binary encoding of the mini-serde [`Value`] tree — the codec
+//! behind `qadaptive-checkpoint-v4` snapshot files.
+//!
+//! JSON snapshots of the 110k-node scale system spend most of their bytes
+//! (and most of their parse time) on two things: decimal `f64` rendering
+//! of Q-table values and the same handful of struct field names repeated
+//! hundreds of thousands of times. This format attacks both:
+//!
+//! * **Key dictionary** — every distinct map key is stored once in a
+//!   header table; map entries reference keys by varint index.
+//! * **Packed float sequences** — a `Seq` whose elements are all `Float`
+//!   is written as raw little-endian `f64` words (8 bytes each, no text
+//!   round-trip), or run-length encoded when repetition makes that
+//!   smaller (two-level Q-table rows repeat one init value per slot
+//!   group, so fresh rows collapse to a few bytes).
+//! * **Varint integers** — zigzag LEB128, so the small counters and ids
+//!   that dominate event/arena state take 1–2 bytes instead of their
+//!   decimal width.
+//!
+//! The stream starts with an 8-byte magic ([`MAGIC`], which embeds a
+//! codec version byte) so readers can sniff binary vs JSON from the first
+//! bytes of a file. Everything after the magic is length-prefixed; a
+//! truncated file fails with an error naming the byte offset rather than
+//! panicking or mis-decoding.
+//!
+//! Unlike the JSON writer (which renders non-finite floats as `null`),
+//! this codec round-trips every `f64` bit pattern exactly.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::HashMap;
+
+/// First 8 bytes of every binary stream. The trailing byte is the codec
+/// version; bump it on any incompatible layout change so old readers
+/// reject new files cleanly instead of mis-decoding them.
+pub const MAGIC: &[u8; 8] = b"QADBIN\x00\x01";
+
+// Value tags (one byte each, after the header).
+const T_NULL: u8 = 0;
+const T_FALSE: u8 = 1;
+const T_TRUE: u8 = 2;
+const T_INT: u8 = 3; // zigzag varint i128
+const T_FLOAT: u8 = 4; // 8-byte LE f64
+const T_STR: u8 = 5; // varint byte length + UTF-8 bytes
+const T_SEQ: u8 = 6; // varint count + tagged values
+const T_MAP: u8 = 7; // varint count + (varint key index, tagged value)*
+const T_FSEQ: u8 = 8; // varint count + count × 8-byte LE f64
+const T_FSEQ_RLE: u8 = 9; // varint count + (varint run, 8-byte LE f64)*
+const T_ISEQ: u8 = 10; // varint count + count × zigzag varint i128
+
+/// Serialise a value to the binary format.
+pub fn to_vec<T: Serialize>(value: &T) -> Vec<u8> {
+    value_to_vec(&value.to_value())
+}
+
+/// Parse binary bytes into any deserialisable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    T::from_value(&slice_to_value(bytes)?)
+}
+
+/// Whether `bytes` begin with the binary magic (any codec version). Used
+/// by readers that accept both JSON and binary files to pick a parser —
+/// JSON documents start with `{`, so the two are never ambiguous.
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 7 && bytes[..7] == MAGIC[..7]
+}
+
+/// Encode a raw [`Value`] tree.
+pub fn value_to_vec(v: &Value) -> Vec<u8> {
+    // Pass 1: intern every distinct map key in first-seen order.
+    let mut keys: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, u32> = HashMap::new();
+    collect_keys(v, &mut keys, &mut index);
+
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(MAGIC);
+    write_varint(&mut out, keys.len() as u128);
+    for k in &keys {
+        write_varint(&mut out, k.len() as u128);
+        out.extend_from_slice(k.as_bytes());
+    }
+    write_value(&mut out, v, &index);
+    out
+}
+
+/// Decode a raw [`Value`] tree.
+pub fn slice_to_value(bytes: &[u8]) -> Result<Value, Error> {
+    if bytes.len() < MAGIC.len() || bytes[..7] != MAGIC[..7] {
+        return Err(Error::msg(
+            "not a binary checkpoint stream (bad magic; expected a \
+             QADBIN header or a JSON document)",
+        ));
+    }
+    if bytes[7] != MAGIC[7] {
+        return Err(Error::msg(format!(
+            "binary codec version {} is not supported (this build reads version {})",
+            bytes[7], MAGIC[7]
+        )));
+    }
+    let mut d = Decoder {
+        bytes,
+        pos: MAGIC.len(),
+    };
+    let nkeys = d.varint()? as usize;
+    // Sanity bound: each key needs at least its 1-byte length prefix.
+    if nkeys > d.bytes.len() - d.pos {
+        return Err(d.err("key dictionary larger than the stream"));
+    }
+    let mut keys = Vec::with_capacity(nkeys);
+    for _ in 0..nkeys {
+        let len = d.varint()? as usize;
+        let raw = d.take(len)?;
+        keys.push(
+            std::str::from_utf8(raw)
+                .map_err(|_| Error::msg("dictionary key is not UTF-8"))?
+                .to_string(),
+        );
+    }
+    let v = d.value(&keys, 0)?;
+    if d.pos != d.bytes.len() {
+        return Err(d.err("trailing bytes after the value"));
+    }
+    Ok(v)
+}
+
+fn collect_keys<'a>(v: &'a Value, keys: &mut Vec<&'a str>, index: &mut HashMap<&'a str, u32>) {
+    match v {
+        Value::Map(entries) => {
+            for (k, val) in entries {
+                index.entry(k.as_str()).or_insert_with(|| {
+                    keys.push(k.as_str());
+                    (keys.len() - 1) as u32
+                });
+                collect_keys(val, keys, index);
+            }
+        }
+        Value::Seq(items) => {
+            for item in items {
+                collect_keys(item, keys, index);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn write_value(out: &mut Vec<u8>, v: &Value, index: &HashMap<&str, u32>) {
+    match v {
+        Value::Null => out.push(T_NULL),
+        Value::Bool(false) => out.push(T_FALSE),
+        Value::Bool(true) => out.push(T_TRUE),
+        Value::Int(i) => {
+            out.push(T_INT);
+            write_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => {
+            out.push(T_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(T_STR);
+            write_varint(out, s.len() as u128);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => write_seq(out, items, index),
+        Value::Map(entries) => {
+            out.push(T_MAP);
+            write_varint(out, entries.len() as u128);
+            for (k, val) in entries {
+                write_varint(out, index[k.as_str()] as u128);
+                write_value(out, val, index);
+            }
+        }
+    }
+}
+
+fn write_seq(out: &mut Vec<u8>, items: &[Value], index: &HashMap<&str, u32>) {
+    // Homogeneous fast paths. Floats additionally pick run-length
+    // encoding when the run structure beats the packed form — fresh
+    // two-level Q-table rows repeat one init value per slot group, so
+    // they compress from 8 bytes/value to ~9 bytes/run.
+    if !items.is_empty() && items.iter().all(|x| matches!(x, Value::Float(_))) {
+        let mut runs: usize = 1;
+        for w in items.windows(2) {
+            if w[0] != w[1] {
+                runs += 1;
+            }
+        }
+        if runs * 9 < items.len() * 8 {
+            out.push(T_FSEQ_RLE);
+            write_varint(out, items.len() as u128);
+            let mut i = 0;
+            while i < items.len() {
+                let mut j = i + 1;
+                while j < items.len() && items[j] == items[i] {
+                    j += 1;
+                }
+                write_varint(out, (j - i) as u128);
+                if let Value::Float(f) = items[i] {
+                    out.extend_from_slice(&f.to_le_bytes());
+                }
+                i = j;
+            }
+        } else {
+            out.push(T_FSEQ);
+            write_varint(out, items.len() as u128);
+            for x in items {
+                if let Value::Float(f) = x {
+                    out.extend_from_slice(&f.to_le_bytes());
+                }
+            }
+        }
+        return;
+    }
+    if !items.is_empty() && items.iter().all(|x| matches!(x, Value::Int(_))) {
+        out.push(T_ISEQ);
+        write_varint(out, items.len() as u128);
+        for x in items {
+            if let Value::Int(i) = x {
+                write_varint(out, zigzag(*i));
+            }
+        }
+        return;
+    }
+    out.push(T_SEQ);
+    write_varint(out, items.len() as u128);
+    for x in items {
+        write_value(out, x, index);
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(i: i128) -> u128 {
+    ((i << 1) ^ (i >> 127)) as u128
+}
+
+fn unzigzag(u: u128) -> i128 {
+    ((u >> 1) as i128) ^ -((u & 1) as i128)
+}
+
+/// Decode guard: value trees in this workspace are shallow (structs in
+/// structs, a few levels), so anything deeper is a corrupted stream, and
+/// bounding it keeps the recursive decoder off unbounded stack growth.
+const MAX_DEPTH: usize = 64;
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn err(&self, what: &str) -> Error {
+        Error::msg(format!(
+            "truncated or corrupted binary stream at byte {}: {what}",
+            self.pos
+        ))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.bytes.len() - self.pos < n {
+            return Err(self.err("unexpected end of input"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u128, Error> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 128 {
+                return Err(self.err("varint overflows 128 bits"));
+            }
+            v |= ((b & 0x7f) as u128) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn count(&mut self) -> Result<usize, Error> {
+        let n = self.varint()? as usize;
+        // Every element of every sequence kind occupies at least one byte,
+        // so a count beyond the remaining stream is corruption — reject it
+        // before any allocation sized by attacker/corruption-controlled data.
+        if n > self.bytes.len() - self.pos {
+            return Err(self.err("count exceeds the remaining stream"));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> Result<f64, Error> {
+        let raw = self.take(8)?;
+        Ok(f64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
+
+    fn value(&mut self, keys: &[String], depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nesting too deep"));
+        }
+        match self.byte()? {
+            T_NULL => Ok(Value::Null),
+            T_FALSE => Ok(Value::Bool(false)),
+            T_TRUE => Ok(Value::Bool(true)),
+            T_INT => Ok(Value::Int(unzigzag(self.varint()?))),
+            T_FLOAT => Ok(Value::Float(self.f64()?)),
+            T_STR => {
+                let len = self.count()?;
+                let raw = self.take(len)?;
+                Ok(Value::Str(
+                    std::str::from_utf8(raw)
+                        .map_err(|_| self.err("string is not UTF-8"))?
+                        .to_string(),
+                ))
+            }
+            T_SEQ => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(keys, depth + 1)?);
+                }
+                Ok(Value::Seq(items))
+            }
+            T_MAP => {
+                let n = self.count()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ki = self.varint()? as usize;
+                    let key = keys
+                        .get(ki)
+                        .ok_or_else(|| self.err("map key index out of range"))?
+                        .clone();
+                    entries.push((key, self.value(keys, depth + 1)?));
+                }
+                Ok(Value::Map(entries))
+            }
+            T_FSEQ => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Value::Float(self.f64()?));
+                }
+                Ok(Value::Seq(items))
+            }
+            T_FSEQ_RLE => {
+                // No `count()` byte-bound here: one 9-byte run may expand
+                // to arbitrarily many elements, that being the point of
+                // RLE. Capacity is clamped so a corrupted count cannot
+                // trigger a giant up-front allocation; growth beyond the
+                // clamp is paid only as real runs actually decode.
+                let total = self.varint()? as usize;
+                let mut items = Vec::with_capacity(total.min(1 << 16));
+                while items.len() < total {
+                    let run = self.varint()? as usize;
+                    if run == 0 || run > total - items.len() {
+                        return Err(self.err("bad run length"));
+                    }
+                    let f = self.f64()?;
+                    items.extend(std::iter::repeat_n(Value::Float(f), run));
+                }
+                Ok(Value::Seq(items))
+            }
+            T_ISEQ => {
+                let n = self.count()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Value::Int(unzigzag(self.varint()?)));
+                }
+                Ok(Value::Seq(items))
+            }
+            tag => Err(self.err(&format!("unknown value tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Map(vec![
+            ("version".into(), Value::Str("v4".into())),
+            (
+                "rows".into(),
+                Value::Seq(vec![
+                    // Repetitive floats → RLE.
+                    Value::Seq(vec![Value::Float(1.5); 32]),
+                    // Distinct floats → packed.
+                    Value::Seq((0..8).map(|i| Value::Float(i as f64 * 0.1)).collect()),
+                    // Ints → varint sequence.
+                    Value::Seq(vec![Value::Int(-3), Value::Int(0), Value::Int(1 << 40)]),
+                    // Mixed → generic.
+                    Value::Seq(vec![Value::Int(1), Value::Null, Value::Bool(true)]),
+                ]),
+            ),
+            (
+                "nested".into(),
+                Value::Map(vec![
+                    ("version".into(), Value::Int(4)), // repeated key
+                    ("empty_seq".into(), Value::Seq(vec![])),
+                    ("empty_map".into(), Value::Map(vec![])),
+                    ("nan".into(), Value::Float(f64::NAN)),
+                    ("neg".into(), Value::Int(i128::MIN + 1)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Structural equality that treats NaN == NaN (Value's PartialEq is
+    /// bitwise-f64 so NaN != NaN there).
+    fn eq(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            (Value::Seq(x), Value::Seq(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| eq(p, q))
+            }
+            (Value::Map(x), Value::Map(y)) => {
+                x.len() == y.len()
+                    && x.iter()
+                        .zip(y)
+                        .all(|((ka, va), (kb, vb))| ka == kb && eq(va, vb))
+            }
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_shape() {
+        let v = sample();
+        let bytes = value_to_vec(&v);
+        assert!(looks_binary(&bytes));
+        let back = slice_to_value(&bytes).unwrap();
+        assert!(eq(&v, &back), "decode must reproduce the tree");
+    }
+
+    #[test]
+    fn rle_beats_packed_on_repetitive_rows() {
+        let repetitive = Value::Seq(vec![Value::Float(0.25); 1024]);
+        let distinct = Value::Seq((0..1024).map(|i| Value::Float(i as f64)).collect());
+        let rle = value_to_vec(&repetitive);
+        let packed = value_to_vec(&distinct);
+        assert!(
+            rle.len() < 64,
+            "1024 identical floats must collapse to a handful of bytes, got {}",
+            rle.len()
+        );
+        assert!(packed.len() > 8 * 1024, "distinct floats stay packed");
+        assert!(eq(&slice_to_value(&rle).unwrap(), &repetitive));
+        assert!(eq(&slice_to_value(&packed).unwrap(), &distinct));
+    }
+
+    #[test]
+    fn json_is_never_mistaken_for_binary() {
+        assert!(!looks_binary(b"{\"version\":\"qadaptive-checkpoint-v3\"}"));
+        assert!(!looks_binary(b""));
+        assert!(!looks_binary(b"QADBIN")); // too short for the version byte
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error_everywhere() {
+        let bytes = value_to_vec(&sample());
+        // Chop at every prefix length; each must error, never panic or
+        // silently succeed (except the full length).
+        for cut in 0..bytes.len() {
+            assert!(
+                slice_to_value(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(slice_to_value(&bytes).is_ok());
+    }
+
+    #[test]
+    fn corrupted_streams_are_clean_errors() {
+        let good = value_to_vec(&sample());
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(slice_to_value(&bad).unwrap_err().0.contains("magic"));
+        // Future codec version.
+        let mut bad = good.clone();
+        bad[7] = 99;
+        let err = slice_to_value(&bad).unwrap_err();
+        assert!(err.0.contains("version 99"), "{err}");
+        // Flip every single byte after the header; none may panic, and the
+        // decoder must either error or produce some tree — never UB/OOM.
+        for i in 8..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            let _ = slice_to_value(&bad);
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(slice_to_value(&bad).unwrap_err().0.contains("trailing"));
+    }
+
+    #[test]
+    fn huge_claimed_counts_do_not_allocate() {
+        // A corrupted count must be rejected by the remaining-bytes bound,
+        // not fed to Vec::with_capacity.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(0); // empty dictionary
+        bytes.push(T_SEQ);
+        write_varint(&mut bytes, u64::MAX as u128);
+        let err = slice_to_value(&bytes).unwrap_err();
+        assert!(err.0.contains("count exceeds"), "{err}");
+    }
+
+    #[test]
+    fn varints_cover_the_integer_range() {
+        for i in [
+            0i128,
+            1,
+            -1,
+            127,
+            -128,
+            i128::from(u64::MAX),
+            -i128::from(u64::MAX),
+            i128::MAX,
+            i128::MIN,
+        ] {
+            assert_eq!(unzigzag(zigzag(i)), i, "zigzag round trip of {i}");
+            let v = Value::Int(i);
+            let back = slice_to_value(&value_to_vec(&v)).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}

@@ -5,6 +5,8 @@
 use serde::{Deserialize, Serialize};
 pub use serde::{Error, Value};
 
+pub mod binary;
+
 /// Serialise a value to compact JSON.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
